@@ -1,0 +1,320 @@
+//! AAL5 — the ATM adaptation layer used by data traffic.
+//!
+//! Higher-layer frames (IP packets, signalling messages) reach the cell
+//! stream through AAL5: the CPCS-PDU is the payload padded to a multiple of
+//! 48 octets with an 8-octet trailer (UU, CPI, 16-bit length, CRC-32), then
+//! cut into cells; the last cell of a frame is marked by the SDU-type bit of
+//! the payload-type field. The ATM model suite needs this layer so that
+//! frame-level traffic (e.g. the MPEG frames of the traffic library) can be
+//! carried as standard cell streams through the switch and the DUT.
+
+use crate::addr::VpiVci;
+use crate::cell::{AtmCell, CellHeader, PayloadType, PAYLOAD_OCTETS};
+use crate::error::AtmError;
+
+/// Maximum CPCS-SDU size in octets (16-bit length field).
+pub const MAX_SDU: usize = 65_535;
+
+/// CRC-32 with the IEEE 802.3 polynomial in the non-reflected (MSB-first)
+/// form AAL5 uses: init all-ones, final complement.
+#[must_use]
+pub fn crc32_aal5(data: &[u8]) -> u32 {
+    const POLY: u32 = 0x04C1_1DB7;
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b) << 24;
+        for _ in 0..8 {
+            crc = if crc & 0x8000_0000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Segments `sdu` into the cells of one AAL5 frame on connection `conn`.
+///
+/// All cells carry PT `User0` except the final cell (`User1`, the
+/// end-of-frame marker).
+///
+/// # Errors
+///
+/// Returns [`AtmError::Aal5`] when `sdu` exceeds [`MAX_SDU`].
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::aal5::{reassemble, segment};
+/// use castanet_atm::addr::VpiVci;
+///
+/// let conn = VpiVci::uni(1, 42)?;
+/// let frame = b"hello atm adaptation layer".to_vec();
+/// let cells = segment(conn, &frame)?;
+/// assert_eq!(reassemble(&cells)?, frame);
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+pub fn segment(conn: VpiVci, sdu: &[u8]) -> Result<Vec<AtmCell>, AtmError> {
+    if sdu.len() > MAX_SDU {
+        return Err(AtmError::Aal5 { reason: "sdu exceeds 65535 octets" });
+    }
+    // CPCS-PDU = SDU + pad + 8-octet trailer, length multiple of 48.
+    let content = sdu.len() + 8;
+    let padded = content.div_ceil(PAYLOAD_OCTETS) * PAYLOAD_OCTETS;
+    let mut pdu = Vec::with_capacity(padded);
+    pdu.extend_from_slice(sdu);
+    pdu.resize(padded - 8, 0);
+    pdu.push(0); // CPCS-UU
+    pdu.push(0); // CPI
+    pdu.extend_from_slice(&(sdu.len() as u16).to_be_bytes());
+    let crc = crc32_aal5(&pdu);
+    pdu.extend_from_slice(&crc.to_be_bytes());
+    debug_assert_eq!(pdu.len() % PAYLOAD_OCTETS, 0);
+
+    let n = pdu.len() / PAYLOAD_OCTETS;
+    let mut cells = Vec::with_capacity(n);
+    for (i, chunk) in pdu.chunks_exact(PAYLOAD_OCTETS).enumerate() {
+        let mut payload = [0u8; PAYLOAD_OCTETS];
+        payload.copy_from_slice(chunk);
+        let pt = if i + 1 == n { PayloadType::User1 } else { PayloadType::User0 };
+        cells.push(AtmCell::with_header(
+            CellHeader { gfc: 0, id: conn, pt, clp: false },
+            payload,
+        ));
+    }
+    Ok(cells)
+}
+
+/// Reassembles one AAL5 frame from its cells (in order, ending with the
+/// `User1` end-of-frame cell), verifying length and CRC-32.
+///
+/// # Errors
+///
+/// Returns [`AtmError::Aal5`] on an empty input, a missing end-of-frame
+/// marker, an inconsistent length field, or a CRC mismatch.
+pub fn reassemble(cells: &[AtmCell]) -> Result<Vec<u8>, AtmError> {
+    let Some(last) = cells.last() else {
+        return Err(AtmError::Aal5 { reason: "no cells" });
+    };
+    if !last.header.pt.sdu_type1() {
+        return Err(AtmError::Aal5 { reason: "last cell is not an end-of-frame cell" });
+    }
+    if let Some(early_end) = cells[..cells.len() - 1]
+        .iter()
+        .position(|c| c.header.pt.sdu_type1())
+    {
+        let _ = early_end;
+        return Err(AtmError::Aal5 { reason: "end-of-frame marker before the last cell" });
+    }
+    let mut pdu = Vec::with_capacity(cells.len() * PAYLOAD_OCTETS);
+    for c in cells {
+        pdu.extend_from_slice(&c.payload);
+    }
+    let trailer_at = pdu.len() - 8;
+    let length = u16::from_be_bytes([pdu[trailer_at + 2], pdu[trailer_at + 3]]) as usize;
+    let stored_crc = u32::from_be_bytes([
+        pdu[trailer_at + 4],
+        pdu[trailer_at + 5],
+        pdu[trailer_at + 6],
+        pdu[trailer_at + 7],
+    ]);
+    if crc32_aal5(&pdu[..trailer_at + 4]) != stored_crc {
+        return Err(AtmError::Aal5 { reason: "crc-32 mismatch" });
+    }
+    if length > trailer_at {
+        return Err(AtmError::Aal5 { reason: "length field exceeds pdu" });
+    }
+    // Padding must fit within the final cell's worth of data.
+    if trailer_at - length >= PAYLOAD_OCTETS {
+        return Err(AtmError::Aal5 { reason: "padding longer than one cell" });
+    }
+    pdu.truncate(length);
+    Ok(pdu)
+}
+
+/// Incremental reassembler for interleaved streams: feed cells one at a
+/// time; completed frames pop out.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: Vec<AtmCell>,
+    frames: u64,
+    errors: u64,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler for one connection's stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one cell. Returns a completed frame when `cell` ends one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Aal5`] when the completed frame fails validation;
+    /// the partial state is discarded either way.
+    pub fn push(&mut self, cell: AtmCell) -> Result<Option<Vec<u8>>, AtmError> {
+        let ends = cell.header.pt.sdu_type1();
+        self.partial.push(cell);
+        if !ends {
+            return Ok(None);
+        }
+        let cells = std::mem::take(&mut self.partial);
+        match reassemble(&cells) {
+            Ok(frame) => {
+                self.frames += 1;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Cells of the frame currently in flight.
+    #[must_use]
+    pub fn pending_cells(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Frames successfully reassembled.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames discarded due to validation failures.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> VpiVci {
+        VpiVci::uni(1, 42).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for size in [0usize, 1, 39, 40, 41, 47, 48, 96, 1000] {
+            let sdu: Vec<u8> = (0..size).map(|i| i as u8).collect();
+            let cells = segment(conn(), &sdu).unwrap();
+            // Exactly enough cells for sdu + trailer.
+            assert_eq!(cells.len(), (size + 8).div_ceil(48).max(1));
+            let back = reassemble(&cells).unwrap();
+            assert_eq!(back, sdu, "size {size}");
+        }
+    }
+
+    #[test]
+    fn only_last_cell_is_marked() {
+        let cells = segment(conn(), &[0u8; 100]).unwrap();
+        for c in &cells[..cells.len() - 1] {
+            assert!(!c.header.pt.sdu_type1());
+        }
+        assert!(cells.last().unwrap().header.pt.sdu_type1());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut cells = segment(conn(), b"payload integrity matters").unwrap();
+        cells[0].payload[3] ^= 0x40;
+        assert!(matches!(
+            reassemble(&cells),
+            Err(AtmError::Aal5 { reason: "crc-32 mismatch" })
+        ));
+    }
+
+    #[test]
+    fn lost_last_cell_detected() {
+        let cells = segment(conn(), &[7u8; 120]).unwrap();
+        let missing_end = &cells[..cells.len() - 1];
+        assert!(matches!(
+            reassemble(missing_end),
+            Err(AtmError::Aal5 { reason: "last cell is not an end-of-frame cell" })
+        ));
+    }
+
+    #[test]
+    fn lost_middle_cell_detected() {
+        let frame: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let cells = segment(conn(), &frame).unwrap();
+        assert!(cells.len() >= 3);
+        let mut broken = cells.clone();
+        broken.remove(1);
+        assert!(reassemble(&broken).is_err());
+    }
+
+    #[test]
+    fn oversized_sdu_rejected() {
+        let sdu = vec![0u8; MAX_SDU + 1];
+        assert!(matches!(
+            segment(conn(), &sdu),
+            Err(AtmError::Aal5 { reason: "sdu exceeds 65535 octets" })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(reassemble(&[]), Err(AtmError::Aal5 { reason: "no cells" })));
+    }
+
+    #[test]
+    fn incremental_reassembler_matches_batch() {
+        let frames: Vec<Vec<u8>> = vec![
+            b"first frame".to_vec(),
+            vec![0xEE; 300],
+            Vec::new(),
+        ];
+        let mut r = Reassembler::new();
+        let mut out = Vec::new();
+        for f in &frames {
+            for cell in segment(conn(), f).unwrap() {
+                if let Some(done) = r.push(cell).unwrap() {
+                    out.push(done);
+                }
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(r.frames(), 3);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.pending_cells(), 0);
+    }
+
+    #[test]
+    fn reassembler_recovers_after_error() {
+        let mut r = Reassembler::new();
+        let mut cells = segment(conn(), b"will be damaged").unwrap();
+        cells[0].payload[0] ^= 1;
+        for cell in cells {
+            let _ = r.push(cell);
+        }
+        assert_eq!(r.errors(), 1);
+        // Next frame still reassembles.
+        for cell in segment(conn(), b"clean").unwrap() {
+            if let Some(done) = r.push(cell).unwrap() {
+                assert_eq!(done, b"clean");
+            }
+        }
+        assert_eq!(r.frames(), 1);
+    }
+
+    #[test]
+    fn crc32_known_properties() {
+        // CRC of empty data is the complement of the init register run
+        // through zero bytes: a fixed, non-trivial constant.
+        assert_eq!(crc32_aal5(&[]), !0xFFFF_FFFFu32 ^ 0); // == 0x0000_0000
+        // Changing any byte changes the CRC.
+        assert_ne!(crc32_aal5(b"abc"), crc32_aal5(b"abd"));
+        // MSB-first non-reflected known vector: "123456789" under
+        // CRC-32/BZIP2 is 0xFC891918.
+        assert_eq!(crc32_aal5(b"123456789"), 0xFC89_1918);
+    }
+}

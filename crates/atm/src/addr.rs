@@ -1,0 +1,198 @@
+//! ATM addressing: virtual path and virtual channel identifiers.
+//!
+//! The co-simulation interface of the paper (Fig. 4) moves `struct atmdata
+//! { int VPI; int VCI; … }` between the network simulator and the VHDL
+//! model. Here those fields are proper newtypes with the ITU-T I.361 value
+//! ranges enforced at construction: VPI is 8 bits at the UNI and 12 bits at
+//! the NNI; VCI is 16 bits; VCIs 0–31 are reserved for layer management.
+
+use crate::error::AtmError;
+use std::fmt;
+
+/// Header format of a cell: user-network interface or network-node
+/// interface. The NNI trades the 4 GFC bits for 4 more VPI bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HeaderFormat {
+    /// User-network interface: 4-bit GFC, 8-bit VPI.
+    #[default]
+    Uni,
+    /// Network-node interface: 12-bit VPI, no GFC.
+    Nni,
+}
+
+impl HeaderFormat {
+    /// Largest VPI representable in this format.
+    #[must_use]
+    pub const fn max_vpi(self) -> u16 {
+        match self {
+            HeaderFormat::Uni => 0xFF,
+            HeaderFormat::Nni => 0xFFF,
+        }
+    }
+}
+
+impl fmt::Display for HeaderFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderFormat::Uni => write!(f, "UNI"),
+            HeaderFormat::Nni => write!(f, "NNI"),
+        }
+    }
+}
+
+/// A virtual path identifier (8 bits UNI / 12 bits NNI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpi(u16);
+
+impl Vpi {
+    /// Creates a VPI, validating against the format's width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::VpiOutOfRange`] when `value` exceeds the field
+    /// width of `format`.
+    pub fn new(value: u16, format: HeaderFormat) -> Result<Self, AtmError> {
+        if value > format.max_vpi() {
+            return Err(AtmError::VpiOutOfRange { value, format });
+        }
+        Ok(Vpi(value))
+    }
+
+    /// Creates a UNI-range VPI (≤ 255).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::VpiOutOfRange`] when `value > 255`.
+    pub fn uni(value: u16) -> Result<Self, AtmError> {
+        Vpi::new(value, HeaderFormat::Uni)
+    }
+
+    /// The raw identifier value.
+    #[must_use]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPI={}", self.0)
+    }
+}
+
+/// A virtual channel identifier (16 bits). Values 0–31 are reserved by
+/// I.361 for signalling and OAM; [`Vci::is_reserved`] flags them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vci(u16);
+
+impl Vci {
+    /// First VCI available for user connections.
+    pub const FIRST_USER: u16 = 32;
+
+    /// Creates a VCI (any 16-bit value is representable).
+    #[must_use]
+    pub const fn new(value: u16) -> Self {
+        Vci(value)
+    }
+
+    /// The raw identifier value.
+    #[must_use]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// `true` for the I.361 reserved range 0–31.
+    #[must_use]
+    pub const fn is_reserved(self) -> bool {
+        self.0 < Self::FIRST_USER
+    }
+}
+
+impl fmt::Display for Vci {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VCI={}", self.0)
+    }
+}
+
+/// A connection identifier: the (VPI, VCI) pair that switching tables key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VpiVci {
+    /// Virtual path part.
+    pub vpi: Vpi,
+    /// Virtual channel part.
+    pub vci: Vci,
+}
+
+impl VpiVci {
+    /// Bundles a path and channel identifier.
+    #[must_use]
+    pub const fn new(vpi: Vpi, vci: Vci) -> Self {
+        VpiVci { vpi, vci }
+    }
+
+    /// Convenience constructor from raw UNI-range values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::VpiOutOfRange`] when `vpi > 255`.
+    pub fn uni(vpi: u16, vci: u16) -> Result<Self, AtmError> {
+        Ok(VpiVci::new(Vpi::uni(vpi)?, Vci::new(vci)))
+    }
+}
+
+impl fmt::Display for VpiVci {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.vpi, self.vci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uni_vpi_range_enforced() {
+        assert!(Vpi::uni(255).is_ok());
+        let err = Vpi::uni(256).unwrap_err();
+        assert!(matches!(err, AtmError::VpiOutOfRange { value: 256, .. }));
+    }
+
+    #[test]
+    fn nni_vpi_range_is_wider() {
+        assert!(Vpi::new(4095, HeaderFormat::Nni).is_ok());
+        assert!(Vpi::new(4096, HeaderFormat::Nni).is_err());
+        assert!(Vpi::new(4095, HeaderFormat::Uni).is_err());
+    }
+
+    #[test]
+    fn reserved_vci_detection() {
+        assert!(Vci::new(0).is_reserved());
+        assert!(Vci::new(31).is_reserved());
+        assert!(!Vci::new(32).is_reserved());
+        assert!(!Vci::new(65535).is_reserved());
+    }
+
+    #[test]
+    fn vpivci_ordering_and_display() {
+        let a = VpiVci::uni(1, 40).unwrap();
+        let b = VpiVci::uni(1, 41).unwrap();
+        let c = VpiVci::uni(2, 0).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "VPI=1/VCI=40");
+    }
+
+    #[test]
+    fn format_display_and_max() {
+        assert_eq!(HeaderFormat::Uni.to_string(), "UNI");
+        assert_eq!(HeaderFormat::Nni.to_string(), "NNI");
+        assert_eq!(HeaderFormat::Uni.max_vpi(), 255);
+        assert_eq!(HeaderFormat::Nni.max_vpi(), 4095);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(Vpi::default().value(), 0);
+        assert_eq!(Vci::default().value(), 0);
+        assert_eq!(VpiVci::default(), VpiVci::uni(0, 0).unwrap());
+    }
+}

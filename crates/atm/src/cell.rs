@@ -1,0 +1,431 @@
+//! The ATM cell: 53 octets of header + payload.
+//!
+//! "One cell comprises 53 octets" (§3.2) — 5 octets of header and 48 of
+//! payload. The header carries GFC (UNI only), VPI, VCI, the 3-bit payload
+//! type indicator, the cell-loss priority bit and the HEC octet. Encoding
+//! and decoding to the exact wire layout is what the abstraction interface
+//! of Fig. 4 performs when mapping a network-simulator packet onto the
+//! 8-bit-wide `atmdata` VHDL port over 53 clock cycles.
+
+use crate::addr::{HeaderFormat, Vci, Vpi, VpiVci};
+use crate::error::AtmError;
+use crate::hec;
+use std::fmt;
+
+/// Number of octets in a cell.
+pub const CELL_OCTETS: usize = 53;
+/// Number of header octets.
+pub const HEADER_OCTETS: usize = 5;
+/// Number of payload octets.
+pub const PAYLOAD_OCTETS: usize = 48;
+/// Cell length in bits (what link serialization delays are computed from).
+pub const CELL_BITS: u32 = (CELL_OCTETS * 8) as u32;
+
+/// The 3-bit payload type indicator (I.361 table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PayloadType {
+    /// User data, no congestion, SDU type 0.
+    #[default]
+    User0 = 0b000,
+    /// User data, no congestion, SDU type 1 (e.g. AAL5 end-of-frame).
+    User1 = 0b001,
+    /// User data, congestion experienced, SDU type 0.
+    User0Congested = 0b010,
+    /// User data, congestion experienced, SDU type 1.
+    User1Congested = 0b011,
+    /// Segment OAM F5 flow.
+    OamSegment = 0b100,
+    /// End-to-end OAM F5 flow.
+    OamEndToEnd = 0b101,
+    /// Resource management (e.g. ABR RM cells).
+    ResourceManagement = 0b110,
+    /// Reserved.
+    Reserved = 0b111,
+}
+
+impl PayloadType {
+    /// Decodes the 3-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 7`.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits {
+            0b000 => PayloadType::User0,
+            0b001 => PayloadType::User1,
+            0b010 => PayloadType::User0Congested,
+            0b011 => PayloadType::User1Congested,
+            0b100 => PayloadType::OamSegment,
+            0b101 => PayloadType::OamEndToEnd,
+            0b110 => PayloadType::ResourceManagement,
+            0b111 => PayloadType::Reserved,
+            _ => panic!("payload type is a 3-bit field, got {bits}"),
+        }
+    }
+
+    /// The 3-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// `true` for the four user-data code points.
+    #[must_use]
+    pub fn is_user_data(self) -> bool {
+        self.bits() & 0b100 == 0
+    }
+
+    /// `true` when the congestion-experienced bit is set (user data only).
+    #[must_use]
+    pub fn congestion_experienced(self) -> bool {
+        self.is_user_data() && self.bits() & 0b010 != 0
+    }
+
+    /// `true` when the SDU-type bit is set (marks AAL5 frame ends).
+    #[must_use]
+    pub fn sdu_type1(self) -> bool {
+        self.is_user_data() && self.bits() & 0b001 != 0
+    }
+}
+
+/// The decoded 5-octet cell header (HEC is derived, not stored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CellHeader {
+    /// Generic flow control (UNI only; must be 0 for NNI).
+    pub gfc: u8,
+    /// Connection identifier.
+    pub id: VpiVci,
+    /// Payload type indicator.
+    pub pt: PayloadType,
+    /// Cell loss priority (`true` = may be dropped first).
+    pub clp: bool,
+}
+
+impl CellHeader {
+    /// Encodes the header (including computed HEC) for the given format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::VpiOutOfRange`] if the VPI does not fit `format`,
+    /// or [`AtmError::GfcOutOfRange`] for a GFC above 4 bits (or non-zero
+    /// GFC at the NNI).
+    pub fn encode(&self, format: HeaderFormat) -> Result<[u8; HEADER_OCTETS], AtmError> {
+        if self.gfc > 0xF || (format == HeaderFormat::Nni && self.gfc != 0) {
+            return Err(AtmError::GfcOutOfRange { value: self.gfc, format });
+        }
+        let vpi = self.id.vpi.value();
+        if vpi > format.max_vpi() {
+            return Err(AtmError::VpiOutOfRange { value: vpi, format });
+        }
+        let vci = self.id.vci.value();
+        let mut h = [0u8; HEADER_OCTETS];
+        match format {
+            HeaderFormat::Uni => {
+                h[0] = (self.gfc << 4) | ((vpi >> 4) as u8 & 0x0F);
+                h[1] = (((vpi & 0x0F) as u8) << 4) | ((vci >> 12) as u8 & 0x0F);
+            }
+            HeaderFormat::Nni => {
+                h[0] = (vpi >> 4) as u8;
+                h[1] = (((vpi & 0x0F) as u8) << 4) | ((vci >> 12) as u8 & 0x0F);
+            }
+        }
+        h[2] = (vci >> 4) as u8;
+        h[3] = (((vci & 0x0F) as u8) << 4) | (self.pt.bits() << 1) | u8::from(self.clp);
+        h[4] = hec::compute(&h[..4]);
+        Ok(h)
+    }
+
+    /// Decodes a 5-octet header, verifying the HEC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::HecMismatch`] when the HEC octet is inconsistent.
+    pub fn decode(bytes: &[u8; HEADER_OCTETS], format: HeaderFormat) -> Result<Self, AtmError> {
+        if !hec::check(bytes) {
+            return Err(AtmError::HecMismatch);
+        }
+        Ok(Self::decode_unchecked(bytes, format))
+    }
+
+    /// Decodes a header without HEC verification (for already-corrected or
+    /// synthetic headers).
+    #[must_use]
+    pub fn decode_unchecked(bytes: &[u8; HEADER_OCTETS], format: HeaderFormat) -> Self {
+        let (gfc, vpi) = match format {
+            HeaderFormat::Uni => (
+                bytes[0] >> 4,
+                (u16::from(bytes[0] & 0x0F) << 4) | u16::from(bytes[1] >> 4),
+            ),
+            HeaderFormat::Nni => (
+                0,
+                (u16::from(bytes[0]) << 4) | u16::from(bytes[1] >> 4),
+            ),
+        };
+        let vci = (u16::from(bytes[1] & 0x0F) << 12)
+            | (u16::from(bytes[2]) << 4)
+            | u16::from(bytes[3] >> 4);
+        let pt = PayloadType::from_bits((bytes[3] >> 1) & 0b111);
+        let clp = bytes[3] & 1 != 0;
+        CellHeader {
+            gfc,
+            id: VpiVci::new(
+                Vpi::new(vpi, format).expect("decoded VPI always fits its format"),
+                Vci::new(vci),
+            ),
+            pt,
+            clp,
+        }
+    }
+}
+
+impl fmt::Display for CellHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pt={:?} clp={}",
+            self.id,
+            self.pt,
+            u8::from(self.clp)
+        )
+    }
+}
+
+/// A complete ATM cell: header plus 48-octet payload.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::cell::AtmCell;
+/// use castanet_atm::addr::{HeaderFormat, VpiVci};
+///
+/// let cell = AtmCell::user_data(VpiVci::uni(1, 42)?, [0xAB; 48]);
+/// let wire = cell.encode(HeaderFormat::Uni)?;
+/// assert_eq!(wire.len(), 53);
+/// let back = AtmCell::decode(&wire, HeaderFormat::Uni)?;
+/// assert_eq!(back, cell);
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AtmCell {
+    /// The decoded header.
+    pub header: CellHeader,
+    /// The 48-octet payload.
+    pub payload: [u8; PAYLOAD_OCTETS],
+}
+
+impl Default for AtmCell {
+    fn default() -> Self {
+        AtmCell {
+            header: CellHeader::default(),
+            payload: [0u8; PAYLOAD_OCTETS],
+        }
+    }
+}
+
+impl AtmCell {
+    /// Creates a user-data cell (PT `User0`, CLP 0, GFC 0).
+    #[must_use]
+    pub fn user_data(id: VpiVci, payload: [u8; PAYLOAD_OCTETS]) -> Self {
+        AtmCell {
+            header: CellHeader {
+                gfc: 0,
+                id,
+                pt: PayloadType::User0,
+                clp: false,
+            },
+            payload,
+        }
+    }
+
+    /// Creates a cell with an explicit header.
+    #[must_use]
+    pub fn with_header(header: CellHeader, payload: [u8; PAYLOAD_OCTETS]) -> Self {
+        AtmCell { header, payload }
+    }
+
+    /// Serializes the full 53-octet wire image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header-encoding errors (see [`CellHeader::encode`]).
+    pub fn encode(&self, format: HeaderFormat) -> Result<[u8; CELL_OCTETS], AtmError> {
+        let mut out = [0u8; CELL_OCTETS];
+        out[..HEADER_OCTETS].copy_from_slice(&self.header.encode(format)?);
+        out[HEADER_OCTETS..].copy_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Parses 53 octets, verifying the HEC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::CellLength`] for a wrong-size slice or
+    /// [`AtmError::HecMismatch`] for a corrupted header.
+    pub fn decode(bytes: &[u8], format: HeaderFormat) -> Result<Self, AtmError> {
+        if bytes.len() != CELL_OCTETS {
+            return Err(AtmError::CellLength { got: bytes.len() });
+        }
+        let mut hdr = [0u8; HEADER_OCTETS];
+        hdr.copy_from_slice(&bytes[..HEADER_OCTETS]);
+        let header = CellHeader::decode(&hdr, format)?;
+        let mut payload = [0u8; PAYLOAD_OCTETS];
+        payload.copy_from_slice(&bytes[HEADER_OCTETS..]);
+        Ok(AtmCell { header, payload })
+    }
+
+    /// The connection the cell belongs to.
+    #[must_use]
+    pub fn id(&self) -> VpiVci {
+        self.header.id
+    }
+
+    /// Rewrites the connection identifier (what a switch's VPI/VCI
+    /// translation stage does).
+    pub fn retag(&mut self, id: VpiVci) {
+        self.header.id = id;
+    }
+}
+
+impl fmt::Display for AtmCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell[{}]", self.header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(vpi: u16, vci: u16) -> VpiVci {
+        VpiVci::uni(vpi, vci).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_uni() {
+        let cell = AtmCell::with_header(
+            CellHeader {
+                gfc: 0xA,
+                id: id(0x5C, 0xBEEF),
+                pt: PayloadType::User1,
+                clp: true,
+            },
+            [0x5A; PAYLOAD_OCTETS],
+        );
+        let wire = cell.encode(HeaderFormat::Uni).unwrap();
+        assert_eq!(AtmCell::decode(&wire, HeaderFormat::Uni).unwrap(), cell);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_nni() {
+        let header = CellHeader {
+            gfc: 0,
+            id: VpiVci::new(Vpi::new(0xABC, HeaderFormat::Nni).unwrap(), Vci::new(0x1234)),
+            pt: PayloadType::OamEndToEnd,
+            clp: false,
+        };
+        let cell = AtmCell::with_header(header, [1; PAYLOAD_OCTETS]);
+        let wire = cell.encode(HeaderFormat::Nni).unwrap();
+        let back = AtmCell::decode(&wire, HeaderFormat::Nni).unwrap();
+        assert_eq!(back.header, header);
+    }
+
+    #[test]
+    fn header_bit_layout_matches_i361() {
+        // GFC=0b0101, VPI=0b1010_1100, VCI=0b0001_0010_0011_0100,
+        // PT=0b011, CLP=1.
+        let h = CellHeader {
+            gfc: 0b0101,
+            id: id(0b1010_1100, 0b0001_0010_0011_0100),
+            pt: PayloadType::User1Congested,
+            clp: true,
+        };
+        let e = h.encode(HeaderFormat::Uni).unwrap();
+        assert_eq!(e[0], 0b0101_1010); // GFC | VPI[7:4]
+        assert_eq!(e[1], 0b1100_0001); // VPI[3:0] | VCI[15:12]
+        assert_eq!(e[2], 0b0010_0011); // VCI[11:4]
+        assert_eq!(e[3], 0b0100_0111); // VCI[3:0] | PT | CLP
+        assert!(hec::check(&e));
+    }
+
+    #[test]
+    fn decode_rejects_bad_hec() {
+        let cell = AtmCell::user_data(id(1, 40), [0; PAYLOAD_OCTETS]);
+        let mut wire = cell.encode(HeaderFormat::Uni).unwrap();
+        wire[0] ^= 0x80;
+        assert_eq!(
+            AtmCell::decode(&wire, HeaderFormat::Uni).unwrap_err(),
+            AtmError::HecMismatch
+        );
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let err = AtmCell::decode(&[0u8; 52], HeaderFormat::Uni).unwrap_err();
+        assert_eq!(err, AtmError::CellLength { got: 52 });
+    }
+
+    #[test]
+    fn payload_corruption_is_not_detected_by_hec() {
+        // HEC protects only the header; payload errors pass (AAL layers
+        // carry their own CRC).
+        let cell = AtmCell::user_data(id(1, 40), [7; PAYLOAD_OCTETS]);
+        let mut wire = cell.encode(HeaderFormat::Uni).unwrap();
+        wire[20] ^= 0xFF;
+        let back = AtmCell::decode(&wire, HeaderFormat::Uni).unwrap();
+        assert_ne!(back.payload, cell.payload);
+        assert_eq!(back.header, cell.header);
+    }
+
+    #[test]
+    fn gfc_validation() {
+        let mut h = CellHeader {
+            gfc: 0x1F,
+            ..CellHeader::default()
+        };
+        assert!(matches!(
+            h.encode(HeaderFormat::Uni),
+            Err(AtmError::GfcOutOfRange { .. })
+        ));
+        h.gfc = 0x5;
+        assert!(h.encode(HeaderFormat::Uni).is_ok());
+        // NNI has no GFC field at all.
+        assert!(matches!(
+            h.encode(HeaderFormat::Nni),
+            Err(AtmError::GfcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_type_properties() {
+        assert!(PayloadType::User0.is_user_data());
+        assert!(!PayloadType::OamSegment.is_user_data());
+        assert!(PayloadType::User1Congested.congestion_experienced());
+        assert!(!PayloadType::User1.congestion_experienced());
+        assert!(PayloadType::User1.sdu_type1());
+        assert!(!PayloadType::User0Congested.sdu_type1());
+        for bits in 0..8 {
+            assert_eq!(PayloadType::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn retag_changes_only_the_id() {
+        let mut cell = AtmCell::user_data(id(1, 40), [3; PAYLOAD_OCTETS]);
+        cell.retag(id(2, 50));
+        assert_eq!(cell.id(), id(2, 50));
+        assert_eq!(cell.payload, [3; PAYLOAD_OCTETS]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cell = AtmCell::user_data(id(3, 77), [0; PAYLOAD_OCTETS]);
+        assert_eq!(cell.to_string(), "cell[VPI=3/VCI=77 pt=User0 clp=0]");
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(HEADER_OCTETS + PAYLOAD_OCTETS, CELL_OCTETS);
+        assert_eq!(CELL_BITS, 424);
+    }
+}

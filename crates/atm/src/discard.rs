@@ -1,0 +1,465 @@
+//! Congestion discard policies: CLP-selective drop and AAL5 frame discard
+//! (EPD/PPD).
+//!
+//! The paper places CASTANET's applications "especially in the ATM traffic
+//! management sector" — precisely the switch buffer-acceptance logic
+//! implemented here:
+//!
+//! * **selective CLP discard** — above a threshold, cells tagged
+//!   low-priority (`CLP = 1`) are dropped first;
+//! * **early packet discard (EPD)** — when occupancy crosses the EPD
+//!   threshold, *new* AAL5 frames are refused entirely (every cell through
+//!   the end-of-frame marker is dropped), so the buffer carries only whole
+//!   frames;
+//! * **partial packet discard (PPD)** — once a cell of a frame is lost to
+//!   overflow, the remainder of that frame is dropped too (it can no
+//!   longer reassemble), but the end-of-frame cell is kept as a delimiter
+//!   so the receiver resynchronizes.
+
+use crate::addr::VpiVci;
+use crate::cell::AtmCell;
+use std::collections::{HashMap, VecDeque};
+
+/// Buffer-acceptance policy of a [`DiscardQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardPolicy {
+    /// Plain drop-tail.
+    DropTail,
+    /// Drop CLP=1 cells above `clp_threshold`, everything above capacity.
+    ClpSelective {
+        /// Occupancy at which low-priority cells start being refused.
+        clp_threshold: usize,
+    },
+    /// AAL5-aware early + partial packet discard.
+    FrameAware {
+        /// Occupancy at which *new* frames are refused (EPD).
+        epd_threshold: usize,
+    },
+}
+
+/// Per-connection frame-discard state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum FrameState {
+    /// Accepting cells normally.
+    #[default]
+    Accepting,
+    /// Discarding until (and including) the current frame's end (EPD).
+    DiscardingFrame,
+    /// Discarding the remainder of a partially lost frame; the
+    /// end-of-frame cell is kept as a delimiter (PPD).
+    DiscardingTail,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct VcTrack {
+    state: FrameState,
+    /// `true` while cells of the current frame have already passed (so the
+    /// next cell is a continuation, not a frame start).
+    mid_frame: bool,
+}
+
+/// What happened to an offered cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The cell was queued.
+    Accepted,
+    /// Dropped by the policy; the reason names the mechanism.
+    Dropped(DropReason),
+}
+
+/// Why a cell was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The buffer was completely full.
+    Overflow,
+    /// CLP-selective discard above the threshold.
+    ClpSelective,
+    /// Early packet discard: part of a refused frame.
+    Epd,
+    /// Partial packet discard: tail of a damaged frame.
+    Ppd,
+}
+
+/// Per-policy drop counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscardCounters {
+    /// Cells accepted.
+    pub accepted: u64,
+    /// Cells dropped for full buffer.
+    pub overflow: u64,
+    /// Cells dropped by CLP-selective discard.
+    pub clp: u64,
+    /// Cells dropped by EPD.
+    pub epd: u64,
+    /// Cells dropped by PPD.
+    pub ppd: u64,
+}
+
+impl DiscardCounters {
+    /// Total drops across mechanisms.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.overflow + self.clp + self.epd + self.ppd
+    }
+}
+
+/// A bounded cell buffer with a configurable acceptance policy.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::discard::{DiscardPolicy, DiscardQueue, Verdict};
+/// use castanet_atm::addr::VpiVci;
+/// use castanet_atm::cell::AtmCell;
+///
+/// let mut q = DiscardQueue::new(4, DiscardPolicy::ClpSelective { clp_threshold: 2 });
+/// let conn = VpiVci::uni(1, 42)?;
+/// let mut low = AtmCell::user_data(conn, [0; 48]);
+/// low.header.clp = true;
+/// assert_eq!(q.offer(low.clone()), Verdict::Accepted);
+/// assert_eq!(q.offer(low.clone()), Verdict::Accepted);
+/// // Threshold reached: further CLP=1 cells are refused.
+/// assert!(matches!(q.offer(low), Verdict::Dropped(_)));
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+#[derive(Debug)]
+pub struct DiscardQueue {
+    queue: VecDeque<AtmCell>,
+    capacity: usize,
+    policy: DiscardPolicy,
+    tracks: HashMap<VpiVci, VcTrack>,
+    counters: DiscardCounters,
+}
+
+impl DiscardQueue {
+    /// Creates a queue of `capacity` cells under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero, or a policy threshold exceeds it.
+    #[must_use]
+    pub fn new(capacity: usize, policy: DiscardPolicy) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        match policy {
+            DiscardPolicy::ClpSelective { clp_threshold } => {
+                assert!(clp_threshold <= capacity, "clp threshold exceeds capacity");
+            }
+            DiscardPolicy::FrameAware { epd_threshold } => {
+                assert!(epd_threshold <= capacity, "epd threshold exceeds capacity");
+            }
+            DiscardPolicy::DropTail => {}
+        }
+        DiscardQueue {
+            queue: VecDeque::new(),
+            capacity,
+            policy,
+            tracks: HashMap::new(),
+            counters: DiscardCounters::default(),
+        }
+    }
+
+    /// Offers one cell to the buffer.
+    pub fn offer(&mut self, cell: AtmCell) -> Verdict {
+        let verdict = self.decide(&cell);
+        match verdict {
+            None => {
+                self.queue.push_back(cell);
+                self.counters.accepted += 1;
+                Verdict::Accepted
+            }
+            Some(reason) => {
+                match reason {
+                    DropReason::Overflow => self.counters.overflow += 1,
+                    DropReason::ClpSelective => self.counters.clp += 1,
+                    DropReason::Epd => self.counters.epd += 1,
+                    DropReason::Ppd => self.counters.ppd += 1,
+                }
+                Verdict::Dropped(reason)
+            }
+        }
+    }
+
+    fn decide(&mut self, cell: &AtmCell) -> Option<DropReason> {
+        let depth = self.queue.len();
+        let capacity = self.capacity;
+        match self.policy {
+            DiscardPolicy::DropTail => (depth >= capacity).then_some(DropReason::Overflow),
+            DiscardPolicy::ClpSelective { clp_threshold } => {
+                if depth >= capacity {
+                    Some(DropReason::Overflow)
+                } else if cell.header.clp && depth >= clp_threshold {
+                    Some(DropReason::ClpSelective)
+                } else {
+                    None
+                }
+            }
+            DiscardPolicy::FrameAware { epd_threshold } => {
+                let ends = cell.header.pt.sdu_type1();
+                let track = self.tracks.entry(cell.id()).or_default();
+                match track.state {
+                    FrameState::DiscardingFrame => {
+                        if ends {
+                            track.state = FrameState::Accepting;
+                            track.mid_frame = false;
+                        }
+                        Some(DropReason::Epd)
+                    }
+                    FrameState::DiscardingTail => {
+                        if ends {
+                            track.state = FrameState::Accepting;
+                            track.mid_frame = false;
+                            // Keep the delimiter if a slot exists.
+                            (depth >= capacity).then_some(DropReason::Overflow)
+                        } else {
+                            Some(DropReason::Ppd)
+                        }
+                    }
+                    FrameState::Accepting => {
+                        let starts_frame = !track.mid_frame;
+                        if starts_frame && depth >= epd_threshold {
+                            if !ends {
+                                track.state = FrameState::DiscardingFrame;
+                                track.mid_frame = true;
+                            }
+                            Some(DropReason::Epd)
+                        } else if depth >= capacity {
+                            if !ends {
+                                track.state = FrameState::DiscardingTail;
+                                track.mid_frame = true;
+                            } else {
+                                track.mid_frame = false;
+                            }
+                            Some(DropReason::Overflow)
+                        } else {
+                            track.mid_frame = !ends;
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the oldest queued cell.
+    pub fn pop(&mut self) -> Option<AtmCell> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop/accept accounting.
+    #[must_use]
+    pub fn counters(&self) -> DiscardCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aal5;
+
+    fn conn(vci: u16) -> VpiVci {
+        VpiVci::uni(1, vci).unwrap()
+    }
+
+    fn frame_cells(vci: u16, len: usize) -> Vec<AtmCell> {
+        aal5::segment(conn(vci), &vec![0xAB; len]).unwrap()
+    }
+
+    #[test]
+    fn drop_tail_behaves_like_finite_queue() {
+        let mut q = DiscardQueue::new(2, DiscardPolicy::DropTail);
+        let c = AtmCell::user_data(conn(40), [0; 48]);
+        assert_eq!(q.offer(c.clone()), Verdict::Accepted);
+        assert_eq!(q.offer(c.clone()), Verdict::Accepted);
+        assert_eq!(q.offer(c), Verdict::Dropped(DropReason::Overflow));
+        assert_eq!(q.counters().overflow, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clp_selective_protects_high_priority() {
+        let mut q = DiscardQueue::new(4, DiscardPolicy::ClpSelective { clp_threshold: 2 });
+        let mut low = AtmCell::user_data(conn(40), [0; 48]);
+        low.header.clp = true;
+        let high = AtmCell::user_data(conn(40), [0; 48]);
+        q.offer(high.clone());
+        q.offer(high.clone());
+        // Above threshold: low dropped, high still accepted.
+        assert_eq!(q.offer(low.clone()), Verdict::Dropped(DropReason::ClpSelective));
+        assert_eq!(q.offer(high.clone()), Verdict::Accepted);
+        assert_eq!(q.offer(high.clone()), Verdict::Accepted);
+        // Full: even high is refused.
+        assert_eq!(q.offer(high), Verdict::Dropped(DropReason::Overflow));
+        assert_eq!(q.counters().clp, 1);
+        assert_eq!(q.counters().dropped(), 2);
+    }
+
+    #[test]
+    fn epd_refuses_whole_new_frames() {
+        let mut q = DiscardQueue::new(100, DiscardPolicy::FrameAware { epd_threshold: 2 });
+        // One whole frame is accepted (3 cells; occupancy passes the
+        // threshold only mid-frame, which never splits a frame).
+        let first = frame_cells(40, 100);
+        for c in &first {
+            assert_eq!(q.offer(c.clone()), Verdict::Accepted);
+        }
+        assert_eq!(q.len(), 3);
+        // The next frame starts above the threshold: all its cells drop.
+        let second = frame_cells(40, 100);
+        for c in &second {
+            assert_eq!(q.offer(c.clone()), Verdict::Dropped(DropReason::Epd));
+        }
+        assert_eq!(q.counters().epd as usize, second.len());
+        // The queue holds only whole frames: the survivor reassembles.
+        let mut drained = Vec::new();
+        while let Some(c) = q.pop() {
+            drained.push(c);
+        }
+        assert_eq!(aal5::reassemble(&drained).unwrap(), vec![0xAB; 100]);
+    }
+
+    #[test]
+    fn epd_state_clears_at_the_frame_boundary() {
+        let mut q = DiscardQueue::new(100, DiscardPolicy::FrameAware { epd_threshold: 2 });
+        for c in frame_cells(40, 100) {
+            q.offer(c);
+        }
+        for c in frame_cells(40, 100) {
+            q.offer(c); // EPD-dropped through its end-of-frame cell
+        }
+        // Drain below the threshold: the next frame is accepted again.
+        while q.pop().is_some() {}
+        for c in frame_cells(40, 100) {
+            assert_eq!(q.offer(c), Verdict::Accepted);
+        }
+    }
+
+    #[test]
+    fn ppd_drops_the_tail_and_keeps_the_delimiter() {
+        // Capacity hits mid-frame: the overflowing cell drops as overflow,
+        // the remainder as PPD; after one slot frees, the end-of-frame
+        // delimiter is accepted.
+        let mut q = DiscardQueue::new(4, DiscardPolicy::FrameAware { epd_threshold: 4 });
+        let frame = frame_cells(40, 300); // 7 cells
+        assert_eq!(frame.len(), 7);
+        let mut verdicts = Vec::new();
+        for c in &frame[..6] {
+            verdicts.push(q.offer(c.clone()));
+        }
+        assert_eq!(&verdicts[..4], &[Verdict::Accepted; 4]);
+        assert_eq!(verdicts[4], Verdict::Dropped(DropReason::Overflow));
+        assert_eq!(verdicts[5], Verdict::Dropped(DropReason::Ppd));
+        // Service one cell, then the delimiter arrives.
+        q.pop();
+        assert_eq!(q.offer(frame[6].clone()), Verdict::Accepted, "delimiter kept");
+        assert_eq!(q.counters().ppd, 1);
+    }
+
+    #[test]
+    fn single_cell_frames_epd_without_sticking() {
+        // A 1-cell frame (<= 40 bytes) dropped by EPD must not leave the
+        // connection in a discarding state.
+        let mut q = DiscardQueue::new(10, DiscardPolicy::FrameAware { epd_threshold: 1 });
+        let small = frame_cells(40, 10);
+        assert_eq!(small.len(), 1);
+        // Occupy one slot so EPD triggers.
+        q.offer(frame_cells(40, 10)[0].clone());
+        assert_eq!(q.offer(small[0].clone()), Verdict::Dropped(DropReason::Epd));
+        // Drain; the connection accepts again immediately.
+        while q.pop().is_some() {}
+        assert_eq!(q.offer(small[0].clone()), Verdict::Accepted);
+    }
+
+    #[test]
+    fn connections_track_frames_independently() {
+        let mut q = DiscardQueue::new(100, DiscardPolicy::FrameAware { epd_threshold: 2 });
+        // Interleave two connections' frames cell by cell: conn 40's frame
+        // starts below the threshold, conn 41's starts above it.
+        let f40 = frame_cells(40, 100);
+        let f41 = frame_cells(41, 100);
+        assert_eq!(q.offer(f40[0].clone()), Verdict::Accepted);
+        assert_eq!(q.offer(f40[1].clone()), Verdict::Accepted);
+        // 41 starts now, at depth 2 >= threshold: EPD.
+        assert_eq!(q.offer(f41[0].clone()), Verdict::Dropped(DropReason::Epd));
+        // 40 continues unaffected (mid-frame cells are never EPD'd).
+        assert_eq!(q.offer(f40[2].clone()), Verdict::Accepted);
+        // 41's remaining cells drop through its end-of-frame.
+        assert_eq!(q.offer(f41[1].clone()), Verdict::Dropped(DropReason::Epd));
+        assert_eq!(q.offer(f41[2].clone()), Verdict::Dropped(DropReason::Epd));
+        // Drain; both connections accept fresh frames.
+        while q.pop().is_some() {}
+        for c in frame_cells(41, 100) {
+            assert_eq!(q.offer(c), Verdict::Accepted);
+        }
+        // Only whole frames were ever queued.
+        let mut drained = Vec::new();
+        while let Some(c) = q.pop() {
+            drained.push(c);
+        }
+        assert!(aal5::reassemble(&drained).is_ok());
+    }
+
+    #[test]
+    fn goodput_epd_vs_droptail_under_overload() {
+        // The classic EPD result: under overload, frame-aware discard
+        // yields more *complete frames* than blind drop-tail for the same
+        // buffer.
+        let run = |policy: DiscardPolicy| -> usize {
+            let mut q = DiscardQueue::new(12, policy);
+            let mut complete = 0usize;
+            let mut assembler = crate::aal5::Reassembler::new();
+            for burst in 0..30 {
+                // Offer a 4-cell frame, then service 2 cells: sustained
+                // overload.
+                for c in frame_cells(40, 150) {
+                    q.offer(c);
+                }
+                let _ = burst;
+                for _ in 0..2 {
+                    if let Some(c) = q.pop() {
+                        if let Ok(Some(_)) = assembler.push(c) {
+                            complete += 1;
+                        }
+                    }
+                }
+            }
+            // Drain the rest.
+            while let Some(c) = q.pop() {
+                if let Ok(Some(_)) = assembler.push(c) {
+                    complete += 1;
+                }
+            }
+            complete
+        };
+        let droptail = run(DiscardPolicy::DropTail);
+        let epd = run(DiscardPolicy::FrameAware { epd_threshold: 8 });
+        assert!(
+            epd > droptail,
+            "EPD goodput {epd} must beat drop-tail {droptail}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epd threshold exceeds capacity")]
+    fn invalid_threshold_panics() {
+        let _ = DiscardQueue::new(4, DiscardPolicy::FrameAware { epd_threshold: 5 });
+    }
+}

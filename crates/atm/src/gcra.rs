@@ -1,0 +1,288 @@
+//! The Generic Cell Rate Algorithm — ATM's leaky-bucket policer.
+//!
+//! Usage parameter control (UPC) at a switch ingress checks every arriving
+//! cell against the traffic contract with the GCRA (ATM Forum UNI 3.1 /
+//! ITU-T I.371). Both the virtual-scheduling and the continuous-state
+//! leaky-bucket formulations are implemented; they are provably equivalent
+//! and a property test in this module exercises that equivalence.
+//!
+//! The policer is part of the "ATM traffic management sector" the paper
+//! names as CASTANET's application domain, and the accounting unit case
+//! study charges only *conforming* cells.
+
+use castanet_netsim::time::{SimDuration, SimTime};
+
+/// Verdict for one cell arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conformance {
+    /// The cell conforms to the contract.
+    Conforming,
+    /// The cell violates the contract (to be dropped or CLP-tagged).
+    NonConforming,
+}
+
+/// GCRA(T, τ) in the virtual-scheduling formulation: `T` is the contracted
+/// inter-cell emission interval (1 / peak cell rate) and `τ` the cell delay
+/// variation tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::gcra::{Conformance, Gcra};
+/// use castanet_netsim::time::{SimDuration, SimTime};
+///
+/// // Contract: one cell every 10 us, 2 us jitter tolerance.
+/// let mut gcra = Gcra::new(SimDuration::from_us(10), SimDuration::from_us(2));
+/// assert_eq!(gcra.arrival(SimTime::from_us(0)), Conformance::Conforming);
+/// // 9 us later: within tolerance (expected at 10, arrives 1 early <= 2).
+/// assert_eq!(gcra.arrival(SimTime::from_us(9)), Conformance::Conforming);
+/// // Another only 3 us later: too early, non-conforming.
+/// assert_eq!(gcra.arrival(SimTime::from_us(12)), Conformance::NonConforming);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gcra {
+    increment: SimDuration,
+    limit: SimDuration,
+    /// Theoretical arrival time of the next cell.
+    tat: SimTime,
+    conforming: u64,
+    non_conforming: u64,
+}
+
+impl Gcra {
+    /// Creates a policer with emission interval `increment` (aka `T`) and
+    /// tolerance `limit` (aka `τ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `increment` is zero (an infinite rate admits everything and
+    /// indicates a configuration error).
+    #[must_use]
+    pub fn new(increment: SimDuration, limit: SimDuration) -> Self {
+        assert!(!increment.is_zero(), "gcra increment must be non-zero");
+        Gcra {
+            increment,
+            limit,
+            tat: SimTime::ZERO,
+            conforming: 0,
+            non_conforming: 0,
+        }
+    }
+
+    /// Builds a policer from a peak cell rate in cells/second and a
+    /// tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcr_cells_per_sec` is zero.
+    #[must_use]
+    pub fn from_pcr(pcr_cells_per_sec: u64, limit: SimDuration) -> Self {
+        assert!(pcr_cells_per_sec > 0, "peak cell rate must be non-zero");
+        Gcra::new(
+            SimDuration::from_picos(1_000_000_000_000 / pcr_cells_per_sec),
+            limit,
+        )
+    }
+
+    /// Processes a cell arriving at `t`, updating policer state only for
+    /// conforming cells (non-conforming arrivals leave the TAT untouched,
+    /// per I.371).
+    pub fn arrival(&mut self, t: SimTime) -> Conformance {
+        // Virtual scheduling: conforming iff t >= TAT - τ.
+        let earliest = if self.tat.as_picos() > self.limit.as_picos() {
+            self.tat - self.limit
+        } else {
+            SimTime::ZERO
+        };
+        if t < earliest {
+            self.non_conforming += 1;
+            return Conformance::NonConforming;
+        }
+        self.tat = self.tat.max(t) + self.increment;
+        self.conforming += 1;
+        Conformance::Conforming
+    }
+
+    /// Contracted emission interval `T`.
+    #[must_use]
+    pub fn increment(&self) -> SimDuration {
+        self.increment
+    }
+
+    /// Tolerance `τ`.
+    #[must_use]
+    pub fn limit(&self) -> SimDuration {
+        self.limit
+    }
+
+    /// Cells judged conforming so far.
+    #[must_use]
+    pub fn conforming(&self) -> u64 {
+        self.conforming
+    }
+
+    /// Cells judged non-conforming so far.
+    #[must_use]
+    pub fn non_conforming(&self) -> u64 {
+        self.non_conforming
+    }
+}
+
+/// The continuous-state leaky-bucket formulation of the same algorithm:
+/// a bucket drains at one unit per time unit and each conforming cell adds
+/// `T`; a cell conforms iff the bucket content is at most `τ` on arrival.
+#[derive(Debug, Clone)]
+pub struct LeakyBucket {
+    increment: SimDuration,
+    limit: SimDuration,
+    level: SimDuration,
+    last_conforming_arrival: Option<SimTime>,
+}
+
+impl LeakyBucket {
+    /// Creates a leaky bucket equivalent to `Gcra::new(increment, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `increment` is zero.
+    #[must_use]
+    pub fn new(increment: SimDuration, limit: SimDuration) -> Self {
+        assert!(!increment.is_zero(), "leaky-bucket increment must be non-zero");
+        LeakyBucket {
+            increment,
+            limit,
+            level: SimDuration::ZERO,
+            last_conforming_arrival: None,
+        }
+    }
+
+    /// Processes a cell arriving at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are fed out of time order.
+    pub fn arrival(&mut self, t: SimTime) -> Conformance {
+        let drained = match self.last_conforming_arrival {
+            Some(last) => {
+                let dt = t
+                    .checked_duration_since(last)
+                    .expect("leaky-bucket arrivals must be time-ordered");
+                self.level.saturating_sub(dt)
+            }
+            None => SimDuration::ZERO,
+        };
+        if drained > self.limit {
+            return Conformance::NonConforming;
+        }
+        self.level = drained + self.increment;
+        self.last_conforming_arrival = Some(t);
+        Conformance::Conforming
+    }
+
+    /// Current bucket content as of the last conforming arrival.
+    #[must_use]
+    pub fn level(&self) -> SimDuration {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    #[test]
+    fn exactly_paced_stream_conforms() {
+        let mut g = Gcra::new(SimDuration::from_us(10), SimDuration::ZERO);
+        for i in 0..100 {
+            assert_eq!(g.arrival(us(i * 10)), Conformance::Conforming, "cell {i}");
+        }
+        assert_eq!(g.conforming(), 100);
+        assert_eq!(g.non_conforming(), 0);
+    }
+
+    #[test]
+    fn zero_tolerance_rejects_any_early_cell() {
+        let mut g = Gcra::new(SimDuration::from_us(10), SimDuration::ZERO);
+        g.arrival(us(0));
+        assert_eq!(
+            g.arrival(SimTime::from_ns(9_999)),
+            Conformance::NonConforming
+        );
+    }
+
+    #[test]
+    fn tolerance_admits_bounded_bursts() {
+        // τ = 2T admits a back-to-back burst of 3 cells at t=0 slots.
+        let t = SimDuration::from_us(10);
+        let mut g = Gcra::new(t, t * 2);
+        assert_eq!(g.arrival(us(0)), Conformance::Conforming);
+        assert_eq!(g.arrival(us(0)), Conformance::Conforming);
+        assert_eq!(g.arrival(us(0)), Conformance::Conforming);
+        assert_eq!(g.arrival(us(0)), Conformance::NonConforming);
+    }
+
+    #[test]
+    fn non_conforming_cells_do_not_update_state() {
+        let mut g = Gcra::new(SimDuration::from_us(10), SimDuration::ZERO);
+        g.arrival(us(0));
+        // A burst of violations must not push the TAT further out.
+        for _ in 0..5 {
+            assert_eq!(g.arrival(us(1)), Conformance::NonConforming);
+        }
+        // The legitimately scheduled cell still conforms.
+        assert_eq!(g.arrival(us(10)), Conformance::Conforming);
+    }
+
+    #[test]
+    fn idle_period_resets_effective_state() {
+        let mut g = Gcra::new(SimDuration::from_us(10), SimDuration::ZERO);
+        g.arrival(us(0));
+        // Long silence, then a burst spaced at T again.
+        assert_eq!(g.arrival(us(1000)), Conformance::Conforming);
+        assert_eq!(g.arrival(us(1010)), Conformance::Conforming);
+    }
+
+    #[test]
+    fn from_pcr_computes_interval() {
+        let g = Gcra::from_pcr(100_000, SimDuration::ZERO); // 100k cells/s
+        assert_eq!(g.increment(), SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn leaky_bucket_matches_virtual_scheduling() {
+        // Equivalence of the two formulations over a pseudorandom pattern.
+        let t = SimDuration::from_us(7);
+        let tau = SimDuration::from_us(11);
+        let mut g = Gcra::new(t, tau);
+        let mut lb = LeakyBucket::new(t, tau);
+        let mut now = SimTime::ZERO;
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for i in 0..10_000 {
+            // xorshift gaps in [0, 16) us
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += SimDuration::from_us(x % 16);
+            assert_eq!(g.arrival(now), lb.arrival(now), "arrival {i} at {now}");
+        }
+        assert!(g.conforming() > 0 && g.non_conforming() > 0, "pattern should mix verdicts");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_increment_panics() {
+        let _ = Gcra::new(SimDuration::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn leaky_bucket_rejects_time_travel() {
+        let mut lb = LeakyBucket::new(SimDuration::from_us(1), SimDuration::ZERO);
+        lb.arrival(us(10));
+        lb.arrival(us(5));
+    }
+}

@@ -1,0 +1,303 @@
+//! Header error control: the CRC-8 protecting the 4-byte cell header.
+//!
+//! ITU-T I.432 defines the HEC as the CRC over the first four header octets
+//! with generator polynomial `x^8 + x^2 + x + 1`, XORed with the coset
+//! leader `0x55` before transmission. Because the code has Hamming distance
+//! 4 over the 40-bit header, a receiver can *correct* any single-bit error —
+//! and I.432 prescribes a two-state correction/detection automaton doing
+//! exactly that, implemented here as [`HecReceiver`].
+
+/// CRC-8 generator polynomial `x^8 + x^2 + x + 1` (the `x^8` term implicit).
+pub const POLY: u8 = 0x07;
+
+/// Coset leader XORed into the CRC remainder per I.432 §7.3.2.2.
+pub const COSET: u8 = 0x55;
+
+/// Computes the raw CRC-8 remainder of `bytes` (no coset).
+#[must_use]
+pub fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Computes the transmitted HEC octet for the four leading header octets.
+///
+/// # Panics
+///
+/// Panics when `header` is not exactly 4 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::hec::{compute, check};
+/// let header = [0x00, 0x10, 0x02, 0xA0];
+/// let hec = compute(&header);
+/// assert!(check(&[header[0], header[1], header[2], header[3], hec]));
+/// ```
+#[must_use]
+pub fn compute(header: &[u8]) -> u8 {
+    assert_eq!(header.len(), 4, "HEC covers exactly the four leading header octets");
+    crc8(header) ^ COSET
+}
+
+/// Checks a full 5-octet header (4 octets + HEC). `true` when consistent.
+///
+/// # Panics
+///
+/// Panics when `header5` is not exactly 5 bytes.
+#[must_use]
+pub fn check(header5: &[u8]) -> bool {
+    assert_eq!(header5.len(), 5, "a cell header is five octets");
+    compute(&header5[..4]) == header5[4]
+}
+
+/// The 40-bit error syndrome of a received header: remainder of the received
+/// word against the generator. Zero means "consistent".
+#[must_use]
+fn syndrome(header5: &[u8; 5]) -> u8 {
+    let mut data = *header5;
+    data[4] ^= COSET;
+    crc8(&data)
+}
+
+/// Builds the syndrome → single-bit-position table once. Entry `s` holds the
+/// bit index (0 = MSB of octet 0 … 39 = LSB of octet 4) whose flip produces
+/// syndrome `s`, or `None` for multi-bit syndromes.
+fn single_bit_table() -> [Option<u8>; 256] {
+    let mut table = [None; 256];
+    for bit in 0..40u8 {
+        let mut h = [0u8; 5];
+        h[4] = COSET; // so that the unflipped word has syndrome 0
+        h[usize::from(bit / 8)] ^= 0x80 >> (bit % 8);
+        let mut data = h;
+        data[4] ^= COSET;
+        let s = crc8(&data);
+        table[usize::from(s)] = Some(bit);
+    }
+    table
+}
+
+/// Outcome of feeding one header to the [`HecReceiver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HecOutcome {
+    /// Header consistent; cell accepted.
+    Valid,
+    /// A single-bit error was corrected (only possible in correction mode);
+    /// carries the corrected 5-octet header.
+    Corrected([u8; 5]),
+    /// The header was discarded (multi-bit error, or any error while in
+    /// detection mode).
+    Discarded,
+}
+
+/// Receiver-side automaton of I.432 §7.3.5.1.1: starts in *correction mode*;
+/// after acting on an error it switches to *detection mode* (where **all**
+/// errored cells are discarded) and returns to correction mode after the
+/// next error-free header.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::hec::{compute, HecOutcome, HecReceiver};
+/// let mut rx = HecReceiver::new();
+/// let mut h = [0x01, 0x02, 0x03, 0x04, 0x00];
+/// h[4] = compute(&h[..4]);
+/// // Flip one bit: corrected, but the receiver drops to detection mode.
+/// let mut bad = h;
+/// bad[1] ^= 0x10;
+/// assert!(matches!(rx.receive(&bad), HecOutcome::Corrected(c) if c == h));
+/// // Same single-bit error again: now discarded.
+/// assert_eq!(rx.receive(&bad), HecOutcome::Discarded);
+/// // A clean header re-arms correction.
+/// assert_eq!(rx.receive(&h), HecOutcome::Valid);
+/// assert!(matches!(rx.receive(&bad), HecOutcome::Corrected(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HecReceiver {
+    correcting: bool,
+    table: [Option<u8>; 256],
+    corrected: u64,
+    discarded: u64,
+    accepted: u64,
+}
+
+impl Default for HecReceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HecReceiver {
+    /// Creates a receiver in correction mode.
+    #[must_use]
+    pub fn new() -> Self {
+        HecReceiver {
+            correcting: true,
+            table: single_bit_table(),
+            corrected: 0,
+            discarded: 0,
+            accepted: 0,
+        }
+    }
+
+    /// `true` while in correction mode.
+    #[must_use]
+    pub fn is_correcting(&self) -> bool {
+        self.correcting
+    }
+
+    /// Number of headers accepted unmodified.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of single-bit corrections performed.
+    #[must_use]
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Number of headers discarded.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Processes one received 5-octet header.
+    pub fn receive(&mut self, header5: &[u8; 5]) -> HecOutcome {
+        let s = syndrome(header5);
+        if s == 0 {
+            self.accepted += 1;
+            self.correcting = true;
+            return HecOutcome::Valid;
+        }
+        if self.correcting {
+            self.correcting = false;
+            if let Some(bit) = self.table[usize::from(s)] {
+                let mut fixed = *header5;
+                fixed[usize::from(bit / 8)] ^= 0x80 >> (bit % 8);
+                debug_assert_eq!(syndrome(&fixed), 0);
+                self.corrected += 1;
+                return HecOutcome::Corrected(fixed);
+            }
+        }
+        self.discarded += 1;
+        HecOutcome::Discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_with_hec(bytes: [u8; 4]) -> [u8; 5] {
+        let hec = compute(&bytes);
+        [bytes[0], bytes[1], bytes[2], bytes[3], hec]
+    }
+
+    #[test]
+    fn known_crc_vector() {
+        // CRC-8/ATM ("ITU") check value for "123456789" with init 0 and no
+        // final XOR is 0xF4 for plain poly 0x07.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn compute_then_check_roundtrip() {
+        for pattern in [[0u8; 4], [0xFF; 4], [0x12, 0x34, 0x56, 0x78]] {
+            let h = header_with_hec(pattern);
+            assert!(check(&h));
+        }
+    }
+
+    #[test]
+    fn check_fails_on_corruption() {
+        let mut h = header_with_hec([1, 2, 3, 4]);
+        h[2] ^= 0x01;
+        assert!(!check(&h));
+    }
+
+    #[test]
+    fn every_single_bit_error_is_correctable() {
+        let good = header_with_hec([0xA5, 0x5A, 0x0F, 0xF0]);
+        for bit in 0..40 {
+            let mut rx = HecReceiver::new();
+            let mut bad = good;
+            bad[bit / 8] ^= 0x80 >> (bit % 8);
+            match rx.receive(&bad) {
+                HecOutcome::Corrected(fixed) => assert_eq!(fixed, good, "bit {bit}"),
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_discarded_not_miscorrected_often() {
+        // With d=4 every 2-bit error is detectable: syndrome != 0 and the
+        // automaton in correction mode either discards (syndrome not in the
+        // single-bit table) — miscorrection to a *different* codeword cannot
+        // produce the original, so we only assert it never "validates".
+        let good = header_with_hec([0x11, 0x22, 0x33, 0x44]);
+        for b1 in 0..40 {
+            for b2 in (b1 + 1)..40 {
+                let mut bad = good;
+                bad[b1 / 8] ^= 0x80 >> (b1 % 8);
+                bad[b2 / 8] ^= 0x80 >> (b2 % 8);
+                let mut rx = HecReceiver::new();
+                match rx.receive(&bad) {
+                    HecOutcome::Valid => panic!("2-bit error validated: {b1},{b2}"),
+                    HecOutcome::Corrected(fixed) => {
+                        assert_ne!(fixed, bad, "correction must change the word")
+                    }
+                    HecOutcome::Discarded => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_mode_switching() {
+        let good = header_with_hec([9, 8, 7, 6]);
+        let mut bad = good;
+        bad[0] ^= 0x01;
+        let mut rx = HecReceiver::new();
+        assert!(rx.is_correcting());
+        assert!(matches!(rx.receive(&bad), HecOutcome::Corrected(_)));
+        assert!(!rx.is_correcting());
+        // In detection mode even single-bit errors discard.
+        assert_eq!(rx.receive(&bad), HecOutcome::Discarded);
+        assert_eq!(rx.receive(&good), HecOutcome::Valid);
+        assert!(rx.is_correcting());
+        assert_eq!(rx.accepted(), 1);
+        assert_eq!(rx.corrected(), 1);
+        assert_eq!(rx.discarded(), 1);
+    }
+
+    #[test]
+    fn valid_streak_keeps_correcting() {
+        let good = header_with_hec([0, 0, 0, 1]);
+        let mut rx = HecReceiver::new();
+        for _ in 0..10 {
+            assert_eq!(rx.receive(&good), HecOutcome::Valid);
+            assert!(rx.is_correcting());
+        }
+        assert_eq!(rx.accepted(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "four leading header octets")]
+    fn compute_rejects_wrong_length() {
+        let _ = compute(&[0u8; 5]);
+    }
+}

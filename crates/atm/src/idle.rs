@@ -1,0 +1,203 @@
+//! Idle cells and cell-rate decoupling.
+//!
+//! §3.2: "one can identify time-periods where idle cells are inserted into
+//! the ATM cell stream". The physical layer keeps the line continuously
+//! filled: when no assigned cell is ready at a slot boundary, an *idle cell*
+//! (ITU-T I.432: header `00 00 00 01`, payload octets `0x6A`) is sent, and
+//! the receiver strips idle cells before handing the stream up. The
+//! [`CellRateDecoupler`] implements both directions and counts how much of
+//! the line was idle — exactly the slot structure that gives the network
+//! simulator its cell-time step.
+
+use crate::cell::{AtmCell, CELL_OCTETS, HEADER_OCTETS};
+use crate::hec;
+
+/// The fixed 4 leading header octets of an idle cell.
+pub const IDLE_HEADER: [u8; 4] = [0x00, 0x00, 0x00, 0x01];
+/// The payload filler octet of an idle cell.
+pub const IDLE_PAYLOAD_OCTET: u8 = 0x6A;
+
+/// Builds the 53-octet wire image of an idle cell.
+#[must_use]
+pub fn idle_cell_bytes() -> [u8; CELL_OCTETS] {
+    let mut out = [IDLE_PAYLOAD_OCTET; CELL_OCTETS];
+    out[..4].copy_from_slice(&IDLE_HEADER);
+    out[4] = hec::compute(&IDLE_HEADER);
+    out
+}
+
+/// `true` when the 53-octet buffer is an idle cell (header match only —
+/// the payload content of idle cells is not significant to the receiver).
+#[must_use]
+pub fn is_idle_cell(bytes: &[u8]) -> bool {
+    bytes.len() == CELL_OCTETS && bytes[..4] == IDLE_HEADER && hec::check(&bytes[..HEADER_OCTETS])
+}
+
+/// What occupies one cell slot on the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// An assigned cell.
+    Assigned(AtmCell),
+    /// An idle (filler) cell.
+    Idle,
+}
+
+/// Transmit/receive-side cell-rate decoupling with occupancy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::idle::{CellRateDecoupler, Slot};
+/// use castanet_atm::cell::AtmCell;
+/// use castanet_atm::addr::VpiVci;
+///
+/// let mut d = CellRateDecoupler::new();
+/// let cell = AtmCell::user_data(VpiVci::uni(1, 42)?, [0; 48]);
+/// // Transmit: a ready cell goes out as-is, an empty slot becomes idle.
+/// assert!(matches!(d.fill_slot(Some(cell.clone())), Slot::Assigned(_)));
+/// assert!(matches!(d.fill_slot(None), Slot::Idle));
+/// // Receive: idle slots are stripped.
+/// assert_eq!(d.strip_slot(Slot::Assigned(cell.clone())), Some(cell));
+/// assert_eq!(d.strip_slot(Slot::Idle), None);
+/// assert_eq!(d.idle_sent(), 1);
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CellRateDecoupler {
+    assigned_sent: u64,
+    idle_sent: u64,
+    assigned_received: u64,
+    idle_received: u64,
+}
+
+impl CellRateDecoupler {
+    /// Creates a decoupler with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transmit side: wraps a ready cell, or produces an idle slot.
+    pub fn fill_slot(&mut self, ready: Option<AtmCell>) -> Slot {
+        match ready {
+            Some(cell) => {
+                self.assigned_sent += 1;
+                Slot::Assigned(cell)
+            }
+            None => {
+                self.idle_sent += 1;
+                Slot::Idle
+            }
+        }
+    }
+
+    /// Receive side: strips idle slots, passing assigned cells through.
+    pub fn strip_slot(&mut self, slot: Slot) -> Option<AtmCell> {
+        match slot {
+            Slot::Assigned(cell) => {
+                self.assigned_received += 1;
+                Some(cell)
+            }
+            Slot::Idle => {
+                self.idle_received += 1;
+                None
+            }
+        }
+    }
+
+    /// Assigned cells sent.
+    #[must_use]
+    pub fn assigned_sent(&self) -> u64 {
+        self.assigned_sent
+    }
+
+    /// Idle cells inserted on transmit.
+    #[must_use]
+    pub fn idle_sent(&self) -> u64 {
+        self.idle_sent
+    }
+
+    /// Assigned cells passed up on receive.
+    #[must_use]
+    pub fn assigned_received(&self) -> u64 {
+        self.assigned_received
+    }
+
+    /// Idle cells stripped on receive.
+    #[must_use]
+    pub fn idle_received(&self) -> u64 {
+        self.idle_received
+    }
+
+    /// Fraction of transmitted slots that were idle (0 when nothing sent).
+    #[must_use]
+    pub fn idle_ratio(&self) -> f64 {
+        let total = self.assigned_sent + self.idle_sent;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_sent as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{HeaderFormat, VpiVci};
+    use crate::cell::PAYLOAD_OCTETS;
+
+    #[test]
+    fn idle_cell_has_valid_hec_and_filler() {
+        let bytes = idle_cell_bytes();
+        assert!(hec::check(&bytes[..HEADER_OCTETS]));
+        assert!(bytes[HEADER_OCTETS..]
+            .iter()
+            .all(|&b| b == IDLE_PAYLOAD_OCTET));
+        assert_eq!(bytes[..4], IDLE_HEADER);
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(is_idle_cell(&idle_cell_bytes()));
+        let user = AtmCell::user_data(VpiVci::uni(0, 1).unwrap(), [0x6A; PAYLOAD_OCTETS]);
+        let wire = user.encode(HeaderFormat::Uni).unwrap();
+        assert!(!is_idle_cell(&wire));
+        assert!(!is_idle_cell(&[0u8; 10]));
+        // Corrupted HEC on an otherwise idle header is not an idle cell.
+        let mut broken = idle_cell_bytes();
+        broken[4] ^= 0xFF;
+        assert!(!is_idle_cell(&broken));
+    }
+
+    #[test]
+    fn counters_and_ratio() {
+        let mut d = CellRateDecoupler::new();
+        let cell = AtmCell::user_data(VpiVci::uni(1, 32).unwrap(), [0; PAYLOAD_OCTETS]);
+        d.fill_slot(Some(cell.clone()));
+        d.fill_slot(None);
+        d.fill_slot(None);
+        d.fill_slot(None);
+        assert_eq!(d.assigned_sent(), 1);
+        assert_eq!(d.idle_sent(), 3);
+        assert!((d.idle_ratio() - 0.75).abs() < 1e-12);
+
+        d.strip_slot(Slot::Idle);
+        d.strip_slot(Slot::Assigned(cell));
+        assert_eq!(d.idle_received(), 1);
+        assert_eq!(d.assigned_received(), 1);
+    }
+
+    #[test]
+    fn idle_ratio_zero_when_unused() {
+        assert_eq!(CellRateDecoupler::new().idle_ratio(), 0.0);
+    }
+
+    #[test]
+    fn slot_roundtrip_preserves_cell() {
+        let mut d = CellRateDecoupler::new();
+        let cell = AtmCell::user_data(VpiVci::uni(9, 99).unwrap(), [9; PAYLOAD_OCTETS]);
+        let slot = d.fill_slot(Some(cell.clone()));
+        assert_eq!(d.strip_slot(slot), Some(cell));
+    }
+}

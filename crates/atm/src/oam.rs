@@ -1,0 +1,354 @@
+//! OAM F5 cells: fault management on ATM connections.
+//!
+//! The paper targets "verification over several layers of functionality";
+//! operations-and-maintenance flows are the layer directly above the cell
+//! relay function and a standard target of conformance testing. This
+//! module implements the ITU-T I.610 loopback mechanics: the OAM cell
+//! payload layout (OAM type, function type, loopback indication,
+//! correlation tag), the CRC-10 error check over the payload, and a
+//! responder that turns incoming loopback requests around — the function a
+//! switch's management block must implement and co-verification must
+//! exercise.
+
+use crate::addr::VpiVci;
+use crate::cell::{AtmCell, CellHeader, PayloadType, PAYLOAD_OCTETS};
+use crate::error::AtmError;
+
+/// CRC-10 generator polynomial `x^10 + x^9 + x^5 + x^4 + x + 1` (I.610 /
+/// I.432), the `x^10` term implicit.
+pub const CRC10_POLY: u16 = 0x233;
+
+/// Computes the CRC-10 over `data` (MSB first), returning the 10-bit
+/// remainder.
+#[must_use]
+pub fn crc10(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        crc ^= u16::from(byte) << 2;
+        for _ in 0..8 {
+            crc = if crc & 0x200 != 0 {
+                ((crc << 1) ^ CRC10_POLY) & 0x3FF
+            } else {
+                (crc << 1) & 0x3FF
+            };
+        }
+    }
+    crc
+}
+
+/// OAM type field (upper nibble of payload octet 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OamType {
+    /// Fault management (AIS, RDI, loopback, continuity check).
+    FaultManagement,
+    /// Performance management.
+    PerformanceManagement,
+    /// Activation/deactivation.
+    ActivationDeactivation,
+}
+
+impl OamType {
+    fn bits(self) -> u8 {
+        match self {
+            OamType::FaultManagement => 0b0001,
+            OamType::PerformanceManagement => 0b0010,
+            OamType::ActivationDeactivation => 0b1000,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Option<Self> {
+        Some(match bits {
+            0b0001 => OamType::FaultManagement,
+            0b0010 => OamType::PerformanceManagement,
+            0b1000 => OamType::ActivationDeactivation,
+            _ => return None,
+        })
+    }
+}
+
+/// Fault-management function types (lower nibble of payload octet 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFunction {
+    /// Alarm indication signal.
+    Ais,
+    /// Remote defect indication.
+    Rdi,
+    /// Continuity check.
+    ContinuityCheck,
+    /// Loopback.
+    Loopback,
+}
+
+impl FaultFunction {
+    fn bits(self) -> u8 {
+        match self {
+            FaultFunction::Ais => 0b0000,
+            FaultFunction::Rdi => 0b0001,
+            FaultFunction::ContinuityCheck => 0b0100,
+            FaultFunction::Loopback => 0b1000,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Option<Self> {
+        Some(match bits {
+            0b0000 => FaultFunction::Ais,
+            0b0001 => FaultFunction::Rdi,
+            0b0100 => FaultFunction::ContinuityCheck,
+            0b1000 => FaultFunction::Loopback,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded F5 loopback cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopbackCell {
+    /// The connection the flow belongs to.
+    pub conn: VpiVci,
+    /// `true` for end-to-end F5 (PT 101), `false` for segment (PT 100).
+    pub end_to_end: bool,
+    /// `true` while the cell still awaits loopback (cleared by the
+    /// loopback point).
+    pub loopback_indication: bool,
+    /// Correlates responses with requests.
+    pub correlation_tag: u32,
+}
+
+impl LoopbackCell {
+    /// Builds a loopback *request* cell.
+    #[must_use]
+    pub fn request(conn: VpiVci, end_to_end: bool, correlation_tag: u32) -> Self {
+        LoopbackCell {
+            conn,
+            end_to_end,
+            loopback_indication: true,
+            correlation_tag,
+        }
+    }
+
+    /// Encodes into a full ATM cell with CRC-10.
+    #[must_use]
+    pub fn encode(&self) -> AtmCell {
+        let mut payload = [0x6A; PAYLOAD_OCTETS];
+        payload[0] =
+            (OamType::FaultManagement.bits() << 4) | FaultFunction::Loopback.bits();
+        payload[1] = u8::from(self.loopback_indication);
+        payload[2..6].copy_from_slice(&self.correlation_tag.to_be_bytes());
+        // Loopback location ID (6..22): all-ones = end point.
+        for b in &mut payload[6..22] {
+            *b = 0xFF;
+        }
+        // CRC-10 over the payload with the CRC field zeroed.
+        payload[46] = 0;
+        payload[47] = 0;
+        let crc = crc10(&payload);
+        payload[46] = (crc >> 8) as u8;
+        payload[47] = (crc & 0xFF) as u8;
+        AtmCell::with_header(
+            CellHeader {
+                gfc: 0,
+                id: self.conn,
+                pt: if self.end_to_end {
+                    PayloadType::OamEndToEnd
+                } else {
+                    PayloadType::OamSegment
+                },
+                clp: false,
+            },
+            payload,
+        )
+    }
+
+    /// Decodes an OAM cell; checks PT, OAM/function types and the CRC-10.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Oam`] with the failed check's reason.
+    pub fn decode(cell: &AtmCell) -> Result<Self, AtmError> {
+        let end_to_end = match cell.header.pt {
+            PayloadType::OamEndToEnd => true,
+            PayloadType::OamSegment => false,
+            _ => return Err(AtmError::Oam { reason: "payload type is not an f5 oam flow" }),
+        };
+        let mut check = cell.payload;
+        let stored = (u16::from(check[46]) << 8) | u16::from(check[47]);
+        check[46] = 0;
+        check[47] = 0;
+        if crc10(&check) != stored & 0x3FF {
+            return Err(AtmError::Oam { reason: "crc-10 mismatch" });
+        }
+        let oam = OamType::from_bits(cell.payload[0] >> 4)
+            .ok_or(AtmError::Oam { reason: "unknown oam type" })?;
+        if oam != OamType::FaultManagement {
+            return Err(AtmError::Oam { reason: "not a fault-management cell" });
+        }
+        let func = FaultFunction::from_bits(cell.payload[0] & 0x0F)
+            .ok_or(AtmError::Oam { reason: "unknown function type" })?;
+        if func != FaultFunction::Loopback {
+            return Err(AtmError::Oam { reason: "not a loopback cell" });
+        }
+        Ok(LoopbackCell {
+            conn: cell.id(),
+            end_to_end,
+            loopback_indication: cell.payload[1] & 1 == 1,
+            correlation_tag: u32::from_be_bytes([
+                cell.payload[2],
+                cell.payload[3],
+                cell.payload[4],
+                cell.payload[5],
+            ]),
+        })
+    }
+}
+
+/// The loopback point: answers requests by clearing the indication and
+/// sending the cell back; drops everything else. Tracks round trips seen.
+#[derive(Debug, Default, Clone)]
+pub struct LoopbackResponder {
+    requests_answered: u64,
+    responses_seen: u64,
+    errors: u64,
+}
+
+impl LoopbackResponder {
+    /// Creates a responder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one OAM cell: a request produces the response cell to send
+    /// back; a response (indication already cleared) is absorbed.
+    pub fn process(&mut self, cell: &AtmCell) -> Option<AtmCell> {
+        match LoopbackCell::decode(cell) {
+            Ok(lb) if lb.loopback_indication => {
+                self.requests_answered += 1;
+                let response = LoopbackCell {
+                    loopback_indication: false,
+                    ..lb
+                };
+                Some(response.encode())
+            }
+            Ok(_) => {
+                self.responses_seen += 1;
+                None
+            }
+            Err(_) => {
+                self.errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Requests answered so far.
+    #[must_use]
+    pub fn requests_answered(&self) -> u64 {
+        self.requests_answered
+    }
+
+    /// Responses absorbed so far.
+    #[must_use]
+    pub fn responses_seen(&self) -> u64 {
+        self.responses_seen
+    }
+
+    /// Malformed OAM cells seen.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> VpiVci {
+        VpiVci::uni(1, 42).unwrap()
+    }
+
+    #[test]
+    fn crc10_known_properties() {
+        assert_eq!(crc10(&[]), 0);
+        // Appending the CRC (as two bytes, 10 bits right-aligned) gives
+        // remainder 0 when recomputed over data with CRC field semantics —
+        // checked via the encode/decode roundtrip below. Distinctness:
+        assert_ne!(crc10(b"123456789"), crc10(b"123456788"));
+        // Stability check against an independently computed value.
+        assert_eq!(crc10(b"123456789"), 0x199);
+    }
+
+    #[test]
+    fn loopback_roundtrip() {
+        let lb = LoopbackCell::request(conn(), true, 0xDEAD_BEEF);
+        let cell = lb.encode();
+        assert_eq!(cell.header.pt, PayloadType::OamEndToEnd);
+        let back = LoopbackCell::decode(&cell).unwrap();
+        assert_eq!(back, lb);
+    }
+
+    #[test]
+    fn segment_flow_uses_pt_100() {
+        let cell = LoopbackCell::request(conn(), false, 7).encode();
+        assert_eq!(cell.header.pt, PayloadType::OamSegment);
+        assert!(!LoopbackCell::decode(&cell).unwrap().end_to_end);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc10() {
+        let mut cell = LoopbackCell::request(conn(), true, 1).encode();
+        cell.payload[10] ^= 0x20;
+        assert!(matches!(
+            LoopbackCell::decode(&cell),
+            Err(AtmError::Oam { reason: "crc-10 mismatch" })
+        ));
+    }
+
+    #[test]
+    fn user_cells_are_not_loopback() {
+        let user = AtmCell::user_data(conn(), [0; PAYLOAD_OCTETS]);
+        assert!(matches!(
+            LoopbackCell::decode(&user),
+            Err(AtmError::Oam { reason: "payload type is not an f5 oam flow" })
+        ));
+    }
+
+    #[test]
+    fn responder_answers_requests_once() {
+        let mut responder = LoopbackResponder::new();
+        let request = LoopbackCell::request(conn(), true, 42).encode();
+        let response = responder.process(&request).expect("request answered");
+        let decoded = LoopbackCell::decode(&response).unwrap();
+        assert!(!decoded.loopback_indication);
+        assert_eq!(decoded.correlation_tag, 42);
+        // Feeding the response back: absorbed, not re-answered.
+        assert!(responder.process(&response).is_none());
+        assert_eq!(responder.requests_answered(), 1);
+        assert_eq!(responder.responses_seen(), 1);
+    }
+
+    #[test]
+    fn responder_counts_malformed_cells() {
+        let mut responder = LoopbackResponder::new();
+        let mut bad = LoopbackCell::request(conn(), true, 1).encode();
+        bad.payload[46] ^= 0xFF;
+        assert!(responder.process(&bad).is_none());
+        assert_eq!(responder.errors(), 1);
+    }
+
+    #[test]
+    fn full_round_trip_correlation() {
+        // Originator sends request with tag; loopback point responds; the
+        // originator matches the tag.
+        let mut responder = LoopbackResponder::new();
+        let mut originator_pending = std::collections::HashSet::new();
+        for tag in [1u32, 2, 3] {
+            originator_pending.insert(tag);
+            let req = LoopbackCell::request(conn(), true, tag).encode();
+            let resp = responder.process(&req).expect("answered");
+            let lb = LoopbackCell::decode(&resp).unwrap();
+            assert!(originator_pending.remove(&lb.correlation_tag));
+        }
+        assert!(originator_pending.is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! Connection signaling and call admission control.
+//!
+//! The paper's introduction places the hardware/software verification gap
+//! exactly here: "HW functionality … is interacting with the complexity of
+//! embedded control software, that implements higher-layer functionality,
+//! such as call admission control agents and signaling protocols". This
+//! module provides that higher layer in miniature — a Q.2931-flavoured
+//! message set carried in cells on the reserved signaling channel (VCI 5),
+//! a call-admission-control policy over peak cell rates, and an agent FSM
+//! that installs/removes switch routes as calls come and go — so
+//! co-verification scenarios can exercise the control plane, not just the
+//! cell relay.
+
+use crate::addr::{Vci, VpiVci};
+use crate::cell::{AtmCell, CellHeader, PayloadType, PAYLOAD_OCTETS};
+use crate::error::AtmError;
+use crate::switch::{RouteEntry, RoutingTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The reserved VCI signaling messages travel on (Q.2931 uses VCI 5).
+pub const SIGNALING_VCI: u16 = 5;
+
+/// A signaling message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigMessage {
+    /// Request a connection: `conn` with a peak cell rate, toward an egress
+    /// port, retagged as `out`.
+    Setup {
+        /// Call reference chosen by the caller.
+        call_ref: u32,
+        /// Requested ingress identifier.
+        conn: VpiVci,
+        /// Requested egress port.
+        out_port: u8,
+        /// Identifier on the egress line.
+        out: VpiVci,
+        /// Peak cell rate in cells/second.
+        pcr: u32,
+    },
+    /// The call was admitted.
+    Connect {
+        /// Echoed call reference.
+        call_ref: u32,
+    },
+    /// The call was refused (CAC or identifier conflict).
+    ReleaseComplete {
+        /// Echoed call reference.
+        call_ref: u32,
+        /// Diagnostic cause code.
+        cause: u8,
+    },
+    /// Tear a connection down.
+    Release {
+        /// Call reference of the call to clear.
+        call_ref: u32,
+    },
+}
+
+/// Cause codes for refusals.
+pub mod cause {
+    /// Requested bandwidth exceeds the CAC budget.
+    pub const NO_BANDWIDTH: u8 = 37;
+    /// The requested identifier is already in use.
+    pub const VPCI_IN_USE: u8 = 35;
+    /// The egress port does not exist.
+    pub const INVALID_PORT: u8 = 82;
+    /// The call reference is unknown (release of a non-existent call).
+    pub const UNKNOWN_CALL: u8 = 81;
+}
+
+const TAG_SETUP: u8 = 1;
+const TAG_CONNECT: u8 = 2;
+const TAG_RELEASE_COMPLETE: u8 = 3;
+const TAG_RELEASE: u8 = 4;
+
+impl SigMessage {
+    /// Encodes the message into a signaling cell on `channel_vpi`
+    /// (VCI = [`SIGNALING_VCI`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates identifier-range errors.
+    pub fn encode(&self, channel_vpi: u16) -> Result<AtmCell, AtmError> {
+        let mut p = [0u8; PAYLOAD_OCTETS];
+        match *self {
+            SigMessage::Setup { call_ref, conn, out_port, out, pcr } => {
+                p[0] = TAG_SETUP;
+                p[1..5].copy_from_slice(&call_ref.to_be_bytes());
+                p[5..7].copy_from_slice(&conn.vpi.value().to_be_bytes());
+                p[7..9].copy_from_slice(&conn.vci.value().to_be_bytes());
+                p[9] = out_port;
+                p[10..12].copy_from_slice(&out.vpi.value().to_be_bytes());
+                p[12..14].copy_from_slice(&out.vci.value().to_be_bytes());
+                p[14..18].copy_from_slice(&pcr.to_be_bytes());
+            }
+            SigMessage::Connect { call_ref } => {
+                p[0] = TAG_CONNECT;
+                p[1..5].copy_from_slice(&call_ref.to_be_bytes());
+            }
+            SigMessage::ReleaseComplete { call_ref, cause } => {
+                p[0] = TAG_RELEASE_COMPLETE;
+                p[1..5].copy_from_slice(&call_ref.to_be_bytes());
+                p[5] = cause;
+            }
+            SigMessage::Release { call_ref } => {
+                p[0] = TAG_RELEASE;
+                p[1..5].copy_from_slice(&call_ref.to_be_bytes());
+            }
+        }
+        Ok(AtmCell::with_header(
+            CellHeader {
+                gfc: 0,
+                id: VpiVci::uni(channel_vpi, SIGNALING_VCI)?,
+                pt: PayloadType::User0,
+                clp: false,
+            },
+            p,
+        ))
+    }
+
+    /// Decodes a signaling cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Signaling`] for non-signaling cells or unknown
+    /// message tags.
+    pub fn decode(cell: &AtmCell) -> Result<Self, AtmError> {
+        if cell.id().vci.value() != SIGNALING_VCI {
+            return Err(AtmError::Signaling { reason: "not on the signaling channel" });
+        }
+        let p = &cell.payload;
+        let call_ref = u32::from_be_bytes([p[1], p[2], p[3], p[4]]);
+        Ok(match p[0] {
+            TAG_SETUP => SigMessage::Setup {
+                call_ref,
+                conn: VpiVci::uni(
+                    u16::from_be_bytes([p[5], p[6]]),
+                    u16::from_be_bytes([p[7], p[8]]),
+                )?,
+                out_port: p[9],
+                out: VpiVci::uni(
+                    u16::from_be_bytes([p[10], p[11]]),
+                    u16::from_be_bytes([p[12], p[13]]),
+                )?,
+                pcr: u32::from_be_bytes([p[14], p[15], p[16], p[17]]),
+            },
+            TAG_CONNECT => SigMessage::Connect { call_ref },
+            TAG_RELEASE_COMPLETE => SigMessage::ReleaseComplete { call_ref, cause: p[5] },
+            TAG_RELEASE => SigMessage::Release { call_ref },
+            _ => return Err(AtmError::Signaling { reason: "unknown message tag" }),
+        })
+    }
+
+    /// `true` when `cell` travels on the signaling channel.
+    #[must_use]
+    pub fn is_signaling(cell: &AtmCell) -> bool {
+        cell.id().vci == Vci::new(SIGNALING_VCI)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Call {
+    conn: VpiVci,
+    pcr: u32,
+}
+
+/// The call-admission-control agent: the control-plane software the global
+/// control unit runs. Owns a bandwidth budget (total admitted PCR) and the
+/// switch's routing table; processes signaling messages, answering each.
+#[derive(Debug)]
+pub struct CacAgent {
+    table: Arc<RoutingTable>,
+    ports: usize,
+    budget_pcr: u64,
+    admitted_pcr: u64,
+    calls: HashMap<u32, Call>,
+    refused: u64,
+}
+
+impl CacAgent {
+    /// Creates an agent managing `table` with a total PCR budget.
+    #[must_use]
+    pub fn new(table: Arc<RoutingTable>, ports: usize, budget_pcr: u64) -> Self {
+        CacAgent {
+            table,
+            ports,
+            budget_pcr,
+            admitted_pcr: 0,
+            calls: HashMap::new(),
+            refused: 0,
+        }
+    }
+
+    /// Handles one signaling message, returning the answer to send back.
+    /// `Connect`/`ReleaseComplete` inputs are absorbed (answers to *our*
+    /// outgoing messages are out of scope for this mini stack).
+    pub fn handle(&mut self, msg: SigMessage) -> Option<SigMessage> {
+        match msg {
+            SigMessage::Setup { call_ref, conn, out_port, out, pcr } => {
+                Some(self.handle_setup(call_ref, conn, out_port, out, pcr))
+            }
+            SigMessage::Release { call_ref } => Some(self.handle_release(call_ref)),
+            SigMessage::Connect { .. } | SigMessage::ReleaseComplete { .. } => None,
+        }
+    }
+
+    fn handle_setup(
+        &mut self,
+        call_ref: u32,
+        conn: VpiVci,
+        out_port: u8,
+        out: VpiVci,
+        pcr: u32,
+    ) -> SigMessage {
+        if usize::from(out_port) >= self.ports {
+            self.refused += 1;
+            return SigMessage::ReleaseComplete { call_ref, cause: cause::INVALID_PORT };
+        }
+        if self.admitted_pcr + u64::from(pcr) > self.budget_pcr {
+            self.refused += 1;
+            return SigMessage::ReleaseComplete { call_ref, cause: cause::NO_BANDWIDTH };
+        }
+        let entry = RouteEntry { out_port: usize::from(out_port), out_id: out };
+        if self.table.install(conn, entry).is_err() || self.calls.contains_key(&call_ref) {
+            self.refused += 1;
+            return SigMessage::ReleaseComplete { call_ref, cause: cause::VPCI_IN_USE };
+        }
+        self.admitted_pcr += u64::from(pcr);
+        self.calls.insert(call_ref, Call { conn, pcr });
+        SigMessage::Connect { call_ref }
+    }
+
+    fn handle_release(&mut self, call_ref: u32) -> SigMessage {
+        match self.calls.remove(&call_ref) {
+            Some(call) => {
+                self.table.remove(call.conn);
+                self.admitted_pcr -= u64::from(call.pcr);
+                SigMessage::ReleaseComplete { call_ref, cause: 0 }
+            }
+            None => SigMessage::ReleaseComplete { call_ref, cause: cause::UNKNOWN_CALL },
+        }
+    }
+
+    /// Active calls.
+    #[must_use]
+    pub fn calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Currently admitted aggregate PCR.
+    #[must_use]
+    pub fn admitted_pcr(&self) -> u64 {
+        self.admitted_pcr
+    }
+
+    /// Refused set-ups so far.
+    #[must_use]
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(vpi: u16, vci: u16) -> VpiVci {
+        VpiVci::uni(vpi, vci).unwrap()
+    }
+
+    fn setup(call_ref: u32, vci: u16, pcr: u32) -> SigMessage {
+        SigMessage::Setup {
+            call_ref,
+            conn: id(1, vci),
+            out_port: 1,
+            out: id(7, vci),
+            pcr,
+        }
+    }
+
+    #[test]
+    fn message_codec_roundtrip() {
+        let msgs = [
+            setup(0xABCD, 100, 50_000),
+            SigMessage::Connect { call_ref: 1 },
+            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::NO_BANDWIDTH },
+            SigMessage::Release { call_ref: 3 },
+        ];
+        for m in msgs {
+            let cell = m.encode(0).unwrap();
+            assert!(SigMessage::is_signaling(&cell));
+            assert_eq!(SigMessage::decode(&cell).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn non_signaling_cells_rejected() {
+        let user = AtmCell::user_data(id(1, 40), [0; PAYLOAD_OCTETS]);
+        assert!(!SigMessage::is_signaling(&user));
+        assert!(matches!(
+            SigMessage::decode(&user),
+            Err(AtmError::Signaling { reason: "not on the signaling channel" })
+        ));
+        let mut junk = AtmCell::user_data(id(1, SIGNALING_VCI), [0; PAYLOAD_OCTETS]);
+        junk.payload[0] = 99;
+        assert!(matches!(
+            SigMessage::decode(&junk),
+            Err(AtmError::Signaling { reason: "unknown message tag" })
+        ));
+    }
+
+    #[test]
+    fn setup_installs_route_and_connects() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(Arc::clone(&table), 4, 1_000_000);
+        let answer = agent.handle(setup(1, 100, 100_000)).unwrap();
+        assert_eq!(answer, SigMessage::Connect { call_ref: 1 });
+        assert_eq!(agent.calls(), 1);
+        assert_eq!(agent.admitted_pcr(), 100_000);
+        let entry = table.lookup(id(1, 100)).expect("route installed");
+        assert_eq!(entry.out_port, 1);
+        assert_eq!(entry.out_id, id(7, 100));
+    }
+
+    #[test]
+    fn cac_refuses_over_budget_calls() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(Arc::clone(&table), 4, 150_000);
+        assert_eq!(agent.handle(setup(1, 100, 100_000)).unwrap(), SigMessage::Connect { call_ref: 1 });
+        let refusal = agent.handle(setup(2, 101, 100_000)).unwrap();
+        assert_eq!(
+            refusal,
+            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::NO_BANDWIDTH }
+        );
+        assert!(table.lookup(id(1, 101)).is_none(), "refused call installs nothing");
+        assert_eq!(agent.refused(), 1);
+        // A smaller call still fits.
+        assert_eq!(agent.handle(setup(3, 102, 50_000)).unwrap(), SigMessage::Connect { call_ref: 3 });
+    }
+
+    #[test]
+    fn release_frees_bandwidth_and_route() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(Arc::clone(&table), 4, 100_000);
+        agent.handle(setup(1, 100, 100_000));
+        // Full: next call refused.
+        assert!(matches!(
+            agent.handle(setup(2, 101, 1)).unwrap(),
+            SigMessage::ReleaseComplete { cause: 37, .. }
+        ));
+        // Release call 1: bandwidth and identifier come back.
+        assert_eq!(
+            agent.handle(SigMessage::Release { call_ref: 1 }).unwrap(),
+            SigMessage::ReleaseComplete { call_ref: 1, cause: 0 }
+        );
+        assert!(table.lookup(id(1, 100)).is_none());
+        assert_eq!(agent.admitted_pcr(), 0);
+        assert_eq!(agent.handle(setup(3, 100, 100_000)).unwrap(), SigMessage::Connect { call_ref: 3 });
+    }
+
+    #[test]
+    fn duplicate_identifier_refused() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(Arc::clone(&table), 4, u64::MAX);
+        agent.handle(setup(1, 100, 1));
+        let refusal = agent.handle(setup(2, 100, 1)).unwrap();
+        assert_eq!(
+            refusal,
+            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::VPCI_IN_USE }
+        );
+    }
+
+    #[test]
+    fn invalid_port_and_unknown_release() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(Arc::clone(&table), 2, u64::MAX);
+        let msg = SigMessage::Setup {
+            call_ref: 1,
+            conn: id(1, 100),
+            out_port: 9,
+            out: id(7, 100),
+            pcr: 1,
+        };
+        assert!(matches!(
+            agent.handle(msg).unwrap(),
+            SigMessage::ReleaseComplete { cause: 82, .. }
+        ));
+        assert!(matches!(
+            agent.handle(SigMessage::Release { call_ref: 55 }).unwrap(),
+            SigMessage::ReleaseComplete { cause: 81, .. }
+        ));
+    }
+
+    #[test]
+    fn answers_are_absorbed() {
+        let table = Arc::new(RoutingTable::new());
+        let mut agent = CacAgent::new(table, 2, 100);
+        assert!(agent.handle(SigMessage::Connect { call_ref: 1 }).is_none());
+        assert!(agent
+            .handle(SigMessage::ReleaseComplete { call_ref: 1, cause: 0 })
+            .is_none());
+    }
+}

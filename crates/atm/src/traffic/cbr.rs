@@ -1,0 +1,103 @@
+//! Constant bit rate traffic.
+
+use super::TrafficModel;
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// A constant-bit-rate source: one cell every `interval`, deterministically.
+/// The service class of circuit emulation and uncompressed voice/video.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::traffic::{Cbr, TrafficModel};
+/// use castanet_netsim::time::SimDuration;
+/// use castanet_netsim::random::stream_rng;
+///
+/// let mut cbr = Cbr::from_rate(100_000); // 100 000 cells/s
+/// let mut rng = stream_rng(0, 0);
+/// assert_eq!(cbr.next_gap(&mut rng), Some(SimDuration::from_us(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cbr {
+    interval: SimDuration,
+}
+
+impl Cbr {
+    /// One cell per `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "cbr interval must be non-zero");
+        Cbr { interval }
+    }
+
+    /// One cell every `1/rate` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_per_sec` is zero.
+    #[must_use]
+    pub fn from_rate(cells_per_sec: u64) -> Self {
+        assert!(cells_per_sec > 0, "cbr rate must be non-zero");
+        Cbr::new(SimDuration::from_picos(1_000_000_000_000 / cells_per_sec))
+    }
+
+    /// The configured inter-cell interval.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+}
+
+impl TrafficModel for Cbr {
+    fn next_gap(&mut self, _rng: &mut SmallRng) -> Option<SimDuration> {
+        Some(self.interval)
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(1.0 / self.interval.as_secs_f64())
+    }
+
+    fn describe(&self) -> String {
+        format!("CBR every {}", self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::test_util::measured_rate;
+
+    #[test]
+    fn gaps_are_constant() {
+        let mut m = Cbr::new(SimDuration::from_us(7));
+        let mut rng = castanet_netsim::random::stream_rng(1, 0);
+        for _ in 0..10 {
+            assert_eq!(m.next_gap(&mut rng), Some(SimDuration::from_us(7)));
+        }
+    }
+
+    #[test]
+    fn measured_rate_matches_config() {
+        let mut m = Cbr::from_rate(50_000);
+        let r = measured_rate(&mut m, 1000, 3);
+        assert!((r - 50_000.0).abs() / 50_000.0 < 1e-6);
+        assert!((m.mean_rate().unwrap() - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn describe_mentions_interval() {
+        let m = Cbr::new(SimDuration::from_us(10));
+        assert_eq!(m.describe(), "CBR every 10 us");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = Cbr::new(SimDuration::ZERO);
+    }
+}

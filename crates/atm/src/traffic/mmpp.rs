@@ -1,0 +1,159 @@
+//! Two-state Markov-modulated Poisson process.
+
+use super::TrafficModel;
+use castanet_netsim::random::exponential;
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// MMPP(2): a Poisson source whose rate is modulated by a two-state
+/// continuous-time Markov chain — the standard analytical model for bursty,
+/// correlated ATM traffic (voice with silence suppression, aggregated VBR).
+///
+/// State 0 emits at `rate0`, state 1 at `rate1`; sojourn times in each state
+/// are exponential with means `mean_sojourn0/1`.
+#[derive(Debug, Clone)]
+pub struct Mmpp2 {
+    rate: [f64; 2],
+    mean_sojourn_secs: [f64; 2],
+    state: usize,
+    time_left_in_state: f64,
+}
+
+impl Mmpp2 {
+    /// Creates the process, starting in state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates and both sojourn means are positive and
+    /// finite.
+    #[must_use]
+    pub fn new(
+        rate0: f64,
+        mean_sojourn0: SimDuration,
+        rate1: f64,
+        mean_sojourn1: SimDuration,
+    ) -> Self {
+        assert!(rate0 > 0.0 && rate0.is_finite(), "rate0 must be positive");
+        assert!(rate1 > 0.0 && rate1.is_finite(), "rate1 must be positive");
+        assert!(!mean_sojourn0.is_zero(), "sojourn0 must be non-zero");
+        assert!(!mean_sojourn1.is_zero(), "sojourn1 must be non-zero");
+        Mmpp2 {
+            rate: [rate0, rate1],
+            mean_sojourn_secs: [mean_sojourn0.as_secs_f64(), mean_sojourn1.as_secs_f64()],
+            state: 0,
+            time_left_in_state: 0.0,
+        }
+    }
+
+    /// The modulating chain's current state (0 or 1).
+    #[must_use]
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Long-run mean rate: the sojourn-time-weighted average of the two
+    /// Poisson rates.
+    #[must_use]
+    pub fn stationary_rate(&self) -> f64 {
+        let pi0 = self.mean_sojourn_secs[0] / (self.mean_sojourn_secs[0] + self.mean_sojourn_secs[1]);
+        pi0 * self.rate[0] + (1.0 - pi0) * self.rate[1]
+    }
+}
+
+impl TrafficModel for Mmpp2 {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
+        // Competing exponentials: the next cell within the current state vs.
+        // the state change. Accumulate across state changes until a cell
+        // wins the race.
+        let mut gap = 0.0f64;
+        loop {
+            if self.time_left_in_state <= 0.0 {
+                self.time_left_in_state = exponential(rng, self.mean_sojourn_secs[self.state]);
+            }
+            let next_cell: f64 = {
+                let u: f64 = rng.random();
+                -(1.0 - u).ln() / self.rate[self.state]
+            };
+            if next_cell <= self.time_left_in_state {
+                self.time_left_in_state -= next_cell;
+                gap += next_cell;
+                return Some(SimDuration::from_secs_f64(gap));
+            }
+            gap += self.time_left_in_state;
+            self.time_left_in_state = 0.0;
+            self.state ^= 1;
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(self.stationary_rate())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "MMPP2 ({:.0}/{:.0} cells/s, sojourn {:.0}/{:.0} us)",
+            self.rate[0],
+            self.rate[1],
+            self.mean_sojourn_secs[0] * 1e6,
+            self.mean_sojourn_secs[1] * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::test_util::measured_rate;
+
+    #[test]
+    fn stationary_rate_formula() {
+        // Equal sojourns -> average of the rates.
+        let m = Mmpp2::new(
+            1000.0,
+            SimDuration::from_ms(1),
+            3000.0,
+            SimDuration::from_ms(1),
+        );
+        assert!((m.stationary_rate() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rate_converges_to_stationary() {
+        let mut m = Mmpp2::new(
+            50_000.0,
+            SimDuration::from_us(500),
+            5_000.0,
+            SimDuration::from_us(500),
+        );
+        let expected = m.stationary_rate();
+        let r = measured_rate(&mut m, 60_000, 23);
+        assert!(
+            (r - expected).abs() / expected < 0.08,
+            "measured {r}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn state_toggles_over_time() {
+        let mut m = Mmpp2::new(
+            100.0,
+            SimDuration::from_us(10),
+            100.0,
+            SimDuration::from_us(10),
+        );
+        let mut rng = castanet_netsim::random::stream_rng(29, 0);
+        let mut saw = [false, false];
+        for _ in 0..2000 {
+            m.next_gap(&mut rng);
+            saw[m.state()] = true;
+        }
+        assert!(saw[0] && saw[1], "chain never changed state");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Mmpp2::new(0.0, SimDuration::from_ms(1), 1.0, SimDuration::from_ms(1));
+    }
+}

@@ -1,0 +1,114 @@
+//! The traffic-model library.
+//!
+//! "We chose OPNET because of its ATM model suite and **library of traffic
+//! models**" (§2). This module is that library: every model implements
+//! [`TrafficModel`], producing the inter-cell gaps of one connection's cell
+//! stream; [`source::TrafficSourceProcess`] turns any model into a network
+//! module that emits ATM cells into a simulation, and the same models drive
+//! the hardware test board with "real-time test patterns — either stochastic
+//! traffic models or simulated real-world traces, for example MPEG traces"
+//! (§2).
+
+mod cbr;
+mod mmpp;
+mod mpeg;
+mod onoff;
+mod poisson;
+pub mod source;
+
+pub use cbr::Cbr;
+pub use mmpp::Mmpp2;
+pub use mpeg::{GopPattern, MpegTrace};
+pub use onoff::OnOffVbr;
+pub use poisson::PoissonTraffic;
+
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// A generator of inter-cell gaps for one connection.
+///
+/// Models are pull-based: the caller asks for the gap between the previous
+/// cell and the next one. `None` means the source is exhausted (finite
+/// traces); stochastic models never return `None`.
+///
+/// Models must be `Send` so sources can run inside kernels that are moved
+/// across threads by the coupling layer.
+pub trait TrafficModel: Send {
+    /// Gap from the previous cell to the next, or `None` when exhausted.
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration>;
+
+    /// Mean cell rate in cells/second this model is configured for, when
+    /// well-defined (used by benches to size workloads).
+    fn mean_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// Drains up to `limit` cells from a model, returning the cumulative
+/// emission times. A convenience for tests and benches.
+pub fn emission_times(
+    model: &mut dyn TrafficModel,
+    rng: &mut SmallRng,
+    limit: usize,
+) -> Vec<castanet_netsim::time::SimTime> {
+    let mut out = Vec::with_capacity(limit);
+    let mut t = castanet_netsim::time::SimTime::ZERO;
+    for _ in 0..limit {
+        match model.next_gap(rng) {
+            Some(gap) => {
+                t += gap;
+                out.push(t);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use castanet_netsim::random::stream_rng;
+
+    /// Estimates the mean cell rate (cells/s) of `model` over `n` cells.
+    pub fn measured_rate(model: &mut dyn TrafficModel, n: usize, seed: u64) -> f64 {
+        let mut rng = stream_rng(seed, 0);
+        let times = emission_times(model, &mut rng, n);
+        assert!(times.len() >= 2, "model exhausted too early");
+        let span = (*times.last().unwrap() - times[0]).as_secs_f64();
+        (times.len() - 1) as f64 / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_netsim::random::stream_rng;
+
+    #[test]
+    fn emission_times_accumulate() {
+        let mut m = Cbr::new(SimDuration::from_us(10));
+        let mut rng = stream_rng(0, 0);
+        let times = emission_times(&mut m, &mut rng, 3);
+        assert_eq!(
+            times,
+            vec![
+                castanet_netsim::time::SimTime::from_us(10),
+                castanet_netsim::time::SimTime::from_us(20),
+                castanet_netsim::time::SimTime::from_us(30),
+            ]
+        );
+    }
+
+    #[test]
+    fn emission_times_stop_at_exhaustion() {
+        // An MPEG trace over one GoP of 3 frames, 1 cell each, is finite.
+        let mut m = MpegTrace::from_frame_sizes(vec![1, 1, 1], SimDuration::from_ms(40), SimDuration::from_us(3));
+        let mut rng = stream_rng(0, 0);
+        let times = emission_times(&mut m, &mut rng, 100);
+        assert_eq!(times.len(), 3);
+    }
+}

@@ -1,0 +1,378 @@
+//! MPEG video trace traffic.
+//!
+//! The paper stimulates hardware with "simulated real-world traces, for
+//! example MPEG traces" (§2). The original traces are proprietary test-bed
+//! material, so this module substitutes a **synthetic MPEG source**: frames
+//! are emitted at the video frame rate, the frame-size sequence follows the
+//! deterministic I-B-B-P group-of-pictures structure of MPEG-1/2 with
+//! per-type mean sizes and bounded random variation. The burst shape seen
+//! by the ATM layer — a large I-frame burst followed by smaller B/P bursts
+//! every 40 ms — is what the hardware under test reacts to, and that shape
+//! is preserved. Recorded traces can also be replayed directly through
+//! [`MpegTrace::from_frame_sizes`].
+
+use super::TrafficModel;
+use castanet_netsim::random::uniform_u64;
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// Frame types of an MPEG group of pictures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra-coded frame (largest).
+    I,
+    /// Predicted frame.
+    P,
+    /// Bidirectionally predicted frame (smallest).
+    B,
+}
+
+/// A group-of-pictures pattern with mean frame sizes in **cells**.
+#[derive(Debug, Clone)]
+pub struct GopPattern {
+    /// Frame-type sequence of one GoP, e.g. `IBBPBBPBBPBB`.
+    pub sequence: Vec<FrameType>,
+    /// Mean size of an I frame, in cells.
+    pub i_cells: u64,
+    /// Mean size of a P frame, in cells.
+    pub p_cells: u64,
+    /// Mean size of a B frame, in cells.
+    pub b_cells: u64,
+    /// Half-width of the uniform size jitter, as a fraction of the mean
+    /// (0.0 = deterministic sizes).
+    pub jitter: f64,
+}
+
+impl GopPattern {
+    /// The common 12-frame `IBBPBBPBBPBB` pattern with sizes typical of a
+    /// 4 Mbit/s MPEG-2 stream segmented into ATM cells
+    /// (I ≈ 50 KB ≈ 1050 cells, P ≈ 15 KB, B ≈ 6 KB).
+    #[must_use]
+    pub fn mpeg2_4mbps() -> Self {
+        use FrameType::{B, I, P};
+        GopPattern {
+            sequence: vec![I, B, B, P, B, B, P, B, B, P, B, B],
+            i_cells: 1050,
+            p_cells: 320,
+            b_cells: 130,
+            jitter: 0.2,
+        }
+    }
+
+    /// Mean size in cells for a frame type.
+    #[must_use]
+    pub fn mean_cells(&self, ty: FrameType) -> u64 {
+        match ty {
+            FrameType::I => self.i_cells,
+            FrameType::P => self.p_cells,
+            FrameType::B => self.b_cells,
+        }
+    }
+
+    /// Draws one frame size with the configured jitter.
+    fn sample_cells(&self, ty: FrameType, rng: &mut SmallRng) -> u64 {
+        let mean = self.mean_cells(ty);
+        if self.jitter <= 0.0 {
+            return mean.max(1);
+        }
+        let half = ((mean as f64) * self.jitter) as u64;
+        if half == 0 {
+            return mean.max(1);
+        }
+        uniform_u64(rng, mean.saturating_sub(half), mean + half).max(1)
+    }
+}
+
+enum SizeSource {
+    Synthetic { pattern: GopPattern, gop_count: usize },
+    Recorded(std::vec::IntoIter<u64>),
+}
+
+impl std::fmt::Debug for SizeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeSource::Synthetic { pattern, gop_count } => f
+                .debug_struct("Synthetic")
+                .field("gop_len", &pattern.sequence.len())
+                .field("gop_count", gop_count)
+                .finish(),
+            SizeSource::Recorded(it) => f
+                .debug_struct("Recorded")
+                .field("frames_left", &it.len())
+                .finish(),
+        }
+    }
+}
+
+/// An MPEG video source emitting frame-sized cell bursts at the frame rate.
+///
+/// Cells within one frame go out back-to-back (one cell slot apart); the
+/// remainder of the frame interval is silent. Finite: a synthetic source
+/// ends after `gop_count` groups of pictures, a recorded one at trace end.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::traffic::{GopPattern, MpegTrace, TrafficModel};
+/// use castanet_netsim::time::SimDuration;
+/// use castanet_netsim::random::stream_rng;
+///
+/// let mut src = MpegTrace::synthetic(
+///     GopPattern::mpeg2_4mbps(),
+///     2,                              // two GoPs
+///     SimDuration::from_ms(40),       // 25 frames/s
+///     SimDuration::from_ns(2726),     // 155 Mbit/s cell slot
+/// );
+/// let mut rng = stream_rng(0, 0);
+/// assert!(src.next_gap(&mut rng).is_some());
+/// ```
+#[derive(Debug)]
+pub struct MpegTrace {
+    source: SizeSource,
+    frame_interval: SimDuration,
+    slot: SimDuration,
+    frame_index: u64,
+    cells_left_in_frame: u64,
+    cells_in_current_frame: u64,
+    finished: bool,
+}
+
+impl MpegTrace {
+    /// A synthetic GoP-structured source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty, `gop_count` is zero, or the timing
+    /// parameters are zero.
+    #[must_use]
+    pub fn synthetic(
+        pattern: GopPattern,
+        gop_count: usize,
+        frame_interval: SimDuration,
+        slot: SimDuration,
+    ) -> Self {
+        assert!(!pattern.sequence.is_empty(), "gop pattern must not be empty");
+        assert!(gop_count > 0, "need at least one gop");
+        assert!(!frame_interval.is_zero() && !slot.is_zero(), "timing must be non-zero");
+        MpegTrace {
+            source: SizeSource::Synthetic { pattern, gop_count },
+            frame_interval,
+            slot,
+            frame_index: 0,
+            cells_left_in_frame: 0,
+            cells_in_current_frame: 0,
+            finished: false,
+        }
+    }
+
+    /// Replays a recorded per-frame cell-size trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timing parameters are zero.
+    #[must_use]
+    pub fn from_frame_sizes(
+        sizes: Vec<u64>,
+        frame_interval: SimDuration,
+        slot: SimDuration,
+    ) -> Self {
+        assert!(!frame_interval.is_zero() && !slot.is_zero(), "timing must be non-zero");
+        MpegTrace {
+            source: SizeSource::Recorded(sizes.into_iter()),
+            frame_interval,
+            slot,
+            frame_index: 0,
+            cells_left_in_frame: 0,
+            cells_in_current_frame: 0,
+            finished: false,
+        }
+    }
+
+    fn next_frame_size(&mut self, rng: &mut SmallRng) -> Option<u64> {
+        match &mut self.source {
+            SizeSource::Synthetic { pattern, gop_count } => {
+                let gop_len = pattern.sequence.len() as u64;
+                if self.frame_index >= gop_len * (*gop_count as u64) {
+                    return None;
+                }
+                let ty = pattern.sequence[(self.frame_index % gop_len) as usize];
+                Some(pattern.sample_cells(ty, rng))
+            }
+            SizeSource::Recorded(it) => it.next(),
+        }
+    }
+}
+
+impl TrafficModel for MpegTrace {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
+        if self.finished {
+            return None;
+        }
+        if self.cells_left_in_frame > 0 {
+            self.cells_left_in_frame -= 1;
+            return Some(self.slot);
+        }
+        // Advance over (possibly several) frames to the next non-empty one,
+        // accumulating the silent frame intervals into one gap.
+        let mut gap = SimDuration::ZERO;
+        loop {
+            let Some(size) = self.next_frame_size(rng) else {
+                self.finished = true;
+                return None;
+            };
+            self.frame_index += 1;
+            // The burst of frame k starts at k * frame_interval. The gap to
+            // its first cell is measured from the last cell of the previous
+            // non-empty frame, which sits (cells-1) slots into its interval.
+            gap += if self.frame_index == 1 {
+                SimDuration::ZERO
+            } else {
+                self.frame_interval
+                    .saturating_sub(self.slot * self.cells_in_current_frame.saturating_sub(1))
+            };
+            // From here on the previous frame contributes no more slots.
+            self.cells_in_current_frame = 1;
+            if size == 0 {
+                continue;
+            }
+            self.cells_in_current_frame = size;
+            self.cells_left_in_frame = size - 1;
+            return Some(gap);
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        match &self.source {
+            SizeSource::Synthetic { pattern, .. } => {
+                let total: u64 = pattern.sequence.iter().map(|&t| pattern.mean_cells(t)).sum();
+                let gop_secs = self.frame_interval.as_secs_f64() * pattern.sequence.len() as f64;
+                Some(total as f64 / gop_secs)
+            }
+            SizeSource::Recorded(_) => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match &self.source {
+            SizeSource::Synthetic { pattern, gop_count } => format!(
+                "synthetic MPEG ({} frames/GoP x {gop_count}, frame every {})",
+                pattern.sequence.len(),
+                self.frame_interval
+            ),
+            SizeSource::Recorded(it) => {
+                format!("recorded MPEG trace ({} frames left)", it.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::emission_times;
+    use castanet_netsim::random::stream_rng;
+
+    #[test]
+    fn deterministic_trace_timing() {
+        // Two frames of 3 and 2 cells, 40 ms apart, 1 us slots.
+        let mut m = MpegTrace::from_frame_sizes(
+            vec![3, 2],
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        let mut rng = stream_rng(0, 0);
+        let times = emission_times(&mut m, &mut rng, 10);
+        assert_eq!(times.len(), 5);
+        use castanet_netsim::time::SimTime;
+        assert_eq!(times[0], SimTime::ZERO); // frame 0 starts immediately
+        assert_eq!(times[1], SimTime::from_us(1));
+        assert_eq!(times[2], SimTime::from_us(2));
+        assert_eq!(times[3], SimTime::from_ms(40)); // frame 1 at 40 ms
+        assert_eq!(times[4], SimTime::from_ms(40) + SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn synthetic_gop_emits_expected_cell_count() {
+        let pattern = GopPattern {
+            sequence: vec![FrameType::I, FrameType::B],
+            i_cells: 10,
+            p_cells: 5,
+            b_cells: 2,
+            jitter: 0.0,
+        };
+        let mut m = MpegTrace::synthetic(pattern, 3, SimDuration::from_ms(40), SimDuration::from_us(1));
+        let mut rng = stream_rng(0, 0);
+        let times = emission_times(&mut m, &mut rng, 1000);
+        assert_eq!(times.len(), 3 * (10 + 2));
+    }
+
+    #[test]
+    fn i_frames_are_larger_bursts_than_b_frames() {
+        let mut m = MpegTrace::synthetic(
+            GopPattern::mpeg2_4mbps(),
+            1,
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        let mut rng = stream_rng(42, 0);
+        let times = emission_times(&mut m, &mut rng, 100_000);
+        // Count cells in the first frame (burst at t < 40 ms): ~1050 ± 20 %.
+        let first_burst = times
+            .iter()
+            .filter(|t| **t < castanet_netsim::time::SimTime::from_ms(40))
+            .count();
+        assert!(
+            (840..=1260).contains(&first_burst),
+            "I-frame burst of {first_burst} cells outside expected range"
+        );
+    }
+
+    #[test]
+    fn mean_rate_of_synthetic_pattern() {
+        let m = MpegTrace::synthetic(
+            GopPattern::mpeg2_4mbps(),
+            1,
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        // Total mean cells per GoP: 1050 + 3*320 + 8*130 = 3050 over 480 ms.
+        let expected = 3050.0 / 0.48;
+        assert!((m.mean_rate().unwrap() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_size_frames_are_skipped() {
+        let mut m = MpegTrace::from_frame_sizes(
+            vec![0, 0, 2],
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        let mut rng = stream_rng(0, 0);
+        let times = emission_times(&mut m, &mut rng, 10);
+        assert_eq!(times.len(), 2);
+        // First cell belongs to frame 2, so it starts at 80 ms.
+        assert_eq!(times[0], castanet_netsim::time::SimTime::from_ms(80));
+    }
+
+    #[test]
+    fn exhausted_source_stays_exhausted() {
+        let mut m = MpegTrace::from_frame_sizes(vec![1], SimDuration::from_ms(40), SimDuration::from_us(1));
+        let mut rng = stream_rng(0, 0);
+        assert!(m.next_gap(&mut rng).is_some());
+        assert!(m.next_gap(&mut rng).is_none());
+        assert!(m.next_gap(&mut rng).is_none());
+    }
+
+    #[test]
+    fn describe_variants() {
+        let s = MpegTrace::synthetic(
+            GopPattern::mpeg2_4mbps(),
+            2,
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        assert!(s.describe().contains("synthetic MPEG"));
+        let r = MpegTrace::from_frame_sizes(vec![1, 2], SimDuration::from_ms(40), SimDuration::from_us(1));
+        assert!(r.describe().contains("recorded"));
+    }
+}

@@ -1,0 +1,154 @@
+//! On-off (burst-silence) VBR traffic.
+
+use super::TrafficModel;
+use castanet_netsim::random::{exponential, geometric};
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// The classical on-off VBR source: bursts of back-to-back cells (geometric
+/// burst length) separated by exponentially distributed silences. Within a
+/// burst, cells are spaced one cell slot apart (the peak rate of the line).
+///
+/// With mean burst length `B` cells and mean silence `S`, the mean rate is
+/// `B / (B·slot + S)` cells per second.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::traffic::{OnOffVbr, TrafficModel};
+/// use castanet_netsim::time::SimDuration;
+/// use castanet_netsim::random::stream_rng;
+///
+/// // 155 Mbit/s line slot, mean 10-cell bursts, mean 100 us silences.
+/// let mut src = OnOffVbr::new(
+///     SimDuration::from_ns(2726),
+///     10.0,
+///     SimDuration::from_us(100),
+/// );
+/// let mut rng = stream_rng(0, 0);
+/// assert!(src.next_gap(&mut rng).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnOffVbr {
+    slot: SimDuration,
+    burst_success_p: f64,
+    mean_silence_secs: f64,
+    remaining_in_burst: u64,
+}
+
+impl OnOffVbr {
+    /// Creates a source with cell slot `slot`, geometric bursts of mean
+    /// `mean_burst_cells`, and exponential silences of mean `mean_silence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `mean_silence` is zero, or `mean_burst_cells < 1`.
+    #[must_use]
+    pub fn new(slot: SimDuration, mean_burst_cells: f64, mean_silence: SimDuration) -> Self {
+        assert!(!slot.is_zero(), "cell slot must be non-zero");
+        assert!(
+            mean_burst_cells >= 1.0 && mean_burst_cells.is_finite(),
+            "mean burst length must be at least one cell"
+        );
+        assert!(!mean_silence.is_zero(), "mean silence must be non-zero");
+        OnOffVbr {
+            slot,
+            burst_success_p: 1.0 / mean_burst_cells,
+            mean_silence_secs: mean_silence.as_secs_f64(),
+            remaining_in_burst: 0,
+        }
+    }
+
+    /// The line cell slot this source transmits at during bursts.
+    #[must_use]
+    pub fn slot(&self) -> SimDuration {
+        self.slot
+    }
+
+    /// Mean burst length in cells.
+    #[must_use]
+    pub fn mean_burst_cells(&self) -> f64 {
+        1.0 / self.burst_success_p
+    }
+}
+
+impl TrafficModel for OnOffVbr {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
+        if self.remaining_in_burst > 0 {
+            self.remaining_in_burst -= 1;
+            return Some(self.slot);
+        }
+        // Start a new burst after a silence; the first cell of the burst
+        // arrives after silence + one slot.
+        let silence = exponential(rng, self.mean_silence_secs);
+        self.remaining_in_burst = geometric(rng, self.burst_success_p) - 1;
+        Some(SimDuration::from_secs_f64(silence) + self.slot)
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        let b = self.mean_burst_cells();
+        Some(b / (b * self.slot.as_secs_f64() + self.mean_silence_secs))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "on-off VBR (mean burst {:.1} cells @ slot {}, mean silence {:.1} us)",
+            self.mean_burst_cells(),
+            self.slot,
+            self.mean_silence_secs * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::test_util::measured_rate;
+
+    #[test]
+    fn burst_cells_are_slot_spaced() {
+        let slot = SimDuration::from_ns(2726);
+        let mut m = OnOffVbr::new(slot, 50.0, SimDuration::from_ms(1));
+        let mut rng = castanet_netsim::random::stream_rng(2, 0);
+        // Pull until inside a burst, then check the spacing.
+        let mut slot_gaps = 0;
+        for _ in 0..500 {
+            if m.next_gap(&mut rng).unwrap() == slot {
+                slot_gaps += 1;
+            }
+        }
+        assert!(slot_gaps > 300, "most gaps should be in-burst slots, got {slot_gaps}");
+    }
+
+    #[test]
+    fn measured_rate_matches_formula() {
+        let slot = SimDuration::from_us(3);
+        let mut m = OnOffVbr::new(slot, 10.0, SimDuration::from_us(200));
+        let expected = m.mean_rate().unwrap();
+        let r = measured_rate(&mut m, 50_000, 17);
+        assert!(
+            (r - expected).abs() / expected < 0.05,
+            "measured {r}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mean_burst_accessor() {
+        let m = OnOffVbr::new(SimDuration::from_us(1), 25.0, SimDuration::from_us(10));
+        assert!((m.mean_burst_cells() - 25.0).abs() < 1e-9);
+        assert_eq!(m.slot(), SimDuration::from_us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn sub_one_burst_panics() {
+        let _ = OnOffVbr::new(SimDuration::from_us(1), 0.5, SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let m = OnOffVbr::new(SimDuration::from_us(3), 10.0, SimDuration::from_us(200));
+        assert!(m.describe().contains("on-off VBR"));
+        assert!(m.describe().contains("10.0 cells"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Poisson cell traffic.
+
+use super::TrafficModel;
+use castanet_netsim::random::exponential;
+use castanet_netsim::time::SimDuration;
+use rand::rngs::SmallRng;
+
+/// Memoryless traffic: exponentially distributed inter-cell gaps. The
+/// classical background-load model for switch dimensioning studies.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::traffic::{PoissonTraffic, TrafficModel};
+/// use castanet_netsim::random::stream_rng;
+///
+/// let mut src = PoissonTraffic::from_rate(10_000.0); // mean 10 000 cells/s
+/// let mut rng = stream_rng(0, 0);
+/// let gap = src.next_gap(&mut rng).expect("stochastic models never end");
+/// assert!(gap.as_picos() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonTraffic {
+    mean_gap_secs: f64,
+}
+
+impl PoissonTraffic {
+    /// Mean inter-cell gap of `mean_gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap` is zero.
+    #[must_use]
+    pub fn new(mean_gap: SimDuration) -> Self {
+        assert!(!mean_gap.is_zero(), "poisson mean gap must be non-zero");
+        PoissonTraffic {
+            mean_gap_secs: mean_gap.as_secs_f64(),
+        }
+    }
+
+    /// Mean rate of `cells_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cells_per_sec` is positive and finite.
+    #[must_use]
+    pub fn from_rate(cells_per_sec: f64) -> Self {
+        assert!(
+            cells_per_sec > 0.0 && cells_per_sec.is_finite(),
+            "poisson rate must be positive"
+        );
+        PoissonTraffic {
+            mean_gap_secs: 1.0 / cells_per_sec,
+        }
+    }
+}
+
+impl TrafficModel for PoissonTraffic {
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
+        Some(SimDuration::from_secs_f64(exponential(rng, self.mean_gap_secs)))
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(1.0 / self.mean_gap_secs)
+    }
+
+    fn describe(&self) -> String {
+        format!("Poisson {:.0} cells/s", 1.0 / self.mean_gap_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::test_util::measured_rate;
+
+    #[test]
+    fn mean_rate_converges() {
+        let mut m = PoissonTraffic::from_rate(20_000.0);
+        let r = measured_rate(&mut m, 30_000, 11);
+        assert!(
+            (r - 20_000.0).abs() / 20_000.0 < 0.03,
+            "measured {r} too far from 20000"
+        );
+    }
+
+    #[test]
+    fn gaps_vary() {
+        let mut m = PoissonTraffic::new(SimDuration::from_us(100));
+        let mut rng = castanet_netsim::random::stream_rng(5, 0);
+        let a = m.next_gap(&mut rng).unwrap();
+        let b = m.next_gap(&mut rng).unwrap();
+        assert_ne!(a, b, "exponential gaps should differ");
+    }
+
+    #[test]
+    fn describe_and_mean_rate() {
+        let m = PoissonTraffic::from_rate(1234.0);
+        assert_eq!(m.describe(), "Poisson 1234 cells/s");
+        assert!((m.mean_rate().unwrap() - 1234.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_rate_panics() {
+        let _ = PoissonTraffic::from_rate(0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Traffic-source modules: turning a [`TrafficModel`] into a network-domain
+//! cell source.
+//!
+//! The source stamps every cell's payload with a sequence number so that the
+//! comparison stage of the co-verification flow ("=?" in Fig. 1) can check
+//! ordering and loss without any side channel.
+
+use super::TrafficModel;
+use crate::addr::VpiVci;
+use crate::cell::{AtmCell, CELL_BITS, PAYLOAD_OCTETS};
+use castanet_netsim::event::PortId;
+use castanet_netsim::kernel::Ctx;
+use castanet_netsim::packet::Packet;
+use castanet_netsim::process::Process;
+use castanet_netsim::time::SimDuration;
+
+/// Packet format code for packets whose payload is an [`AtmCell`].
+pub const ATM_CELL_FORMAT: u32 = 0x0A7A;
+
+const CODE_EMIT: u32 = 0;
+const CODE_STOP: u32 = 1;
+
+/// Builds a 48-octet payload carrying a big-endian sequence number in its
+/// first 8 octets; the rest is a deterministic pattern derived from it.
+#[must_use]
+pub fn sequenced_payload(seq: u64) -> [u8; PAYLOAD_OCTETS] {
+    let mut p = [0u8; PAYLOAD_OCTETS];
+    p[..8].copy_from_slice(&seq.to_be_bytes());
+    for (i, b) in p.iter_mut().enumerate().skip(8) {
+        *b = (seq as u8).wrapping_add(i as u8);
+    }
+    p
+}
+
+/// Extracts the sequence number written by [`sequenced_payload`].
+#[must_use]
+pub fn payload_seq(payload: &[u8; PAYLOAD_OCTETS]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&payload[..8]);
+    u64::from_be_bytes(b)
+}
+
+/// A network module that emits the cell stream of one connection according
+/// to a traffic model.
+///
+/// Cells leave output port 0 as packets with format [`ATM_CELL_FORMAT`] and
+/// an [`AtmCell`] payload. The source stops at model exhaustion or after an
+/// optional cell limit.
+pub struct TrafficSourceProcess {
+    model: Box<dyn TrafficModel>,
+    connection: VpiVci,
+    limit: Option<u64>,
+    emitted: u64,
+    stop_kernel_when_done: bool,
+}
+
+impl std::fmt::Debug for TrafficSourceProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficSourceProcess")
+            .field("connection", &self.connection)
+            .field("model", &self.model.describe())
+            .field("emitted", &self.emitted)
+            .field("limit", &self.limit)
+            .finish()
+    }
+}
+
+impl TrafficSourceProcess {
+    /// Creates a source for `connection` driven by `model`.
+    #[must_use]
+    pub fn new(connection: VpiVci, model: Box<dyn TrafficModel>) -> Self {
+        TrafficSourceProcess {
+            model,
+            connection,
+            limit: None,
+            emitted: 0,
+            stop_kernel_when_done: false,
+        }
+    }
+
+    /// Limits the source to `cells` emissions.
+    #[must_use]
+    pub fn with_limit(mut self, cells: u64) -> Self {
+        self.limit = Some(cells);
+        self
+    }
+
+    /// Requests a kernel stop once this source finishes (useful when the
+    /// source defines the experiment length).
+    #[must_use]
+    pub fn stopping_kernel_when_done(mut self) -> Self {
+        self.stop_kernel_when_done = true;
+        self
+    }
+
+    /// Cells emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Ctx) {
+        if let Some(limit) = self.limit {
+            if self.emitted >= limit {
+                self.finish(ctx);
+                return;
+            }
+        }
+        match self.model.next_gap(ctx.rng()) {
+            Some(gap) => {
+                // A zero gap would re-enter at the same instant, which is
+                // legal, but an always-zero model would livelock the kernel;
+                // enforce a 1 ps minimum.
+                let gap = if gap.is_zero() { SimDuration::from_picos(1) } else { gap };
+                ctx.schedule_self(gap, CODE_EMIT).expect("source gap scheduling cannot fail");
+            }
+            None => self.finish(ctx),
+        }
+    }
+
+    /// Stops the kernel — via a same-instant self-interrupt so that the last
+    /// emitted cell (scheduled earlier, FIFO at equal times) is still
+    /// delivered before the stop takes effect.
+    fn finish(&mut self, ctx: &mut Ctx) {
+        if self.stop_kernel_when_done {
+            ctx.schedule_self(SimDuration::ZERO, CODE_STOP)
+                .expect("stop scheduling cannot fail");
+        }
+    }
+}
+
+impl Process for TrafficSourceProcess {
+    fn init(&mut self, ctx: &mut Ctx) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx, _port: PortId, _packet: Packet) {
+        // Sources have no inputs; stray packets are ignored.
+    }
+
+    fn on_interrupt(&mut self, ctx: &mut Ctx, code: u32) {
+        if code == CODE_STOP {
+            ctx.request_stop();
+            return;
+        }
+        let cell = AtmCell::user_data(self.connection, sequenced_payload(self.emitted));
+        self.emitted += 1;
+        ctx.send(
+            PortId(0),
+            Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell),
+        )
+        .expect("traffic source output port must be connected");
+        self.schedule_next(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::Cbr;
+    use castanet_netsim::kernel::Kernel;
+    use castanet_netsim::process::CollectorProcess;
+    use castanet_netsim::time::SimTime;
+
+    fn run_source(model: Box<dyn TrafficModel>, limit: u64) -> Vec<(SimTime, Packet)> {
+        let mut k = Kernel::new(5);
+        let n = k.add_node("n");
+        let src = k.add_module(
+            n,
+            "src",
+            Box::new(
+                TrafficSourceProcess::new(VpiVci::uni(1, 42).unwrap(), model).with_limit(limit),
+            ),
+        );
+        let (collector, handle) = CollectorProcess::new();
+        let dst = k.add_module(n, "sink", Box::new(collector));
+        k.connect_stream(src, PortId(0), dst, PortId(0)).unwrap();
+        k.run().unwrap();
+        handle.take()
+    }
+
+    #[test]
+    fn emits_limited_sequenced_cells() {
+        let got = run_source(Box::new(Cbr::new(SimDuration::from_us(10))), 5);
+        assert_eq!(got.len(), 5);
+        for (i, (t, pkt)) in got.iter().enumerate() {
+            assert_eq!(*t, SimTime::from_us(10 * (i as u64 + 1)));
+            assert_eq!(pkt.format(), ATM_CELL_FORMAT);
+            assert_eq!(pkt.bit_len(), CELL_BITS);
+            let cell = pkt.payload::<AtmCell>().expect("cell payload");
+            assert_eq!(payload_seq(&cell.payload), i as u64);
+            assert_eq!(cell.id(), VpiVci::uni(1, 42).unwrap());
+        }
+    }
+
+    #[test]
+    fn finite_model_ends_the_source() {
+        use crate::traffic::MpegTrace;
+        let model = MpegTrace::from_frame_sizes(
+            vec![2, 1],
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
+        let got = run_source(Box::new(model), u64::MAX);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn stop_when_done_halts_kernel() {
+        let mut k = Kernel::new(5);
+        let n = k.add_node("n");
+        let src = k.add_module(
+            n,
+            "src",
+            Box::new(
+                TrafficSourceProcess::new(VpiVci::uni(0, 32).unwrap(), Box::new(Cbr::new(SimDuration::from_us(1))))
+                    .with_limit(3)
+                    .stopping_kernel_when_done(),
+            ),
+        );
+        let (collector, handle) = CollectorProcess::new();
+        let dst = k.add_module(n, "sink", Box::new(collector));
+        k.connect_stream(src, PortId(0), dst, PortId(0)).unwrap();
+        let reason = k.run().unwrap();
+        assert_eq!(reason, castanet_netsim::kernel::StopReason::StopRequested);
+        assert_eq!(handle.len(), 3);
+    }
+
+    #[test]
+    fn payload_sequence_roundtrip() {
+        for seq in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(payload_seq(&sequenced_payload(seq)), seq);
+        }
+    }
+
+    #[test]
+    fn payload_pattern_differs_by_seq() {
+        assert_ne!(sequenced_payload(1), sequenced_payload(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! VP cross-connects: virtual-path-level switching.
+//!
+//! A VP cross-connect switches on the VPI alone and carries whole virtual
+//! paths transparently — VCIs inside a path pass through untranslated.
+//! ATM networks layer VC switches (the `switch` module) over a backbone of
+//! VP cross-connects; the HW functionality "distributed over a number of
+//! hardware devices" that the paper's verification problem spans includes
+//! exactly this split.
+
+use crate::addr::{HeaderFormat, Vpi, VpiVci};
+use crate::cell::AtmCell;
+use crate::error::AtmError;
+use std::collections::HashMap;
+
+/// One VP routing entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpRoute {
+    /// Egress port.
+    pub out_port: usize,
+    /// VPI on the egress line.
+    pub out_vpi: Vpi,
+}
+
+/// A virtual-path cross-connect: VPI-keyed routing, VCI-transparent.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_atm::vpx::VpCrossConnect;
+/// use castanet_atm::addr::{HeaderFormat, Vpi, VpiVci};
+/// use castanet_atm::cell::AtmCell;
+///
+/// let mut vpx = VpCrossConnect::new(4, HeaderFormat::Uni);
+/// vpx.install(Vpi::uni(5)?, 2, Vpi::uni(9)?)?;
+/// let cell = AtmCell::user_data(VpiVci::uni(5, 1234)?, [0; 48]);
+/// let (port, out) = vpx.route(cell)?;
+/// assert_eq!(port, 2);
+/// assert_eq!(out.id(), VpiVci::uni(9, 1234)?, "VCI passes through untouched");
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+#[derive(Debug)]
+pub struct VpCrossConnect {
+    ports: usize,
+    format: HeaderFormat,
+    table: HashMap<Vpi, VpRoute>,
+    switched: u64,
+    unroutable: u64,
+}
+
+impl VpCrossConnect {
+    /// Creates a cross-connect with `ports` egress lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    #[must_use]
+    pub fn new(ports: usize, format: HeaderFormat) -> Self {
+        assert!(ports > 0, "a cross-connect needs at least one port");
+        VpCrossConnect {
+            ports,
+            format,
+            table: HashMap::new(),
+            switched: 0,
+            unroutable: 0,
+        }
+    }
+
+    /// Installs a VP route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::RouteExists`] for a duplicate VPI,
+    /// [`AtmError::PortOutOfRange`] for a bad port, or
+    /// [`AtmError::VpiOutOfRange`] when `out_vpi` does not fit the format.
+    pub fn install(&mut self, in_vpi: Vpi, out_port: usize, out_vpi: Vpi) -> Result<(), AtmError> {
+        if out_port >= self.ports {
+            return Err(AtmError::PortOutOfRange { port: out_port, ports: self.ports });
+        }
+        if out_vpi.value() > self.format.max_vpi() {
+            return Err(AtmError::VpiOutOfRange { value: out_vpi.value(), format: self.format });
+        }
+        if self.table.contains_key(&in_vpi) {
+            return Err(AtmError::RouteExists { vpi: in_vpi.value(), vci: 0 });
+        }
+        self.table.insert(in_vpi, VpRoute { out_port, out_vpi });
+        Ok(())
+    }
+
+    /// Removes a VP route, returning it if present.
+    pub fn remove(&mut self, in_vpi: Vpi) -> Option<VpRoute> {
+        self.table.remove(&in_vpi)
+    }
+
+    /// Routes one cell: translates the VPI, preserves the VCI (and GFC, PT,
+    /// CLP), and reports the egress port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::NoRoute`] for an unknown VPI (the cell is
+    /// counted and handed back inside the error's context — callers send
+    /// unroutable cells to management).
+    pub fn route(&mut self, mut cell: AtmCell) -> Result<(usize, AtmCell), AtmError> {
+        let Some(route) = self.table.get(&cell.id().vpi) else {
+            self.unroutable += 1;
+            return Err(AtmError::NoRoute {
+                vpi: cell.id().vpi.value(),
+                vci: cell.id().vci.value(),
+            });
+        };
+        let new_id = VpiVci::new(route.out_vpi, cell.id().vci);
+        cell.retag(new_id);
+        self.switched += 1;
+        Ok((route.out_port, cell))
+    }
+
+    /// Installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when no route is installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Cells switched.
+    #[must_use]
+    pub fn switched(&self) -> u64 {
+        self.switched
+    }
+
+    /// Cells with no matching path.
+    #[must_use]
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vpi(v: u16) -> Vpi {
+        Vpi::uni(v).unwrap()
+    }
+
+    #[test]
+    fn vci_transparency_across_a_path() {
+        let mut vpx = VpCrossConnect::new(2, HeaderFormat::Uni);
+        vpx.install(vpi(1), 1, vpi(8)).unwrap();
+        for vci in [0u16, 32, 5000, u16::MAX] {
+            let cell = AtmCell::user_data(VpiVci::new(vpi(1), crate::addr::Vci::new(vci)), [1; 48]);
+            let (port, out) = vpx.route(cell).unwrap();
+            assert_eq!(port, 1);
+            assert_eq!(out.id().vpi, vpi(8));
+            assert_eq!(out.id().vci.value(), vci, "vci must pass through");
+        }
+        assert_eq!(vpx.switched(), 4);
+    }
+
+    #[test]
+    fn pt_and_clp_preserved() {
+        use crate::cell::{CellHeader, PayloadType};
+        let mut vpx = VpCrossConnect::new(1, HeaderFormat::Uni);
+        vpx.install(vpi(3), 0, vpi(4)).unwrap();
+        let cell = AtmCell::with_header(
+            CellHeader {
+                gfc: 0xA,
+                id: VpiVci::uni(3, 99).unwrap(),
+                pt: PayloadType::OamEndToEnd,
+                clp: true,
+            },
+            [7; 48],
+        );
+        let (_, out) = vpx.route(cell).unwrap();
+        assert_eq!(out.header.pt, PayloadType::OamEndToEnd);
+        assert!(out.header.clp);
+        assert_eq!(out.header.gfc, 0xA);
+    }
+
+    #[test]
+    fn unknown_path_is_an_error_and_counted() {
+        let mut vpx = VpCrossConnect::new(1, HeaderFormat::Uni);
+        let cell = AtmCell::user_data(VpiVci::uni(9, 1).unwrap(), [0; 48]);
+        assert!(matches!(vpx.route(cell), Err(AtmError::NoRoute { vpi: 9, .. })));
+        assert_eq!(vpx.unroutable(), 1);
+    }
+
+    #[test]
+    fn installation_validation() {
+        let mut vpx = VpCrossConnect::new(2, HeaderFormat::Uni);
+        vpx.install(vpi(1), 0, vpi(2)).unwrap();
+        assert!(matches!(
+            vpx.install(vpi(1), 1, vpi(3)),
+            Err(AtmError::RouteExists { vpi: 1, .. })
+        ));
+        assert!(matches!(
+            vpx.install(vpi(2), 5, vpi(3)),
+            Err(AtmError::PortOutOfRange { port: 5, ports: 2 })
+        ));
+        assert_eq!(vpx.len(), 1);
+        assert_eq!(vpx.remove(vpi(1)), Some(VpRoute { out_port: 0, out_vpi: vpi(2) }));
+        assert!(vpx.is_empty());
+    }
+
+    #[test]
+    fn chained_cross_connects_compose() {
+        // Two VPX hops then a VC switch boundary: VCI is intact end to end.
+        let mut a = VpCrossConnect::new(2, HeaderFormat::Uni);
+        let mut b = VpCrossConnect::new(2, HeaderFormat::Uni);
+        a.install(vpi(1), 0, vpi(10)).unwrap();
+        b.install(vpi(10), 1, vpi(20)).unwrap();
+        let cell = AtmCell::user_data(VpiVci::uni(1, 777).unwrap(), [3; 48]);
+        let (_, cell) = a.route(cell).unwrap();
+        let (port, cell) = b.route(cell).unwrap();
+        assert_eq!(port, 1);
+        assert_eq!(cell.id(), VpiVci::uni(20, 777).unwrap());
+    }
+}

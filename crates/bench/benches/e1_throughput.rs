@@ -1,0 +1,62 @@
+//! E1 — the paper's §2 throughput comparison: CASTANET co-simulation vs
+//! the pure-RTL regression test bench, on the 4-port-switch + GCU workload.
+//!
+//! Paper numbers (UltraSparc, 1997): co-simulation ≈ 1300 DUT clock
+//! cycles/s, pure RTL ≈ 300 — a ≈4.3× advantage for moving the test bench
+//! to the system level. This bench reports wall time per workload for all
+//! three set-ups (event-driven coupling, pure-RTL bench, cycle-based
+//! coupling); convert with the clock counts printed by `repro e1` to get
+//! cycles/s.
+
+use castanet_bench::small_switch_config;
+use castanet_netsim::time::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coverify::scenarios::{pure_rtl_clocks, switch_cosim, switch_cosim_cycle, switch_pure_rtl};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_throughput");
+    group.sample_size(10);
+
+    for &cells_per_source in &[25u64, 100] {
+        let total = cells_per_source * 4;
+        group.bench_with_input(
+            BenchmarkId::new("cosim_event_driven", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim(small_switch_config(n));
+                    let mut coupling = scenario.coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pure_rtl_bench", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let config = small_switch_config(n);
+                    let mut tb = switch_pure_rtl(config);
+                    tb.run_clocks(pure_rtl_clocks(&config)).expect("run");
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cosim_cycle_based", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim_cycle(small_switch_config(n));
+                    let mut coupling = scenario.coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

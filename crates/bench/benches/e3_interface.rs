@@ -1,0 +1,47 @@
+//! E3 — the abstraction interface (paper §3.2, Fig. 4): conversion of
+//! abstract ATM cells to 53 byte-level bus operations plus `cellsync`, and
+//! the reverse reassembly. The mapping cost per cell is the per-message
+//! overhead of the co-simulation entity, so its throughput bounds the
+//! coupling.
+
+use castanet::convert::{cell_to_byte_ops, ByteStreamAssembler};
+use castanet_atm::addr::{HeaderFormat, VpiVci};
+use castanet_atm::cell::AtmCell;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_e3(c: &mut Criterion) {
+    let cell = AtmCell::user_data(VpiVci::uni(1, 42).expect("id"), [0x5A; 48]);
+    let ops = cell_to_byte_ops(&cell, HeaderFormat::Uni).expect("convert");
+
+    let mut group = c.benchmark_group("e3_interface");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("cell_to_byte_ops", |b| {
+        b.iter(|| cell_to_byte_ops(std::hint::black_box(&cell), HeaderFormat::Uni).expect("convert"))
+    });
+
+    group.bench_function("byte_stream_reassembly", |b| {
+        b.iter(|| {
+            let mut rx = ByteStreamAssembler::new(HeaderFormat::Uni);
+            let mut out = None;
+            for op in &ops {
+                if let Some(cell) = rx.push(op.data, op.sync).expect("assemble") {
+                    out = Some(cell);
+                }
+            }
+            out.expect("one cell")
+        })
+    });
+
+    group.bench_function("wire_encode_decode", |b| {
+        b.iter(|| {
+            let wire = std::hint::black_box(&cell).encode(HeaderFormat::Uni).expect("encode");
+            AtmCell::decode(&wire, HeaderFormat::Uni).expect("decode")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 — the pin-mapping configuration data set (paper §3.3, Fig. 5):
+//! validation cost of a configuration and per-frame encode/decode through
+//! the byte-lane mappings — the inner loop of every board test cycle.
+
+use castanet_testboard::pinmap::{PinFrame, PinMapConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_e4(c: &mut Criterion) {
+    let (cfg, lanes) = PinMapConfig::fig5_example();
+
+    let mut group = c.benchmark_group("e4_pinmap");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("validate_fig5_config", |b| {
+        b.iter(|| cfg.validate(std::hint::black_box(&lanes)).expect("valid"))
+    });
+
+    group.bench_function("encode_three_inports", |b| {
+        b.iter(|| {
+            let mut frame: PinFrame = [0; 16];
+            cfg.encode_inport(1, 0b10_1011, &mut frame).expect("encode");
+            cfg.encode_inport(2, 0xA5, &mut frame).expect("encode");
+            cfg.encode_inport(3, 0xABC, &mut frame).expect("encode");
+            frame
+        })
+    });
+
+    group.bench_function("decode_outports_and_ctrl", |b| {
+        let mut frame: PinFrame = [0; 16];
+        frame[3] = 0xB0;
+        frame[6] = 0x2A;
+        frame[7] = 0x03;
+        b.iter(|| {
+            let a = cfg.decode_outport(1, std::hint::black_box(&frame)).expect("decode");
+            let bb = cfg.decode_outport(2, &frame).expect("decode");
+            let w = cfg.io_is_write(2, &frame).expect("io");
+            (a, bb, w)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 — the accounting-unit case study (paper §4): full co-verification of
+//! the RTL charging unit against its algorithm reference model, end to end
+//! (traffic, coupling, tariff ticks, record read-back and comparison).
+
+use castanet_netsim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coverify::scenarios::{accounting_cosim, AccountingScenarioConfig};
+
+fn run_audit(cells_per_conn: u64) -> u64 {
+    let config = AccountingScenarioConfig {
+        cells_per_conn,
+        cell_gap: SimDuration::from_us(10),
+        ..AccountingScenarioConfig::default()
+    };
+    let mut scenario = accounting_cosim(config);
+    let horizon = scenario.horizon();
+    scenario.coupling.run(horizon).expect("run");
+    let reference = scenario.reference();
+    let conns: Vec<_> = scenario.config.connections.iter().map(|c| c.0).collect();
+    let mut total_charge = 0u64;
+    for conn in conns {
+        let (cells, charge) = scenario.read_rtl_record(conn).expect("registered");
+        let rec = reference.record(conn).expect("registered");
+        assert_eq!(cells, rec.cells);
+        assert_eq!(charge, rec.charge);
+        total_charge += u64::from(charge);
+    }
+    total_charge
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_accounting");
+    group.sample_size(10);
+    for &cells in &[20u64, 60] {
+        group.bench_with_input(BenchmarkId::new("audit_cells_per_conn", cells), &cells, |b, &n| {
+            b.iter(|| run_audit(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

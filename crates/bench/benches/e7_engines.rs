@@ -1,0 +1,78 @@
+//! E7 — the engine ablation of the paper's conclusion (§5): the same
+//! pin-level DUT under (a) the event-driven kernel with delta cycles and
+//! signal events, and (b) the cycle-based engine — plus the raw per-clock
+//! cost of each engine on the switch DUT.
+//!
+//! "Event-driven VHDL simulators are obviously a bottleneck … the
+//! integration of cycle-based simulation techniques is required."
+
+use castanet_bench::small_switch_config;
+use castanet_netsim::time::SimTime;
+use castanet_rtl::cycle::CycleSim;
+use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use coverify::scenarios::{switch_cosim, switch_cosim_cycle};
+
+/// Raw engine cost: N clocks of the 4-port switch, idle line.
+fn cycle_engine_clocks(n: u64) -> u64 {
+    let mut switch = AtmSwitchRtl::new(SwitchRtlConfig::default());
+    switch.install_route(1, 40, 1, 7, 70);
+    let mut sim = CycleSim::new(Box::new(switch));
+    let inputs = vec![0u64; sim.input_ports().len()];
+    for _ in 0..n {
+        sim.step(&inputs).expect("step");
+    }
+    sim.cycles()
+}
+
+fn event_engine_clocks(n: u64) -> u64 {
+    use castanet_rtl::cycle::attach_cycle_dut;
+    use castanet_rtl::sim::Simulator;
+    let mut switch = AtmSwitchRtl::new(SwitchRtlConfig::default());
+    switch.install_route(1, 40, 1, 7, 70);
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock("clk", castanet_netsim::time::SimDuration::from_ns(20));
+    let _dut = attach_cycle_dut(&mut sim, "sw", Box::new(switch), clk);
+    sim.run_until(SimTime::from_ns(20 * n + 1)).expect("run");
+    sim.counters().process_runs
+}
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_engines");
+    group.sample_size(10);
+
+    for &clocks in &[1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(clocks));
+        group.bench_with_input(
+            BenchmarkId::new("event_driven_clocks", clocks),
+            &clocks,
+            |b, &n| b.iter(|| event_engine_clocks(n)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cycle_based_clocks", clocks),
+            &clocks,
+            |b, &n| b.iter(|| cycle_engine_clocks(n)),
+        );
+    }
+
+    // End-to-end coupled runs on the same workload.
+    group.bench_function("coupled_event_driven_100cells", |b| {
+        b.iter(|| {
+            let scenario = switch_cosim(small_switch_config(25));
+            let mut coupling = scenario.coupling;
+            coupling.run(SimTime::from_secs(1)).expect("run");
+        })
+    });
+    group.bench_function("coupled_cycle_based_100cells", |b| {
+        b.iter(|| {
+            let scenario = switch_cosim_cycle(small_switch_config(25));
+            let mut coupling = scenario.coupling;
+            coupling.run(SimTime::from_secs(1)).expect("run");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

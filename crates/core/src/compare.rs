@@ -1,0 +1,381 @@
+//! The "=?" stage of Fig. 1: comparing DUT responses against the reference
+//! model.
+//!
+//! "The responses from the device under test are sent back to the CASTANET
+//! interface node and can be compared to the reference model's responses at
+//! the system level." Comparison is per connection and in-order: cells of
+//! one VPI/VCI must arrive in the same order with identical payloads;
+//! cross-connection interleaving is free (switches do not guarantee it).
+//! An optional latency bound flags responses that took unreasonably long.
+
+use castanet_atm::addr::VpiVci;
+use castanet_atm::cell::AtmCell;
+use castanet_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One detected discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mismatch {
+    /// Payloads differ for the n-th cell of a connection.
+    Payload {
+        /// The connection.
+        conn: VpiVci,
+        /// Index within the connection's stream.
+        index: u64,
+        /// Time the DUT cell arrived.
+        at: SimTime,
+    },
+    /// The DUT produced a cell on a connection with no reference cell
+    /// outstanding.
+    Extra {
+        /// The connection.
+        conn: VpiVci,
+        /// Time the unexpected cell arrived.
+        at: SimTime,
+    },
+    /// Reference cells that never appeared from the DUT (reported by
+    /// [`StreamComparator::finish`]).
+    Missing {
+        /// The connection.
+        conn: VpiVci,
+        /// How many cells never arrived.
+        count: u64,
+    },
+    /// A response exceeded the latency bound.
+    LatencyExceeded {
+        /// The connection.
+        conn: VpiVci,
+        /// Index within the connection's stream.
+        index: u64,
+        /// The measured latency.
+        latency: SimDuration,
+    },
+    /// The DUT emitted bytes that did not decode as a cell.
+    Undecodable {
+        /// Time of arrival.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::Payload { conn, index, at } => {
+                write!(f, "payload mismatch on {conn} cell #{index} at {at}")
+            }
+            Mismatch::Extra { conn, at } => write!(f, "unexpected cell on {conn} at {at}"),
+            Mismatch::Missing { conn, count } => {
+                write!(f, "{count} cells missing on {conn}")
+            }
+            Mismatch::LatencyExceeded { conn, index, latency } => {
+                write!(f, "latency {latency} exceeded on {conn} cell #{index}")
+            }
+            Mismatch::Undecodable { at } => write!(f, "undecodable dut output at {at}"),
+        }
+    }
+}
+
+/// Summary of a comparison run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComparisonReport {
+    /// Cells that matched.
+    pub matched: u64,
+    /// All discrepancies, in detection order.
+    pub mismatches: Vec<Mismatch>,
+    /// Largest observed response latency among matched cells.
+    pub max_latency: SimDuration,
+}
+
+impl ComparisonReport {
+    /// `true` when no discrepancy was detected.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "comparison: {} matched, {} mismatches, max latency {}",
+            self.matched,
+            self.mismatches.len(),
+            self.max_latency
+        )?;
+        for m in &self.mismatches {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+struct PendingRef {
+    payload: [u8; 48],
+    sent_at: SimTime,
+    index: u64,
+}
+
+/// In-order, per-connection stream comparator.
+///
+/// Feed reference cells (what the algorithm model emitted toward the DUT's
+/// egress, *after* any expected translation) with
+/// [`StreamComparator::expect`] and DUT cells with
+/// [`StreamComparator::observe`]; call [`StreamComparator::finish`] at the
+/// end of the run.
+///
+/// # Examples
+///
+/// ```
+/// use castanet::compare::StreamComparator;
+/// use castanet_atm::addr::VpiVci;
+/// use castanet_atm::cell::AtmCell;
+/// use castanet_netsim::time::SimTime;
+///
+/// let conn = VpiVci::uni(7, 70)?;
+/// let cell = AtmCell::user_data(conn, [9; 48]);
+/// let mut cmp = StreamComparator::new(None);
+/// cmp.expect(&cell, SimTime::from_us(1));
+/// cmp.observe(&cell, SimTime::from_us(3));
+/// let report = cmp.finish();
+/// assert!(report.passed());
+/// assert_eq!(report.matched, 1);
+/// # Ok::<(), castanet_atm::error::AtmError>(())
+/// ```
+pub struct StreamComparator {
+    pending: HashMap<VpiVci, VecDeque<PendingRef>>,
+    counts: HashMap<VpiVci, u64>,
+    latency_bound: Option<SimDuration>,
+    report: ComparisonReport,
+}
+
+impl std::fmt::Debug for StreamComparator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamComparator")
+            .field("connections", &self.pending.len())
+            .field("matched", &self.report.matched)
+            .field("mismatches", &self.report.mismatches.len())
+            .finish()
+    }
+}
+
+impl StreamComparator {
+    /// Creates a comparator; `latency_bound` (if given) flags responses
+    /// slower than the bound.
+    #[must_use]
+    pub fn new(latency_bound: Option<SimDuration>) -> Self {
+        StreamComparator {
+            pending: HashMap::new(),
+            counts: HashMap::new(),
+            latency_bound,
+            report: ComparisonReport::default(),
+        }
+    }
+
+    /// Registers a reference cell expected to appear from the DUT.
+    pub fn expect(&mut self, cell: &AtmCell, sent_at: SimTime) {
+        let count = self.counts.entry(cell.id()).or_insert(0);
+        let index = *count;
+        *count += 1;
+        self.pending.entry(cell.id()).or_default().push_back(PendingRef {
+            payload: cell.payload,
+            sent_at,
+            index,
+        });
+    }
+
+    /// Feeds one observed DUT cell.
+    pub fn observe(&mut self, cell: &AtmCell, at: SimTime) {
+        let Some(queue) = self.pending.get_mut(&cell.id()) else {
+            self.report.mismatches.push(Mismatch::Extra { conn: cell.id(), at });
+            return;
+        };
+        let Some(expected) = queue.pop_front() else {
+            self.report.mismatches.push(Mismatch::Extra { conn: cell.id(), at });
+            return;
+        };
+        if expected.payload != cell.payload {
+            self.report.mismatches.push(Mismatch::Payload {
+                conn: cell.id(),
+                index: expected.index,
+                at,
+            });
+            return;
+        }
+        self.report.matched += 1;
+        if let Some(latency) = at.checked_duration_since(expected.sent_at) {
+            self.report.max_latency = self.report.max_latency.max(latency);
+            if let Some(bound) = self.latency_bound {
+                if latency > bound {
+                    self.report.mismatches.push(Mismatch::LatencyExceeded {
+                        conn: cell.id(),
+                        index: expected.index,
+                        latency,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Records an undecodable DUT output (raw bytes that were not a cell).
+    pub fn observe_undecodable(&mut self, at: SimTime) {
+        self.report.mismatches.push(Mismatch::Undecodable { at });
+    }
+
+    /// Closes the comparison: outstanding reference cells become
+    /// [`Mismatch::Missing`] entries.
+    #[must_use]
+    pub fn finish(mut self) -> ComparisonReport {
+        let mut conns: Vec<(VpiVci, u64)> = self
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(c, q)| (*c, q.len() as u64))
+            .collect();
+        conns.sort();
+        for (conn, count) in conns {
+            self.report.mismatches.push(Mismatch::Missing { conn, count });
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(vci: u16) -> VpiVci {
+        VpiVci::uni(1, vci).unwrap()
+    }
+
+    fn cell(vci: u16, fill: u8) -> AtmCell {
+        AtmCell::user_data(conn(vci), [fill; 48])
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    #[test]
+    fn matching_streams_pass() {
+        let mut cmp = StreamComparator::new(None);
+        for i in 0..5u8 {
+            cmp.expect(&cell(40, i), us(u64::from(i)));
+        }
+        for i in 0..5u8 {
+            cmp.observe(&cell(40, i), us(u64::from(i) + 10));
+        }
+        let r = cmp.finish();
+        assert!(r.passed());
+        assert_eq!(r.matched, 5);
+        assert_eq!(r.max_latency, SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.expect(&cell(40, 1), us(0));
+        cmp.observe(&cell(40, 2), us(1));
+        let r = cmp.finish();
+        assert_eq!(r.matched, 0);
+        assert_eq!(
+            r.mismatches,
+            vec![Mismatch::Payload { conn: conn(40), index: 0, at: us(1) }]
+        );
+    }
+
+    #[test]
+    fn missing_cells_reported_at_finish() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.expect(&cell(40, 1), us(0));
+        cmp.expect(&cell(40, 2), us(1));
+        cmp.expect(&cell(50, 3), us(2));
+        cmp.observe(&cell(40, 1), us(5));
+        let r = cmp.finish();
+        assert_eq!(r.matched, 1);
+        assert!(r.mismatches.contains(&Mismatch::Missing { conn: conn(40), count: 1 }));
+        assert!(r.mismatches.contains(&Mismatch::Missing { conn: conn(50), count: 1 }));
+    }
+
+    #[test]
+    fn extra_cells_detected() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.observe(&cell(40, 1), us(1));
+        cmp.expect(&cell(50, 1), us(0));
+        cmp.observe(&cell(50, 1), us(2));
+        cmp.observe(&cell(50, 1), us(3)); // duplicate
+        let r = cmp.finish();
+        assert_eq!(r.matched, 1);
+        assert_eq!(
+            r.mismatches,
+            vec![
+                Mismatch::Extra { conn: conn(40), at: us(1) },
+                Mismatch::Extra { conn: conn(50), at: us(3) },
+            ]
+        );
+    }
+
+    #[test]
+    fn per_connection_order_is_enforced_but_interleaving_is_free() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.expect(&cell(40, 1), us(0));
+        cmp.expect(&cell(50, 9), us(1));
+        cmp.expect(&cell(40, 2), us(2));
+        // Observed with connections interleaved differently: fine.
+        cmp.observe(&cell(50, 9), us(10));
+        cmp.observe(&cell(40, 1), us(11));
+        cmp.observe(&cell(40, 2), us(12));
+        assert!(cmp.finish().passed());
+    }
+
+    #[test]
+    fn reordering_within_a_connection_fails() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.expect(&cell(40, 1), us(0));
+        cmp.expect(&cell(40, 2), us(1));
+        cmp.observe(&cell(40, 2), us(10));
+        cmp.observe(&cell(40, 1), us(11));
+        let r = cmp.finish();
+        assert_eq!(r.matched, 0);
+        assert_eq!(r.mismatches.len(), 2, "both cells mismatch under reordering");
+    }
+
+    #[test]
+    fn latency_bound_flags_slow_responses() {
+        let mut cmp = StreamComparator::new(Some(SimDuration::from_us(5)));
+        cmp.expect(&cell(40, 1), us(0));
+        cmp.expect(&cell(40, 2), us(0));
+        cmp.observe(&cell(40, 1), us(3));
+        cmp.observe(&cell(40, 2), us(9));
+        let r = cmp.finish();
+        assert_eq!(r.matched, 2);
+        assert_eq!(
+            r.mismatches,
+            vec![Mismatch::LatencyExceeded {
+                conn: conn(40),
+                index: 1,
+                latency: SimDuration::from_us(9),
+            }]
+        );
+    }
+
+    #[test]
+    fn undecodable_outputs_recorded() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.observe_undecodable(us(4));
+        let r = cmp.finish();
+        assert_eq!(r.mismatches, vec![Mismatch::Undecodable { at: us(4) }]);
+    }
+
+    #[test]
+    fn report_display_lists_mismatches() {
+        let mut cmp = StreamComparator::new(None);
+        cmp.expect(&cell(40, 1), us(0));
+        let r = cmp.finish();
+        let text = r.to_string();
+        assert!(text.contains("0 matched"));
+        assert!(text.contains("cells missing on VPI=1/VCI=40"));
+    }
+}

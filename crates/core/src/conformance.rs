@@ -1,0 +1,230 @@
+//! Conformance test vectors.
+//!
+//! Fig. 1 names a stimulus class "targeted towards testing of hardware
+//! properties through customized or standardized conformance test vectors".
+//! These generators produce the classical deterministic coverage patterns
+//! for ATM interface hardware:
+//!
+//! * header walking bits — every header bit position exercised in both
+//!   polarities;
+//! * boundary connection identifiers — minimum/maximum VPI and VCI;
+//! * payload patterns — all-zeros, all-ones, alternating, sliding byte;
+//! * HEC error vectors — wire images with each single header bit flipped
+//!   (must be *corrected* by a receiver in correction mode) and selected
+//!   double flips (must be *discarded*).
+
+use castanet_atm::addr::{HeaderFormat, Vci, Vpi, VpiVci};
+use castanet_atm::cell::{AtmCell, CellHeader, PayloadType, CELL_OCTETS, PAYLOAD_OCTETS};
+use castanet_atm::error::AtmError;
+
+/// Cells whose header walks a single `1` bit through GFC/VPI/VCI/PT/CLP
+/// (UNI layout). The payload tags each vector with its bit index.
+///
+/// # Errors
+///
+/// Propagates encoding errors (cannot occur for the generated values).
+pub fn header_walking_ones() -> Result<Vec<AtmCell>, AtmError> {
+    let mut out = Vec::new();
+    // 4 GFC + 8 VPI + 16 VCI + 3 PT + 1 CLP = 32 walkable header bits.
+    for bit in 0..32u32 {
+        let gfc = if bit < 4 { 1u8 << bit } else { 0 };
+        let vpi = if (4..12).contains(&bit) { 1u16 << (bit - 4) } else { 0 };
+        let vci = if (12..28).contains(&bit) { 1u16 << (bit - 12) } else { 0 };
+        let pt = if (28..31).contains(&bit) {
+            PayloadType::from_bits(1 << (bit - 28))
+        } else {
+            PayloadType::User0
+        };
+        let clp = bit == 31;
+        let mut payload = [0u8; PAYLOAD_OCTETS];
+        payload[0] = bit as u8;
+        out.push(AtmCell::with_header(
+            CellHeader {
+                gfc,
+                id: VpiVci::new(Vpi::new(vpi, HeaderFormat::Uni)?, Vci::new(vci)),
+                pt,
+                clp,
+            },
+            payload,
+        ));
+    }
+    Ok(out)
+}
+
+/// Boundary connection identifiers: min/max VPI and VCI combinations.
+///
+/// # Errors
+///
+/// Propagates encoding errors (cannot occur for the generated values).
+pub fn boundary_connections() -> Result<Vec<AtmCell>, AtmError> {
+    let mut out = Vec::new();
+    for vpi in [0u16, 1, 0xFE, 0xFF] {
+        for vci in [0u16, 1, Vci::FIRST_USER, 0xFFFE, 0xFFFF] {
+            out.push(AtmCell::user_data(VpiVci::uni(vpi, vci)?, [0u8; PAYLOAD_OCTETS]));
+        }
+    }
+    Ok(out)
+}
+
+/// The classical payload coverage patterns on one connection.
+#[must_use]
+pub fn payload_patterns(conn: VpiVci) -> Vec<AtmCell> {
+    let mut patterns: Vec<[u8; PAYLOAD_OCTETS]> = vec![
+        [0x00; PAYLOAD_OCTETS],
+        [0xFF; PAYLOAD_OCTETS],
+        [0x55; PAYLOAD_OCTETS],
+        [0xAA; PAYLOAD_OCTETS],
+    ];
+    // Sliding byte: payload[i] = i, then payload[i] = 255 - i.
+    let mut inc = [0u8; PAYLOAD_OCTETS];
+    let mut dec = [0u8; PAYLOAD_OCTETS];
+    for i in 0..PAYLOAD_OCTETS {
+        inc[i] = i as u8;
+        dec[i] = 255 - i as u8;
+    }
+    patterns.push(inc);
+    patterns.push(dec);
+    patterns
+        .into_iter()
+        .map(|p| AtmCell::user_data(conn, p))
+        .collect()
+}
+
+/// Wire images with every single header bit flipped — each must be
+/// corrected by an I.432 receiver in correction mode. Returns
+/// `(flipped bit index, corrupted wire image, original cell)`.
+///
+/// # Errors
+///
+/// Propagates encoding errors from the base cell.
+pub fn single_bit_hec_errors(
+    base: &AtmCell,
+    format: HeaderFormat,
+) -> Result<Vec<(usize, [u8; CELL_OCTETS], AtmCell)>, AtmError> {
+    let wire = base.encode(format)?;
+    let mut out = Vec::with_capacity(40);
+    for bit in 0..40 {
+        let mut bad = wire;
+        bad[bit / 8] ^= 0x80 >> (bit % 8);
+        out.push((bit, bad, base.clone()));
+    }
+    Ok(out)
+}
+
+/// Wire images with two header bits flipped — each must be *discarded*
+/// (never silently accepted) by a receiver.
+///
+/// # Errors
+///
+/// Propagates encoding errors from the base cell.
+pub fn double_bit_hec_errors(
+    base: &AtmCell,
+    format: HeaderFormat,
+) -> Result<Vec<[u8; CELL_OCTETS]>, AtmError> {
+    let wire = base.encode(format)?;
+    let mut out = Vec::new();
+    // A representative selection: adjacent pairs and byte-spanning pairs.
+    for first in (0..39).step_by(3) {
+        let second = first + 1;
+        let mut bad = wire;
+        bad[first / 8] ^= 0x80 >> (first % 8);
+        bad[second / 8] ^= 0x80 >> (second % 8);
+        out.push(bad);
+    }
+    Ok(out)
+}
+
+/// The complete standard conformance suite on one connection, as
+/// ready-to-send cells (error vectors excluded — those are wire-level).
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn standard_suite(conn: VpiVci) -> Result<Vec<AtmCell>, AtmError> {
+    let mut out = header_walking_ones()?;
+    out.extend(boundary_connections()?);
+    out.extend(payload_patterns(conn));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_atm::hec::{HecOutcome, HecReceiver};
+
+    #[test]
+    fn walking_ones_cover_32_bits_uniquely() {
+        let cells = header_walking_ones().unwrap();
+        assert_eq!(cells.len(), 32);
+        // All encode successfully with distinct headers.
+        let mut wires = std::collections::HashSet::new();
+        for c in &cells {
+            let w = c.encode(HeaderFormat::Uni).unwrap();
+            assert!(wires.insert(w[..4].to_vec()), "duplicate header {c}");
+        }
+    }
+
+    #[test]
+    fn walking_ones_roundtrip_through_codec() {
+        for c in header_walking_ones().unwrap() {
+            let wire = c.encode(HeaderFormat::Uni).unwrap();
+            assert_eq!(AtmCell::decode(&wire, HeaderFormat::Uni).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn boundary_connections_cover_extremes() {
+        let cells = boundary_connections().unwrap();
+        assert_eq!(cells.len(), 20);
+        assert!(cells.iter().any(|c| c.id().vpi.value() == 0xFF));
+        assert!(cells.iter().any(|c| c.id().vci.value() == 0xFFFF));
+        assert!(cells.iter().any(|c| c.id().vci.value() == 0));
+    }
+
+    #[test]
+    fn payload_patterns_include_classics() {
+        let conn = VpiVci::uni(1, 40).unwrap();
+        let cells = payload_patterns(conn);
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().any(|c| c.payload == [0x55; 48]));
+        assert!(cells.iter().any(|c| c.payload[10] == 10));
+        assert!(cells.iter().all(|c| c.id() == conn));
+    }
+
+    #[test]
+    fn single_bit_errors_are_all_correctable() {
+        let base = AtmCell::user_data(VpiVci::uni(3, 99).unwrap(), [7; 48]);
+        let vectors = single_bit_hec_errors(&base, HeaderFormat::Uni).unwrap();
+        assert_eq!(vectors.len(), 40);
+        for (bit, bad, original) in vectors {
+            let mut rx = HecReceiver::new();
+            let mut hdr = [0u8; 5];
+            hdr.copy_from_slice(&bad[..5]);
+            match rx.receive(&hdr) {
+                HecOutcome::Corrected(fixed) => {
+                    let expect = original.encode(HeaderFormat::Uni).unwrap();
+                    assert_eq!(fixed, expect[..5], "bit {bit}");
+                }
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_never_accepted() {
+        let base = AtmCell::user_data(VpiVci::uni(3, 99).unwrap(), [7; 48]);
+        for bad in double_bit_hec_errors(&base, HeaderFormat::Uni).unwrap() {
+            let mut rx = HecReceiver::new();
+            let mut hdr = [0u8; 5];
+            hdr.copy_from_slice(&bad[..5]);
+            assert_ne!(rx.receive(&hdr), HecOutcome::Valid);
+        }
+    }
+
+    #[test]
+    fn standard_suite_aggregates_everything() {
+        let conn = VpiVci::uni(1, 40).unwrap();
+        let suite = standard_suite(conn).unwrap();
+        assert_eq!(suite.len(), 32 + 20 + 6);
+    }
+}

@@ -1,0 +1,508 @@
+//! The simulator coupling: network simulator ↔ HDL simulator (or board).
+//!
+//! This is CASTANET's executive. The network kernel is the *originator*;
+//! whatever implements [`CoupledSimulator`] is the *follower* whose time
+//! always lags. The loop implements §3.1's discipline:
+//!
+//! 1. before the network executes its next event at `t`, the follower is
+//!    granted (via a time-stamped null message) and runs all its events
+//!    *strictly before* `t`;
+//! 2. responses the follower produced are injected back into the network
+//!    model — they carry stamps `< t`, so nothing arrives in anyone's past;
+//! 3. the network executes its event; cells the interface process captured
+//!    are delivered to the follower as time-stamped messages.
+//!
+//! Because grants only ever come from the originator's clock, the follower
+//! can never overtake it, and because every message raises the grant, the
+//! follower can never starve: no causality errors, no deadlock — the
+//! properties the conservative protocol promises.
+
+use crate::entity::CosimEntity;
+use crate::error::CastanetError;
+use crate::interface::{response_packet, OutboxHandle, RESPONSE_PORT_BASE};
+use crate::message::{Message, MessagePayload, MessageTypeId};
+use crate::sync::conservative::{ConservativeSync, SyncStats};
+use castanet_netsim::event::{ModuleId, PortId};
+use castanet_netsim::kernel::Kernel;
+use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_rtl::sim::Simulator;
+
+/// The follower side of a coupling: an HDL simulation, a hardware test
+/// board session, or anything else that can consume time-stamped stimulus
+/// and produce time-stamped responses.
+pub trait CoupledSimulator {
+    /// Accepts one stimulus message (stamped with the originator's time).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific delivery failures.
+    fn deliver(&mut self, msg: Message) -> Result<(), CastanetError>;
+
+    /// Advances local time, processing all local events strictly before
+    /// `horizon`, and returns the responses produced.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific simulation failures.
+    fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError>;
+
+    /// The follower's current local time.
+    fn now(&self) -> SimTime;
+}
+
+/// An event-driven RTL simulation with its co-simulation entity, as one
+/// coupled follower.
+pub struct RtlCosim {
+    sim: Simulator,
+    entity: CosimEntity,
+}
+
+impl std::fmt::Debug for RtlCosim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtlCosim")
+            .field("now", &self.sim.now())
+            .field("entity", &self.entity)
+            .finish()
+    }
+}
+
+impl RtlCosim {
+    /// Pairs a prepared RTL simulation (clock, DUT, signals) with its
+    /// entity (ingress/egress registrations done).
+    #[must_use]
+    pub fn new(sim: Simulator, entity: CosimEntity) -> Self {
+        RtlCosim { sim, entity }
+    }
+
+    /// Read access to the RTL simulator (e.g. for counters).
+    #[must_use]
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable access (e.g. for VCD tracing setup).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Read access to the entity.
+    #[must_use]
+    pub fn entity(&self) -> &CosimEntity {
+        &self.entity
+    }
+}
+
+impl CoupledSimulator for RtlCosim {
+    fn deliver(&mut self, msg: Message) -> Result<(), CastanetError> {
+        self.entity.deliver(&mut self.sim, &msg)?;
+        Ok(())
+    }
+
+    fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        // Step one time point at a time and stop at the *first* DUT
+        // response: the coupling re-evaluates the network's event horizon
+        // after every injection, which keeps the follower's overshoot past
+        // a response at zero — important when responses feed back into the
+        // network model.
+        loop {
+            let responses = self.entity.collect();
+            if !responses.is_empty() {
+                return Ok(responses);
+            }
+            match self.sim.next_time() {
+                Some(t) if t < horizon => {
+                    self.sim.step_time()?;
+                }
+                _ => return Ok(self.entity.collect()),
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+/// Counters of one coupling run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CouplingStats {
+    /// Network-side events executed.
+    pub net_events: u64,
+    /// Stimulus messages delivered to the follower.
+    pub messages_to_follower: u64,
+    /// Responses injected back into the network model.
+    pub responses: u64,
+    /// Responses whose stamp was in the network's past (must stay 0 when
+    /// the protocol is obeyed; counted instead of silently clamped).
+    pub late_responses: u64,
+}
+
+/// The coupling executive.
+///
+/// Construction recipe: build a network model containing a
+/// [`crate::interface::CastanetInterfaceProcess`], build a follower (e.g.
+/// [`RtlCosim`]), then [`Coupling::new`] with the interface's module id and
+/// outbox.
+pub struct Coupling<S: CoupledSimulator> {
+    net: Kernel,
+    follower: S,
+    sync: ConservativeSync,
+    cell_type: MessageTypeId,
+    outbox: OutboxHandle,
+    iface: ModuleId,
+    stats: CouplingStats,
+    /// Largest time-update promise sent to the follower. Promises are
+    /// monotone: once the originator has declared "no stimulus before t",
+    /// later (injection-created) events may run earlier on the network
+    /// side, but they must not generate *stimulus* before t — the
+    /// feedforward assumption of the paper's flow. Violations surface as
+    /// causality errors from the synchronizer.
+    promised: SimTime,
+    /// Chunk size of the final drain phase (see [`Coupling::with_drain`]).
+    drain_quantum: SimDuration,
+    /// Quiet drain chunks required before the run is declared complete.
+    drain_quiet_chunks: u32,
+}
+
+impl<S: CoupledSimulator> std::fmt::Debug for Coupling<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coupling")
+            .field("net_now", &self.net.now())
+            .field("follower_now", &self.follower.now())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<S: CoupledSimulator> Coupling<S> {
+    /// Assembles a coupling. `sync` must already have `cell_type`
+    /// registered (with the cell's processing delay δ), and `iface`/`outbox`
+    /// must belong to the interface process inside `net`.
+    #[must_use]
+    pub fn new(
+        net: Kernel,
+        follower: S,
+        sync: ConservativeSync,
+        cell_type: MessageTypeId,
+        iface: ModuleId,
+        outbox: OutboxHandle,
+    ) -> Self {
+        Coupling {
+            net,
+            follower,
+            sync,
+            cell_type,
+            outbox,
+            iface,
+            stats: CouplingStats::default(),
+            promised: SimTime::ZERO,
+            drain_quantum: SimDuration::from_us(50),
+            drain_quiet_chunks: 2,
+        }
+    }
+
+    /// Tunes the final drain: once the network side has no events left, the
+    /// follower advances in chunks of `quantum`; after `quiet_chunks`
+    /// consecutive chunks without any response the run is complete. The
+    /// defaults (50 µs × 2) tolerate DUT pipelines that stay silent for up
+    /// to ~100 µs of simulated time; raise them for deeper pipelines or
+    /// slower DUT clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero or `quiet_chunks` is zero.
+    #[must_use]
+    pub fn with_drain(mut self, quantum: SimDuration, quiet_chunks: u32) -> Self {
+        assert!(!quantum.is_zero(), "drain quantum must be non-zero");
+        assert!(quiet_chunks > 0, "need at least one quiet chunk");
+        self.drain_quantum = quantum;
+        self.drain_quiet_chunks = quiet_chunks;
+        self
+    }
+
+    /// Runs the coupled simulation until no activity remains before
+    /// `until` on either side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator, conversion and synchronization errors.
+    pub fn run(&mut self, until: SimTime) -> Result<CouplingStats, CastanetError> {
+        let mut quiet_chunks = 0u32;
+        loop {
+            let t_net = self.net.next_event_time().filter(|t| *t < until);
+            // With network events pending, the follower runs exactly to the
+            // next one; once the network is drained, the follower advances
+            // in bounded chunks until it has been quiet long enough —
+            // simulating an idle DUT clock all the way to `until` would be
+            // pure waste.
+            let horizon = match t_net {
+                Some(t) => t,
+                None => (self.follower.now().max(self.net.now()) + self.drain_quantum).min(until),
+            };
+
+            // Time update: the originator promises no stimulus before
+            // `horizon`. Promises only ever grow (see `promised`).
+            if horizon > self.promised {
+                self.sync.receive(self.cell_type, horizon, true)?;
+                self.promised = horizon;
+            }
+            let responses = self.follower.advance_until(horizon)?;
+            let local = self.follower.now().max(self.sync.local_time());
+            if local <= self.sync.grant() {
+                self.sync.advance_local(local)?;
+            }
+
+            let had_responses = !responses.is_empty();
+            let injected = self.inject(responses)?;
+            if injected > 0 || had_responses {
+                quiet_chunks = 0;
+                // Injections may have created network events earlier than
+                // `t_net`; re-evaluate.
+                continue;
+            }
+            match t_net {
+                None => {
+                    quiet_chunks += 1;
+                    if quiet_chunks >= self.drain_quiet_chunks || self.follower.now() >= until {
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.net.step();
+                    self.stats.net_events += 1;
+                    for msg in self.outbox.drain() {
+                        self.sync.receive(msg.type_id, msg.stamp, false)?;
+                        // The follower consumes the message immediately (it
+                        // is covered by the next grant); mirror that in the
+                        // protocol bookkeeping.
+                        self.follower.deliver(msg)?;
+                        self.stats.messages_to_follower += 1;
+                    }
+                }
+            }
+        }
+        Ok(self.stats)
+    }
+
+    fn inject(&mut self, responses: Vec<Message>) -> Result<usize, CastanetError> {
+        let mut injected = 0;
+        for msg in responses {
+            let MessagePayload::Cell(cell) = msg.payload else {
+                // Undecodable DUT output (raw payload): the network model
+                // cannot route it; the comparison layer is where such
+                // corruption is detected and reported.
+                continue;
+            };
+            let at = if msg.stamp < self.net.now() {
+                self.stats.late_responses += 1;
+                self.net.now()
+            } else {
+                msg.stamp
+            };
+            self.net.inject_packet(
+                self.iface,
+                PortId(RESPONSE_PORT_BASE + msg.port),
+                response_packet(cell),
+                at,
+            )?;
+            self.stats.responses += 1;
+            injected += 1;
+        }
+        Ok(injected)
+    }
+
+    /// The network kernel (e.g. for statistics after the run).
+    #[must_use]
+    pub fn net(&self) -> &Kernel {
+        &self.net
+    }
+
+    /// The follower (e.g. for RTL counters after the run).
+    #[must_use]
+    pub fn follower(&self) -> &S {
+        &self.follower
+    }
+
+    /// Mutable follower access — e.g. to read back DUT registers through
+    /// pin pokes once the coupled run has finished.
+    pub fn follower_mut(&mut self) -> &mut S {
+        &mut self.follower
+    }
+
+    /// Coupling counters.
+    #[must_use]
+    pub fn stats(&self) -> CouplingStats {
+        self.stats
+    }
+
+    /// Synchronization-protocol statistics.
+    #[must_use]
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync.stats()
+    }
+
+    /// Dismantles the coupling, returning the network kernel and follower.
+    #[must_use]
+    pub fn into_parts(self) -> (Kernel, S) {
+        (self.net, self.follower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{EgressSignals, IngressSignals};
+    use crate::interface::CastanetInterfaceProcess;
+    use castanet_atm::addr::{HeaderFormat, VpiVci};
+    use castanet_atm::cell::AtmCell;
+    use castanet_atm::traffic::source::{payload_seq, TrafficSourceProcess};
+    use castanet_atm::traffic::Cbr;
+    use castanet_netsim::process::CollectorProcess;
+    use castanet_netsim::time::SimDuration;
+    use castanet_rtl::cycle::attach_cycle_dut;
+    use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+
+    const CLK: SimDuration = SimDuration::from_ns(20);
+
+    /// Full co-verification fixture: CBR source -> interface -> RTL 2-port
+    /// switch (route 1/40 -> port 1 as 7/70) -> response -> collector.
+    fn build_coupling(
+        cells: u64,
+        gap: SimDuration,
+    ) -> (
+        Coupling<RtlCosim>,
+        castanet_netsim::process::CollectorHandle,
+    ) {
+        // --- network side ---
+        let mut net = Kernel::new(11);
+        let node = net.add_node("coverify");
+        let src = net.add_module(
+            node,
+            "src",
+            Box::new(
+                TrafficSourceProcess::new(
+                    VpiVci::uni(1, 40).unwrap(),
+                    Box::new(Cbr::new(gap)),
+                )
+                .with_limit(cells),
+            ),
+        );
+        let mut sync = ConservativeSync::new();
+        let cell_type = sync.register_type(CLK * 53);
+        let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+        let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+        net.connect_stream(src, PortId(0), iface, PortId(0)).unwrap();
+        let (collector, got) = CollectorProcess::new();
+        let sink = net.add_module(node, "sink", Box::new(collector));
+        // Responses from DUT egress line 1 come back out of output port 1.
+        net.connect_stream(iface, PortId(1), sink, PortId(0)).unwrap();
+
+        // --- RTL side ---
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", CLK);
+        let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+            ports: 2,
+            fifo_capacity: 64,
+            table_capacity: 16,
+        });
+        assert!(switch.install_route(1, 40, 1, 7, 70));
+        let dut = attach_cycle_dut(&mut sim, "switch", Box::new(switch), clk);
+        let mut entity = CosimEntity::new(CLK, HeaderFormat::Uni, cell_type);
+        // Ingress line 0: rx_data0/rx_sync0/rx_en0 = inputs 0..3.
+        entity.add_ingress(IngressSignals {
+            data: dut.inputs[0],
+            sync: dut.inputs[1],
+            enable: dut.inputs[2],
+        });
+        // Ingress line 1 registered too (unused) to keep port numbering.
+        entity.add_ingress(IngressSignals {
+            data: dut.inputs[3],
+            sync: dut.inputs[4],
+            enable: dut.inputs[5],
+        });
+        // Egress line 0 and 1: tx_data/tx_sync/tx_valid triples.
+        entity.add_egress(
+            &mut sim,
+            clk,
+            EgressSignals { data: dut.outputs[0], sync: dut.outputs[1], valid: dut.outputs[2] },
+        );
+        entity.add_egress(
+            &mut sim,
+            clk,
+            EgressSignals { data: dut.outputs[3], sync: dut.outputs[4], valid: dut.outputs[5] },
+        );
+        let follower = RtlCosim::new(sim, entity);
+        (
+            Coupling::new(net, follower, sync, cell_type, iface, outbox),
+            got,
+        )
+    }
+
+    #[test]
+    fn cells_flow_through_the_dut_and_back() {
+        let (mut coupling, got) = build_coupling(5, SimDuration::from_us(10));
+        let stats = coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(stats.messages_to_follower, 5);
+        assert_eq!(stats.responses, 5);
+        assert_eq!(stats.late_responses, 0);
+        assert_eq!(got.len(), 5);
+        let cells = got.take();
+        for (i, (t, pkt)) in cells.iter().enumerate() {
+            let cell = pkt.payload::<AtmCell>().expect("cell payload");
+            assert_eq!(cell.id(), VpiVci::uni(7, 70).unwrap(), "switch retagged");
+            assert_eq!(payload_seq(&cell.payload), i as u64, "order preserved");
+            // Response arrives after the stimulus (53 clock transfer +
+            // switch latency).
+            assert!(*t > SimTime::from_us(10 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn follower_always_lags_the_network() {
+        let (mut coupling, _got) = build_coupling(3, SimDuration::from_us(10));
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        let sync = coupling.sync_stats();
+        assert!(sync.messages >= 3);
+        // The follower accumulated lag but no causality errors occurred
+        // (run() would have failed otherwise).
+        assert!(sync.max_lag > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_bursts_serialize_on_the_line() {
+        // 5 cells arriving every 1 us but needing 53*20 ns = 1.06 us each:
+        // the entity must queue them without loss.
+        let (mut coupling, got) = build_coupling(5, SimDuration::from_us(1));
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn run_is_idempotent_after_completion() {
+        let (mut coupling, got) = build_coupling(2, SimDuration::from_us(10));
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        let before = coupling.stats();
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(coupling.stats(), before);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn horizon_cuts_the_run_short() {
+        let (mut coupling, got) = build_coupling(10, SimDuration::from_us(10));
+        // Only events strictly before 35 us run: cells at 10, 20, 30 us.
+        coupling.run(SimTime::from_us(35)).unwrap();
+        assert_eq!(coupling.stats().messages_to_follower, 3);
+        // Their responses may or may not be complete within the window; no
+        // cell after 35 us was sent.
+        assert!(got.len() <= 3);
+    }
+
+    #[test]
+    fn into_parts_returns_components() {
+        let (coupling, _got) = build_coupling(1, SimDuration::from_us(10));
+        let (net, follower) = coupling.into_parts();
+        assert_eq!(net.now(), SimTime::ZERO);
+        assert_eq!(follower.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,469 @@
+//! The cycle-based follower — the paper's §5 conclusion, implemented.
+//!
+//! "Event-driven VHDL simulators are obviously a bottleneck in the
+//! co-verification process. … Thus, the integration of cycle-based
+//! simulation techniques is required." [`CycleCosim`] is that integration:
+//! the same pin-level DUT runs under the cycle engine, one `clock_edge`
+//! call per clock, with **idle skipping** — when no stimulus is pending and
+//! the DUT reports quiescence ([`castanet_rtl::cycle::CycleDut::is_idle`]),
+//! whole stretches of simulated time advance in O(1). The E1/E7 benches
+//! compare this follower against the event-driven [`crate::RtlCosim`] on
+//! identical workloads.
+
+use crate::convert::ByteStreamAssembler;
+use crate::coupling::CoupledSimulator;
+use crate::error::CastanetError;
+use crate::message::{Message, MessagePayload, MessageTypeId};
+use castanet_atm::addr::HeaderFormat;
+use castanet_atm::cell::CELL_OCTETS;
+use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_rtl::cycle::CycleSim;
+use std::collections::VecDeque;
+
+/// Indices (into the DUT's input port list) of one ingress line.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressIndices {
+    /// Byte-wide data input port.
+    pub data: usize,
+    /// Cellsync input port.
+    pub sync: usize,
+    /// Byte-valid input port.
+    pub enable: usize,
+}
+
+/// Indices (into the DUT's output port list) of one egress line.
+#[derive(Debug, Clone, Copy)]
+pub struct EgressIndices {
+    /// Byte-wide data output port.
+    pub data: usize,
+    /// Cellsync output port.
+    pub sync: usize,
+    /// Byte-valid output port.
+    pub valid: usize,
+}
+
+struct IngressLine {
+    idx: IngressIndices,
+    next_free_clock: u64,
+}
+
+struct EgressLine {
+    idx: EgressIndices,
+    assembler: ByteStreamAssembler,
+}
+
+/// The cycle-based coupled follower with idle skipping.
+pub struct CycleCosim {
+    sim: CycleSim,
+    clock_period: SimDuration,
+    clocks_done: u64,
+    /// Per-clock input words for clocks `clocks_done..`; `None` slots are
+    /// all-zero (idle line).
+    stimulus: VecDeque<Option<Vec<u64>>>,
+    zero_inputs: Vec<u64>,
+    ingress: Vec<IngressLine>,
+    egress: Vec<EgressLine>,
+    response_type: MessageTypeId,
+    format: HeaderFormat,
+    /// Clocks skipped thanks to idle detection.
+    skipped: u64,
+    undecodable: u64,
+}
+
+impl std::fmt::Debug for CycleCosim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleCosim")
+            .field("clocks_done", &self.clocks_done)
+            .field("skipped", &self.skipped)
+            .finish()
+    }
+}
+
+impl CycleCosim {
+    /// Wraps a cycle-engine DUT as a follower clocked at `clock_period`.
+    #[must_use]
+    pub fn new(
+        sim: CycleSim,
+        clock_period: SimDuration,
+        response_type: MessageTypeId,
+        format: HeaderFormat,
+    ) -> Self {
+        let zero_inputs = vec![0u64; sim.input_ports().len()];
+        CycleCosim {
+            sim,
+            clock_period,
+            clocks_done: 0,
+            stimulus: VecDeque::new(),
+            zero_inputs,
+            ingress: Vec::new(),
+            egress: Vec::new(),
+            response_type,
+            format,
+            skipped: 0,
+            undecodable: 0,
+        }
+    }
+
+    /// Registers an ingress line; returns its co-simulation port index.
+    pub fn add_ingress(&mut self, idx: IngressIndices) -> usize {
+        self.ingress.push(IngressLine { idx, next_free_clock: 0 });
+        self.ingress.len() - 1
+    }
+
+    /// Registers an egress line; returns its co-simulation port index.
+    pub fn add_egress(&mut self, idx: EgressIndices) -> usize {
+        self.egress.push(EgressLine {
+            idx,
+            assembler: ByteStreamAssembler::new(self.format),
+        });
+        self.egress.len() - 1
+    }
+
+    /// Clocks actually evaluated.
+    #[must_use]
+    pub fn clocks_evaluated(&self) -> u64 {
+        self.sim.cycles()
+    }
+
+    /// Clocks skipped by idle detection.
+    #[must_use]
+    pub fn clocks_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// DUT outputs that failed cell reassembly.
+    #[must_use]
+    pub fn undecodable(&self) -> u64 {
+        self.undecodable
+    }
+
+    /// Read access to the cycle engine.
+    #[must_use]
+    pub fn sim(&self) -> &CycleSim {
+        &self.sim
+    }
+
+    fn clock_at_or_after(&self, t: SimTime) -> u64 {
+        let period = self.clock_period.as_picos();
+        let ps = t.as_picos();
+        if ps <= period {
+            return 0;
+        }
+        ps.div_ceil(period) - 1
+    }
+
+    fn slot_mut(&mut self, clock: u64) -> &mut Vec<u64> {
+        debug_assert!(clock >= self.clocks_done);
+        let idx = (clock - self.clocks_done) as usize;
+        while self.stimulus.len() <= idx {
+            self.stimulus.push_back(None);
+        }
+        self.stimulus[idx].get_or_insert_with(|| self.zero_inputs.clone())
+    }
+
+    fn run_clock(&mut self) -> Result<Vec<Message>, CastanetError> {
+        let inputs = match self.stimulus.pop_front().flatten() {
+            Some(v) => v,
+            None => self.zero_inputs.clone(),
+        };
+        let outs = self.sim.step(&inputs)?;
+        self.clocks_done += 1;
+        let stamp = SimTime::from_picos(self.clocks_done * self.clock_period.as_picos());
+        let mut responses = Vec::new();
+        for (port, line) in self.egress.iter_mut().enumerate() {
+            if outs[line.idx.valid] != 1 {
+                continue;
+            }
+            let data = outs[line.idx.data] as u8;
+            let sync = outs[line.idx.sync] == 1;
+            match line.assembler.push(data, sync) {
+                Ok(Some(cell)) => responses.push(Message {
+                    stamp,
+                    type_id: self.response_type,
+                    port,
+                    payload: MessagePayload::Cell(cell),
+                }),
+                Ok(None) => {}
+                Err(_) => {
+                    self.undecodable += 1;
+                    responses.push(Message {
+                        stamp,
+                        type_id: self.response_type,
+                        port,
+                        payload: MessagePayload::Raw(vec![data]),
+                    });
+                }
+            }
+        }
+        Ok(responses)
+    }
+}
+
+impl CoupledSimulator for CycleCosim {
+    fn deliver(&mut self, msg: Message) -> Result<(), CastanetError> {
+        let MessagePayload::Cell(cell) = &msg.payload else {
+            return Err(CastanetError::Convert(format!(
+                "cycle follower can only play cell payloads, got {}",
+                msg.payload.kind()
+            )));
+        };
+        if msg.port >= self.ingress.len() {
+            return Err(CastanetError::UnknownPort { port: msg.port });
+        }
+        let wire = cell.encode(self.format)?;
+        let start = self
+            .clock_at_or_after(msg.stamp)
+            .max(self.ingress[msg.port].next_free_clock)
+            .max(self.clocks_done);
+        let idx = self.ingress[msg.port].idx;
+        for (k, &byte) in wire.iter().enumerate() {
+            let slot = self.slot_mut(start + k as u64);
+            slot[idx.data] = u64::from(byte);
+            slot[idx.sync] = u64::from(k == 0);
+            slot[idx.enable] = 1;
+        }
+        self.ingress[msg.port].next_free_clock = start + CELL_OCTETS as u64;
+        Ok(())
+    }
+
+    fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        let period = self.clock_period.as_picos();
+        let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
+        while self.clocks_done < target {
+            // Idle skip: no stimulus pending anywhere in the window and the
+            // DUT quiescent — jump straight to the next stimulus clock (or
+            // the horizon).
+            if self.sim.dut().is_idle() {
+                let next_stim = self
+                    .stimulus
+                    .iter()
+                    .position(Option::is_some)
+                    .map(|off| self.clocks_done + off as u64);
+                match next_stim {
+                    None => {
+                        self.skipped += target - self.clocks_done;
+                        self.stimulus.clear();
+                        self.clocks_done = target;
+                        break;
+                    }
+                    Some(c) if c > self.clocks_done => {
+                        let jump = (c - self.clocks_done).min(target - self.clocks_done);
+                        self.skipped += jump;
+                        self.stimulus.drain(..jump as usize);
+                        self.clocks_done += jump;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+            }
+            let responses = self.run_clock()?;
+            if !responses.is_empty() {
+                return Ok(responses);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_picos(self.clocks_done * self.clock_period.as_picos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_atm::addr::VpiVci;
+    use castanet_atm::cell::AtmCell;
+    use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+
+    const CLK: SimDuration = SimDuration::from_ns(20);
+
+    fn fixture() -> CycleCosim {
+        let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+            ports: 2,
+            fifo_capacity: 32,
+            table_capacity: 8,
+        });
+        assert!(switch.install_route(1, 40, 1, 7, 70));
+        let sim = CycleSim::new(Box::new(switch));
+        let mut cosim = CycleCosim::new(sim, CLK, MessageTypeId(9), HeaderFormat::Uni);
+        cosim.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
+        cosim.add_ingress(IngressIndices { data: 3, sync: 4, enable: 5 });
+        cosim.add_egress(EgressIndices { data: 0, sync: 1, valid: 2 });
+        cosim.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+        cosim
+    }
+
+    fn cell(vci: u16) -> AtmCell {
+        AtmCell::user_data(VpiVci::uni(1, vci).unwrap(), [0x42; 48])
+    }
+
+    #[test]
+    fn switches_a_cell_like_the_event_driven_follower() {
+        let mut cosim = fixture();
+        cosim
+            .deliver(Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(40)))
+            .unwrap();
+        let responses = cosim.advance_until(SimTime::from_us(10)).unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(
+            responses[0].as_cell().unwrap().id(),
+            VpiVci::uni(7, 70).unwrap()
+        );
+        assert_eq!(responses[0].as_cell().unwrap().payload, [0x42; 48]);
+    }
+
+    #[test]
+    fn idle_clocks_are_skipped_not_evaluated() {
+        let mut cosim = fixture();
+        // A cell stamped far in the future: the gap must be skipped.
+        let stamp = SimTime::from_us(100); // 5000 clocks at 20 ns
+        cosim
+            .deliver(Message::cell(stamp, MessageTypeId(0), 0, cell(40)))
+            .unwrap();
+        let responses = cosim.advance_until(SimTime::from_us(200)).unwrap();
+        assert_eq!(responses.len(), 1);
+        assert!(
+            cosim.clocks_skipped() > 4000,
+            "skipped only {}",
+            cosim.clocks_skipped()
+        );
+        // Evaluated clocks: roughly the 2x53 transfer clocks plus slack.
+        assert!(
+            cosim.clocks_evaluated() < 400,
+            "evaluated {}",
+            cosim.clocks_evaluated()
+        );
+    }
+
+    #[test]
+    fn busy_dut_is_not_skipped() {
+        let mut cosim = fixture();
+        cosim
+            .deliver(Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(40)))
+            .unwrap();
+        // While the cell drains through the switch the DUT is never idle,
+        // so no clocks are skipped until the response is out.
+        let responses = cosim.advance_until(SimTime::from_us(3)).unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(cosim.clocks_skipped(), 0);
+    }
+
+    #[test]
+    fn time_advances_even_when_fully_idle() {
+        let mut cosim = fixture();
+        let out = cosim.advance_until(SimTime::from_ms(1)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(cosim.now(), SimTime::from_picos(49_999 * 20_000));
+        assert_eq!(cosim.clocks_evaluated(), 0, "pure idle costs zero evaluations");
+    }
+
+    #[test]
+    fn unknown_port_and_payload_rejected() {
+        let mut cosim = fixture();
+        assert!(matches!(
+            cosim.deliver(Message::cell(SimTime::ZERO, MessageTypeId(0), 5, cell(40))),
+            Err(CastanetError::UnknownPort { port: 5 })
+        ));
+        let msg = Message {
+            stamp: SimTime::ZERO,
+            type_id: MessageTypeId(0),
+            port: 0,
+            payload: MessagePayload::Control(1),
+        };
+        assert!(matches!(cosim.deliver(msg), Err(CastanetError::Convert(_))));
+    }
+
+    #[test]
+    fn matches_event_driven_follower_output() {
+        use crate::entity::{CosimEntity, EgressSignals, IngressSignals};
+        use crate::coupling::RtlCosim;
+        use castanet_rtl::cycle::attach_cycle_dut;
+        use castanet_rtl::sim::Simulator;
+
+        // Same DUT, same three cells, both followers: identical cell
+        // sequences must come out.
+        let build_switch = || {
+            let mut s = AtmSwitchRtl::new(SwitchRtlConfig {
+                ports: 2,
+                fifo_capacity: 32,
+                table_capacity: 8,
+            });
+            assert!(s.install_route(1, 40, 1, 7, 70));
+            s
+        };
+        let stimuli: Vec<Message> = (0..3)
+            .map(|k| {
+                Message::cell(
+                    SimTime::from_us(5 * (k + 1)),
+                    MessageTypeId(0),
+                    0,
+                    AtmCell::user_data(
+                        VpiVci::uni(1, 40).unwrap(),
+                        castanet_atm::traffic::source::sequenced_payload(k),
+                    ),
+                )
+            })
+            .collect();
+
+        // Cycle follower.
+        let mut cy = fixture();
+        let mut cy_sim = CycleSim::new(Box::new(build_switch()));
+        std::mem::swap(&mut cy.sim, &mut cy_sim);
+        let mut cy_out = Vec::new();
+        for m in &stimuli {
+            cy.deliver(m.clone()).unwrap();
+        }
+        loop {
+            let r = cy.advance_until(SimTime::from_us(60)).unwrap();
+            if r.is_empty() {
+                break;
+            }
+            cy_out.extend(r);
+        }
+
+        // Event-driven follower.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", CLK);
+        let dut = attach_cycle_dut(&mut sim, "sw", Box::new(build_switch()), clk);
+        let mut entity = CosimEntity::new(CLK, HeaderFormat::Uni, MessageTypeId(9));
+        entity.add_ingress(IngressSignals {
+            data: dut.inputs[0],
+            sync: dut.inputs[1],
+            enable: dut.inputs[2],
+        });
+        entity.add_egress(
+            &mut sim,
+            clk,
+            EgressSignals { data: dut.outputs[3], sync: dut.outputs[4], valid: dut.outputs[5] },
+        );
+        let mut ev = RtlCosim::new(sim, entity);
+        let mut ev_out = Vec::new();
+        for m in &stimuli {
+            ev.deliver(m.clone()).unwrap();
+        }
+        loop {
+            let r = ev.advance_until(SimTime::from_us(60)).unwrap();
+            if r.is_empty() {
+                break;
+            }
+            ev_out.extend(r);
+        }
+
+        let cy_cells: Vec<_> = cy_out.iter().filter_map(Message::as_cell).cloned().collect();
+        let ev_cells: Vec<_> = ev_out
+            .iter()
+            .filter(|m| m.port == 0) // the entity's single egress is line 1 mapped to port 0
+            .filter_map(Message::as_cell)
+            .cloned()
+            .collect();
+        let cy_line1: Vec<_> = cy_out
+            .iter()
+            .filter(|m| m.port == 1)
+            .filter_map(Message::as_cell)
+            .cloned()
+            .collect();
+        assert_eq!(cy_line1, ev_cells, "the two engines must agree cell-for-cell");
+        assert_eq!(cy_cells.len(), 3);
+    }
+}

@@ -1,0 +1,377 @@
+//! The co-simulation entity instantiated inside the HDL simulation.
+//!
+//! "In the VSS simulation a C-language based co-simulation entity is
+//! instantiated that receives messages from the OPNET-side interface
+//! process. It also performs signal conditioning, e.g. mapping a data
+//! structure to bit- or word-level signal streams and generation of
+//! additional control signals. The responses from the device under test are
+//! sent back to the CASTANET interface node." (§3)
+//!
+//! [`CosimEntity`] is that entity for byte-serial ATM DUT lines: incoming
+//! cell messages are conditioned into 53 clock-aligned pokes of the
+//! `atmdata`/`cellsync`/`enable` signals of an ingress line; egress lines
+//! are watched by stream monitors whose completed cells become response
+//! messages.
+
+use crate::convert::cell_to_byte_ops;
+use crate::error::CastanetError;
+use crate::message::{Message, MessagePayload, MessageTypeId};
+use castanet_atm::addr::HeaderFormat;
+use castanet_atm::cell::AtmCell;
+use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_rtl::logic::Logic;
+use castanet_rtl::signal::SignalId;
+use castanet_rtl::sim::Simulator;
+use castanet_rtl::testbench::{CellStreamMonitor, MonitorHandle};
+use castanet_rtl::vector::LogicVector;
+
+/// The ingress-side signals of one DUT line.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressSignals {
+    /// The byte-wide data port (`atmdata`).
+    pub data: SignalId,
+    /// Cell synchronization strobe.
+    pub sync: SignalId,
+    /// Byte-valid qualifier.
+    pub enable: SignalId,
+}
+
+/// The egress-side signals of one DUT line.
+#[derive(Debug, Clone, Copy)]
+pub struct EgressSignals {
+    /// The byte-wide data port.
+    pub data: SignalId,
+    /// Cell synchronization strobe.
+    pub sync: SignalId,
+    /// Byte-valid qualifier.
+    pub valid: SignalId,
+}
+
+#[derive(Debug)]
+struct IngressPort {
+    signals: IngressSignals,
+    /// Earliest time the next cell's first byte may be driven.
+    next_free: SimTime,
+    cells_driven: u64,
+}
+
+/// The co-simulation entity: signal conditioning between messages and the
+/// DUT's pins.
+pub struct CosimEntity {
+    clock_period: SimDuration,
+    /// Time of the first rising clock edge.
+    first_edge: SimTime,
+    /// Stimulus setup lead before an edge.
+    setup: SimDuration,
+    format: HeaderFormat,
+    response_type: MessageTypeId,
+    ingress: Vec<IngressPort>,
+    egress: Vec<MonitorHandle>,
+    responses_sent: u64,
+}
+
+impl std::fmt::Debug for CosimEntity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CosimEntity")
+            .field("ingress", &self.ingress.len())
+            .field("egress", &self.egress.len())
+            .field("responses_sent", &self.responses_sent)
+            .finish()
+    }
+}
+
+impl CosimEntity {
+    /// Creates an entity for a DUT clocked by a [`Simulator::add_clock`]
+    /// clock of `clock_period` (first rising edge at `period / 2`).
+    /// Cells arriving back from the DUT are stamped as `response_type`
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_period` is shorter than 4 ps (no setup margin).
+    #[must_use]
+    pub fn new(
+        clock_period: SimDuration,
+        format: HeaderFormat,
+        response_type: MessageTypeId,
+    ) -> Self {
+        assert!(
+            clock_period.as_picos() >= 4,
+            "clock period too short for stimulus setup"
+        );
+        CosimEntity {
+            clock_period,
+            first_edge: SimTime::ZERO + clock_period / 2,
+            setup: clock_period / 4,
+            format,
+            response_type,
+            ingress: Vec::new(),
+            egress: Vec::new(),
+            responses_sent: 0,
+        }
+    }
+
+    /// Registers an ingress line (a DUT input port triple). Returns its
+    /// co-simulation port index.
+    pub fn add_ingress(&mut self, signals: IngressSignals) -> usize {
+        self.ingress.push(IngressPort {
+            signals,
+            next_free: SimTime::ZERO,
+            cells_driven: 0,
+        });
+        self.ingress.len() - 1
+    }
+
+    /// Registers an egress line: attaches a stream monitor to the given DUT
+    /// output signals. Returns its co-simulation port index.
+    pub fn add_egress(&mut self, sim: &mut Simulator, clk: SignalId, signals: EgressSignals) -> usize {
+        let (monitor, handle) =
+            CellStreamMonitor::new(clk, signals.data, signals.sync, signals.valid);
+        sim.add_process(Box::new(monitor), &[clk]);
+        self.egress.push(handle);
+        self.egress.len() - 1
+    }
+
+    /// The first rising clock edge at or after `t`.
+    #[must_use]
+    pub fn edge_at_or_after(&self, t: SimTime) -> SimTime {
+        edge_at_or_after_(self.first_edge, self.clock_period, t)
+    }
+
+    /// Delivers one message: conditions its cell onto the addressed ingress
+    /// line, starting at the first free cell boundary at or after the
+    /// message stamp. Returns the time of the last byte's clock edge.
+    ///
+    /// # Errors
+    ///
+    /// * [`CastanetError::UnknownPort`] for an unregistered port;
+    /// * [`CastanetError::Convert`] for a payload that is not a cell;
+    /// * scheduling errors from the RTL simulator.
+    pub fn deliver(&mut self, sim: &mut Simulator, msg: &Message) -> Result<SimTime, CastanetError> {
+        let MessagePayload::Cell(cell) = &msg.payload else {
+            return Err(CastanetError::Convert(format!(
+                "entity can only condition cell payloads, got {}",
+                msg.payload.kind()
+            )));
+        };
+        let port = self
+            .ingress
+            .get_mut(msg.port)
+            .ok_or(CastanetError::UnknownPort { port: msg.port })?;
+        // First byte goes onto the first clock edge at or after the message
+        // stamp once the line is free.
+        let start = msg.stamp.max(port.next_free);
+        let ops = cell_to_byte_ops(cell, self.format)?;
+        let first_edge = edge_at_or_after_(self.first_edge, self.clock_period, start);
+        let mut last_edge = first_edge;
+        for op in &ops {
+            let edge = first_edge + self.clock_period * op.cycle;
+            let poke_at = edge - self.setup;
+            sim.poke(
+                port.signals.data,
+                LogicVector::from_u64(u64::from(op.data), 8),
+                poke_at,
+            )?;
+            last_edge = edge;
+        }
+        // Control signals only change at transitions (one event each, not
+        // one per byte): sync pulses for the first octet, enable covers the
+        // whole transfer.
+        let first_poke = first_edge - self.setup;
+        sim.poke_bit(port.signals.sync, Logic::One, first_poke)?;
+        sim.poke_bit(
+            port.signals.sync,
+            Logic::Zero,
+            first_edge + self.clock_period - self.setup,
+        )?;
+        sim.poke_bit(port.signals.enable, Logic::One, first_poke)?;
+        sim.poke_bit(
+            port.signals.enable,
+            Logic::Zero,
+            last_edge + self.clock_period - self.setup,
+        )?;
+        port.next_free = last_edge + self.clock_period;
+        port.cells_driven += 1;
+        Ok(last_edge)
+    }
+
+    /// Drains completed DUT output cells from every egress monitor into
+    /// response messages (stamped with their completion time).
+    pub fn collect(&mut self) -> Vec<Message> {
+        let mut out = Vec::new();
+        for (port, handle) in self.egress.iter().enumerate() {
+            for (t, bytes) in handle.take() {
+                // A cell that fails decoding is still reported — as a raw
+                // payload — so the comparison stage can flag it instead of
+                // silently losing it.
+                let payload = match AtmCell::decode(&bytes, self.format) {
+                    Ok(cell) => MessagePayload::Cell(cell),
+                    Err(_) => MessagePayload::Raw(bytes.to_vec()),
+                };
+                out.push(Message {
+                    stamp: t,
+                    type_id: self.response_type,
+                    port,
+                    payload,
+                });
+                self.responses_sent += 1;
+            }
+        }
+        out
+    }
+
+    /// Cells conditioned onto ingress line `port` so far.
+    #[must_use]
+    pub fn cells_driven(&self, port: usize) -> u64 {
+        self.ingress.get(port).map_or(0, |p| p.cells_driven)
+    }
+
+    /// Responses collected so far.
+    #[must_use]
+    pub fn responses_sent(&self) -> u64 {
+        self.responses_sent
+    }
+
+    /// The DUT clock period the entity conditions against.
+    #[must_use]
+    pub fn clock_period(&self) -> SimDuration {
+        self.clock_period
+    }
+}
+
+fn edge_at_or_after_(first_edge: SimTime, period: SimDuration, t: SimTime) -> SimTime {
+    if t <= first_edge {
+        return first_edge;
+    }
+    let offset = (t - first_edge).as_picos();
+    let k = offset.div_ceil(period.as_picos());
+    first_edge + SimDuration::from_picos(k * period.as_picos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_atm::addr::VpiVci;
+    use castanet_rtl::cycle::attach_cycle_dut;
+    use castanet_rtl::dut::CellReceiver;
+
+    const PERIOD: SimDuration = SimDuration::from_ns(20);
+
+    fn cell(vci: u16) -> AtmCell {
+        AtmCell::user_data(VpiVci::uni(1, vci).unwrap(), [vci as u8; 48])
+    }
+
+    /// An RTL sim with a CellReceiver DUT wired to an entity ingress.
+    fn receiver_fixture() -> (Simulator, CosimEntity, castanet_rtl::cycle::AttachedDut) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let dut = attach_cycle_dut(&mut sim, "rx", Box::new(CellReceiver::new()), clk);
+        let mut entity = CosimEntity::new(PERIOD, HeaderFormat::Uni, MessageTypeId(9));
+        entity.add_ingress(IngressSignals {
+            data: dut.inputs[0],
+            sync: dut.inputs[1],
+            enable: dut.inputs[2],
+        });
+        (sim, entity, dut)
+    }
+
+    #[test]
+    fn edge_computation() {
+        let e = CosimEntity::new(PERIOD, HeaderFormat::Uni, MessageTypeId(0));
+        assert_eq!(e.edge_at_or_after(SimTime::ZERO), SimTime::from_ns(10));
+        assert_eq!(e.edge_at_or_after(SimTime::from_ns(10)), SimTime::from_ns(10));
+        assert_eq!(e.edge_at_or_after(SimTime::from_ns(11)), SimTime::from_ns(30));
+        assert_eq!(e.edge_at_or_after(SimTime::from_ns(30)), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn delivered_cell_reaches_the_dut_in_53_clocks() {
+        let (mut sim, mut entity, dut) = receiver_fixture();
+        let msg = Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(42));
+        let last_edge = entity.deliver(&mut sim, &msg).unwrap();
+        // 53 bytes, first at edge 10 ns, spaced 20 ns.
+        assert_eq!(last_edge, SimTime::from_ns(10 + 52 * 20));
+        sim.run_until(last_edge + SimDuration::from_ns(1)).unwrap();
+        assert_eq!(sim.read_u64(dut.outputs[0]), Some(1), "cell_valid");
+        assert_eq!(sim.read_u64(dut.outputs[1]), Some(1), "hec ok");
+        assert_eq!(sim.read_u64(dut.outputs[3]), Some(42), "vci");
+        assert_eq!(entity.cells_driven(0), 1);
+    }
+
+    #[test]
+    fn back_to_back_cells_do_not_overlap() {
+        let (mut sim, mut entity, dut) = receiver_fixture();
+        let m1 = Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(40));
+        let m2 = Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(41));
+        let e1 = entity.deliver(&mut sim, &m1).unwrap();
+        let e2 = entity.deliver(&mut sim, &m2).unwrap();
+        assert_eq!(e2 - e1, PERIOD * 53, "second cell starts right after the first");
+        sim.run_until(e2 + SimDuration::from_ns(1)).unwrap();
+        assert_eq!(sim.read_u64(dut.outputs[7]), Some(2), "both cells received");
+        assert_eq!(sim.read_u64(dut.outputs[3]), Some(41), "last vci");
+    }
+
+    #[test]
+    fn late_stamp_defers_the_transfer() {
+        let (mut sim, mut entity, _dut) = receiver_fixture();
+        let msg = Message::cell(SimTime::from_us(5), MessageTypeId(0), 0, cell(40));
+        let last_edge = entity.deliver(&mut sim, &msg).unwrap();
+        assert!(last_edge >= SimTime::from_us(5));
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let (mut sim, mut entity, _dut) = receiver_fixture();
+        let msg = Message::cell(SimTime::ZERO, MessageTypeId(0), 7, cell(40));
+        assert!(matches!(
+            entity.deliver(&mut sim, &msg),
+            Err(CastanetError::UnknownPort { port: 7 })
+        ));
+    }
+
+    #[test]
+    fn non_cell_payload_rejected() {
+        let (mut sim, mut entity, _dut) = receiver_fixture();
+        let msg = Message {
+            stamp: SimTime::ZERO,
+            type_id: MessageTypeId(0),
+            port: 0,
+            payload: MessagePayload::Control(1),
+        };
+        assert!(matches!(
+            entity.deliver(&mut sim, &msg),
+            Err(CastanetError::Convert(_))
+        ));
+    }
+
+    #[test]
+    fn egress_monitor_produces_response_messages() {
+        // Loop the entity's own stimulus back as "DUT output": wire an
+        // egress monitor to the same signals the ingress drives.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let data = sim.add_signal("data", 8);
+        let sync = sim.add_signal("sync", 1);
+        let enable = sim.add_signal("enable", 1);
+        let mut entity = CosimEntity::new(PERIOD, HeaderFormat::Uni, MessageTypeId(7));
+        entity.add_ingress(IngressSignals { data, sync, enable });
+        let port = entity.add_egress(
+            &mut sim,
+            clk,
+            EgressSignals { data, sync, valid: enable },
+        );
+        assert_eq!(port, 0);
+
+        let msg = Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(77));
+        let last_edge = entity.deliver(&mut sim, &msg).unwrap();
+        sim.run_until(last_edge + PERIOD).unwrap();
+
+        let responses = entity.collect();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].type_id, MessageTypeId(7));
+        assert_eq!(responses[0].port, 0);
+        assert_eq!(responses[0].as_cell(), Some(&cell(77)));
+        assert_eq!(responses[0].stamp, last_edge);
+        assert_eq!(entity.responses_sent(), 1);
+    }
+}

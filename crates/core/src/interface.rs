@@ -1,0 +1,203 @@
+//! The CASTANET interface process on the network-simulator side.
+//!
+//! "The coupling will be done by a special OPNET interface model that
+//! steers either a VHDL simulation or the hardware test board with
+//! test-patterns from the network simulation. The CASTANET interface
+//! process in OPNET manages the proper initialization of the VHDL simulator
+//! and the hardware test board and handles the message exchange." (§3)
+//!
+//! [`CastanetInterfaceProcess`] is a normal network-domain module: its
+//! input ports `0..n` receive the cell streams the network model routes to
+//! the device under test, and whatever the coupled simulator answers is
+//! re-injected on reserved ports `RESPONSE_PORT_BASE..` and forwarded out
+//! of the matching output ports back into the network model. Outgoing
+//! messages accumulate in a shared outbox the [`crate::coupling::Coupling`]
+//! drains after every executed network event.
+
+use crate::message::{Message, MessageTypeId};
+use castanet_atm::cell::AtmCell;
+use castanet_atm::traffic::source::ATM_CELL_FORMAT;
+use castanet_netsim::event::PortId;
+use castanet_netsim::kernel::Ctx;
+use castanet_netsim::packet::Packet;
+use castanet_netsim::process::Process;
+use std::sync::{Arc, Mutex};
+
+/// Input ports at or above this index carry *responses* re-injected by the
+/// coupling; port `RESPONSE_PORT_BASE + k` forwards to output port `k`.
+pub const RESPONSE_PORT_BASE: usize = 1000;
+
+/// Shared view of the interface's outgoing messages.
+#[derive(Debug, Clone, Default)]
+pub struct OutboxHandle {
+    inner: Arc<Mutex<Vec<Message>>>,
+}
+
+impl OutboxHandle {
+    /// Drains all pending outgoing messages, in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Message> {
+        std::mem::take(&mut *self.inner.lock().expect("outbox lock poisoned"))
+    }
+
+    /// Number of messages waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("outbox lock poisoned").len()
+    }
+
+    /// `true` when no messages are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The interface process. See the module documentation for port semantics.
+#[derive(Debug)]
+pub struct CastanetInterfaceProcess {
+    outbox: OutboxHandle,
+    cell_type: MessageTypeId,
+    forwarded: u64,
+    returned: u64,
+    non_cell_drops: u64,
+}
+
+impl CastanetInterfaceProcess {
+    /// Creates the process; messages it emits carry `cell_type`. Returns
+    /// the process and the outbox handle the coupling drains.
+    #[must_use]
+    pub fn new(cell_type: MessageTypeId) -> (Self, OutboxHandle) {
+        let outbox = OutboxHandle::default();
+        (
+            CastanetInterfaceProcess {
+                outbox: outbox.clone(),
+                cell_type,
+                forwarded: 0,
+                returned: 0,
+                non_cell_drops: 0,
+            },
+            outbox,
+        )
+    }
+
+    /// Cells forwarded toward the coupled simulator.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Process for CastanetInterfaceProcess {
+    fn on_packet(&mut self, ctx: &mut Ctx, port: PortId, packet: Packet) {
+        if port.0 >= RESPONSE_PORT_BASE {
+            // A response re-injected by the coupling: forward into the
+            // network model on the matching output port.
+            let out = PortId(port.0 - RESPONSE_PORT_BASE);
+            self.returned += 1;
+            ctx.send(out, packet)
+                .expect("interface response output port must be connected");
+            return;
+        }
+        // A cell from the network model headed for the DUT.
+        match packet.into_payload::<AtmCell>() {
+            Ok(cell) => {
+                self.forwarded += 1;
+                self.outbox
+                    .inner
+                    .lock()
+                    .expect("outbox lock poisoned")
+                    .push(Message::cell(ctx.now(), self.cell_type, port.0, cell));
+            }
+            Err(_) => {
+                self.non_cell_drops += 1;
+            }
+        }
+    }
+}
+
+/// Builds a response packet carrying `cell` for injection at a reserved
+/// interface input port.
+#[must_use]
+pub fn response_packet(cell: AtmCell) -> Packet {
+    Packet::new(ATM_CELL_FORMAT, castanet_atm::cell::CELL_BITS).with_payload(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_atm::addr::VpiVci;
+    use castanet_netsim::kernel::Kernel;
+    use castanet_netsim::process::CollectorProcess;
+    use castanet_netsim::time::SimTime;
+
+    fn cell(vci: u16) -> AtmCell {
+        AtmCell::user_data(VpiVci::uni(1, vci).unwrap(), [0; 48])
+    }
+
+    #[test]
+    fn forwards_cells_into_the_outbox_with_stamps() {
+        let mut k = Kernel::new(0);
+        let n = k.add_node("n");
+        let (proc_, outbox) = CastanetInterfaceProcess::new(MessageTypeId(1));
+        let iface = k.add_module(n, "castanet", Box::new(proc_));
+        k.inject_packet(iface, PortId(2), response_packet(cell(40)), SimTime::from_us(3))
+            .unwrap();
+        k.inject_packet(iface, PortId(0), response_packet(cell(41)), SimTime::from_us(5))
+            .unwrap();
+        k.run().unwrap();
+        let msgs = outbox.drain();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].stamp, SimTime::from_us(3));
+        assert_eq!(msgs[0].port, 2);
+        assert_eq!(msgs[0].as_cell(), Some(&cell(40)));
+        assert_eq!(msgs[1].stamp, SimTime::from_us(5));
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn responses_are_forwarded_to_matching_outputs() {
+        let mut k = Kernel::new(0);
+        let n = k.add_node("n");
+        let (proc_, _outbox) = CastanetInterfaceProcess::new(MessageTypeId(1));
+        let iface = k.add_module(n, "castanet", Box::new(proc_));
+        let (c0, h0) = CollectorProcess::new();
+        let (c1, h1) = CollectorProcess::new();
+        let s0 = k.add_module(n, "sink0", Box::new(c0));
+        let s1 = k.add_module(n, "sink1", Box::new(c1));
+        k.connect_stream(iface, PortId(0), s0, PortId(0)).unwrap();
+        k.connect_stream(iface, PortId(1), s1, PortId(0)).unwrap();
+        k.inject_packet(
+            iface,
+            PortId(RESPONSE_PORT_BASE + 1),
+            response_packet(cell(77)),
+            SimTime::from_us(1),
+        )
+        .unwrap();
+        k.run().unwrap();
+        assert!(h0.is_empty());
+        assert_eq!(h1.len(), 1);
+        let got = h1.take();
+        assert_eq!(got[0].1.payload::<AtmCell>(), Some(&cell(77)));
+    }
+
+    #[test]
+    fn non_cell_packets_are_dropped_not_forwarded() {
+        let mut k = Kernel::new(0);
+        let n = k.add_node("n");
+        let (proc_, outbox) = CastanetInterfaceProcess::new(MessageTypeId(1));
+        let iface = k.add_module(n, "castanet", Box::new(proc_));
+        k.inject_packet(iface, PortId(0), Packet::new(0, 8), SimTime::from_us(1))
+            .unwrap();
+        k.run().unwrap();
+        assert!(outbox.is_empty());
+    }
+}

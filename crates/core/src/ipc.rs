@@ -1,0 +1,395 @@
+//! Inter-process message exchange — the "standard UNIX IPC" of Fig. 2.
+//!
+//! The real CASTANET runs OPNET and VSS as separate UNIX processes talking
+//! over IPC. Both flavours are provided here: an in-process duplex channel
+//! (the default for single-process co-simulation, zero-copy) and a real
+//! Unix-domain-socket transport with length-prefixed frames (so the
+//! two-process deployment of the paper remains exercised). Both carry the
+//! same wire encoding, defined by [`encode_message`]/[`decode_message`].
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! stamp:u64  type_id:u32  port:u32  tag:u8  payload…
+//! tag 0: TimeOnly (no payload)
+//! tag 1: Cell     (gfc:u8 vpi:u16 vci:u16 pt:u8 clp:u8 payload:48B)
+//! tag 2: Raw      (len:u32 bytes)
+//! tag 3: Control  (value:u64)
+//! ```
+
+use crate::error::CastanetError;
+use crate::message::{Message, MessagePayload, MessageTypeId};
+use castanet_atm::addr::{HeaderFormat, Vci, Vpi, VpiVci};
+use castanet_atm::cell::{AtmCell, CellHeader, PayloadType, PAYLOAD_OCTETS};
+use castanet_netsim::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::io::{Read, Write};
+
+/// Encodes a message into its wire form.
+#[must_use]
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + 55);
+    out.extend_from_slice(&msg.stamp.as_picos().to_le_bytes());
+    out.extend_from_slice(&msg.type_id.0.to_le_bytes());
+    out.extend_from_slice(&(msg.port as u32).to_le_bytes());
+    match &msg.payload {
+        MessagePayload::TimeOnly => out.push(0),
+        MessagePayload::Cell(cell) => {
+            out.push(1);
+            out.push(cell.header.gfc);
+            out.extend_from_slice(&cell.header.id.vpi.value().to_le_bytes());
+            out.extend_from_slice(&cell.header.id.vci.value().to_le_bytes());
+            out.push(cell.header.pt.bits());
+            out.push(u8::from(cell.header.clp));
+            out.extend_from_slice(&cell.payload);
+        }
+        MessagePayload::Raw(bytes) => {
+            out.push(2);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        MessagePayload::Control(v) => {
+            out.push(3);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn take<const N: usize>(buf: &[u8], at: &mut usize) -> Result<[u8; N], CastanetError> {
+    let end = *at + N;
+    let slice = buf
+        .get(*at..end)
+        .ok_or_else(|| CastanetError::Codec("truncated message frame".to_string()))?;
+    *at = end;
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(slice);
+    Ok(arr)
+}
+
+/// Decodes a message from its wire form.
+///
+/// # Errors
+///
+/// Returns [`CastanetError::Codec`] on truncated or malformed frames.
+pub fn decode_message(buf: &[u8]) -> Result<Message, CastanetError> {
+    let mut at = 0usize;
+    let stamp = SimTime::from_picos(u64::from_le_bytes(take::<8>(buf, &mut at)?));
+    let type_id = MessageTypeId(u32::from_le_bytes(take::<4>(buf, &mut at)?));
+    let port = u32::from_le_bytes(take::<4>(buf, &mut at)?) as usize;
+    let tag = take::<1>(buf, &mut at)?[0];
+    let payload = match tag {
+        0 => MessagePayload::TimeOnly,
+        1 => {
+            let gfc = take::<1>(buf, &mut at)?[0];
+            let vpi = u16::from_le_bytes(take::<2>(buf, &mut at)?);
+            let vci = u16::from_le_bytes(take::<2>(buf, &mut at)?);
+            let pt = take::<1>(buf, &mut at)?[0];
+            let clp = take::<1>(buf, &mut at)?[0];
+            if pt > 7 {
+                return Err(CastanetError::Codec(format!("payload type {pt} out of range")));
+            }
+            let payload = take::<PAYLOAD_OCTETS>(buf, &mut at)?;
+            let vpi = Vpi::new(vpi, HeaderFormat::Nni)
+                .map_err(|e| CastanetError::Codec(e.to_string()))?;
+            MessagePayload::Cell(AtmCell::with_header(
+                CellHeader {
+                    gfc,
+                    id: VpiVci::new(vpi, Vci::new(vci)),
+                    pt: PayloadType::from_bits(pt),
+                    clp: clp != 0,
+                },
+                payload,
+            ))
+        }
+        2 => {
+            let len = u32::from_le_bytes(take::<4>(buf, &mut at)?) as usize;
+            let bytes = buf
+                .get(at..at + len)
+                .ok_or_else(|| CastanetError::Codec("truncated raw payload".to_string()))?
+                .to_vec();
+            at += len;
+            MessagePayload::Raw(bytes)
+        }
+        3 => MessagePayload::Control(u64::from_le_bytes(take::<8>(buf, &mut at)?)),
+        other => {
+            return Err(CastanetError::Codec(format!("unknown payload tag {other}")));
+        }
+    };
+    if at != buf.len() {
+        return Err(CastanetError::Codec(format!(
+            "{} trailing bytes after message",
+            buf.len() - at
+        )));
+    }
+    Ok(Message { stamp, type_id, port, payload })
+}
+
+/// A bidirectional message transport.
+pub trait MessageTransport: Send {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CastanetError::Transport`] when the peer is gone.
+    fn send(&mut self, msg: &Message) -> Result<(), CastanetError>;
+
+    /// Receives the next message, blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CastanetError::Transport`] when the peer is gone.
+    fn recv(&mut self) -> Result<Message, CastanetError>;
+
+    /// Receives without blocking; `None` when no message is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CastanetError::Transport`] when the peer is gone.
+    fn try_recv(&mut self) -> Result<Option<Message>, CastanetError>;
+}
+
+/// One end of an in-process duplex channel.
+#[derive(Debug)]
+pub struct InProcessEndpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Creates a connected pair of in-process endpoints.
+#[must_use]
+pub fn in_process_pair() -> (InProcessEndpoint, InProcessEndpoint) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    (
+        InProcessEndpoint { tx: tx_a, rx: rx_a },
+        InProcessEndpoint { tx: tx_b, rx: rx_b },
+    )
+}
+
+impl MessageTransport for InProcessEndpoint {
+    fn send(&mut self, msg: &Message) -> Result<(), CastanetError> {
+        self.tx
+            .send(encode_message(msg))
+            .map_err(|_| CastanetError::Transport("peer endpoint dropped".to_string()))
+    }
+
+    fn recv(&mut self) -> Result<Message, CastanetError> {
+        let frame = self
+            .rx
+            .recv()
+            .map_err(|_| CastanetError::Transport("peer endpoint dropped".to_string()))?;
+        decode_message(&frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, CastanetError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(decode_message(&frame)?)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(CastanetError::Transport("peer endpoint dropped".to_string()))
+            }
+        }
+    }
+}
+
+/// A Unix-domain-socket transport with `u32` length-prefixed frames —
+/// the literal "message exchange via standard UNIX inter-process
+/// communication" of the paper, for two-process deployments.
+#[derive(Debug)]
+pub struct UnixSocketTransport {
+    stream: std::os::unix::net::UnixStream,
+}
+
+impl UnixSocketTransport {
+    /// Wraps a connected stream.
+    #[must_use]
+    pub fn new(stream: std::os::unix::net::UnixStream) -> Self {
+        UnixSocketTransport { stream }
+    }
+
+    /// Creates a connected socket pair in one process (useful for tests
+    /// and threaded deployments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation failures.
+    pub fn pair() -> Result<(Self, Self), CastanetError> {
+        let (a, b) = std::os::unix::net::UnixStream::pair()?;
+        Ok((UnixSocketTransport::new(a), UnixSocketTransport::new(b)))
+    }
+}
+
+impl MessageTransport for UnixSocketTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), CastanetError> {
+        let frame = encode_message(msg);
+        let len = u32::try_from(frame.len())
+            .map_err(|_| CastanetError::Codec("frame exceeds u32 length".to_string()))?;
+        self.stream.write_all(&len.to_le_bytes())?;
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, CastanetError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame)?;
+        decode_message(&frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, CastanetError> {
+        self.stream.set_nonblocking(true)?;
+        let mut len_buf = [0u8; 4];
+        let result = match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {
+                // Frame body may still be in flight: block for it.
+                self.stream.set_nonblocking(false)?;
+                let len = u32::from_le_bytes(len_buf) as usize;
+                let mut frame = vec![0u8; len];
+                self.stream.read_exact(&mut frame)?;
+                Ok(Some(decode_message(&frame)?))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(CastanetError::from(e)),
+        };
+        self.stream.set_nonblocking(false)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_atm::addr::VpiVci;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::time_update(SimTime::from_us(5), MessageTypeId(0)),
+            Message::cell(
+                SimTime::from_ns(123),
+                MessageTypeId(1),
+                3,
+                AtmCell::user_data(VpiVci::uni(9, 4000).unwrap(), [0xA5; 48]),
+            ),
+            Message {
+                stamp: SimTime::ZERO,
+                type_id: MessageTypeId(2),
+                port: 0,
+                payload: MessagePayload::Raw(vec![1, 2, 3, 4, 5]),
+            },
+            Message {
+                stamp: SimTime::MAX,
+                type_id: MessageTypeId(u32::MAX),
+                port: 65_000,
+                payload: MessagePayload::Control(0xDEAD_BEEF_CAFE),
+            },
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrips_every_payload_kind() {
+        for msg in sample_messages() {
+            let encoded = encode_message(&msg);
+            let decoded = decode_message(&encoded).unwrap();
+            assert_eq!(decoded, msg, "{msg}");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation_anywhere() {
+        for msg in sample_messages() {
+            let encoded = encode_message(&msg);
+            for cut in 0..encoded.len() {
+                assert!(
+                    decode_message(&encoded[..cut]).is_err(),
+                    "cut at {cut} of {} must fail",
+                    encoded.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_trailing_garbage_and_bad_tags() {
+        let mut encoded = encode_message(&sample_messages()[0]);
+        encoded.push(0xFF);
+        assert!(decode_message(&encoded).is_err());
+
+        let mut bad_tag = encode_message(&sample_messages()[0]);
+        let last = bad_tag.len() - 1;
+        bad_tag[last] = 9;
+        assert!(matches!(decode_message(&bad_tag), Err(CastanetError::Codec(_))));
+    }
+
+    #[test]
+    fn in_process_transport_roundtrip() {
+        let (mut a, mut b) = in_process_pair();
+        for msg in sample_messages() {
+            a.send(&msg).unwrap();
+            assert_eq!(b.recv().unwrap(), msg);
+        }
+        // And the reverse direction.
+        let msg = sample_messages().remove(1);
+        b.send(&msg).unwrap();
+        assert_eq!(a.recv().unwrap(), msg);
+    }
+
+    #[test]
+    fn in_process_try_recv() {
+        let (mut a, mut b) = in_process_pair();
+        assert!(b.try_recv().unwrap().is_none());
+        a.send(&sample_messages()[0]).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn dropped_peer_is_a_transport_error() {
+        let (mut a, b) = in_process_pair();
+        drop(b);
+        assert!(matches!(
+            a.send(&sample_messages()[0]),
+            Err(CastanetError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn unix_socket_transport_roundtrip() {
+        let (mut a, mut b) = UnixSocketTransport::pair().unwrap();
+        for msg in sample_messages() {
+            a.send(&msg).unwrap();
+            assert_eq!(b.recv().unwrap(), msg);
+        }
+        let msg = sample_messages().remove(0);
+        b.send(&msg).unwrap();
+        assert_eq!(a.recv().unwrap(), msg);
+    }
+
+    #[test]
+    fn unix_socket_try_recv() {
+        let (mut a, mut b) = UnixSocketTransport::pair().unwrap();
+        assert!(b.try_recv().unwrap().is_none());
+        a.send(&sample_messages()[1]).unwrap();
+        // The frame is in the socket buffer by now (same process).
+        assert_eq!(b.try_recv().unwrap(), Some(sample_messages()[1].clone()));
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn unix_socket_across_threads() {
+        let (mut a, mut b) = UnixSocketTransport::pair().unwrap();
+        let msgs = sample_messages();
+        let expected = msgs.clone();
+        let handle = std::thread::spawn(move || {
+            for msg in &msgs {
+                a.send(msg).unwrap();
+            }
+        });
+        for expect in &expected {
+            assert_eq!(&b.recv().unwrap(), expect);
+        }
+        handle.join().unwrap();
+    }
+}

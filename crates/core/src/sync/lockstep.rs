@@ -1,0 +1,163 @@
+//! Lockstep synchronization — the naive fixed-quantum baseline.
+//!
+//! Both simulators alternately advance by a fixed time quantum Δ and
+//! exchange everything produced in the window. Correct only while Δ does
+//! not exceed the true lookahead (the minimum latency from one simulator's
+//! input to its output); small quanta are safe but cost one synchronization
+//! round per Δ of simulated time — the overhead the paper's
+//! timing-window protocol avoids by deriving windows from message stamps
+//! and processing delays instead of a fixed grid.
+
+use castanet_netsim::time::{SimDuration, SimTime};
+
+/// Which side's turn it is to advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The network simulator.
+    Originator,
+    /// The HDL simulator.
+    Follower,
+}
+
+/// Fixed-quantum alternation bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use castanet::sync::LockstepSync;
+/// use castanet::sync::lockstep::Side;
+/// use castanet_netsim::time::{SimDuration, SimTime};
+///
+/// let mut ls = LockstepSync::new(SimDuration::from_us(10));
+/// assert_eq!(ls.turn(), Side::Originator);
+/// let window = ls.begin_window();
+/// assert_eq!(window, SimTime::from_us(10));
+/// ls.complete(Side::Originator);
+/// assert_eq!(ls.turn(), Side::Follower);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockstepSync {
+    quantum: SimDuration,
+    window_end: SimTime,
+    turn: Side,
+    rounds: u64,
+}
+
+impl LockstepSync {
+    /// Creates a lockstep scheduler with the given quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    #[must_use]
+    pub fn new(quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "lockstep quantum must be non-zero");
+        LockstepSync {
+            quantum,
+            window_end: SimTime::ZERO + quantum,
+            turn: Side::Originator,
+            rounds: 0,
+        }
+    }
+
+    /// The side that must advance next.
+    #[must_use]
+    pub fn turn(&self) -> Side {
+        self.turn
+    }
+
+    /// The (exclusive) horizon of the current window.
+    #[must_use]
+    pub fn begin_window(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// Marks `side`'s half-round complete. When both sides finished the
+    /// window advances by one quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called out of turn — a protocol bug in the caller.
+    pub fn complete(&mut self, side: Side) {
+        assert_eq!(side, self.turn, "lockstep sides completed out of turn");
+        match self.turn {
+            Side::Originator => self.turn = Side::Follower,
+            Side::Follower => {
+                self.turn = Side::Originator;
+                self.window_end += self.quantum;
+                self.rounds += 1;
+            }
+        }
+    }
+
+    /// Completed synchronization rounds (two half-rounds each).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Synchronization rounds needed to reach `horizon` — the cost model
+    /// for E2's overhead comparison.
+    #[must_use]
+    pub fn rounds_to_reach(&self, horizon: SimTime) -> u64 {
+        horizon.as_picos().div_ceil(self.quantum.as_picos())
+    }
+
+    /// The quantum.
+    #[must_use]
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// `true` when the quantum is a safe choice for a coupling whose
+    /// minimum input-to-output latency (lookahead) is `lookahead`.
+    #[must_use]
+    pub fn is_safe_for(&self, lookahead: SimDuration) -> bool {
+        self.quantum <= lookahead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternation_and_window_advance() {
+        let mut ls = LockstepSync::new(SimDuration::from_us(5));
+        assert_eq!(ls.begin_window(), SimTime::from_us(5));
+        ls.complete(Side::Originator);
+        ls.complete(Side::Follower);
+        assert_eq!(ls.begin_window(), SimTime::from_us(10));
+        assert_eq!(ls.rounds(), 1);
+        assert_eq!(ls.turn(), Side::Originator);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of turn")]
+    fn out_of_turn_completion_panics() {
+        let mut ls = LockstepSync::new(SimDuration::from_us(5));
+        ls.complete(Side::Follower);
+    }
+
+    #[test]
+    fn round_cost_model() {
+        let ls = LockstepSync::new(SimDuration::from_us(10));
+        assert_eq!(ls.rounds_to_reach(SimTime::from_us(100)), 10);
+        assert_eq!(ls.rounds_to_reach(SimTime::from_us(101)), 11);
+        assert_eq!(ls.rounds_to_reach(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn safety_criterion() {
+        let ls = LockstepSync::new(SimDuration::from_us(10));
+        assert!(ls.is_safe_for(SimDuration::from_us(10)));
+        assert!(ls.is_safe_for(SimDuration::from_us(53)));
+        assert!(!ls.is_safe_for(SimDuration::from_us(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_quantum_panics() {
+        let _ = LockstepSync::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,435 @@
+//! Optimistic (Time-Warp) synchronization — the alternative the paper
+//! rejects.
+//!
+//! "Optimistic methods … do not exclude causality errors. Local time is
+//! allowed to advance independently until a causality error occurs. This
+//! implies that a simulator has to be resynchronized, leading to a rollback
+//! of the simulation time. Despite the fact that optimistic methods
+//! potentially can achieve a larger speed-up, the memory requirements for
+//! the storage of the simulator state turn out to be very large." (§3.1)
+//!
+//! [`OptimisticSync`] wraps any deterministic state machine (`Clone` state,
+//! pure step function) in the Time-Warp discipline: it checkpoints the
+//! state before each processed event, handles straggler messages by
+//! rolling back to the state before the straggler's position and replaying,
+//! emits *anti-messages* for outputs that the rollback invalidated, and
+//! frees checkpoints only when the global virtual time (GVT) passes them —
+//! which is exactly where the memory goes.
+
+use crate::error::CastanetError;
+use castanet_netsim::time::SimTime;
+
+/// One timed input event to the wrapped state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent<E> {
+    /// Virtual time of the event.
+    pub stamp: SimTime,
+    /// Tie-breaker for equal stamps (assign monotonically per sender).
+    pub seq: u64,
+    /// The event content.
+    pub event: E,
+}
+
+impl<E> TimedEvent<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.stamp, self.seq)
+    }
+}
+
+/// An output produced by the state machine, with its emission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOutput<O> {
+    /// Virtual time of emission.
+    pub stamp: SimTime,
+    /// The output content.
+    pub output: O,
+}
+
+/// What one `execute` call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome<O> {
+    /// Outputs newly produced (in replay order).
+    pub outputs: Vec<TimedOutput<O>>,
+    /// Anti-messages: previously emitted outputs that a rollback revoked.
+    pub anti_messages: Vec<TimedOutput<O>>,
+    /// `true` when a rollback occurred.
+    pub rolled_back: bool,
+}
+
+/// Run statistics, for the E2 conservative-vs-optimistic comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimisticStats {
+    /// Events processed (including re-processing during replays).
+    pub processed: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Events replayed due to rollbacks.
+    pub replayed: u64,
+    /// Anti-messages emitted.
+    pub anti_messages: u64,
+    /// High-water mark of held checkpoints (the paper's memory cost).
+    pub peak_checkpoints: usize,
+    /// High-water mark of checkpoint bytes (estimated).
+    pub peak_checkpoint_bytes: usize,
+}
+
+/// Time-Warp wrapper around a deterministic state machine.
+///
+/// `step(state, event) -> outputs` must be deterministic: replaying the
+/// same event sequence from the same state must give the same outputs.
+///
+/// Internal invariant: `history`, `checkpoints` (state *before* the
+/// corresponding history entry) and `sent` (outputs *of* the corresponding
+/// history entry) are three parallel, time-ordered vectors.
+///
+/// # Examples
+///
+/// ```
+/// use castanet::sync::OptimisticSync;
+/// use castanet::sync::optimistic::TimedEvent;
+/// use castanet_netsim::time::SimTime;
+///
+/// // A running sum that outputs its value after each event.
+/// let mut tw = OptimisticSync::new(0u64, |state: &mut u64, ev: &u32| {
+///     *state += u64::from(*ev);
+///     vec![*state]
+/// }, 1024);
+/// let out = tw.execute(TimedEvent { stamp: SimTime::from_us(10), seq: 0, event: 5 })?;
+/// assert_eq!(out.outputs[0].output, 5);
+/// // A straggler at 4 us forces a rollback and an anti-message.
+/// let out = tw.execute(TimedEvent { stamp: SimTime::from_us(4), seq: 1, event: 1 })?;
+/// assert!(out.rolled_back);
+/// assert_eq!(out.anti_messages.len(), 1);
+/// assert_eq!(out.outputs.last().map(|o| o.output), Some(6));
+/// # Ok::<(), castanet::error::CastanetError>(())
+/// ```
+pub struct OptimisticSync<S, E, O, F>
+where
+    S: Clone,
+    F: FnMut(&mut S, &E) -> Vec<O>,
+{
+    state: S,
+    step: F,
+    lvt: SimTime,
+    gvt: SimTime,
+    history: Vec<TimedEvent<E>>,
+    checkpoints: Vec<S>,
+    sent: Vec<Vec<TimedOutput<O>>>,
+    max_checkpoints: usize,
+    state_bytes: usize,
+    stats: OptimisticStats,
+}
+
+impl<S, E, O, F> std::fmt::Debug for OptimisticSync<S, E, O, F>
+where
+    S: Clone,
+    F: FnMut(&mut S, &E) -> Vec<O>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptimisticSync")
+            .field("lvt", &self.lvt)
+            .field("gvt", &self.gvt)
+            .field("checkpoints", &self.checkpoints.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<S, E, O, F> OptimisticSync<S, E, O, F>
+where
+    S: Clone,
+    E: Clone,
+    O: Clone,
+    F: FnMut(&mut S, &E) -> Vec<O>,
+{
+    /// Wraps `initial` state and a deterministic `step` function, with a
+    /// hard `max_checkpoints` memory budget.
+    pub fn new(initial: S, step: F, max_checkpoints: usize) -> Self {
+        let state_bytes = std::mem::size_of::<S>();
+        OptimisticSync {
+            state: initial,
+            step,
+            lvt: SimTime::ZERO,
+            gvt: SimTime::ZERO,
+            history: Vec::new(),
+            checkpoints: Vec::new(),
+            sent: Vec::new(),
+            max_checkpoints,
+            state_bytes,
+            stats: OptimisticStats::default(),
+        }
+    }
+
+    /// Processes `event`, rolling back first if it is a straggler.
+    ///
+    /// # Errors
+    ///
+    /// * [`CastanetError::Causality`] when the straggler precedes the GVT
+    ///   (nothing that old can be undone — a protocol misuse);
+    /// * [`CastanetError::OptimisticMemoryExhausted`] when the checkpoint
+    ///   budget would be exceeded.
+    pub fn execute(&mut self, event: TimedEvent<E>) -> Result<ExecOutcome<O>, CastanetError> {
+        if event.stamp < self.gvt {
+            return Err(CastanetError::Causality { stamp: event.stamp, local: self.gvt });
+        }
+        let mut outcome = ExecOutcome {
+            outputs: Vec::new(),
+            anti_messages: Vec::new(),
+            rolled_back: false,
+        };
+        let key = event.key();
+        let is_straggler = self.history.last().is_some_and(|e| e.key() > key);
+        if is_straggler {
+            outcome.rolled_back = true;
+            self.stats.rollbacks += 1;
+            // Position where the straggler belongs.
+            let pos = self
+                .history
+                .iter()
+                .position(|e| e.key() > key)
+                .expect("straggler implies a later entry exists");
+            // Restore the state from before history[pos].
+            self.state = self.checkpoints[pos].clone();
+            self.lvt = if pos == 0 { self.gvt } else { self.history[pos - 1].stamp };
+            // Revoke outputs of the undone events.
+            for group in self.sent.drain(pos..) {
+                outcome.anti_messages.extend(group);
+            }
+            self.stats.anti_messages += outcome.anti_messages.len() as u64;
+            self.checkpoints.truncate(pos);
+            // Undone events: the straggler is spliced in front of them and
+            // the whole tail replays.
+            let tail: Vec<TimedEvent<E>> = self.history.drain(pos..).collect();
+            let replay_count = tail.len();
+            outcome.outputs.extend(self.process(event)?);
+            for ev in tail {
+                outcome.outputs.extend(self.process(ev)?);
+            }
+            self.stats.replayed += replay_count as u64 + 1;
+        } else {
+            outcome.outputs = self.process(event)?;
+        }
+        self.update_peaks();
+        Ok(outcome)
+    }
+
+    fn process(&mut self, event: TimedEvent<E>) -> Result<Vec<TimedOutput<O>>, CastanetError> {
+        if self.checkpoints.len() >= self.max_checkpoints {
+            return Err(CastanetError::OptimisticMemoryExhausted {
+                checkpoints: self.checkpoints.len(),
+            });
+        }
+        self.checkpoints.push(self.state.clone());
+        self.lvt = self.lvt.max(event.stamp);
+        let outs = (self.step)(&mut self.state, &event.event);
+        self.stats.processed += 1;
+        let timed: Vec<TimedOutput<O>> = outs
+            .into_iter()
+            .map(|output| TimedOutput { stamp: event.stamp, output })
+            .collect();
+        self.sent.push(timed.clone());
+        self.history.push(event);
+        Ok(timed)
+    }
+
+    /// Advances the global virtual time, discarding checkpoints, history
+    /// and sent-output records that can no longer roll back ("fossil
+    /// collection").
+    pub fn set_gvt(&mut self, gvt: SimTime) {
+        self.gvt = self.gvt.max(gvt);
+        let g = self.gvt;
+        let keep_from = self
+            .history
+            .iter()
+            .position(|e| e.stamp >= g)
+            .unwrap_or(self.history.len());
+        self.history.drain(..keep_from);
+        self.checkpoints.drain(..keep_from);
+        self.sent.drain(..keep_from);
+    }
+
+    fn update_peaks(&mut self) {
+        self.stats.peak_checkpoints = self.stats.peak_checkpoints.max(self.checkpoints.len());
+        self.stats.peak_checkpoint_bytes = self
+            .stats
+            .peak_checkpoint_bytes
+            .max(self.checkpoints.len() * self.state_bytes);
+    }
+
+    /// Local virtual time.
+    #[must_use]
+    pub fn lvt(&self) -> SimTime {
+        self.lvt
+    }
+
+    /// Global virtual time.
+    #[must_use]
+    pub fn gvt(&self) -> SimTime {
+        self.gvt
+    }
+
+    /// Checkpoints currently held.
+    #[must_use]
+    pub fn checkpoints_held(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Current state (read-only view).
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn stats(&self) -> OptimisticStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    fn sum_machine(max_cp: usize) -> OptimisticSync<u64, u32, u64, fn(&mut u64, &u32) -> Vec<u64>> {
+        fn step(state: &mut u64, ev: &u32) -> Vec<u64> {
+            *state += u64::from(*ev);
+            vec![*state]
+        }
+        OptimisticSync::new(0u64, step, max_cp)
+    }
+
+    #[test]
+    fn in_order_events_never_roll_back() {
+        let mut tw = sum_machine(100);
+        for (i, t) in [1u64, 2, 5, 9].into_iter().enumerate() {
+            let out = tw
+                .execute(TimedEvent { stamp: us(t), seq: i as u64, event: 1 })
+                .unwrap();
+            assert!(!out.rolled_back);
+            assert!(out.anti_messages.is_empty());
+        }
+        assert_eq!(*tw.state(), 4);
+        assert_eq!(tw.stats().rollbacks, 0);
+        assert_eq!(tw.lvt(), us(9));
+    }
+
+    #[test]
+    fn straggler_rolls_back_and_replays() {
+        let mut tw = sum_machine(100);
+        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 10 }).unwrap();
+        tw.execute(TimedEvent { stamp: us(20), seq: 1, event: 20 }).unwrap();
+        // Straggler at 15 with value 5: final state must equal the in-order
+        // result 10+5+20 = 35, as if no error had happened.
+        let out = tw.execute(TimedEvent { stamp: us(15), seq: 2, event: 5 }).unwrap();
+        assert!(out.rolled_back);
+        assert_eq!(*tw.state(), 35);
+        // The 30 emitted at t=20 was invalidated (it is now 35).
+        assert!(out.anti_messages.iter().any(|a| a.output == 30));
+        // Replayed outputs are the corrected values 15 then 35.
+        let vals: Vec<u64> = out.outputs.iter().map(|o| o.output).collect();
+        assert_eq!(vals, vec![15, 35]);
+        assert_eq!(tw.stats().rollbacks, 1);
+        assert_eq!(tw.stats().replayed, 2);
+    }
+
+    #[test]
+    fn straggler_at_front_rolls_back_to_initial_state() {
+        let mut tw = sum_machine(100);
+        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
+        let out = tw.execute(TimedEvent { stamp: us(2), seq: 1, event: 100 }).unwrap();
+        assert!(out.rolled_back);
+        assert_eq!(*tw.state(), 101);
+        assert_eq!(tw.lvt(), us(10));
+        // All previously sent outputs were revoked and re-emitted.
+        assert_eq!(out.anti_messages.len(), 1);
+        let vals: Vec<u64> = out.outputs.iter().map(|o| o.output).collect();
+        assert_eq!(vals, vec![100, 101]);
+    }
+
+    #[test]
+    fn equal_stamp_later_seq_is_not_a_straggler() {
+        let mut tw = sum_machine(100);
+        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
+        let out = tw.execute(TimedEvent { stamp: us(10), seq: 1, event: 2 }).unwrap();
+        assert!(!out.rolled_back);
+        assert_eq!(*tw.state(), 3);
+    }
+
+    #[test]
+    fn equal_result_to_sequential_execution_under_shuffles() {
+        let stamps: Vec<u64> = vec![10, 30, 20, 5, 40, 25, 15];
+        let mut tw = sum_machine(1000);
+        for (i, &t) in stamps.iter().enumerate() {
+            tw.execute(TimedEvent { stamp: us(t), seq: i as u64, event: t as u32 }).unwrap();
+        }
+        let expected: u64 = stamps.iter().sum();
+        assert_eq!(*tw.state(), expected);
+        assert!(tw.stats().rollbacks >= 2);
+    }
+
+    #[test]
+    fn gvt_fossil_collection_frees_memory() {
+        let mut tw = sum_machine(1000);
+        for i in 0..100u64 {
+            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+        }
+        assert_eq!(tw.checkpoints_held(), 100);
+        tw.set_gvt(us(90));
+        assert_eq!(tw.checkpoints_held(), 10);
+        assert_eq!(tw.gvt(), us(90));
+        assert_eq!(tw.stats().peak_checkpoints, 100);
+    }
+
+    #[test]
+    fn straggler_before_gvt_is_an_error() {
+        let mut tw = sum_machine(100);
+        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
+        tw.set_gvt(us(10));
+        let err = tw.execute(TimedEvent { stamp: us(5), seq: 1, event: 1 }).unwrap_err();
+        assert!(matches!(err, CastanetError::Causality { .. }));
+    }
+
+    #[test]
+    fn checkpoint_budget_enforced() {
+        let mut tw = sum_machine(3);
+        for i in 0..3u64 {
+            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+        }
+        let err = tw.execute(TimedEvent { stamp: us(10), seq: 9, event: 1 }).unwrap_err();
+        assert!(matches!(err, CastanetError::OptimisticMemoryExhausted { checkpoints: 3 }));
+        // GVT advance frees budget.
+        tw.set_gvt(us(3));
+        assert!(tw.execute(TimedEvent { stamp: us(10), seq: 9, event: 1 }).is_ok());
+    }
+
+    #[test]
+    fn memory_grows_with_delayed_gvt() {
+        // The paper's complaint in one assert: without GVT advancement the
+        // checkpoint memory grows linearly in processed events.
+        let mut tw = sum_machine(100_000);
+        for i in 0..5_000u64 {
+            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+        }
+        assert_eq!(tw.stats().peak_checkpoints, 5_000);
+        assert!(tw.stats().peak_checkpoint_bytes >= 5_000 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn rollback_after_gvt_restores_from_kept_prefix() {
+        let mut tw = sum_machine(1000);
+        for i in 0..10u64 {
+            tw.execute(TimedEvent { stamp: us(10 * (i + 1)), seq: i, event: 1 }).unwrap();
+        }
+        tw.set_gvt(us(50));
+        // Straggler at 55 us: must roll back only events at 60..100.
+        let out = tw.execute(TimedEvent { stamp: us(55), seq: 99, event: 100 }).unwrap();
+        assert!(out.rolled_back);
+        assert_eq!(*tw.state(), 110);
+        assert_eq!(out.anti_messages.len(), 5);
+    }
+}

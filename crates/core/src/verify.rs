@@ -1,0 +1,147 @@
+//! Co-verification session reporting.
+//!
+//! Assembles the quantities the paper reports — cells processed, simulated
+//! DUT clock cycles, wall-clock time, and the resulting "clock cycles per
+//! second" figure of §2 — together with the comparison verdict and the
+//! synchronization statistics, into one displayable summary.
+
+use crate::compare::ComparisonReport;
+use crate::coupling::CouplingStats;
+use crate::sync::conservative::SyncStats;
+use castanet_netsim::time::{SimDuration, SimTime};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Summary of one co-verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationSummary {
+    /// Descriptive label (e.g. "E1 co-simulation, 10000 cells").
+    pub label: String,
+    /// Cells offered to the DUT.
+    pub cells_offered: u64,
+    /// DUT clock cycles covered by the run.
+    pub simulated_clocks: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Coupling counters.
+    pub coupling: CouplingStats,
+    /// Synchronization-protocol counters.
+    pub sync: SyncStats,
+    /// The reference-vs-DUT comparison.
+    pub comparison: ComparisonReport,
+}
+
+impl VerificationSummary {
+    /// The paper's throughput metric: simulated DUT clock cycles per
+    /// wall-clock second.
+    #[must_use]
+    pub fn clock_cycles_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.simulated_clocks as f64 / self.wall.as_secs_f64()
+    }
+
+    /// `true` when the comparison passed and no protocol anomaly occurred.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.comparison.passed() && self.coupling.late_responses == 0
+    }
+}
+
+impl fmt::Display for VerificationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.label)?;
+        writeln!(
+            f,
+            "  cells: {} offered, {} responses ({} late)",
+            self.cells_offered, self.coupling.responses, self.coupling.late_responses
+        )?;
+        writeln!(
+            f,
+            "  events: {} network, {} messages, {} null",
+            self.coupling.net_events, self.sync.messages, self.sync.null_messages
+        )?;
+        writeln!(
+            f,
+            "  simulated {} DUT clocks in {:.3} s -> {:.0} clock cycles/s",
+            self.simulated_clocks,
+            self.wall.as_secs_f64(),
+            self.clock_cycles_per_sec()
+        )?;
+        write!(f, "  {}", self.comparison)?;
+        writeln!(f, "  verdict: {}", if self.passed() { "PASS" } else { "FAIL" })?;
+        Ok(())
+    }
+}
+
+/// Runs `f`, returning its result with the measured wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Converts a simulated time span into DUT clock cycles for a given clock
+/// period (rounding down).
+///
+/// # Panics
+///
+/// Panics if `clock_period` is zero.
+#[must_use]
+pub fn clocks_in(span: SimTime, clock_period: SimDuration) -> u64 {
+    assert!(!clock_period.is_zero(), "clock period must be non-zero");
+    span.as_picos() / clock_period.as_picos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::StreamComparator;
+
+    fn summary(wall_ms: u64, clocks: u64) -> VerificationSummary {
+        VerificationSummary {
+            label: "test".to_string(),
+            cells_offered: 10,
+            simulated_clocks: clocks,
+            wall: Duration::from_millis(wall_ms),
+            coupling: CouplingStats::default(),
+            sync: SyncStats::default(),
+            comparison: StreamComparator::new(None).finish(),
+        }
+    }
+
+    #[test]
+    fn cycles_per_second_metric() {
+        let s = summary(500, 650);
+        assert!((s.clock_cycles_per_sec() - 1300.0).abs() < 1e-9);
+        assert_eq!(summary(0, 100).clock_cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn pass_fail_verdict() {
+        let mut s = summary(1, 1);
+        assert!(s.passed());
+        s.coupling.late_responses = 1;
+        assert!(!s.passed());
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let text = summary(1000, 1300).to_string();
+        assert!(text.contains("1300 clock cycles/s"));
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn timed_measures_wall_clock() {
+        let ((), wall) = timed(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(wall >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn clocks_in_span() {
+        assert_eq!(clocks_in(SimTime::from_us(1), SimDuration::from_ns(20)), 50);
+        assert_eq!(clocks_in(SimTime::from_ns(19), SimDuration::from_ns(20)), 0);
+    }
+}

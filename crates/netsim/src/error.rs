@@ -1,0 +1,100 @@
+//! Error type of the network-simulation kernel.
+
+use crate::event::{ModuleId, PortId};
+use crate::scheduler::ScheduleInPastError;
+use std::fmt;
+
+/// Errors surfaced by kernel and model-construction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetsimError {
+    /// An event was scheduled before the current simulation time.
+    ScheduleInPast(ScheduleInPastError),
+    /// A send was attempted on a port with no connection.
+    PortNotConnected {
+        /// Module that attempted the send.
+        module: ModuleId,
+        /// The unconnected output port.
+        port: PortId,
+    },
+    /// An output port already has a connection.
+    PortAlreadyConnected {
+        /// Module whose port is already wired.
+        module: ModuleId,
+        /// The port in question.
+        port: PortId,
+    },
+    /// A module id did not refer to a registered module.
+    UnknownModule,
+    /// Topology mutation was attempted after the simulation started.
+    TopologyFrozen,
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::ScheduleInPast(e) => write!(f, "{e}"),
+            NetsimError::PortNotConnected { module, port } => {
+                write!(f, "send on unconnected {port} of {module}")
+            }
+            NetsimError::PortAlreadyConnected { module, port } => {
+                write!(f, "{port} of {module} is already connected")
+            }
+            NetsimError::UnknownModule => write!(f, "module id does not refer to a registered module"),
+            NetsimError::TopologyFrozen => {
+                write!(f, "topology cannot change after the simulation has started")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetsimError::ScheduleInPast(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleInPastError> for NetsimError {
+    fn from(e: ScheduleInPastError) -> Self {
+        NetsimError::ScheduleInPast(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetsimError::PortNotConnected {
+            module: ModuleId(1),
+            port: PortId(2),
+        };
+        assert_eq!(e.to_string(), "send on unconnected port2 of module#1");
+        let e = NetsimError::TopologyFrozen;
+        assert!(e.to_string().starts_with("topology"));
+    }
+
+    #[test]
+    fn schedule_in_past_preserves_source() {
+        use std::error::Error;
+        let inner = ScheduleInPastError {
+            requested: SimTime::from_ns(1),
+            now: SimTime::from_ns(2),
+        };
+        let e = NetsimError::from(inner.clone());
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("before current time"));
+        assert_eq!(NetsimError::ScheduleInPast(inner.clone()), e);
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetsimError>();
+    }
+}

@@ -1,0 +1,130 @@
+//! Point-to-point links of the network domain.
+//!
+//! A link is characterized by a data rate (bits per second) and a propagation
+//! delay. A packet of `n` bits leaving on a link arrives after
+//! `n / rate + propagation` — the classic transmission model network
+//! simulators use for "communication links between nodes" (§2).
+
+use crate::time::SimDuration;
+
+/// Data rate and propagation delay of a point-to-point link.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::link::LinkParams;
+/// use castanet_netsim::time::SimDuration;
+///
+/// // An STM-1 / OC-3 line as used for 155.52 Mbit/s ATM.
+/// let link = LinkParams::new(155_520_000, SimDuration::from_us(5));
+/// // One 53-octet cell = 424 bits -> ~2.726 us serialization.
+/// let delay = link.total_delay(424);
+/// assert!(delay > SimDuration::from_us(7) && delay < SimDuration::from_us(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    rate_bps: u64,
+    propagation: SimDuration,
+}
+
+impl LinkParams {
+    /// Creates link parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is zero.
+    #[must_use]
+    pub fn new(rate_bps: u64, propagation: SimDuration) -> Self {
+        assert!(rate_bps > 0, "link rate must be non-zero");
+        LinkParams {
+            rate_bps,
+            propagation,
+        }
+    }
+
+    /// An STM-1/OC-3 ATM line: 155.52 Mbit/s, negligible propagation.
+    /// The standard access rate in the paper's application domain.
+    #[must_use]
+    pub fn stm1() -> Self {
+        LinkParams::new(155_520_000, SimDuration::ZERO)
+    }
+
+    /// Data rate in bits per second.
+    #[must_use]
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Propagation delay.
+    #[must_use]
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Serialization delay for a packet of `bits` bits (rounded up to the
+    /// next picosecond).
+    #[must_use]
+    pub fn serialization_delay(&self, bits: u32) -> SimDuration {
+        // bits * 1e12 / rate, in integer arithmetic with round-up.
+        let num = u128::from(bits) * 1_000_000_000_000u128;
+        let den = u128::from(self.rate_bps);
+        let ps = num.div_ceil(den);
+        SimDuration::from_picos(u64::try_from(ps).expect("serialization delay overflows u64 ps"))
+    }
+
+    /// Total link delay: serialization plus propagation.
+    #[must_use]
+    pub fn total_delay(&self, bits: u32) -> SimDuration {
+        self.serialization_delay(bits) + self.propagation
+    }
+
+    /// The time one ATM cell (424 bits) occupies this link — the "cell time"
+    /// that sets the network simulator's natural time step (§3.2).
+    #[must_use]
+    pub fn cell_time(&self) -> SimDuration {
+        self.serialization_delay(424)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_rounds_up() {
+        let link = LinkParams::new(3, SimDuration::ZERO);
+        // 1 bit at 3 bit/s = 333333333333.33.. ps, rounds up to ..34.
+        assert_eq!(
+            link.serialization_delay(1),
+            SimDuration::from_picos(333_333_333_334)
+        );
+    }
+
+    #[test]
+    fn zero_bits_is_instant_serialization() {
+        let link = LinkParams::new(1_000_000, SimDuration::from_ns(7));
+        assert_eq!(link.serialization_delay(0), SimDuration::ZERO);
+        assert_eq!(link.total_delay(0), SimDuration::from_ns(7));
+    }
+
+    #[test]
+    fn stm1_cell_time_is_about_2_73_us() {
+        let ct = LinkParams::stm1().cell_time();
+        // 424 / 155_520_000 s = 2.7263.. us
+        assert!(ct >= SimDuration::from_ns(2726));
+        assert!(ct <= SimDuration::from_ns(2727));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rate_panics() {
+        let _ = LinkParams::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let link = LinkParams::new(42, SimDuration::from_ns(9));
+        assert_eq!(link.rate_bps(), 42);
+        assert_eq!(link.propagation(), SimDuration::from_ns(9));
+    }
+}

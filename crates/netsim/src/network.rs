@@ -1,0 +1,288 @@
+//! The network domain: name-based topology construction.
+//!
+//! §2: "The network domain specifies the topology of a networking
+//! architecture in terms of high-level devices (called nodes) such as
+//! switches and traffic sources, and communication links between them."
+//!
+//! [`NetworkBuilder`] is a convenience layer over [`Kernel`] that lets models
+//! be wired up by *name* (`"switch.port0"`) instead of raw ids, with
+//! validation of the references at build time.
+
+use crate::error::NetsimError;
+use crate::event::{ModuleId, NodeId, PortId};
+use crate::kernel::Kernel;
+use crate::link::LinkParams;
+use crate::process::Process;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while building a topology by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// A module name was used twice within the same node.
+    DuplicateModule(String),
+    /// A referenced `node.module` path does not exist.
+    UnknownPath(String),
+    /// A wiring call failed at the kernel level.
+    Kernel(NetsimError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateNode(n) => write!(f, "duplicate node name {n:?}"),
+            BuildError::DuplicateModule(m) => write!(f, "duplicate module name {m:?}"),
+            BuildError::UnknownPath(p) => write!(f, "unknown module path {p:?}"),
+            BuildError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetsimError> for BuildError {
+    fn from(e: NetsimError) -> Self {
+        BuildError::Kernel(e)
+    }
+}
+
+/// Builds a [`Kernel`] from named nodes, modules and connections.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::network::NetworkBuilder;
+/// use castanet_netsim::process::NullProcess;
+/// use castanet_netsim::link::LinkParams;
+/// use castanet_netsim::time::SimDuration;
+///
+/// let mut net = NetworkBuilder::new(1);
+/// net.node("source")?;
+/// net.node("switch")?;
+/// net.module("source", "gen", Box::new(NullProcess))?;
+/// net.module("switch", "in0", Box::new(NullProcess))?;
+/// net.link(
+///     "source.gen", 0,
+///     "switch.in0", 0,
+///     LinkParams::stm1(),
+/// )?;
+/// let kernel = net.build();
+/// assert_eq!(kernel.pending_events(), 0);
+/// # Ok::<(), castanet_netsim::network::BuildError>(())
+/// ```
+pub struct NetworkBuilder {
+    kernel: Kernel,
+    nodes: HashMap<String, NodeId>,
+    modules: HashMap<String, ModuleId>,
+}
+
+impl fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("nodes", &self.nodes.len())
+            .field("modules", &self.modules.len())
+            .finish()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a topology with a deterministic RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            kernel: Kernel::new(seed),
+            nodes: HashMap::new(),
+            modules: HashMap::new(),
+        }
+    }
+
+    /// Declares a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateNode`] if the name is taken.
+    pub fn node(&mut self, name: &str) -> Result<NodeId, BuildError> {
+        if self.nodes.contains_key(name) {
+            return Err(BuildError::DuplicateNode(name.to_string()));
+        }
+        let id = self.kernel.add_node(name);
+        self.nodes.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a module named `module` to node `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownPath`] if the node does not exist or
+    /// [`BuildError::DuplicateModule`] if `node.module` is taken.
+    pub fn module(
+        &mut self,
+        node: &str,
+        module: &str,
+        process: Box<dyn Process>,
+    ) -> Result<ModuleId, BuildError> {
+        let node_id = *self
+            .nodes
+            .get(node)
+            .ok_or_else(|| BuildError::UnknownPath(node.to_string()))?;
+        let path = format!("{node}.{module}");
+        if self.modules.contains_key(&path) {
+            return Err(BuildError::DuplicateModule(path));
+        }
+        let id = self.kernel.add_module(node_id, module, process);
+        self.modules.insert(path, id);
+        Ok(id)
+    }
+
+    /// Resolves a `node.module` path to its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownPath`] when the path is not registered.
+    pub fn lookup(&self, path: &str) -> Result<ModuleId, BuildError> {
+        self.modules
+            .get(path)
+            .copied()
+            .ok_or_else(|| BuildError::UnknownPath(path.to_string()))
+    }
+
+    /// Connects two module ports with an instantaneous stream
+    /// (intra-node wiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns path or kernel wiring errors.
+    pub fn stream(
+        &mut self,
+        src: &str,
+        src_port: usize,
+        dst: &str,
+        dst_port: usize,
+    ) -> Result<(), BuildError> {
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        self.kernel
+            .connect_stream(s, PortId(src_port), d, PortId(dst_port))?;
+        Ok(())
+    }
+
+    /// Connects two module ports with a rate/delay link (inter-node wiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns path or kernel wiring errors.
+    pub fn link(
+        &mut self,
+        src: &str,
+        src_port: usize,
+        dst: &str,
+        dst_port: usize,
+        params: LinkParams,
+    ) -> Result<(), BuildError> {
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        self.kernel
+            .connect_link(s, PortId(src_port), d, PortId(dst_port), params)?;
+        Ok(())
+    }
+
+    /// Direct access to the kernel under construction (e.g. to register
+    /// probes).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Finishes construction, yielding the runnable kernel.
+    #[must_use]
+    pub fn build(self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::NullProcess;
+
+    #[test]
+    fn builds_named_topology() {
+        let mut b = NetworkBuilder::new(0);
+        b.node("a").unwrap();
+        b.node("b").unwrap();
+        b.module("a", "m", Box::new(NullProcess)).unwrap();
+        b.module("b", "m", Box::new(NullProcess)).unwrap();
+        b.stream("a.m", 0, "b.m", 0).unwrap();
+        let mut k = b.build();
+        assert!(k.run().is_ok());
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut b = NetworkBuilder::new(0);
+        b.node("x").unwrap();
+        assert!(matches!(b.node("x"), Err(BuildError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn duplicate_module_rejected() {
+        let mut b = NetworkBuilder::new(0);
+        b.node("x").unwrap();
+        b.module("x", "m", Box::new(NullProcess)).unwrap();
+        let err = b.module("x", "m", Box::new(NullProcess)).unwrap_err();
+        assert!(matches!(err, BuildError::DuplicateModule(p) if p == "x.m"));
+    }
+
+    #[test]
+    fn unknown_paths_rejected() {
+        let mut b = NetworkBuilder::new(0);
+        assert!(matches!(
+            b.module("ghost", "m", Box::new(NullProcess)),
+            Err(BuildError::UnknownPath(_))
+        ));
+        b.node("x").unwrap();
+        b.module("x", "m", Box::new(NullProcess)).unwrap();
+        assert!(matches!(
+            b.stream("x.m", 0, "x.ghost", 0),
+            Err(BuildError::UnknownPath(_))
+        ));
+    }
+
+    #[test]
+    fn kernel_errors_propagate() {
+        let mut b = NetworkBuilder::new(0);
+        b.node("x").unwrap();
+        b.module("x", "m", Box::new(NullProcess)).unwrap();
+        b.module("x", "n", Box::new(NullProcess)).unwrap();
+        b.stream("x.m", 0, "x.n", 0).unwrap();
+        let err = b.stream("x.m", 0, "x.n", 1).unwrap_err();
+        assert!(matches!(err, BuildError::Kernel(NetsimError::PortAlreadyConnected { .. })));
+    }
+
+    #[test]
+    fn lookup_resolves_ids() {
+        let mut b = NetworkBuilder::new(0);
+        b.node("x").unwrap();
+        let id = b.module("x", "m", Box::new(NullProcess)).unwrap();
+        assert_eq!(b.lookup("x.m").unwrap(), id);
+        assert!(b.lookup("x.q").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            BuildError::UnknownPath("a.b".into()).to_string(),
+            "unknown module path \"a.b\""
+        );
+    }
+}

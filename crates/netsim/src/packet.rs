@@ -1,0 +1,227 @@
+//! Packets — the information quanta exchanged by processes.
+//!
+//! In OPNET, processes communicate by exchanging *packets* whose content is
+//! an abstract data structure (§3.2: "processes communicate through the
+//! exchange of abstracted information described for example as
+//! C-structures. The communication is instantaneous — when an event occurs
+//! the complete information is available for further processing").
+//!
+//! `Packet` therefore carries a typed payload (`Box<dyn Any>`) so that model
+//! code can move real Rust structs (e.g. an ATM cell) through the network
+//! without serialization; the bit length used for link transmission-delay
+//! computation is tracked separately, because the *modelled* size of the
+//! information and the in-memory size of its representation are different
+//! things.
+
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PACKET_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonically increasing packet identity, unique within a process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// A simulation packet: a format code, a modelled bit length, a creation
+/// stamp and an arbitrary typed payload.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::packet::Packet;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct AtmData { vpi: u16, vci: u16 }
+///
+/// let p = Packet::new(Packet::FORMAT_UNTYPED, 53 * 8).with_payload(AtmData { vpi: 1, vci: 42 });
+/// assert_eq!(p.bit_len(), 424);
+/// assert_eq!(p.payload::<AtmData>().map(|d| d.vci), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct Packet {
+    id: PacketId,
+    format: u32,
+    bit_len: u32,
+    created_at: SimTime,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl Packet {
+    /// Format code for packets without a registered format.
+    pub const FORMAT_UNTYPED: u32 = 0;
+
+    /// Creates a packet with the given format code and modelled size in bits.
+    #[must_use]
+    pub fn new(format: u32, bit_len: u32) -> Self {
+        Packet {
+            id: PacketId(NEXT_PACKET_ID.fetch_add(1, Ordering::Relaxed)),
+            format,
+            bit_len,
+            created_at: SimTime::ZERO,
+            payload: None,
+        }
+    }
+
+    /// Attaches a typed payload, replacing any previous payload.
+    #[must_use]
+    pub fn with_payload<T: Any + Send>(mut self, payload: T) -> Self {
+        self.payload = Some(Box::new(payload));
+        self
+    }
+
+    /// Unique identity of this packet.
+    #[must_use]
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// User-assigned format code (used by interface models to route packets
+    /// to the correct conversion function).
+    #[must_use]
+    pub fn format(&self) -> u32 {
+        self.format
+    }
+
+    /// Modelled length in bits, used for serialization-delay computation on
+    /// links.
+    #[must_use]
+    pub fn bit_len(&self) -> u32 {
+        self.bit_len
+    }
+
+    /// Sets the modelled length in bits.
+    pub fn set_bit_len(&mut self, bits: u32) {
+        self.bit_len = bits;
+    }
+
+    /// Time at which the packet was handed to the kernel (set on first send).
+    #[must_use]
+    pub fn created_at(&self) -> SimTime {
+        self.created_at
+    }
+
+    pub(crate) fn stamp_creation(&mut self, t: SimTime) {
+        if self.created_at == SimTime::ZERO {
+            self.created_at = t;
+        }
+    }
+
+    /// Borrow the payload as type `T`, if present and of that type.
+    #[must_use]
+    pub fn payload<T: Any>(&self) -> Option<&T> {
+        self.payload.as_ref()?.downcast_ref::<T>()
+    }
+
+    /// Mutably borrow the payload as type `T`, if present and of that type.
+    #[must_use]
+    pub fn payload_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.payload.as_mut()?.downcast_mut::<T>()
+    }
+
+    /// Takes the payload out of the packet as type `T`.
+    ///
+    /// Returns `Err(self)` (the packet unchanged) when the payload is absent
+    /// or of a different type, so callers keep ownership either way.
+    pub fn into_payload<T: Any>(mut self) -> Result<T, Packet> {
+        match self.payload.take() {
+            Some(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(b) => {
+                    self.payload = Some(b);
+                    Err(self)
+                }
+            },
+            None => Err(self),
+        }
+    }
+
+    /// `true` when a payload is attached.
+    #[must_use]
+    pub fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fmt={} len={}b created={}",
+            self.id, self.format, self.bit_len, self.created_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Packet::new(0, 8);
+        let b = Packet::new(0, 8);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = Packet::new(1, 424).with_payload(vec![1u8, 2, 3]);
+        assert!(p.has_payload());
+        assert_eq!(p.payload::<Vec<u8>>().unwrap(), &vec![1, 2, 3]);
+        assert!(p.payload::<String>().is_none());
+        let v = p.into_payload::<Vec<u8>>().expect("payload type matches");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_payload_wrong_type_returns_packet() {
+        let p = Packet::new(1, 8).with_payload(7u32);
+        let p = p.into_payload::<String>().expect_err("wrong type");
+        // Payload is preserved after the failed downcast.
+        assert_eq!(p.payload::<u32>(), Some(&7));
+    }
+
+    #[test]
+    fn into_payload_empty_returns_packet() {
+        let p = Packet::new(1, 8);
+        assert!(p.into_payload::<u32>().is_err());
+    }
+
+    #[test]
+    fn payload_mut_allows_in_place_edit() {
+        let mut p = Packet::new(0, 8).with_payload(10i64);
+        *p.payload_mut::<i64>().unwrap() += 5;
+        assert_eq!(p.payload::<i64>(), Some(&15));
+    }
+
+    #[test]
+    fn creation_stamp_set_once() {
+        let mut p = Packet::new(0, 8);
+        p.stamp_creation(SimTime::from_ns(5));
+        p.stamp_creation(SimTime::from_ns(9));
+        assert_eq!(p.created_at(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn bit_len_mutable() {
+        let mut p = Packet::new(0, 8);
+        p.set_bit_len(424);
+        assert_eq!(p.bit_len(), 424);
+    }
+
+    #[test]
+    fn display_mentions_format_and_len() {
+        let p = Packet::new(3, 16);
+        let s = p.to_string();
+        assert!(s.contains("fmt=3"));
+        assert!(s.contains("len=16b"));
+    }
+}

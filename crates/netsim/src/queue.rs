@@ -1,0 +1,224 @@
+//! Finite FIFO queues for the node domain.
+//!
+//! §2: "Within the node domain each node's capability is described in terms
+//! of processing, **queueing** and communication interfaces." `FiniteQueue`
+//! is the standard drop-tail buffer used by the ATM switch port modules; it
+//! tracks occupancy statistics and drop counts so models can report loss.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug)]
+pub enum Enqueue {
+    /// The packet was accepted; current depth is reported.
+    Accepted {
+        /// Queue depth after insertion.
+        depth: usize,
+    },
+    /// The queue was full; the rejected packet is returned to the caller.
+    Dropped(Packet),
+}
+
+/// A bounded drop-tail FIFO with occupancy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::queue::{Enqueue, FiniteQueue};
+/// use castanet_netsim::packet::Packet;
+///
+/// let mut q = FiniteQueue::new(2);
+/// assert!(matches!(q.enqueue(Packet::new(0, 8)), Enqueue::Accepted { depth: 1 }));
+/// assert!(matches!(q.enqueue(Packet::new(0, 8)), Enqueue::Accepted { depth: 2 }));
+/// assert!(matches!(q.enqueue(Packet::new(0, 8)), Enqueue::Dropped(_)));
+/// assert_eq!(q.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FiniteQueue {
+    items: VecDeque<Packet>,
+    capacity: usize,
+    dropped: u64,
+    enqueued: u64,
+    dequeued: u64,
+    peak_depth: usize,
+}
+
+impl FiniteQueue {
+    /// Creates a queue holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue drops everything,
+    /// which is never what a model means).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        FiniteQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            enqueued: 0,
+            dequeued: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Attempts to append `packet`; returns it back in
+    /// [`Enqueue::Dropped`] when full.
+    pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Enqueue::Dropped(packet);
+        }
+        self.items.push_back(packet);
+        self.enqueued += 1;
+        self.peak_depth = self.peak_depth.max(self.items.len());
+        Enqueue::Accepted {
+            depth: self.items.len(),
+        }
+    }
+
+    /// Removes and returns the oldest packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.items.pop_front();
+        if p.is_some() {
+            self.dequeued += 1;
+        }
+        p
+    }
+
+    /// Oldest packet without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&Packet> {
+        self.items.front()
+    }
+
+    /// Current number of queued packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no packets are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when the next enqueue would drop.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Packets dropped because the queue was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets accepted over the queue's lifetime.
+    #[must_use]
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Packets removed over the queue's lifetime.
+    #[must_use]
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Highest depth ever reached.
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Loss ratio: dropped / offered. Zero when nothing was offered.
+    #[must_use]
+    pub fn loss_ratio(&self) -> f64 {
+        let offered = self.enqueued + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = FiniteQueue::new(10);
+        for fmt in 0..5 {
+            q.enqueue(Packet::new(fmt, 8));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue()).map(|p| p.format()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drops_when_full_and_returns_packet() {
+        let mut q = FiniteQueue::new(1);
+        q.enqueue(Packet::new(1, 8));
+        match q.enqueue(Packet::new(2, 8)) {
+            Enqueue::Dropped(p) => assert_eq!(p.format(), 2),
+            Enqueue::Accepted { .. } => panic!("queue should be full"),
+        }
+        assert!(q.is_full());
+        assert_eq!(q.dropped(), 1);
+        assert!((q.loss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_and_peak_depth() {
+        let mut q = FiniteQueue::new(3);
+        q.enqueue(Packet::new(0, 8));
+        q.enqueue(Packet::new(0, 8));
+        q.dequeue();
+        q.enqueue(Packet::new(0, 8));
+        assert_eq!(q.enqueued(), 3);
+        assert_eq!(q.dequeued(), 1);
+        assert_eq!(q.peak_depth(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn dequeue_empty_is_none() {
+        let mut q = FiniteQueue::new(1);
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.dequeued(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn front_peeks() {
+        let mut q = FiniteQueue::new(2);
+        q.enqueue(Packet::new(9, 8));
+        assert_eq!(q.front().map(Packet::format), Some(9));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = FiniteQueue::new(0);
+    }
+
+    #[test]
+    fn loss_ratio_zero_when_unused() {
+        let q = FiniteQueue::new(1);
+        assert_eq!(q.loss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic random-number utilities for traffic modelling.
+//!
+//! Effective traffic modelling "has become crucial for the design process of
+//! networking hardware" (§2). The distributions here are the ones the ATM
+//! traffic sources in `castanet-atm` draw from: exponential inter-arrival
+//! times (Poisson traffic), geometric burst lengths (on-off sources), Pareto
+//! tails (self-similar loads). All sampling is by inverse transform on a
+//! seeded [`SmallRng`], so simulations are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates an independent, deterministic RNG stream for purpose `stream`
+/// derived from a base `seed`. Different streams are decorrelated by a
+/// SplitMix64-style mixing step, so a traffic source and a background load
+/// seeded from the same base seed do not produce lock-stepped values.
+#[must_use]
+pub fn stream_rng(seed: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(mix(seed, stream))
+}
+
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples an exponential variate with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive and finite.
+#[must_use]
+pub fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+    // Inverse transform; 1-u avoids ln(0).
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a geometric variate: the number of Bernoulli(`p`) trials up to and
+/// including the first success (support 1, 2, 3, …).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+#[must_use]
+pub fn geometric(rng: &mut SmallRng, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+    if (p - 1.0).abs() < f64::EPSILON {
+        return 1;
+    }
+    let u: f64 = rng.random();
+    ((1.0 - u).ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// Samples a Pareto variate with scale `xm` and shape `alpha`
+/// (heavy-tailed; used for self-similar traffic burst sizes).
+///
+/// # Panics
+///
+/// Panics unless `xm > 0` and `alpha > 0`.
+#[must_use]
+pub fn pareto(rng: &mut SmallRng, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0, "pareto scale must be positive");
+    assert!(alpha > 0.0, "pareto shape must be positive");
+    let u: f64 = rng.random();
+    xm / (1.0 - u).powf(1.0 / alpha)
+}
+
+/// Samples a uniform integer in `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn uniform_u64(rng: &mut SmallRng, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "uniform range is empty");
+    rng.random_range(lo..=hi)
+}
+
+/// Returns `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn bernoulli(rng: &mut SmallRng, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_distinct() {
+        let mut a1 = stream_rng(42, 0);
+        let mut a2 = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let xs1: Vec<u64> = (0..8).map(|_| a1.random()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_eq!(xs1, xs2);
+        assert_ne!(xs1, ys);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = stream_rng(7, 0);
+        let n = 20_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.1, "estimated mean {est} too far from {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = stream_rng(9, 0);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_one_over_p() {
+        let mut rng = stream_rng(11, 0);
+        let p = 0.25;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut rng, p)).sum();
+        let est = sum as f64 / n as f64;
+        assert!((est - 4.0).abs() < 0.15, "estimated mean {est} too far from 4");
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_always_one() {
+        let mut rng = stream_rng(1, 0);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut rng, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = stream_rng(3, 0);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = stream_rng(5, 0);
+        for _ in 0..1000 {
+            let v = uniform_u64(&mut rng, 10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(uniform_u64(&mut rng, 7, 7), 7);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = stream_rng(13, 0);
+        let hits = (0..20_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_nonpositive_mean() {
+        let mut rng = stream_rng(0, 0);
+        let _ = exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn uniform_rejects_inverted_range() {
+        let mut rng = stream_rng(0, 0);
+        let _ = uniform_u64(&mut rng, 5, 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! Statistic collection.
+//!
+//! The paper lists "access to powerful analysis capabilities available in
+//! existing network simulation tools" as one of the co-verification
+//! environment's advantages. This module provides the OPNET-style probe
+//! mechanism those analyses are built on: named probes into which model code
+//! records samples, with scalar summaries, time-weighted averages and
+//! histograms computed incrementally.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Handle to a registered probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeId(usize);
+
+/// Running scalar summary of a probe's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Most recent sample (`f64::NAN` when empty).
+    pub last: f64,
+}
+
+impl Summary {
+    fn empty() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: f64::NAN,
+        }
+    }
+
+    /// Arithmetic mean of the samples; `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+struct Probe {
+    name: String,
+    summary: Summary,
+    // Time-weighted accumulation: integral of value over time since the
+    // previous sample, for time averages of level-type statistics
+    // (queue depth, link utilization).
+    weighted_integral: f64,
+    last_sample_time: Option<SimTime>,
+    samples: Option<Vec<(SimTime, f64)>>,
+}
+
+/// Registry of probes. One per kernel; models record through
+/// [`crate::kernel::Ctx::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::stats::StatsRegistry;
+///
+/// let mut stats = StatsRegistry::new();
+/// let p = stats.probe("cell delay");
+/// stats.record(p, 2.5);
+/// stats.record(p, 3.5);
+/// assert_eq!(stats.summary(p).count, 2);
+/// assert_eq!(stats.summary(p).mean(), Some(3.0));
+/// ```
+#[derive(Default)]
+pub struct StatsRegistry {
+    probes: Vec<Probe>,
+}
+
+impl fmt::Debug for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StatsRegistry")
+            .field("probes", &self.probes.len())
+            .finish()
+    }
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a probe under `name`, returning its handle. Names need not
+    /// be unique; the handle is the identity.
+    pub fn probe(&mut self, name: impl Into<String>) -> ProbeId {
+        let id = ProbeId(self.probes.len());
+        self.probes.push(Probe {
+            name: name.into(),
+            summary: Summary::empty(),
+            weighted_integral: 0.0,
+            last_sample_time: None,
+            samples: None,
+        });
+        id
+    }
+
+    /// Registers a probe that additionally keeps every `(time, value)`
+    /// sample for post-run series analysis (costs memory proportional to the
+    /// sample count).
+    pub fn probe_with_series(&mut self, name: impl Into<String>) -> ProbeId {
+        let id = self.probe(name);
+        self.probes[id.0].samples = Some(Vec::new());
+        id
+    }
+
+    /// Records a plain sample (no time weighting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    pub fn record(&mut self, id: ProbeId, value: f64) {
+        let p = &mut self.probes[id.0];
+        update_summary(&mut p.summary, value);
+        if let Some(series) = &mut p.samples {
+            series.push((SimTime::ZERO, value));
+        }
+    }
+
+    /// Records a sample at simulated time `t`, additionally accumulating the
+    /// time-weighted integral of the *previous* value over `[prev_t, t]` for
+    /// level statistics (queue depth, utilization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    pub fn record_at(&mut self, id: ProbeId, t: SimTime, value: f64) {
+        let p = &mut self.probes[id.0];
+        if let Some(prev_t) = p.last_sample_time {
+            if t > prev_t && !p.summary.last.is_nan() {
+                let dt = (t - prev_t).as_secs_f64();
+                p.weighted_integral += p.summary.last * dt;
+            }
+        }
+        p.last_sample_time = Some(t);
+        update_summary(&mut p.summary, value);
+        if let Some(series) = &mut p.samples {
+            series.push((t, value));
+        }
+    }
+
+    /// Scalar summary of a probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    #[must_use]
+    pub fn summary(&self, id: ProbeId) -> Summary {
+        self.probes[id.0].summary
+    }
+
+    /// Time average of a level statistic over `[first sample, horizon]`.
+    /// Returns `None` before any [`StatsRegistry::record_at`] sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    #[must_use]
+    pub fn time_average(&self, id: ProbeId, horizon: SimTime) -> Option<f64> {
+        let p = &self.probes[id.0];
+        let last_t = p.last_sample_time?;
+        let first_t = p
+            .samples
+            .as_ref()
+            .and_then(|s| s.first().map(|(t, _)| *t))
+            .unwrap_or(SimTime::ZERO);
+        let mut integral = p.weighted_integral;
+        if horizon > last_t && !p.summary.last.is_nan() {
+            integral += p.summary.last * (horizon - last_t).as_secs_f64();
+        }
+        let span = horizon.checked_duration_since(first_t)?.as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        Some(integral / span)
+    }
+
+    /// The recorded time series, when the probe was created with
+    /// [`StatsRegistry::probe_with_series`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    #[must_use]
+    pub fn series(&self, id: ProbeId) -> Option<&[(SimTime, f64)]> {
+        self.probes[id.0].samples.as_deref()
+    }
+
+    /// The name the probe was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this registry.
+    #[must_use]
+    pub fn name(&self, id: ProbeId) -> &str {
+        &self.probes[id.0].name
+    }
+
+    /// Iterates over `(id, name, summary)` of every probe.
+    pub fn iter(&self) -> impl Iterator<Item = (ProbeId, &str, Summary)> {
+        self.probes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProbeId(i), p.name.as_str(), p.summary))
+    }
+
+    /// Builds a fixed-bin histogram of a series probe over `[lo, hi)` with
+    /// `bins` bins; the last slot counts out-of-range samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe has no series, `bins == 0`, or `hi <= lo`.
+    #[must_use]
+    pub fn histogram(&self, id: ProbeId, lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let series = self
+            .series(id)
+            .expect("histogram requires a probe created with probe_with_series");
+        let mut out = vec![0u64; bins + 1];
+        let width = (hi - lo) / bins as f64;
+        for &(_, v) in series {
+            if v >= lo && v < hi {
+                let idx = ((v - lo) / width) as usize;
+                out[idx.min(bins - 1)] += 1;
+            } else {
+                out[bins] += 1;
+            }
+        }
+        out
+    }
+
+    /// Clears all samples, keeping the probe registrations.
+    pub fn reset(&mut self) {
+        for p in &mut self.probes {
+            p.summary = Summary::empty();
+            p.weighted_integral = 0.0;
+            p.last_sample_time = None;
+            if let Some(s) = &mut p.samples {
+                s.clear();
+            }
+        }
+    }
+}
+
+fn update_summary(s: &mut Summary, value: f64) {
+    s.count += 1;
+    s.sum += value;
+    s.min = s.min.min(value);
+    s.max = s.max.max(value);
+    s.last = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe("x");
+        for v in [4.0, 1.0, 7.0] {
+            r.record(p, v);
+        }
+        let s = r.summary(p);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.last, 7.0);
+        assert_eq!(s.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_summary_has_no_mean() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe("x");
+        assert_eq!(r.summary(p).mean(), None);
+        assert_eq!(r.summary(p).count, 0);
+    }
+
+    #[test]
+    fn time_average_of_level_statistic() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe_with_series("queue depth");
+        // Depth 2 over [0,10) ns, depth 4 over [10,20) ns -> average 3.
+        r.record_at(p, SimTime::from_ns(0), 2.0);
+        r.record_at(p, SimTime::from_ns(10), 4.0);
+        let avg = r.time_average(p, SimTime::from_ns(20)).unwrap();
+        assert!((avg - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_average_none_without_samples() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe("x");
+        assert_eq!(r.time_average(p, SimTime::from_ns(10)), None);
+    }
+
+    #[test]
+    fn series_records_everything() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe_with_series("x");
+        r.record_at(p, SimTime::from_ns(1), 1.0);
+        r.record_at(p, SimTime::from_ns(2), 2.0);
+        let s = r.series(p).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1], (SimTime::from_ns(2), 2.0));
+        // A non-series probe reports None.
+        let q = r.probe("scalar only");
+        assert!(r.series(q).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_samples() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe_with_series("x");
+        for v in [0.1, 0.2, 0.55, 0.9, 1.5] {
+            r.record(p, v);
+        }
+        let h = r.histogram(p, 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 2, 1]); // [0,0.5): 2, [0.5,1): 2, outside: 1
+    }
+
+    #[test]
+    fn reset_clears_samples_keeps_probes() {
+        let mut r = StatsRegistry::new();
+        let p = r.probe_with_series("x");
+        r.record(p, 1.0);
+        r.reset();
+        assert_eq!(r.summary(p).count, 0);
+        assert_eq!(r.series(p).unwrap().len(), 0);
+        assert_eq!(r.name(p), "x");
+    }
+
+    #[test]
+    fn iter_lists_probes() {
+        let mut r = StatsRegistry::new();
+        let a = r.probe("a");
+        let _b = r.probe("b");
+        r.record(a, 1.0);
+        let names: Vec<&str> = r.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,457 @@
+//! Simulation time for the discrete-event kernel.
+//!
+//! Time is represented as an integer number of **picoseconds** since the start
+//! of the simulation. An integer representation makes event ordering exact
+//! (no floating-point ties), which matters for the deterministic coupling of
+//! two simulators: the CASTANET synchronization protocol compares time stamps
+//! produced by *different* kernels, so both the network simulator and the RTL
+//! simulator in this workspace share this representation.
+//!
+//! A picosecond granularity covers both domains of the paper: cell-level
+//! network simulation (one ATM cell at 155.52 Mbit/s lasts ≈ 2.73 µs) and
+//! clock-level RTL simulation (a 50 MHz clock period is 20 000 ps), with room
+//! for multi-hour simulations (`u64` picoseconds ≈ 213 days).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute point in simulated time, in picoseconds since simulation start.
+///
+/// `SimTime` is a transparent newtype over `u64`; it forms a total order and
+/// supports the arithmetic needed by schedulers (`+ SimDuration`,
+/// `- SimTime -> SimDuration`).
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_ns(5);
+/// assert_eq!(t.as_picos(), 5_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_netsim::time::SimDuration;
+///
+/// let cell_time = SimDuration::from_ns(2_726); // one ATM cell at 155.52 Mbit/s
+/// assert_eq!(cell_time * 2, SimDuration::from_ns(5_452));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time; used as an "end of time" sentinel by
+    /// synchronization protocols that need a bound for "no constraint".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[must_use]
+    pub const fn from_picos(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    #[must_use]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed as (possibly fractional) seconds. Intended for
+    /// statistics and display, not for ordering.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// Returns `None` when `earlier` is in this instant's future.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use castanet_netsim::time::{SimTime, SimDuration};
+    /// let a = SimTime::from_ns(10);
+    /// let b = SimTime::from_ns(4);
+    /// assert_eq!(a.checked_duration_since(b), Some(SimDuration::from_ns(6)));
+    /// assert_eq!(b.checked_duration_since(a), None);
+    /// ```
+    #[must_use]
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Saturating addition of a duration (clamps at [`SimTime::MAX`]).
+    #[must_use]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw picoseconds.
+    #[must_use]
+    pub const fn from_picos(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        let ps = secs * 1e12;
+        assert!(ps <= u64::MAX as f64, "duration {secs} s overflows SimDuration");
+        SimDuration(ps.round() as u64)
+    }
+
+    /// The period of a clock with the given frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use castanet_netsim::time::SimDuration;
+    /// // The test board of the paper runs at 20 MHz maximum.
+    /// assert_eq!(SimDuration::from_freq_hz(20_000_000).as_picos(), 50_000);
+    /// ```
+    #[must_use]
+    pub fn from_freq_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        SimDuration(1_000_000_000_000 / hz)
+    }
+
+    /// Raw picosecond count.
+    #[must_use]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration expressed as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// `true` when this is the zero duration.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    #[must_use]
+    pub fn checked_mul(self, factor: u64) -> Option<SimDuration> {
+        self.0.checked_mul(factor).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation time overflow"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflow"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative duration between simulation times"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    /// Integer quotient of two durations (how many `rhs` fit in `self`).
+    fn div(self, rhs: SimDuration) -> u64 {
+        assert!(!rhs.is_zero(), "division by zero duration");
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_picos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_picos(self.0, f)
+    }
+}
+
+/// Renders a picosecond count with the largest unit that keeps the value
+/// exact (e.g. `20 ns`, `2.73 us`, `1.5 ms`).
+fn fmt_picos(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    const UNITS: [(u64, &str); 4] = [
+        (1_000_000_000_000, "s"),
+        (1_000_000_000, "ms"),
+        (1_000_000, "us"),
+        (1_000, "ns"),
+    ];
+    for (scale, unit) in UNITS {
+        if ps >= scale {
+            let whole = ps / scale;
+            let frac = ps % scale;
+            if frac == 0 {
+                return write!(f, "{whole} {unit}");
+            }
+            return write!(f, "{:.3} {unit}", ps as f64 / scale as f64);
+        }
+    }
+    write!(f, "{ps} ps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unit_constructors_scale_correctly() {
+        assert_eq!(SimTime::from_ns(1).as_picos(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_picos(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_picos(), 1_000_000_000);
+        assert_eq!(SimTime::from_secs(1).as_picos(), 1_000_000_000_000);
+        assert_eq!(SimDuration::from_ns(3).as_picos(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_picos(), 2_000_000_000_000);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let t = SimTime::from_ns(100);
+        let d = SimDuration::from_ns(40);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtracting_past_zero_panics() {
+        let _ = SimTime::from_ns(1) - SimDuration::from_ns(2);
+    }
+
+    #[test]
+    fn checked_duration_since_handles_order() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(9);
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_ns(4)));
+        assert_eq!(a.checked_duration_since(b), None);
+        assert_eq!(a.checked_duration_since(a), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn clock_period_from_frequency() {
+        // 50 MHz -> 20 ns.
+        assert_eq!(SimDuration::from_freq_hz(50_000_000), SimDuration::from_ns(20));
+        // 20 MHz board clock -> 50 ns.
+        assert_eq!(SimDuration::from_freq_hz(20_000_000), SimDuration::from_ns(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = SimDuration::from_freq_hz(0);
+    }
+
+    #[test]
+    fn duration_division_counts_quotient() {
+        let cell = SimDuration::from_ns(2_726);
+        let clk = SimDuration::from_ns(20);
+        assert_eq!(cell / clk, 136);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_ns(1));
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_uses_natural_units() {
+        assert_eq!(SimTime::from_ns(20).to_string(), "20 ns");
+        assert_eq!(SimTime::from_picos(5).to_string(), "5 ps");
+        assert_eq!(SimTime::from_us(3).to_string(), "3 us");
+        assert_eq!(SimDuration::from_ms(7).to_string(), "7 ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2 s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ns(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_ns(1).saturating_sub(SimDuration::from_ns(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_div_duration() {
+        let d = SimDuration::from_ns(10);
+        assert_eq!(d * 3, SimDuration::from_ns(30));
+        assert_eq!(d / 2, SimDuration::from_ns(5));
+        assert_eq!(d.checked_mul(u64::MAX), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_ns(3), SimTime::ZERO, SimTime::from_ns(1)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_ns(1), SimTime::from_ns(3)]);
+    }
+}

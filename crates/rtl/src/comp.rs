@@ -1,0 +1,684 @@
+//! Library of synthesizable-style RTL components as event-driven processes.
+//!
+//! The building blocks a VHDL designer instantiates: flip-flops, counters,
+//! shift registers and synchronous FIFOs, written against the event-driven
+//! kernel with sensitivity lists — both to exercise the kernel the way real
+//! RTL does and to compose test benches and DUT scaffolding.
+
+use crate::logic::Logic;
+use crate::signal::SignalId;
+use crate::sim::{RtlCtx, RtlProcess};
+use crate::vector::LogicVector;
+use std::collections::VecDeque;
+
+/// A D flip-flop with synchronous active-high reset:
+/// `q <= (others => '0') when rst else d` on rising `clk`.
+#[derive(Debug)]
+pub struct DFlipFlop {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Synchronous reset input.
+    pub rst: SignalId,
+    /// Data input.
+    pub d: SignalId,
+    /// Registered output.
+    pub q: SignalId,
+}
+
+impl RtlProcess for DFlipFlop {
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) {
+            if ctx.read_bit(self.rst).is_one() {
+                let width = ctx.read(self.q).width();
+                ctx.assign(self.q, LogicVector::filled(Logic::Zero, width));
+            } else {
+                let v = ctx.read(self.d).clone();
+                ctx.assign(self.q, v);
+            }
+        }
+    }
+}
+
+/// A binary up-counter with synchronous reset and enable; wraps at the
+/// output width.
+#[derive(Debug)]
+pub struct Counter {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Synchronous reset input.
+    pub rst: SignalId,
+    /// Count enable input.
+    pub en: SignalId,
+    /// Counter value output.
+    pub q: SignalId,
+    value: u64,
+    width: usize,
+}
+
+impl Counter {
+    /// Creates a counter of `width` bits (`q` must be declared with the same
+    /// width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(clk: SignalId, rst: SignalId, en: SignalId, q: SignalId, width: usize) -> Self {
+        assert!((1..=64).contains(&width), "counter width must be 1..=64");
+        Counter {
+            clk,
+            rst,
+            en,
+            q,
+            value: 0,
+            width,
+        }
+    }
+}
+
+impl RtlProcess for Counter {
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        ctx.assign(self.q, LogicVector::from_u64(0, self.width));
+    }
+
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) {
+            if ctx.read_bit(self.rst).is_one() {
+                self.value = 0;
+            } else if ctx.read_bit(self.en).is_one() {
+                self.value = if self.width == 64 {
+                    self.value.wrapping_add(1)
+                } else {
+                    (self.value + 1) & ((1u64 << self.width) - 1)
+                };
+            }
+            ctx.assign(self.q, LogicVector::from_u64(self.value, self.width));
+        }
+    }
+}
+
+/// A serial-in, parallel-out shift register (LSB-first: the incoming bit
+/// enters at bit 0 and older bits shift up).
+#[derive(Debug)]
+pub struct ShiftRegister {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Serial data input (1 bit).
+    pub din: SignalId,
+    /// Shift enable.
+    pub en: SignalId,
+    /// Parallel output.
+    pub q: SignalId,
+    state: LogicVector,
+}
+
+impl ShiftRegister {
+    /// Creates a shift register matching `q`'s width.
+    #[must_use]
+    pub fn new(clk: SignalId, din: SignalId, en: SignalId, q: SignalId, width: usize) -> Self {
+        ShiftRegister {
+            clk,
+            din,
+            en,
+            q,
+            state: LogicVector::filled(Logic::Zero, width),
+        }
+    }
+}
+
+impl RtlProcess for ShiftRegister {
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        ctx.assign(self.q, self.state.clone());
+    }
+
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) && ctx.read_bit(self.en).is_one() {
+            let w = self.state.width();
+            let mut next = LogicVector::filled(Logic::Zero, w);
+            next.set_bit(0, ctx.read_bit(self.din));
+            for i in 1..w {
+                next.set_bit(i, self.state.bit(i - 1));
+            }
+            self.state = next.clone();
+            ctx.assign(self.q, next);
+        }
+    }
+}
+
+/// A synchronous FIFO with registered outputs.
+///
+/// Interface (all sampled/updated on rising `clk`):
+/// * `wr_en`/`wr_data` — push when asserted and not full;
+/// * `rd_en` — pop when asserted and not empty; `rd_data` shows the head;
+/// * `full`/`empty` — status flags.
+#[derive(Debug)]
+pub struct SyncFifo {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Synchronous reset.
+    pub rst: SignalId,
+    /// Write enable.
+    pub wr_en: SignalId,
+    /// Write data.
+    pub wr_data: SignalId,
+    /// Read enable.
+    pub rd_en: SignalId,
+    /// Head-of-queue data output.
+    pub rd_data: SignalId,
+    /// Full flag output.
+    pub full: SignalId,
+    /// Empty flag output.
+    pub empty: SignalId,
+    depth: usize,
+    width: usize,
+    store: VecDeque<LogicVector>,
+    overflows: u64,
+}
+
+impl SyncFifo {
+    /// Creates a FIFO of `depth` entries of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        clk: SignalId,
+        rst: SignalId,
+        wr_en: SignalId,
+        wr_data: SignalId,
+        rd_en: SignalId,
+        rd_data: SignalId,
+        full: SignalId,
+        empty: SignalId,
+        depth: usize,
+        width: usize,
+    ) -> Self {
+        assert!(depth > 0, "fifo depth must be non-zero");
+        assert!(width > 0, "fifo width must be non-zero");
+        SyncFifo {
+            clk,
+            rst,
+            wr_en,
+            wr_data,
+            rd_en,
+            rd_data,
+            full,
+            empty,
+            depth,
+            width,
+            store: VecDeque::new(),
+            overflows: 0,
+        }
+    }
+
+    /// Writes dropped because the FIFO was full.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    fn publish(&self, ctx: &mut RtlCtx) {
+        let head = self
+            .store
+            .front()
+            .cloned()
+            .unwrap_or_else(|| LogicVector::filled(Logic::Zero, self.width));
+        ctx.assign(self.rd_data, head);
+        ctx.assign_bit(self.full, Logic::from_bool(self.store.len() >= self.depth));
+        ctx.assign_bit(self.empty, Logic::from_bool(self.store.is_empty()));
+    }
+}
+
+impl RtlProcess for SyncFifo {
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        self.publish(ctx);
+    }
+
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if !ctx.rising(self.clk) {
+            return;
+        }
+        if ctx.read_bit(self.rst).is_one() {
+            self.store.clear();
+            self.publish(ctx);
+            return;
+        }
+        // Pop first (simultaneous read+write on a full FIFO succeeds).
+        if ctx.read_bit(self.rd_en).is_one() && !self.store.is_empty() {
+            self.store.pop_front();
+        }
+        if ctx.read_bit(self.wr_en).is_one() {
+            if self.store.len() < self.depth {
+                self.store.push_back(ctx.read(self.wr_data).clone());
+            } else {
+                self.overflows += 1;
+            }
+        }
+        self.publish(ctx);
+    }
+}
+
+/// A Fibonacci LFSR pseudo-random pattern generator — the classic RTL
+/// stimulus source hand-written test benches instantiate.
+///
+/// Taps are given as a mask over the state bits; the generator shifts on
+/// every enabled rising edge and never enters the all-zero lock-up state.
+#[derive(Debug)]
+pub struct Lfsr {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Shift enable.
+    pub en: SignalId,
+    /// Current state output.
+    pub q: SignalId,
+    state: u64,
+    taps: u64,
+    width: usize,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits with the given tap mask and nonzero
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, the seed is zero, or the tap
+    /// mask selects bits outside the state.
+    #[must_use]
+    pub fn new(clk: SignalId, en: SignalId, q: SignalId, width: usize, taps: u64, seed: u64) -> Self {
+        assert!((1..=64).contains(&width), "lfsr width must be 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        assert!(seed & mask != 0, "lfsr seed must be non-zero");
+        assert!(taps & !mask == 0, "tap mask exceeds lfsr width");
+        assert!(taps != 0, "lfsr needs at least one tap");
+        Lfsr {
+            clk,
+            en,
+            q,
+            state: seed & mask,
+            taps,
+            width,
+        }
+    }
+
+    /// The standard maximal-length 16-bit LFSR (taps 16,15,13,4).
+    #[must_use]
+    pub fn standard16(clk: SignalId, en: SignalId, q: SignalId, seed: u16) -> Self {
+        Lfsr::new(clk, en, q, 16, 0b1101_0000_0000_1000, u64::from(seed.max(1)))
+    }
+}
+
+impl RtlProcess for Lfsr {
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        ctx.assign(self.q, LogicVector::from_u64(self.state, self.width));
+    }
+
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) && ctx.read_bit(self.en).is_one() {
+            let feedback = (self.state & self.taps).count_ones() as u64 & 1;
+            let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+            self.state = ((self.state << 1) | feedback) & mask;
+            if self.state == 0 {
+                self.state = 1; // lock-up escape (cannot happen with odd taps, kept defensively)
+            }
+            ctx.assign(self.q, LogicVector::from_u64(self.state, self.width));
+        }
+    }
+}
+
+/// A Gray-code up-counter: successive outputs differ in exactly one bit —
+/// the pattern used to cross clock domains safely.
+#[derive(Debug)]
+pub struct GrayCounter {
+    /// Clock input.
+    pub clk: SignalId,
+    /// Synchronous reset.
+    pub rst: SignalId,
+    /// Count enable.
+    pub en: SignalId,
+    /// Gray-coded output.
+    pub q: SignalId,
+    binary: u64,
+    width: usize,
+}
+
+impl GrayCounter {
+    /// Creates a Gray counter of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(clk: SignalId, rst: SignalId, en: SignalId, q: SignalId, width: usize) -> Self {
+        assert!((1..=64).contains(&width), "gray counter width must be 1..=64");
+        GrayCounter {
+            clk,
+            rst,
+            en,
+            q,
+            binary: 0,
+            width,
+        }
+    }
+
+    fn gray(&self) -> u64 {
+        self.binary ^ (self.binary >> 1)
+    }
+}
+
+impl RtlProcess for GrayCounter {
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        ctx.assign(self.q, LogicVector::from_u64(0, self.width));
+    }
+
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) {
+            if ctx.read_bit(self.rst).is_one() {
+                self.binary = 0;
+            } else if ctx.read_bit(self.en).is_one() {
+                let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+                self.binary = (self.binary + 1) & mask;
+            }
+            ctx.assign(self.q, LogicVector::from_u64(self.gray(), self.width));
+        }
+    }
+}
+
+/// A two-stage synchronizer chain: the canonical clock-domain-crossing
+/// structure. `q` follows `d` with a two-clock latency, never exposing the
+/// first stage's potentially metastable value.
+#[derive(Debug)]
+pub struct Synchronizer {
+    /// Destination-domain clock.
+    pub clk: SignalId,
+    /// Asynchronous input.
+    pub d: SignalId,
+    /// Synchronized output.
+    pub q: SignalId,
+    stage1: Logic,
+    stage2: Logic,
+}
+
+impl Synchronizer {
+    /// Creates a two-flop synchronizer.
+    #[must_use]
+    pub fn new(clk: SignalId, d: SignalId, q: SignalId) -> Self {
+        Synchronizer {
+            clk,
+            d,
+            q,
+            stage1: Logic::U,
+            stage2: Logic::U,
+        }
+    }
+}
+
+impl RtlProcess for Synchronizer {
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if ctx.rising(self.clk) {
+            self.stage2 = self.stage1;
+            self.stage1 = ctx.read_bit(self.d);
+            ctx.assign_bit(self.q, self.stage2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use castanet_netsim::time::{SimDuration, SimTime};
+
+    const PERIOD: SimDuration = SimDuration::from_ns(10);
+
+    /// Advances to just after the n-th rising edge (edges at 5, 15, 25 …).
+    fn after_edge(sim: &mut Simulator, n: u64) {
+        sim.run_until(SimTime::from_ns(5 + 10 * (n - 1) + 1)).unwrap();
+    }
+
+    #[test]
+    fn dff_resets_synchronously() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let d = sim.add_signal("d", 4);
+        let q = sim.add_signal("q", 4);
+        sim.add_process(Box::new(DFlipFlop { clk, rst, d, q }), &[clk]);
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke(d, LogicVector::from_u64(0xF, 4), SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 1);
+        assert_eq!(sim.read_u64(q), Some(0xF));
+        sim.poke_bit(rst, Logic::One, SimTime::from_ns(7)).unwrap();
+        after_edge(&mut sim, 2);
+        assert_eq!(sim.read_u64(q), Some(0));
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 3);
+        sim.add_process(Box::new(Counter::new(clk, rst, en, q, 3)), &[clk]);
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 5);
+        assert_eq!(sim.read_u64(q), Some(5));
+        // Disable: holds.
+        sim.poke_bit(en, Logic::Zero, SimTime::from_ns(47)).unwrap();
+        after_edge(&mut sim, 8);
+        assert_eq!(sim.read_u64(q), Some(5));
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 2);
+        sim.add_process(Box::new(Counter::new(clk, rst, en, q, 2)), &[clk]);
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 6);
+        assert_eq!(sim.read_u64(q), Some(2)); // 6 mod 4
+    }
+
+    #[test]
+    fn shift_register_collects_bits_lsb_first() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let din = sim.add_signal("din", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 4);
+        sim.add_process(Box::new(ShiftRegister::new(clk, din, en, q, 4)), &[clk]);
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        // Shift in 1,0,1,1 (LSB-first as sent).
+        for (i, b) in [true, false, true, true].into_iter().enumerate() {
+            sim.poke_bit(din, Logic::from_bool(b), SimTime::from_ns(10 * i as u64))
+                .unwrap();
+        }
+        after_edge(&mut sim, 4);
+        // After 4 shifts: first bit has moved to position 3.
+        // state = din3 din2 din1 din0-at-bit3... bit0 = last in (1),
+        // bit1 = 1, bit2 = 0, bit3 = 1 -> 0b1011.
+        assert_eq!(sim.read_u64(q), Some(0b1011));
+    }
+
+    #[test]
+    fn fifo_push_pop_and_flags() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let wr_en = sim.add_signal("wr_en", 1);
+        let wr_data = sim.add_signal("wr_data", 8);
+        let rd_en = sim.add_signal("rd_en", 1);
+        let rd_data = sim.add_signal("rd_data", 8);
+        let full = sim.add_signal("full", 1);
+        let empty = sim.add_signal("empty", 1);
+        sim.add_process(
+            Box::new(SyncFifo::new(
+                clk, rst, wr_en, wr_data, rd_en, rd_data, full, empty, 2, 8,
+            )),
+            &[clk],
+        );
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(rd_en, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(wr_en, Logic::One, SimTime::ZERO).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(0x11, 8), SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 1);
+        assert_eq!(sim.read_bit(empty), Logic::Zero);
+        assert_eq!(sim.read_u64(rd_data), Some(0x11));
+        sim.poke(wr_data, LogicVector::from_u64(0x22, 8), SimTime::from_ns(7)).unwrap();
+        after_edge(&mut sim, 2);
+        assert_eq!(sim.read_bit(full), Logic::One);
+        // Stop writing, start reading.
+        sim.poke_bit(wr_en, Logic::Zero, SimTime::from_ns(17)).unwrap();
+        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(17)).unwrap();
+        after_edge(&mut sim, 3);
+        assert_eq!(sim.read_u64(rd_data), Some(0x22));
+        assert_eq!(sim.read_bit(full), Logic::Zero);
+        after_edge(&mut sim, 4);
+        assert_eq!(sim.read_bit(empty), Logic::One);
+    }
+
+    #[test]
+    fn fifo_simultaneous_read_write_when_full() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let wr_en = sim.add_signal("wr_en", 1);
+        let wr_data = sim.add_signal("wr_data", 8);
+        let rd_en = sim.add_signal("rd_en", 1);
+        let rd_data = sim.add_signal("rd_data", 8);
+        let full = sim.add_signal("full", 1);
+        let empty = sim.add_signal("empty", 1);
+        sim.add_process(
+            Box::new(SyncFifo::new(
+                clk, rst, wr_en, wr_data, rd_en, rd_data, full, empty, 1, 8,
+            )),
+            &[clk],
+        );
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(wr_en, Logic::One, SimTime::ZERO).unwrap();
+        sim.poke_bit(rd_en, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(1, 8), SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 1); // fifo now full with 1
+        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(7)).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(2, 8), SimTime::from_ns(7)).unwrap();
+        after_edge(&mut sim, 2); // read 1, write 2 in the same cycle
+        assert_eq!(sim.read_u64(rd_data), Some(2));
+        assert_eq!(sim.read_bit(full), Logic::One);
+    }
+
+    #[test]
+    fn lfsr_runs_a_maximal_period_without_repeats_early() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 16);
+        sim.add_process(Box::new(Lfsr::standard16(clk, en, q, 0xACE1)), &[clk]);
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for edge in 1..=2000u64 {
+            after_edge(&mut sim, edge);
+            let v = sim.read_u64(q).unwrap();
+            assert_ne!(v, 0, "lfsr must never reach all-zero");
+            assert!(seen.insert(v), "state repeated after only {edge} steps");
+        }
+    }
+
+    #[test]
+    fn lfsr_holds_when_disabled() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 16);
+        sim.add_process(Box::new(Lfsr::standard16(clk, en, q, 1)), &[clk]);
+        sim.poke_bit(en, Logic::Zero, SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 5);
+        assert_eq!(sim.read_u64(q), Some(1));
+    }
+
+    #[test]
+    fn gray_counter_changes_one_bit_per_step() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 4);
+        sim.add_process(Box::new(GrayCounter::new(clk, rst, en, q, 4)), &[clk]);
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        let mut prev = None;
+        for edge in 1..=32u64 {
+            after_edge(&mut sim, edge);
+            let v = sim.read_u64(q).unwrap();
+            if let Some(p) = prev {
+                let diff: u64 = v ^ p;
+                assert_eq!(diff.count_ones(), 1, "gray step {p:#x} -> {v:#x}");
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn gray_counter_resets_to_zero() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let rst = sim.add_signal("rst", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 4);
+        sim.add_process(Box::new(GrayCounter::new(clk, rst, en, q, 4)), &[clk]);
+        sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(en, Logic::One, SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 5);
+        assert_ne!(sim.read_u64(q), Some(0));
+        sim.poke_bit(rst, Logic::One, SimTime::from_ns(47)).unwrap();
+        after_edge(&mut sim, 6);
+        assert_eq!(sim.read_u64(q), Some(0));
+    }
+
+    #[test]
+    fn synchronizer_delays_two_clocks() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", PERIOD);
+        let d = sim.add_signal("d", 1);
+        let q = sim.add_signal("q", 1);
+        sim.add_process(Box::new(Synchronizer::new(clk, d, q)), &[clk]);
+        sim.poke_bit(d, Logic::Zero, SimTime::ZERO).unwrap();
+        after_edge(&mut sim, 2);
+        // Async input rises between edges 2 and 3.
+        sim.poke_bit(d, Logic::One, SimTime::from_ns(27)).unwrap();
+        after_edge(&mut sim, 3);
+        assert_eq!(sim.read_bit(q), Logic::Zero, "one clock after capture: stage1 only");
+        after_edge(&mut sim, 4);
+        assert_eq!(sim.read_bit(q), Logic::Zero, "stage2 holds previous value");
+        after_edge(&mut sim, 5);
+        assert_eq!(sim.read_bit(q), Logic::One, "two clocks after capture");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn zero_seed_lfsr_panics() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 8);
+        let _ = Lfsr::new(clk, en, q, 8, 0b1000_1110, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=64")]
+    fn zero_width_counter_panics() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let rst = sim.add_signal("rst", 1);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 1);
+        let _ = Counter::new(clk, rst, en, q, 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The cycle-based simulation engine.
+//!
+//! The paper closes with: "the integration of cycle-based simulation
+//! techniques is required, as well as the development of design
+//! methodologies that make cycle-accurate modeling sufficient" (§5). This
+//! module is that integration: DUTs written against the pin-level
+//! [`CycleDut`] trait advance one *clock cycle* per call with no event
+//! queue, no delta cycles and no signal transactions — and the same DUT can
+//! be dropped into the event-driven kernel through
+//! [`attach_cycle_dut`], which is how experiment E7 compares the two
+//! engines on identical hardware.
+
+use crate::error::RtlError;
+use crate::signal::SignalId;
+use crate::sim::{RtlCtx, RtlProcess, Simulator};
+
+/// Declaration of one pin-level port (≤ 64 bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name (used for signal naming when attached to the event-driven
+    /// kernel).
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: usize,
+}
+
+impl PortDecl {
+    /// Creates a port declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 64`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: usize) -> Self {
+        assert!((1..=64).contains(&width), "port width must be 1..=64");
+        PortDecl {
+            name: name.into(),
+            width,
+        }
+    }
+
+    /// Bit mask covering the port's width.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+/// A cycle-accurate, pin-level hardware model: state advances only on
+/// rising clock edges. This is the contract shared by the cycle-based
+/// engine, the event-driven wrapper and the hardware test board (whose
+/// "prototype chip" is a `CycleDut` behind the pin interface).
+pub trait CycleDut: Send {
+    /// Input port declarations, in the order `clock_edge` expects.
+    fn input_ports(&self) -> Vec<PortDecl>;
+
+    /// Output port declarations, in the order `clock_edge` returns.
+    fn output_ports(&self) -> Vec<PortDecl>;
+
+    /// Returns all state to power-on values.
+    fn reset(&mut self);
+
+    /// Executes one rising clock edge: samples `inputs` (one word per input
+    /// port) and returns the output pin values *after* the edge.
+    fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64>;
+
+    /// `true` when the DUT is quiescent: with all-zero inputs, further
+    /// clocks provably change nothing observable. A cycle-based
+    /// co-simulation may then *skip* clocks entirely — the idle-time
+    /// optimization the paper's conclusion calls for. The default is
+    /// conservative (`false`: never skip).
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+/// The cycle-based engine: drives a [`CycleDut`] one clock at a time,
+/// validating port counts/widths and counting cycles.
+///
+/// # Examples
+///
+/// ```
+/// use castanet_rtl::cycle::{CycleDut, CycleSim, PortDecl};
+///
+/// struct Doubler;
+/// impl CycleDut for Doubler {
+///     fn input_ports(&self) -> Vec<PortDecl> { vec![PortDecl::new("x", 8)] }
+///     fn output_ports(&self) -> Vec<PortDecl> { vec![PortDecl::new("y", 8)] }
+///     fn reset(&mut self) {}
+///     fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> { vec![(inputs[0] * 2) & 0xFF] }
+/// }
+///
+/// let mut sim = CycleSim::new(Box::new(Doubler));
+/// assert_eq!(sim.step(&[21])?, vec![42]);
+/// assert_eq!(sim.cycles(), 1);
+/// # Ok::<(), castanet_rtl::error::RtlError>(())
+/// ```
+pub struct CycleSim {
+    dut: Box<dyn CycleDut>,
+    inputs: Vec<PortDecl>,
+    outputs: Vec<PortDecl>,
+    cycles: u64,
+}
+
+impl std::fmt::Debug for CycleSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleSim")
+            .field("cycles", &self.cycles)
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .finish()
+    }
+}
+
+impl CycleSim {
+    /// Wraps a DUT as-is — deliberately without resetting it, so
+    /// pre-loaded configuration (routing tables, tariffs) survives. Call
+    /// [`CycleSim::reset`] explicitly for a power-on start.
+    #[must_use]
+    pub fn new(dut: Box<dyn CycleDut>) -> Self {
+        let inputs = dut.input_ports();
+        let outputs = dut.output_ports();
+        CycleSim {
+            dut,
+            inputs,
+            outputs,
+            cycles: 0,
+        }
+    }
+
+    /// Executes one clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::PortCountMismatch`] for a wrong input count or
+    /// [`RtlError::WidthMismatch`] when a word exceeds its port width.
+    pub fn step(&mut self, inputs: &[u64]) -> Result<Vec<u64>, RtlError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(RtlError::PortCountMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        for (word, port) in inputs.iter().zip(&self.inputs) {
+            if *word & !port.mask() != 0 {
+                return Err(RtlError::WidthMismatch {
+                    expected: port.width,
+                    got: 64 - word.leading_zeros() as usize,
+                });
+            }
+        }
+        self.cycles += 1;
+        let out = self.dut.clock_edge(inputs);
+        debug_assert_eq!(out.len(), self.outputs.len(), "dut returned wrong output count");
+        Ok(out)
+    }
+
+    /// Executes `n` cycles with constant inputs, returning the last outputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`CycleSim::step`].
+    pub fn step_n(&mut self, inputs: &[u64], n: u64) -> Result<Vec<u64>, RtlError> {
+        let mut last = Vec::new();
+        for _ in 0..n {
+            last = self.step(inputs)?;
+        }
+        Ok(last)
+    }
+
+    /// Resets the DUT and the cycle counter.
+    pub fn reset(&mut self) {
+        self.dut.reset();
+        self.cycles = 0;
+    }
+
+    /// Clock edges executed since construction/reset.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Input port declarations.
+    #[must_use]
+    pub fn input_ports(&self) -> &[PortDecl] {
+        &self.inputs
+    }
+
+    /// Output port declarations.
+    #[must_use]
+    pub fn output_ports(&self) -> &[PortDecl] {
+        &self.outputs
+    }
+
+    /// Direct access to the wrapped DUT (e.g. for configuration readback).
+    #[must_use]
+    pub fn dut(&self) -> &dyn CycleDut {
+        self.dut.as_ref()
+    }
+
+    /// Mutable access to the wrapped DUT.
+    pub fn dut_mut(&mut self) -> &mut dyn CycleDut {
+        self.dut.as_mut()
+    }
+}
+
+/// The signals created for an attached DUT: index-aligned with the DUT's
+/// port declarations.
+#[derive(Debug, Clone)]
+pub struct AttachedDut {
+    /// Input signals (drive these).
+    pub inputs: Vec<SignalId>,
+    /// Output signals (observe these).
+    pub outputs: Vec<SignalId>,
+    /// The clock the wrapper listens on.
+    pub clk: SignalId,
+}
+
+struct CycleDutProcess {
+    dut: Box<dyn CycleDut>,
+    clk: SignalId,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    out_widths: Vec<usize>,
+}
+
+impl RtlProcess for CycleDutProcess {
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        if !ctx.rising(self.clk) {
+            return;
+        }
+        // Undefined input bits sample as 0 — the pessimistic-X alternative
+        // would poison the whole DUT state, which is not useful for the
+        // co-simulation data path.
+        let words: Vec<u64> = self
+            .inputs
+            .iter()
+            .map(|&s| ctx.read_u64(s).unwrap_or(0))
+            .collect();
+        let outs = self.dut.clock_edge(&words);
+        for ((sig, word), width) in self.outputs.iter().zip(outs).zip(&self.out_widths) {
+            ctx.assign(
+                *sig,
+                crate::vector::LogicVector::from_u64(word & mask(*width), *width),
+            );
+        }
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Instantiates a [`CycleDut`] inside the event-driven kernel: declares one
+/// signal per port (named `prefix.port`), registers a clocked wrapper
+/// process sensitive to `clk`, and returns the signal map.
+///
+/// This is how "RTL in an event-driven simulator" is modelled for the E7
+/// engine comparison: every output change becomes a real signal event with
+/// delta-cycle processing, exactly the per-clock overhead the paper calls
+/// the bottleneck.
+pub fn attach_cycle_dut(
+    sim: &mut Simulator,
+    prefix: &str,
+    dut: Box<dyn CycleDut>,
+    clk: SignalId,
+) -> AttachedDut {
+    // Deliberately no reset: the caller may have configured the DUT
+    // (routes, tariffs) before attaching it.
+    let inputs: Vec<SignalId> = dut
+        .input_ports()
+        .iter()
+        .map(|p| sim.add_signal(format!("{prefix}.{}", p.name), p.width))
+        .collect();
+    let out_decls = dut.output_ports();
+    let outputs: Vec<SignalId> = out_decls
+        .iter()
+        .map(|p| sim.add_signal(format!("{prefix}.{}", p.name), p.width))
+        .collect();
+    let process = CycleDutProcess {
+        dut,
+        clk,
+        inputs: inputs.clone(),
+        outputs: outputs.clone(),
+        out_widths: out_decls.iter().map(|p| p.width).collect(),
+    };
+    sim.add_process(Box::new(process), &[clk]);
+    AttachedDut { inputs, outputs, clk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Logic;
+    use castanet_netsim::time::{SimDuration, SimTime};
+
+    /// An accumulator: out <= out + in each edge; clear input resets.
+    struct Accumulator {
+        acc: u64,
+    }
+    impl CycleDut for Accumulator {
+        fn input_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("add", 8), PortDecl::new("clear", 1)]
+        }
+        fn output_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("sum", 16)]
+        }
+        fn reset(&mut self) {
+            self.acc = 0;
+        }
+        fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {
+            if inputs[1] == 1 {
+                self.acc = 0;
+            } else {
+                self.acc = (self.acc + inputs[0]) & 0xFFFF;
+            }
+            vec![self.acc]
+        }
+    }
+
+    #[test]
+    fn cycle_sim_steps_and_counts() {
+        let mut sim = CycleSim::new(Box::new(Accumulator { acc: 0 }));
+        assert_eq!(sim.step(&[5, 0]).unwrap(), vec![5]);
+        assert_eq!(sim.step(&[7, 0]).unwrap(), vec![12]);
+        assert_eq!(sim.step(&[0, 1]).unwrap(), vec![0]);
+        assert_eq!(sim.cycles(), 3);
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+        assert_eq!(sim.step(&[1, 0]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn step_n_repeats_inputs() {
+        let mut sim = CycleSim::new(Box::new(Accumulator { acc: 0 }));
+        assert_eq!(sim.step_n(&[3, 0], 4).unwrap(), vec![12]);
+        assert_eq!(sim.cycles(), 4);
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut sim = CycleSim::new(Box::new(Accumulator { acc: 0 }));
+        assert!(matches!(
+            sim.step(&[1]),
+            Err(RtlError::PortCountMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            sim.step(&[256, 0]),
+            Err(RtlError::WidthMismatch { expected: 8, .. })
+        ));
+        assert_eq!(sim.cycles(), 0, "failed steps must not count");
+    }
+
+    #[test]
+    fn port_decl_masks() {
+        assert_eq!(PortDecl::new("a", 1).mask(), 1);
+        assert_eq!(PortDecl::new("a", 8).mask(), 0xFF);
+        assert_eq!(PortDecl::new("a", 64).mask(), u64::MAX);
+    }
+
+    #[test]
+    fn attached_dut_matches_cycle_sim() {
+        // Drive the same stimulus through both engines; outputs must agree.
+        let stimulus: Vec<(u64, u64)> = vec![(3, 0), (4, 0), (0, 1), (9, 0)];
+
+        // Cycle engine.
+        let mut csim = CycleSim::new(Box::new(Accumulator { acc: 0 }));
+        let mut expected = Vec::new();
+        for &(a, c) in &stimulus {
+            expected.push(csim.step(&[a, c]).unwrap()[0]);
+        }
+
+        // Event-driven engine.
+        let mut esim = Simulator::new();
+        let clk = esim.add_clock("clk", SimDuration::from_ns(10));
+        let dut = attach_cycle_dut(&mut esim, "acc", Box::new(Accumulator { acc: 0 }), clk);
+        let mut got = Vec::new();
+        for (i, &(a, c)) in stimulus.iter().enumerate() {
+            let t = SimTime::from_ns(10 * i as u64);
+            esim.poke(dut.inputs[0], crate::vector::LogicVector::from_u64(a, 8), t).unwrap();
+            esim.poke(dut.inputs[1], crate::vector::LogicVector::from_u64(c, 1), t).unwrap();
+            // Edge at 10*i + 5; observe just after.
+            esim.run_until(SimTime::from_ns(10 * i as u64 + 6)).unwrap();
+            got.push(esim.read_u64(dut.outputs[0]).unwrap());
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn event_driven_wrapper_generates_kernel_activity() {
+        let mut esim = Simulator::new();
+        let clk = esim.add_clock("clk", SimDuration::from_ns(10));
+        let dut = attach_cycle_dut(&mut esim, "acc", Box::new(Accumulator { acc: 0 }), clk);
+        esim.poke(dut.inputs[0], crate::vector::LogicVector::from_u64(1, 8), SimTime::ZERO)
+            .unwrap();
+        esim.poke_bit(dut.inputs[1], Logic::Zero, SimTime::ZERO).unwrap();
+        esim.run_until(SimTime::from_ns(101)).unwrap();
+        let c = esim.counters();
+        // 10 rising edges -> >= 10 process runs and >= 10 output events,
+        // plus 20 clock events: far more kernel work than 10 cycle steps.
+        assert!(c.process_runs >= 10, "{c:?}");
+        assert!(c.events >= 30, "{c:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Devices under test: cycle-accurate models of the paper's ATM hardware.
+//!
+//! The paper verifies VHDL descriptions of ATM components — port modules, a
+//! global control unit, and (the case study) an accounting unit — against
+//! their algorithm reference models. The original ASIC sources are
+//! unpublished, so these DUTs implement the same externally visible
+//! functions as the reference models in `castanet-atm`, at clock level,
+//! against the [`crate::cycle::CycleDut`] pin interface:
+//!
+//! * [`CellReceiver`] / [`CellTransmitter`] — the Fig. 4 interface: an
+//!   8-bit `atmdata` port plus a `cellsync` strobe, 53 clocks per cell;
+//! * [`AtmSwitchRtl`] — N port modules + global control unit, the DUT of
+//!   the paper's throughput experiment (E1);
+//! * [`AccountingUnitRtl`] — the charging unit of the §4 case study (E6),
+//!   functionally identical to [`castanet_atm::accounting::AccountingUnit`].
+//!
+//! Any of them can run under the cycle engine ([`crate::cycle::CycleSim`]),
+//! inside the event-driven kernel ([`crate::cycle::attach_cycle_dut`]), or
+//! behind the hardware test board.
+
+mod accounting;
+mod cell_rx;
+mod cell_tx;
+mod switch;
+
+pub use accounting::AccountingUnitRtl;
+pub use cell_rx::CellReceiver;
+pub use cell_tx::CellTransmitter;
+pub use switch::{AtmSwitchRtl, SwitchRtlConfig};

@@ -1,0 +1,94 @@
+//! Error type of the RTL simulator.
+
+use castanet_netsim::time::SimTime;
+use std::fmt;
+
+/// Errors surfaced by the RTL simulation engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A stimulus was scheduled before the current simulation time.
+    SchedulingInPast {
+        /// The requested time.
+        requested: SimTime,
+        /// The simulator's current time.
+        now: SimTime,
+    },
+    /// A value's width did not match the signal's declared width.
+    WidthMismatch {
+        /// Declared signal width.
+        expected: usize,
+        /// Width of the offered value.
+        got: usize,
+    },
+    /// A zero-delay loop kept generating delta cycles at one time point.
+    DeltaRunaway {
+        /// The stuck time point.
+        at: SimTime,
+        /// Delta cycles executed before giving up.
+        deltas: u32,
+    },
+    /// A pin-level DUT was driven with the wrong number of input words.
+    PortCountMismatch {
+        /// Number of declared input ports.
+        expected: usize,
+        /// Number of words offered.
+        got: usize,
+    },
+    /// An I/O error while writing a waveform file.
+    Io(String),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::SchedulingInPast { requested, now } => {
+                write!(f, "stimulus at {requested} is before current time {now}")
+            }
+            RtlError::WidthMismatch { expected, got } => {
+                write!(f, "signal expects {expected} bits, got {got}")
+            }
+            RtlError::DeltaRunaway { at, deltas } => {
+                write!(f, "delta cycles did not converge at {at} ({deltas} deltas; combinational loop?)")
+            }
+            RtlError::PortCountMismatch { expected, got } => {
+                write!(f, "dut has {expected} input ports, got {got} words")
+            }
+            RtlError::Io(msg) => write!(f, "waveform i/o failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+impl From<std::io::Error> for RtlError {
+    fn from(e: std::io::Error) -> Self {
+        RtlError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RtlError::WidthMismatch { expected: 8, got: 4 };
+        assert_eq!(e.to_string(), "signal expects 8 bits, got 4");
+        let e = RtlError::DeltaRunaway { at: SimTime::from_ns(3), deltas: 10001 };
+        assert!(e.to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = RtlError::from(io);
+        assert!(matches!(e, RtlError::Io(_)));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtlError>();
+    }
+}

@@ -1,0 +1,327 @@
+//! The nine-value logic system of IEEE Std 1164 (`std_logic`).
+//!
+//! The paper's hardware models are VHDL; their ports are
+//! `STD_LOGIC_VECTOR`s (Fig. 4). This module provides the same value system
+//! — `U X 0 1 Z W L H -` — including the *resolution function* that combines
+//! multiple drivers of one signal, which is what makes bidirectional buses
+//! (the test board's I/O ports, §3.3) representable.
+
+use std::fmt;
+
+/// One `std_logic` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Logic {
+    /// Uninitialized.
+    #[default]
+    U = 0,
+    /// Forcing unknown.
+    X = 1,
+    /// Forcing 0.
+    Zero = 2,
+    /// Forcing 1.
+    One = 3,
+    /// High impedance.
+    Z = 4,
+    /// Weak unknown.
+    W = 5,
+    /// Weak 0.
+    L = 6,
+    /// Weak 1.
+    H = 7,
+    /// Don't care.
+    DontCare = 8,
+}
+
+/// The IEEE 1164 resolution table: `RESOLUTION[a][b]` is the value of a
+/// signal driven simultaneously with `a` and `b`.
+const RESOLUTION: [[Logic; 9]; 9] = {
+    use Logic::{One as I, Zero as O, H, L, U, W, X, Z};
+    [
+        // U  X  0  1  Z  W  L  H  -
+        [U, U, U, U, U, U, U, U, U], // U
+        [U, X, X, X, X, X, X, X, X], // X
+        [U, X, O, X, O, O, O, O, X], // 0
+        [U, X, X, I, I, I, I, I, X], // 1
+        [U, X, O, I, Z, W, L, H, X], // Z
+        [U, X, O, I, W, W, W, W, X], // W
+        [U, X, O, I, L, W, L, W, X], // L
+        [U, X, O, I, H, W, W, H, X], // H
+        [U, X, X, X, X, X, X, X, X], // -
+    ]
+};
+
+impl Logic {
+    /// All nine values, in standard order.
+    pub const ALL: [Logic; 9] = [
+        Logic::U,
+        Logic::X,
+        Logic::Zero,
+        Logic::One,
+        Logic::Z,
+        Logic::W,
+        Logic::L,
+        Logic::H,
+        Logic::DontCare,
+    ];
+
+    /// Resolves two simultaneous drivers per IEEE 1164.
+    #[must_use]
+    pub fn resolve(self, other: Logic) -> Logic {
+        RESOLUTION[self as usize][other as usize]
+    }
+
+    /// Resolves any number of drivers; no drivers yields `Z`.
+    #[must_use]
+    pub fn resolve_all(drivers: impl IntoIterator<Item = Logic>) -> Logic {
+        drivers.into_iter().fold(Logic::Z, Logic::resolve)
+    }
+
+    /// `to_x01`-style strength stripping: weak values map onto their forcing
+    /// counterparts, everything unknown onto `X`.
+    #[must_use]
+    pub fn to_x01(self) -> Logic {
+        match self {
+            Logic::Zero | Logic::L => Logic::Zero,
+            Logic::One | Logic::H => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// `true` when the value reads as logic 1 after strength stripping.
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self.to_x01() == Logic::One
+    }
+
+    /// `true` when the value reads as logic 0 after strength stripping.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.to_x01() == Logic::Zero
+    }
+
+    /// `true` for `U`, `X`, `W`, `Z`, `-` (no defined binary reading).
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        self.to_x01() == Logic::X
+    }
+
+    /// Converts a bool to the corresponding forcing value.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Binary reading: `Some(true/false)` for defined values, else `None`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self.to_x01() {
+            Logic::One => Some(true),
+            Logic::Zero => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The character of the value in VHDL source / VCD files.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::U => 'U',
+            Logic::X => 'X',
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::Z => 'Z',
+            Logic::W => 'W',
+            Logic::L => 'L',
+            Logic::H => 'H',
+            Logic::DontCare => '-',
+        }
+    }
+
+    /// Parses the VHDL character form.
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Logic> {
+        Some(match c.to_ascii_uppercase() {
+            'U' => Logic::U,
+            'X' => Logic::X,
+            '0' => Logic::Zero,
+            '1' => Logic::One,
+            'Z' => Logic::Z,
+            'W' => Logic::W,
+            'L' => Logic::L,
+            'H' => Logic::H,
+            '-' => Logic::DontCare,
+            _ => return None,
+        })
+    }
+
+    /// Logical NOT (on the stripped value; unknown stays `X`).
+    #[must_use]
+    pub fn not(self) -> Logic {
+        match self.to_x01() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical AND with 1164 pessimism (`0 and X = 0`).
+    #[must_use]
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.to_x01(), other.to_x01()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR with 1164 pessimism (`1 or X = 1`).
+    #[must_use]
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.to_x01(), other.to_x01()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR (`X` whenever an operand is unknown).
+    #[must_use]
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_x01(), other.to_x01()) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_associative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                for c in Logic::ALL {
+                    assert_eq!(
+                        a.resolve(b).resolve(c),
+                        a.resolve(b.resolve(c)),
+                        "{a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_is_the_identity_of_resolution_except_dont_care() {
+        for a in Logic::ALL {
+            if a == Logic::DontCare {
+                // IEEE 1164: '-' resolves to X against anything but U.
+                assert_eq!(a.resolve(Logic::Z), Logic::X);
+            } else {
+                assert_eq!(a.resolve(Logic::Z), a, "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_conflict_is_x() {
+        assert_eq!(Logic::Zero.resolve(Logic::One), Logic::X);
+        assert_eq!(Logic::One.resolve(Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn strong_beats_weak() {
+        assert_eq!(Logic::Zero.resolve(Logic::H), Logic::Zero);
+        assert_eq!(Logic::One.resolve(Logic::L), Logic::One);
+        assert_eq!(Logic::L.resolve(Logic::H), Logic::W);
+    }
+
+    #[test]
+    fn u_dominates_everything() {
+        for a in Logic::ALL {
+            assert_eq!(a.resolve(Logic::U), Logic::U);
+        }
+    }
+
+    #[test]
+    fn resolve_all_of_empty_is_z() {
+        assert_eq!(Logic::resolve_all([]), Logic::Z);
+        assert_eq!(Logic::resolve_all([Logic::One]), Logic::One);
+        assert_eq!(
+            Logic::resolve_all([Logic::Z, Logic::H, Logic::Zero]),
+            Logic::Zero
+        );
+    }
+
+    #[test]
+    fn to_x01_strips_strength() {
+        assert_eq!(Logic::L.to_x01(), Logic::Zero);
+        assert_eq!(Logic::H.to_x01(), Logic::One);
+        assert_eq!(Logic::Z.to_x01(), Logic::X);
+        assert_eq!(Logic::U.to_x01(), Logic::X);
+        assert_eq!(Logic::DontCare.to_x01(), Logic::X);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::H.to_bool(), Some(true));
+        assert_eq!(Logic::L.to_bool(), Some(false));
+        assert_eq!(Logic::Z.to_bool(), None);
+        assert!(Logic::One.is_one());
+        assert!(Logic::L.is_zero());
+        assert!(Logic::W.is_unknown());
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('z'), Some(Logic::Z));
+        assert_eq!(Logic::from_char('q'), None);
+    }
+
+    #[test]
+    fn boolean_operators() {
+        assert_eq!(Logic::One.not(), Logic::Zero);
+        assert_eq!(Logic::Z.not(), Logic::X);
+        assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero);
+        assert_eq!(Logic::One.and(Logic::H), Logic::One);
+        assert_eq!(Logic::One.or(Logic::U), Logic::One);
+        assert_eq!(Logic::L.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::One.xor(Logic::H), Logic::Zero);
+        assert_eq!(Logic::One.xor(Logic::Zero), Logic::One);
+        assert_eq!(Logic::One.xor(Logic::Z), Logic::X);
+    }
+}

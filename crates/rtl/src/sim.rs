@@ -1,0 +1,882 @@
+//! The event-driven simulation kernel with delta cycles.
+//!
+//! This is the workspace's stand-in for the Synopsys VHDL System Simulator:
+//! processes with sensitivity lists, signal transactions scheduled for
+//! future times or for the next *delta cycle* at the current time, and a
+//! time-ordered queue executing them — the model of computation the paper's
+//! §3.1 synchronization protocol assumes on the HDL side.
+//!
+//! The kernel counts executed transactions, events, delta cycles and
+//! process activations; those counters feed experiment E7 (the paper's
+//! closing observation that "the number of events that event-driven
+//! simulators have to evaluate is an order of magnitude higher compared to
+//! the system-level simulation").
+
+use crate::error::RtlError;
+use crate::logic::Logic;
+use crate::signal::{ProcId, SignalId, SignalInfo, SignalState};
+use crate::vector::LogicVector;
+use castanet_netsim::time::{SimDuration, SimTime};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A pending signal assignment or process wake-up.
+#[derive(Debug)]
+struct Txn {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+#[derive(Debug)]
+enum Action {
+    Assign {
+        driver: ProcId,
+        signal: SignalId,
+        value: LogicVector,
+    },
+    Wake(ProcId),
+}
+
+impl PartialEq for Txn {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Txn {}
+impl PartialOrd for Txn {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Txn {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for the max-heap -> min-queue.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A hardware process: the unit of behaviour, equivalent to a VHDL
+/// `process` statement with a static sensitivity list.
+pub trait RtlProcess: Send {
+    /// Called once at elaboration. Register initial assignments here.
+    fn init(&mut self, ctx: &mut RtlCtx) {
+        let _ = ctx;
+    }
+
+    /// Called whenever a signal in the process's sensitivity list has an
+    /// event, or a scheduled wake-up fires.
+    fn run(&mut self, ctx: &mut RtlCtx);
+}
+
+/// Counter block for engine-comparison experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Signal transactions applied (driver updates).
+    pub transactions: u64,
+    /// Signal events (resolved-value changes).
+    pub events: u64,
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Process activations.
+    pub process_runs: u64,
+    /// Distinct simulation time points visited.
+    pub time_steps: u64,
+}
+
+/// The event-driven simulator.
+///
+/// # Examples
+///
+/// An inverter driven by a clock:
+///
+/// ```
+/// use castanet_rtl::sim::{RtlCtx, RtlProcess, Simulator};
+/// use castanet_rtl::logic::Logic;
+/// use castanet_netsim::time::{SimDuration, SimTime};
+///
+/// struct Inverter { a: castanet_rtl::signal::SignalId, y: castanet_rtl::signal::SignalId }
+/// impl RtlProcess for Inverter {
+///     fn run(&mut self, ctx: &mut RtlCtx) {
+///         let v = ctx.read_bit(self.a).not();
+///         ctx.assign_bit(self.y, v);
+///     }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let a = sim.add_signal("a", 1);
+/// let y = sim.add_signal("y", 1);
+/// let p = sim.add_process(Box::new(Inverter { a, y }), &[a]);
+/// # let _ = p;
+/// sim.poke_bit(a, Logic::Zero, SimTime::ZERO)?;
+/// sim.poke_bit(a, Logic::One, SimTime::from_ns(10))?;
+/// sim.run_until(SimTime::from_ns(20))?;
+/// assert_eq!(sim.read_bit(y), Logic::Zero);
+/// # Ok::<(), castanet_rtl::error::RtlError>(())
+/// ```
+pub struct Simulator {
+    signals: Vec<SignalState>,
+    names: HashMap<String, SignalId>,
+    processes: Vec<Option<Box<dyn RtlProcess>>>,
+    watchers: HashMap<SignalId, Vec<ProcId>>,
+    queue: BinaryHeap<Txn>,
+    next_seq: u64,
+    now: SimTime,
+    counters: SimCounters,
+    elaborated: bool,
+    max_deltas: u32,
+    traced: Vec<SignalId>,
+    trace_log: Vec<(SimTime, usize, LogicVector)>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("signals", &self.signals.len())
+            .field("processes", &self.processes.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            signals: Vec::new(),
+            names: HashMap::new(),
+            processes: Vec::new(),
+            watchers: HashMap::new(),
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            counters: SimCounters::default(),
+            elaborated: false,
+            max_deltas: 10_000,
+            traced: Vec::new(),
+            trace_log: Vec::new(),
+        }
+    }
+
+    /// Marks a signal for waveform tracing; its events will appear in the
+    /// VCD written by [`Simulator::write_vcd`].
+    pub fn trace(&mut self, signal: SignalId) {
+        if !self.traced.contains(&signal) {
+            self.traced.push(signal);
+        }
+    }
+
+    /// Writes all traced events as a VCD stream. Pass a `File` (or any
+    /// `Write`; a `&mut Vec<u8>` works for tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_vcd<W: std::io::Write>(&self, w: W, module: &str) -> Result<(), RtlError> {
+        let vars: Vec<crate::wave::VcdVar> = self
+            .traced
+            .iter()
+            .map(|&id| crate::wave::VcdVar {
+                name: self.signals[id.0].name.clone(),
+                width: self.signals[id.0].width,
+            })
+            .collect();
+        crate::wave::write_vcd(w, module, &vars, &self.trace_log)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Elaboration
+    // ------------------------------------------------------------------
+
+    /// Declares a signal of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the name is already taken.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: usize) -> SignalId {
+        assert!(width > 0, "signal width must be non-zero");
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "signal name {name:?} already declared"
+        );
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalState::new(name.clone(), width));
+        self.names.insert(name, id);
+        id
+    }
+
+    /// Adds a process with a static sensitivity list.
+    pub fn add_process(
+        &mut self,
+        process: Box<dyn RtlProcess>,
+        sensitivity: &[SignalId],
+    ) -> ProcId {
+        let id = ProcId(self.processes.len());
+        self.processes.push(Some(process));
+        for &s in sensitivity {
+            self.watchers.entry(s).or_default().push(id);
+        }
+        id
+    }
+
+    /// Adds a free-running clock: a signal toggling every `period / 2`,
+    /// starting low at time zero with its first rising edge at `period / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is shorter than 2 ps (cannot split into half
+    /// periods).
+    pub fn add_clock(&mut self, name: impl Into<String>, period: SimDuration) -> SignalId {
+        let half = period / 2;
+        assert!(!half.is_zero(), "clock period too short");
+        let clk = self.add_signal(name, 1);
+        struct ClockGen {
+            clk: SignalId,
+            half: SimDuration,
+            level: bool,
+        }
+        impl RtlProcess for ClockGen {
+            fn init(&mut self, ctx: &mut RtlCtx) {
+                ctx.assign_bit(self.clk, Logic::Zero);
+                ctx.wake_after(self.half);
+            }
+            fn run(&mut self, ctx: &mut RtlCtx) {
+                self.level = !self.level;
+                ctx.assign_bit(self.clk, Logic::from_bool(self.level));
+                ctx.wake_after(self.half);
+            }
+        }
+        self.add_process(
+            Box::new(ClockGen {
+                clk,
+                half,
+                level: false,
+            }),
+            &[],
+        );
+        clk
+    }
+
+    /// Looks up a signal by name.
+    #[must_use]
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.names.get(name).copied()
+    }
+
+    /// Snapshot of a signal's public state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign `SignalId`.
+    #[must_use]
+    pub fn signal_info(&self, id: SignalId) -> SignalInfo {
+        let s = &self.signals[id.0];
+        SignalInfo {
+            name: s.name.clone(),
+            width: s.width,
+            value: s.value.clone(),
+            event_count: s.event_count,
+        }
+    }
+
+    /// Ids of all declared signals, in declaration order.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len()).map(SignalId)
+    }
+
+    // ------------------------------------------------------------------
+    // External stimulus & observation (test bench / co-simulation entity)
+    // ------------------------------------------------------------------
+
+    /// Schedules an external assignment of `value` to `signal` at absolute
+    /// time `at` (driver slot [`ProcId::EXTERNAL`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::SchedulingInPast`] when `at < now`, or
+    /// [`RtlError::WidthMismatch`] when widths differ.
+    pub fn poke(
+        &mut self,
+        signal: SignalId,
+        value: LogicVector,
+        at: SimTime,
+    ) -> Result<(), RtlError> {
+        if at < self.now {
+            return Err(RtlError::SchedulingInPast { requested: at, now: self.now });
+        }
+        let width = self.signals[signal.0].width;
+        if value.width() != width {
+            return Err(RtlError::WidthMismatch { expected: width, got: value.width() });
+        }
+        let seq = self.bump_seq();
+        self.queue.push(Txn {
+            time: at,
+            seq,
+            action: Action::Assign {
+                driver: ProcId::EXTERNAL,
+                signal,
+                value,
+            },
+        });
+        Ok(())
+    }
+
+    /// Scalar convenience for [`Simulator::poke`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::poke`].
+    pub fn poke_bit(&mut self, signal: SignalId, value: Logic, at: SimTime) -> Result<(), RtlError> {
+        self.poke(signal, LogicVector::from(value), at)
+    }
+
+    /// Current resolved value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign `SignalId`.
+    #[must_use]
+    pub fn read(&self, signal: SignalId) -> &LogicVector {
+        &self.signals[signal.0].value
+    }
+
+    /// Bit 0 of a signal.
+    #[must_use]
+    pub fn read_bit(&self, signal: SignalId) -> Logic {
+        self.signals[signal.0].value.bit(0)
+    }
+
+    /// Unsigned reading of a signal, when fully defined.
+    #[must_use]
+    pub fn read_u64(&self, signal: SignalId) -> Option<u64> {
+        self.signals[signal.0].value.to_u64()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine counters (events, deltas, process runs).
+    #[must_use]
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    /// Time of the next pending transaction.
+    #[must_use]
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.elaborate();
+        self.queue.peek().map(|t| t.time)
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Runs every process's `init` once (first call only).
+    fn elaborate(&mut self) {
+        if self.elaborated {
+            return;
+        }
+        self.elaborated = true;
+        for idx in 0..self.processes.len() {
+            self.run_process(ProcId(idx), true);
+        }
+        // Initial assignments land as zero-delay transactions at t=0 and are
+        // consumed by the first advance.
+    }
+
+    /// Executes all activity at the next pending time point (all its delta
+    /// cycles). Returns `false` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DeltaRunaway`] if a combinational loop exceeds
+    /// the delta limit.
+    pub fn step_time(&mut self) -> Result<bool, RtlError> {
+        self.elaborate();
+        let Some(t) = self.queue.peek().map(|txn| txn.time) else {
+            return Ok(false);
+        };
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.counters.time_steps += 1;
+
+        let mut deltas_here: u32 = 0;
+        loop {
+            // Collect every transaction scheduled for exactly `t` *now*;
+            // assignments scheduled during this delta land in the queue with
+            // higher seq and are picked up on the next spin.
+            let mut batch = Vec::new();
+            while let Some(txn) = self.queue.peek() {
+                if txn.time == t {
+                    batch.push(self.queue.pop().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            deltas_here += 1;
+            self.counters.delta_cycles += 1;
+            if deltas_here > self.max_deltas {
+                return Err(RtlError::DeltaRunaway { at: t, deltas: deltas_here });
+            }
+
+            // Apply assignments, collect events, then wake processes.
+            let mut wake: Vec<ProcId> = Vec::new();
+            let mut woken: HashSet<usize> = HashSet::new();
+            for txn in batch {
+                match txn.action {
+                    Action::Assign { driver, signal, value } => {
+                        self.counters.transactions += 1;
+                        let had_event = self.signals[signal.0].drive(driver, value, t);
+                        if had_event {
+                            self.counters.events += 1;
+                            if let Some(pos) = self.traced.iter().position(|&s| s == signal) {
+                                self.trace_log
+                                    .push((t, pos, self.signals[signal.0].value.clone()));
+                            }
+                            if let Some(ws) = self.watchers.get(&signal) {
+                                for &p in ws {
+                                    if woken.insert(p.0) {
+                                        wake.push(p);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Action::Wake(p) => {
+                        if woken.insert(p.0) {
+                            wake.push(p);
+                        }
+                    }
+                }
+            }
+            for p in wake {
+                self.run_process(p, false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs until no transaction earlier than `horizon` remains. Activity at
+    /// exactly `horizon` stays pending — the semantics the conservative
+    /// coupling needs ("process all events with a time stamp smaller than
+    /// `t_k`, but not equal").
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::step_time`].
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<(), RtlError> {
+        self.elaborate();
+        while let Some(t) = self.queue.peek().map(|txn| txn.time) {
+            if t >= horizon {
+                break;
+            }
+            self.step_time()?;
+        }
+        // Time still advances to just before the horizon conceptually; we
+        // leave `now` at the last executed step.
+        Ok(())
+    }
+
+    /// Runs until the queue drains (finite stimulus only — a free-running
+    /// clock never drains).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::step_time`].
+    pub fn run_to_quiescence(&mut self) -> Result<(), RtlError> {
+        while self.step_time()? {}
+        Ok(())
+    }
+
+    fn run_process(&mut self, id: ProcId, is_init: bool) {
+        let Some(slot) = self.processes.get_mut(id.0) else {
+            return;
+        };
+        let Some(mut proc_) = slot.take() else {
+            return; // re-entrancy guard
+        };
+        self.counters.process_runs += 1;
+        let mut staged: Vec<(SignalId, LogicVector, SimDuration)> = Vec::new();
+        let mut wakes: Vec<SimDuration> = Vec::new();
+        {
+            let mut ctx = RtlCtx {
+                id,
+                now: self.now,
+                signals: &self.signals,
+                staged: &mut staged,
+                wakes: &mut wakes,
+            };
+            if is_init {
+                proc_.init(&mut ctx);
+            } else {
+                proc_.run(&mut ctx);
+            }
+        }
+        self.processes[id.0] = Some(proc_);
+        for (signal, value, delay) in staged {
+            let seq = self.bump_seq();
+            self.queue.push(Txn {
+                time: self.now + delay,
+                seq,
+                action: Action::Assign { driver: id, signal, value },
+            });
+        }
+        for delay in wakes {
+            let seq = self.bump_seq();
+            self.queue.push(Txn {
+                time: self.now + delay,
+                seq,
+                action: Action::Wake(id),
+            });
+        }
+    }
+}
+
+/// The API a process sees while running: signal reads, edge tests, staged
+/// assignments and wake-ups.
+pub struct RtlCtx<'a> {
+    id: ProcId,
+    now: SimTime,
+    signals: &'a [SignalState],
+    staged: &'a mut Vec<(SignalId, LogicVector, SimDuration)>,
+    wakes: &'a mut Vec<SimDuration>,
+}
+
+impl std::fmt::Debug for RtlCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtlCtx")
+            .field("process", &self.id.0)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl RtlCtx<'_> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current resolved value of a signal.
+    #[must_use]
+    pub fn read(&self, signal: SignalId) -> &LogicVector {
+        &self.signals[signal.0].value
+    }
+
+    /// Bit 0 of a signal.
+    #[must_use]
+    pub fn read_bit(&self, signal: SignalId) -> Logic {
+        self.signals[signal.0].value.bit(0)
+    }
+
+    /// Unsigned reading, when fully defined.
+    #[must_use]
+    pub fn read_u64(&self, signal: SignalId) -> Option<u64> {
+        self.signals[signal.0].value.to_u64()
+    }
+
+    /// `true` when `signal` had an event in the delta cycle that woke this
+    /// process.
+    #[must_use]
+    pub fn event(&self, signal: SignalId) -> bool {
+        self.signals[signal.0].event_at(self.now)
+    }
+
+    /// `clk'event and clk = '1'`.
+    #[must_use]
+    pub fn rising(&self, signal: SignalId) -> bool {
+        self.signals[signal.0].rising_at(self.now)
+    }
+
+    /// `clk'event and clk = '0'`.
+    #[must_use]
+    pub fn falling(&self, signal: SignalId) -> bool {
+        self.signals[signal.0].falling_at(self.now)
+    }
+
+    /// Stages a delta-delayed assignment (visible next delta cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn assign(&mut self, signal: SignalId, value: LogicVector) {
+        self.assign_after(signal, value, SimDuration::ZERO);
+    }
+
+    /// Scalar convenience for [`RtlCtx::assign`].
+    pub fn assign_bit(&mut self, signal: SignalId, value: Logic) {
+        self.assign(signal, LogicVector::from(value));
+    }
+
+    /// Stages an assignment after a transport delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn assign_after(&mut self, signal: SignalId, value: LogicVector, delay: SimDuration) {
+        assert_eq!(
+            value.width(),
+            self.signals[signal.0].width,
+            "width mismatch assigning {}",
+            self.signals[signal.0].name
+        );
+        self.staged.push((signal, value, delay));
+    }
+
+    /// Unsigned convenience for [`RtlCtx::assign`].
+    pub fn assign_u64(&mut self, signal: SignalId, value: u64) {
+        let width = self.signals[signal.0].width;
+        self.assign(signal, LogicVector::from_u64(value, width));
+    }
+
+    /// Schedules this process to run again after `delay` without any signal
+    /// event (VHDL `wait for`).
+    pub fn wake_after(&mut self, delay: SimDuration) {
+        self.wakes.push(delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y <= not a (combinational).
+    struct Inverter {
+        a: SignalId,
+        y: SignalId,
+    }
+    impl RtlProcess for Inverter {
+        fn run(&mut self, ctx: &mut RtlCtx) {
+            let v = ctx.read_bit(self.a).not();
+            ctx.assign_bit(self.y, v);
+        }
+    }
+
+    /// q <= d on rising clk.
+    struct Dff {
+        clk: SignalId,
+        d: SignalId,
+        q: SignalId,
+    }
+    impl RtlProcess for Dff {
+        fn run(&mut self, ctx: &mut RtlCtx) {
+            if ctx.rising(self.clk) {
+                let v = ctx.read(self.d).clone();
+                ctx.assign(self.q, v);
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_chain_settles_in_deltas() {
+        // a -> inv -> b -> inv -> c : two deltas after a changes.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        let c = sim.add_signal("c", 1);
+        sim.add_process(Box::new(Inverter { a, y: b }), &[a]);
+        sim.add_process(Box::new(Inverter { a: b, y: c }), &[b]);
+        sim.poke_bit(a, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.step_time().unwrap();
+        assert_eq!(sim.read_bit(b), Logic::One);
+        assert_eq!(sim.read_bit(c), Logic::Zero);
+        sim.poke_bit(a, Logic::One, SimTime::from_ns(10)).unwrap();
+        sim.step_time().unwrap();
+        assert_eq!(sim.read_bit(b), Logic::Zero);
+        assert_eq!(sim.read_bit(c), Logic::One);
+        assert_eq!(sim.now(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", SimDuration::from_ns(10));
+        let d = sim.add_signal("d", 8);
+        let q = sim.add_signal("q", 8);
+        sim.add_process(Box::new(Dff { clk, d, q }), &[clk]);
+        sim.poke(d, LogicVector::from_u64(0x42, 8), SimTime::ZERO).unwrap();
+        // First rising edge at 5 ns.
+        sim.run_until(SimTime::from_ns(5)).unwrap();
+        assert_eq!(sim.read_u64(q), None, "before the edge q is U");
+        sim.run_until(SimTime::from_ns(6)).unwrap();
+        assert_eq!(sim.read_u64(q), Some(0x42));
+        // Change d between edges: q holds.
+        sim.poke(d, LogicVector::from_u64(0x99, 8), SimTime::from_ns(8)).unwrap();
+        sim.run_until(SimTime::from_ns(14)).unwrap();
+        assert_eq!(sim.read_u64(q), Some(0x42));
+        sim.run_until(SimTime::from_ns(16)).unwrap();
+        assert_eq!(sim.read_u64(q), Some(0x99));
+    }
+
+    #[test]
+    fn run_until_excludes_the_horizon() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.poke_bit(a, Logic::One, SimTime::from_ns(10)).unwrap();
+        sim.run_until(SimTime::from_ns(10)).unwrap();
+        assert_eq!(sim.read_bit(a), Logic::U, "event at the horizon must stay pending");
+        sim.run_until(SimTime::from_ns(11)).unwrap();
+        assert_eq!(sim.read_bit(a), Logic::One);
+    }
+
+    #[test]
+    fn delta_runaway_is_detected() {
+        // y <= not y : a zero-delay oscillator.
+        struct SelfInverter {
+            y: SignalId,
+        }
+        impl RtlProcess for SelfInverter {
+            fn init(&mut self, ctx: &mut RtlCtx) {
+                ctx.assign_bit(self.y, Logic::Zero);
+            }
+            fn run(&mut self, ctx: &mut RtlCtx) {
+                let v = ctx.read_bit(self.y).not();
+                ctx.assign_bit(self.y, v);
+            }
+        }
+        let mut sim = Simulator::new();
+        let y = sim.add_signal("y", 1);
+        sim.add_process(Box::new(SelfInverter { y }), &[y]);
+        let err = sim.step_time().unwrap_err();
+        assert!(matches!(err, RtlError::DeltaRunaway { .. }));
+    }
+
+    #[test]
+    fn poke_in_past_rejected() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.poke_bit(a, Logic::One, SimTime::from_ns(5)).unwrap();
+        sim.step_time().unwrap();
+        let err = sim.poke_bit(a, Logic::Zero, SimTime::from_ns(1)).unwrap_err();
+        assert!(matches!(err, RtlError::SchedulingInPast { .. }));
+    }
+
+    #[test]
+    fn poke_width_checked() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 4);
+        let err = sim
+            .poke(a, LogicVector::from_u64(1, 2), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, RtlError::WidthMismatch { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn clock_produces_expected_edge_count() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", SimDuration::from_ns(10));
+        sim.run_until(SimTime::from_ns(101)).unwrap();
+        // Initialization U->0 at t=0 is one event, then edges at
+        // 5,10,...,100 are 20 more.
+        assert_eq!(sim.signal_info(clk).event_count, 21);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = sim.add_signal("y", 1);
+        sim.add_process(Box::new(Inverter { a, y }), &[a]);
+        sim.poke_bit(a, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.poke_bit(a, Logic::One, SimTime::from_ns(1)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let c = sim.counters();
+        assert_eq!(c.time_steps, 2);
+        assert!(c.events >= 4); // a twice, y twice
+        assert!(c.process_runs >= 2);
+        assert!(c.delta_cycles >= 4);
+    }
+
+    #[test]
+    fn vcd_tracing_captures_events() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock("clk", SimDuration::from_ns(10));
+        sim.trace(clk);
+        sim.run_until(SimTime::from_ns(21)).unwrap();
+        let mut out = Vec::new();
+        sim.write_vcd(&mut out, "bench").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("#5000"));
+        assert!(text.contains("#10000"));
+    }
+
+    #[test]
+    fn name_lookup_and_duplicate_rejection() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("data", 8);
+        assert_eq!(sim.signal_by_name("data"), Some(a));
+        assert_eq!(sim.signal_by_name("nope"), None);
+        let info = sim.signal_info(a);
+        assert_eq!(info.name, "data");
+        assert_eq!(info.width, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "already declared")]
+    fn duplicate_signal_name_panics() {
+        let mut sim = Simulator::new();
+        sim.add_signal("x", 1);
+        sim.add_signal("x", 1);
+    }
+
+    #[test]
+    fn tristate_bus_with_two_drivers() {
+        // Two processes share a bus; each drives only when selected.
+        struct BusDriver {
+            sel: SignalId,
+            bus: SignalId,
+            value: u64,
+        }
+        impl RtlProcess for BusDriver {
+            fn init(&mut self, ctx: &mut RtlCtx) {
+                ctx.assign(self.bus, LogicVector::high_z(8));
+            }
+            fn run(&mut self, ctx: &mut RtlCtx) {
+                if ctx.read_bit(self.sel).is_one() {
+                    ctx.assign_u64(self.bus, self.value);
+                } else {
+                    ctx.assign(self.bus, LogicVector::high_z(8));
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let sel_a = sim.add_signal("sel_a", 1);
+        let sel_b = sim.add_signal("sel_b", 1);
+        let bus = sim.add_signal("bus", 8);
+        sim.add_process(Box::new(BusDriver { sel: sel_a, bus, value: 0x11 }), &[sel_a]);
+        sim.add_process(Box::new(BusDriver { sel: sel_b, bus, value: 0x22 }), &[sel_b]);
+        sim.poke_bit(sel_a, Logic::One, SimTime::ZERO).unwrap();
+        sim.poke_bit(sel_b, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.step_time().unwrap();
+        assert_eq!(sim.read_u64(bus), Some(0x11));
+        // Swap ownership.
+        sim.poke_bit(sel_a, Logic::Zero, SimTime::from_ns(5)).unwrap();
+        sim.poke_bit(sel_b, Logic::One, SimTime::from_ns(5)).unwrap();
+        sim.step_time().unwrap();
+        assert_eq!(sim.read_u64(bus), Some(0x22));
+    }
+}

@@ -1,0 +1,290 @@
+//! `STD_LOGIC_VECTOR`: fixed-width vectors of nine-value logic.
+//!
+//! Fig. 4 of the paper maps ATM cells onto `atmdata :
+//! STD_LOGIC_VECTOR(7 DOWNTO 0)`. `LogicVector` is that type: a descending
+//! bit vector (index 0 = least significant bit) with integer conversions,
+//! slicing and element-wise resolution.
+
+use crate::logic::Logic;
+use std::fmt;
+
+/// A fixed-width vector of [`Logic`] values, LSB at index 0
+/// (`(N-1 DOWNTO 0)` in VHDL terms).
+///
+/// # Examples
+///
+/// ```
+/// use castanet_rtl::vector::LogicVector;
+///
+/// let v = LogicVector::from_u64(0xA5, 8);
+/// assert_eq!(v.to_u64(), Some(0xA5));
+/// assert_eq!(v.to_string(), "10100101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVector {
+    bits: Vec<Logic>,
+}
+
+impl LogicVector {
+    /// A vector of `width` uninitialized (`U`) bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn uninitialized(width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be non-zero");
+        LogicVector {
+            bits: vec![Logic::U; width],
+        }
+    }
+
+    /// A vector of `width` bits, all `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn filled(value: Logic, width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be non-zero");
+        LogicVector {
+            bits: vec![value; width],
+        }
+    }
+
+    /// A vector of `width` high-impedance bits (released bus).
+    #[must_use]
+    pub fn high_z(width: usize) -> Self {
+        Self::filled(Logic::Z, width)
+    }
+
+    /// Encodes the low `width` bits of `value` (LSB at index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, exceeds 64, or `value` does not fit.
+    #[must_use]
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        LogicVector {
+            bits: (0..width)
+                .map(|i| Logic::from_bool(value >> i & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Builds a vector from bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn from_bits(bits: &[Logic]) -> Self {
+        assert!(!bits.is_empty(), "logic vector width must be non-zero");
+        LogicVector { bits: bits.to_vec() }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `index` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    #[must_use]
+    pub fn bit(&self, index: usize) -> Logic {
+        self.bits[index]
+    }
+
+    /// Sets bit `index` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn set_bit(&mut self, index: usize, value: Logic) {
+        self.bits[index] = value;
+    }
+
+    /// The bits, LSB first.
+    #[must_use]
+    pub fn as_bits(&self) -> &[Logic] {
+        &self.bits
+    }
+
+    /// Unsigned integer reading; `None` when any bit lacks a binary value or
+    /// the width exceeds 64.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.bits.len() > 64 {
+            return None;
+        }
+        let mut out = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b.to_bool() {
+                Some(true) => out |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// `true` when every bit has a defined binary value.
+    #[must_use]
+    pub fn is_fully_defined(&self) -> bool {
+        self.bits.iter().all(|b| !b.is_unknown())
+    }
+
+    /// Bit slice `[lo, lo+width)` as a new vector (VHDL
+    /// `v(lo+width-1 DOWNTO lo)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or `width` is zero.
+    #[must_use]
+    pub fn slice(&self, lo: usize, width: usize) -> LogicVector {
+        assert!(width > 0, "slice width must be non-zero");
+        assert!(lo + width <= self.bits.len(), "slice out of range");
+        LogicVector {
+            bits: self.bits[lo..lo + width].to_vec(),
+        }
+    }
+
+    /// Concatenates `high & self` (the VHDL `&` with `high` in the upper
+    /// bits).
+    #[must_use]
+    pub fn concat_high(&self, high: &LogicVector) -> LogicVector {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        LogicVector { bits }
+    }
+
+    /// Element-wise resolution with another equal-width vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn resolve(&self, other: &LogicVector) -> LogicVector {
+        assert_eq!(self.width(), other.width(), "resolution width mismatch");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a.resolve(*b))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for LogicVector {
+    /// MSB-first character form, as VHDL literals are written.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.bits.iter().rev() {
+            write!(f, "{}", b.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Logic> for LogicVector {
+    fn from(l: Logic) -> Self {
+        LogicVector { bits: vec![l] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for (v, w) in [(0u64, 1), (1, 1), (0xFF, 8), (0x1234, 16), (u64::MAX, 64)] {
+            let lv = LogicVector::from_u64(v, w);
+            assert_eq!(lv.width(), w);
+            assert_eq!(lv.to_u64(), Some(v), "value {v:#x} width {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let _ = LogicVector::from_u64(256, 8);
+    }
+
+    #[test]
+    fn undefined_bits_block_integer_reading() {
+        let mut v = LogicVector::from_u64(5, 4);
+        assert!(v.is_fully_defined());
+        v.set_bit(2, Logic::Z);
+        assert!(!v.is_fully_defined());
+        assert_eq!(v.to_u64(), None);
+    }
+
+    #[test]
+    fn weak_values_still_read_as_integers() {
+        let v = LogicVector::from_bits(&[Logic::H, Logic::L, Logic::H]);
+        assert_eq!(v.to_u64(), Some(0b101));
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        assert_eq!(LogicVector::from_u64(0b0110, 4).to_string(), "0110");
+        assert_eq!(LogicVector::high_z(3).to_string(), "ZZZ");
+        assert_eq!(LogicVector::uninitialized(2).to_string(), "UU");
+    }
+
+    #[test]
+    fn slicing_matches_vhdl_downto() {
+        // v = "10100101" (0xA5). v(7 downto 4) = "1010".
+        let v = LogicVector::from_u64(0xA5, 8);
+        assert_eq!(v.slice(4, 4).to_u64(), Some(0xA));
+        assert_eq!(v.slice(0, 4).to_u64(), Some(0x5));
+        assert_eq!(v.slice(0, 8), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        let _ = LogicVector::from_u64(0, 4).slice(2, 4);
+    }
+
+    #[test]
+    fn concat_orders_bits() {
+        let low = LogicVector::from_u64(0x5, 4);
+        let high = LogicVector::from_u64(0xA, 4);
+        assert_eq!(low.concat_high(&high).to_u64(), Some(0xA5));
+    }
+
+    #[test]
+    fn elementwise_resolution() {
+        let a = LogicVector::from_bits(&[Logic::Z, Logic::One, Logic::Zero]);
+        let b = LogicVector::from_bits(&[Logic::Zero, Logic::Z, Logic::One]);
+        let r = a.resolve(&b);
+        assert_eq!(r.as_bits(), &[Logic::Zero, Logic::One, Logic::X]);
+    }
+
+    #[test]
+    fn scalar_conversion() {
+        let v: LogicVector = Logic::One.into();
+        assert_eq!(v.width(), 1);
+        assert_eq!(v.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let mut v = LogicVector::high_z(2);
+        v.set_bit(1, Logic::One);
+        assert_eq!(v.bit(1), Logic::One);
+        assert_eq!(v.bit(0), Logic::Z);
+    }
+}

@@ -1,0 +1,241 @@
+//! The test-cycle state machine: software and hardware activity phases.
+//!
+//! "The real-time verification process consists of repeated hardware
+//! activity cycles, interrupted by a software activity cycle, in which the
+//! hardware is stopped immediately. One test cycle contains a software
+//! activity cycle to generate stimuli, configure the board and store
+//! stimuli to the hardware test board. This is followed by a hardware
+//! activity cycle to run the hardware under test and a software activity
+//! cycle to read the results back to the simulator. Test cycles run
+//! repeatedly until the simulation is finished." (§3.3)
+//!
+//! [`TestSession`] executes that loop over the simulated SCSI transport and
+//! keeps a wall-clock *model* of where time goes — hardware runtime versus
+//! software overhead — which is what experiment E5's efficiency sweep
+//! reports.
+
+use crate::board::TestBoard;
+use crate::dut::HardwareDut;
+use crate::error::BoardError;
+use crate::pinmap::PinFrame;
+use crate::scsi::{ScsiBus, ScsiStats};
+use crate::lane::LANES;
+use std::time::Duration;
+
+/// Phases of one test cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Generate stimuli, configure, store to the board (software).
+    SwStimulus,
+    /// Run the hardware at real-time speed.
+    HwRun,
+    /// Read results back to the simulator (software).
+    SwReadback,
+}
+
+/// Accumulated time model of a verification session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Test cycles executed.
+    pub cycles: u64,
+    /// Board clocks executed across all hardware phases.
+    pub hw_clocks: u64,
+    /// Modelled hardware runtime.
+    pub hw_time: Duration,
+    /// Modelled software overhead (stimulus download + response upload).
+    pub sw_time: Duration,
+}
+
+impl SessionStats {
+    /// Fraction of the session spent actually running hardware.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let total = self.hw_time + self.sw_time;
+        if total.is_zero() {
+            0.0
+        } else {
+            self.hw_time.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
+/// Drives repeated test cycles against a board and a (simulated) prototype.
+pub struct TestSession<'a> {
+    board: &'a mut TestBoard,
+    dut: &'a mut dyn HardwareDut,
+    bus: ScsiBus,
+    scsi: ScsiStats,
+    stats: SessionStats,
+}
+
+impl std::fmt::Debug for TestSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestSession")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> TestSession<'a> {
+    /// Starts a session on a configured board. Resets the DUT and informs
+    /// timing-fault models of the applied clock.
+    pub fn new(board: &'a mut TestBoard, dut: &'a mut dyn HardwareDut, bus: ScsiBus) -> Self {
+        dut.reset();
+        TestSession {
+            board,
+            dut,
+            bus,
+            scsi: ScsiStats::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Executes one full test cycle with the given stimulus, returning the
+    /// response frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates board errors (configuration, memory, duration window).
+    pub fn run_cycle(&mut self, stimulus: Vec<PinFrame>) -> Result<Vec<PinFrame>, BoardError> {
+        // SW activity: store stimuli over the bus.
+        let dl_bytes = stimulus.len() * LANES;
+        self.stats.sw_time += self.scsi.record(&self.bus, dl_bytes);
+        self.board.load_stimulus(stimulus)?;
+
+        // HW activity at real-time speed.
+        let clocks = self.board.run_hw_cycle_auto(self.dut)?;
+        self.stats.hw_clocks += clocks;
+        self.stats.hw_time += self.board.real_time(clocks);
+
+        // SW activity: read results back.
+        let response = self.board.response().to_vec();
+        let ul_bytes = response.len() * LANES;
+        self.stats.sw_time += self.scsi.record(&self.bus, ul_bytes);
+
+        self.stats.cycles += 1;
+        Ok(response)
+    }
+
+    /// Runs `stimuli` as consecutive test cycles, concatenating responses.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing cycle.
+    pub fn run_all(
+        &mut self,
+        stimuli: impl IntoIterator<Item = Vec<PinFrame>>,
+    ) -> Result<Vec<PinFrame>, BoardError> {
+        let mut out = Vec::new();
+        for s in stimuli {
+            out.extend(self.run_cycle(s)?);
+        }
+        Ok(out)
+    }
+
+    /// The session's time model so far.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// SCSI transfer accounting.
+    #[must_use]
+    pub fn scsi_stats(&self) -> ScsiStats {
+        self.scsi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dut::MappedCycleDut;
+    use crate::pinmap::PinMapConfig;
+    use castanet_rtl::cycle::{CycleDut, PortDecl};
+
+    struct Echo;
+    impl CycleDut for Echo {
+        fn input_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("x", 8)]
+        }
+        fn output_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("y", 8)]
+        }
+        fn reset(&mut self) {}
+        fn clock_edge(&mut self, i: &[u64]) -> Vec<u64> {
+            vec![i[0]]
+        }
+    }
+
+    fn setup() -> (TestBoard, MappedCycleDut, PinMapConfig) {
+        let (dut, lanes) = MappedCycleDut::auto_mapped(Box::new(Echo));
+        let map = dut.map().clone();
+        let mut board = TestBoard::with_memory_depth(1024);
+        board.configure(map.clone(), lanes, 20_000_000).unwrap();
+        (board, dut, map)
+    }
+
+    fn stim(map: &PinMapConfig, values: &[u64]) -> Vec<PinFrame> {
+        values
+            .iter()
+            .map(|&v| {
+                let mut f: PinFrame = [0; LANES];
+                map.encode_inport(0, v, &mut f).unwrap();
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cycle_roundtrips_data() {
+        let (mut board, mut dut, map) = setup();
+        let mut session = TestSession::new(&mut board, &mut dut, ScsiBus::default());
+        let resp = session.run_cycle(stim(&map, &[1, 2, 3])).unwrap();
+        assert_eq!(resp.len(), 3);
+        let got: Vec<u64> = resp.iter().map(|f| map.decode_outport(0, f).unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        let s = session.stats();
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.hw_clocks, 3);
+        assert_eq!(session.scsi_stats().transfers, 2);
+    }
+
+    #[test]
+    fn run_all_concatenates() {
+        let (mut board, mut dut, map) = setup();
+        let mut session = TestSession::new(&mut board, &mut dut, ScsiBus::default());
+        let resp = session
+            .run_all(vec![stim(&map, &[1, 2]), stim(&map, &[3])])
+            .unwrap();
+        assert_eq!(resp.len(), 3);
+        assert_eq!(session.stats().cycles, 2);
+    }
+
+    #[test]
+    fn longer_hw_cycles_raise_efficiency() {
+        // The paper's rationale for long test cycles: SW overhead amortizes.
+        let bus = ScsiBus::default();
+        let mut eff = Vec::new();
+        for &len in &[4usize, 64, 1024] {
+            let (mut board, mut dut, map) = setup();
+            let mut session = TestSession::new(&mut board, &mut dut, bus);
+            session.run_cycle(stim(&map, &vec![7; len])).unwrap();
+            eff.push(session.stats().efficiency());
+        }
+        assert!(eff[0] < eff[1] && eff[1] < eff[2], "efficiency must grow: {eff:?}");
+    }
+
+    #[test]
+    fn empty_stimulus_is_rejected() {
+        let (mut board, mut dut, _map) = setup();
+        let mut session = TestSession::new(&mut board, &mut dut, ScsiBus::default());
+        assert!(matches!(
+            session.run_cycle(vec![]),
+            Err(BoardError::DurationOutOfRange { requested: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn efficiency_zero_without_cycles() {
+        assert_eq!(SessionStats::default().efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! The hardware device under test behind the board's pins.
+//!
+//! The paper hooks a *physical prototype chip* to the board. No silicon is
+//! available here, so the prototype is simulated: anything implementing
+//! [`HardwareDut`] presents the chip's pin-level behaviour, one board clock
+//! at a time. Two adapters matter:
+//!
+//! * [`MappedCycleDut`] places any [`castanet_rtl::cycle::CycleDut`] (e.g.
+//!   the ATM switch or accounting unit) behind a pin-map configuration, so
+//!   the *same* design that ran in the HDL simulator runs "on the board" —
+//!   which is the whole point of functional chip verification;
+//! * [`TimingFaultDut`] wraps a DUT with a maximum clock frequency and
+//!   corrupts outputs (deterministically) above it — modelling the timing
+//!   violations that "are not likely to be detected" unless "one runs the
+//!   hardware at the targeted speed" (§3.3), the paper's motivation for
+//!   real-time verification.
+
+use crate::pinmap::{PinFrame, PinMapConfig};
+use crate::lane::LANES;
+use castanet_rtl::cycle::CycleDut;
+
+/// A pin-level hardware model: the simulated prototype chip.
+pub trait HardwareDut: Send {
+    /// Power-on reset.
+    fn reset(&mut self);
+
+    /// One board clock: sample the driven pins, return the chip's output
+    /// pins.
+    fn clock(&mut self, pins_in: &PinFrame) -> PinFrame;
+
+    /// The highest clock frequency the (modelled) silicon meets timing at.
+    /// `None` means no limit is modelled.
+    fn max_clock_hz(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Adapts a [`CycleDut`] to the board's pin interface through a pin map:
+/// board-driven pins are decoded into the DUT's input ports (by declared
+/// port order against ascending inport numbers), and the DUT's outputs are
+/// encoded onto the sampled pins (ascending outport numbers).
+pub struct MappedCycleDut {
+    dut: Box<dyn CycleDut>,
+    map: PinMapConfig,
+    in_numbers: Vec<usize>,
+    out_numbers: Vec<usize>,
+}
+
+impl std::fmt::Debug for MappedCycleDut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCycleDut")
+            .field("inports", &self.in_numbers.len())
+            .field("outports", &self.out_numbers.len())
+            .finish()
+    }
+}
+
+impl MappedCycleDut {
+    /// Pairs `dut` with a pin map. The map must declare exactly one inport
+    /// per DUT input port and one outport per DUT output port; ports pair
+    /// up in ascending port-number order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the port counts disagree.
+    #[must_use]
+    pub fn new(dut: Box<dyn CycleDut>, map: PinMapConfig) -> Self {
+        let mut in_numbers: Vec<usize> = map.inports.iter().map(|p| p.number).collect();
+        in_numbers.sort_unstable();
+        let mut out_numbers: Vec<usize> = map.outports.iter().map(|p| p.number).collect();
+        out_numbers.sort_unstable();
+        assert_eq!(
+            in_numbers.len(),
+            dut.input_ports().len(),
+            "pin map must declare one inport per dut input"
+        );
+        assert_eq!(
+            out_numbers.len(),
+            dut.output_ports().len(),
+            "pin map must declare one outport per dut output"
+        );
+        MappedCycleDut {
+            dut,
+            map,
+            in_numbers,
+            out_numbers,
+        }
+    }
+
+    /// Generates a canonical pin map for `dut`: input ports packed onto
+    /// driving lanes from lane 0 upward, output ports onto sampling lanes
+    /// from lane 15 downward, each port on whole-lane boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the DUT's ports do not fit 128 pins.
+    #[must_use]
+    pub fn auto_mapped(dut: Box<dyn CycleDut>) -> (Self, [crate::lane::LaneConfig; LANES]) {
+        use crate::lane::LaneConfig;
+        use crate::pinmap::{InportMapping, OutportMapping, PinSegment};
+        let mut lanes = [LaneConfig::drive(); LANES];
+        let mut map = PinMapConfig::default();
+
+        let mut lane_cursor = 0usize;
+        for (i, p) in dut.input_ports().iter().enumerate() {
+            let lanes_needed = p.width.div_ceil(8);
+            let mut segments = Vec::new();
+            let mut remaining = p.width;
+            for k in 0..lanes_needed {
+                let bits = remaining.min(8);
+                segments.push(PinSegment::new(lane_cursor + k, 7, bits));
+                remaining -= bits;
+            }
+            lane_cursor += lanes_needed;
+            map.inports.push(InportMapping {
+                number: i,
+                width: p.width,
+                segments,
+            });
+        }
+        let mut top_cursor = LANES;
+        for (i, p) in dut.output_ports().iter().enumerate() {
+            let lanes_needed = p.width.div_ceil(8);
+            assert!(
+                top_cursor >= lanes_needed && top_cursor - lanes_needed >= lane_cursor,
+                "dut ports exceed the board's 128 pins"
+            );
+            top_cursor -= lanes_needed;
+            let mut segments = Vec::new();
+            let mut remaining = p.width;
+            for k in 0..lanes_needed {
+                let bits = remaining.min(8);
+                segments.push(PinSegment::new(top_cursor + k, 7, bits));
+                lanes[top_cursor + k] = LaneConfig::sample();
+                remaining -= bits;
+            }
+            map.outports.push(OutportMapping {
+                number: i,
+                width: p.width,
+                segments,
+            });
+        }
+        (Self::new(dut, map), lanes)
+    }
+
+    /// The pin map in use.
+    #[must_use]
+    pub fn map(&self) -> &PinMapConfig {
+        &self.map
+    }
+}
+
+impl HardwareDut for MappedCycleDut {
+    fn reset(&mut self) {
+        self.dut.reset();
+    }
+
+    fn clock(&mut self, pins_in: &PinFrame) -> PinFrame {
+        let words: Vec<u64> = self
+            .in_numbers
+            .iter()
+            .map(|&n| {
+                // Decode via the inport's own segments (frame -> value).
+                let port = self.map.inport(n).expect("validated at construction");
+                decode_inport(port, pins_in)
+            })
+            .collect();
+        let outs = self.dut.clock_edge(&words);
+        let mut frame: PinFrame = [0; LANES];
+        for (&n, value) in self.out_numbers.iter().zip(outs) {
+            let port = self.map.outport(n).expect("validated at construction");
+            encode_outport(port, value, &mut frame);
+        }
+        frame
+    }
+}
+
+fn decode_inport(port: &crate::pinmap::InportMapping, frame: &PinFrame) -> u64 {
+    let mut out = 0u64;
+    for seg in &port.segments {
+        let shift = seg.start_bit + 1 - seg.bits;
+        let chunk = u64::from(frame[seg.lane] >> shift) & ((1u64 << seg.bits) - 1);
+        out = (out << seg.bits) | chunk;
+    }
+    out
+}
+
+fn encode_outport(port: &crate::pinmap::OutportMapping, value: u64, frame: &mut PinFrame) {
+    let mut remaining = port.width;
+    for seg in &port.segments {
+        remaining -= seg.bits;
+        let chunk = (value >> remaining) & ((1u64 << seg.bits) - 1);
+        let shift = seg.start_bit + 1 - seg.bits;
+        let lane_mask = (((1u64 << seg.bits) - 1) as u8) << shift;
+        frame[seg.lane] = (frame[seg.lane] & !lane_mask) | (((chunk as u8) << shift) & lane_mask);
+    }
+}
+
+/// Exposes only a subset of a [`CycleDut`]'s ports — the way a fabbed chip
+/// exposes its data path on pins while configuration interfaces stay
+/// internal (set up before the part goes on the board). Hidden inputs are
+/// tied to constants; hidden outputs are dropped.
+pub struct PortSubsetDut {
+    inner: Box<dyn CycleDut>,
+    keep_in: Vec<usize>,
+    keep_out: Vec<usize>,
+    tied: Vec<u64>,
+}
+
+impl std::fmt::Debug for PortSubsetDut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortSubsetDut")
+            .field("kept_inputs", &self.keep_in.len())
+            .field("kept_outputs", &self.keep_out.len())
+            .finish()
+    }
+}
+
+impl PortSubsetDut {
+    /// Keeps input ports `keep_in` and output ports `keep_out` (indices
+    /// into the inner DUT's declarations); all other inputs are tied to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[must_use]
+    pub fn new(inner: Box<dyn CycleDut>, keep_in: Vec<usize>, keep_out: Vec<usize>) -> Self {
+        let n_in = inner.input_ports().len();
+        let n_out = inner.output_ports().len();
+        assert!(keep_in.iter().all(|&i| i < n_in), "kept input out of range");
+        assert!(keep_out.iter().all(|&o| o < n_out), "kept output out of range");
+        let tied = vec![0u64; n_in];
+        PortSubsetDut {
+            inner,
+            keep_in,
+            keep_out,
+            tied,
+        }
+    }
+
+    /// Ties a hidden input port to a constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `port` is out of range.
+    pub fn tie(&mut self, port: usize, value: u64) {
+        assert!(port < self.tied.len(), "tied port out of range");
+        self.tied[port] = value;
+    }
+}
+
+impl CycleDut for PortSubsetDut {
+    fn input_ports(&self) -> Vec<castanet_rtl::cycle::PortDecl> {
+        let decls = self.inner.input_ports();
+        self.keep_in.iter().map(|&i| decls[i].clone()).collect()
+    }
+
+    fn output_ports(&self) -> Vec<castanet_rtl::cycle::PortDecl> {
+        let decls = self.inner.output_ports();
+        self.keep_out.iter().map(|&o| decls[o].clone()).collect()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {
+        let mut full = self.tied.clone();
+        for (slot, &value) in self.keep_in.iter().zip(inputs) {
+            full[*slot] = value;
+        }
+        let outs = self.inner.clock_edge(&full);
+        self.keep_out.iter().map(|&o| outs[o]).collect()
+    }
+}
+
+/// Wraps a DUT with a maximum-frequency constraint: clocked faster than
+/// `max_hz`, outputs are corrupted deterministically (a pseudo-random pin
+/// flip per clock) — the silicon's setup-time failures made visible.
+pub struct TimingFaultDut<D: HardwareDut> {
+    inner: D,
+    max_hz: u64,
+    board_clock_hz: u64,
+    lfsr: u32,
+    faults_injected: u64,
+}
+
+impl<D: HardwareDut> std::fmt::Debug for TimingFaultDut<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingFaultDut")
+            .field("max_hz", &self.max_hz)
+            .field("board_clock_hz", &self.board_clock_hz)
+            .field("faults_injected", &self.faults_injected)
+            .finish()
+    }
+}
+
+impl<D: HardwareDut> TimingFaultDut<D> {
+    /// Wraps `inner`, declaring it meets timing up to `max_hz`. The board
+    /// clock actually applied is set via
+    /// [`TimingFaultDut::set_board_clock_hz`].
+    #[must_use]
+    pub fn new(inner: D, max_hz: u64) -> Self {
+        TimingFaultDut {
+            inner,
+            max_hz,
+            board_clock_hz: 0,
+            lfsr: 0xACE1_u32,
+            faults_injected: 0,
+        }
+    }
+
+    /// Informs the model of the applied board clock (the board does this
+    /// when a session starts).
+    pub fn set_board_clock_hz(&mut self, hz: u64) {
+        self.board_clock_hz = hz;
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    fn next_lfsr(&mut self) -> u32 {
+        // 16-bit Fibonacci LFSR, taps 16,14,13,11.
+        let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+        self.lfsr = (self.lfsr >> 1) | (bit << 15);
+        self.lfsr
+    }
+}
+
+impl<D: HardwareDut> HardwareDut for TimingFaultDut<D> {
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.lfsr = 0xACE1;
+        self.faults_injected = 0;
+    }
+
+    fn clock(&mut self, pins_in: &PinFrame) -> PinFrame {
+        let mut out = self.inner.clock(pins_in);
+        if self.board_clock_hz > self.max_hz {
+            // Fault probability grows with overclock severity: flip a pin
+            // on roughly (1 - max/actual) of the clocks.
+            let r = self.next_lfsr() & 0xFFFF;
+            let threshold =
+                ((1.0 - self.max_hz as f64 / self.board_clock_hz as f64) * 65536.0) as u32;
+            if r < threshold {
+                let pin = (self.next_lfsr() as usize) % (LANES * 8);
+                out[pin / 8] ^= 1 << (pin % 8);
+                self.faults_injected += 1;
+            }
+        }
+        out
+    }
+
+    fn max_clock_hz(&self) -> Option<u64> {
+        Some(self.max_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_rtl::cycle::PortDecl;
+
+    /// Pass-through chip: output = input + 1.
+    struct IncChip;
+    impl CycleDut for IncChip {
+        fn input_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("x", 8)]
+        }
+        fn output_ports(&self) -> Vec<PortDecl> {
+            vec![PortDecl::new("y", 8)]
+        }
+        fn reset(&mut self) {}
+        fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {
+            vec![(inputs[0] + 1) & 0xFF]
+        }
+    }
+
+    #[test]
+    fn auto_mapping_roundtrips_values() {
+        let (mut mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(IncChip));
+        mapped.map().validate(&lanes).unwrap();
+        let mut frame: PinFrame = [0; LANES];
+        mapped.map().encode_inport(0, 41, &mut frame).unwrap();
+        let out = mapped.clock(&frame);
+        assert_eq!(mapped.map().decode_outport(0, &out).unwrap(), 42);
+    }
+
+    #[test]
+    fn auto_mapping_places_outputs_on_sampling_lanes() {
+        let (mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(IncChip));
+        for p in &mapped.map().outports {
+            for seg in &p.segments {
+                assert_eq!(lanes[seg.lane].direction, crate::lane::LaneDirection::Sample);
+            }
+        }
+        for p in &mapped.map().inports {
+            for seg in &p.segments {
+                assert_eq!(lanes[seg.lane].direction, crate::lane::LaneDirection::Drive);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ports_span_multiple_lanes() {
+        struct WideChip;
+        impl CycleDut for WideChip {
+            fn input_ports(&self) -> Vec<PortDecl> {
+                vec![PortDecl::new("a", 20)]
+            }
+            fn output_ports(&self) -> Vec<PortDecl> {
+                vec![PortDecl::new("b", 20)]
+            }
+            fn reset(&mut self) {}
+            fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {
+                vec![inputs[0]]
+            }
+        }
+        let (mut mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(WideChip));
+        mapped.map().validate(&lanes).unwrap();
+        let mut frame: PinFrame = [0; LANES];
+        mapped.map().encode_inport(0, 0xABCDE, &mut frame).unwrap();
+        let out = mapped.clock(&frame);
+        assert_eq!(mapped.map().decode_outport(0, &out).unwrap(), 0xABCDE);
+    }
+
+    #[test]
+    fn timing_fault_dut_clean_within_spec() {
+        let (mapped, _) = MappedCycleDut::auto_mapped(Box::new(IncChip));
+        let mut dut = TimingFaultDut::new(mapped, 20_000_000);
+        dut.set_board_clock_hz(10_000_000);
+        let frame: PinFrame = [0; LANES];
+        for _ in 0..1000 {
+            dut.clock(&frame);
+        }
+        assert_eq!(dut.faults_injected(), 0);
+        assert_eq!(dut.max_clock_hz(), Some(20_000_000));
+    }
+
+    #[test]
+    fn timing_fault_dut_corrupts_when_overclocked() {
+        let (mapped, _) = MappedCycleDut::auto_mapped(Box::new(IncChip));
+        let mut dut = TimingFaultDut::new(mapped, 10_000_000);
+        dut.set_board_clock_hz(20_000_000);
+        let frame: PinFrame = [0; LANES];
+        for _ in 0..1000 {
+            dut.clock(&frame);
+        }
+        assert!(
+            dut.faults_injected() > 200,
+            "2x overclock should fault often, got {}",
+            dut.faults_injected()
+        );
+        // Reset clears fault accounting.
+        dut.reset();
+        assert_eq!(dut.faults_injected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one inport per dut input")]
+    fn mismatched_map_rejected() {
+        let map = PinMapConfig::default();
+        let _ = MappedCycleDut::new(Box::new(IncChip), map);
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type of the hardware test board model.
+
+use std::fmt;
+
+/// Errors surfaced by board configuration and test-cycle execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoardError {
+    /// A byte-lane index was not in `0..16`.
+    LaneOutOfRange {
+        /// The offending lane id.
+        lane: usize,
+    },
+    /// A pin segment exceeded its byte lane (start bit + bits > 8).
+    SegmentOutOfLane {
+        /// Lane the segment addressed.
+        lane: usize,
+        /// Start bit position.
+        start_bit: usize,
+        /// Segment width.
+        bits: usize,
+    },
+    /// A port mapping's segments do not add up to the declared width.
+    WidthMismatch {
+        /// Declared port width.
+        declared: usize,
+        /// Sum of segment widths.
+        mapped: usize,
+    },
+    /// Two mappings claim the same pin.
+    PinConflict {
+        /// Lane of the doubly-assigned pin.
+        lane: usize,
+        /// Bit of the doubly-assigned pin.
+        bit: usize,
+    },
+    /// A mapping drives a lane whose configured direction disagrees.
+    DirectionConflict {
+        /// The lane in question.
+        lane: usize,
+    },
+    /// The requested test-cycle duration is outside the supported window.
+    DurationOutOfRange {
+        /// Requested duration in board clocks.
+        requested: u64,
+        /// Minimum supported duration.
+        min: u64,
+        /// Maximum supported duration (memory depth).
+        max: u64,
+    },
+    /// The requested board clock exceeds the board's maximum.
+    ClockTooFast {
+        /// Requested frequency in Hz.
+        requested_hz: u64,
+        /// Board maximum in Hz.
+        max_hz: u64,
+    },
+    /// Stimulus data exceeds the vector memory depth.
+    MemoryOverflow {
+        /// Words offered.
+        offered: usize,
+        /// Memory capacity in words.
+        capacity: usize,
+    },
+    /// An operation referenced an unknown port number.
+    UnknownPort {
+        /// The port number used.
+        port: usize,
+    },
+    /// A value does not fit the port's declared width.
+    ValueTooWide {
+        /// The port number.
+        port: usize,
+        /// Declared width.
+        width: usize,
+    },
+    /// The board has not been configured yet.
+    NotConfigured,
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::LaneOutOfRange { lane } => {
+                write!(f, "byte lane {lane} out of range (board has 16 lanes)")
+            }
+            BoardError::SegmentOutOfLane { lane, start_bit, bits } => write!(
+                f,
+                "segment of {bits} bits at start bit {start_bit} exceeds byte lane {lane}"
+            ),
+            BoardError::WidthMismatch { declared, mapped } => {
+                write!(f, "port declares {declared} bits but maps {mapped}")
+            }
+            BoardError::PinConflict { lane, bit } => {
+                write!(f, "pin {bit} of lane {lane} is assigned twice")
+            }
+            BoardError::DirectionConflict { lane } => {
+                write!(f, "mapping direction disagrees with lane {lane} configuration")
+            }
+            BoardError::DurationOutOfRange { requested, min, max } => write!(
+                f,
+                "test cycle of {requested} clocks outside supported window [{min}, {max}]"
+            ),
+            BoardError::ClockTooFast { requested_hz, max_hz } => {
+                write!(f, "board clock {requested_hz} Hz exceeds maximum {max_hz} Hz")
+            }
+            BoardError::MemoryOverflow { offered, capacity } => {
+                write!(f, "{offered} stimulus words exceed memory capacity {capacity}")
+            }
+            BoardError::UnknownPort { port } => write!(f, "port {port} is not mapped"),
+            BoardError::ValueTooWide { port, width } => {
+                write!(f, "value does not fit port {port} of width {width}")
+            }
+            BoardError::NotConfigured => write!(f, "board is not configured"),
+        }
+    }
+}
+
+impl std::error::Error for BoardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            BoardError::LaneOutOfRange { lane: 17 }.to_string(),
+            "byte lane 17 out of range (board has 16 lanes)"
+        );
+        assert_eq!(
+            BoardError::PinConflict { lane: 3, bit: 5 }.to_string(),
+            "pin 5 of lane 3 is assigned twice"
+        );
+        assert!(BoardError::NotConfigured.to_string().contains("not configured"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoardError>();
+    }
+}

@@ -1,0 +1,137 @@
+//! Byte lanes: the board's pin groups.
+//!
+//! "The bit stream interface consists of 128 I/O-pins, where each of 16
+//! byte lanes is configurable in direction and speed" (§3.3). A lane is
+//! eight pins moving together; *direction* says whether the board drives
+//! the DUT (stimulus) or samples it (response), and *speed* is a clock
+//! gating factor — the lane changes/samples only every `gating`-th board
+//! clock.
+
+use crate::error::BoardError;
+
+/// Number of byte lanes on the board.
+pub const LANES: usize = 16;
+/// Pins per lane.
+pub const LANE_BITS: usize = 8;
+/// Total pins of the bit-stream interface.
+pub const PINS: usize = LANES * LANE_BITS;
+/// Maximum board clock of the current implementation (§3.3): 20 MHz.
+pub const MAX_CLOCK_HZ: u64 = 20_000_000;
+
+/// Direction of a byte lane, from the board's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneDirection {
+    /// The board drives the lane (DUT input, stimulus data).
+    #[default]
+    Drive,
+    /// The board samples the lane (DUT output, response data).
+    Sample,
+}
+
+/// Configuration of one byte lane: direction plus clock-gating factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneConfig {
+    /// Direction of the lane.
+    pub direction: LaneDirection,
+    /// The lane is active every `gating`-th board clock (1 = full speed).
+    pub gating: u32,
+}
+
+impl Default for LaneConfig {
+    fn default() -> Self {
+        LaneConfig {
+            direction: LaneDirection::Drive,
+            gating: 1,
+        }
+    }
+}
+
+impl LaneConfig {
+    /// A full-speed driving lane.
+    #[must_use]
+    pub fn drive() -> Self {
+        LaneConfig::default()
+    }
+
+    /// A full-speed sampling lane.
+    #[must_use]
+    pub fn sample() -> Self {
+        LaneConfig {
+            direction: LaneDirection::Sample,
+            gating: 1,
+        }
+    }
+
+    /// Sets the clock-gating factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gating` is zero.
+    #[must_use]
+    pub fn with_gating(mut self, gating: u32) -> Self {
+        assert!(gating > 0, "gating factor must be non-zero");
+        self.gating = gating;
+        self
+    }
+
+    /// `true` when the lane is active at board clock `tick`.
+    #[must_use]
+    pub fn active_at(&self, tick: u64) -> bool {
+        tick % u64::from(self.gating) == 0
+    }
+}
+
+/// Validates a lane index.
+///
+/// # Errors
+///
+/// Returns [`BoardError::LaneOutOfRange`] for `lane >= 16`.
+pub fn check_lane(lane: usize) -> Result<(), BoardError> {
+    if lane >= LANES {
+        return Err(BoardError::LaneOutOfRange { lane });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(LANES, 16);
+        assert_eq!(PINS, 128);
+        assert_eq!(MAX_CLOCK_HZ, 20_000_000);
+    }
+
+    #[test]
+    fn default_lane_drives_full_speed() {
+        let l = LaneConfig::default();
+        assert_eq!(l.direction, LaneDirection::Drive);
+        assert_eq!(l.gating, 1);
+        assert!(l.active_at(0) && l.active_at(1) && l.active_at(999));
+    }
+
+    #[test]
+    fn gating_divides_activity() {
+        let l = LaneConfig::sample().with_gating(4);
+        assert!(l.active_at(0));
+        assert!(!l.active_at(1));
+        assert!(!l.active_at(3));
+        assert!(l.active_at(4));
+        assert!(l.active_at(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_gating_panics() {
+        let _ = LaneConfig::drive().with_gating(0);
+    }
+
+    #[test]
+    fn lane_bounds_check() {
+        assert!(check_lane(0).is_ok());
+        assert!(check_lane(15).is_ok());
+        assert_eq!(check_lane(16), Err(BoardError::LaneOutOfRange { lane: 16 }));
+    }
+}

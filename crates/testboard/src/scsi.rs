@@ -1,0 +1,122 @@
+//! The simulated SCSI transport between the workstation and the board.
+//!
+//! The real CASTANET reaches its test board over a SCSI bus (Fig. 2). Here
+//! the bus is replaced by a transfer-time model — per-transfer latency plus
+//! bytes divided by bandwidth — so that the software-activity phases of a
+//! test cycle (§3.3: configure, store stimuli, read results back) carry a
+//! realistic cost in the E5 efficiency measurements.
+
+use std::time::Duration;
+
+/// Bandwidth/latency model of the host↔board link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScsiBus {
+    bandwidth_bytes_per_sec: u64,
+    per_transfer_latency: Duration,
+}
+
+impl Default for ScsiBus {
+    /// Fast SCSI-2 as a 1997 lab would have had: 10 MB/s, 1 ms per
+    /// transfer of command/arbitration overhead.
+    fn default() -> Self {
+        ScsiBus {
+            bandwidth_bytes_per_sec: 10_000_000,
+            per_transfer_latency: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ScsiBus {
+    /// Creates a bus model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is zero.
+    #[must_use]
+    pub fn new(bandwidth_bytes_per_sec: u64, per_transfer_latency: Duration) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0, "bandwidth must be non-zero");
+        ScsiBus {
+            bandwidth_bytes_per_sec,
+            per_transfer_latency,
+        }
+    }
+
+    /// Modelled wall-clock time to move `bytes` in one transfer.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        let payload = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64);
+        self.per_transfer_latency + payload
+    }
+
+    /// Bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth_bytes_per_sec(&self) -> u64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// Per-transfer latency.
+    #[must_use]
+    pub fn per_transfer_latency(&self) -> Duration {
+        self.per_transfer_latency
+    }
+}
+
+/// Accumulates modelled bus usage over a verification session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScsiStats {
+    /// Transfers performed.
+    pub transfers: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Total modelled time on the bus.
+    pub busy: Duration,
+}
+
+impl ScsiStats {
+    /// Records one transfer of `bytes` over `bus`.
+    pub fn record(&mut self, bus: &ScsiBus, bytes: usize) -> Duration {
+        let t = bus.transfer_time(bytes);
+        self.transfers += 1;
+        self.bytes += bytes as u64;
+        self.busy += t;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let bus = ScsiBus::new(1_000_000, Duration::from_millis(2));
+        let t1 = bus.transfer_time(0);
+        assert_eq!(t1, Duration::from_millis(2), "latency only");
+        let t2 = bus.transfer_time(1_000_000);
+        assert_eq!(t2, Duration::from_millis(2) + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn default_is_fast_scsi2() {
+        let bus = ScsiBus::default();
+        assert_eq!(bus.bandwidth_bytes_per_sec(), 10_000_000);
+        assert_eq!(bus.per_transfer_latency(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let bus = ScsiBus::new(1_000, Duration::ZERO);
+        let mut stats = ScsiStats::default();
+        stats.record(&bus, 500);
+        stats.record(&bus, 500);
+        assert_eq!(stats.transfers, 2);
+        assert_eq!(stats.bytes, 1000);
+        assert_eq!(stats.busy, Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bandwidth_panics() {
+        let _ = ScsiBus::new(0, Duration::ZERO);
+    }
+}

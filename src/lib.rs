@@ -1,0 +1,31 @@
+//! # coverify — the CASTANET co-verification environment, assembled
+//!
+//! Facade over the workspace crates reproducing *"A System-Level
+//! Co-Verification Environment for ATM Hardware Design"* (Post, Müller,
+//! Grötker — DATE 1998):
+//!
+//! * [`netsim`] — discrete-event network simulator (OPNET substitute);
+//! * [`atm`] — the ATM model suite (cells, HEC, traffic, switch,
+//!   accounting);
+//! * [`rtl`] — event-driven + cycle-based RTL simulation (VSS substitute)
+//!   with the paper's DUTs;
+//! * [`testboard`] — the hardware test board (RAVEN substitute);
+//! * [`castanet`] — the coupling itself: synchronization protocols,
+//!   abstraction interfaces, hardware-in-the-loop, comparison.
+//!
+//! Besides re-exports, this crate hosts [`scenarios`]: pre-wired
+//! co-verification set-ups (switch co-simulation, accounting-unit
+//! verification, pure-RTL baseline) shared by the examples, the
+//! integration tests, the Criterion benches and the `repro` experiment
+//! driver — so every consumer measures exactly the same builds.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use castanet;
+pub use castanet_atm as atm;
+pub use castanet_netsim as netsim;
+pub use castanet_rtl as rtl;
+pub use castanet_testboard as testboard;
+
+pub mod scenarios;
