@@ -105,7 +105,8 @@ impl AccountingUnit {
                 vci: conn.vci.value(),
             });
         }
-        self.accounts.insert(conn, (tariff, AccountRecord::default()));
+        self.accounts
+            .insert(conn, (tariff, AccountRecord::default()));
         Ok(())
     }
 
@@ -252,7 +253,14 @@ mod tests {
     #[test]
     fn mixed_tariff_accumulates_both_parts() {
         let mut acc = AccountingUnit::new();
-        acc.register(id(2, 50), Tariff { weight: 1, fixed: 5 }).unwrap();
+        acc.register(
+            id(2, 50),
+            Tariff {
+                weight: 1,
+                fixed: 5,
+            },
+        )
+        .unwrap();
         for _ in 0..4 {
             acc.on_cell(id(2, 50));
         }
@@ -261,7 +269,7 @@ mod tests {
         acc.interval_tick();
         let rec = acc.record(id(2, 50)).unwrap();
         assert_eq!(rec.cells, 5);
-        assert_eq!(rec.charge, 5 * 1 + 2 * 5);
+        assert_eq!(rec.charge, 5 + 2 * 5);
         assert_eq!(rec.active_intervals, 2);
     }
 

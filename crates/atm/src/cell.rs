@@ -112,7 +112,10 @@ impl CellHeader {
     /// GFC at the NNI).
     pub fn encode(&self, format: HeaderFormat) -> Result<[u8; HEADER_OCTETS], AtmError> {
         if self.gfc > 0xF || (format == HeaderFormat::Nni && self.gfc != 0) {
-            return Err(AtmError::GfcOutOfRange { value: self.gfc, format });
+            return Err(AtmError::GfcOutOfRange {
+                value: self.gfc,
+                format,
+            });
         }
         let vpi = self.id.vpi.value();
         if vpi > format.max_vpi() {
@@ -157,10 +160,7 @@ impl CellHeader {
                 bytes[0] >> 4,
                 (u16::from(bytes[0] & 0x0F) << 4) | u16::from(bytes[1] >> 4),
             ),
-            HeaderFormat::Nni => (
-                0,
-                (u16::from(bytes[0]) << 4) | u16::from(bytes[1] >> 4),
-            ),
+            HeaderFormat::Nni => (0, (u16::from(bytes[0]) << 4) | u16::from(bytes[1] >> 4)),
         };
         let vci = (u16::from(bytes[1] & 0x0F) << 12)
             | (u16::from(bytes[2]) << 4)
@@ -181,13 +181,7 @@ impl CellHeader {
 
 impl fmt::Display for CellHeader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} pt={:?} clp={}",
-            self.id,
-            self.pt,
-            u8::from(self.clp)
-        )
+        write!(f, "{} pt={:?} clp={}", self.id, self.pt, u8::from(self.clp))
     }
 }
 
@@ -320,7 +314,10 @@ mod tests {
     fn encode_decode_roundtrip_nni() {
         let header = CellHeader {
             gfc: 0,
-            id: VpiVci::new(Vpi::new(0xABC, HeaderFormat::Nni).unwrap(), Vci::new(0x1234)),
+            id: VpiVci::new(
+                Vpi::new(0xABC, HeaderFormat::Nni).unwrap(),
+                Vci::new(0x1234),
+            ),
             pt: PayloadType::OamEndToEnd,
             clp: false,
         };

@@ -223,11 +223,11 @@ impl DiscardQueue {
                             }
                             Some(DropReason::Epd)
                         } else if depth >= capacity {
-                            if !ends {
+                            if ends {
+                                track.mid_frame = false;
+                            } else {
                                 track.state = FrameState::DiscardingTail;
                                 track.mid_frame = true;
-                            } else {
-                                track.mid_frame = false;
                             }
                             Some(DropReason::Overflow)
                         } else {
@@ -303,7 +303,10 @@ mod tests {
         q.offer(high.clone());
         q.offer(high.clone());
         // Above threshold: low dropped, high still accepted.
-        assert_eq!(q.offer(low.clone()), Verdict::Dropped(DropReason::ClpSelective));
+        assert_eq!(
+            q.offer(low.clone()),
+            Verdict::Dropped(DropReason::ClpSelective)
+        );
         assert_eq!(q.offer(high.clone()), Verdict::Accepted);
         assert_eq!(q.offer(high.clone()), Verdict::Accepted);
         // Full: even high is refused.
@@ -369,7 +372,11 @@ mod tests {
         assert_eq!(verdicts[5], Verdict::Dropped(DropReason::Ppd));
         // Service one cell, then the delimiter arrives.
         q.pop();
-        assert_eq!(q.offer(frame[6].clone()), Verdict::Accepted, "delimiter kept");
+        assert_eq!(
+            q.offer(frame[6].clone()),
+            Verdict::Accepted,
+            "delimiter kept"
+        );
         assert_eq!(q.counters().ppd, 1);
     }
 

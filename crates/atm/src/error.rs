@@ -78,7 +78,11 @@ impl fmt::Display for AtmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtmError::VpiOutOfRange { value, format } => {
-                write!(f, "vpi {value} does not fit the {format} header (max {})", format.max_vpi())
+                write!(
+                    f,
+                    "vpi {value} does not fit the {format} header (max {})",
+                    format.max_vpi()
+                )
             }
             AtmError::GfcOutOfRange { value, format } => {
                 write!(f, "gfc {value:#x} invalid for {format} header")
@@ -91,7 +95,10 @@ impl fmt::Display for AtmError {
                 write!(f, "no switching-table entry for VPI={vpi}/VCI={vci}")
             }
             AtmError::RouteExists { vpi, vci } => {
-                write!(f, "switching-table entry for VPI={vpi}/VCI={vci} already exists")
+                write!(
+                    f,
+                    "switching-table entry for VPI={vpi}/VCI={vci} already exists"
+                )
             }
             AtmError::PortOutOfRange { port, ports } => {
                 write!(f, "port {port} out of range for a {ports}-port device")
@@ -118,8 +125,14 @@ mod tests {
             value: 300,
             format: HeaderFormat::Uni,
         };
-        assert_eq!(e.to_string(), "vpi 300 does not fit the UNI header (max 255)");
-        assert_eq!(AtmError::HecMismatch.to_string(), "header failed its hec check");
+        assert_eq!(
+            e.to_string(),
+            "vpi 300 does not fit the UNI header (max 255)"
+        );
+        assert_eq!(
+            AtmError::HecMismatch.to_string(),
+            "header failed its hec check"
+        );
         assert_eq!(
             AtmError::NoRoute { vpi: 1, vci: 2 }.to_string(),
             "no switching-table entry for VPI=1/VCI=2"

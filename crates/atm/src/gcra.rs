@@ -147,7 +147,10 @@ impl LeakyBucket {
     /// Panics if `increment` is zero.
     #[must_use]
     pub fn new(increment: SimDuration, limit: SimDuration) -> Self {
-        assert!(!increment.is_zero(), "leaky-bucket increment must be non-zero");
+        assert!(
+            !increment.is_zero(),
+            "leaky-bucket increment must be non-zero"
+        );
         LeakyBucket {
             increment,
             limit,
@@ -269,7 +272,10 @@ mod tests {
             now += SimDuration::from_us(x % 16);
             assert_eq!(g.arrival(now), lb.arrival(now), "arrival {i} at {now}");
         }
-        assert!(g.conforming() > 0 && g.non_conforming() > 0, "pattern should mix verdicts");
+        assert!(
+            g.conforming() > 0 && g.non_conforming() > 0,
+            "pattern should mix verdicts"
+        );
     }
 
     #[test]

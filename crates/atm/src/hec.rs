@@ -46,7 +46,11 @@ pub fn crc8(bytes: &[u8]) -> u8 {
 /// ```
 #[must_use]
 pub fn compute(header: &[u8]) -> u8 {
-    assert_eq!(header.len(), 4, "HEC covers exactly the four leading header octets");
+    assert_eq!(
+        header.len(),
+        4,
+        "HEC covers exactly the four leading header octets"
+    );
     crc8(header) ^ COSET
 }
 
@@ -258,7 +262,7 @@ mod tests {
                 match rx.receive(&bad) {
                     HecOutcome::Valid => panic!("2-bit error validated: {b1},{b2}"),
                     HecOutcome::Corrected(fixed) => {
-                        assert_ne!(fixed, bad, "correction must change the word")
+                        assert_ne!(fixed, bad, "correction must change the word");
                     }
                     HecOutcome::Discarded => {}
                 }

@@ -79,15 +79,12 @@ impl CellRateDecoupler {
 
     /// Transmit side: wraps a ready cell, or produces an idle slot.
     pub fn fill_slot(&mut self, ready: Option<AtmCell>) -> Slot {
-        match ready {
-            Some(cell) => {
-                self.assigned_sent += 1;
-                Slot::Assigned(cell)
-            }
-            None => {
-                self.idle_sent += 1;
-                Slot::Idle
-            }
+        if let Some(cell) = ready {
+            self.assigned_sent += 1;
+            Slot::Assigned(cell)
+        } else {
+            self.idle_sent += 1;
+            Slot::Idle
         }
     }
 

@@ -77,7 +77,10 @@ impl NoisyLine {
     /// Panics unless `0.0 <= ber <= 1.0`.
     #[must_use]
     pub fn new(ber: f64, format: HeaderFormat) -> (Self, NoiseStats) {
-        assert!((0.0..=1.0).contains(&ber), "bit error rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ber),
+            "bit error rate must be in [0, 1]"
+        );
         let stats = NoiseStats::default();
         (
             NoisyLine {
@@ -203,7 +206,11 @@ impl Process for LineReceiver {
         let mut header = [0u8; HEADER_OCTETS];
         header.copy_from_slice(&wire[..HEADER_OCTETS]);
         let outcome = self.hec.receive(&header);
-        let mut c = self.stats.inner.lock().expect("receiver stats lock poisoned");
+        let mut c = self
+            .stats
+            .inner
+            .lock()
+            .expect("receiver stats lock poisoned");
         match outcome {
             HecOutcome::Valid => {}
             HecOutcome::Corrected(fixed) => {
@@ -258,7 +265,8 @@ mod tests {
         let (collector, got) = CollectorProcess::new();
         let sink = k.add_module(n, "sink", Box::new(collector));
         k.connect_stream(src, PortId(0), line_m, PortId(0)).unwrap();
-        k.connect_stream(line_m, PortId(0), rx_m, PortId(0)).unwrap();
+        k.connect_stream(line_m, PortId(0), rx_m, PortId(0))
+            .unwrap();
         k.connect_stream(rx_m, PortId(0), sink, PortId(0)).unwrap();
         k.run().unwrap();
         (noise.snapshot(), rx_stats.snapshot(), got.len())

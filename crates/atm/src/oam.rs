@@ -130,8 +130,7 @@ impl LoopbackCell {
     #[must_use]
     pub fn encode(&self) -> AtmCell {
         let mut payload = [0x6A; PAYLOAD_OCTETS];
-        payload[0] =
-            (OamType::FaultManagement.bits() << 4) | FaultFunction::Loopback.bits();
+        payload[0] = (OamType::FaultManagement.bits() << 4) | FaultFunction::Loopback.bits();
         payload[1] = u8::from(self.loopback_indication);
         payload[2..6].copy_from_slice(&self.correlation_tag.to_be_bytes());
         // Loopback location ID (6..22): all-ones = end point.
@@ -168,24 +167,36 @@ impl LoopbackCell {
         let end_to_end = match cell.header.pt {
             PayloadType::OamEndToEnd => true,
             PayloadType::OamSegment => false,
-            _ => return Err(AtmError::Oam { reason: "payload type is not an f5 oam flow" }),
+            _ => {
+                return Err(AtmError::Oam {
+                    reason: "payload type is not an f5 oam flow",
+                })
+            }
         };
         let mut check = cell.payload;
         let stored = (u16::from(check[46]) << 8) | u16::from(check[47]);
         check[46] = 0;
         check[47] = 0;
         if crc10(&check) != stored & 0x3FF {
-            return Err(AtmError::Oam { reason: "crc-10 mismatch" });
+            return Err(AtmError::Oam {
+                reason: "crc-10 mismatch",
+            });
         }
-        let oam = OamType::from_bits(cell.payload[0] >> 4)
-            .ok_or(AtmError::Oam { reason: "unknown oam type" })?;
+        let oam = OamType::from_bits(cell.payload[0] >> 4).ok_or(AtmError::Oam {
+            reason: "unknown oam type",
+        })?;
         if oam != OamType::FaultManagement {
-            return Err(AtmError::Oam { reason: "not a fault-management cell" });
+            return Err(AtmError::Oam {
+                reason: "not a fault-management cell",
+            });
         }
-        let func = FaultFunction::from_bits(cell.payload[0] & 0x0F)
-            .ok_or(AtmError::Oam { reason: "unknown function type" })?;
+        let func = FaultFunction::from_bits(cell.payload[0] & 0x0F).ok_or(AtmError::Oam {
+            reason: "unknown function type",
+        })?;
         if func != FaultFunction::Loopback {
-            return Err(AtmError::Oam { reason: "not a loopback cell" });
+            return Err(AtmError::Oam {
+                reason: "not a loopback cell",
+            });
         }
         Ok(LoopbackCell {
             conn: cell.id(),
@@ -300,7 +311,9 @@ mod tests {
         cell.payload[10] ^= 0x20;
         assert!(matches!(
             LoopbackCell::decode(&cell),
-            Err(AtmError::Oam { reason: "crc-10 mismatch" })
+            Err(AtmError::Oam {
+                reason: "crc-10 mismatch"
+            })
         ));
     }
 
@@ -309,7 +322,9 @@ mod tests {
         let user = AtmCell::user_data(conn(), [0; PAYLOAD_OCTETS]);
         assert!(matches!(
             LoopbackCell::decode(&user),
-            Err(AtmError::Oam { reason: "payload type is not an f5 oam flow" })
+            Err(AtmError::Oam {
+                reason: "payload type is not an f5 oam flow"
+            })
         ));
     }
 

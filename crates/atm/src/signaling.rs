@@ -84,7 +84,13 @@ impl SigMessage {
     pub fn encode(&self, channel_vpi: u16) -> Result<AtmCell, AtmError> {
         let mut p = [0u8; PAYLOAD_OCTETS];
         match *self {
-            SigMessage::Setup { call_ref, conn, out_port, out, pcr } => {
+            SigMessage::Setup {
+                call_ref,
+                conn,
+                out_port,
+                out,
+                pcr,
+            } => {
                 p[0] = TAG_SETUP;
                 p[1..5].copy_from_slice(&call_ref.to_be_bytes());
                 p[5..7].copy_from_slice(&conn.vpi.value().to_be_bytes());
@@ -127,7 +133,9 @@ impl SigMessage {
     /// message tags.
     pub fn decode(cell: &AtmCell) -> Result<Self, AtmError> {
         if cell.id().vci.value() != SIGNALING_VCI {
-            return Err(AtmError::Signaling { reason: "not on the signaling channel" });
+            return Err(AtmError::Signaling {
+                reason: "not on the signaling channel",
+            });
         }
         let p = &cell.payload;
         let call_ref = u32::from_be_bytes([p[1], p[2], p[3], p[4]]);
@@ -146,9 +154,16 @@ impl SigMessage {
                 pcr: u32::from_be_bytes([p[14], p[15], p[16], p[17]]),
             },
             TAG_CONNECT => SigMessage::Connect { call_ref },
-            TAG_RELEASE_COMPLETE => SigMessage::ReleaseComplete { call_ref, cause: p[5] },
+            TAG_RELEASE_COMPLETE => SigMessage::ReleaseComplete {
+                call_ref,
+                cause: p[5],
+            },
             TAG_RELEASE => SigMessage::Release { call_ref },
-            _ => return Err(AtmError::Signaling { reason: "unknown message tag" }),
+            _ => {
+                return Err(AtmError::Signaling {
+                    reason: "unknown message tag",
+                })
+            }
         })
     }
 
@@ -197,9 +212,13 @@ impl CacAgent {
     /// outgoing messages are out of scope for this mini stack).
     pub fn handle(&mut self, msg: SigMessage) -> Option<SigMessage> {
         match msg {
-            SigMessage::Setup { call_ref, conn, out_port, out, pcr } => {
-                Some(self.handle_setup(call_ref, conn, out_port, out, pcr))
-            }
+            SigMessage::Setup {
+                call_ref,
+                conn,
+                out_port,
+                out,
+                pcr,
+            } => Some(self.handle_setup(call_ref, conn, out_port, out, pcr)),
             SigMessage::Release { call_ref } => Some(self.handle_release(call_ref)),
             SigMessage::Connect { .. } | SigMessage::ReleaseComplete { .. } => None,
         }
@@ -215,16 +234,28 @@ impl CacAgent {
     ) -> SigMessage {
         if usize::from(out_port) >= self.ports {
             self.refused += 1;
-            return SigMessage::ReleaseComplete { call_ref, cause: cause::INVALID_PORT };
+            return SigMessage::ReleaseComplete {
+                call_ref,
+                cause: cause::INVALID_PORT,
+            };
         }
         if self.admitted_pcr + u64::from(pcr) > self.budget_pcr {
             self.refused += 1;
-            return SigMessage::ReleaseComplete { call_ref, cause: cause::NO_BANDWIDTH };
+            return SigMessage::ReleaseComplete {
+                call_ref,
+                cause: cause::NO_BANDWIDTH,
+            };
         }
-        let entry = RouteEntry { out_port: usize::from(out_port), out_id: out };
+        let entry = RouteEntry {
+            out_port: usize::from(out_port),
+            out_id: out,
+        };
         if self.table.install(conn, entry).is_err() || self.calls.contains_key(&call_ref) {
             self.refused += 1;
-            return SigMessage::ReleaseComplete { call_ref, cause: cause::VPCI_IN_USE };
+            return SigMessage::ReleaseComplete {
+                call_ref,
+                cause: cause::VPCI_IN_USE,
+            };
         }
         self.admitted_pcr += u64::from(pcr);
         self.calls.insert(call_ref, Call { conn, pcr });
@@ -238,7 +269,10 @@ impl CacAgent {
                 self.admitted_pcr -= u64::from(call.pcr);
                 SigMessage::ReleaseComplete { call_ref, cause: 0 }
             }
-            None => SigMessage::ReleaseComplete { call_ref, cause: cause::UNKNOWN_CALL },
+            None => SigMessage::ReleaseComplete {
+                call_ref,
+                cause: cause::UNKNOWN_CALL,
+            },
         }
     }
 
@@ -284,7 +318,10 @@ mod tests {
         let msgs = [
             setup(0xABCD, 100, 50_000),
             SigMessage::Connect { call_ref: 1 },
-            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::NO_BANDWIDTH },
+            SigMessage::ReleaseComplete {
+                call_ref: 2,
+                cause: cause::NO_BANDWIDTH,
+            },
             SigMessage::Release { call_ref: 3 },
         ];
         for m in msgs {
@@ -300,13 +337,17 @@ mod tests {
         assert!(!SigMessage::is_signaling(&user));
         assert!(matches!(
             SigMessage::decode(&user),
-            Err(AtmError::Signaling { reason: "not on the signaling channel" })
+            Err(AtmError::Signaling {
+                reason: "not on the signaling channel"
+            })
         ));
         let mut junk = AtmCell::user_data(id(1, SIGNALING_VCI), [0; PAYLOAD_OCTETS]);
         junk.payload[0] = 99;
         assert!(matches!(
             SigMessage::decode(&junk),
-            Err(AtmError::Signaling { reason: "unknown message tag" })
+            Err(AtmError::Signaling {
+                reason: "unknown message tag"
+            })
         ));
     }
 
@@ -327,16 +368,28 @@ mod tests {
     fn cac_refuses_over_budget_calls() {
         let table = Arc::new(RoutingTable::new());
         let mut agent = CacAgent::new(Arc::clone(&table), 4, 150_000);
-        assert_eq!(agent.handle(setup(1, 100, 100_000)).unwrap(), SigMessage::Connect { call_ref: 1 });
+        assert_eq!(
+            agent.handle(setup(1, 100, 100_000)).unwrap(),
+            SigMessage::Connect { call_ref: 1 }
+        );
         let refusal = agent.handle(setup(2, 101, 100_000)).unwrap();
         assert_eq!(
             refusal,
-            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::NO_BANDWIDTH }
+            SigMessage::ReleaseComplete {
+                call_ref: 2,
+                cause: cause::NO_BANDWIDTH
+            }
         );
-        assert!(table.lookup(id(1, 101)).is_none(), "refused call installs nothing");
+        assert!(
+            table.lookup(id(1, 101)).is_none(),
+            "refused call installs nothing"
+        );
         assert_eq!(agent.refused(), 1);
         // A smaller call still fits.
-        assert_eq!(agent.handle(setup(3, 102, 50_000)).unwrap(), SigMessage::Connect { call_ref: 3 });
+        assert_eq!(
+            agent.handle(setup(3, 102, 50_000)).unwrap(),
+            SigMessage::Connect { call_ref: 3 }
+        );
     }
 
     #[test]
@@ -352,11 +405,17 @@ mod tests {
         // Release call 1: bandwidth and identifier come back.
         assert_eq!(
             agent.handle(SigMessage::Release { call_ref: 1 }).unwrap(),
-            SigMessage::ReleaseComplete { call_ref: 1, cause: 0 }
+            SigMessage::ReleaseComplete {
+                call_ref: 1,
+                cause: 0
+            }
         );
         assert!(table.lookup(id(1, 100)).is_none());
         assert_eq!(agent.admitted_pcr(), 0);
-        assert_eq!(agent.handle(setup(3, 100, 100_000)).unwrap(), SigMessage::Connect { call_ref: 3 });
+        assert_eq!(
+            agent.handle(setup(3, 100, 100_000)).unwrap(),
+            SigMessage::Connect { call_ref: 3 }
+        );
     }
 
     #[test]
@@ -367,7 +426,10 @@ mod tests {
         let refusal = agent.handle(setup(2, 100, 1)).unwrap();
         assert_eq!(
             refusal,
-            SigMessage::ReleaseComplete { call_ref: 2, cause: cause::VPCI_IN_USE }
+            SigMessage::ReleaseComplete {
+                call_ref: 2,
+                cause: cause::VPCI_IN_USE
+            }
         );
     }
 
@@ -398,7 +460,10 @@ mod tests {
         let mut agent = CacAgent::new(table, 2, 100);
         assert!(agent.handle(SigMessage::Connect { call_ref: 1 }).is_none());
         assert!(agent
-            .handle(SigMessage::ReleaseComplete { call_ref: 1, cause: 0 })
+            .handle(SigMessage::ReleaseComplete {
+                call_ref: 1,
+                cause: 0
+            })
             .is_none());
     }
 }

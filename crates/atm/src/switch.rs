@@ -20,9 +20,9 @@ use crate::addr::VpiVci;
 use crate::cell::{AtmCell, CELL_BITS};
 use crate::discard::{DiscardPolicy, DiscardQueue, Verdict};
 use crate::error::AtmError;
+use crate::gcra::{Conformance, Gcra};
 use crate::oam::LoopbackResponder;
 use crate::signaling::{CacAgent, SigMessage};
-use crate::gcra::{Conformance, Gcra};
 use crate::traffic::source::ATM_CELL_FORMAT;
 use castanet_netsim::event::{ModuleId, NodeId, PortId};
 use castanet_netsim::kernel::{Ctx, Kernel};
@@ -111,7 +111,10 @@ impl RoutingTable {
     /// Panics if the table lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().expect("routing table lock poisoned").len()
+        self.entries
+            .read()
+            .expect("routing table lock poisoned")
+            .len()
     }
 
     /// `true` when no routes are installed.
@@ -246,7 +249,10 @@ impl PortModuleProcess {
         egress_capacity: usize,
         policy: DiscardPolicy,
     ) -> Self {
-        assert!(index < ports, "port index {index} out of range for {ports} ports");
+        assert!(
+            index < ports,
+            "port index {index} out of range for {ports} ports"
+        );
         PortModuleProcess {
             index,
             ports,
@@ -289,26 +295,26 @@ impl PortModuleProcess {
                 return;
             }
         }
-        match self.table.lookup(cell.id()) {
-            Some(entry) => {
-                cell.retag(entry.out_id);
-                self.stats.update(|c| c.switched += 1);
-                if entry.out_port == self.index {
-                    self.enqueue_egress(ctx, cell);
-                } else {
-                    let out = self.fabric_out(entry.out_port);
-                    ctx.send(out, Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell))
-                        .expect("fabric port must be wired");
-                }
-            }
-            None => {
-                self.stats.update(|c| c.unroutable += 1);
+        if let Some(entry) = self.table.lookup(cell.id()) {
+            cell.retag(entry.out_id);
+            self.stats.update(|c| c.switched += 1);
+            if entry.out_port == self.index {
+                self.enqueue_egress(ctx, cell);
+            } else {
+                let out = self.fabric_out(entry.out_port);
                 ctx.send(
-                    self.gcu_out(),
+                    out,
                     Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell),
                 )
-                .expect("gcu stream must be wired");
+                .expect("fabric port must be wired");
             }
+        } else {
+            self.stats.update(|c| c.unroutable += 1);
+            ctx.send(
+                self.gcu_out(),
+                Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell),
+            )
+            .expect("gcu stream must be wired");
         }
     }
 
@@ -327,8 +333,11 @@ impl PortModuleProcess {
     fn transmit_one(&mut self, ctx: &mut Ctx) {
         if let Some(cell) = self.egress.pop() {
             self.stats.update(|c| c.transmitted += 1);
-            ctx.send(LINE, Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell))
-                .expect("line out must be wired");
+            ctx.send(
+                LINE,
+                Packet::new(ATM_CELL_FORMAT, CELL_BITS).with_payload(cell),
+            )
+            .expect("line out must be wired");
         }
         if self.egress.is_empty() {
             self.transmitting = false;
@@ -570,7 +579,8 @@ impl SwitchNode {
     #[must_use]
     pub fn with_route(mut self, conn: VpiVci, out_port: usize, out_id: VpiVci) -> Self {
         assert!(out_port < self.ports, "out_port {out_port} out of range");
-        self.admissions.push((conn, RouteEntry { out_port, out_id }));
+        self.admissions
+            .push((conn, RouteEntry { out_port, out_id }));
         self
     }
 
@@ -650,22 +660,12 @@ impl SwitchNode {
                     .expect("fabric wiring cannot conflict");
             }
             kernel
-                .connect_stream(
-                    port_modules[i],
-                    PortId(self.ports),
-                    control_unit,
-                    PortId(i),
-                )
+                .connect_stream(port_modules[i], PortId(self.ports), control_unit, PortId(i))
                 .expect("gcu wiring cannot conflict");
             // Reverse path: the control unit can queue management responses
             // (e.g. OAM loopback answers) onto port i's egress line.
             kernel
-                .connect_stream(
-                    control_unit,
-                    PortId(i),
-                    port_modules[i],
-                    PortId(self.ports),
-                )
+                .connect_stream(control_unit, PortId(i), port_modules[i], PortId(self.ports))
                 .expect("gcu reverse wiring cannot conflict");
         }
 
@@ -696,7 +696,10 @@ mod tests {
     fn routing_table_crud() {
         let t = RoutingTable::new();
         assert!(t.is_empty());
-        let e = RouteEntry { out_port: 2, out_id: id(9, 99) };
+        let e = RouteEntry {
+            out_port: 2,
+            out_id: id(9, 99),
+        };
         t.install(id(1, 40), e).unwrap();
         assert_eq!(t.lookup(id(1, 40)), Some(e));
         assert_eq!(t.len(), 1);
@@ -715,7 +718,11 @@ mod tests {
         policer: Option<(usize, VpiVci, Gcra)>,
         cells: u64,
         rate_interval: SimDuration,
-    ) -> (Kernel, SwitchHandle, Vec<castanet_netsim::process::CollectorHandle>) {
+    ) -> (
+        Kernel,
+        SwitchHandle,
+        Vec<castanet_netsim::process::CollectorHandle>,
+    ) {
         let mut kernel = Kernel::new(3);
         let mut sw = SwitchNode::new(4, SimDuration::from_us(1));
         for (conn, port, out) in routes {
@@ -782,7 +789,9 @@ mod tests {
         let c = handle.stats.snapshot();
         assert_eq!(c.unroutable, 5);
         assert_eq!(c.switched, 0);
-        assert!(sinks.iter().all(|s| s.is_empty()));
+        assert!(sinks
+            .iter()
+            .all(castanet_netsim::process::CollectorHandle::is_empty));
         // The GCU handled 5 packet events (+1 init).
         assert_eq!(kernel.module_event_count(handle.control_unit), 6);
     }
@@ -821,14 +830,21 @@ mod tests {
                     .with_limit(10),
             ),
         );
-        kernel.connect_stream(src, PortId(0), handle.port_modules[0], LINE).unwrap();
+        kernel
+            .connect_stream(src, PortId(0), handle.port_modules[0], LINE)
+            .unwrap();
         let (c, h) = CollectorProcess::new();
         let sink = kernel.add_module(src_node, "sink", Box::new(c));
-        kernel.connect_stream(handle.port_modules[1], LINE, sink, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[1], LINE, sink, PortId(0))
+            .unwrap();
         kernel.run().unwrap();
         let counters = handle.stats.snapshot();
         // 10 offered; one in service chain: capacity 2 queue + drops.
-        assert!(counters.queue_dropped > 0, "expected drops, got {counters:?}");
+        assert!(
+            counters.queue_dropped > 0,
+            "expected drops, got {counters:?}"
+        );
         assert_eq!(counters.transmitted as usize, h.len());
         assert_eq!(counters.queue_dropped + counters.transmitted, 10);
     }
@@ -888,7 +904,9 @@ mod tests {
         }
         let (c, h) = CollectorProcess::new();
         let sink = kernel.add_module(srcs, "sink", Box::new(c));
-        kernel.connect_stream(handle.port_modules[2], LINE, sink, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[2], LINE, sink, PortId(0))
+            .unwrap();
         kernel.run().unwrap();
         assert_eq!(h.len(), 40);
         let counters = handle.stats.snapshot();
@@ -923,8 +941,7 @@ mod tests {
     fn gcu_answers_oam_loopback_requests() {
         use crate::oam::LoopbackCell;
         let mut kernel = Kernel::new(4);
-        let sw = SwitchNode::new(2, SimDuration::from_us(1))
-            .answering_loopback();
+        let sw = SwitchNode::new(2, SimDuration::from_us(1)).answering_loopback();
         let handle = sw.build(&mut kernel, "sw");
         // Inject a loopback request on line 0 (no route: it reaches the
         // control unit, which answers back out of line 0).
@@ -940,13 +957,18 @@ mod tests {
         let (c, h) = CollectorProcess::new();
         let node = kernel.add_node("mon");
         let sink = kernel.add_module(node, "sink", Box::new(c));
-        kernel.connect_stream(handle.port_modules[0], LINE, sink, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[0], LINE, sink, PortId(0))
+            .unwrap();
         kernel.run().unwrap();
         let got = h.take();
         assert_eq!(got.len(), 1, "one loopback answer on the ingress line");
         let cell = got[0].1.payload::<AtmCell>().unwrap();
         let lb = LoopbackCell::decode(cell).unwrap();
-        assert!(!lb.loopback_indication, "indication cleared by the loopback point");
+        assert!(
+            !lb.loopback_indication,
+            "indication cleared by the loopback point"
+        );
         assert_eq!(lb.correlation_tag, 0xC0FFEE);
         assert_eq!(handle.stats.snapshot().oam_answered, 1);
     }
@@ -968,7 +990,9 @@ mod tests {
         let (c, h) = CollectorProcess::new();
         let node = kernel.add_node("mon");
         let sink = kernel.add_module(node, "sink", Box::new(c));
-        kernel.connect_stream(handle.port_modules[0], LINE, sink, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[0], LINE, sink, PortId(0))
+            .unwrap();
         kernel.run().unwrap();
         assert!(h.is_empty());
         assert_eq!(handle.stats.snapshot().oam_answered, 0);
@@ -1004,10 +1028,15 @@ mod tests {
         let (c, h) = CollectorProcess::new();
         let node = kernel.add_node("mon");
         let sink = kernel.add_module(node, "sink", Box::new(c));
-        kernel.connect_stream(handle.port_modules[1], LINE, sink, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[1], LINE, sink, PortId(0))
+            .unwrap();
         kernel.run().unwrap();
         let counters = handle.stats.snapshot();
-        assert!(counters.queue_dropped > 0, "overload must drop: {counters:?}");
+        assert!(
+            counters.queue_dropped > 0,
+            "overload must drop: {counters:?}"
+        );
         // Everything that left the switch reassembles into whole frames.
         let mut assembler = aal5::Reassembler::new();
         let mut frames = 0;
@@ -1035,10 +1064,14 @@ mod tests {
         let node = kernel.add_node("mon");
         let (c0, got0) = CollectorProcess::new();
         let sink0 = kernel.add_module(node, "sink0", Box::new(c0));
-        kernel.connect_stream(handle.port_modules[0], LINE, sink0, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[0], LINE, sink0, PortId(0))
+            .unwrap();
         let (c1, got1) = CollectorProcess::new();
         let sink1 = kernel.add_module(node, "sink1", Box::new(c1));
-        kernel.connect_stream(handle.port_modules[1], LINE, sink1, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[1], LINE, sink1, PortId(0))
+            .unwrap();
 
         // 1. SETUP on line 0: VPI=1/VCI=100 -> port 1 as VPI=7/VCI=100.
         let setup = SigMessage::Setup {
@@ -1097,7 +1130,9 @@ mod tests {
         let node = kernel.add_node("mon");
         let (c0, got0) = CollectorProcess::new();
         let sink0 = kernel.add_module(node, "sink0", Box::new(c0));
-        kernel.connect_stream(handle.port_modules[0], LINE, sink0, PortId(0)).unwrap();
+        kernel
+            .connect_stream(handle.port_modules[0], LINE, sink0, PortId(0))
+            .unwrap();
         let setup = SigMessage::Setup {
             call_ref: 7,
             conn: id(1, 100),
@@ -1119,7 +1154,10 @@ mod tests {
         let msg = SigMessage::decode(answers[0].1.payload::<AtmCell>().unwrap()).unwrap();
         assert_eq!(
             msg,
-            SigMessage::ReleaseComplete { call_ref: 7, cause: cause::NO_BANDWIDTH }
+            SigMessage::ReleaseComplete {
+                call_ref: 7,
+                cause: cause::NO_BANDWIDTH
+            }
         );
         assert!(handle.table.is_empty(), "refused call installs nothing");
     }

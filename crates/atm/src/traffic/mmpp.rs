@@ -56,7 +56,8 @@ impl Mmpp2 {
     /// Poisson rates.
     #[must_use]
     pub fn stationary_rate(&self) -> f64 {
-        let pi0 = self.mean_sojourn_secs[0] / (self.mean_sojourn_secs[0] + self.mean_sojourn_secs[1]);
+        let pi0 =
+            self.mean_sojourn_secs[0] / (self.mean_sojourn_secs[0] + self.mean_sojourn_secs[1]);
         pi0 * self.rate[0] + (1.0 - pi0) * self.rate[1]
     }
 }

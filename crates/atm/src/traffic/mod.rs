@@ -106,7 +106,11 @@ mod tests {
     #[test]
     fn emission_times_stop_at_exhaustion() {
         // An MPEG trace over one GoP of 3 frames, 1 cell each, is finite.
-        let mut m = MpegTrace::from_frame_sizes(vec![1, 1, 1], SimDuration::from_ms(40), SimDuration::from_us(3));
+        let mut m = MpegTrace::from_frame_sizes(
+            vec![1, 1, 1],
+            SimDuration::from_ms(40),
+            SimDuration::from_us(3),
+        );
         let mut rng = stream_rng(0, 0);
         let times = emission_times(&mut m, &mut rng, 100);
         assert_eq!(times.len(), 3);

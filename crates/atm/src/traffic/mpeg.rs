@@ -84,7 +84,10 @@ impl GopPattern {
 }
 
 enum SizeSource {
-    Synthetic { pattern: GopPattern, gop_count: usize },
+    Synthetic {
+        pattern: GopPattern,
+        gop_count: usize,
+    },
     Recorded(std::vec::IntoIter<u64>),
 }
 
@@ -151,9 +154,15 @@ impl MpegTrace {
         frame_interval: SimDuration,
         slot: SimDuration,
     ) -> Self {
-        assert!(!pattern.sequence.is_empty(), "gop pattern must not be empty");
+        assert!(
+            !pattern.sequence.is_empty(),
+            "gop pattern must not be empty"
+        );
         assert!(gop_count > 0, "need at least one gop");
-        assert!(!frame_interval.is_zero() && !slot.is_zero(), "timing must be non-zero");
+        assert!(
+            !frame_interval.is_zero() && !slot.is_zero(),
+            "timing must be non-zero"
+        );
         MpegTrace {
             source: SizeSource::Synthetic { pattern, gop_count },
             frame_interval,
@@ -176,7 +185,10 @@ impl MpegTrace {
         frame_interval: SimDuration,
         slot: SimDuration,
     ) -> Self {
-        assert!(!frame_interval.is_zero() && !slot.is_zero(), "timing must be non-zero");
+        assert!(
+            !frame_interval.is_zero() && !slot.is_zero(),
+            "timing must be non-zero"
+        );
         MpegTrace {
             source: SizeSource::Recorded(sizes.into_iter()),
             frame_interval,
@@ -244,7 +256,11 @@ impl TrafficModel for MpegTrace {
     fn mean_rate(&self) -> Option<f64> {
         match &self.source {
             SizeSource::Synthetic { pattern, .. } => {
-                let total: u64 = pattern.sequence.iter().map(|&t| pattern.mean_cells(t)).sum();
+                let total: u64 = pattern
+                    .sequence
+                    .iter()
+                    .map(|&t| pattern.mean_cells(t))
+                    .sum();
                 let gop_secs = self.frame_interval.as_secs_f64() * pattern.sequence.len() as f64;
                 Some(total as f64 / gop_secs)
             }
@@ -300,7 +316,12 @@ mod tests {
             b_cells: 2,
             jitter: 0.0,
         };
-        let mut m = MpegTrace::synthetic(pattern, 3, SimDuration::from_ms(40), SimDuration::from_us(1));
+        let mut m = MpegTrace::synthetic(
+            pattern,
+            3,
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
         let mut rng = stream_rng(0, 0);
         let times = emission_times(&mut m, &mut rng, 1000);
         assert_eq!(times.len(), 3 * (10 + 2));
@@ -356,7 +377,8 @@ mod tests {
 
     #[test]
     fn exhausted_source_stays_exhausted() {
-        let mut m = MpegTrace::from_frame_sizes(vec![1], SimDuration::from_ms(40), SimDuration::from_us(1));
+        let mut m =
+            MpegTrace::from_frame_sizes(vec![1], SimDuration::from_ms(40), SimDuration::from_us(1));
         let mut rng = stream_rng(0, 0);
         assert!(m.next_gap(&mut rng).is_some());
         assert!(m.next_gap(&mut rng).is_none());
@@ -372,7 +394,11 @@ mod tests {
             SimDuration::from_us(1),
         );
         assert!(s.describe().contains("synthetic MPEG"));
-        let r = MpegTrace::from_frame_sizes(vec![1, 2], SimDuration::from_ms(40), SimDuration::from_us(1));
+        let r = MpegTrace::from_frame_sizes(
+            vec![1, 2],
+            SimDuration::from_ms(40),
+            SimDuration::from_us(1),
+        );
         assert!(r.describe().contains("recorded"));
     }
 }

@@ -117,7 +117,10 @@ mod tests {
                 slot_gaps += 1;
             }
         }
-        assert!(slot_gaps > 300, "most gaps should be in-burst slots, got {slot_gaps}");
+        assert!(
+            slot_gaps > 300,
+            "most gaps should be in-burst slots, got {slot_gaps}"
+        );
     }
 
     #[test]

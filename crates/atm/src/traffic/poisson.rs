@@ -57,7 +57,10 @@ impl PoissonTraffic {
 
 impl TrafficModel for PoissonTraffic {
     fn next_gap(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
-        Some(SimDuration::from_secs_f64(exponential(rng, self.mean_gap_secs)))
+        Some(SimDuration::from_secs_f64(exponential(
+            rng,
+            self.mean_gap_secs,
+        )))
     }
 
     fn mean_rate(&self) -> Option<f64> {

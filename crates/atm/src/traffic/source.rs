@@ -111,8 +111,13 @@ impl TrafficSourceProcess {
                 // A zero gap would re-enter at the same instant, which is
                 // legal, but an always-zero model would livelock the kernel;
                 // enforce a 1 ps minimum.
-                let gap = if gap.is_zero() { SimDuration::from_picos(1) } else { gap };
-                ctx.schedule_self(gap, CODE_EMIT).expect("source gap scheduling cannot fail");
+                let gap = if gap.is_zero() {
+                    SimDuration::from_picos(1)
+                } else {
+                    gap
+                };
+                ctx.schedule_self(gap, CODE_EMIT)
+                    .expect("source gap scheduling cannot fail");
             }
             None => self.finish(ctx),
         }
@@ -213,9 +218,12 @@ mod tests {
             n,
             "src",
             Box::new(
-                TrafficSourceProcess::new(VpiVci::uni(0, 32).unwrap(), Box::new(Cbr::new(SimDuration::from_us(1))))
-                    .with_limit(3)
-                    .stopping_kernel_when_done(),
+                TrafficSourceProcess::new(
+                    VpiVci::uni(0, 32).unwrap(),
+                    Box::new(Cbr::new(SimDuration::from_us(1))),
+                )
+                .with_limit(3)
+                .stopping_kernel_when_done(),
             ),
         );
         let (collector, handle) = CollectorProcess::new();

@@ -74,13 +74,22 @@ impl VpCrossConnect {
     /// [`AtmError::VpiOutOfRange`] when `out_vpi` does not fit the format.
     pub fn install(&mut self, in_vpi: Vpi, out_port: usize, out_vpi: Vpi) -> Result<(), AtmError> {
         if out_port >= self.ports {
-            return Err(AtmError::PortOutOfRange { port: out_port, ports: self.ports });
+            return Err(AtmError::PortOutOfRange {
+                port: out_port,
+                ports: self.ports,
+            });
         }
         if out_vpi.value() > self.format.max_vpi() {
-            return Err(AtmError::VpiOutOfRange { value: out_vpi.value(), format: self.format });
+            return Err(AtmError::VpiOutOfRange {
+                value: out_vpi.value(),
+                format: self.format,
+            });
         }
         if self.table.contains_key(&in_vpi) {
-            return Err(AtmError::RouteExists { vpi: in_vpi.value(), vci: 0 });
+            return Err(AtmError::RouteExists {
+                vpi: in_vpi.value(),
+                vci: 0,
+            });
         }
         self.table.insert(in_vpi, VpRoute { out_port, out_vpi });
         Ok(())
@@ -184,7 +193,10 @@ mod tests {
     fn unknown_path_is_an_error_and_counted() {
         let mut vpx = VpCrossConnect::new(1, HeaderFormat::Uni);
         let cell = AtmCell::user_data(VpiVci::uni(9, 1).unwrap(), [0; 48]);
-        assert!(matches!(vpx.route(cell), Err(AtmError::NoRoute { vpi: 9, .. })));
+        assert!(matches!(
+            vpx.route(cell),
+            Err(AtmError::NoRoute { vpi: 9, .. })
+        ));
         assert_eq!(vpx.unroutable(), 1);
     }
 
@@ -201,7 +213,13 @@ mod tests {
             Err(AtmError::PortOutOfRange { port: 5, ports: 2 })
         ));
         assert_eq!(vpx.len(), 1);
-        assert_eq!(vpx.remove(vpi(1)), Some(VpRoute { out_port: 0, out_vpi: vpi(2) }));
+        assert_eq!(
+            vpx.remove(vpi(1)),
+            Some(VpRoute {
+                out_port: 0,
+                out_vpi: vpi(2)
+            })
+        );
         assert!(vpx.is_empty());
     }
 

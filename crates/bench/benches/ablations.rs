@@ -21,8 +21,8 @@ use castanet_bench::small_switch_config;
 use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_rtl::cycle::CycleSim;
 use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use coverify::scenarios::switch_cosim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn local_follower() -> CycleCosim {
     let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
@@ -38,8 +38,16 @@ fn local_follower() -> CycleCosim {
         MessageTypeId(0),
         HeaderFormat::Uni,
     );
-    f.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-    f.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+    f.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    f.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
     f
 }
 
@@ -80,13 +88,13 @@ fn bench_transports(c: &mut Criterion) {
         b.iter(|| {
             let (a, s) = in_process_pair();
             remote_session(a, s, 16)
-        })
+        });
     });
     group.bench_function("unix_socket", |b| {
         b.iter(|| {
             let (a, s) = UnixSocketTransport::pair().expect("socketpair");
             remote_session(a, s, 16)
-        })
+        });
     });
     group.finish();
 }
@@ -118,7 +126,7 @@ fn bench_delta_granularity(c: &mut Criterion) {
                     while sync.pop_ready(types[j]).is_some() {}
                 }
                 sync.stats().messages
-            })
+            });
         });
     }
     group.finish();
@@ -134,17 +142,20 @@ fn bench_drain_quantum(c: &mut Criterion) {
             |b, &q| {
                 b.iter(|| {
                     let scenario = switch_cosim(small_switch_config(25));
-                    let mut coupling = scenario
-                        .coupling
-                        .with_drain(SimDuration::from_us(q), 2);
+                    let mut coupling = scenario.coupling.with_drain(SimDuration::from_us(q), 2);
                     coupling.run(SimTime::from_secs(1)).expect("run");
                     coupling.stats().responses
-                })
+                });
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_transports, bench_delta_granularity, bench_drain_quantum);
+criterion_group!(
+    benches,
+    bench_transports,
+    bench_delta_granularity,
+    bench_drain_quantum
+);
 criterion_main!(benches);

@@ -10,8 +10,8 @@
 
 use castanet_bench::small_switch_config;
 use castanet_netsim::time::SimTime;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coverify::scenarios::{pure_rtl_clocks, switch_cosim, switch_cosim_cycle, switch_pure_rtl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_e1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_throughput");

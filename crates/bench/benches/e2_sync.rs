@@ -30,7 +30,8 @@ fn conservative_run(types_n: u64) -> u64 {
         let j = (x % types_n) as usize;
         originator += SimDuration::from_ns(x % 700);
         stamps[j] = stamps[j].max(originator);
-        sync.receive(types[j], stamps[j], x % 4 == 0).expect("protocol");
+        sync.receive(types[j], stamps[j], x.is_multiple_of(4))
+            .expect("protocol");
         sync.advance_local(prev).expect("lag");
         prev = sync.originator_time();
         while sync.pop_ready(types[j]).is_some() {}
@@ -59,8 +60,12 @@ fn optimistic_run(straggler_percent: u64) -> u64 {
         } else {
             t_base
         };
-        tw.execute(TimedEvent { stamp: SimTime::from_ns(stamp), seq: i, event: 1 })
-            .expect("execute");
+        tw.execute(TimedEvent {
+            stamp: SimTime::from_ns(stamp),
+            seq: i,
+            event: 1,
+        })
+        .expect("execute");
         if i % 64 == 0 {
             tw.set_gvt(SimTime::from_ns(t_base.saturating_sub(4_000)));
         }

@@ -17,7 +17,9 @@ fn bench_e3(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
 
     group.bench_function("cell_to_byte_ops", |b| {
-        b.iter(|| cell_to_byte_ops(std::hint::black_box(&cell), HeaderFormat::Uni).expect("convert"))
+        b.iter(|| {
+            cell_to_byte_ops(std::hint::black_box(&cell), HeaderFormat::Uni).expect("convert")
+        });
     });
 
     group.bench_function("byte_stream_reassembly", |b| {
@@ -30,14 +32,16 @@ fn bench_e3(c: &mut Criterion) {
                 }
             }
             out.expect("one cell")
-        })
+        });
     });
 
     group.bench_function("wire_encode_decode", |b| {
         b.iter(|| {
-            let wire = std::hint::black_box(&cell).encode(HeaderFormat::Uni).expect("encode");
+            let wire = std::hint::black_box(&cell)
+                .encode(HeaderFormat::Uni)
+                .expect("encode");
             AtmCell::decode(&wire, HeaderFormat::Uni).expect("decode")
-        })
+        });
     });
 
     group.finish();

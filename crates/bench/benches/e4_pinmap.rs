@@ -12,7 +12,7 @@ fn bench_e4(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
 
     group.bench_function("validate_fig5_config", |b| {
-        b.iter(|| cfg.validate(std::hint::black_box(&lanes)).expect("valid"))
+        b.iter(|| cfg.validate(std::hint::black_box(&lanes)).expect("valid"));
     });
 
     group.bench_function("encode_three_inports", |b| {
@@ -22,7 +22,7 @@ fn bench_e4(c: &mut Criterion) {
             cfg.encode_inport(2, 0xA5, &mut frame).expect("encode");
             cfg.encode_inport(3, 0xABC, &mut frame).expect("encode");
             frame
-        })
+        });
     });
 
     group.bench_function("decode_outports_and_ctrl", |b| {
@@ -31,11 +31,13 @@ fn bench_e4(c: &mut Criterion) {
         frame[6] = 0x2A;
         frame[7] = 0x03;
         b.iter(|| {
-            let a = cfg.decode_outport(1, std::hint::black_box(&frame)).expect("decode");
+            let a = cfg
+                .decode_outport(1, std::hint::black_box(&frame))
+                .expect("decode");
             let bb = cfg.decode_outport(2, &frame).expect("decode");
             let w = cfg.io_is_write(2, &frame).expect("io");
             (a, bb, w)
-        })
+        });
     });
 
     group.finish();

@@ -9,8 +9,8 @@ use castanet::message::{Message, MessageTypeId};
 use castanet_atm::addr::VpiVci;
 use castanet_atm::cell::AtmCell;
 use castanet_netsim::time::SimTime;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use coverify::scenarios::switch_on_board;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn run_session(cycle_len: u64) -> u64 {
     let mut cosim = switch_on_board(cycle_len, MessageTypeId(1));
@@ -37,7 +37,7 @@ fn bench_e5(c: &mut Criterion) {
     for &len in &[16u64, 128, 1024] {
         group.throughput(Throughput::Elements(len));
         group.bench_with_input(BenchmarkId::new("test_cycle_len", len), &len, |b, &l| {
-            b.iter(|| run_session(l))
+            b.iter(|| run_session(l));
         });
     }
     group.finish();

@@ -3,8 +3,8 @@
 //! (traffic, coupling, tariff ticks, record read-back and comparison).
 
 use castanet_netsim::time::SimDuration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coverify::scenarios::{accounting_cosim, AccountingScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn run_audit(cells_per_conn: u64) -> u64 {
     let config = AccountingScenarioConfig {
@@ -23,7 +23,7 @@ fn run_audit(cells_per_conn: u64) -> u64 {
         let rec = reference.record(conn).expect("registered");
         assert_eq!(cells, rec.cells);
         assert_eq!(charge, rec.charge);
-        total_charge += u64::from(charge);
+        total_charge += charge;
     }
     total_charge
 }
@@ -32,9 +32,13 @@ fn bench_e6(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_accounting");
     group.sample_size(10);
     for &cells in &[20u64, 60] {
-        group.bench_with_input(BenchmarkId::new("audit_cells_per_conn", cells), &cells, |b, &n| {
-            b.iter(|| run_audit(n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("audit_cells_per_conn", cells),
+            &cells,
+            |b, &n| {
+                b.iter(|| run_audit(n));
+            },
+        );
     }
     group.finish();
 }

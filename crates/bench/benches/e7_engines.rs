@@ -10,8 +10,8 @@ use castanet_bench::small_switch_config;
 use castanet_netsim::time::SimTime;
 use castanet_rtl::cycle::CycleSim;
 use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use coverify::scenarios::{switch_cosim, switch_cosim_cycle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Raw engine cost: N clocks of the 4-port switch, idle line.
 fn cycle_engine_clocks(n: u64) -> u64 {
@@ -61,14 +61,14 @@ fn bench_e7(c: &mut Criterion) {
             let scenario = switch_cosim(small_switch_config(25));
             let mut coupling = scenario.coupling;
             coupling.run(SimTime::from_secs(1)).expect("run");
-        })
+        });
     });
     group.bench_function("coupled_cycle_based_100cells", |b| {
         b.iter(|| {
             let scenario = switch_cosim_cycle(small_switch_config(25));
             let mut coupling = scenario.coupling;
             coupling.run(SimTime::from_secs(1)).expect("run");
-        })
+        });
     });
 
     group.finish();

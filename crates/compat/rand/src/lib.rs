@@ -1,0 +1,236 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates.io mirror, so the
+//! workspace vendors the narrow slice of the rand 0.9 API it actually uses:
+//! [`rngs::SmallRng`] (an xoshiro256++ generator seeded through SplitMix64,
+//! the same family the real `SmallRng` uses on 64-bit targets), the
+//! [`SeedableRng::seed_from_u64`] constructor, and the [`Rng`] methods
+//! `random::<T>()` / `random_range(lo..=hi)`.
+//!
+//! Determinism matters here — simulation scenarios are seeded and compared
+//! run-to-run — but bit-compatibility with upstream `rand` does not: all
+//! seeds in this repo only ever feed this implementation.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator back-ends, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Small, fast, seedable generator (xoshiro256++).
+    ///
+    /// Not cryptographically secure; intended for simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::SmallRng;
+
+/// SplitMix64 step used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose state is derived from `seed` via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SmallRng { s }
+    }
+}
+
+/// Types that can be sampled uniformly from a generator.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_raw()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        (rng.next_raw() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_raw() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that `Rng::random_range` accepts, mirroring `rand::distr::uniform::SampleRange`.
+pub trait SampleRange {
+    /// The element type produced by sampling this range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// Unbiased uniform draw from `[0, bound)` via Lemire-style rejection.
+fn uniform_below(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone keeps the modulo unbiased.
+    let zone = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_raw();
+        if x >= zone {
+            return x % bound;
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample_from(self, rng: &mut SmallRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_raw();
+        }
+        lo + uniform_below(rng, span + 1)
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample_from(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample_from(self, rng: &mut SmallRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+        lo + uniform_below(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+/// Sampling methods, mirroring the parts of `rand::Rng` this workspace calls.
+pub trait Rng {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draws one value uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for SmallRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_inclusive_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..=6);
+            assert!((3..=6).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 6;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints should be reachable");
+    }
+
+    #[test]
+    fn full_u64_range_works() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+}

@@ -69,7 +69,11 @@ impl fmt::Display for Mismatch {
             Mismatch::Missing { conn, count } => {
                 write!(f, "{count} cells missing on {conn}")
             }
-            Mismatch::LatencyExceeded { conn, index, latency } => {
+            Mismatch::LatencyExceeded {
+                conn,
+                index,
+                latency,
+            } => {
                 write!(f, "latency {latency} exceeded on {conn} cell #{index}")
             }
             Mismatch::Undecodable { at } => write!(f, "undecodable dut output at {at}"),
@@ -179,21 +183,30 @@ impl StreamComparator {
         let count = self.counts.entry(cell.id()).or_insert(0);
         let index = *count;
         *count += 1;
-        self.pending.entry(cell.id()).or_default().push_back(PendingRef {
-            payload: cell.payload,
-            sent_at,
-            index,
-        });
+        self.pending
+            .entry(cell.id())
+            .or_default()
+            .push_back(PendingRef {
+                payload: cell.payload,
+                sent_at,
+                index,
+            });
     }
 
     /// Feeds one observed DUT cell.
     pub fn observe(&mut self, cell: &AtmCell, at: SimTime) {
         let Some(queue) = self.pending.get_mut(&cell.id()) else {
-            self.report.mismatches.push(Mismatch::Extra { conn: cell.id(), at });
+            self.report.mismatches.push(Mismatch::Extra {
+                conn: cell.id(),
+                at,
+            });
             return;
         };
         let Some(expected) = queue.pop_front() else {
-            self.report.mismatches.push(Mismatch::Extra { conn: cell.id(), at });
+            self.report.mismatches.push(Mismatch::Extra {
+                conn: cell.id(),
+                at,
+            });
             return;
         };
         if expected.payload != cell.payload {
@@ -236,7 +249,9 @@ impl StreamComparator {
             .collect();
         conns.sort();
         for (conn, count) in conns {
-            self.report.mismatches.push(Mismatch::Missing { conn, count });
+            self.report
+                .mismatches
+                .push(Mismatch::Missing { conn, count });
         }
         self.report
     }
@@ -282,7 +297,11 @@ mod tests {
         assert_eq!(r.matched, 0);
         assert_eq!(
             r.mismatches,
-            vec![Mismatch::Payload { conn: conn(40), index: 0, at: us(1) }]
+            vec![Mismatch::Payload {
+                conn: conn(40),
+                index: 0,
+                at: us(1)
+            }]
         );
     }
 
@@ -295,8 +314,14 @@ mod tests {
         cmp.observe(&cell(40, 1), us(5));
         let r = cmp.finish();
         assert_eq!(r.matched, 1);
-        assert!(r.mismatches.contains(&Mismatch::Missing { conn: conn(40), count: 1 }));
-        assert!(r.mismatches.contains(&Mismatch::Missing { conn: conn(50), count: 1 }));
+        assert!(r.mismatches.contains(&Mismatch::Missing {
+            conn: conn(40),
+            count: 1
+        }));
+        assert!(r.mismatches.contains(&Mismatch::Missing {
+            conn: conn(50),
+            count: 1
+        }));
     }
 
     #[test]
@@ -311,8 +336,14 @@ mod tests {
         assert_eq!(
             r.mismatches,
             vec![
-                Mismatch::Extra { conn: conn(40), at: us(1) },
-                Mismatch::Extra { conn: conn(50), at: us(3) },
+                Mismatch::Extra {
+                    conn: conn(40),
+                    at: us(1)
+                },
+                Mismatch::Extra {
+                    conn: conn(50),
+                    at: us(3)
+                },
             ]
         );
     }
@@ -339,7 +370,11 @@ mod tests {
         cmp.observe(&cell(40, 1), us(11));
         let r = cmp.finish();
         assert_eq!(r.matched, 0);
-        assert_eq!(r.mismatches.len(), 2, "both cells mismatch under reordering");
+        assert_eq!(
+            r.mismatches.len(),
+            2,
+            "both cells mismatch under reordering"
+        );
     }
 
     #[test]

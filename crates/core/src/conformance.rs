@@ -28,8 +28,16 @@ pub fn header_walking_ones() -> Result<Vec<AtmCell>, AtmError> {
     // 4 GFC + 8 VPI + 16 VCI + 3 PT + 1 CLP = 32 walkable header bits.
     for bit in 0..32u32 {
         let gfc = if bit < 4 { 1u8 << bit } else { 0 };
-        let vpi = if (4..12).contains(&bit) { 1u16 << (bit - 4) } else { 0 };
-        let vci = if (12..28).contains(&bit) { 1u16 << (bit - 12) } else { 0 };
+        let vpi = if (4..12).contains(&bit) {
+            1u16 << (bit - 4)
+        } else {
+            0
+        };
+        let vci = if (12..28).contains(&bit) {
+            1u16 << (bit - 12)
+        } else {
+            0
+        };
         let pt = if (28..31).contains(&bit) {
             PayloadType::from_bits(1 << (bit - 28))
         } else {
@@ -60,7 +68,10 @@ pub fn boundary_connections() -> Result<Vec<AtmCell>, AtmError> {
     let mut out = Vec::new();
     for vpi in [0u16, 1, 0xFE, 0xFF] {
         for vci in [0u16, 1, Vci::FIRST_USER, 0xFFFE, 0xFFFF] {
-            out.push(AtmCell::user_data(VpiVci::uni(vpi, vci)?, [0u8; PAYLOAD_OCTETS]));
+            out.push(AtmCell::user_data(
+                VpiVci::uni(vpi, vci)?,
+                [0u8; PAYLOAD_OCTETS],
+            ));
         }
     }
     Ok(out)

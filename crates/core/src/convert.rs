@@ -43,7 +43,10 @@ pub struct ByteOp {
 /// # Errors
 ///
 /// Propagates header-encoding errors from the cell.
-pub fn cell_to_byte_ops(cell: &AtmCell, format: HeaderFormat) -> Result<Vec<ByteOp>, CastanetError> {
+pub fn cell_to_byte_ops(
+    cell: &AtmCell,
+    format: HeaderFormat,
+) -> Result<Vec<ByteOp>, CastanetError> {
     let wire = cell.encode(format)?;
     Ok(wire
         .iter()

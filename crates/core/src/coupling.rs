@@ -162,6 +162,10 @@ pub struct Coupling<S: CoupledSimulator> {
     drain_quantum: SimDuration,
     /// Quiet drain chunks required before the run is declared complete.
     drain_quiet_chunks: u32,
+    /// When set, [`Coupling::run`] refuses to start until the assembled
+    /// configuration passes the static pre-flight checks (see
+    /// [`Coupling::preflight`]).
+    strict: bool,
 }
 
 impl<S: CoupledSimulator> std::fmt::Debug for Coupling<S> {
@@ -198,6 +202,90 @@ impl<S: CoupledSimulator> Coupling<S> {
             promised: SimTime::ZERO,
             drain_quantum: SimDuration::from_us(50),
             drain_quiet_chunks: 2,
+            strict: false,
+        }
+    }
+
+    /// Enables (or disables) strict mode: [`Coupling::run`] then executes
+    /// [`Coupling::preflight`] before the first event and fails fast with
+    /// [`CastanetError::Preflight`] on a rejected configuration, instead of
+    /// panicking or corrupting results mid-run.
+    #[must_use]
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Whether strict pre-flight mode is enabled.
+    #[must_use]
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Static pre-flight verification of the assembled coupling — the
+    /// error-level subset of the `castanet-lint` analyses that the core can
+    /// check without knowing the follower's concrete type:
+    ///
+    /// * `CAST001` — the synchronizer has no registered message types, so no
+    ///   grant can ever be issued (§3.1 liveness);
+    /// * `CAST003` — the coupling's `cell_type` is not registered with the
+    ///   synchronizer: every `receive` would fail;
+    /// * `CAST010` — the grant-horizon monotonicity predicate does not hold
+    ///   on the assembled synchronizer;
+    /// * `CAST021` — a declared interface input port collides with the
+    ///   `RESPONSE_PORT_BASE..` namespace reserved for response injection;
+    /// * `CAST040` — the interface module id does not exist in the kernel.
+    ///
+    /// The full analysis (warnings, pin maps, RTL widths) lives in the
+    /// `castanet-lint` crate, which layers on top of this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CastanetError::Preflight`] listing every finding.
+    pub fn preflight(&self) -> Result<(), CastanetError> {
+        let mut findings = Vec::new();
+        if self.sync.type_count() == 0 {
+            findings.push(
+                "CAST001: no message types registered with the synchronizer; \
+                 the follower can never be granted simulation time"
+                    .to_string(),
+            );
+        }
+        if self.sync.type_delta(self.cell_type).is_none() {
+            findings.push(format!(
+                "CAST003: coupling cell type {} is not registered with the synchronizer",
+                self.cell_type.0
+            ));
+        }
+        if !self.sync.grant_horizon_monotone() {
+            findings.push(
+                "CAST010: grant-horizon monotonicity predicate violated on the \
+                 assembled synchronizer"
+                    .to_string(),
+            );
+        }
+        if self.iface.index() >= self.net.module_count() {
+            findings.push(format!(
+                "CAST040: interface module id {} does not exist in the kernel \
+                 ({} modules registered)",
+                self.iface.index(),
+                self.net.module_count()
+            ));
+        } else {
+            for (_, _, dst, dst_port) in self.net.connection_edges() {
+                if dst == self.iface && dst_port.0 >= RESPONSE_PORT_BASE {
+                    findings.push(format!(
+                        "CAST021: interface input port {} collides with the response \
+                         injection namespace (RESPONSE_PORT_BASE = {RESPONSE_PORT_BASE})",
+                        dst_port.0
+                    ));
+                }
+            }
+        }
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(CastanetError::Preflight(findings))
         }
     }
 
@@ -227,6 +315,9 @@ impl<S: CoupledSimulator> Coupling<S> {
     ///
     /// Propagates simulator, conversion and synchronization errors.
     pub fn run(&mut self, until: SimTime) -> Result<CouplingStats, CastanetError> {
+        if self.strict {
+            self.preflight()?;
+        }
         let mut quiet_chunks = 0u32;
         loop {
             let t_net = self.net.next_event_time().filter(|t| *t < until);
@@ -260,24 +351,21 @@ impl<S: CoupledSimulator> Coupling<S> {
                 // `t_net`; re-evaluate.
                 continue;
             }
-            match t_net {
-                None => {
-                    quiet_chunks += 1;
-                    if quiet_chunks >= self.drain_quiet_chunks || self.follower.now() >= until {
-                        break;
-                    }
+            if t_net.is_none() {
+                quiet_chunks += 1;
+                if quiet_chunks >= self.drain_quiet_chunks || self.follower.now() >= until {
+                    break;
                 }
-                Some(_) => {
-                    self.net.step();
-                    self.stats.net_events += 1;
-                    for msg in self.outbox.drain() {
-                        self.sync.receive(msg.type_id, msg.stamp, false)?;
-                        // The follower consumes the message immediately (it
-                        // is covered by the next grant); mirror that in the
-                        // protocol bookkeeping.
-                        self.follower.deliver(msg)?;
-                        self.stats.messages_to_follower += 1;
-                    }
+            } else {
+                self.net.step();
+                self.stats.net_events += 1;
+                for msg in self.outbox.drain() {
+                    self.sync.receive(msg.type_id, msg.stamp, false)?;
+                    // The follower consumes the message immediately (it
+                    // is covered by the next grant); mirror that in the
+                    // protocol bookkeeping.
+                    self.follower.deliver(msg)?;
+                    self.stats.messages_to_follower += 1;
                 }
             }
         }
@@ -327,6 +415,24 @@ impl<S: CoupledSimulator> Coupling<S> {
     /// pin pokes once the coupled run has finished.
     pub fn follower_mut(&mut self) -> &mut S {
         &mut self.follower
+    }
+
+    /// The conservative synchronizer (e.g. for static pre-flight analysis).
+    #[must_use]
+    pub fn sync(&self) -> &ConservativeSync {
+        &self.sync
+    }
+
+    /// The interface process's module id inside the network kernel.
+    #[must_use]
+    pub fn iface_module(&self) -> ModuleId {
+        self.iface
+    }
+
+    /// The message type stimulus cells are sent as.
+    #[must_use]
+    pub fn cell_type(&self) -> MessageTypeId {
+        self.cell_type
     }
 
     /// Coupling counters.
@@ -380,22 +486,21 @@ mod tests {
             node,
             "src",
             Box::new(
-                TrafficSourceProcess::new(
-                    VpiVci::uni(1, 40).unwrap(),
-                    Box::new(Cbr::new(gap)),
-                )
-                .with_limit(cells),
+                TrafficSourceProcess::new(VpiVci::uni(1, 40).unwrap(), Box::new(Cbr::new(gap)))
+                    .with_limit(cells),
             ),
         );
         let mut sync = ConservativeSync::new();
         let cell_type = sync.register_type(CLK * 53);
         let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
         let iface = net.add_module(node, "castanet", Box::new(iface_proc));
-        net.connect_stream(src, PortId(0), iface, PortId(0)).unwrap();
+        net.connect_stream(src, PortId(0), iface, PortId(0))
+            .unwrap();
         let (collector, got) = CollectorProcess::new();
         let sink = net.add_module(node, "sink", Box::new(collector));
         // Responses from DUT egress line 1 come back out of output port 1.
-        net.connect_stream(iface, PortId(1), sink, PortId(0)).unwrap();
+        net.connect_stream(iface, PortId(1), sink, PortId(0))
+            .unwrap();
 
         // --- RTL side ---
         let mut sim = Simulator::new();
@@ -424,12 +529,20 @@ mod tests {
         entity.add_egress(
             &mut sim,
             clk,
-            EgressSignals { data: dut.outputs[0], sync: dut.outputs[1], valid: dut.outputs[2] },
+            EgressSignals {
+                data: dut.outputs[0],
+                sync: dut.outputs[1],
+                valid: dut.outputs[2],
+            },
         );
         entity.add_egress(
             &mut sim,
             clk,
-            EgressSignals { data: dut.outputs[3], sync: dut.outputs[4], valid: dut.outputs[5] },
+            EgressSignals {
+                data: dut.outputs[3],
+                sync: dut.outputs[4],
+                valid: dut.outputs[5],
+            },
         );
         let follower = RtlCosim::new(sim, entity);
         (

@@ -106,7 +106,10 @@ impl CycleCosim {
 
     /// Registers an ingress line; returns its co-simulation port index.
     pub fn add_ingress(&mut self, idx: IngressIndices) -> usize {
-        self.ingress.push(IngressLine { idx, next_free_clock: 0 });
+        self.ingress.push(IngressLine {
+            idx,
+            next_free_clock: 0,
+        });
         self.ingress.len() - 1
     }
 
@@ -287,10 +290,26 @@ mod tests {
         assert!(switch.install_route(1, 40, 1, 7, 70));
         let sim = CycleSim::new(Box::new(switch));
         let mut cosim = CycleCosim::new(sim, CLK, MessageTypeId(9), HeaderFormat::Uni);
-        cosim.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-        cosim.add_ingress(IngressIndices { data: 3, sync: 4, enable: 5 });
-        cosim.add_egress(EgressIndices { data: 0, sync: 1, valid: 2 });
-        cosim.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+        cosim.add_ingress(IngressIndices {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        cosim.add_ingress(IngressIndices {
+            data: 3,
+            sync: 4,
+            enable: 5,
+        });
+        cosim.add_egress(EgressIndices {
+            data: 0,
+            sync: 1,
+            valid: 2,
+        });
+        cosim.add_egress(EgressIndices {
+            data: 3,
+            sync: 4,
+            valid: 5,
+        });
         cosim
     }
 
@@ -355,7 +374,11 @@ mod tests {
         let out = cosim.advance_until(SimTime::from_ms(1)).unwrap();
         assert!(out.is_empty());
         assert_eq!(cosim.now(), SimTime::from_picos(49_999 * 20_000));
-        assert_eq!(cosim.clocks_evaluated(), 0, "pure idle costs zero evaluations");
+        assert_eq!(
+            cosim.clocks_evaluated(),
+            0,
+            "pure idle costs zero evaluations"
+        );
     }
 
     #[test]
@@ -376,8 +399,8 @@ mod tests {
 
     #[test]
     fn matches_event_driven_follower_output() {
-        use crate::entity::{CosimEntity, EgressSignals, IngressSignals};
         use crate::coupling::RtlCosim;
+        use crate::entity::{CosimEntity, EgressSignals, IngressSignals};
         use castanet_rtl::cycle::attach_cycle_dut;
         use castanet_rtl::sim::Simulator;
 
@@ -435,7 +458,11 @@ mod tests {
         entity.add_egress(
             &mut sim,
             clk,
-            EgressSignals { data: dut.outputs[3], sync: dut.outputs[4], valid: dut.outputs[5] },
+            EgressSignals {
+                data: dut.outputs[3],
+                sync: dut.outputs[4],
+                valid: dut.outputs[5],
+            },
         );
         let mut ev = RtlCosim::new(sim, entity);
         let mut ev_out = Vec::new();
@@ -450,7 +477,11 @@ mod tests {
             ev_out.extend(r);
         }
 
-        let cy_cells: Vec<_> = cy_out.iter().filter_map(Message::as_cell).cloned().collect();
+        let cy_cells: Vec<_> = cy_out
+            .iter()
+            .filter_map(Message::as_cell)
+            .cloned()
+            .collect();
         let ev_cells: Vec<_> = ev_out
             .iter()
             .filter(|m| m.port == 0) // the entity's single egress is line 1 mapped to port 0
@@ -463,7 +494,10 @@ mod tests {
             .filter_map(Message::as_cell)
             .cloned()
             .collect();
-        assert_eq!(cy_line1, ev_cells, "the two engines must agree cell-for-cell");
+        assert_eq!(
+            cy_line1, ev_cells,
+            "the two engines must agree cell-for-cell"
+        );
         assert_eq!(cy_cells.len(), 3);
     }
 }

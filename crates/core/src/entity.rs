@@ -67,6 +67,9 @@ pub struct CosimEntity {
     response_type: MessageTypeId,
     ingress: Vec<IngressPort>,
     egress: Vec<MonitorHandle>,
+    /// Signal triples of each egress line, kept for introspection (the
+    /// monitor itself owns the live tap). Indexed like `egress`.
+    egress_signals: Vec<EgressSignals>,
     responses_sent: u64,
 }
 
@@ -107,6 +110,7 @@ impl CosimEntity {
             response_type,
             ingress: Vec::new(),
             egress: Vec::new(),
+            egress_signals: Vec::new(),
             responses_sent: 0,
         }
     }
@@ -124,12 +128,52 @@ impl CosimEntity {
 
     /// Registers an egress line: attaches a stream monitor to the given DUT
     /// output signals. Returns its co-simulation port index.
-    pub fn add_egress(&mut self, sim: &mut Simulator, clk: SignalId, signals: EgressSignals) -> usize {
+    pub fn add_egress(
+        &mut self,
+        sim: &mut Simulator,
+        clk: SignalId,
+        signals: EgressSignals,
+    ) -> usize {
         let (monitor, handle) =
             CellStreamMonitor::new(clk, signals.data, signals.sync, signals.valid);
         sim.add_process(Box::new(monitor), &[clk]);
         self.egress.push(handle);
+        self.egress_signals.push(signals);
         self.egress.len() - 1
+    }
+
+    /// The signal triples of every registered ingress line, in port order.
+    pub fn ingress_signals(&self) -> impl Iterator<Item = IngressSignals> + '_ {
+        self.ingress.iter().map(|p| p.signals)
+    }
+
+    /// The signal triples of every registered egress line, in port order.
+    pub fn egress_signals(&self) -> impl Iterator<Item = EgressSignals> + '_ {
+        self.egress_signals.iter().copied()
+    }
+
+    /// Number of registered ingress lines.
+    #[must_use]
+    pub fn ingress_count(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Number of registered egress lines.
+    #[must_use]
+    pub fn egress_count(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// The cell header format this entity drives and expects.
+    #[must_use]
+    pub fn format(&self) -> HeaderFormat {
+        self.format
+    }
+
+    /// The message type responses are stamped with.
+    #[must_use]
+    pub fn response_type(&self) -> MessageTypeId {
+        self.response_type
     }
 
     /// The first rising clock edge at or after `t`.
@@ -147,7 +191,11 @@ impl CosimEntity {
     /// * [`CastanetError::UnknownPort`] for an unregistered port;
     /// * [`CastanetError::Convert`] for a payload that is not a cell;
     /// * scheduling errors from the RTL simulator.
-    pub fn deliver(&mut self, sim: &mut Simulator, msg: &Message) -> Result<SimTime, CastanetError> {
+    pub fn deliver(
+        &mut self,
+        sim: &mut Simulator,
+        msg: &Message,
+    ) -> Result<SimTime, CastanetError> {
         let MessagePayload::Cell(cell) = &msg.payload else {
             return Err(CastanetError::Convert(format!(
                 "entity can only condition cell payloads, got {}",
@@ -279,9 +327,18 @@ mod tests {
     fn edge_computation() {
         let e = CosimEntity::new(PERIOD, HeaderFormat::Uni, MessageTypeId(0));
         assert_eq!(e.edge_at_or_after(SimTime::ZERO), SimTime::from_ns(10));
-        assert_eq!(e.edge_at_or_after(SimTime::from_ns(10)), SimTime::from_ns(10));
-        assert_eq!(e.edge_at_or_after(SimTime::from_ns(11)), SimTime::from_ns(30));
-        assert_eq!(e.edge_at_or_after(SimTime::from_ns(30)), SimTime::from_ns(30));
+        assert_eq!(
+            e.edge_at_or_after(SimTime::from_ns(10)),
+            SimTime::from_ns(10)
+        );
+        assert_eq!(
+            e.edge_at_or_after(SimTime::from_ns(11)),
+            SimTime::from_ns(30)
+        );
+        assert_eq!(
+            e.edge_at_or_after(SimTime::from_ns(30)),
+            SimTime::from_ns(30)
+        );
     }
 
     #[test]
@@ -305,7 +362,11 @@ mod tests {
         let m2 = Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(41));
         let e1 = entity.deliver(&mut sim, &m1).unwrap();
         let e2 = entity.deliver(&mut sim, &m2).unwrap();
-        assert_eq!(e2 - e1, PERIOD * 53, "second cell starts right after the first");
+        assert_eq!(
+            e2 - e1,
+            PERIOD * 53,
+            "second cell starts right after the first"
+        );
         sim.run_until(e2 + SimDuration::from_ns(1)).unwrap();
         assert_eq!(sim.read_u64(dut.outputs[7]), Some(2), "both cells received");
         assert_eq!(sim.read_u64(dut.outputs[3]), Some(41), "last vci");
@@ -358,7 +419,11 @@ mod tests {
         let port = entity.add_egress(
             &mut sim,
             clk,
-            EgressSignals { data, sync, valid: enable },
+            EgressSignals {
+                data,
+                sync,
+                valid: enable,
+            },
         );
         assert_eq!(port, 0);
 

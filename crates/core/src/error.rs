@@ -45,13 +45,20 @@ pub enum CastanetError {
         /// Checkpoints held when the limit was hit.
         checkpoints: usize,
     },
+    /// Static pre-flight analysis rejected the configuration before the
+    /// run started (strict mode). Each entry is one finding, prefixed with
+    /// its stable `CAST0xx` diagnostic code.
+    Preflight(Vec<String>),
 }
 
 impl fmt::Display for CastanetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CastanetError::Causality { stamp, local } => {
-                write!(f, "message stamped {stamp} arrived in the local past (now {local})")
+                write!(
+                    f,
+                    "message stamped {stamp} arrived in the local past (now {local})"
+                )
             }
             CastanetError::UnknownMessageType { type_id } => {
                 write!(f, "message type {type_id} is not registered")
@@ -67,7 +74,17 @@ impl fmt::Display for CastanetError {
             CastanetError::Board(e) => write!(f, "test board: {e}"),
             CastanetError::Atm(e) => write!(f, "atm model: {e}"),
             CastanetError::OptimisticMemoryExhausted { checkpoints } => {
-                write!(f, "optimistic synchronizer out of checkpoint memory ({checkpoints} held)")
+                write!(
+                    f,
+                    "optimistic synchronizer out of checkpoint memory ({checkpoints} held)"
+                )
+            }
+            CastanetError::Preflight(findings) => {
+                write!(
+                    f,
+                    "pre-flight check rejected the configuration: {}",
+                    findings.join("; ")
+                )
             }
         }
     }
@@ -125,7 +142,10 @@ mod tests {
             stamp: SimTime::from_ns(5),
             local: SimTime::from_ns(9),
         };
-        assert_eq!(e.to_string(), "message stamped 5 ns arrived in the local past (now 9 ns)");
+        assert_eq!(
+            e.to_string(),
+            "message stamped 5 ns arrived in the local past (now 9 ns)"
+        );
         assert!(CastanetError::UnknownMessageType { type_id: 7 }
             .to_string()
             .contains("type 7"));

@@ -24,9 +24,9 @@ use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_testboard::board::TestBoard;
 use castanet_testboard::cycle::SessionStats;
 use castanet_testboard::dut::HardwareDut;
+use castanet_testboard::lane::LANES;
 use castanet_testboard::pinmap::{PinFrame, PinMapConfig};
 use castanet_testboard::scsi::{ScsiBus, ScsiStats};
-use castanet_testboard::lane::LANES;
 use std::collections::VecDeque;
 
 /// Inport numbers of one ingress line on the board.
@@ -170,11 +170,7 @@ impl BoardCosim {
         ps.div_ceil(period) - 1
     }
 
-    fn frame_mut(
-        stimulus: &mut VecDeque<PinFrame>,
-        clocks_done: u64,
-        clock: u64,
-    ) -> &mut PinFrame {
+    fn frame_mut(stimulus: &mut VecDeque<PinFrame>, clocks_done: u64, clock: u64) -> &mut PinFrame {
         debug_assert!(clock >= clocks_done, "stimulus in the past");
         let idx = (clock - clocks_done) as usize;
         while stimulus.len() <= idx {
@@ -353,12 +349,28 @@ mod tests {
         );
         // Switch input ports: rx_data0, rx_sync0, rx_en0, rx_data1, ... =
         // inport numbers 0..; cfg ports 6..11 stay zero.
-        cosim.add_ingress(IngressPorts { data: 0, sync: 1, enable: 2 });
-        cosim.add_ingress(IngressPorts { data: 3, sync: 4, enable: 5 });
+        cosim.add_ingress(IngressPorts {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        cosim.add_ingress(IngressPorts {
+            data: 3,
+            sync: 4,
+            enable: 5,
+        });
         // Outputs: tx_data0, tx_sync0, tx_valid0, tx_data1, tx_sync1,
         // tx_valid1, counters.
-        cosim.add_egress(EgressPorts { data: 0, sync: 1, valid: 2 });
-        cosim.add_egress(EgressPorts { data: 3, sync: 4, valid: 5 });
+        cosim.add_egress(EgressPorts {
+            data: 0,
+            sync: 1,
+            valid: 2,
+        });
+        cosim.add_egress(EgressPorts {
+            data: 3,
+            sync: 4,
+            valid: 5,
+        });
         cosim
     }
 
@@ -399,8 +411,12 @@ mod tests {
     #[test]
     fn session_time_splits_into_sw_and_hw() {
         let mut cosim = board_fixture(128);
-        cosim.deliver(Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(40))).unwrap();
-        cosim.advance_until(SimTime::from_picos(200 * 50_000)).unwrap();
+        cosim
+            .deliver(Message::cell(SimTime::ZERO, MessageTypeId(0), 0, cell(40)))
+            .unwrap();
+        cosim
+            .advance_until(SimTime::from_picos(200 * 50_000))
+            .unwrap();
         let s = cosim.session_stats();
         assert!(s.hw_time > std::time::Duration::ZERO);
         assert!(s.sw_time > std::time::Duration::ZERO);
@@ -450,7 +466,9 @@ mod tests {
     fn late_stamp_defers_to_future_clock() {
         let mut cosim = board_fixture(512);
         let stamp = SimTime::from_picos(100 * 50_000);
-        cosim.deliver(Message::cell(stamp, MessageTypeId(0), 0, cell(40))).unwrap();
+        cosim
+            .deliver(Message::cell(stamp, MessageTypeId(0), 0, cell(40)))
+            .unwrap();
         let responses = cosim
             .advance_until(SimTime::from_picos(400 * 50_000))
             .unwrap();

@@ -149,10 +149,20 @@ mod tests {
         let n = k.add_node("n");
         let (proc_, outbox) = CastanetInterfaceProcess::new(MessageTypeId(1));
         let iface = k.add_module(n, "castanet", Box::new(proc_));
-        k.inject_packet(iface, PortId(2), response_packet(cell(40)), SimTime::from_us(3))
-            .unwrap();
-        k.inject_packet(iface, PortId(0), response_packet(cell(41)), SimTime::from_us(5))
-            .unwrap();
+        k.inject_packet(
+            iface,
+            PortId(2),
+            response_packet(cell(40)),
+            SimTime::from_us(3),
+        )
+        .unwrap();
+        k.inject_packet(
+            iface,
+            PortId(0),
+            response_packet(cell(41)),
+            SimTime::from_us(5),
+        )
+        .unwrap();
         k.run().unwrap();
         let msgs = outbox.drain();
         assert_eq!(msgs.len(), 2);

@@ -22,8 +22,8 @@ use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::{HeaderFormat, Vci, Vpi, VpiVci};
 use castanet_atm::cell::{AtmCell, CellHeader, PayloadType, PAYLOAD_OCTETS};
 use castanet_netsim::time::SimTime;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::io::{Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
 /// Encodes a message into its wire form.
 #[must_use]
@@ -87,7 +87,9 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CastanetError> {
             let pt = take::<1>(buf, &mut at)?[0];
             let clp = take::<1>(buf, &mut at)?[0];
             if pt > 7 {
-                return Err(CastanetError::Codec(format!("payload type {pt} out of range")));
+                return Err(CastanetError::Codec(format!(
+                    "payload type {pt} out of range"
+                )));
             }
             let payload = take::<PAYLOAD_OCTETS>(buf, &mut at)?;
             let vpi = Vpi::new(vpi, HeaderFormat::Nni)
@@ -122,7 +124,12 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CastanetError> {
             buf.len() - at
         )));
     }
-    Ok(Message { stamp, type_id, port, payload })
+    Ok(Message {
+        stamp,
+        type_id,
+        port,
+        payload,
+    })
 }
 
 /// A bidirectional message transport.
@@ -159,8 +166,8 @@ pub struct InProcessEndpoint {
 /// Creates a connected pair of in-process endpoints.
 #[must_use]
 pub fn in_process_pair() -> (InProcessEndpoint, InProcessEndpoint) {
-    let (tx_a, rx_b) = unbounded();
-    let (tx_b, rx_a) = unbounded();
+    let (tx_a, rx_b) = channel();
+    let (tx_b, rx_a) = channel();
     (
         InProcessEndpoint { tx: tx_a, rx: rx_a },
         InProcessEndpoint { tx: tx_b, rx: rx_b },
@@ -186,9 +193,9 @@ impl MessageTransport for InProcessEndpoint {
         match self.rx.try_recv() {
             Ok(frame) => Ok(Some(decode_message(&frame)?)),
             Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => {
-                Err(CastanetError::Transport("peer endpoint dropped".to_string()))
-            }
+            Err(TryRecvError::Disconnected) => Err(CastanetError::Transport(
+                "peer endpoint dropped".to_string(),
+            )),
         }
     }
 }
@@ -320,7 +327,10 @@ mod tests {
         let mut bad_tag = encode_message(&sample_messages()[0]);
         let last = bad_tag.len() - 1;
         bad_tag[last] = 9;
-        assert!(matches!(decode_message(&bad_tag), Err(CastanetError::Codec(_))));
+        assert!(matches!(
+            decode_message(&bad_tag),
+            Err(CastanetError::Codec(_))
+        ));
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub struct RemoteFollower<T: MessageTransport> {
 
 impl<T: MessageTransport> std::fmt::Debug for RemoteFollower<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteFollower").field("now", &self.now).finish()
+        f.debug_struct("RemoteFollower")
+            .field("now", &self.now)
+            .finish()
     }
 }
 
@@ -98,7 +100,8 @@ impl<T: MessageTransport> CoupledSimulator for RemoteFollower<T> {
     }
 
     fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
-        self.transport.send(&ctrl(op::ADVANCE, horizon.as_picos()))?;
+        self.transport
+            .send(&ctrl(op::ADVANCE, horizon.as_picos()))?;
         let mut responses = Vec::new();
         loop {
             let msg = self.transport.recv()?;
@@ -181,10 +184,7 @@ impl<T: MessageTransport, S: CoupledSimulator> FollowerServer<T, S> {
                             ));
                         };
                         self.advances += 1;
-                        match self
-                            .follower
-                            .advance_until(SimTime::from_picos(horizon_ps))
-                        {
+                        match self.follower.advance_until(SimTime::from_picos(horizon_ps)) {
                             Ok(responses) => {
                                 for r in responses {
                                     self.transport.send(&r)?;
@@ -241,8 +241,16 @@ mod tests {
             MessageTypeId(1),
             HeaderFormat::Uni,
         );
-        f.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-        f.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+        f.add_ingress(IngressIndices {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        f.add_egress(EgressIndices {
+            data: 3,
+            sync: 4,
+            valid: 5,
+        });
         f
     }
 
@@ -331,7 +339,10 @@ mod tests {
             port: 0,
             payload: MessagePayload::TimeOnly,
         };
-        assert!(matches!(remote.deliver(bogus), Err(CastanetError::Codec(_))));
+        assert!(matches!(
+            remote.deliver(bogus),
+            Err(CastanetError::Codec(_))
+        ));
     }
 
     #[test]

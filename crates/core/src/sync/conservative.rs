@@ -113,6 +113,45 @@ impl ConservativeSync {
         self.types.len()
     }
 
+    /// The processing delay `δ_j` registered for `type_id`, if any.
+    #[must_use]
+    pub fn type_delta(&self, type_id: MessageTypeId) -> Option<SimDuration> {
+        self.types.get(type_id.0 as usize).map(|t| t.delta)
+    }
+
+    /// Iterates every registered type with its processing delay `δ_j`, in
+    /// registration order. Used by static pre-flight analysis.
+    pub fn deltas(&self) -> impl Iterator<Item = (MessageTypeId, SimDuration)> + '_ {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (MessageTypeId(i as u32), t.delta))
+    }
+
+    /// The stamp of the most recently received message of `type_id`, if any
+    /// message has arrived on that queue yet.
+    #[must_use]
+    pub fn last_stamp(&self, type_id: MessageTypeId) -> Option<SimTime> {
+        self.types
+            .get(type_id.0 as usize)
+            .and_then(|t| t.last_stamp)
+    }
+
+    /// The grant-horizon monotonicity predicate of §3.1, checkable at any
+    /// point of a run: the grant dominates every received stamp (horizons
+    /// only move forward) and the follower's clock never passes it.
+    #[must_use]
+    pub fn grant_horizon_monotone(&self) -> bool {
+        let grant = self.grant();
+        grant >= self.originator
+            && self.local <= grant
+            && self
+                .types
+                .iter()
+                .filter_map(|t| t.last_stamp)
+                .all(|s| s <= grant)
+    }
+
     /// Receives a message of `type_id` stamped `stamp`. Pass
     /// `is_null = true` for pure time updates.
     ///
@@ -134,7 +173,10 @@ impl ConservativeSync {
             return Err(CastanetError::UnknownMessageType { type_id: type_id.0 });
         };
         if stamp < self.local {
-            return Err(CastanetError::Causality { stamp, local: self.local });
+            return Err(CastanetError::Causality {
+                stamp,
+                local: self.local,
+            });
         }
         if let Some(last) = tq.last_stamp {
             if stamp < last {
@@ -210,7 +252,10 @@ impl ConservativeSync {
     /// runs backwards — either would break the lag invariant.
     pub fn advance_local(&mut self, t: SimTime) -> Result<(), CastanetError> {
         if t > self.grant() || t < self.local {
-            return Err(CastanetError::Causality { stamp: t, local: self.local });
+            return Err(CastanetError::Causality {
+                stamp: t,
+                local: self.local,
+            });
         }
         self.local = t;
         if let Some(lag) = self.originator.checked_duration_since(t) {
@@ -398,7 +443,7 @@ mod tests {
             .map(|i| s.register_type(SimDuration::from_us(1 + i)))
             .collect();
         let mut x: u64 = 0x9E37_79B9;
-        let mut stamps = vec![SimTime::ZERO; 4];
+        let mut stamps = [SimTime::ZERO; 4];
         let mut originator = SimTime::ZERO;
         for _ in 0..10_000 {
             x ^= x << 13;
@@ -407,7 +452,7 @@ mod tests {
             let j = (x % 4) as usize;
             originator += SimDuration::from_ns(x % 500);
             stamps[j] = stamps[j].max(originator);
-            s.receive(types[j], stamps[j], x % 5 == 0).unwrap();
+            s.receive(types[j], stamps[j], x.is_multiple_of(5)).unwrap();
             // The follower chases the originator's time (it does not run
             // into batch lookahead windows, because this workload gives no
             // spacing guarantee between messages).

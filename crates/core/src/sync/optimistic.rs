@@ -170,7 +170,10 @@ where
     ///   budget would be exceeded.
     pub fn execute(&mut self, event: TimedEvent<E>) -> Result<ExecOutcome<O>, CastanetError> {
         if event.stamp < self.gvt {
-            return Err(CastanetError::Causality { stamp: event.stamp, local: self.gvt });
+            return Err(CastanetError::Causality {
+                stamp: event.stamp,
+                local: self.gvt,
+            });
         }
         let mut outcome = ExecOutcome {
             outputs: Vec::new(),
@@ -190,7 +193,11 @@ where
                 .expect("straggler implies a later entry exists");
             // Restore the state from before history[pos].
             self.state = self.checkpoints[pos].clone();
-            self.lvt = if pos == 0 { self.gvt } else { self.history[pos - 1].stamp };
+            self.lvt = if pos == 0 {
+                self.gvt
+            } else {
+                self.history[pos - 1].stamp
+            };
             // Revoke outputs of the undone events.
             for group in self.sent.drain(pos..) {
                 outcome.anti_messages.extend(group);
@@ -225,7 +232,10 @@ where
         self.stats.processed += 1;
         let timed: Vec<TimedOutput<O>> = outs
             .into_iter()
-            .map(|output| TimedOutput { stamp: event.stamp, output })
+            .map(|output| TimedOutput {
+                stamp: event.stamp,
+                output,
+            })
             .collect();
         self.sent.push(timed.clone());
         self.history.push(event);
@@ -295,7 +305,9 @@ mod tests {
         SimTime::from_us(n)
     }
 
-    fn sum_machine(max_cp: usize) -> OptimisticSync<u64, u32, u64, fn(&mut u64, &u32) -> Vec<u64>> {
+    type SumSync = OptimisticSync<u64, u32, u64, fn(&mut u64, &u32) -> Vec<u64>>;
+
+    fn sum_machine(max_cp: usize) -> SumSync {
         fn step(state: &mut u64, ev: &u32) -> Vec<u64> {
             *state += u64::from(*ev);
             vec![*state]
@@ -308,7 +320,11 @@ mod tests {
         let mut tw = sum_machine(100);
         for (i, t) in [1u64, 2, 5, 9].into_iter().enumerate() {
             let out = tw
-                .execute(TimedEvent { stamp: us(t), seq: i as u64, event: 1 })
+                .execute(TimedEvent {
+                    stamp: us(t),
+                    seq: i as u64,
+                    event: 1,
+                })
                 .unwrap();
             assert!(!out.rolled_back);
             assert!(out.anti_messages.is_empty());
@@ -321,11 +337,27 @@ mod tests {
     #[test]
     fn straggler_rolls_back_and_replays() {
         let mut tw = sum_machine(100);
-        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 10 }).unwrap();
-        tw.execute(TimedEvent { stamp: us(20), seq: 1, event: 20 }).unwrap();
+        tw.execute(TimedEvent {
+            stamp: us(10),
+            seq: 0,
+            event: 10,
+        })
+        .unwrap();
+        tw.execute(TimedEvent {
+            stamp: us(20),
+            seq: 1,
+            event: 20,
+        })
+        .unwrap();
         // Straggler at 15 with value 5: final state must equal the in-order
         // result 10+5+20 = 35, as if no error had happened.
-        let out = tw.execute(TimedEvent { stamp: us(15), seq: 2, event: 5 }).unwrap();
+        let out = tw
+            .execute(TimedEvent {
+                stamp: us(15),
+                seq: 2,
+                event: 5,
+            })
+            .unwrap();
         assert!(out.rolled_back);
         assert_eq!(*tw.state(), 35);
         // The 30 emitted at t=20 was invalidated (it is now 35).
@@ -340,8 +372,19 @@ mod tests {
     #[test]
     fn straggler_at_front_rolls_back_to_initial_state() {
         let mut tw = sum_machine(100);
-        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
-        let out = tw.execute(TimedEvent { stamp: us(2), seq: 1, event: 100 }).unwrap();
+        tw.execute(TimedEvent {
+            stamp: us(10),
+            seq: 0,
+            event: 1,
+        })
+        .unwrap();
+        let out = tw
+            .execute(TimedEvent {
+                stamp: us(2),
+                seq: 1,
+                event: 100,
+            })
+            .unwrap();
         assert!(out.rolled_back);
         assert_eq!(*tw.state(), 101);
         assert_eq!(tw.lvt(), us(10));
@@ -354,8 +397,19 @@ mod tests {
     #[test]
     fn equal_stamp_later_seq_is_not_a_straggler() {
         let mut tw = sum_machine(100);
-        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
-        let out = tw.execute(TimedEvent { stamp: us(10), seq: 1, event: 2 }).unwrap();
+        tw.execute(TimedEvent {
+            stamp: us(10),
+            seq: 0,
+            event: 1,
+        })
+        .unwrap();
+        let out = tw
+            .execute(TimedEvent {
+                stamp: us(10),
+                seq: 1,
+                event: 2,
+            })
+            .unwrap();
         assert!(!out.rolled_back);
         assert_eq!(*tw.state(), 3);
     }
@@ -365,7 +419,12 @@ mod tests {
         let stamps: Vec<u64> = vec![10, 30, 20, 5, 40, 25, 15];
         let mut tw = sum_machine(1000);
         for (i, &t) in stamps.iter().enumerate() {
-            tw.execute(TimedEvent { stamp: us(t), seq: i as u64, event: t as u32 }).unwrap();
+            tw.execute(TimedEvent {
+                stamp: us(t),
+                seq: i as u64,
+                event: t as u32,
+            })
+            .unwrap();
         }
         let expected: u64 = stamps.iter().sum();
         assert_eq!(*tw.state(), expected);
@@ -376,7 +435,12 @@ mod tests {
     fn gvt_fossil_collection_frees_memory() {
         let mut tw = sum_machine(1000);
         for i in 0..100u64 {
-            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+            tw.execute(TimedEvent {
+                stamp: us(i),
+                seq: i,
+                event: 1,
+            })
+            .unwrap();
         }
         assert_eq!(tw.checkpoints_held(), 100);
         tw.set_gvt(us(90));
@@ -388,9 +452,20 @@ mod tests {
     #[test]
     fn straggler_before_gvt_is_an_error() {
         let mut tw = sum_machine(100);
-        tw.execute(TimedEvent { stamp: us(10), seq: 0, event: 1 }).unwrap();
+        tw.execute(TimedEvent {
+            stamp: us(10),
+            seq: 0,
+            event: 1,
+        })
+        .unwrap();
         tw.set_gvt(us(10));
-        let err = tw.execute(TimedEvent { stamp: us(5), seq: 1, event: 1 }).unwrap_err();
+        let err = tw
+            .execute(TimedEvent {
+                stamp: us(5),
+                seq: 1,
+                event: 1,
+            })
+            .unwrap_err();
         assert!(matches!(err, CastanetError::Causality { .. }));
     }
 
@@ -398,13 +473,33 @@ mod tests {
     fn checkpoint_budget_enforced() {
         let mut tw = sum_machine(3);
         for i in 0..3u64 {
-            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+            tw.execute(TimedEvent {
+                stamp: us(i),
+                seq: i,
+                event: 1,
+            })
+            .unwrap();
         }
-        let err = tw.execute(TimedEvent { stamp: us(10), seq: 9, event: 1 }).unwrap_err();
-        assert!(matches!(err, CastanetError::OptimisticMemoryExhausted { checkpoints: 3 }));
+        let err = tw
+            .execute(TimedEvent {
+                stamp: us(10),
+                seq: 9,
+                event: 1,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CastanetError::OptimisticMemoryExhausted { checkpoints: 3 }
+        ));
         // GVT advance frees budget.
         tw.set_gvt(us(3));
-        assert!(tw.execute(TimedEvent { stamp: us(10), seq: 9, event: 1 }).is_ok());
+        assert!(tw
+            .execute(TimedEvent {
+                stamp: us(10),
+                seq: 9,
+                event: 1
+            })
+            .is_ok());
     }
 
     #[test]
@@ -413,7 +508,12 @@ mod tests {
         // checkpoint memory grows linearly in processed events.
         let mut tw = sum_machine(100_000);
         for i in 0..5_000u64 {
-            tw.execute(TimedEvent { stamp: us(i), seq: i, event: 1 }).unwrap();
+            tw.execute(TimedEvent {
+                stamp: us(i),
+                seq: i,
+                event: 1,
+            })
+            .unwrap();
         }
         assert_eq!(tw.stats().peak_checkpoints, 5_000);
         assert!(tw.stats().peak_checkpoint_bytes >= 5_000 * std::mem::size_of::<u64>());
@@ -423,11 +523,22 @@ mod tests {
     fn rollback_after_gvt_restores_from_kept_prefix() {
         let mut tw = sum_machine(1000);
         for i in 0..10u64 {
-            tw.execute(TimedEvent { stamp: us(10 * (i + 1)), seq: i, event: 1 }).unwrap();
+            tw.execute(TimedEvent {
+                stamp: us(10 * (i + 1)),
+                seq: i,
+                event: 1,
+            })
+            .unwrap();
         }
         tw.set_gvt(us(50));
         // Straggler at 55 us: must roll back only events at 60..100.
-        let out = tw.execute(TimedEvent { stamp: us(55), seq: 99, event: 100 }).unwrap();
+        let out = tw
+            .execute(TimedEvent {
+                stamp: us(55),
+                seq: 99,
+                event: 100,
+            })
+            .unwrap();
         assert!(out.rolled_back);
         assert_eq!(*tw.state(), 110);
         assert_eq!(out.anti_messages.len(), 5);

@@ -71,7 +71,11 @@ impl<W: Write> TraceWriter<W> {
     /// Propagates I/O errors.
     pub fn new(mut out: W, format: HeaderFormat) -> Result<Self, CastanetError> {
         writeln!(out, "{TRACE_HEADER}")?;
-        Ok(TraceWriter { out, format, records: 0 })
+        Ok(TraceWriter {
+            out,
+            format,
+            records: 0,
+        })
     }
 
     /// Appends one record.
@@ -83,7 +87,8 @@ impl<W: Write> TraceWriter<W> {
         let wire = record.cell.encode(self.format)?;
         let mut hex = String::with_capacity(CELL_OCTETS * 2);
         for b in wire {
-            hex.push_str(&format!("{b:02x}"));
+            use std::fmt::Write as _;
+            let _ = write!(hex, "{b:02x}");
         }
         writeln!(
             self.out,
@@ -120,7 +125,10 @@ impl<W: Write> TraceWriter<W> {
 ///
 /// Returns [`CastanetError::Codec`] on format violations and propagates
 /// I/O errors.
-pub fn read_trace<R: BufRead>(reader: R, format: HeaderFormat) -> Result<Vec<TraceRecord>, CastanetError> {
+pub fn read_trace<R: BufRead>(
+    reader: R,
+    format: HeaderFormat,
+) -> Result<Vec<TraceRecord>, CastanetError> {
     let mut lines = reader.lines();
     let header = lines
         .next()
@@ -165,7 +173,12 @@ pub fn read_trace<R: BufRead>(reader: R, format: HeaderFormat) -> Result<Vec<Tra
                 .map_err(|_| err("invalid hex digit"))?;
         }
         let cell = AtmCell::decode(&wire, format)?;
-        out.push(TraceRecord { direction: dir, stamp, port, cell });
+        out.push(TraceRecord {
+            direction: dir,
+            stamp,
+            port,
+            cell,
+        });
     }
     Ok(out)
 }

@@ -70,7 +70,11 @@ impl fmt::Display for VerificationSummary {
             self.clock_cycles_per_sec()
         )?;
         write!(f, "  {}", self.comparison)?;
-        writeln!(f, "  verdict: {}", if self.passed() { "PASS" } else { "FAIL" })?;
+        writeln!(
+            f,
+            "  verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )?;
         Ok(())
     }
 }

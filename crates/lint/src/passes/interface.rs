@@ -1,0 +1,259 @@
+//! Interface-consistency pass: the abstraction interface of §3.2.
+//!
+//! The CASTANET interface process converts ATM cells into byte-wide bus
+//! operations and forwards DUT responses back into the network model. Three
+//! things must line up for that to work: the RTL signals carrying the bus
+//! operations must have the widths the converter produces (8-bit data,
+//! 1-bit strobes), the interface's input port numbers must stay clear of
+//! the `RESPONSE_PORT_BASE..` namespace reserved for response injection,
+//! and every egress line needs a matching interface output connection —
+//! the interface process panics when a response arrives for an output port
+//! nothing is connected to.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use castanet::entity::CosimEntity;
+use castanet::interface::RESPONSE_PORT_BASE;
+use castanet_netsim::event::ModuleId;
+use castanet_netsim::kernel::Kernel;
+use castanet_rtl::signal::SignalId;
+use castanet_rtl::sim::Simulator;
+
+/// The byte-lane width the cell converter drives (§3.2: "53 consecutive
+/// bus operations", one octet each).
+const DATA_BITS: usize = 8;
+
+/// Checks port-number consistency between the interface process and the
+/// network kernel's connection graph.
+#[must_use]
+pub fn check_interface(net: &Kernel, iface: ModuleId, entity: &CosimEntity) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    if iface.index() >= net.module_count() {
+        diags.push(Diagnostic::new(
+            "CAST040",
+            Severity::Error,
+            format!("net.module[{}]", iface.index()),
+            format!(
+                "interface module id {} does not exist in the kernel ({} modules registered)",
+                iface.index(),
+                net.module_count()
+            ),
+        ));
+        return diags;
+    }
+
+    let mut inputs_connected = vec![false; entity.ingress_count()];
+    let mut outputs_connected = vec![false; entity.egress_count()];
+    for (src, src_port, dst, dst_port) in net.connection_edges() {
+        if dst == iface {
+            if dst_port.0 >= RESPONSE_PORT_BASE {
+                diags.push(
+                    Diagnostic::new(
+                        "CAST021",
+                        Severity::Error,
+                        format!("net.module[{}].in[{}]", iface.index(), dst_port.0),
+                        format!(
+                            "interface input port {} collides with the response injection \
+                             namespace (ports {RESPONSE_PORT_BASE} and above are reserved \
+                             for follower responses)",
+                            dst_port.0
+                        ),
+                    )
+                    .with_hint(format!(
+                        "renumber the input port below {RESPONSE_PORT_BASE}"
+                    )),
+                );
+            } else if let Some(slot) = inputs_connected.get_mut(dst_port.0) {
+                *slot = true;
+            }
+        }
+        if src == iface {
+            if let Some(slot) = outputs_connected.get_mut(src_port.0) {
+                *slot = true;
+            }
+        }
+    }
+
+    for (port, connected) in outputs_connected.iter().enumerate() {
+        if !connected {
+            diags.push(
+                Diagnostic::new(
+                    "CAST022",
+                    Severity::Warning,
+                    format!("net.module[{}].out[{port}]", iface.index()),
+                    format!(
+                        "egress line {port} has no matching interface output connection: \
+                         the interface process panics if the DUT ever responds on it"
+                    ),
+                )
+                .with_hint(format!(
+                    "connect_stream(iface, PortId({port}), sink, ...) or drop the egress line"
+                )),
+            );
+        }
+    }
+
+    for (port, connected) in inputs_connected.iter().enumerate() {
+        if !connected {
+            diags.push(
+                Diagnostic::new(
+                    "CAST023",
+                    Severity::Info,
+                    format!("net.module[{}].in[{port}]", iface.index()),
+                    format!(
+                        "ingress line {port} is registered but nothing connects to \
+                         interface input port {port}: the line will never be stimulated"
+                    ),
+                )
+                .with_hint(format!(
+                    "connect a source to interface input port {port} or drop the ingress line"
+                )),
+            );
+        }
+    }
+
+    diags
+}
+
+fn check_width(
+    diags: &mut Vec<Diagnostic>,
+    sim: &Simulator,
+    id: SignalId,
+    expect: usize,
+    location: String,
+    role: &str,
+) {
+    let info = sim.signal_info(id);
+    if info.width != expect {
+        diags.push(
+            Diagnostic::new(
+                "CAST020",
+                Severity::Error,
+                location,
+                format!(
+                    "{role} signal \"{}\" is {} bit(s) wide but the cell interface \
+                     drives {expect} (§3.2 byte-wide bus operations)",
+                    info.name, info.width
+                ),
+            )
+            .with_hint(format!("declare \"{}\" with width {expect}", info.name)),
+        );
+    }
+}
+
+/// Checks that every ingress/egress signal triple has the widths the §3.2
+/// converter produces: 8-bit data, 1-bit cellsync / enable / valid.
+#[must_use]
+pub fn check_rtl_widths(sim: &Simulator, entity: &CosimEntity) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, signals) in entity.ingress_signals().enumerate() {
+        let loc = |part: &str| format!("rtl.ingress[{i}].{part}");
+        check_width(
+            &mut diags,
+            sim,
+            signals.data,
+            DATA_BITS,
+            loc("data"),
+            "ingress data",
+        );
+        check_width(
+            &mut diags,
+            sim,
+            signals.sync,
+            1,
+            loc("sync"),
+            "ingress cellsync",
+        );
+        check_width(
+            &mut diags,
+            sim,
+            signals.enable,
+            1,
+            loc("enable"),
+            "ingress enable",
+        );
+    }
+    for (i, signals) in entity.egress_signals().enumerate() {
+        let loc = |part: &str| format!("rtl.egress[{i}].{part}");
+        check_width(
+            &mut diags,
+            sim,
+            signals.data,
+            DATA_BITS,
+            loc("data"),
+            "egress data",
+        );
+        check_width(
+            &mut diags,
+            sim,
+            signals.sync,
+            1,
+            loc("sync"),
+            "egress cellsync",
+        );
+        check_width(
+            &mut diags,
+            sim,
+            signals.valid,
+            1,
+            loc("valid"),
+            "egress valid",
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet::entity::IngressSignals;
+    use castanet::message::MessageTypeId;
+    use castanet_atm::addr::HeaderFormat;
+    use castanet_netsim::time::SimDuration;
+
+    fn entity() -> CosimEntity {
+        CosimEntity::new(
+            SimDuration::from_ns(20),
+            HeaderFormat::Uni,
+            MessageTypeId(0),
+        )
+    }
+
+    #[test]
+    fn narrow_data_signal_is_cast020() {
+        let mut sim = Simulator::new();
+        let data = sim.add_signal("atmdata", 4); // should be 8
+        let sync = sim.add_signal("cellsync", 1);
+        let enable = sim.add_signal("enable", 1);
+        let mut e = entity();
+        e.add_ingress(IngressSignals { data, sync, enable });
+        let diags = check_rtl_widths(&sim, &e);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST020");
+        assert_eq!(diags[0].location, "rtl.ingress[0].data");
+    }
+
+    #[test]
+    fn wide_strobe_is_cast020() {
+        let mut sim = Simulator::new();
+        let data = sim.add_signal("atmdata", 8);
+        let sync = sim.add_signal("cellsync", 2); // should be 1
+        let enable = sim.add_signal("enable", 1);
+        let mut e = entity();
+        e.add_ingress(IngressSignals { data, sync, enable });
+        let diags = check_rtl_widths(&sim, &e);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].location, "rtl.ingress[0].sync");
+    }
+
+    #[test]
+    fn correct_widths_lint_clean() {
+        let mut sim = Simulator::new();
+        let data = sim.add_signal("atmdata", 8);
+        let sync = sim.add_signal("cellsync", 1);
+        let enable = sim.add_signal("enable", 1);
+        let mut e = entity();
+        e.add_ingress(IngressSignals { data, sync, enable });
+        assert!(check_rtl_widths(&sim, &e).is_empty());
+    }
+}

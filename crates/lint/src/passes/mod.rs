@@ -1,0 +1,6 @@
+//! The four analysis passes, one module per pass category.
+
+pub mod interface;
+pub mod pinmap;
+pub mod sync_liveness;
+pub mod topology;

@@ -1,0 +1,328 @@
+//! Pin-map validity pass: the configuration data set of §3.3 (Fig. 5).
+//!
+//! Unlike [`PinMapConfig::validate`], which fails on the first violation so
+//! the board can refuse a broken configuration, this pass reports *every*
+//! finding so the user can fix the whole data set in one round trip.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use castanet_testboard::lane::{LaneConfig, LaneDirection, LANES, LANE_BITS};
+use castanet_testboard::pinmap::{PinMapConfig, PinSegment};
+use std::collections::HashMap;
+
+fn check_numbers(diags: &mut Vec<Diagnostic>, kind: &str, numbers: impl Iterator<Item = usize>) {
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    for n in numbers {
+        *seen.entry(n).or_insert(0) += 1;
+    }
+    let mut dups: Vec<usize> = seen
+        .into_iter()
+        .filter(|&(_, c)| c > 1)
+        .map(|(n, _)| n)
+        .collect();
+    dups.sort_unstable();
+    for n in dups {
+        diags.push(
+            Diagnostic::new(
+                "CAST036",
+                Severity::Error,
+                format!("pinmap.{kind}[{n}]"),
+                format!(
+                    "{kind} number {n} is mapped more than once: lookups by number \
+                     silently resolve to the first mapping"
+                ),
+            )
+            .with_hint(format!("renumber the duplicate {kind} mappings")),
+        );
+    }
+}
+
+fn check_segments(
+    diags: &mut Vec<Diagnostic>,
+    kind: &str,
+    number: usize,
+    width: usize,
+    segments: &[PinSegment],
+    lanes: Option<&[LaneConfig; LANES]>,
+    expect_direction: LaneDirection,
+) {
+    for (s, seg) in segments.iter().enumerate() {
+        if seg.validate().is_err() {
+            diags.push(
+                Diagnostic::new(
+                    "CAST031",
+                    Severity::Error,
+                    format!("pinmap.{kind}[{number}].segment[{s}]"),
+                    format!(
+                        "segment of {} bit(s) at start bit {} on lane {} exceeds the \
+                         byte lane (lanes are {LANE_BITS} bits, MSB-anchored)",
+                        seg.bits, seg.start_bit, seg.lane
+                    ),
+                )
+                .with_hint(format!(
+                    "keep lane < {LANES}, start_bit < {LANE_BITS} and bits <= start_bit + 1"
+                )),
+            );
+            continue;
+        }
+        if let Some(lanes) = lanes {
+            if lanes[seg.lane].direction != expect_direction {
+                let (is, should) = match expect_direction {
+                    LaneDirection::Drive => ("sampling", "driving"),
+                    LaneDirection::Sample => ("driving", "sampling"),
+                };
+                diags.push(
+                    Diagnostic::new(
+                        "CAST034",
+                        Severity::Error,
+                        format!("pinmap.{kind}[{number}].segment[{s}]"),
+                        format!(
+                            "{kind} {number} maps lane {lane} which is configured as a \
+                             {is} lane, but a {kind} needs a {should} lane",
+                            lane = seg.lane
+                        ),
+                    )
+                    .with_hint(format!("reconfigure lane {} or move the segment", seg.lane)),
+                );
+            }
+        }
+    }
+    let mapped: usize = segments.iter().map(|s| s.bits).sum();
+    if mapped != width || width == 0 || width > 64 {
+        diags.push(
+            Diagnostic::new(
+                "CAST033",
+                Severity::Error,
+                format!("pinmap.{kind}[{number}]"),
+                format!("{kind} {number} declares {width} bit(s) but its segments map {mapped}"),
+            )
+            .with_hint(format!("set width = {mapped} or adjust the segments")),
+        );
+    }
+}
+
+/// Checks the whole pin-mapping data set, reporting every finding.
+///
+/// Pass the board's lane configuration to additionally check mapping
+/// directions against lane directions (`CAST034`); without it that check
+/// is skipped.
+#[must_use]
+pub fn check_pinmap(cfg: &PinMapConfig, lanes: Option<&[LaneConfig; LANES]>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    check_numbers(&mut diags, "inport", cfg.inports.iter().map(|p| p.number));
+    check_numbers(&mut diags, "outport", cfg.outports.iter().map(|p| p.number));
+    check_numbers(
+        &mut diags,
+        "ctrlport",
+        cfg.ctrlports.iter().map(|p| p.number),
+    );
+
+    for p in &cfg.inports {
+        check_segments(
+            &mut diags,
+            "inport",
+            p.number,
+            p.width,
+            &p.segments,
+            lanes,
+            LaneDirection::Drive,
+        );
+    }
+    for p in &cfg.outports {
+        check_segments(
+            &mut diags,
+            "outport",
+            p.number,
+            p.width,
+            &p.segments,
+            lanes,
+            LaneDirection::Sample,
+        );
+    }
+    for p in &cfg.ctrlports {
+        check_segments(
+            &mut diags,
+            "ctrlport",
+            p.number,
+            p.width,
+            &p.segments,
+            lanes,
+            LaneDirection::Sample,
+        );
+        if p.width < 64 && p.write_value >= (1u64 << p.width) {
+            diags.push(
+                Diagnostic::new(
+                    "CAST035",
+                    Severity::Error,
+                    format!("pinmap.ctrlport[{}]", p.number),
+                    format!(
+                        "write flag {:#x} does not fit ctrlport {}'s declared width of {} bit(s)",
+                        p.write_value, p.number, p.width
+                    ),
+                )
+                .with_hint("shrink the write flag or widen the control port"),
+            );
+        }
+    }
+
+    for (lane, bit) in cfg.pin_conflicts() {
+        diags.push(
+            Diagnostic::new(
+                "CAST030",
+                Severity::Error,
+                format!("pinmap.lane[{lane}].bit[{bit}]"),
+                format!(
+                    "pin {bit} of byte lane {lane} is claimed by more than one segment: \
+                     encode/decode would silently clobber the shared pin"
+                ),
+            )
+            .with_hint("move one of the overlapping segments to free pins"),
+        );
+    }
+
+    for io in &cfg.ioports {
+        for (role, number, present) in [
+            ("inport", io.inport, cfg.inport(io.inport).is_some()),
+            ("outport", io.outport, cfg.outport(io.outport).is_some()),
+            ("ctrlport", io.ctrlport, cfg.ctrlport(io.ctrlport).is_some()),
+        ] {
+            if !present {
+                diags.push(
+                    Diagnostic::new(
+                        "CAST032",
+                        Severity::Error,
+                        format!(
+                            "pinmap.ioport[{}/{}/{}]",
+                            io.inport, io.outport, io.ctrlport
+                        ),
+                        format!(
+                            "bus interface references {role} {number}, which is not mapped: \
+                             a DUT bus needs its full inport/outport/ctrlport triple (§3.3)"
+                        ),
+                    )
+                    .with_hint(format!("add the missing {role} mapping number {number}")),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_testboard::pinmap::{CtrlportMapping, InportMapping, IoPortMapping};
+
+    #[test]
+    fn fig5_example_lints_clean() {
+        let (cfg, lanes) = PinMapConfig::fig5_example();
+        assert!(check_pinmap(&cfg, Some(&lanes)).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_cast030() {
+        let mut cfg = PinMapConfig::default();
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 6,
+            segments: vec![PinSegment::new(0, 7, 6)],
+        });
+        cfg.inports.push(InportMapping {
+            number: 1,
+            width: 4,
+            segments: vec![PinSegment::new(0, 4, 4)], // bits 4..=1 overlap 7..=2
+        });
+        let codes: Vec<_> = check_pinmap(&cfg, None).iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            ["CAST030", "CAST030", "CAST030"],
+            "bits 4, 3, 2 overlap"
+        );
+    }
+
+    #[test]
+    fn out_of_lane_segment_is_cast031() {
+        let mut cfg = PinMapConfig::default();
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 5,
+            segments: vec![PinSegment::new(2, 3, 5)], // only 4 bits below start 3
+        });
+        let diags = check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST031");
+    }
+
+    #[test]
+    fn missing_triple_member_is_cast032() {
+        let mut cfg = PinMapConfig::default();
+        cfg.ioports.push(IoPortMapping {
+            inport: 1,
+            outport: 2,
+            ctrlport: 3,
+        });
+        let codes: Vec<_> = check_pinmap(&cfg, None).iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["CAST032", "CAST032", "CAST032"]);
+    }
+
+    #[test]
+    fn width_mismatch_is_cast033() {
+        let mut cfg = PinMapConfig::default();
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 7,
+            segments: vec![PinSegment::new(0, 7, 6)],
+        });
+        let diags = check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST033");
+    }
+
+    #[test]
+    fn direction_conflict_is_cast034() {
+        let (_, lanes) = PinMapConfig::fig5_example();
+        let mut cfg = PinMapConfig::default();
+        // fig5 lanes: lane 3 samples; an inport needs a driving lane.
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 2,
+            segments: vec![PinSegment::new(3, 1, 2)],
+        });
+        let diags = check_pinmap(&cfg, Some(&lanes));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST034");
+    }
+
+    #[test]
+    fn wide_write_flag_is_cast035() {
+        let mut cfg = PinMapConfig::default();
+        cfg.ctrlports.push(CtrlportMapping {
+            number: 0,
+            width: 1,
+            segments: vec![PinSegment::new(9, 0, 1)],
+            write_value: 2,
+        });
+        let diags = check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST035");
+    }
+
+    #[test]
+    fn duplicate_numbers_are_cast036() {
+        let mut cfg = PinMapConfig::default();
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 2,
+            segments: vec![PinSegment::new(0, 1, 2)],
+        });
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 2,
+            segments: vec![PinSegment::new(1, 1, 2)],
+        });
+        let diags = check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST036");
+    }
+}

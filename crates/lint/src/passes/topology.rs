@@ -1,0 +1,198 @@
+//! Topology-reachability pass over the network kernel's connection graph.
+//!
+//! The CASTANET network model is a graph of behavioural modules joined by
+//! point-to-point connections. A connection naming a module that was never
+//! registered panics the kernel at delivery time; a module no connection
+//! touches can never take part in the run; and a module the interface
+//! process cannot reach (treating connections as undirected links) cannot
+//! influence or observe the co-verified DUT.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use castanet_netsim::event::ModuleId;
+use castanet_netsim::kernel::Kernel;
+use std::collections::VecDeque;
+
+/// Checks the connection graph for dangling ids, isolated modules and
+/// modules unreachable from the interface process.
+///
+/// `iface` is the interface module the coupling routes cells through, when
+/// known; pass `None` when linting a bare kernel (the reachability check
+/// `CAST042` is then skipped).
+#[must_use]
+pub fn check_topology(net: &Kernel, iface: Option<ModuleId>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = net.module_count();
+
+    let mut touched = vec![false; n];
+    // Undirected adjacency over valid endpoints only.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dangling_reported = false;
+    for (src, src_port, dst, dst_port) in net.connection_edges() {
+        let mut dangling = false;
+        for (role, id) in [("source", src), ("destination", dst)] {
+            if id.index() >= n {
+                dangling = true;
+                dangling_reported = true;
+                diags.push(
+                    Diagnostic::new(
+                        "CAST040",
+                        Severity::Error,
+                        format!(
+                            "net.connection[{}.{}->{}.{}]",
+                            src.index(),
+                            src_port.0,
+                            dst.index(),
+                            dst_port.0
+                        ),
+                        format!(
+                            "connection {role} names module {}, but only {n} module(s) are \
+                             registered: delivery along this edge panics the kernel",
+                            id.index()
+                        ),
+                    )
+                    .with_hint("connect only ModuleIds returned by Kernel::add_module"),
+                );
+            }
+        }
+        if dangling {
+            continue;
+        }
+        touched[src.index()] = true;
+        touched[dst.index()] = true;
+        adj[src.index()].push(dst.index());
+        adj[dst.index()].push(src.index());
+    }
+
+    if let Some(iface) = iface {
+        if iface.index() >= n {
+            diags.push(
+                Diagnostic::new(
+                    "CAST040",
+                    Severity::Error,
+                    format!("net.module[{}]", iface.index()),
+                    format!(
+                        "interface module id {} does not exist in the kernel \
+                         ({n} modules registered)",
+                        iface.index()
+                    ),
+                )
+                .with_hint("pass the ModuleId returned when the interface process was added"),
+            );
+            dangling_reported = true;
+        }
+    }
+
+    for (idx, touched) in touched.iter().enumerate() {
+        if !touched {
+            diags.push(
+                Diagnostic::new(
+                    "CAST041",
+                    Severity::Warning,
+                    format!("net.module[{idx}]"),
+                    format!(
+                        "module {idx} is isolated: no connection touches it, so it can \
+                         neither send nor receive during the run"
+                    ),
+                )
+                .with_hint("connect the module or remove it from the setup"),
+            );
+        }
+    }
+
+    // Reachability from the interface, over undirected links. Skipped when
+    // the graph already has dangling references — partial adjacency would
+    // drown the report in misleading CAST042s.
+    if let Some(iface) = iface {
+        if !dangling_reported && n > 0 {
+            let mut reachable = vec![false; n];
+            reachable[iface.index()] = true;
+            let mut queue = VecDeque::from([iface.index()]);
+            while let Some(at) = queue.pop_front() {
+                for &next in &adj[at] {
+                    if !reachable[next] {
+                        reachable[next] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            for (idx, ok) in reachable.iter().enumerate() {
+                if !ok && touched[idx] {
+                    diags.push(
+                        Diagnostic::new(
+                            "CAST042",
+                            Severity::Warning,
+                            format!("net.module[{idx}]"),
+                            format!(
+                                "module {idx} is connected but cannot reach the interface \
+                                 process (module {}): it never exchanges traffic with the DUT",
+                                iface.index()
+                            ),
+                        )
+                        .with_hint("bridge the module's component to the interface process"),
+                    );
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castanet_netsim::event::PortId;
+    use castanet_netsim::kernel::Kernel;
+    use castanet_netsim::process::NullProcess;
+
+    fn kernel_with(n: usize) -> (Kernel, Vec<ModuleId>) {
+        let mut net = Kernel::new(0xCA57);
+        let node = net.add_node("board");
+        let ids = (0..n)
+            .map(|i| net.add_module(node, format!("m{i}"), Box::new(NullProcess)))
+            .collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn connected_graph_lints_clean() {
+        let (mut net, ids) = kernel_with(3);
+        net.connect_stream(ids[0], PortId(0), ids[1], PortId(0))
+            .unwrap();
+        net.connect_stream(ids[1], PortId(1), ids[2], PortId(0))
+            .unwrap();
+        assert!(check_topology(&net, Some(ids[1])).is_empty());
+    }
+
+    #[test]
+    fn isolated_module_is_cast041() {
+        let (mut net, ids) = kernel_with(3);
+        net.connect_stream(ids[0], PortId(0), ids[1], PortId(0))
+            .unwrap();
+        let diags = check_topology(&net, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST041");
+        assert_eq!(diags[0].location, "net.module[2]");
+    }
+
+    #[test]
+    fn unreachable_component_is_cast042() {
+        let (mut net, ids) = kernel_with(4);
+        net.connect_stream(ids[0], PortId(0), ids[1], PortId(0))
+            .unwrap();
+        net.connect_stream(ids[2], PortId(0), ids[3], PortId(0))
+            .unwrap();
+        let diags = check_topology(&net, Some(ids[0]));
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["CAST042", "CAST042"]);
+    }
+
+    #[test]
+    fn dangling_interface_is_cast040() {
+        // A ModuleId minted by a bigger kernel dangles in a smaller one.
+        let (_, foreign_ids) = kernel_with(10);
+        let (net, _) = kernel_with(2);
+        let diags = check_topology(&net, Some(foreign_ids[9]));
+        assert!(diags.iter().any(|d| d.code == "CAST040"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Rendering findings for people (compiler-style text) and machines (JSON).
+
+use crate::diagnostic::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// Renders findings the way a compiler would: one line per finding plus a
+/// severity tally, e.g. `2 errors, 1 warning`.
+#[must_use]
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let infos = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Info)
+        .count();
+    if diags.is_empty() {
+        out.push_str("no findings: configuration passes all pre-flight checks\n");
+    } else {
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        let _ = writeln!(
+            out,
+            "{errors} error{}, {warnings} warning{}, {infos} advisory note{}",
+            plural(errors),
+            plural(warnings),
+            plural(infos)
+        );
+    }
+    out
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_json(s, out);
+    out.push('"');
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings": [...], "errors": N, "warnings": N, "infos": N}`.
+///
+/// Each finding is an object with `code`, `severity`, `location`, `message`
+/// and (when present) `hint`. The encoder is hand-rolled so the lint tool
+/// stays dependency-free; fields never contain non-string scalars.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"code\": ");
+        push_json_string(&mut out, d.code);
+        out.push_str(", \"severity\": ");
+        push_json_string(&mut out, &d.severity.to_string());
+        out.push_str(", \"location\": ");
+        push_json_string(&mut out, &d.location);
+        out.push_str(", \"message\": ");
+        push_json_string(&mut out, &d.message);
+        if let Some(hint) = &d.hint {
+            out.push_str(", \"hint\": ");
+            push_json_string(&mut out, hint);
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let count = |sev| diags.iter().filter(|d| d.severity == sev).count();
+    let _ = write!(
+        out,
+        "],\n  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {}\n}}",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new("CAST002", Severity::Warning, "sync.type[0]", "δ_j is zero")
+                .with_hint("register a positive delay"),
+            Diagnostic::new(
+                "CAST030",
+                Severity::Error,
+                "pinmap.lane[0].bit[3]",
+                "pin claimed twice",
+            ),
+        ]
+    }
+
+    #[test]
+    fn human_report_has_tally() {
+        let text = render_human(&sample());
+        assert!(text.contains("warning [CAST002]"), "{text}");
+        assert!(
+            text.contains("1 error, 1 warning, 0 advisory notes"),
+            "{text}"
+        );
+        assert!(render_human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"code\": \"CAST030\""), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(
+            json.contains("\"hint\": \"register a positive delay\""),
+            "{json}"
+        );
+        // Braces and brackets balance (cheap well-formedness check; none of
+        // the emitted strings contain braces).
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let d = Diagnostic::new(
+            "CAST001",
+            Severity::Error,
+            "a\"b",
+            "line\nbreak\tand\\slash",
+        );
+        let json = render_json(&[d]);
+        assert!(json.contains("a\\\"b"), "{json}");
+        assert!(json.contains("line\\nbreak\\tand\\\\slash"), "{json}");
+    }
+
+    #[test]
+    fn empty_json_report() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"), "{json}");
+        assert!(json.contains("\"errors\": 0"), "{json}");
+    }
+}

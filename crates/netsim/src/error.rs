@@ -40,7 +40,9 @@ impl fmt::Display for NetsimError {
             NetsimError::PortAlreadyConnected { module, port } => {
                 write!(f, "{port} of {module} is already connected")
             }
-            NetsimError::UnknownModule => write!(f, "module id does not refer to a registered module"),
+            NetsimError::UnknownModule => {
+                write!(f, "module id does not refer to a registered module")
+            }
             NetsimError::TopologyFrozen => {
                 write!(f, "topology cannot change after the simulation has started")
             }

@@ -152,7 +152,10 @@ impl Kernel {
         name: impl Into<String>,
         process: Box<dyn Process>,
     ) -> ModuleId {
-        assert!(!self.started, "cannot add modules after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add modules after the simulation started"
+        );
         let id = ModuleId(self.modules.len());
         self.modules.push(ModuleSlot {
             name: name.into(),
@@ -218,7 +221,10 @@ impl Kernel {
             return Err(NetsimError::UnknownModule);
         }
         if self.connections.contains_key(&(src, src_port)) {
-            return Err(NetsimError::PortAlreadyConnected { module: src, port: src_port });
+            return Err(NetsimError::PortAlreadyConnected {
+                module: src,
+                port: src_port,
+            });
         }
         self.connections.insert(
             (src, src_port),
@@ -301,6 +307,28 @@ impl Kernel {
         self.events.len()
     }
 
+    /// Number of modules registered with the kernel.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Iterates every registered module id.
+    pub fn module_ids(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        (0..self.modules.len()).map(ModuleId)
+    }
+
+    /// Iterates the connection graph as
+    /// `(source module, source port, destination module, destination port)`
+    /// edges. Used by static pre-flight analysis for reachability checks.
+    pub fn connection_edges(
+        &self,
+    ) -> impl Iterator<Item = (ModuleId, PortId, ModuleId, PortId)> + '_ {
+        self.connections
+            .iter()
+            .map(|(&(src, src_port), conn)| (src, src_port, conn.dst, conn.dst_port))
+    }
+
     // ------------------------------------------------------------------
     // External event injection (used by the CASTANET coupling)
     // ------------------------------------------------------------------
@@ -324,7 +352,14 @@ impl Kernel {
         let mut packet = packet;
         packet.stamp_creation(self.events.now());
         self.events
-            .schedule(at, EventKind::Arrival { module, port, packet })
+            .schedule(
+                at,
+                EventKind::Arrival {
+                    module,
+                    port,
+                    packet,
+                },
+            )
             .map_err(NetsimError::from)
     }
 
@@ -390,7 +425,11 @@ impl Kernel {
             return false;
         };
         match ev.kind {
-            EventKind::Arrival { module, port, packet } => {
+            EventKind::Arrival {
+                module,
+                port,
+                packet,
+            } => {
                 self.dispatch(module, Dispatch::Packet(port, packet));
             }
             EventKind::Interrupt { module, code } => {
@@ -557,10 +596,13 @@ impl Ctx<'_> {
         mut packet: Packet,
         delay: SimDuration,
     ) -> Result<(), NetsimError> {
-        let conn = self
-            .connections
-            .get(&(self.module, port))
-            .ok_or(NetsimError::PortNotConnected { module: self.module, port })?;
+        let conn =
+            self.connections
+                .get(&(self.module, port))
+                .ok_or(NetsimError::PortNotConnected {
+                    module: self.module,
+                    port,
+                })?;
         packet.stamp_creation(self.events.now());
         let link_delay = conn
             .link
@@ -588,7 +630,13 @@ impl Ctx<'_> {
     pub fn schedule_self(&mut self, delay: SimDuration, code: u32) -> Result<EventId, NetsimError> {
         let at = self.events.now() + delay;
         self.events
-            .schedule(at, EventKind::Interrupt { module: self.module, code })
+            .schedule(
+                at,
+                EventKind::Interrupt {
+                    module: self.module,
+                    code,
+                },
+            )
             .map_err(NetsimError::from)
     }
 
@@ -665,8 +713,21 @@ mod tests {
         let mut k = Kernel::new(1);
         let n = k.add_node("pipeline");
         let probe = k.add_probe("arrivals");
-        let src = k.add_module(n, "src", Box::new(Source { count: 5, gap: SimDuration::from_ns(100) }));
-        let fwd = k.add_module(n, "fwd", Box::new(Forwarder { delay: SimDuration::from_ns(10) }));
+        let src = k.add_module(
+            n,
+            "src",
+            Box::new(Source {
+                count: 5,
+                gap: SimDuration::from_ns(100),
+            }),
+        );
+        let fwd = k.add_module(
+            n,
+            "fwd",
+            Box::new(Forwarder {
+                delay: SimDuration::from_ns(10),
+            }),
+        );
         let sink = k.add_module(n, "sink", Box::new(Sink { probe, received: 0 }));
         match link {
             Some(l) => k.connect_link(src, PortId(0), fwd, PortId(0), l).unwrap(),
@@ -695,7 +756,8 @@ mod tests {
         let s = k.stats().summary(probe);
         assert_eq!(s.count, 5);
         // First packet: emitted at 100 ns, +1 us ser + 2 us prop + 10 ns fwd.
-        let first_arrival = SimTime::from_ns(100) + SimDuration::from_us(3) + SimDuration::from_ns(10);
+        let first_arrival =
+            SimTime::from_ns(100) + SimDuration::from_us(3) + SimDuration::from_ns(10);
         assert!((s.min - first_arrival.as_secs_f64()).abs() < 1e-15);
     }
 
@@ -788,7 +850,8 @@ mod tests {
         let n = k.add_node("n");
         let probe = k.add_probe("in");
         let m = k.add_module(n, "sink", Box::new(CountSink { probe }));
-        k.inject_packet(m, PortId(0), Packet::new(0, 8), SimTime::from_ns(50)).unwrap();
+        k.inject_packet(m, PortId(0), Packet::new(0, 8), SimTime::from_ns(50))
+            .unwrap();
         k.inject_interrupt(m, 9, SimTime::from_ns(60)).unwrap();
         k.run().unwrap();
         assert_eq!(k.stats().summary(probe).count, 1);

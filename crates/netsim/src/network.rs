@@ -266,7 +266,10 @@ mod tests {
         b.module("x", "n", Box::new(NullProcess)).unwrap();
         b.stream("x.m", 0, "x.n", 0).unwrap();
         let err = b.stream("x.m", 0, "x.n", 1).unwrap_err();
-        assert!(matches!(err, BuildError::Kernel(NetsimError::PortAlreadyConnected { .. })));
+        assert!(matches!(
+            err,
+            BuildError::Kernel(NetsimError::PortAlreadyConnected { .. })
+        ));
     }
 
     #[test]

@@ -186,7 +186,11 @@ impl<F: Fsm> FsmProcess<F> {
         let label = event.label();
         let to = self.fsm.transition(from, event, ctx);
         if let Some(trace) = &mut self.trace {
-            trace.push(Transition { from, to, event: label });
+            trace.push(Transition {
+                from,
+                to,
+                event: label,
+            });
         }
         if to != from {
             self.fsm.on_enter(to, ctx);
@@ -343,7 +347,11 @@ mod tests {
     fn fsm_transitions_are_traced() {
         let mut k = Kernel::new(0);
         let n = k.add_node("n");
-        k.add_module(n, "t", Box::new(FsmProcess::traced(Toggler { ticks_left: 3 })));
+        k.add_module(
+            n,
+            "t",
+            Box::new(FsmProcess::traced(Toggler { ticks_left: 3 })),
+        );
         k.run().unwrap();
         // We can't get the process back out of the kernel (by design), so
         // trace inspection is tested on a standalone dispatch below; here we
@@ -374,8 +382,10 @@ mod tests {
         let n = k.add_node("n");
         let (proc_, handle) = CollectorProcess::new();
         let sink = k.add_module(n, "sink", Box::new(proc_));
-        k.inject_packet(sink, PortId(0), Packet::new(0, 8), SimTime::from_ns(3)).unwrap();
-        k.inject_packet(sink, PortId(0), Packet::new(7, 8), SimTime::from_ns(8)).unwrap();
+        k.inject_packet(sink, PortId(0), Packet::new(0, 8), SimTime::from_ns(3))
+            .unwrap();
+        k.inject_packet(sink, PortId(0), Packet::new(7, 8), SimTime::from_ns(8))
+            .unwrap();
         k.run().unwrap();
         assert_eq!(handle.len(), 2);
         handle.with(|pkts| {
@@ -393,7 +403,8 @@ mod tests {
         let mut k = Kernel::new(0);
         let n = k.add_node("n");
         let m = k.add_module(n, "null", Box::new(NullProcess));
-        k.inject_packet(m, PortId(0), Packet::new(0, 8), SimTime::from_ns(1)).unwrap();
+        k.inject_packet(m, PortId(0), Packet::new(0, 8), SimTime::from_ns(1))
+            .unwrap();
         k.inject_interrupt(m, 1, SimTime::from_ns(2)).unwrap();
         k.run().unwrap();
         assert_eq!(k.module_event_count(m), 3);

@@ -164,7 +164,9 @@ mod tests {
         for fmt in 0..5 {
             q.enqueue(Packet::new(fmt, 8));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue()).map(|p| p.format()).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue())
+            .map(|p| p.format())
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 

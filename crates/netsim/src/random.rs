@@ -33,7 +33,10 @@ fn mix(seed: u64, stream: u64) -> u64 {
 /// Panics if `mean` is not positive and finite.
 #[must_use]
 pub fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
-    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+    assert!(
+        mean > 0.0 && mean.is_finite(),
+        "exponential mean must be positive"
+    );
     // Inverse transform; 1-u avoids ln(0).
     let u: f64 = rng.random();
     -mean * (1.0 - u).ln()
@@ -113,8 +116,11 @@ mod tests {
         let n = 20_000;
         let mean = 3.0;
         let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
-        let est = sum / n as f64;
-        assert!((est - mean).abs() < 0.1, "estimated mean {est} too far from {mean}");
+        let est = sum / f64::from(n);
+        assert!(
+            (est - mean).abs() < 0.1,
+            "estimated mean {est} too far from {mean}"
+        );
     }
 
     #[test]
@@ -131,8 +137,11 @@ mod tests {
         let p = 0.25;
         let n = 20_000;
         let sum: u64 = (0..n).map(|_| geometric(&mut rng, p)).sum();
-        let est = sum as f64 / n as f64;
-        assert!((est - 4.0).abs() < 0.15, "estimated mean {est} too far from 4");
+        let est = sum as f64 / f64::from(n);
+        assert!(
+            (est - 4.0).abs() < 0.15,
+            "estimated mean {est} too far from 4"
+        );
     }
 
     #[test]
@@ -166,7 +175,10 @@ mod tests {
         let mut rng = stream_rng(13, 0);
         let hits = (0..20_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
         let freq = hits as f64 / 20_000.0;
-        assert!((freq - 0.3).abs() < 0.02, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "frequency {freq} too far from 0.3"
+        );
     }
 
     #[test]

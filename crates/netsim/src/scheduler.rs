@@ -107,7 +107,11 @@ impl EventList {
     ///
     /// Returns [`ScheduleInPastError`] if `at` precedes the current time.
     /// Scheduling *at* the current time is allowed, matching the paper's rule.
-    pub fn schedule(&mut self, at: SimTime, kind: EventKind) -> Result<EventId, ScheduleInPastError> {
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        kind: EventKind,
+    ) -> Result<EventId, ScheduleInPastError> {
         if at < self.now {
             return Err(ScheduleInPastError {
                 requested: at,
@@ -145,7 +149,10 @@ impl EventList {
     pub fn pop(&mut self) -> Option<Event> {
         self.skip_cancelled();
         let std::cmp::Reverse(ev) = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now, "event list produced out-of-order event");
+        debug_assert!(
+            ev.time >= self.now,
+            "event list produced out-of-order event"
+        );
         self.now = ev.time;
         self.executed_total += 1;
         Some(ev)
@@ -185,10 +192,15 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut list = EventList::new();
-        list.schedule(SimTime::from_ns(30), interrupt(0, 3)).unwrap();
-        list.schedule(SimTime::from_ns(10), interrupt(0, 1)).unwrap();
-        list.schedule(SimTime::from_ns(20), interrupt(0, 2)).unwrap();
-        let order: Vec<u32> = std::iter::from_fn(|| list.pop()).map(|e| code_of(&e)).collect();
+        list.schedule(SimTime::from_ns(30), interrupt(0, 3))
+            .unwrap();
+        list.schedule(SimTime::from_ns(10), interrupt(0, 1))
+            .unwrap();
+        list.schedule(SimTime::from_ns(20), interrupt(0, 2))
+            .unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| list.pop())
+            .map(|e| code_of(&e))
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -199,17 +211,22 @@ mod tests {
         for code in 0..10 {
             list.schedule(t, interrupt(0, code)).unwrap();
         }
-        let order: Vec<u32> = std::iter::from_fn(|| list.pop()).map(|e| code_of(&e)).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| list.pop())
+            .map(|e| code_of(&e))
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn rejects_past_scheduling() {
         let mut list = EventList::new();
-        list.schedule(SimTime::from_ns(10), interrupt(0, 0)).unwrap();
+        list.schedule(SimTime::from_ns(10), interrupt(0, 0))
+            .unwrap();
         list.pop().unwrap();
         assert_eq!(list.now(), SimTime::from_ns(10));
-        let err = list.schedule(SimTime::from_ns(5), interrupt(0, 1)).unwrap_err();
+        let err = list
+            .schedule(SimTime::from_ns(5), interrupt(0, 1))
+            .unwrap_err();
         assert_eq!(err.requested, SimTime::from_ns(5));
         assert_eq!(err.now, SimTime::from_ns(10));
         // Scheduling at the current time is allowed.

@@ -170,7 +170,10 @@ impl SimDuration {
             "duration seconds must be finite and non-negative, got {secs}"
         );
         let ps = secs * 1e12;
-        assert!(ps <= u64::MAX as f64, "duration {secs} s overflows SimDuration");
+        assert!(
+            ps <= u64::MAX as f64,
+            "duration {secs} s overflows SimDuration"
+        );
         SimDuration(ps.round() as u64)
     }
 
@@ -227,11 +230,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 
@@ -392,9 +391,15 @@ mod tests {
     #[test]
     fn clock_period_from_frequency() {
         // 50 MHz -> 20 ns.
-        assert_eq!(SimDuration::from_freq_hz(50_000_000), SimDuration::from_ns(20));
+        assert_eq!(
+            SimDuration::from_freq_hz(50_000_000),
+            SimDuration::from_ns(20)
+        );
         // 20 MHz board clock -> 50 ns.
-        assert_eq!(SimDuration::from_freq_hz(20_000_000), SimDuration::from_ns(50));
+        assert_eq!(
+            SimDuration::from_freq_hz(20_000_000),
+            SimDuration::from_ns(50)
+        );
     }
 
     #[test]
@@ -433,7 +438,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ns(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_ns(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_ns(1).saturating_sub(SimDuration::from_ns(2)),
             SimDuration::ZERO
@@ -452,6 +460,9 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_ns(3), SimTime::ZERO, SimTime::from_ns(1)];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_ns(1), SimTime::from_ns(3)]);
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_ns(1), SimTime::from_ns(3)]
+        );
     }
 }

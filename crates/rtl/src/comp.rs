@@ -287,9 +287,20 @@ impl Lfsr {
     /// Panics if `width` is 0 or exceeds 64, the seed is zero, or the tap
     /// mask selects bits outside the state.
     #[must_use]
-    pub fn new(clk: SignalId, en: SignalId, q: SignalId, width: usize, taps: u64, seed: u64) -> Self {
+    pub fn new(
+        clk: SignalId,
+        en: SignalId,
+        q: SignalId,
+        width: usize,
+        taps: u64,
+        seed: u64,
+    ) -> Self {
         assert!((1..=64).contains(&width), "lfsr width must be 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         assert!(seed & mask != 0, "lfsr seed must be non-zero");
         assert!(taps & !mask == 0, "tap mask exceeds lfsr width");
         assert!(taps != 0, "lfsr needs at least one tap");
@@ -306,7 +317,14 @@ impl Lfsr {
     /// The standard maximal-length 16-bit LFSR (taps 16,15,13,4).
     #[must_use]
     pub fn standard16(clk: SignalId, en: SignalId, q: SignalId, seed: u16) -> Self {
-        Lfsr::new(clk, en, q, 16, 0b1101_0000_0000_1000, u64::from(seed.max(1)))
+        Lfsr::new(
+            clk,
+            en,
+            q,
+            16,
+            0b1101_0000_0000_1000,
+            u64::from(seed.max(1)),
+        )
     }
 }
 
@@ -317,8 +335,12 @@ impl RtlProcess for Lfsr {
 
     fn run(&mut self, ctx: &mut RtlCtx) {
         if ctx.rising(self.clk) && ctx.read_bit(self.en).is_one() {
-            let feedback = (self.state & self.taps).count_ones() as u64 & 1;
-            let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+            let feedback = u64::from((self.state & self.taps).count_ones()) & 1;
+            let mask = if self.width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.width) - 1
+            };
             self.state = ((self.state << 1) | feedback) & mask;
             if self.state == 0 {
                 self.state = 1; // lock-up escape (cannot happen with odd taps, kept defensively)
@@ -352,7 +374,10 @@ impl GrayCounter {
     /// Panics if `width` is 0 or exceeds 64.
     #[must_use]
     pub fn new(clk: SignalId, rst: SignalId, en: SignalId, q: SignalId, width: usize) -> Self {
-        assert!((1..=64).contains(&width), "gray counter width must be 1..=64");
+        assert!(
+            (1..=64).contains(&width),
+            "gray counter width must be 1..=64"
+        );
         GrayCounter {
             clk,
             rst,
@@ -378,7 +403,11 @@ impl RtlProcess for GrayCounter {
             if ctx.read_bit(self.rst).is_one() {
                 self.binary = 0;
             } else if ctx.read_bit(self.en).is_one() {
-                let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+                let mask = if self.width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << self.width) - 1
+                };
                 self.binary = (self.binary + 1) & mask;
             }
             ctx.assign(self.q, LogicVector::from_u64(self.gray(), self.width));
@@ -435,7 +464,8 @@ mod tests {
 
     /// Advances to just after the n-th rising edge (edges at 5, 15, 25 …).
     fn after_edge(sim: &mut Simulator, n: u64) {
-        sim.run_until(SimTime::from_ns(5 + 10 * (n - 1) + 1)).unwrap();
+        sim.run_until(SimTime::from_ns(5 + 10 * (n - 1) + 1))
+            .unwrap();
     }
 
     #[test]
@@ -447,7 +477,8 @@ mod tests {
         let q = sim.add_signal("q", 4);
         sim.add_process(Box::new(DFlipFlop { clk, rst, d, q }), &[clk]);
         sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
-        sim.poke(d, LogicVector::from_u64(0xF, 4), SimTime::ZERO).unwrap();
+        sim.poke(d, LogicVector::from_u64(0xF, 4), SimTime::ZERO)
+            .unwrap();
         after_edge(&mut sim, 1);
         assert_eq!(sim.read_u64(q), Some(0xF));
         sim.poke_bit(rst, Logic::One, SimTime::from_ns(7)).unwrap();
@@ -528,16 +559,20 @@ mod tests {
         sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
         sim.poke_bit(rd_en, Logic::Zero, SimTime::ZERO).unwrap();
         sim.poke_bit(wr_en, Logic::One, SimTime::ZERO).unwrap();
-        sim.poke(wr_data, LogicVector::from_u64(0x11, 8), SimTime::ZERO).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(0x11, 8), SimTime::ZERO)
+            .unwrap();
         after_edge(&mut sim, 1);
         assert_eq!(sim.read_bit(empty), Logic::Zero);
         assert_eq!(sim.read_u64(rd_data), Some(0x11));
-        sim.poke(wr_data, LogicVector::from_u64(0x22, 8), SimTime::from_ns(7)).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(0x22, 8), SimTime::from_ns(7))
+            .unwrap();
         after_edge(&mut sim, 2);
         assert_eq!(sim.read_bit(full), Logic::One);
         // Stop writing, start reading.
-        sim.poke_bit(wr_en, Logic::Zero, SimTime::from_ns(17)).unwrap();
-        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(17)).unwrap();
+        sim.poke_bit(wr_en, Logic::Zero, SimTime::from_ns(17))
+            .unwrap();
+        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(17))
+            .unwrap();
         after_edge(&mut sim, 3);
         assert_eq!(sim.read_u64(rd_data), Some(0x22));
         assert_eq!(sim.read_bit(full), Logic::Zero);
@@ -565,10 +600,13 @@ mod tests {
         sim.poke_bit(rst, Logic::Zero, SimTime::ZERO).unwrap();
         sim.poke_bit(wr_en, Logic::One, SimTime::ZERO).unwrap();
         sim.poke_bit(rd_en, Logic::Zero, SimTime::ZERO).unwrap();
-        sim.poke(wr_data, LogicVector::from_u64(1, 8), SimTime::ZERO).unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(1, 8), SimTime::ZERO)
+            .unwrap();
         after_edge(&mut sim, 1); // fifo now full with 1
-        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(7)).unwrap();
-        sim.poke(wr_data, LogicVector::from_u64(2, 8), SimTime::from_ns(7)).unwrap();
+        sim.poke_bit(rd_en, Logic::One, SimTime::from_ns(7))
+            .unwrap();
+        sim.poke(wr_data, LogicVector::from_u64(2, 8), SimTime::from_ns(7))
+            .unwrap();
         after_edge(&mut sim, 2); // read 1, write 2 in the same cycle
         assert_eq!(sim.read_u64(rd_data), Some(2));
         assert_eq!(sim.read_bit(full), Logic::One);
@@ -654,7 +692,11 @@ mod tests {
         // Async input rises between edges 2 and 3.
         sim.poke_bit(d, Logic::One, SimTime::from_ns(27)).unwrap();
         after_edge(&mut sim, 3);
-        assert_eq!(sim.read_bit(q), Logic::Zero, "one clock after capture: stage1 only");
+        assert_eq!(
+            sim.read_bit(q),
+            Logic::Zero,
+            "one clock after capture: stage1 only"
+        );
         after_edge(&mut sim, 4);
         assert_eq!(sim.read_bit(q), Logic::Zero, "stage2 holds previous value");
         after_edge(&mut sim, 5);

@@ -155,7 +155,11 @@ impl CycleSim {
         }
         self.cycles += 1;
         let out = self.dut.clock_edge(inputs);
-        debug_assert_eq!(out.len(), self.outputs.len(), "dut returned wrong output count");
+        debug_assert_eq!(
+            out.len(),
+            self.outputs.len(),
+            "dut returned wrong output count"
+        );
         Ok(out)
     }
 
@@ -293,7 +297,11 @@ pub fn attach_cycle_dut(
         out_widths: out_decls.iter().map(|p| p.width).collect(),
     };
     sim.add_process(Box::new(process), &[clk]);
-    AttachedDut { inputs, outputs, clk }
+    AttachedDut {
+        inputs,
+        outputs,
+        clk,
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +358,10 @@ mod tests {
         let mut sim = CycleSim::new(Box::new(Accumulator { acc: 0 }));
         assert!(matches!(
             sim.step(&[1]),
-            Err(RtlError::PortCountMismatch { expected: 2, got: 1 })
+            Err(RtlError::PortCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             sim.step(&[256, 0]),
@@ -385,8 +396,10 @@ mod tests {
         let mut got = Vec::new();
         for (i, &(a, c)) in stimulus.iter().enumerate() {
             let t = SimTime::from_ns(10 * i as u64);
-            esim.poke(dut.inputs[0], crate::vector::LogicVector::from_u64(a, 8), t).unwrap();
-            esim.poke(dut.inputs[1], crate::vector::LogicVector::from_u64(c, 1), t).unwrap();
+            esim.poke(dut.inputs[0], crate::vector::LogicVector::from_u64(a, 8), t)
+                .unwrap();
+            esim.poke(dut.inputs[1], crate::vector::LogicVector::from_u64(c, 1), t)
+                .unwrap();
             // Edge at 10*i + 5; observe just after.
             esim.run_until(SimTime::from_ns(10 * i as u64 + 6)).unwrap();
             got.push(esim.read_u64(dut.outputs[0]).unwrap());
@@ -399,9 +412,14 @@ mod tests {
         let mut esim = Simulator::new();
         let clk = esim.add_clock("clk", SimDuration::from_ns(10));
         let dut = attach_cycle_dut(&mut esim, "acc", Box::new(Accumulator { acc: 0 }), clk);
-        esim.poke(dut.inputs[0], crate::vector::LogicVector::from_u64(1, 8), SimTime::ZERO)
+        esim.poke(
+            dut.inputs[0],
+            crate::vector::LogicVector::from_u64(1, 8),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        esim.poke_bit(dut.inputs[1], Logic::Zero, SimTime::ZERO)
             .unwrap();
-        esim.poke_bit(dut.inputs[1], Logic::Zero, SimTime::ZERO).unwrap();
         esim.run_until(SimTime::from_ns(101)).unwrap();
         let c = esim.counters();
         // 10 rising edges -> >= 10 process runs and >= 10 output events,

@@ -126,9 +126,8 @@ impl AccountingUnitRtl {
             return;
         }
         let vpi = (cell[0] << 4) | (cell[1] >> 4);
-        let vci = (u16::from(cell[1] & 0x0F) << 12)
-            | (u16::from(cell[2]) << 4)
-            | u16::from(cell[3] >> 4);
+        let vci =
+            (u16::from(cell[1] & 0x0F) << 12) | (u16::from(cell[2]) << 4) | u16::from(cell[3] >> 4);
         match self.table.get_mut(&(vpi, vci)) {
             Some(a) => {
                 a.cells = a.cells.saturating_add(1);
@@ -230,17 +229,14 @@ impl CycleDut for AccountingUnitRtl {
         }
 
         if rd_valid {
-            match self.table.get(&(inputs[10] as u8, inputs[11] as u16)) {
-                Some(a) => {
-                    self.rd_found = true;
-                    self.rd_cells = a.cells;
-                    self.rd_charge = a.charge;
-                }
-                None => {
-                    self.rd_found = false;
-                    self.rd_cells = 0;
-                    self.rd_charge = 0;
-                }
+            if let Some(a) = self.table.get(&(inputs[10] as u8, inputs[11] as u16)) {
+                self.rd_found = true;
+                self.rd_cells = a.cells;
+                self.rd_charge = a.charge;
+            } else {
+                self.rd_found = false;
+                self.rd_cells = 0;
+                self.rd_charge = 0;
             }
         }
 
@@ -392,7 +388,10 @@ mod tests {
             reference
                 .register(
                     VpiVci::uni(u16::from(vpi), vci).unwrap(),
-                    Tariff { weight: u32::from(w), fixed: u32::from(f) },
+                    Tariff {
+                        weight: u32::from(w),
+                        fixed: u32::from(f),
+                    },
                 )
                 .unwrap();
             register(&mut sim, vpi, vci, w, f);

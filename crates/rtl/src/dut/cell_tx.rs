@@ -175,7 +175,7 @@ mod tests {
         let cell = wire_cell(1, 40, 0x01);
         load_via_pins(&mut sim, &cell);
         sim.step(&[0, 0, 0, 1]).unwrap(); // arm
-        // Pulse start mid-stream.
+                                          // Pulse start mid-stream.
         let mut octets = 0;
         for i in 0..70 {
             let start = u64::from(i == 10);

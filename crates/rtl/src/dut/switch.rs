@@ -136,7 +136,8 @@ impl AtmSwitchRtl {
         {
             return false;
         }
-        self.table.insert((in_vpi, in_vci), (out_port, out_vpi, out_vci));
+        self.table
+            .insert((in_vpi, in_vci), (out_port, out_vpi, out_vci));
         true
     }
 
@@ -158,9 +159,8 @@ impl AtmSwitchRtl {
             return;
         }
         let vpi = (cell[0] << 4) | (cell[1] >> 4);
-        let vci = (u16::from(cell[1] & 0x0F) << 12)
-            | (u16::from(cell[2]) << 4)
-            | u16::from(cell[3] >> 4);
+        let vci =
+            (u16::from(cell[1] & 0x0F) << 12) | (u16::from(cell[2]) << 4) | u16::from(cell[3] >> 4);
         match self.table.get(&(vpi, vci)) {
             Some(&(out_port, out_vpi, out_vci)) => {
                 let mut out = cell;
@@ -350,7 +350,15 @@ mod tests {
         streams
     }
 
-    fn configure_route(sim: &mut CycleSim, ports: usize, in_vpi: u8, in_vci: u16, out_port: u64, out_vpi: u8, out_vci: u16) {
+    fn configure_route(
+        sim: &mut CycleSim,
+        ports: usize,
+        in_vpi: u8,
+        in_vci: u16,
+        out_port: u64,
+        out_vpi: u8,
+        out_vci: u16,
+    ) {
         let mut inp = idle_inputs(ports);
         let base = 3 * ports;
         inp[base] = 1;
@@ -383,7 +391,7 @@ mod tests {
         let mut sim = CycleSim::new(Box::new(AtmSwitchRtl::new(SwitchRtlConfig::default())));
         let cell = wire_cell(9, 90, 0);
         let streams = run_cell(&mut sim, 4, 1, &cell, 60);
-        assert!(streams.iter().all(|s| s.is_empty()));
+        assert!(streams.iter().all(std::vec::Vec::is_empty));
         let out = sim.step(&idle_inputs(4)).unwrap();
         assert_eq!(out[12], 1, "unroutable counter");
     }
@@ -398,7 +406,7 @@ mod tests {
         let mut cell = wire_cell(1, 40, 0);
         cell[4] ^= 0x55;
         let streams = run_cell(&mut sim, 4, 0, &cell, 60);
-        assert!(streams.iter().all(|s| s.is_empty()));
+        assert!(streams.iter().all(std::vec::Vec::is_empty));
     }
 
     #[test]
@@ -422,7 +430,11 @@ mod tests {
             let out = sim.step(&idle_inputs(4)).unwrap();
             valid_cycles += u32::from(out[3 + 2] == 1);
         }
-        assert_eq!(valid_cycles, 5 * CELL_OCTETS as u32, "all 5 cells egress completely");
+        assert_eq!(
+            valid_cycles,
+            5 * CELL_OCTETS as u32,
+            "all 5 cells egress completely"
+        );
         let out = sim.step(&idle_inputs(4)).unwrap();
         assert_eq!(out[13], 0, "no drops at line rate");
     }

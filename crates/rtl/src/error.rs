@@ -49,7 +49,10 @@ impl fmt::Display for RtlError {
                 write!(f, "signal expects {expected} bits, got {got}")
             }
             RtlError::DeltaRunaway { at, deltas } => {
-                write!(f, "delta cycles did not converge at {at} ({deltas} deltas; combinational loop?)")
+                write!(
+                    f,
+                    "delta cycles did not converge at {at} ({deltas} deltas; combinational loop?)"
+                )
             }
             RtlError::PortCountMismatch { expected, got } => {
                 write!(f, "dut has {expected} input ports, got {got} words")
@@ -73,9 +76,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = RtlError::WidthMismatch { expected: 8, got: 4 };
+        let e = RtlError::WidthMismatch {
+            expected: 8,
+            got: 4,
+        };
         assert_eq!(e.to_string(), "signal expects 8 bits, got 4");
-        let e = RtlError::DeltaRunaway { at: SimTime::from_ns(3), deltas: 10001 };
+        let e = RtlError::DeltaRunaway {
+            at: SimTime::from_ns(3),
+            deltas: 10001,
+        };
         assert!(e.to_string().contains("combinational loop"));
     }
 

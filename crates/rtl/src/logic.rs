@@ -160,6 +160,9 @@ impl Logic {
     }
 
     /// Logical NOT (on the stripped value; unknown stays `X`).
+    // Not the `ops::Not` trait: 1164 negation is X-propagating, not a
+    // boolean involution, and the named form matches `and`/`or` below.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Logic {
         match self.to_x01() {

@@ -77,13 +77,13 @@ impl SignalState {
         debug_assert_eq!(contribution.width(), self.width);
         self.drivers.insert(driver, contribution);
         let resolved = self.resolve();
-        if resolved != self.value {
+        if resolved == self.value {
+            false
+        } else {
             self.previous = std::mem::replace(&mut self.value, resolved);
             self.last_event = Some(at);
             self.event_count += 1;
             true
-        } else {
-            false
         }
     }
 
@@ -165,7 +165,7 @@ mod tests {
         s.drive(ProcId(0), LogicVector::from_u64(0x3, 4), t);
         assert_eq!(s.value.bit(0).to_x01(), Logic::One); // 1 resolve 1
         assert_eq!(s.value.bit(1), Logic::X); // 0 resolve 1
-        // Releasing driver 0 restores driver 1's value.
+                                              // Releasing driver 0 restores driver 1's value.
         s.drive(ProcId(0), LogicVector::high_z(4), t);
         assert_eq!(s.value.to_u64(), Some(0x5));
     }

@@ -311,11 +311,17 @@ impl Simulator {
         at: SimTime,
     ) -> Result<(), RtlError> {
         if at < self.now {
-            return Err(RtlError::SchedulingInPast { requested: at, now: self.now });
+            return Err(RtlError::SchedulingInPast {
+                requested: at,
+                now: self.now,
+            });
         }
         let width = self.signals[signal.0].width;
         if value.width() != width {
-            return Err(RtlError::WidthMismatch { expected: width, got: value.width() });
+            return Err(RtlError::WidthMismatch {
+                expected: width,
+                got: value.width(),
+            });
         }
         let seq = self.bump_seq();
         self.queue.push(Txn {
@@ -335,7 +341,12 @@ impl Simulator {
     /// # Errors
     ///
     /// See [`Simulator::poke`].
-    pub fn poke_bit(&mut self, signal: SignalId, value: Logic, at: SimTime) -> Result<(), RtlError> {
+    pub fn poke_bit(
+        &mut self,
+        signal: SignalId,
+        value: Logic,
+        at: SimTime,
+    ) -> Result<(), RtlError> {
         self.poke(signal, LogicVector::from(value), at)
     }
 
@@ -438,7 +449,10 @@ impl Simulator {
             deltas_here += 1;
             self.counters.delta_cycles += 1;
             if deltas_here > self.max_deltas {
-                return Err(RtlError::DeltaRunaway { at: t, deltas: deltas_here });
+                return Err(RtlError::DeltaRunaway {
+                    at: t,
+                    deltas: deltas_here,
+                });
             }
 
             // Apply assignments, collect events, then wake processes.
@@ -446,7 +460,11 @@ impl Simulator {
             let mut woken: HashSet<usize> = HashSet::new();
             for txn in batch {
                 match txn.action {
-                    Action::Assign { driver, signal, value } => {
+                    Action::Assign {
+                        driver,
+                        signal,
+                        value,
+                    } => {
                         self.counters.transactions += 1;
                         let had_event = self.signals[signal.0].drive(driver, value, t);
                         if had_event {
@@ -540,7 +558,11 @@ impl Simulator {
             self.queue.push(Txn {
                 time: self.now + delay,
                 seq,
-                action: Action::Assign { driver: id, signal, value },
+                action: Action::Assign {
+                    driver: id,
+                    signal,
+                    value,
+                },
             });
         }
         for delay in wakes {
@@ -717,14 +739,16 @@ mod tests {
         let d = sim.add_signal("d", 8);
         let q = sim.add_signal("q", 8);
         sim.add_process(Box::new(Dff { clk, d, q }), &[clk]);
-        sim.poke(d, LogicVector::from_u64(0x42, 8), SimTime::ZERO).unwrap();
+        sim.poke(d, LogicVector::from_u64(0x42, 8), SimTime::ZERO)
+            .unwrap();
         // First rising edge at 5 ns.
         sim.run_until(SimTime::from_ns(5)).unwrap();
         assert_eq!(sim.read_u64(q), None, "before the edge q is U");
         sim.run_until(SimTime::from_ns(6)).unwrap();
         assert_eq!(sim.read_u64(q), Some(0x42));
         // Change d between edges: q holds.
-        sim.poke(d, LogicVector::from_u64(0x99, 8), SimTime::from_ns(8)).unwrap();
+        sim.poke(d, LogicVector::from_u64(0x99, 8), SimTime::from_ns(8))
+            .unwrap();
         sim.run_until(SimTime::from_ns(14)).unwrap();
         assert_eq!(sim.read_u64(q), Some(0x42));
         sim.run_until(SimTime::from_ns(16)).unwrap();
@@ -737,7 +761,11 @@ mod tests {
         let a = sim.add_signal("a", 1);
         sim.poke_bit(a, Logic::One, SimTime::from_ns(10)).unwrap();
         sim.run_until(SimTime::from_ns(10)).unwrap();
-        assert_eq!(sim.read_bit(a), Logic::U, "event at the horizon must stay pending");
+        assert_eq!(
+            sim.read_bit(a),
+            Logic::U,
+            "event at the horizon must stay pending"
+        );
         sim.run_until(SimTime::from_ns(11)).unwrap();
         assert_eq!(sim.read_bit(a), Logic::One);
     }
@@ -770,7 +798,9 @@ mod tests {
         let a = sim.add_signal("a", 1);
         sim.poke_bit(a, Logic::One, SimTime::from_ns(5)).unwrap();
         sim.step_time().unwrap();
-        let err = sim.poke_bit(a, Logic::Zero, SimTime::from_ns(1)).unwrap_err();
+        let err = sim
+            .poke_bit(a, Logic::Zero, SimTime::from_ns(1))
+            .unwrap_err();
         assert!(matches!(err, RtlError::SchedulingInPast { .. }));
     }
 
@@ -781,7 +811,13 @@ mod tests {
         let err = sim
             .poke(a, LogicVector::from_u64(1, 2), SimTime::ZERO)
             .unwrap_err();
-        assert!(matches!(err, RtlError::WidthMismatch { expected: 4, got: 2 }));
+        assert!(matches!(
+            err,
+            RtlError::WidthMismatch {
+                expected: 4,
+                got: 2
+            }
+        ));
     }
 
     #[test]
@@ -867,15 +903,31 @@ mod tests {
         let sel_a = sim.add_signal("sel_a", 1);
         let sel_b = sim.add_signal("sel_b", 1);
         let bus = sim.add_signal("bus", 8);
-        sim.add_process(Box::new(BusDriver { sel: sel_a, bus, value: 0x11 }), &[sel_a]);
-        sim.add_process(Box::new(BusDriver { sel: sel_b, bus, value: 0x22 }), &[sel_b]);
+        sim.add_process(
+            Box::new(BusDriver {
+                sel: sel_a,
+                bus,
+                value: 0x11,
+            }),
+            &[sel_a],
+        );
+        sim.add_process(
+            Box::new(BusDriver {
+                sel: sel_b,
+                bus,
+                value: 0x22,
+            }),
+            &[sel_b],
+        );
         sim.poke_bit(sel_a, Logic::One, SimTime::ZERO).unwrap();
         sim.poke_bit(sel_b, Logic::Zero, SimTime::ZERO).unwrap();
         sim.step_time().unwrap();
         assert_eq!(sim.read_u64(bus), Some(0x11));
         // Swap ownership.
-        sim.poke_bit(sel_a, Logic::Zero, SimTime::from_ns(5)).unwrap();
-        sim.poke_bit(sel_b, Logic::One, SimTime::from_ns(5)).unwrap();
+        sim.poke_bit(sel_a, Logic::Zero, SimTime::from_ns(5))
+            .unwrap();
+        sim.poke_bit(sel_b, Logic::One, SimTime::from_ns(5))
+            .unwrap();
         sim.step_time().unwrap();
         assert_eq!(sim.read_u64(bus), Some(0x22));
     }

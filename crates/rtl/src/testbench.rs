@@ -135,10 +135,13 @@ impl std::fmt::Debug for CellStreamMonitor {
     }
 }
 
+/// A captured cell: arrival time plus the 53 raw octets.
+type CapturedCell = (SimTime, [u8; CELL_OCTETS]);
+
 /// Shared view onto the cells a [`CellStreamMonitor`] captured.
 #[derive(Debug, Clone, Default)]
 pub struct MonitorHandle {
-    cells: Arc<Mutex<Vec<(SimTime, [u8; CELL_OCTETS])>>>,
+    cells: Arc<Mutex<Vec<CapturedCell>>>,
 }
 
 impl MonitorHandle {
@@ -315,7 +318,11 @@ impl CellStreamScoreboard {
         // synthesizable checker computes each clock.
         let mut crc = crc ^ byte;
         for _ in 0..8 {
-            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
         }
         crc
     }
@@ -514,19 +521,20 @@ mod tests {
 
         let stimuli = vec![
             vec![
-                ScheduledCell { slot: 0, bytes: wire_cell(1, 40, 0xAA) },
-                ScheduledCell { slot: 2, bytes: wire_cell(1, 41, 0xBB) },
+                ScheduledCell {
+                    slot: 0,
+                    bytes: wire_cell(1, 40, 0xAA),
+                },
+                ScheduledCell {
+                    slot: 2,
+                    bytes: wire_cell(1, 41, 0xBB),
+                },
             ],
             vec![],
             vec![],
             vec![],
         ];
-        let mut tb = RegressionTestbench::new(
-            Box::new(dut),
-            4,
-            SimDuration::from_ns(20),
-            stimuli,
-        );
+        let mut tb = RegressionTestbench::new(Box::new(dut), 4, SimDuration::from_ns(20), stimuli);
         tb.run_clocks(53 * 6).unwrap();
 
         let out2 = tb.monitor(2).take();
@@ -566,7 +574,10 @@ mod tests {
                 vec![inputs[0], inputs[1], inputs[2]]
             }
         }
-        let stimuli = vec![vec![ScheduledCell { slot: 3, bytes: wire_cell(1, 40, 1) }]];
+        let stimuli = vec![vec![ScheduledCell {
+            slot: 3,
+            bytes: wire_cell(1, 40, 1),
+        }]];
         let mut tb =
             RegressionTestbench::new(Box::new(Passthrough), 1, SimDuration::from_ns(20), stimuli);
         tb.run_clocks(53 * 5).unwrap();
@@ -582,8 +593,14 @@ mod tests {
     #[should_panic(expected = "strictly slot-ordered")]
     fn unsorted_stimulus_rejected() {
         let cells = vec![
-            ScheduledCell { slot: 2, bytes: [0; CELL_OCTETS] },
-            ScheduledCell { slot: 1, bytes: [0; CELL_OCTETS] },
+            ScheduledCell {
+                slot: 2,
+                bytes: [0; CELL_OCTETS],
+            },
+            ScheduledCell {
+                slot: 1,
+                bytes: [0; CELL_OCTETS],
+            },
         ];
         let mut sim = Simulator::new();
         let clk = sim.add_signal("clk", 1);

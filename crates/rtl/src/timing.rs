@@ -47,7 +47,10 @@ impl TimingReport {
     /// Panics if the lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("timing report lock poisoned").len()
+        self.inner
+            .lock()
+            .expect("timing report lock poisoned")
+            .len()
     }
 
     /// `true` when no violation was recorded.
@@ -63,11 +66,17 @@ impl TimingReport {
     /// Panics if the lock is poisoned.
     #[must_use]
     pub fn violations(&self) -> Vec<TimingViolation> {
-        self.inner.lock().expect("timing report lock poisoned").clone()
+        self.inner
+            .lock()
+            .expect("timing report lock poisoned")
+            .clone()
     }
 
     fn push(&self, v: TimingViolation) {
-        self.inner.lock().expect("timing report lock poisoned").push(v);
+        self.inner
+            .lock()
+            .expect("timing report lock poisoned")
+            .push(v);
     }
 }
 
@@ -175,10 +184,7 @@ mod tests {
 
     const PERIOD: SimDuration = SimDuration::from_ns(10);
 
-    fn fixture(
-        setup_ns: u64,
-        hold_ns: u64,
-    ) -> (Simulator, SignalId, TimingReport) {
+    fn fixture(setup_ns: u64, hold_ns: u64) -> (Simulator, SignalId, TimingReport) {
         let mut sim = Simulator::new();
         let clk = sim.add_clock("clk", PERIOD);
         let d = sim.add_signal("d", 8);
@@ -197,8 +203,10 @@ mod tests {
         let (mut sim, d, report) = fixture(2, 1);
         // Edges at 5, 15, 25 ns; change at 10 ns is 5 ns before the 15 ns
         // edge and 5 ns after the 5 ns edge: both margins met.
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(10)).unwrap();
-        sim.poke(d, LogicVector::from_u64(2, 8), SimTime::from_ns(20)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(10))
+            .unwrap();
+        sim.poke(d, LogicVector::from_u64(2, 8), SimTime::from_ns(20))
+            .unwrap();
         sim.run_until(SimTime::from_ns(40)).unwrap();
         assert!(report.is_empty(), "{:?}", report.violations());
     }
@@ -207,7 +215,8 @@ mod tests {
     fn setup_violation_detected() {
         let (mut sim, d, report) = fixture(3, 1);
         // Edge at 15 ns; change at 13 ns: 2 ns < 3 ns setup.
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(13)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(13))
+            .unwrap();
         sim.run_until(SimTime::from_ns(30)).unwrap();
         let v = report.violations();
         assert_eq!(v.len(), 1);
@@ -220,7 +229,8 @@ mod tests {
     fn hold_violation_detected() {
         let (mut sim, d, report) = fixture(1, 3);
         // Edge at 5 ns; change at 7 ns: 2 ns < 3 ns hold.
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(7)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(7))
+            .unwrap();
         sim.run_until(SimTime::from_ns(20)).unwrap();
         let v = report.violations();
         assert_eq!(v.len(), 1);
@@ -232,11 +242,13 @@ mod tests {
     #[test]
     fn simultaneous_change_and_edge_is_a_setup_violation() {
         let (mut sim, d, report) = fixture(2, 1);
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(15)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(15))
+            .unwrap();
         sim.run_until(SimTime::from_ns(30)).unwrap();
         let v = report.violations();
         assert!(
-            v.iter().any(|x| x.kind == ViolationKind::Setup && x.edge_at == SimTime::from_ns(15)),
+            v.iter()
+                .any(|x| x.kind == ViolationKind::Setup && x.edge_at == SimTime::from_ns(15)),
             "{v:?}"
         );
     }
@@ -245,9 +257,11 @@ mod tests {
     fn exact_margins_are_legal() {
         let (mut sim, d, report) = fixture(2, 2);
         // Change exactly setup-time before the 15 ns edge.
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(13)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(13))
+            .unwrap();
         // Change exactly hold-time after the 25 ns edge.
-        sim.poke(d, LogicVector::from_u64(2, 8), SimTime::from_ns(27)).unwrap();
+        sim.poke(d, LogicVector::from_u64(2, 8), SimTime::from_ns(27))
+            .unwrap();
         sim.run_until(SimTime::from_ns(40)).unwrap();
         assert!(report.is_empty(), "{:?}", report.violations());
     }
@@ -255,13 +269,17 @@ mod tests {
     #[test]
     fn redundant_pokes_without_value_change_are_not_events() {
         let (mut sim, d, report) = fixture(5, 5);
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(2)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(2))
+            .unwrap();
         // Same value re-poked near the edge: no signal event, no violation.
-        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(14)).unwrap();
+        sim.poke(d, LogicVector::from_u64(1, 8), SimTime::from_ns(14))
+            .unwrap();
         sim.run_until(SimTime::from_ns(30)).unwrap();
         let v = report.violations();
         assert_eq!(
-            v.iter().filter(|x| x.data_at == SimTime::from_ns(14)).count(),
+            v.iter()
+                .filter(|x| x.data_at == SimTime::from_ns(14))
+                .count(),
             0,
             "{v:?}"
         );
@@ -275,7 +293,8 @@ mod tests {
         for k in 0..20u64 {
             // Pokes at edge - 2.5 ns (quarter period), edges at 5+10k.
             let poke = SimTime::from_picos((5 + 10 * k) * 1000 - 2_500);
-            sim.poke(d, LogicVector::from_u64(k % 256, 8), poke).unwrap();
+            sim.poke(d, LogicVector::from_u64(k % 256, 8), poke)
+                .unwrap();
         }
         sim.run_until(SimTime::from_ns(250)).unwrap();
         assert!(report.is_empty(), "{:?}", report.violations());

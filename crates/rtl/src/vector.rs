@@ -65,7 +65,10 @@ impl LogicVector {
     /// Panics if `width` is zero, exceeds 64, or `value` does not fit.
     #[must_use]
     pub fn from_u64(value: u64, width: usize) -> Self {
-        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be 1..=64, got {width}"
+        );
         assert!(
             width == 64 || value < (1u64 << width),
             "value {value:#x} does not fit in {width} bits"
@@ -85,7 +88,9 @@ impl LogicVector {
     #[must_use]
     pub fn from_bits(bits: &[Logic]) -> Self {
         assert!(!bits.is_empty(), "logic vector width must be non-zero");
-        LogicVector { bits: bits.to_vec() }
+        LogicVector {
+            bits: bits.to_vec(),
+        }
     }
 
     /// Width in bits.

@@ -147,7 +147,11 @@ impl TestBoard {
         }
         let (min, max) = self.duration_window();
         if duration < min || duration > max {
-            return Err(BoardError::DurationOutOfRange { requested: duration, min, max });
+            return Err(BoardError::DurationOutOfRange {
+                requested: duration,
+                min,
+                max,
+            });
         }
         self.response.clear();
         let mut driven: PinFrame = [0; LANES];
@@ -271,7 +275,10 @@ mod tests {
         let mut board = TestBoard::new();
         assert_eq!(board.load_stimulus(vec![]), Err(BoardError::NotConfigured));
         let (_, mut dut, _) = configured_board();
-        assert_eq!(board.run_hw_cycle(&mut dut, 1), Err(BoardError::NotConfigured));
+        assert_eq!(
+            board.run_hw_cycle(&mut dut, 1),
+            Err(BoardError::NotConfigured)
+        );
     }
 
     #[test]
@@ -282,7 +289,9 @@ mod tests {
             .configure(dut.map().clone(), lanes, MAX_CLOCK_HZ + 1)
             .unwrap_err();
         assert!(matches!(err, BoardError::ClockTooFast { .. }));
-        assert!(board.configure(dut.map().clone(), lanes, MAX_CLOCK_HZ).is_ok());
+        assert!(board
+            .configure(dut.map().clone(), lanes, MAX_CLOCK_HZ)
+            .is_ok());
     }
 
     #[test]
@@ -333,7 +342,9 @@ mod tests {
         board.run_hw_cycle(&mut dut, 4).unwrap();
         let resp = board.response();
         // Lane updates at ticks 0 and 2 only: values 1,1,3,3 -> +1.
-        let got: Vec<u64> = (0..4).map(|i| map.decode_outport(0, &resp[i]).unwrap()).collect();
+        let got: Vec<u64> = (0..4)
+            .map(|i| map.decode_outport(0, &resp[i]).unwrap())
+            .collect();
         assert_eq!(got, vec![2, 2, 4, 4]);
     }
 

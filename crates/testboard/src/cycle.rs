@@ -17,9 +17,9 @@
 use crate::board::TestBoard;
 use crate::dut::HardwareDut;
 use crate::error::BoardError;
+use crate::lane::LANES;
 use crate::pinmap::PinFrame;
 use crate::scsi::{ScsiBus, ScsiStats};
-use crate::lane::LANES;
 use std::time::Duration;
 
 /// Phases of one test cycle.
@@ -191,7 +191,10 @@ mod tests {
         let mut session = TestSession::new(&mut board, &mut dut, ScsiBus::default());
         let resp = session.run_cycle(stim(&map, &[1, 2, 3])).unwrap();
         assert_eq!(resp.len(), 3);
-        let got: Vec<u64> = resp.iter().map(|f| map.decode_outport(0, f).unwrap()).collect();
+        let got: Vec<u64> = resp
+            .iter()
+            .map(|f| map.decode_outport(0, f).unwrap())
+            .collect();
         assert_eq!(got, vec![1, 2, 3]);
         let s = session.stats();
         assert_eq!(s.cycles, 1);
@@ -221,7 +224,10 @@ mod tests {
             session.run_cycle(stim(&map, &vec![7; len])).unwrap();
             eff.push(session.stats().efficiency());
         }
-        assert!(eff[0] < eff[1] && eff[1] < eff[2], "efficiency must grow: {eff:?}");
+        assert!(
+            eff[0] < eff[1] && eff[1] < eff[2],
+            "efficiency must grow: {eff:?}"
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //!   hardware at the targeted speed" (§3.3), the paper's motivation for
 //!   real-time verification.
 
-use crate::pinmap::{PinFrame, PinMapConfig};
 use crate::lane::LANES;
+use crate::pinmap::{PinFrame, PinMapConfig};
 use castanet_rtl::cycle::CycleDut;
 
 /// A pin-level hardware model: the simulated prototype chip.
@@ -228,7 +228,10 @@ impl PortSubsetDut {
         let n_in = inner.input_ports().len();
         let n_out = inner.output_ports().len();
         assert!(keep_in.iter().all(|&i| i < n_in), "kept input out of range");
-        assert!(keep_out.iter().all(|&o| o < n_out), "kept output out of range");
+        assert!(
+            keep_out.iter().all(|&o| o < n_out),
+            "kept output out of range"
+        );
         let tied = vec![0u64; n_in];
         PortSubsetDut {
             inner,
@@ -394,7 +397,10 @@ mod tests {
         let (mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(IncChip));
         for p in &mapped.map().outports {
             for seg in &p.segments {
-                assert_eq!(lanes[seg.lane].direction, crate::lane::LaneDirection::Sample);
+                assert_eq!(
+                    lanes[seg.lane].direction,
+                    crate::lane::LaneDirection::Sample
+                );
             }
         }
         for p in &mapped.map().inports {

@@ -74,6 +74,13 @@ pub enum BoardError {
         /// Declared width.
         width: usize,
     },
+    /// Two mappings of the same class share a port number.
+    DuplicatePort {
+        /// Port class ("inport", "outport" or "ctrlport").
+        kind: &'static str,
+        /// The doubly-used port number.
+        port: usize,
+    },
     /// The board has not been configured yet.
     NotConfigured,
 }
@@ -84,7 +91,11 @@ impl fmt::Display for BoardError {
             BoardError::LaneOutOfRange { lane } => {
                 write!(f, "byte lane {lane} out of range (board has 16 lanes)")
             }
-            BoardError::SegmentOutOfLane { lane, start_bit, bits } => write!(
+            BoardError::SegmentOutOfLane {
+                lane,
+                start_bit,
+                bits,
+            } => write!(
                 f,
                 "segment of {bits} bits at start bit {start_bit} exceeds byte lane {lane}"
             ),
@@ -95,21 +106,40 @@ impl fmt::Display for BoardError {
                 write!(f, "pin {bit} of lane {lane} is assigned twice")
             }
             BoardError::DirectionConflict { lane } => {
-                write!(f, "mapping direction disagrees with lane {lane} configuration")
+                write!(
+                    f,
+                    "mapping direction disagrees with lane {lane} configuration"
+                )
             }
-            BoardError::DurationOutOfRange { requested, min, max } => write!(
+            BoardError::DurationOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "test cycle of {requested} clocks outside supported window [{min}, {max}]"
             ),
-            BoardError::ClockTooFast { requested_hz, max_hz } => {
-                write!(f, "board clock {requested_hz} Hz exceeds maximum {max_hz} Hz")
+            BoardError::ClockTooFast {
+                requested_hz,
+                max_hz,
+            } => {
+                write!(
+                    f,
+                    "board clock {requested_hz} Hz exceeds maximum {max_hz} Hz"
+                )
             }
             BoardError::MemoryOverflow { offered, capacity } => {
-                write!(f, "{offered} stimulus words exceed memory capacity {capacity}")
+                write!(
+                    f,
+                    "{offered} stimulus words exceed memory capacity {capacity}"
+                )
             }
             BoardError::UnknownPort { port } => write!(f, "port {port} is not mapped"),
             BoardError::ValueTooWide { port, width } => {
                 write!(f, "value does not fit port {port} of width {width}")
+            }
+            BoardError::DuplicatePort { kind, port } => {
+                write!(f, "{kind} number {port} is mapped twice")
             }
             BoardError::NotConfigured => write!(f, "board is not configured"),
         }
@@ -132,7 +162,9 @@ mod tests {
             BoardError::PinConflict { lane: 3, bit: 5 }.to_string(),
             "pin 5 of lane 3 is assigned twice"
         );
-        assert!(BoardError::NotConfigured.to_string().contains("not configured"));
+        assert!(BoardError::NotConfigured
+            .to_string()
+            .contains("not configured"));
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl LaneConfig {
     /// `true` when the lane is active at board clock `tick`.
     #[must_use]
     pub fn active_at(&self, tick: u64) -> bool {
-        tick % u64::from(self.gating) == 0
+        tick.is_multiple_of(u64::from(self.gating))
     }
 }
 

@@ -11,8 +11,8 @@
 //! substitution).
 
 use crate::error::BoardError;
-use crate::pinmap::PinFrame;
 use crate::lane::LANES;
+use crate::pinmap::PinFrame;
 
 /// Default memory depth: supports test cycles up to 2^20 board clocks.
 pub const DEFAULT_DEPTH: usize = 1 << 20;
@@ -134,7 +134,13 @@ mod tests {
     fn capacity_enforced_on_load() {
         let mut m = VectorMemory::new(2);
         let err = m.load(vec![[0; LANES]; 3]).unwrap_err();
-        assert_eq!(err, BoardError::MemoryOverflow { offered: 3, capacity: 2 });
+        assert_eq!(
+            err,
+            BoardError::MemoryOverflow {
+                offered: 3,
+                capacity: 2
+            }
+        );
     }
 
     #[test]

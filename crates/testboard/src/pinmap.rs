@@ -17,7 +17,7 @@
 
 use crate::error::BoardError;
 use crate::lane::{check_lane, LaneConfig, LaneDirection, LANES, LANE_BITS};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One contiguous run of pins on a byte lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,11 @@ impl PinSegment {
     /// Creates a segment.
     #[must_use]
     pub fn new(lane: usize, start_bit: usize, bits: usize) -> Self {
-        PinSegment { lane, start_bit, bits }
+        PinSegment {
+            lane,
+            start_bit,
+            bits,
+        }
     }
 
     /// Validates lane index and bit range.
@@ -123,20 +127,39 @@ pub struct PinMapConfig {
     pub ctrlports: Vec<CtrlportMapping>,
 }
 
+fn check_unique_numbers(
+    kind: &'static str,
+    numbers: impl Iterator<Item = usize>,
+) -> Result<(), BoardError> {
+    let mut seen = HashSet::new();
+    for n in numbers {
+        if !seen.insert(n) {
+            return Err(BoardError::DuplicatePort { kind, port: n });
+        }
+    }
+    Ok(())
+}
+
 fn check_port(
     width: usize,
     segments: &[PinSegment],
-    claimed: &mut HashMap<(usize, usize), ()>,
+    claimed: &mut HashSet<(usize, usize)>,
 ) -> Result<(), BoardError> {
     let mapped: usize = segments.iter().map(|s| s.bits).sum();
     if mapped != width || width == 0 || width > 64 {
-        return Err(BoardError::WidthMismatch { declared: width, mapped });
+        return Err(BoardError::WidthMismatch {
+            declared: width,
+            mapped,
+        });
     }
     for seg in segments {
         seg.validate()?;
         for bit in seg.positions() {
-            if claimed.insert((seg.lane, bit), ()).is_some() {
-                return Err(BoardError::PinConflict { lane: seg.lane, bit });
+            if !claimed.insert((seg.lane, bit)) {
+                return Err(BoardError::PinConflict {
+                    lane: seg.lane,
+                    bit,
+                });
             }
         }
     }
@@ -152,7 +175,10 @@ impl PinMapConfig {
     ///
     /// Returns the first violation found.
     pub fn validate(&self, lanes: &[LaneConfig; LANES]) -> Result<(), BoardError> {
-        let mut claimed = HashMap::new();
+        check_unique_numbers("inport", self.inports.iter().map(|p| p.number))?;
+        check_unique_numbers("outport", self.outports.iter().map(|p| p.number))?;
+        check_unique_numbers("ctrlport", self.ctrlports.iter().map(|p| p.number))?;
+        let mut claimed = HashSet::new();
         for p in &self.inports {
             check_port(p.width, &p.segments, &mut claimed)?;
             for seg in &p.segments {
@@ -172,7 +198,10 @@ impl PinMapConfig {
         for p in &self.ctrlports {
             check_port(p.width, &p.segments, &mut claimed)?;
             if p.write_value >= (1u64 << p.width) {
-                return Err(BoardError::ValueTooWide { port: p.number, width: p.width });
+                return Err(BoardError::ValueTooWide {
+                    port: p.number,
+                    width: p.width,
+                });
             }
             for seg in &p.segments {
                 if lanes[seg.lane].direction != LaneDirection::Sample {
@@ -189,6 +218,37 @@ impl PinMapConfig {
                 .ok_or(BoardError::UnknownPort { port: io.ctrlport })?;
         }
         Ok(())
+    }
+
+    /// Every pin position `(lane, bit)` claimed by more than one segment
+    /// across the whole data set, in lane/bit order — the exhaustive form of
+    /// the [`BoardError::PinConflict`] check, reporting *all* overlaps
+    /// instead of failing on the first. Out-of-range segments are skipped
+    /// here ([`PinSegment::validate`] covers them).
+    #[must_use]
+    pub fn pin_conflicts(&self) -> Vec<(usize, usize)> {
+        let mut claims: HashMap<(usize, usize), usize> = HashMap::new();
+        let all_segments = self
+            .inports
+            .iter()
+            .flat_map(|p| p.segments.iter())
+            .chain(self.outports.iter().flat_map(|p| p.segments.iter()))
+            .chain(self.ctrlports.iter().flat_map(|p| p.segments.iter()));
+        for seg in all_segments {
+            if seg.validate().is_err() {
+                continue;
+            }
+            for bit in seg.positions() {
+                *claims.entry((seg.lane, bit)).or_insert(0) += 1;
+            }
+        }
+        let mut conflicts: Vec<(usize, usize)> = claims
+            .into_iter()
+            .filter(|&(_, n)| n > 1)
+            .map(|(pin, _)| pin)
+            .collect();
+        conflicts.sort_unstable();
+        conflicts
     }
 
     /// Finds an inport by number.
@@ -220,9 +280,14 @@ impl PinMapConfig {
         value: u64,
         frame: &mut PinFrame,
     ) -> Result<(), BoardError> {
-        let port = self.inport(number).ok_or(BoardError::UnknownPort { port: number })?;
+        let port = self
+            .inport(number)
+            .ok_or(BoardError::UnknownPort { port: number })?;
         if port.width < 64 && value >= (1u64 << port.width) {
-            return Err(BoardError::ValueTooWide { port: number, width: port.width });
+            return Err(BoardError::ValueTooWide {
+                port: number,
+                width: port.width,
+            });
         }
         encode_segments(&port.segments, port.width, value, frame);
         Ok(())
@@ -234,7 +299,9 @@ impl PinMapConfig {
     ///
     /// Returns [`BoardError::UnknownPort`].
     pub fn decode_outport(&self, number: usize, frame: &PinFrame) -> Result<u64, BoardError> {
-        let port = self.outport(number).ok_or(BoardError::UnknownPort { port: number })?;
+        let port = self
+            .outport(number)
+            .ok_or(BoardError::UnknownPort { port: number })?;
         Ok(decode_segments(&port.segments, frame))
     }
 
@@ -244,7 +311,9 @@ impl PinMapConfig {
     ///
     /// Returns [`BoardError::UnknownPort`].
     pub fn decode_ctrlport(&self, number: usize, frame: &PinFrame) -> Result<u64, BoardError> {
-        let port = self.ctrlport(number).ok_or(BoardError::UnknownPort { port: number })?;
+        let port = self
+            .ctrlport(number)
+            .ok_or(BoardError::UnknownPort { port: number })?;
         Ok(decode_segments(&port.segments, frame))
     }
 
@@ -290,7 +359,11 @@ impl PinMapConfig {
                 InportMapping {
                     number: 3,
                     width: 12,
-                    segments: vec![PinSegment::new(0, 7, 8), PinSegment::new(2, 1, 2), PinSegment::new(4, 7, 2)],
+                    segments: vec![
+                        PinSegment::new(0, 7, 8),
+                        PinSegment::new(2, 1, 2),
+                        PinSegment::new(4, 7, 2),
+                    ],
                 },
             ],
             outports: vec![
@@ -450,7 +523,10 @@ mod tests {
         cfg.inports[0].width = 7; // segments still sum to 6
         assert!(matches!(
             cfg.validate(&lanes),
-            Err(BoardError::WidthMismatch { declared: 7, mapped: 6 })
+            Err(BoardError::WidthMismatch {
+                declared: 7,
+                mapped: 6
+            })
         ));
     }
 
@@ -523,5 +599,47 @@ mod tests {
             let segs = &cfg.inports[0].segments;
             assert_eq!(decode_segments(segs, &frame), value, "value {value:#x}");
         }
+    }
+    #[test]
+    fn duplicate_port_numbers_are_rejected() {
+        let (mut cfg, lanes) = PinMapConfig::fig5_example();
+        cfg.inports.push(InportMapping {
+            number: 1, // already taken by the first fig. 5 inport
+            width: 2,
+            segments: vec![PinSegment::new(5, 7, 2)],
+        });
+        match cfg.validate(&lanes) {
+            Err(BoardError::DuplicatePort {
+                kind: "inport",
+                port: 1,
+            }) => {}
+            other => panic!("expected a duplicate-port rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pin_conflicts_reports_every_overlap() {
+        let (cfg, _) = PinMapConfig::fig5_example();
+        assert!(cfg.pin_conflicts().is_empty());
+
+        let mut cfg = cfg;
+        // Re-claim lane 1 bits 7..=4 (inport 2 owns all of lane 1).
+        cfg.inports.push(InportMapping {
+            number: 9,
+            width: 4,
+            segments: vec![PinSegment::new(1, 7, 4)],
+        });
+        assert_eq!(cfg.pin_conflicts(), vec![(1, 4), (1, 5), (1, 6), (1, 7)]);
+    }
+
+    #[test]
+    fn pin_conflicts_skips_invalid_segments() {
+        let mut cfg = PinMapConfig::default();
+        cfg.inports.push(InportMapping {
+            number: 0,
+            width: 1,
+            segments: vec![PinSegment::new(99, 7, 1)], // out of range
+        });
+        assert!(cfg.pin_conflicts().is_empty());
     }
 }

@@ -16,10 +16,10 @@ use coverify::scenarios::{accounting_cosim, AccountingScenarioConfig};
 fn main() {
     let config = AccountingScenarioConfig {
         connections: vec![
-            (VpiVci::uni(1, 40).expect("static id"), 2, 50),   // volume + interval
-            (VpiVci::uni(1, 41).expect("static id"), 1, 10),   // cheap
-            (VpiVci::uni(2, 50).expect("static id"), 0, 100),  // flat rate
-            (VpiVci::uni(3, 60).expect("static id"), 5, 0),    // pure volume
+            (VpiVci::uni(1, 40).expect("static id"), 2, 50), // volume + interval
+            (VpiVci::uni(1, 41).expect("static id"), 1, 10), // cheap
+            (VpiVci::uni(2, 50).expect("static id"), 0, 100), // flat rate
+            (VpiVci::uni(3, 60).expect("static id"), 5, 0),  // pure volume
         ],
         cells_per_conn: 100,
         cell_gap: SimDuration::from_us(10),
@@ -34,7 +34,10 @@ fn main() {
 
     let mut scenario = accounting_cosim(config);
     let horizon = scenario.horizon();
-    let stats = scenario.coupling.run(horizon).expect("co-simulation failed");
+    let stats = scenario
+        .coupling
+        .run(horizon)
+        .expect("co-simulation failed");
     println!(
         "stream complete: {} cells through the DUT, {} tariff ticks\n",
         stats.messages_to_follower,
@@ -42,15 +45,20 @@ fn main() {
     );
 
     let reference = scenario.reference();
-    println!("{:<18} {:>10} {:>12} {:>12} {:>8}", "connection", "cells", "charge(RTL)", "charge(ref)", "verdict");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>8}",
+        "connection", "cells", "charge(RTL)", "charge(ref)", "verdict"
+    );
     let mut all_ok = true;
     let conns: Vec<VpiVci> = scenario.config.connections.iter().map(|c| c.0).collect();
     for conn in conns {
         let (cells, charge) = scenario
             .read_rtl_record(conn)
             .expect("connection registered in the DUT");
-        let rec = reference.record(conn).expect("connection registered in the reference");
-        let ok = u64::from(cells) == rec.cells && charge == rec.charge;
+        let rec = reference
+            .record(conn)
+            .expect("connection registered in the reference");
+        let ok = cells == rec.cells && charge == rec.charge;
         all_ok &= ok;
         println!(
             "{:<18} {:>10} {:>12} {:>12} {:>8}",

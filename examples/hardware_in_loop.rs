@@ -39,7 +39,11 @@ fn part1_functional_chip_verification() {
     let responses = cosim
         .advance_until(SimTime::from_ms(1))
         .expect("board session failed");
-    println!("  {} cells in, {} cells back (translated to VPI=7/VCI=70)", 8, responses.len());
+    println!(
+        "  {} cells in, {} cells back (translated to VPI=7/VCI=70)",
+        8,
+        responses.len()
+    );
     let s = cosim.session_stats();
     println!(
         "  test cycles: {} | hw time {:?} | sw (SCSI) time {:?} | efficiency {:.1}%",
@@ -49,7 +53,13 @@ fn part1_functional_chip_verification() {
         s.efficiency() * 100.0
     );
     for r in responses.iter().take(2) {
-        println!("  response: {} at {}", r.as_cell().map(|c| c.to_string()).unwrap_or_default(), r.stamp);
+        println!(
+            "  response: {} at {}",
+            r.as_cell()
+                .map(std::string::ToString::to_string)
+                .unwrap_or_default(),
+            r.stamp
+        );
     }
     println!();
 }
@@ -67,13 +77,18 @@ fn part2_timing_fault_detection() {
         PortSubsetDut::new(Box::new(switch), (0..6).collect(), (0..6).collect())
     };
 
-    for &(clock_hz, label) in &[(10_000_000u64, "within spec (10 MHz)"), (20_000_000, "overclocked (20 MHz)")] {
+    for &(clock_hz, label) in &[
+        (10_000_000u64, "within spec (10 MHz)"),
+        (20_000_000, "overclocked (20 MHz)"),
+    ] {
         let (mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(build_chip()));
         let map = mapped.map().clone();
         let mut chip = TimingFaultDut::new(mapped, 10_000_000);
         chip.set_board_clock_hz(clock_hz);
         let mut board = TestBoard::with_memory_depth(1 << 14);
-        board.configure(map.clone(), lanes, clock_hz).expect("board config");
+        board
+            .configure(map.clone(), lanes, clock_hz)
+            .expect("board config");
 
         // Build 4 cells of stimulus byte-serially on line 0.
         let mut frames = Vec::new();
@@ -83,7 +98,8 @@ fn part2_timing_fault_detection() {
             for (i, &b) in wire.iter().enumerate() {
                 let mut f = [0u8; 16];
                 map.encode_inport(0, u64::from(b), &mut f).expect("map");
-                map.encode_inport(1, u64::from(i == 0), &mut f).expect("map");
+                map.encode_inport(1, u64::from(i == 0), &mut f)
+                    .expect("map");
                 map.encode_inport(2, 1, &mut f).expect("map");
                 frames.push(f);
             }

@@ -40,6 +40,9 @@ fn main() {
 
     let report = compare_switch_output(&scenario.config, &scenario.collectors);
     println!("{report}");
-    assert!(report.passed(), "DUT responses must match the reference model");
+    assert!(
+        report.passed(),
+        "DUT responses must match the reference model"
+    );
     println!("PASS: every cell came back translated and in order.");
 }

@@ -39,7 +39,10 @@ fn main() {
     let report = compare_switch_output(&scenario.config, &scenario.collectors);
     assert!(report.passed(), "co-simulation mismatch:\n{report}");
     println!("CASTANET co-simulation:");
-    println!("  {} cells verified, {} network events", stats.responses, stats.net_events);
+    println!(
+        "  {} cells verified, {} network events",
+        stats.responses, stats.net_events
+    );
     println!(
         "  {} DUT clocks in {:.3} s -> {:.0} clock cycles/s",
         cosim_clocks,
@@ -92,6 +95,9 @@ fn main() {
     let rtl_rate = clocks as f64 / rtl_wall.as_secs_f64();
     let cy_rate = cy_clocks as f64 / cy_wall.as_secs_f64();
     println!("\nspeedups over the pure-RTL regression bench:");
-    println!("  event-driven co-simulation : {:.1}x (paper: ~4.3x)", cosim_rate / rtl_rate);
+    println!(
+        "  event-driven co-simulation : {:.1}x (paper: ~4.3x)",
+        cosim_rate / rtl_rate
+    );
     println!("  + cycle-based integration  : {:.1}x", cy_rate / rtl_rate);
 }

@@ -46,9 +46,12 @@ fn part1_noise_and_hec() {
         let rx_m = k.add_module(n, "rx", Box::new(rx));
         let (collector, got) = CollectorProcess::new();
         let sink = k.add_module(n, "sink", Box::new(collector));
-        k.connect_stream(src, PortId(0), line_m, PortId(0)).expect("wire");
-        k.connect_stream(line_m, PortId(0), rx_m, PortId(0)).expect("wire");
-        k.connect_stream(rx_m, PortId(0), sink, PortId(0)).expect("wire");
+        k.connect_stream(src, PortId(0), line_m, PortId(0))
+            .expect("wire");
+        k.connect_stream(line_m, PortId(0), rx_m, PortId(0))
+            .expect("wire");
+        k.connect_stream(rx_m, PortId(0), sink, PortId(0))
+            .expect("wire");
         k.run().expect("run");
         let ns = noise.snapshot();
         let rs = rx_stats.snapshot();
@@ -69,7 +72,8 @@ fn part2_oam_loopback() {
     let (collector, got) = CollectorProcess::new();
     let node = k.add_node("mgmt");
     let sink = k.add_module(node, "sink", Box::new(collector));
-    k.connect_stream(handle.port_modules[0], PortId(0), sink, PortId(0)).expect("wire");
+    k.connect_stream(handle.port_modules[0], PortId(0), sink, PortId(0))
+        .expect("wire");
     for tag in 1..=3u32 {
         let request = LoopbackCell::request(VpiVci::uni(9, 9).expect("id"), true, tag).encode();
         k.inject_packet(
@@ -84,16 +88,25 @@ fn part2_oam_loopback() {
     for (t, pkt) in got.take() {
         let cell = pkt.payload::<AtmCell>().expect("cell");
         let lb = LoopbackCell::decode(cell).expect("loopback");
-        println!("  answer tag {} at {t} (indication cleared: {})", lb.correlation_tag, !lb.loopback_indication);
+        println!(
+            "  answer tag {} at {t} (indication cleared: {})",
+            lb.correlation_tag, !lb.loopback_indication
+        );
     }
-    println!("  control unit answered {} requests\n", handle.stats.snapshot().oam_answered);
+    println!(
+        "  control unit answered {} requests\n",
+        handle.stats.snapshot().oam_answered
+    );
 }
 
 fn part3_frame_discard() {
     println!("== EPD/PPD vs drop-tail under overload (AAL5 goodput) ==");
     for (label, policy) in [
         ("drop-tail   ", DiscardPolicy::DropTail),
-        ("frame-aware ", DiscardPolicy::FrameAware { epd_threshold: 5 }),
+        (
+            "frame-aware ",
+            DiscardPolicy::FrameAware { epd_threshold: 5 },
+        ),
     ] {
         let mut k = Kernel::new(5);
         let conn = VpiVci::uni(1, 40).expect("id");
@@ -119,7 +132,8 @@ fn part3_frame_discard() {
         let (collector, got) = CollectorProcess::new();
         let node = k.add_node("mon");
         let sink = k.add_module(node, "sink", Box::new(collector));
-        k.connect_stream(handle.port_modules[1], PortId(0), sink, PortId(0)).expect("wire");
+        k.connect_stream(handle.port_modules[1], PortId(0), sink, PortId(0))
+            .expect("wire");
         k.run().expect("run");
         let mut assembler = aal5::Reassembler::new();
         let mut frames = 0u32;

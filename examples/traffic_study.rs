@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --example traffic_study`
 
-use castanet::traceio::{read_trace, stimulus_messages, Direction, TraceRecord, TraceWriter};
 use castanet::message::MessageTypeId;
+use castanet::traceio::{read_trace, stimulus_messages, Direction, TraceRecord, TraceWriter};
 use castanet_atm::addr::{HeaderFormat, VpiVci};
 use castanet_atm::cell::AtmCell;
 use castanet_atm::traffic::{
@@ -23,17 +23,18 @@ fn survey(model: &mut dyn TrafficModel, cells: usize, seed: u64) {
     let mut rng = stream_rng(seed, 0);
     let times = emission_times(model, &mut rng, cells);
     if times.len() < 2 {
-        println!("  {:<55} (exhausted after {} cells)", model.describe(), times.len());
+        println!(
+            "  {:<55} (exhausted after {} cells)",
+            model.describe(),
+            times.len()
+        );
         return;
     }
     let span = (*times.last().expect("nonempty") - times[0]).as_secs_f64();
     let rate = (times.len() - 1) as f64 / span;
     // Burstiness: fraction of gaps at (or near) back-to-back slot spacing.
     let slot = SimDuration::from_ns(2726);
-    let burst_gaps = times
-        .windows(2)
-        .filter(|w| w[1] - w[0] <= slot * 2)
-        .count();
+    let burst_gaps = times.windows(2).filter(|w| w[1] - w[0] <= slot * 2).count();
     println!(
         "  {:<55} {:>10.0} cells/s   {:>5.1}% back-to-back",
         model.describe(),
@@ -52,7 +53,12 @@ fn main() {
         3,
     );
     survey(
-        &mut Mmpp2::new(150_000.0, SimDuration::from_us(300), 20_000.0, SimDuration::from_us(300)),
+        &mut Mmpp2::new(
+            150_000.0,
+            SimDuration::from_us(300),
+            20_000.0,
+            SimDuration::from_us(300),
+        ),
         10_000,
         4,
     );

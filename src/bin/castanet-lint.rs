@@ -1,0 +1,143 @@
+//! `castanet-lint` — pre-flight static analysis for CASTANET setups.
+//!
+//! Assembles the shipped scenario configurations (without running them) and
+//! reports every `CAST0xx` finding, or lints the Fig. 5 pin-mapping data
+//! set. Exit status is 1 when any error-severity finding exists, 0
+//! otherwise — wire it into CI ahead of the actual co-simulation runs.
+//!
+//! ```text
+//! castanet-lint [TARGET...] [--format json] [--codes]
+//!
+//! TARGET   examples | switch | switch-cycle | accounting | fig5
+//!          (default: examples = switch + switch-cycle + accounting + fig5)
+//! --format human (default) or json
+//! --codes  print the diagnostic-code registry and exit
+//! ```
+
+use castanet_lint::{
+    check_coupling, check_coupling_setup, has_errors, passes, render_human, render_json,
+    sort_diagnostics, Diagnostic, CODES,
+};
+use castanet_testboard::pinmap::PinMapConfig;
+use coverify::scenarios::{
+    accounting_cosim, switch_cosim, switch_cosim_cycle, AccountingScenarioConfig,
+    SwitchScenarioConfig,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "usage: castanet-lint [TARGET...] [--format human|json] [--codes]\n\
+                     targets: examples (default) | switch | switch-cycle | accounting | fig5";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn print_codes() {
+    println!("{:<9} {:<8} summary", "code", "severity");
+    for (code, severity, summary) in CODES {
+        let severity = severity.to_string();
+        println!("{code:<9} {severity:<8} {summary}");
+    }
+}
+
+/// Lints one named target, prefixing finding locations with the target name
+/// so a multi-target report stays unambiguous.
+fn lint_target(target: &str) -> Vec<Diagnostic> {
+    let mut diags = match target {
+        "switch" => {
+            // A small instance of the headline experiment: same wiring,
+            // fewer cells (assembly is what the lint inspects).
+            let cfg = SwitchScenarioConfig {
+                cells_per_source: 10,
+                ..Default::default()
+            };
+            check_coupling(&switch_cosim(cfg).coupling)
+        }
+        "switch-cycle" => {
+            let cfg = SwitchScenarioConfig {
+                cells_per_source: 10,
+                ..Default::default()
+            };
+            check_coupling_setup(&switch_cosim_cycle(cfg).coupling)
+        }
+        "accounting" => {
+            let cfg = AccountingScenarioConfig {
+                cells_per_conn: 10,
+                ..Default::default()
+            };
+            check_coupling(&accounting_cosim(cfg).coupling)
+        }
+        "fig5" => {
+            let (cfg, lanes) = PinMapConfig::fig5_example();
+            passes::pinmap::check_pinmap(&cfg, Some(&lanes))
+        }
+        other => {
+            eprintln!("unknown target: {other}");
+            usage();
+        }
+    };
+    for d in &mut diags {
+        d.location = format!("{target}.{}", d.location);
+    }
+    diags
+}
+
+fn main() {
+    let mut format = Format::Human;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "unknown format: {}",
+                        other.unwrap_or("(missing value after --format)")
+                    );
+                    usage();
+                }
+            },
+            "--codes" => {
+                print_codes();
+                return;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with('-') => usage(),
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("examples".to_string());
+    }
+
+    let mut diags = Vec::new();
+    for target in &targets {
+        if target == "examples" {
+            for t in ["switch", "switch-cycle", "accounting", "fig5"] {
+                diags.extend(lint_target(t));
+            }
+        } else {
+            diags.extend(lint_target(target));
+        }
+    }
+    sort_diagnostics(&mut diags);
+
+    match format {
+        Format::Human => print!("{}", render_human(&diags)),
+        Format::Json => println!("{}", render_json(&diags)),
+    }
+    if has_errors(&diags) {
+        std::process::exit(1);
+    }
+}

@@ -32,7 +32,11 @@ fn main() {
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    println!("CASTANET reproduction driver ({} workloads)\n", if full { "full" } else { "quick" });
+    println!(
+        "CASTANET reproduction driver ({} workloads)\n",
+        if full { "full" } else { "quick" }
+    );
+    preflight();
     if want("e1") {
         e1_throughput(full);
     }
@@ -56,6 +60,34 @@ fn main() {
     }
 }
 
+/// Fail-fast pre-flight: lints the scenario assemblies before spending any
+/// wall-clock on the experiments (`castanet-lint` run equivalent).
+fn preflight() {
+    let mut diags = castanet_lint::check_coupling(
+        &switch_cosim(SwitchScenarioConfig {
+            cells_per_source: 1,
+            ..Default::default()
+        })
+        .coupling,
+    );
+    diags.extend(castanet_lint::check_coupling(
+        &accounting_cosim(AccountingScenarioConfig {
+            cells_per_conn: 1,
+            ..Default::default()
+        })
+        .coupling,
+    ));
+    if diags.is_empty() {
+        println!("pre-flight: scenario configurations lint clean\n");
+    } else {
+        print!("{}", castanet_lint::render_human(&diags));
+        assert!(
+            !castanet_lint::has_errors(&diags),
+            "pre-flight static analysis rejected the scenario configurations"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // E1: §2 in-text throughput numbers
 // ---------------------------------------------------------------------
@@ -67,7 +99,11 @@ fn e1_throughput(full: bool) {
         cells_per_source: if full { 2_500 } else { 250 },
         ..SwitchScenarioConfig::default()
     };
-    println!("   workload: {} cells, {}-port switch", config.total_cells(), config.ports);
+    println!(
+        "   workload: {} cells, {}-port switch",
+        config.total_cells(),
+        config.ports
+    );
 
     let scenario = switch_cosim(config);
     let mut coupling = scenario.coupling;
@@ -77,14 +113,20 @@ fn e1_throughput(full: bool) {
     assert!(report.passed(), "E1 co-sim mismatch:\n{report}");
     let ev_clocks = clocks_in(coupling.follower().now(), config.clock_period);
     let ev_rate = ev_clocks as f64 / wall.as_secs_f64();
-    println!("   co-simulation (event-driven) : {ev_clocks} clocks, {:.3} s, {ev_rate:.0} cyc/s", wall.as_secs_f64());
+    println!(
+        "   co-simulation (event-driven) : {ev_clocks} clocks, {:.3} s, {ev_rate:.0} cyc/s",
+        wall.as_secs_f64()
+    );
 
     let mut tb = switch_pure_rtl(config);
     let clocks = pure_rtl_clocks(&config);
     let (r, wall) = timed(|| tb.run_clocks(clocks));
     r.expect("pure-RTL bench failed");
     let rtl_rate = clocks as f64 / wall.as_secs_f64();
-    println!("   pure-RTL regression bench    : {clocks} clocks, {:.3} s, {rtl_rate:.0} cyc/s", wall.as_secs_f64());
+    println!(
+        "   pure-RTL regression bench    : {clocks} clocks, {:.3} s, {rtl_rate:.0} cyc/s",
+        wall.as_secs_f64()
+    );
 
     let scenario = switch_cosim_cycle(config);
     let mut cy = scenario.coupling;
@@ -94,9 +136,16 @@ fn e1_throughput(full: bool) {
     assert!(report.passed(), "E1 cycle-based mismatch:\n{report}");
     let cy_clocks = cy.follower().clocks_evaluated() + cy.follower().clocks_skipped();
     let cy_rate = cy_clocks as f64 / wall.as_secs_f64();
-    println!("   co-simulation (cycle-based)  : {cy_clocks} clocks, {:.3} s, {cy_rate:.0} cyc/s", wall.as_secs_f64());
+    println!(
+        "   co-simulation (cycle-based)  : {cy_clocks} clocks, {:.3} s, {cy_rate:.0} cyc/s",
+        wall.as_secs_f64()
+    );
 
-    println!("   measured: co-sim/pure-RTL = {:.1}x (paper ~4.3x); cycle-based = {:.0}x", ev_rate / rtl_rate, cy_rate / rtl_rate);
+    println!(
+        "   measured: co-sim/pure-RTL = {:.1}x (paper ~4.3x); cycle-based = {:.0}x",
+        ev_rate / rtl_rate,
+        cy_rate / rtl_rate
+    );
     println!("   shape: co-simulation wins, as the paper reports; see EXPERIMENTS.md for the magnitude discussion.\n");
 }
 
@@ -105,16 +154,22 @@ fn e1_throughput(full: bool) {
 // ---------------------------------------------------------------------
 
 fn e2_synchronization(full: bool) {
-    println!("== E2: conservative vs optimistic vs lockstep synchronization (paper §3.1, Fig. 3) ==");
-    println!("   paper: conservative timing windows chosen; optimism rejected for its memory cost\n");
+    println!(
+        "== E2: conservative vs optimistic vs lockstep synchronization (paper §3.1, Fig. 3) =="
+    );
+    println!(
+        "   paper: conservative timing windows chosen; optimism rejected for its memory cost\n"
+    );
     let n: u64 = if full { 200_000 } else { 20_000 };
 
     // Conservative: run a random message schedule; no causality errors by
     // construction, bounded state (the queues).
     let mut sync = ConservativeSync::new();
-    let types: Vec<_> = (0..4).map(|i| sync.register_type(SimDuration::from_us(1 + i))).collect();
+    let types: Vec<_> = (0..4)
+        .map(|i| sync.register_type(SimDuration::from_us(1 + i)))
+        .collect();
     let mut x: u64 = 0xDEAD_BEEF;
-    let mut stamps = vec![SimTime::ZERO; 4];
+    let mut stamps = [SimTime::ZERO; 4];
     let mut originator = SimTime::ZERO;
     let mut prev_grant = SimTime::ZERO;
     let ((), wall) = timed(|| {
@@ -125,7 +180,8 @@ fn e2_synchronization(full: bool) {
             let j = (x % 4) as usize;
             originator += SimDuration::from_ns(x % 700);
             stamps[j] = stamps[j].max(originator);
-            sync.receive(types[j], stamps[j], x % 4 == 0).expect("conservative protocol");
+            sync.receive(types[j], stamps[j], x.is_multiple_of(4))
+                .expect("conservative protocol");
             // The follower catches up to the *previous* grant: the realistic
             // one-message lag of the protocol.
             sync.advance_local(prev_grant).expect("lag invariant");
@@ -141,10 +197,14 @@ fn e2_synchronization(full: bool) {
 
     // Optimistic: same volume with out-of-order arrivals; measure rollbacks
     // and the checkpoint high-water mark.
-    let mut tw = OptimisticSync::new(0u64, |s: &mut u64, e: &u64| {
-        *s = s.wrapping_add(*e);
-        vec![*s]
-    }, usize::MAX >> 1);
+    let mut tw = OptimisticSync::new(
+        0u64,
+        |s: &mut u64, e: &u64| {
+            *s = s.wrapping_add(*e);
+            vec![*s]
+        },
+        usize::MAX >> 1,
+    );
     let mut y: u64 = 0x1234_5678;
     let ((), wall) = timed(|| {
         let mut t_base = 0u64;
@@ -154,9 +214,17 @@ fn e2_synchronization(full: bool) {
             y ^= y << 17;
             t_base += 500;
             // 25% stragglers: stamped up to 2 us in the past.
-            let stamp = if y % 4 == 0 { t_base.saturating_sub(2_000) } else { t_base };
-            tw.execute(TimedEvent { stamp: SimTime::from_ns(stamp), seq: i, event: 1 })
-                .expect("optimistic execution");
+            let stamp = if y.is_multiple_of(4) {
+                t_base.saturating_sub(2_000)
+            } else {
+                t_base
+            };
+            tw.execute(TimedEvent {
+                stamp: SimTime::from_ns(stamp),
+                seq: i,
+                event: 1,
+            })
+            .expect("optimistic execution");
             if i % 64 == 0 {
                 tw.set_gvt(SimTime::from_ns(t_base.saturating_sub(4_000)));
             }
@@ -199,10 +267,17 @@ fn e3_interface() {
     println!("   paper: one cell = 53 octets = 53 clocks on an 8-bit port; OPNET:VSS step ratio ~1:400\n");
     let cell = AtmCell::user_data(VpiVci::uni(1, 42).expect("static id"), [0x5A; 48]);
     let ops = castanet::convert::cell_to_byte_ops(&cell, HeaderFormat::Uni).expect("convert");
-    println!("   measured: cell maps to {} byte ops, cellsync on op 0: {}", ops.len(), ops[0].sync);
+    println!(
+        "   measured: cell maps to {} byte ops, cellsync on op 0: {}",
+        ops.len(),
+        ops[0].sync
+    );
 
     // The paper's clocks: 2.726 us cell time vs early-90s ASIC clocks.
-    for (clk_ns, label) in [(7u64, "~140 MHz (paper-era ratio 1:400)"), (20, "50 MHz (this repo's default)")] {
+    for (clk_ns, label) in [
+        (7u64, "~140 MHz (paper-era ratio 1:400)"),
+        (20, "50 MHz (this repo's default)"),
+    ] {
         let ratio = time_scale_ratio(SimDuration::from_ns(2726), SimDuration::from_ns(clk_ns));
         println!("   time-scale ratio at {clk_ns} ns clock: 1:{ratio:.0}  [{label}]");
     }
@@ -233,7 +308,9 @@ fn e3_interface() {
 fn e4_pinmap() {
     use castanet_testboard::pinmap::{PinFrame, PinMapConfig};
     println!("== E4: pin-mapping configuration data set (paper §3.3, Fig. 5) ==");
-    println!("   paper: byte lane ID / start bit / number of bits establish in/out/io/ctrl mappings\n");
+    println!(
+        "   paper: byte lane ID / start bit / number of bits establish in/out/io/ctrl mappings\n"
+    );
     let (cfg, lanes) = PinMapConfig::fig5_example();
     cfg.validate(&lanes).expect("fig. 5 data set validates");
     println!(
@@ -250,7 +327,11 @@ fn e4_pinmap() {
     println!(
         "   roundtrip: inport1=0b101011 -> lane2={:#010b}; io port 2 direction = {}",
         frame[2],
-        if cfg.io_is_write(2, &frame).expect("io") { "DUT writes" } else { "board drives" }
+        if cfg.io_is_write(2, &frame).expect("io") {
+            "DUT writes"
+        } else {
+            "board drives"
+        }
     );
     // Error detection.
     let mut bad = cfg.clone();
@@ -266,8 +347,15 @@ fn e4_pinmap() {
 fn e5_board(full: bool) {
     println!("== E5: hardware-in-the-loop test cycles (paper §3.3) ==");
     println!("   paper: SW/HW/SW activity cycles; durations within a memory-bounded window; real-time execution\n");
-    println!("   {:>10} {:>10} {:>14} {:>14} {:>12}", "cycle len", "cycles", "hw time", "sw time", "efficiency");
-    let lens: &[u64] = if full { &[16, 64, 256, 1024, 4096, 16384] } else { &[16, 256, 4096] };
+    println!(
+        "   {:>10} {:>10} {:>14} {:>14} {:>12}",
+        "cycle len", "cycles", "hw time", "sw time", "efficiency"
+    );
+    let lens: &[u64] = if full {
+        &[16, 64, 256, 1024, 4096, 16384]
+    } else {
+        &[16, 256, 4096]
+    };
     for &len in lens {
         use castanet::message::Message;
         let mut cosim = switch_on_board(len, MessageTypeId(1));
@@ -303,7 +391,11 @@ fn e5_board(full: bool) {
     use castanet_testboard::dut::{MappedCycleDut, PortSubsetDut, TimingFaultDut};
     let mut corrupted = [0u32; 2];
     for (i, clock_hz) in [10_000_000u64, 20_000_000].into_iter().enumerate() {
-        let mut sw = AtmSwitchRtl::new(SwitchRtlConfig { ports: 2, fifo_capacity: 64, table_capacity: 8 });
+        let mut sw = AtmSwitchRtl::new(SwitchRtlConfig {
+            ports: 2,
+            fifo_capacity: 64,
+            table_capacity: 8,
+        });
         assert!(sw.install_route(1, 40, 1, 7, 70));
         let chip = PortSubsetDut::new(Box::new(sw), (0..6).collect(), (0..6).collect());
         let (mapped, lanes) = MappedCycleDut::auto_mapped(Box::new(chip));
@@ -311,7 +403,9 @@ fn e5_board(full: bool) {
         let mut chip = TimingFaultDut::new(mapped, 10_000_000);
         chip.set_board_clock_hz(clock_hz);
         let mut board = TestBoard::with_memory_depth(1 << 14);
-        board.configure(map.clone(), lanes, clock_hz).expect("config");
+        board
+            .configure(map.clone(), lanes, clock_hz)
+            .expect("config");
         let mut frames = Vec::new();
         for k in 0..8u64 {
             let wire = AtmCell::user_data(VpiVci::uni(1, 40).expect("id"), [k as u8; 48])
@@ -320,7 +414,8 @@ fn e5_board(full: bool) {
             for (j, &b) in wire.iter().enumerate() {
                 let mut f = [0u8; 16];
                 map.encode_inport(0, u64::from(b), &mut f).expect("map");
-                map.encode_inport(1, u64::from(j == 0), &mut f).expect("map");
+                map.encode_inport(1, u64::from(j == 0), &mut f)
+                    .expect("map");
                 map.encode_inport(2, 1, &mut f).expect("map");
                 frames.push(f);
             }
@@ -387,17 +482,33 @@ fn e6_accounting(full: bool) {
     });
     let horizon = faulty.horizon();
     faulty.coupling.run(horizon).expect("run");
-    let (_, charge) = faulty.read_rtl_record(VpiVci::uni(1, 40).expect("id")).expect("registered");
+    let (_, charge) = faulty
+        .read_rtl_record(VpiVci::uni(1, 40).expect("id"))
+        .expect("registered");
     let mut wrong_reference = castanet_atm::accounting::AccountingUnit::new();
     wrong_reference
-        .register(VpiVci::uni(1, 40).expect("id"), castanet_atm::accounting::Tariff { weight: 3, fixed: 50 })
+        .register(
+            VpiVci::uni(1, 40).expect("id"),
+            castanet_atm::accounting::Tariff {
+                weight: 3,
+                fixed: 50,
+            },
+        )
         .expect("register");
     for _ in 0..50 {
         wrong_reference.on_cell(VpiVci::uni(1, 40).expect("id"));
     }
-    let wrong = wrong_reference.record(VpiVci::uni(1, 40).expect("id")).expect("record");
-    assert_ne!(u64::from(charge), wrong.charge, "a tariff bug must be visible in the records");
-    println!("   seeded tariff discrepancy detected (RTL {charge} vs faulty-reference {})\n", wrong.charge);
+    let wrong = wrong_reference
+        .record(VpiVci::uni(1, 40).expect("id"))
+        .expect("record");
+    assert_ne!(
+        charge, wrong.charge,
+        "a tariff bug must be visible in the records"
+    );
+    println!(
+        "   seeded tariff discrepancy detected (RTL {charge} vs faulty-reference {})\n",
+        wrong.charge
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -406,7 +517,9 @@ fn e6_accounting(full: bool) {
 
 fn e7_engines(full: bool) {
     println!("== E7: event-driven HDL simulation is the bottleneck (paper §5) ==");
-    println!("   paper: RTL event counts an order of magnitude above system level; cycle-based needed\n");
+    println!(
+        "   paper: RTL event counts an order of magnitude above system level; cycle-based needed\n"
+    );
     let config = SwitchScenarioConfig {
         cells_per_source: if full { 500 } else { 100 },
         mixed_traffic: false,
@@ -421,7 +534,10 @@ fn e7_engines(full: bool) {
     let net_events = coupling.stats().net_events;
     println!(
         "   event-driven engine: {} signal events, {} delta cycles, {} process runs ({:.3} s)",
-        c.events, c.delta_cycles, c.process_runs, ev_wall.as_secs_f64()
+        c.events,
+        c.delta_cycles,
+        c.process_runs,
+        ev_wall.as_secs_f64()
     );
 
     let scenario = switch_cosim_cycle(config);

@@ -102,9 +102,8 @@ impl SwitchScenarioConfig {
             // Burst mean of 8 cells at line slot spacing; silence tuned so
             // the mean rate matches the CBR sources.
             let slot = SimDuration::from_ns(2726);
-            let silence = SimDuration::from_picos(
-                8 * self.cell_gap.as_picos() - 8 * slot.as_picos(),
-            );
+            let silence =
+                SimDuration::from_picos(8 * self.cell_gap.as_picos() - 8 * slot.as_picos());
             Box::new(OnOffVbr::new(slot, 8.0, silence))
         } else {
             Box::new(Cbr::new(self.cell_gap))
@@ -171,13 +170,15 @@ pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
                     .with_limit(config.cells_per_source),
             ),
         );
-        net.connect_stream(src, PortId(0), iface, PortId(i)).expect("fresh ports");
+        net.connect_stream(src, PortId(0), iface, PortId(i))
+            .expect("fresh ports");
     }
     let mut collectors = Vec::new();
     for i in 0..config.ports {
         let (c, h) = CollectorProcess::new();
         let sink = net.add_module(node, format!("sink{i}"), Box::new(c));
-        net.connect_stream(iface, PortId(i), sink, PortId(0)).expect("fresh ports");
+        net.connect_stream(iface, PortId(i), sink, PortId(0))
+            .expect("fresh ports");
         collectors.push(h);
     }
 
@@ -207,7 +208,7 @@ pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
     let follower = RtlCosim::new(sim, entity);
 
     SwitchCosim {
-        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox),
+        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox).with_strict(true),
         collectors,
         config,
     }
@@ -253,13 +254,15 @@ pub fn switch_cosim_cycle(config: SwitchScenarioConfig) -> SwitchCosimCycle {
                     .with_limit(config.cells_per_source),
             ),
         );
-        net.connect_stream(src, PortId(0), iface, PortId(i)).expect("fresh ports");
+        net.connect_stream(src, PortId(0), iface, PortId(i))
+            .expect("fresh ports");
     }
     let mut collectors = Vec::new();
     for i in 0..config.ports {
         let (c, h) = CollectorProcess::new();
         let sink = net.add_module(node, format!("sink{i}"), Box::new(c));
-        net.connect_stream(iface, PortId(i), sink, PortId(0)).expect("fresh ports");
+        net.connect_stream(iface, PortId(i), sink, PortId(0))
+            .expect("fresh ports");
         collectors.push(h);
     }
 
@@ -282,7 +285,7 @@ pub fn switch_cosim_cycle(config: SwitchScenarioConfig) -> SwitchCosimCycle {
     }
 
     SwitchCosimCycle {
-        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox),
+        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox).with_strict(true),
         collectors,
         config,
     }
@@ -395,10 +398,26 @@ pub fn switch_on_board(cycle_len: u64, response_type: MessageTypeId) -> BoardCos
         response_type,
         HeaderFormat::Uni,
     );
-    cosim.add_ingress(IngressPorts { data: 0, sync: 1, enable: 2 });
-    cosim.add_ingress(IngressPorts { data: 3, sync: 4, enable: 5 });
-    cosim.add_egress(EgressPorts { data: 0, sync: 1, valid: 2 });
-    cosim.add_egress(EgressPorts { data: 3, sync: 4, valid: 5 });
+    cosim.add_ingress(IngressPorts {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    cosim.add_ingress(IngressPorts {
+        data: 3,
+        sync: 4,
+        enable: 5,
+    });
+    cosim.add_egress(EgressPorts {
+        data: 0,
+        sync: 1,
+        valid: 2,
+    });
+    cosim.add_egress(EgressPorts {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
     cosim
 }
 
@@ -513,9 +532,12 @@ pub fn accounting_cosim(config: AccountingScenarioConfig) -> AccountingCosim {
     let tap = net.add_module(
         node,
         "tap",
-        Box::new(TapProcess { log: std::sync::Arc::clone(&log) }),
+        Box::new(TapProcess {
+            log: std::sync::Arc::clone(&log),
+        }),
     );
-    net.connect_stream(tap, PortId(0), iface, PortId(0)).expect("fresh port");
+    net.connect_stream(tap, PortId(0), iface, PortId(0))
+        .expect("fresh port");
     // A shared mux in front of the tap: sources all feed the tap.
     for (i, &(conn, _, _)) in config.connections.iter().enumerate() {
         let src = net.add_module(
@@ -526,7 +548,8 @@ pub fn accounting_cosim(config: AccountingScenarioConfig) -> AccountingCosim {
                     .with_limit(config.cells_per_conn),
             ),
         );
-        net.connect_stream(src, PortId(0), tap, PortId(i)).expect("fresh port");
+        net.connect_stream(src, PortId(0), tap, PortId(i))
+            .expect("fresh port");
     }
 
     // RTL side: the accounting unit, pre-registered, with tick pokes.
@@ -563,7 +586,7 @@ pub fn accounting_cosim(config: AccountingScenarioConfig) -> AccountingCosim {
     let follower = RtlCosim::new(sim, entity);
 
     AccountingCosim {
-        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox),
+        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox).with_strict(true),
         ticks,
         tap: log,
         dut,
@@ -596,7 +619,13 @@ impl AccountingCosim {
         let mut reference = AccountingUnit::new();
         for &(conn, weight, fixed) in &self.config.connections {
             reference
-                .register(conn, Tariff { weight: u32::from(weight), fixed: u32::from(fixed) })
+                .register(
+                    conn,
+                    Tariff {
+                        weight: u32::from(weight),
+                        fixed: u32::from(fixed),
+                    },
+                )
                 .expect("static registration");
         }
         let completion_lag = self.config.clock_period * (2 * CELL_OCTETS as u64);
@@ -647,14 +676,16 @@ impl AccountingCosim {
             poke_at,
         )
         .expect("rd_vci poke");
-        sim.run_until(edge_guess + period * 2).expect("readback run");
+        sim.run_until(edge_guess + period * 2)
+            .expect("readback run");
         let found = sim.read_u64(self.dut.outputs[0]) == Some(1);
         if !found {
             return None;
         }
         Some((
             sim.read_u64(self.dut.outputs[1]).expect("rd_cells defined"),
-            sim.read_u64(self.dut.outputs[2]).expect("rd_charge defined"),
+            sim.read_u64(self.dut.outputs[2])
+                .expect("rd_charge defined"),
         ))
     }
 }
@@ -711,7 +742,12 @@ mod tests {
                 .iter()
                 .filter(|(_, bytes)| !castanet_atm::idle::is_idle_cell(bytes))
                 .collect();
-            assert_eq!(user.len(), 5, "egress line {} of ingress {i}", config.out_port(i));
+            assert_eq!(
+                user.len(),
+                5,
+                "egress line {} of ingress {i}",
+                config.out_port(i)
+            );
             for (k, (_, bytes)) in user.iter().enumerate() {
                 let cell = AtmCell::decode(bytes, HeaderFormat::Uni).unwrap();
                 assert_eq!(cell.id(), config.out_conn(i));

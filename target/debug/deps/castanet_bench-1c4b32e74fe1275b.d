@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/castanet_bench-1c4b32e74fe1275b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_bench-1c4b32e74fe1275b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/castanet_bench-32af05b980fff5ea.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_bench-32af05b980fff5ea.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_bench-553231ac080b511f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/castanet_bench-553231ac080b511f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

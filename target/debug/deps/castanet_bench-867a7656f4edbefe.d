@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/castanet_bench-867a7656f4edbefe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcastanet_bench-867a7656f4edbefe.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcastanet_bench-867a7656f4edbefe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/castanet_lint-0022429287be3c60.d: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_lint-0022429287be3c60.rmeta: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/diagnostic.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/interface.rs:
+crates/lint/src/passes/pinmap.rs:
+crates/lint/src/passes/sync_liveness.rs:
+crates/lint/src/passes/topology.rs:
+crates/lint/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

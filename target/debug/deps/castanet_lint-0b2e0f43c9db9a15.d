@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_lint-0b2e0f43c9db9a15.d: src/bin/castanet-lint.rs
+
+/root/repo/target/debug/deps/castanet_lint-0b2e0f43c9db9a15: src/bin/castanet-lint.rs
+
+src/bin/castanet-lint.rs:

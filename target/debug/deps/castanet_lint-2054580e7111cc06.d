@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/castanet_lint-2054580e7111cc06.d: src/bin/castanet-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_lint-2054580e7111cc06.rmeta: src/bin/castanet-lint.rs Cargo.toml
+
+src/bin/castanet-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

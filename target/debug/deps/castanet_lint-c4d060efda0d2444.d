@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_lint-c4d060efda0d2444.d: src/bin/castanet-lint.rs
+
+/root/repo/target/debug/deps/castanet_lint-c4d060efda0d2444: src/bin/castanet-lint.rs
+
+src/bin/castanet-lint.rs:

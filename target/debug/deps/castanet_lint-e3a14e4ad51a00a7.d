@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/castanet_lint-e3a14e4ad51a00a7.d: src/bin/castanet-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_lint-e3a14e4ad51a00a7.rmeta: src/bin/castanet-lint.rs Cargo.toml
+
+src/bin/castanet-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

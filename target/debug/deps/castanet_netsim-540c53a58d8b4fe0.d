@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/castanet_netsim-540c53a58d8b4fe0.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_netsim-540c53a58d8b4fe0.rmeta: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/kernel.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/process.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/random.rs:
+crates/netsim/src/scheduler.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/castanet_rtl-769dfc360c19a80b.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_rtl-769dfc360c19a80b.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/cycle.rs:
+crates/rtl/src/dut/mod.rs:
+crates/rtl/src/dut/accounting.rs:
+crates/rtl/src/dut/cell_rx.rs:
+crates/rtl/src/dut/cell_tx.rs:
+crates/rtl/src/dut/switch.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/logic.rs:
+crates/rtl/src/signal.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/timing.rs:
+crates/rtl/src/vector.rs:
+crates/rtl/src/wave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/castanet_testboard-81df230850685f76.d: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcastanet_testboard-81df230850685f76.rmeta: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs Cargo.toml
+
+crates/testboard/src/lib.rs:
+crates/testboard/src/board.rs:
+crates/testboard/src/cycle.rs:
+crates/testboard/src/dut.rs:
+crates/testboard/src/error.rs:
+crates/testboard/src/lane.rs:
+crates/testboard/src/memory.rs:
+crates/testboard/src/pinmap.rs:
+crates/testboard/src/scsi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

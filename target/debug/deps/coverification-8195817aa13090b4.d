@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coverification-8195817aa13090b4.d: tests/coverification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverification-8195817aa13090b4.rmeta: tests/coverification.rs Cargo.toml
+
+tests/coverification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

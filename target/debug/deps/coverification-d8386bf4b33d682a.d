@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverification-d8386bf4b33d682a.d: tests/coverification.rs
+
+/root/repo/target/debug/deps/coverification-d8386bf4b33d682a: tests/coverification.rs
+
+tests/coverification.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/coverify-4d2174d9b8d9a184.d: src/lib.rs src/scenarios.rs
+
+/root/repo/target/debug/deps/coverify-4d2174d9b8d9a184: src/lib.rs src/scenarios.rs
+
+src/lib.rs:
+src/scenarios.rs:

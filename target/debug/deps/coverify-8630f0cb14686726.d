@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coverify-8630f0cb14686726.d: src/lib.rs src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverify-8630f0cb14686726.rmeta: src/lib.rs src/scenarios.rs Cargo.toml
+
+src/lib.rs:
+src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coverify-ca8d9122bde1d1c3.d: src/lib.rs src/scenarios.rs
+
+/root/repo/target/debug/deps/libcoverify-ca8d9122bde1d1c3.rlib: src/lib.rs src/scenarios.rs
+
+/root/repo/target/debug/deps/libcoverify-ca8d9122bde1d1c3.rmeta: src/lib.rs src/scenarios.rs
+
+src/lib.rs:
+src/scenarios.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coverify-e9c7bc3192b5c34a.d: src/lib.rs src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoverify-e9c7bc3192b5c34a.rmeta: src/lib.rs src/scenarios.rs Cargo.toml
+
+src/lib.rs:
+src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-3a0ca086f89680ea.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3a0ca086f89680ea.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3a0ca086f89680ea.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-a1cc87404c139004.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-a1cc87404c139004.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

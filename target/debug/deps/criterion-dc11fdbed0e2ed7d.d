@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-dc11fdbed0e2ed7d.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-dc11fdbed0e2ed7d: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_throughput-7304819d18429855.d: crates/bench/benches/e1_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_throughput-7304819d18429855.rmeta: crates/bench/benches/e1_throughput.rs Cargo.toml
+
+crates/bench/benches/e1_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

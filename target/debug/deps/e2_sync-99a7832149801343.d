@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_sync-99a7832149801343.d: crates/bench/benches/e2_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_sync-99a7832149801343.rmeta: crates/bench/benches/e2_sync.rs Cargo.toml
+
+crates/bench/benches/e2_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

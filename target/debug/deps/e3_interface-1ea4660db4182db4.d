@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_interface-1ea4660db4182db4.d: crates/bench/benches/e3_interface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_interface-1ea4660db4182db4.rmeta: crates/bench/benches/e3_interface.rs Cargo.toml
+
+crates/bench/benches/e3_interface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

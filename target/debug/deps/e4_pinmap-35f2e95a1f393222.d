@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_pinmap-35f2e95a1f393222.d: crates/bench/benches/e4_pinmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_pinmap-35f2e95a1f393222.rmeta: crates/bench/benches/e4_pinmap.rs Cargo.toml
+
+crates/bench/benches/e4_pinmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

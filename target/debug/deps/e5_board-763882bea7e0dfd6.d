@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_board-763882bea7e0dfd6.d: crates/bench/benches/e5_board.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_board-763882bea7e0dfd6.rmeta: crates/bench/benches/e5_board.rs Cargo.toml
+
+crates/bench/benches/e5_board.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_accounting-93e2db53297ceb69.d: crates/bench/benches/e6_accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_accounting-93e2db53297ceb69.rmeta: crates/bench/benches/e6_accounting.rs Cargo.toml
+
+crates/bench/benches/e6_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

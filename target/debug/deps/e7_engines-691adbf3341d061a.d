@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_engines-691adbf3341d061a.d: crates/bench/benches/e7_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_engines-691adbf3341d061a.rmeta: crates/bench/benches/e7_engines.rs Cargo.toml
+
+crates/bench/benches/e7_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

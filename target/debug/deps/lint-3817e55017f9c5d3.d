@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint-3817e55017f9c5d3.d: tests/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-3817e55017f9c5d3.rmeta: tests/lint.rs Cargo.toml
+
+tests/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint-c4296154db53b8ba.d: tests/lint.rs
+
+/root/repo/target/debug/deps/lint-c4296154db53b8ba: tests/lint.rs
+
+tests/lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-1d91ad2a7609af20.d: tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-1d91ad2a7609af20.rmeta: tests/props.rs Cargo.toml
+
+tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a2479dd27afc383d.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-a2479dd27afc383d: tests/props.rs
+
+tests/props.rs:

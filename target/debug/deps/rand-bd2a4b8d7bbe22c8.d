@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bd2a4b8d7bbe22c8.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bd2a4b8d7bbe22c8.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bd2a4b8d7bbe22c8.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

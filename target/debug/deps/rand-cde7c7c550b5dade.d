@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-cde7c7c550b5dade.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-cde7c7c550b5dade.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e6cc5614ffcd5e64.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-e6cc5614ffcd5e64: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

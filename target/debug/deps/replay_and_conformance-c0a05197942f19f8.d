@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_and_conformance-c0a05197942f19f8.d: tests/replay_and_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_and_conformance-c0a05197942f19f8.rmeta: tests/replay_and_conformance.rs Cargo.toml
+
+tests/replay_and_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

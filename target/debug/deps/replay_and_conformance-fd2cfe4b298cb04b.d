@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_and_conformance-fd2cfe4b298cb04b.d: tests/replay_and_conformance.rs
+
+/root/repo/target/debug/deps/replay_and_conformance-fd2cfe4b298cb04b: tests/replay_and_conformance.rs
+
+tests/replay_and_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-40eb1c07cc3cbd82.d: src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-40eb1c07cc3cbd82.rmeta: src/bin/repro.rs Cargo.toml
+
+src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

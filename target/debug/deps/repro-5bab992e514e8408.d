@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5bab992e514e8408.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5bab992e514e8408: src/bin/repro.rs
+
+src/bin/repro.rs:

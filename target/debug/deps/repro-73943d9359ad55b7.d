@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-73943d9359ad55b7.d: src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-73943d9359ad55b7.rmeta: src/bin/repro.rs Cargo.toml
+
+src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

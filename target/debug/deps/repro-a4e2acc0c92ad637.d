@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a4e2acc0c92ad637.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a4e2acc0c92ad637: src/bin/repro.rs
+
+src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_and_transport-585333adfe8d0737.d: tests/sync_and_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_and_transport-585333adfe8d0737.rmeta: tests/sync_and_transport.rs Cargo.toml
+
+tests/sync_and_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

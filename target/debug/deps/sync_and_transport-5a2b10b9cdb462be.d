@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_and_transport-5a2b10b9cdb462be.d: tests/sync_and_transport.rs
+
+/root/repo/target/debug/deps/sync_and_transport-5a2b10b9cdb462be: tests/sync_and_transport.rs
+
+tests/sync_and_transport.rs:

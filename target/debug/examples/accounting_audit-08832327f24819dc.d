@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accounting_audit-08832327f24819dc.d: examples/accounting_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccounting_audit-08832327f24819dc.rmeta: examples/accounting_audit.rs Cargo.toml
+
+examples/accounting_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

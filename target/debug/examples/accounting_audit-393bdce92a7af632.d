@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accounting_audit-393bdce92a7af632.d: examples/accounting_audit.rs
+
+/root/repo/target/debug/examples/accounting_audit-393bdce92a7af632: examples/accounting_audit.rs
+
+examples/accounting_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_in_loop-b8b2a77c9ce1118f.d: examples/hardware_in_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_in_loop-b8b2a77c9ce1118f.rmeta: examples/hardware_in_loop.rs Cargo.toml
+
+examples/hardware_in_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_loop-b91bdd269d2da828.d: examples/hardware_in_loop.rs
+
+/root/repo/target/debug/examples/hardware_in_loop-b91bdd269d2da828: examples/hardware_in_loop.rs
+
+examples/hardware_in_loop.rs:

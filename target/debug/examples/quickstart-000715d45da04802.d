@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-000715d45da04802.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-000715d45da04802: examples/quickstart.rs
+
+examples/quickstart.rs:

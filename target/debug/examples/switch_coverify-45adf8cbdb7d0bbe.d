@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/switch_coverify-45adf8cbdb7d0bbe.d: examples/switch_coverify.rs
+
+/root/repo/target/debug/examples/switch_coverify-45adf8cbdb7d0bbe: examples/switch_coverify.rs
+
+examples/switch_coverify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/switch_coverify-797c76fc205866cd.d: examples/switch_coverify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libswitch_coverify-797c76fc205866cd.rmeta: examples/switch_coverify.rs Cargo.toml
+
+examples/switch_coverify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

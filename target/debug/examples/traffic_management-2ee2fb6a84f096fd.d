@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_management-2ee2fb6a84f096fd.d: examples/traffic_management.rs
+
+/root/repo/target/debug/examples/traffic_management-2ee2fb6a84f096fd: examples/traffic_management.rs
+
+examples/traffic_management.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_management-45ce615eff945fac.d: examples/traffic_management.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_management-45ce615eff945fac.rmeta: examples/traffic_management.rs Cargo.toml
+
+examples/traffic_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

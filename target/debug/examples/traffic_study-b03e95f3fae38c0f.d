@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_study-b03e95f3fae38c0f.d: examples/traffic_study.rs
+
+/root/repo/target/debug/examples/traffic_study-b03e95f3fae38c0f: examples/traffic_study.rs
+
+examples/traffic_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_study-db8e80ccbae122c9.d: examples/traffic_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_study-db8e80ccbae122c9.rmeta: examples/traffic_study.rs Cargo.toml
+
+examples/traffic_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

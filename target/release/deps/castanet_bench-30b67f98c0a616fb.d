@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/castanet_bench-30b67f98c0a616fb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcastanet_bench-30b67f98c0a616fb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcastanet_bench-30b67f98c0a616fb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

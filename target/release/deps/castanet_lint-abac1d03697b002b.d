@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/castanet_lint-abac1d03697b002b.d: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs
+
+/root/repo/target/release/deps/libcastanet_lint-abac1d03697b002b.rlib: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs
+
+/root/repo/target/release/deps/libcastanet_lint-abac1d03697b002b.rmeta: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diagnostic.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/interface.rs:
+crates/lint/src/passes/pinmap.rs:
+crates/lint/src/passes/sync_liveness.rs:
+crates/lint/src/passes/topology.rs:
+crates/lint/src/report.rs:

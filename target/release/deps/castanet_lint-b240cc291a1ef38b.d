@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/castanet_lint-b240cc291a1ef38b.d: src/bin/castanet-lint.rs
+
+/root/repo/target/release/deps/castanet_lint-b240cc291a1ef38b: src/bin/castanet-lint.rs
+
+src/bin/castanet-lint.rs:

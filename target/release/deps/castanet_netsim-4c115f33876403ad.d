@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/castanet_netsim-4c115f33876403ad.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libcastanet_netsim-4c115f33876403ad.rlib: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libcastanet_netsim-4c115f33876403ad.rmeta: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/kernel.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/process.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/random.rs:
+crates/netsim/src/scheduler.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:

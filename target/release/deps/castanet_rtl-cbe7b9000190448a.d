@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/castanet_rtl-cbe7b9000190448a.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs
+
+/root/repo/target/release/deps/libcastanet_rtl-cbe7b9000190448a.rlib: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs
+
+/root/repo/target/release/deps/libcastanet_rtl-cbe7b9000190448a.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/cycle.rs:
+crates/rtl/src/dut/mod.rs:
+crates/rtl/src/dut/accounting.rs:
+crates/rtl/src/dut/cell_rx.rs:
+crates/rtl/src/dut/cell_tx.rs:
+crates/rtl/src/dut/switch.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/logic.rs:
+crates/rtl/src/signal.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/timing.rs:
+crates/rtl/src/vector.rs:
+crates/rtl/src/wave.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/castanet_testboard-5e509eb6cb4d2c87.d: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs
+
+/root/repo/target/release/deps/libcastanet_testboard-5e509eb6cb4d2c87.rlib: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs
+
+/root/repo/target/release/deps/libcastanet_testboard-5e509eb6cb4d2c87.rmeta: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs
+
+crates/testboard/src/lib.rs:
+crates/testboard/src/board.rs:
+crates/testboard/src/cycle.rs:
+crates/testboard/src/dut.rs:
+crates/testboard/src/error.rs:
+crates/testboard/src/lane.rs:
+crates/testboard/src/memory.rs:
+crates/testboard/src/pinmap.rs:
+crates/testboard/src/scsi.rs:

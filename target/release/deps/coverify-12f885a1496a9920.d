@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/coverify-12f885a1496a9920.d: src/lib.rs src/scenarios.rs
+
+/root/repo/target/release/deps/libcoverify-12f885a1496a9920.rlib: src/lib.rs src/scenarios.rs
+
+/root/repo/target/release/deps/libcoverify-12f885a1496a9920.rmeta: src/lib.rs src/scenarios.rs
+
+src/lib.rs:
+src/scenarios.rs:

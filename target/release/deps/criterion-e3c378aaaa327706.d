@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e3c378aaaa327706.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e3c378aaaa327706.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e3c378aaaa327706.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

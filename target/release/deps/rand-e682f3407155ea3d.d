@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e682f3407155ea3d.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e682f3407155ea3d.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e682f3407155ea3d.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

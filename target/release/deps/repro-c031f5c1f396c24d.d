@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c031f5c1f396c24d.d: src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c031f5c1f396c24d: src/bin/repro.rs
+
+src/bin/repro.rs:

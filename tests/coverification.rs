@@ -21,8 +21,7 @@ use castanet_rtl::cycle::{attach_cycle_dut, CycleDut, PortDecl};
 use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
 use castanet_rtl::sim::Simulator;
 use coverify::scenarios::{
-    compare_switch_output, switch_cosim, switch_cosim_cycle, switch_on_board,
-    SwitchScenarioConfig,
+    compare_switch_output, switch_cosim, switch_cosim_cycle, switch_on_board, SwitchScenarioConfig,
 };
 
 #[test]
@@ -67,9 +66,7 @@ fn event_driven_and_cycle_based_followers_agree_exactly() {
             .map(|h| {
                 h.take()
                     .into_iter()
-                    .map(|(t, p)| {
-                        (t.as_picos(), p.payload::<AtmCell>().expect("cell").clone())
-                    })
+                    .map(|(t, p)| (t.as_picos(), p.payload::<AtmCell>().expect("cell").clone()))
                     .collect()
             })
             .collect()
@@ -112,7 +109,7 @@ impl CycleDut for BuggySwitch {
                 self.cells_seen += 1;
             }
             let in_cell_pos = self.cells_seen; // crude: corrupt while sync counting
-            if in_cell_pos % 7 == 0 && outs[4] == 0 {
+            if in_cell_pos.is_multiple_of(7) && outs[4] == 0 {
                 outs[3] ^= 0x01;
             }
         }
@@ -131,7 +128,10 @@ fn seeded_payload_bug_is_detected_by_the_comparator() {
         table_capacity: 8,
     });
     assert!(inner.install_route(1, 40, 1, 7, 70));
-    let dut = BuggySwitch { inner, cells_seen: 0 };
+    let dut = BuggySwitch {
+        inner,
+        cells_seen: 0,
+    };
 
     // Coupled run: 30 cells through the buggy DUT.
     let mut net = Kernel::new(3);
@@ -151,10 +151,12 @@ fn seeded_payload_bug_is_detected_by_the_comparator() {
             .with_limit(30),
         ),
     );
-    net.connect_stream(src, PortId(0), iface, PortId(0)).expect("wire");
+    net.connect_stream(src, PortId(0), iface, PortId(0))
+        .expect("wire");
     let (collector, got) = CollectorProcess::new();
     let sink = net.add_module(node, "sink", Box::new(collector));
-    net.connect_stream(iface, PortId(1), sink, PortId(0)).expect("wire");
+    net.connect_stream(iface, PortId(1), sink, PortId(0))
+        .expect("wire");
 
     let mut sim = Simulator::new();
     let clk = sim.add_clock("clk", SimDuration::from_ns(20));
@@ -181,7 +183,8 @@ fn seeded_payload_bug_is_detected_by_the_comparator() {
     // Simplest: collect on output 0 as well.
     let (collector0, got0) = CollectorProcess::new();
     let sink0 = net.add_module(node, "sink0", Box::new(collector0));
-    net.connect_stream(iface, PortId(0), sink0, PortId(0)).expect("wire");
+    net.connect_stream(iface, PortId(0), sink0, PortId(0))
+        .expect("wire");
 
     let follower = RtlCosim::new(sim, entity);
     let mut coupling = Coupling::new(net, follower, sync, cell_type, iface, outbox);
@@ -233,10 +236,12 @@ fn board_follower_couples_into_the_full_loop() {
             .with_limit(10),
         ),
     );
-    net.connect_stream(src, PortId(0), iface, PortId(0)).expect("wire");
+    net.connect_stream(src, PortId(0), iface, PortId(0))
+        .expect("wire");
     let (collector, got) = CollectorProcess::new();
     let sink = net.add_module(node, "sink", Box::new(collector));
-    net.connect_stream(iface, PortId(1), sink, PortId(0)).expect("wire");
+    net.connect_stream(iface, PortId(1), sink, PortId(0))
+        .expect("wire");
 
     let follower = switch_on_board(256, cell_type);
     let mut coupling = Coupling::new(net, follower, sync, cell_type, iface, outbox)
@@ -270,8 +275,16 @@ fn cycle_follower_single_cell_latency_matches_structure() {
         MessageTypeId(0),
         HeaderFormat::Uni,
     );
-    follower.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-    follower.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+    follower.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    follower.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
     follower
         .deliver(Message::cell(
             SimTime::ZERO,
@@ -280,7 +293,9 @@ fn cycle_follower_single_cell_latency_matches_structure() {
             AtmCell::user_data(VpiVci::uni(1, 40).expect("id"), [1; 48]),
         ))
         .expect("deliver");
-    let responses = follower.advance_until(SimTime::from_us(10)).expect("advance");
+    let responses = follower
+        .advance_until(SimTime::from_us(10))
+        .expect("advance");
     assert_eq!(responses.len(), 1);
     let clocks = responses[0].stamp.as_picos() / 20_000;
     assert!(

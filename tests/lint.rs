@@ -1,0 +1,117 @@
+//! End-to-end tests of the pre-flight static analysis: shipped scenarios
+//! lint clean, broken assemblies yield their documented diagnostics, and
+//! strict couplings refuse to run misconfigured setups.
+
+use castanet::coupling::{Coupling, RtlCosim};
+use castanet::entity::CosimEntity;
+use castanet::error::CastanetError;
+use castanet::interface::CastanetInterfaceProcess;
+use castanet::message::MessageTypeId;
+use castanet::sync::ConservativeSync;
+use castanet_atm::addr::HeaderFormat;
+use castanet_lint::{check_coupling, code_info, has_errors, Severity};
+use castanet_netsim::kernel::Kernel;
+use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_rtl::sim::Simulator;
+use coverify::scenarios::{
+    accounting_cosim, switch_cosim, switch_cosim_cycle, AccountingScenarioConfig,
+    SwitchScenarioConfig,
+};
+
+fn small_switch() -> SwitchScenarioConfig {
+    SwitchScenarioConfig {
+        cells_per_source: 5,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn shipped_switch_scenario_lints_clean() {
+    let scenario = switch_cosim(small_switch());
+    let diags = check_coupling(&scenario.coupling);
+    assert!(diags.is_empty(), "shipped scenario flagged: {diags:?}");
+}
+
+#[test]
+fn shipped_cycle_scenario_lints_clean() {
+    let scenario = switch_cosim_cycle(small_switch());
+    let diags = castanet_lint::check_coupling_setup(&scenario.coupling);
+    assert!(diags.is_empty(), "shipped scenario flagged: {diags:?}");
+}
+
+#[test]
+fn shipped_accounting_scenario_lints_clean() {
+    let cfg = AccountingScenarioConfig {
+        cells_per_conn: 5,
+        ..Default::default()
+    };
+    let diags = check_coupling(&accounting_cosim(cfg).coupling);
+    assert!(diags.is_empty(), "shipped scenario flagged: {diags:?}");
+}
+
+/// A minimal hand-assembled coupling whose synchronizer never had the cell
+/// type registered — the canonical "would fail minutes into the run"
+/// misconfiguration.
+fn broken_coupling() -> Coupling<RtlCosim> {
+    let mut net = Kernel::new(1);
+    let node = net.add_node("n");
+    let cell_type = MessageTypeId(0);
+    let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+    let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+    let sync = ConservativeSync::new(); // nothing registered
+    let sim = Simulator::new();
+    let entity = CosimEntity::new(SimDuration::from_ns(20), HeaderFormat::Uni, cell_type);
+    let follower = RtlCosim::new(sim, entity);
+    Coupling::new(net, follower, sync, cell_type, iface, outbox)
+}
+
+#[test]
+fn broken_coupling_yields_documented_diagnostics() {
+    let coupling = broken_coupling();
+    let diags = check_coupling(&coupling);
+    assert!(has_errors(&diags), "empty synchronizer must be an error");
+    let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"CAST001"), "no types registered: {codes:?}");
+    assert!(
+        codes.contains(&"CAST003"),
+        "cell type unregistered: {codes:?}"
+    );
+    assert!(
+        codes.contains(&"CAST041"),
+        "iface module is isolated: {codes:?}"
+    );
+    for d in &diags {
+        let (severity, _) = code_info(d.code)
+            .unwrap_or_else(|| panic!("finding uses undocumented code {}", d.code));
+        assert_eq!(severity, d.severity, "severity drift for {}", d.code);
+    }
+    // Errors sort ahead of warnings and advisory notes.
+    let first_non_error = diags.iter().position(|d| d.severity != Severity::Error);
+    if let Some(pos) = first_non_error {
+        assert!(diags[pos..].iter().all(|d| d.severity != Severity::Error));
+    }
+}
+
+#[test]
+fn strict_coupling_refuses_to_run_broken_setup() {
+    let mut coupling = broken_coupling().with_strict(true);
+    let err = coupling
+        .run(SimTime::from_us(1))
+        .expect_err("preflight must reject");
+    match err {
+        CastanetError::Preflight(findings) => {
+            assert!(
+                findings.iter().any(|f| f.contains("CAST001")),
+                "preflight findings carry the lint codes: {findings:?}"
+            );
+        }
+        other => panic!("expected a preflight rejection, got {other}"),
+    }
+}
+
+#[test]
+fn non_strict_coupling_still_reports_preflight_on_demand() {
+    let coupling = broken_coupling();
+    assert!(!coupling.strict());
+    assert!(coupling.preflight().is_err());
+}

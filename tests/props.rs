@@ -1,5 +1,10 @@
 //! Property-based test suites over the core data structures and protocol
-//! invariants (proptest).
+//! invariants.
+//!
+//! Runs on a self-contained deterministic harness ([`harness`]) instead of an
+//! external property-testing crate: each property executes `CASES` cases from
+//! a fixed per-property seed, so every failure is reproducible by rerunning
+//! the named test — no regression files needed.
 
 use castanet::convert::{cell_to_byte_ops, ByteStreamAssembler};
 use castanet::ipc::{decode_message, encode_message};
@@ -17,150 +22,259 @@ use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_rtl::logic::Logic;
 use castanet_rtl::vector::LogicVector;
 use castanet_testboard::pinmap::{InportMapping, PinMapConfig, PinSegment};
-use proptest::prelude::*;
+use harness::{cases, Gen};
 
-fn arb_payload() -> impl Strategy<Value = [u8; 48]> {
-    prop::array::uniform32(any::<u8>()).prop_flat_map(|first| {
-        prop::array::uniform16(any::<u8>()).prop_map(move |second| {
+mod harness {
+    //! Minimal deterministic property-test harness.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Number of cases each property runs.
+    pub const CASES: u64 = 256;
+
+    /// Per-case value generator wrapping a seeded [`SmallRng`].
+    pub struct Gen {
+        rng: SmallRng,
+    }
+
+    impl Gen {
+        pub fn u8(&mut self) -> u8 {
+            (self.rng.random::<u64>() >> 56) as u8
+        }
+
+        pub fn u16(&mut self) -> u16 {
+            (self.rng.random::<u64>() >> 48) as u16
+        }
+
+        pub fn u32(&mut self) -> u32 {
+            self.rng.random::<u32>()
+        }
+
+        pub fn u64(&mut self) -> u64 {
+            self.rng.random::<u64>()
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.rng.random::<bool>()
+        }
+
+        /// Uniform draw from `lo..hi` (half-open, like proptest's `a..b`).
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi);
+            self.rng.random_range(lo..hi)
+        }
+
+        /// Uniform draw from `lo..hi` (half-open).
+        pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi);
+            self.rng.random_range(lo..hi)
+        }
+
+        /// A uniformly random 48-octet ATM payload.
+        pub fn payload(&mut self) -> [u8; 48] {
             let mut p = [0u8; 48];
-            p[..32].copy_from_slice(&first);
-            p[32..].copy_from_slice(&second);
+            for b in &mut p {
+                *b = self.u8();
+            }
             p
-        })
-    })
+        }
+
+        /// A byte vector with length drawn from `len_lo..len_hi`.
+        pub fn bytes(&mut self, len_lo: usize, len_hi: usize) -> Vec<u8> {
+            let len = self.range_usize(len_lo, len_hi);
+            (0..len).map(|_| self.u8()).collect()
+        }
+
+        /// A vector of `len_lo..len_hi` values produced by `f`.
+        pub fn vec_of<T>(
+            &mut self,
+            len_lo: usize,
+            len_hi: usize,
+            mut f: impl FnMut(&mut Gen) -> T,
+        ) -> Vec<T> {
+            let len = self.range_usize(len_lo, len_hi);
+            (0..len).map(|_| f(self)).collect()
+        }
+    }
+
+    /// Runs `body` for [`CASES`] deterministic cases.
+    ///
+    /// `label` isolates the random stream per property so adding or
+    /// reordering properties never shifts another property's cases.
+    pub fn cases(label: &str, body: impl Fn(&mut Gen)) {
+        // FNV-1a over the label picks the per-property stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        for case in 0..CASES {
+            let mut g = Gen {
+                rng: SmallRng::seed_from_u64(h ^ (case.wrapping_mul(0x9E3779B97F4A7C15))),
+            };
+            body(&mut g);
+        }
+    }
 }
 
-fn arb_uni_header() -> impl Strategy<Value = CellHeader> {
-    (0u8..16, 0u16..=255, any::<u16>(), 0u8..8, any::<bool>()).prop_map(
-        |(gfc, vpi, vci, pt, clp)| CellHeader {
-            gfc,
-            id: VpiVci::new(
-                Vpi::new(vpi, HeaderFormat::Uni).expect("in range"),
-                Vci::new(vci),
-            ),
-            pt: PayloadType::from_bits(pt),
-            clp,
-        },
-    )
+fn gen_uni_header(g: &mut Gen) -> CellHeader {
+    CellHeader {
+        gfc: (g.range_u64(0, 16)) as u8,
+        id: VpiVci::new(
+            Vpi::new(g.range_u64(0, 256) as u16, HeaderFormat::Uni).expect("in range"),
+            Vci::new(g.u16()),
+        ),
+        pt: PayloadType::from_bits(g.range_u64(0, 8) as u8),
+        clp: g.bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cell_wire_roundtrip_uni(header in arb_uni_header(), payload in arb_payload()) {
-        let cell = AtmCell::with_header(header, payload);
+#[test]
+fn cell_wire_roundtrip_uni() {
+    cases("cell_wire_roundtrip_uni", |g| {
+        let cell = AtmCell::with_header(gen_uni_header(g), g.payload());
         let wire = cell.encode(HeaderFormat::Uni).expect("encode");
         let back = AtmCell::decode(&wire, HeaderFormat::Uni).expect("decode");
-        prop_assert_eq!(back, cell);
-    }
+        assert_eq!(back, cell);
+    });
+}
 
-    #[test]
-    fn cell_wire_roundtrip_nni(vpi in 0u16..4096, vci: u16, pt in 0u8..8, clp: bool, payload in arb_payload()) {
+#[test]
+fn cell_wire_roundtrip_nni() {
+    cases("cell_wire_roundtrip_nni", |g| {
         let header = CellHeader {
             gfc: 0,
-            id: VpiVci::new(Vpi::new(vpi, HeaderFormat::Nni).expect("in range"), Vci::new(vci)),
-            pt: PayloadType::from_bits(pt),
-            clp,
+            id: VpiVci::new(
+                Vpi::new(g.range_u64(0, 4096) as u16, HeaderFormat::Nni).expect("in range"),
+                Vci::new(g.u16()),
+            ),
+            pt: PayloadType::from_bits(g.range_u64(0, 8) as u8),
+            clp: g.bool(),
         };
-        let cell = AtmCell::with_header(header, payload);
+        let cell = AtmCell::with_header(header, g.payload());
         let wire = cell.encode(HeaderFormat::Nni).expect("encode");
-        prop_assert_eq!(AtmCell::decode(&wire, HeaderFormat::Nni).expect("decode"), cell);
-    }
+        assert_eq!(
+            AtmCell::decode(&wire, HeaderFormat::Nni).expect("decode"),
+            cell
+        );
+    });
+}
 
-    #[test]
-    fn any_single_header_bit_flip_is_corrected(header in arb_uni_header(), bit in 0usize..40) {
-        let cell = AtmCell::with_header(header, [0u8; 48]);
+#[test]
+fn any_single_header_bit_flip_is_corrected() {
+    cases("any_single_header_bit_flip_is_corrected", |g| {
+        let bit = g.range_usize(0, 40);
+        let cell = AtmCell::with_header(gen_uni_header(g), [0u8; 48]);
         let wire = cell.encode(HeaderFormat::Uni).expect("encode");
         let mut bad = [0u8; 5];
         bad.copy_from_slice(&wire[..5]);
         bad[bit / 8] ^= 0x80 >> (bit % 8);
         let mut rx = hec::HecReceiver::new();
         match rx.receive(&bad) {
-            hec::HecOutcome::Corrected(fixed) => prop_assert_eq!(&fixed[..], &wire[..5]),
-            other => prop_assert!(false, "bit {} not corrected: {:?}", bit, other),
+            hec::HecOutcome::Corrected(fixed) => assert_eq!(&fixed[..], &wire[..5]),
+            other => panic!("bit {bit} not corrected: {other:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn aal5_roundtrip(sdu in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn aal5_roundtrip() {
+    cases("aal5_roundtrip", |g| {
+        let sdu = g.bytes(0, 2000);
         let conn = VpiVci::uni(1, 42).expect("id");
         let cells = aal5::segment(conn, &sdu).expect("segment");
-        prop_assert_eq!(aal5::reassemble(&cells).expect("reassemble"), sdu);
-    }
+        assert_eq!(aal5::reassemble(&cells).expect("reassemble"), sdu);
+    });
+}
 
-    #[test]
-    fn aal5_payload_corruption_always_detected(
-        sdu in prop::collection::vec(any::<u8>(), 1..500),
-        byte_index in any::<prop::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
+#[test]
+fn aal5_payload_corruption_always_detected() {
+    cases("aal5_payload_corruption_always_detected", |g| {
+        let sdu = g.bytes(1, 500);
+        let flip = g.range_u64(1, 256) as u8;
         let conn = VpiVci::uni(1, 42).expect("id");
         let mut cells = aal5::segment(conn, &sdu).expect("segment");
         let total = cells.len() * 48;
-        let at = byte_index.index(total);
+        let at = g.range_usize(0, total);
         cells[at / 48].payload[at % 48] ^= flip;
         // Either the CRC fails or (if the corruption hit the pad/length in
         // a detectable way) another validation error fires; it must never
         // silently return the original data.
-        match aal5::reassemble(&cells) {
-            Ok(data) => prop_assert_ne!(data, sdu),
-            Err(_) => {}
+        if let Ok(data) = aal5::reassemble(&cells) {
+            assert_ne!(data, sdu);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gcra_formulations_agree(gaps in prop::collection::vec(0u64..30, 1..300), t_us in 1u64..20, tau_us in 0u64..40) {
-        let t = SimDuration::from_us(t_us);
-        let tau = SimDuration::from_us(tau_us);
-        let mut g = Gcra::new(t, tau);
+#[test]
+fn gcra_formulations_agree() {
+    cases("gcra_formulations_agree", |g| {
+        let gaps = g.vec_of(1, 300, |g| g.range_u64(0, 30));
+        let t = SimDuration::from_us(g.range_u64(1, 20));
+        let tau = SimDuration::from_us(g.range_u64(0, 40));
+        let mut gcra = Gcra::new(t, tau);
         let mut lb = LeakyBucket::new(t, tau);
         let mut now = SimTime::ZERO;
         for gap in gaps {
             now += SimDuration::from_us(gap);
-            prop_assert_eq!(g.arrival(now), lb.arrival(now));
+            assert_eq!(gcra.arrival(now), lb.arrival(now));
         }
-    }
+    });
+}
 
-    #[test]
-    fn logic_vector_u64_roundtrip(value: u64, width in 1usize..=64) {
-        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+#[test]
+fn logic_vector_u64_roundtrip() {
+    cases("logic_vector_u64_roundtrip", |g| {
+        let value = g.u64();
+        let width = g.range_usize(1, 65);
+        let masked = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
         let v = LogicVector::from_u64(masked, width);
-        prop_assert_eq!(v.to_u64(), Some(masked));
-        prop_assert_eq!(v.width(), width);
-    }
+        assert_eq!(v.to_u64(), Some(masked));
+        assert_eq!(v.width(), width);
+    });
+}
 
-    #[test]
-    fn logic_resolution_commutes_and_associates(a in 0usize..9, b in 0usize..9, c in 0usize..9) {
-        let (a, b, c) = (Logic::ALL[a], Logic::ALL[b], Logic::ALL[c]);
-        prop_assert_eq!(a.resolve(b), b.resolve(a));
-        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
-    }
+#[test]
+fn logic_resolution_commutes_and_associates() {
+    cases("logic_resolution_commutes_and_associates", |g| {
+        let a = Logic::ALL[g.range_usize(0, 9)];
+        let b = Logic::ALL[g.range_usize(0, 9)];
+        let c = Logic::ALL[g.range_usize(0, 9)];
+        assert_eq!(a.resolve(b), b.resolve(a));
+        assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+    });
+}
 
-    #[test]
-    fn event_list_pops_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn event_list_pops_monotone() {
+    cases("event_list_pops_monotone", |g| {
+        let times = g.vec_of(1, 200, |g| g.range_u64(0, 1_000_000));
         let mut list = EventList::new();
         for &t in &times {
-            list.schedule(SimTime::from_ns(t), EventKind::Stop).expect("schedule");
+            list.schedule(SimTime::from_ns(t), EventKind::Stop)
+                .expect("schedule");
         }
         let mut prev = SimTime::ZERO;
         while let Some(ev) = list.pop() {
-            prop_assert!(ev.time() >= prev);
+            assert!(ev.time() >= prev);
             prev = ev.time();
         }
-    }
+    });
+}
 
-    #[test]
-    fn byte_stream_assembler_recovers_cells_after_garbage(
-        header in arb_uni_header(),
-        payload in arb_payload(),
-        garbage in prop::collection::vec(any::<u8>(), 0..100),
-    ) {
-        let cell = AtmCell::with_header(header, payload);
+#[test]
+fn byte_stream_assembler_recovers_cells_after_garbage() {
+    cases("byte_stream_assembler_recovers_cells_after_garbage", |g| {
+        let cell = AtmCell::with_header(gen_uni_header(g), g.payload());
+        let garbage = g.bytes(0, 100);
         let mut rx = ByteStreamAssembler::new(HeaderFormat::Uni);
         // Garbage without sync markers must not produce cells.
         for b in garbage {
-            prop_assert!(rx.push(b, false).expect("no cell completes").is_none());
+            assert!(rx.push(b, false).expect("no cell completes").is_none());
         }
         let mut got = None;
         for op in cell_to_byte_ops(&cell, HeaderFormat::Uni).expect("convert") {
@@ -168,32 +282,29 @@ proptest! {
                 got = Some(c);
             }
         }
-        prop_assert_eq!(got, Some(cell));
-    }
+        assert_eq!(got, Some(cell));
+    });
+}
 
-    #[test]
-    fn ipc_codec_roundtrip(
-        stamp_ps: u64,
-        type_id: u32,
-        port in 0usize..100_000,
-        header in arb_uni_header(),
-        payload in arb_payload(),
-    ) {
+#[test]
+fn ipc_codec_roundtrip() {
+    cases("ipc_codec_roundtrip", |g| {
         let msg = Message {
-            stamp: SimTime::from_picos(stamp_ps),
-            type_id: MessageTypeId(type_id),
-            port,
-            payload: MessagePayload::Cell(AtmCell::with_header(header, payload)),
+            stamp: SimTime::from_picos(g.u64()),
+            type_id: MessageTypeId(g.u32()),
+            port: g.range_usize(0, 100_000),
+            payload: MessagePayload::Cell(AtmCell::with_header(gen_uni_header(g), g.payload())),
         };
-        prop_assert_eq!(decode_message(&encode_message(&msg)).expect("decode"), msg);
-    }
+        assert_eq!(decode_message(&encode_message(&msg)).expect("decode"), msg);
+    });
+}
 
-    #[test]
-    fn pinmap_roundtrip_random_single_lane_ports(
-        lane in 0usize..16,
-        start_bit in 0usize..8,
-        value: u8,
-    ) {
+#[test]
+fn pinmap_roundtrip_random_single_lane_ports() {
+    cases("pinmap_roundtrip_random_single_lane_ports", |g| {
+        let lane = g.range_usize(0, 16);
+        let start_bit = g.range_usize(0, 8);
+        let value = g.u8();
         let bits = start_bit + 1; // widest segment ending at bit 0
         let cfg = PinMapConfig {
             inports: vec![InportMapping {
@@ -211,18 +322,25 @@ proptest! {
         let mut out = 0u64;
         for seg in &port.segments {
             let shift = seg.start_bit + 1 - seg.bits;
-            out = (out << seg.bits) | (u64::from(frame[seg.lane] >> shift) & ((1u64 << seg.bits) - 1));
+            out = (out << seg.bits)
+                | (u64::from(frame[seg.lane] >> shift) & ((1u64 << seg.bits) - 1));
         }
-        prop_assert_eq!(out, masked);
-    }
+        assert_eq!(out, masked);
+    });
+}
 
-    #[test]
-    fn conservative_sync_never_violates_lag_under_random_schedules(
-        deltas_us in prop::collection::vec(1u64..20, 1..5),
-        steps in prop::collection::vec((0usize..5, 0u64..2_000, any::<bool>()), 1..400),
-    ) {
+#[test]
+fn conservative_sync_never_violates_lag_under_random_schedules() {
+    cases("conservative_sync_never_violates_lag", |g| {
+        let deltas_us = g.vec_of(1, 5, |g| g.range_u64(1, 20));
+        let steps = g.vec_of(1, 400, |g| {
+            (g.range_usize(0, 5), g.range_u64(0, 2_000), g.bool())
+        });
         let mut sync = ConservativeSync::new();
-        let types: Vec<_> = deltas_us.iter().map(|&d| sync.register_type(SimDuration::from_us(d))).collect();
+        let types: Vec<_> = deltas_us
+            .iter()
+            .map(|&d| sync.register_type(SimDuration::from_us(d)))
+            .collect();
         let n = types.len();
         let mut stamps = vec![SimTime::ZERO; n];
         let mut originator = SimTime::ZERO;
@@ -234,19 +352,20 @@ proptest! {
             sync.receive(types[j], stamps[j], is_null).expect("receive");
             sync.advance_local(prev).expect("advance");
             prev = sync.originator_time();
-            prop_assert!(sync.lag_invariant_holds());
-            prop_assert!(sync.local_time() <= sync.originator_time());
+            assert!(sync.lag_invariant_holds());
+            assert!(sync.local_time() <= sync.originator_time());
         }
-    }
+    });
+}
 
-    #[test]
-    fn frame_aware_queue_admits_only_whole_frames(
+#[test]
+fn frame_aware_queue_admits_only_whole_frames() {
+    cases("frame_aware_queue_admits_only_whole_frames", |g| {
         // The classical EPD guarantee needs headroom: frames must fit in
         // (capacity - threshold). Capacity 24, threshold 12, frames of at
         // most ceil((500+8)/48) = 11 cells.
-        frame_lens in prop::collection::vec(1usize..500, 1..20),
-        service in prop::collection::vec(0usize..4, 1..20),
-    ) {
+        let frame_lens = g.vec_of(1, 20, |g| g.range_usize(1, 500));
+        let service = g.vec_of(1, 20, |g| g.range_usize(0, 4));
         use castanet_atm::discard::{DiscardPolicy, DiscardQueue};
         let conn = VpiVci::uni(1, 40).expect("id");
         let capacity = 24usize;
@@ -260,33 +379,43 @@ proptest! {
             for _ in 0..*service_it.next().expect("cycle") {
                 if let Some(cell) = q.pop() {
                     // Anything leaving the queue reassembles cleanly.
-                    prop_assert!(assembler.push(cell).is_ok());
+                    assert!(assembler.push(cell).is_ok());
                 }
             }
         }
         while let Some(cell) = q.pop() {
-            prop_assert!(assembler.push(cell).is_ok());
+            assert!(assembler.push(cell).is_ok());
         }
-        prop_assert_eq!(assembler.errors(), 0, "no partial frames may leave an EPD queue");
-        prop_assert_eq!(assembler.pending_cells(), 0, "no dangling tails");
-    }
+        assert_eq!(
+            assembler.errors(),
+            0,
+            "no partial frames may leave an EPD queue"
+        );
+        assert_eq!(assembler.pending_cells(), 0, "no dangling tails");
+    });
+}
 
-    #[test]
-    fn oam_loopback_roundtrip(vpi in 0u16..256, vci: u16, tag: u32, e2e: bool) {
+#[test]
+fn oam_loopback_roundtrip() {
+    cases("oam_loopback_roundtrip", |g| {
         use castanet_atm::oam::LoopbackCell;
-        let lb = LoopbackCell::request(VpiVci::uni(vpi, vci).expect("id"), e2e, tag);
+        let vpi = g.range_u64(0, 256) as u16;
+        let lb = LoopbackCell::request(VpiVci::uni(vpi, g.u16()).expect("id"), g.bool(), g.u32());
         let cell = lb.encode();
-        prop_assert_eq!(LoopbackCell::decode(&cell).expect("decode"), lb);
+        assert_eq!(LoopbackCell::decode(&cell).expect("decode"), lb);
         // Any single payload bit flip must be detected by the CRC-10.
         let mut bad = cell.clone();
         bad.payload[5] ^= 0x10;
-        prop_assert!(LoopbackCell::decode(&bad).is_err());
-    }
+        assert!(LoopbackCell::decode(&bad).is_err());
+    });
+}
 
-    #[test]
-    fn optimistic_always_converges_to_sorted_result(
-        schedule in prop::collection::vec((0u64..10_000, 1u32..100), 1..120),
-    ) {
+#[test]
+fn optimistic_always_converges_to_sorted_result() {
+    cases("optimistic_always_converges_to_sorted_result", |g| {
+        let schedule = g.vec_of(1, 120, |g| {
+            (g.range_u64(0, 10_000), g.range_u64(1, 100) as u32)
+        });
         fn step(state: &mut u64, ev: &u32) -> Vec<u64> {
             *state = state.wrapping_mul(31).wrapping_add(u64::from(*ev));
             vec![*state]
@@ -297,7 +426,7 @@ proptest! {
             .enumerate()
             .map(|(i, &(t, e))| (t, i as u64, e))
             .collect();
-        keyed.sort();
+        keyed.sort_unstable();
         let mut reference = 0u64;
         for &(_, _, e) in &keyed {
             step(&mut reference, &e);
@@ -305,9 +434,154 @@ proptest! {
 
         let mut tw = OptimisticSync::new(0u64, step, usize::MAX >> 1);
         for (i, &(t, e)) in schedule.iter().enumerate() {
-            tw.execute(TimedEvent { stamp: SimTime::from_ns(t), seq: i as u64, event: e })
-                .expect("execute");
+            tw.execute(TimedEvent {
+                stamp: SimTime::from_ns(t),
+                seq: i as u64,
+                event: e,
+            })
+            .expect("execute");
         }
-        prop_assert_eq!(*tw.state(), reference);
+        assert_eq!(*tw.state(), reference);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pre-flight static analysis (castanet-lint)
+// ---------------------------------------------------------------------
+
+/// A random valid pin-map data set: one inport per lane, MSB-anchored, so
+/// segments can never collide.
+fn gen_valid_pinmap(g: &mut Gen) -> PinMapConfig {
+    let ports = g.range_usize(1, 17); // at most one port per lane
+    let mut cfg = PinMapConfig::default();
+    for lane in 0..ports {
+        let width = g.range_usize(1, 9);
+        cfg.inports.push(InportMapping {
+            number: lane,
+            width,
+            segments: vec![PinSegment::new(lane, 7, width)],
+        });
     }
+    cfg
+}
+
+#[test]
+fn lint_random_valid_pinmap_is_clean() {
+    cases("lint_random_valid_pinmap_is_clean", |g| {
+        let cfg = gen_valid_pinmap(g);
+        let diags = castanet_lint::passes::pinmap::check_pinmap(&cfg, None);
+        assert!(diags.is_empty(), "valid data set flagged: {diags:?}");
+    });
+}
+
+#[test]
+fn lint_overlap_mutation_yields_exactly_cast030() {
+    cases("lint_overlap_mutation_yields_exactly_cast030", |g| {
+        let mut cfg = gen_valid_pinmap(g);
+        // Mutation: a new port re-claims an existing port's segment.
+        let victim = g.range_usize(0, cfg.inports.len());
+        let seg = cfg.inports[victim].segments[0];
+        cfg.inports.push(InportMapping {
+            number: cfg.inports.len(),
+            width: seg.bits,
+            segments: vec![seg],
+        });
+        let diags = castanet_lint::passes::pinmap::check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), seg.bits, "one finding per doubly-claimed pin");
+        assert!(diags.iter().all(|d| d.code == "CAST030"), "{diags:?}");
+    });
+}
+
+#[test]
+fn lint_width_mutation_yields_exactly_cast033() {
+    cases("lint_width_mutation_yields_exactly_cast033", |g| {
+        let mut cfg = gen_valid_pinmap(g);
+        let victim = g.range_usize(0, cfg.inports.len());
+        cfg.inports[victim].width += 1 + g.range_usize(0, 8);
+        let diags = castanet_lint::passes::pinmap::check_pinmap(&cfg, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST033");
+    });
+}
+
+#[test]
+fn lint_random_valid_sync_is_clean_and_zero_delta_is_exactly_cast002() {
+    cases(
+        "lint_random_valid_sync_is_clean_and_zero_delta_is_exactly_cast002",
+        |g| {
+            let mut sync = ConservativeSync::new();
+            let n = g.range_usize(1, 8);
+            let types: Vec<_> = (0..n)
+                .map(|_| sync.register_type(SimDuration::from_ns(g.range_u64(1, 100_000))))
+                .collect();
+            let cell_type = types[g.range_usize(0, n)];
+            assert!(
+                castanet_lint::passes::sync_liveness::check_sync(&sync, Some(cell_type)).is_empty(),
+                "positive-delta synchronizer flagged"
+            );
+
+            // Mutation: one more type, registered with zero lookahead.
+            let zero = sync.register_type(SimDuration::ZERO);
+            let diags = castanet_lint::passes::sync_liveness::check_sync(&sync, Some(cell_type));
+            assert_eq!(diags.len(), 1);
+            assert_eq!(diags[0].code, "CAST002");
+            assert_eq!(diags[0].location, format!("sync.type[{}]", zero.0));
+        },
+    );
+}
+
+#[test]
+fn lint_rtl_width_mutation_yields_exactly_cast020() {
+    use castanet::entity::{CosimEntity, IngressSignals};
+    use castanet_rtl::sim::Simulator;
+    cases("lint_rtl_width_mutation_yields_exactly_cast020", |g| {
+        let mut sim = Simulator::new();
+        // One wrong width among the three ingress signals.
+        let wrong = g.range_usize(0, 3);
+        let bad_width = if g.bool() {
+            g.range_usize(2, 8)
+        } else {
+            g.range_usize(9, 64)
+        };
+        let widths = |i: usize, good: usize| if i == wrong { bad_width } else { good };
+        let data = sim.add_signal("atmdata", widths(0, 8));
+        let sync = sim.add_signal("cellsync", widths(1, 1));
+        let enable = sim.add_signal("enable", widths(2, 1));
+        let mut entity = CosimEntity::new(
+            SimDuration::from_ns(20),
+            HeaderFormat::Uni,
+            MessageTypeId(0),
+        );
+        entity.add_ingress(IngressSignals { data, sync, enable });
+        let diags = castanet_lint::passes::interface::check_rtl_widths(&sim, &entity);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "CAST020");
+    });
+}
+
+#[test]
+fn lint_findings_always_use_registered_codes() {
+    cases("lint_findings_always_use_registered_codes", |g| {
+        // Throw a random (mostly broken) data set at the pin-map pass and
+        // check every finding carries a documented code whose registered
+        // severity matches the emitted one.
+        let mut cfg = PinMapConfig::default();
+        let ports = g.range_usize(1, 6);
+        for _ in 0..ports {
+            cfg.inports.push(InportMapping {
+                number: g.range_usize(0, 4),
+                width: g.range_usize(0, 12),
+                segments: vec![PinSegment::new(
+                    g.range_usize(0, 20),
+                    g.range_usize(0, 10),
+                    g.range_usize(0, 10),
+                )],
+            });
+        }
+        for d in castanet_lint::passes::pinmap::check_pinmap(&cfg, None) {
+            let (severity, _) = castanet_lint::code_info(d.code)
+                .unwrap_or_else(|| panic!("undocumented code {}", d.code));
+            assert_eq!(severity, d.severity, "severity drift for {}", d.code);
+        }
+    });
 }

@@ -31,18 +31,31 @@ fn fresh_follower() -> CycleCosim {
         MessageTypeId(1),
         HeaderFormat::Uni,
     );
-    follower.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-    follower.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+    follower.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    follower.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
     follower
 }
 
-fn drive(follower: &mut CycleCosim, messages: &[castanet::message::Message]) -> Vec<(u64, AtmCell)> {
+fn drive(
+    follower: &mut CycleCosim,
+    messages: &[castanet::message::Message],
+) -> Vec<(u64, AtmCell)> {
     for m in messages {
         follower.deliver(m.clone()).expect("deliver");
     }
     let mut out = Vec::new();
     loop {
-        let r = follower.advance_until(SimTime::from_ms(50)).expect("advance");
+        let r = follower
+            .advance_until(SimTime::from_ms(50))
+            .expect("advance");
         if r.is_empty() {
             break;
         }
@@ -96,7 +109,9 @@ fn walking_ones_pass_through_the_receiver_dut() {
         let wire = cell.encode(HeaderFormat::Uni).expect("encode");
         let mut last = Vec::new();
         for (i, &b) in wire.iter().enumerate() {
-            last = sim.step(&[u64::from(b), u64::from(i == 0), 1, 0]).expect("step");
+            last = sim
+                .step(&[u64::from(b), u64::from(i == 0), 1, 0])
+                .expect("step");
         }
         assert_eq!(last[0], 1, "cell_valid for {cell}");
         assert_eq!(last[1], 1, "hec ok for {cell}");
@@ -118,7 +133,9 @@ fn hec_error_campaign_through_the_receiver_dut() {
     for (bit, wire, _) in singles {
         let mut last = Vec::new();
         for (i, &b) in wire.iter().enumerate() {
-            last = sim.step(&[u64::from(b), u64::from(i == 0), 1, 0]).expect("step");
+            last = sim
+                .step(&[u64::from(b), u64::from(i == 0), 1, 0])
+                .expect("step");
         }
         assert_eq!(last[0], 1, "cell completes (bit {bit})");
         assert_eq!(last[1], 0, "hec flagged (bit {bit})");
@@ -126,7 +143,9 @@ fn hec_error_campaign_through_the_receiver_dut() {
     for wire in double_bit_hec_errors(&base, HeaderFormat::Uni).expect("generate") {
         let mut last = Vec::new();
         for (i, &b) in wire.iter().enumerate() {
-            last = sim.step(&[u64::from(b), u64::from(i == 0), 1, 0]).expect("step");
+            last = sim
+                .step(&[u64::from(b), u64::from(i == 0), 1, 0])
+                .expect("step");
         }
         assert_eq!(last[1], 0, "double-bit corruption flagged");
     }
@@ -134,7 +153,9 @@ fn hec_error_campaign_through_the_receiver_dut() {
     let wire = base.encode(HeaderFormat::Uni).expect("encode");
     let mut last = Vec::new();
     for (i, &b) in wire.iter().enumerate() {
-        last = sim.step(&[u64::from(b), u64::from(i == 0), 1, 0]).expect("step");
+        last = sim
+            .step(&[u64::from(b), u64::from(i == 0), 1, 0])
+            .expect("step");
     }
     assert_eq!(last[1], 1);
 }
@@ -162,7 +183,11 @@ fn standard_suite_drives_the_switch_without_loss() {
         })
         .collect();
     let out = drive(&mut follower, &messages);
-    assert_eq!(out.len(), routed.len(), "every routed conformance cell returns");
+    assert_eq!(
+        out.len(),
+        routed.len(),
+        "every routed conformance cell returns"
+    );
     for (_, cell) in &out {
         assert_eq!(cell.id(), VpiVci::uni(7, 70).expect("id"));
     }
@@ -174,6 +199,13 @@ fn conformance_generators_have_stable_shapes() {
     assert_eq!(boundary_connections().expect("gen").len(), 20);
     assert_eq!(payload_patterns(VpiVci::uni(0, 32).expect("id")).len(), 6);
     let base = AtmCell::user_data(VpiVci::uni(0, 32).expect("id"), [0; 48]);
-    assert_eq!(single_bit_hec_errors(&base, HeaderFormat::Uni).expect("gen").len(), 40);
-    assert!(!double_bit_hec_errors(&base, HeaderFormat::Uni).expect("gen").is_empty());
+    assert_eq!(
+        single_bit_hec_errors(&base, HeaderFormat::Uni)
+            .expect("gen")
+            .len(),
+        40
+    );
+    assert!(!double_bit_hec_errors(&base, HeaderFormat::Uni)
+        .expect("gen")
+        .is_empty());
 }

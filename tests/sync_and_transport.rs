@@ -33,7 +33,7 @@ fn optimistic_out_of_order_equals_conservative_in_order() {
     // Conservative equivalent: sort (what in-order delivery produces) and
     // run sequentially.
     let mut sorted = schedule.clone();
-    sorted.sort();
+    sorted.sort_unstable();
     let mut reference = (0u64, 0u64);
     for (_, ev) in &sorted {
         step(&mut reference, ev);
@@ -49,8 +49,15 @@ fn optimistic_out_of_order_equals_conservative_in_order() {
         })
         .expect("execute");
     }
-    assert!(tw.stats().rollbacks > 0, "the shuffle must actually trigger rollbacks");
-    assert_eq!(*tw.state(), reference, "optimistic must converge to the in-order result");
+    assert!(
+        tw.stats().rollbacks > 0,
+        "the shuffle must actually trigger rollbacks"
+    );
+    assert_eq!(
+        *tw.state(),
+        reference,
+        "optimistic must converge to the in-order result"
+    );
 }
 
 #[test]
@@ -59,10 +66,13 @@ fn conservative_blocks_exactly_what_fig3_forbids() {
     // past. The protocol must reject it and nothing else.
     let mut sync = ConservativeSync::new();
     let t = sync.register_type(SimDuration::from_us(1));
-    sync.receive(t, SimTime::from_us(10), false).expect("in order");
-    sync.advance_local(SimTime::from_us(8)).expect("within grant");
+    sync.receive(t, SimTime::from_us(10), false)
+        .expect("in order");
+    sync.advance_local(SimTime::from_us(8))
+        .expect("within grant");
     // OK: a message at 9 us (>= local 8).
-    sync.receive(t, SimTime::from_us(10), false).expect("same stamp ok");
+    sync.receive(t, SimTime::from_us(10), false)
+        .expect("same stamp ok");
     // Forbidden: a message at 5 us — in the follower's past.
     assert!(sync.receive(t, SimTime::from_us(5), false).is_err());
     // Forbidden: advancing past the grant.
@@ -172,8 +182,16 @@ fn full_coupling_over_unix_sockets_two_thread_deployment() {
             MessageTypeId(0),
             castanet_atm::addr::HeaderFormat::Uni,
         );
-        follower.add_ingress(IngressIndices { data: 0, sync: 1, enable: 2 });
-        follower.add_egress(EgressIndices { data: 3, sync: 4, valid: 5 });
+        follower.add_ingress(IngressIndices {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        follower.add_egress(EgressIndices {
+            data: 3,
+            sync: 4,
+            valid: 5,
+        });
         FollowerServer::new(server_t, follower).serve()
     });
 
@@ -182,7 +200,11 @@ fn full_coupling_over_unix_sockets_two_thread_deployment() {
     let node = net.add_node("n");
     let mut sync = castanet::sync::ConservativeSync::new();
     let cell_type = sync.register_type(SimDuration::from_ns(20) * CELL_OCTETS as u64);
-    assert_eq!(cell_type, MessageTypeId(0), "server stamps responses with type 0");
+    assert_eq!(
+        cell_type,
+        MessageTypeId(0),
+        "server stamps responses with type 0"
+    );
     let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
     let iface = net.add_module(node, "castanet", Box::new(iface_proc));
     let src = net.add_module(
@@ -196,16 +218,20 @@ fn full_coupling_over_unix_sockets_two_thread_deployment() {
             .with_limit(12),
         ),
     );
-    net.connect_stream(src, PortId(0), iface, PortId(0)).expect("wire");
+    net.connect_stream(src, PortId(0), iface, PortId(0))
+        .expect("wire");
     let (collector, got) = CollectorProcess::new();
     let sink = net.add_module(node, "sink", Box::new(collector));
     // The server registered a single egress line, so responses carry
     // co-simulation port 0 and return through interface output 0.
-    net.connect_stream(iface, PortId(0), sink, PortId(0)).expect("wire");
+    net.connect_stream(iface, PortId(0), sink, PortId(0))
+        .expect("wire");
 
     let follower = RemoteFollower::new(client_t);
     let mut coupling = Coupling::new(net, follower, sync, cell_type, iface, outbox);
-    let stats = coupling.run(SimTime::from_ms(10)).expect("coupled run over sockets");
+    let stats = coupling
+        .run(SimTime::from_ms(10))
+        .expect("coupled run over sockets");
     assert_eq!(stats.messages_to_follower, 12);
     assert_eq!(stats.responses, 12);
     assert_eq!(got.len(), 12);
@@ -216,7 +242,10 @@ fn full_coupling_over_unix_sockets_two_thread_deployment() {
 
     let (_, follower) = coupling.into_parts();
     follower.shutdown().expect("shutdown");
-    server_handle.join().expect("join").expect("server clean exit");
+    server_handle
+        .join()
+        .expect("join")
+        .expect("server clean exit");
 }
 
 #[test]
