@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2a861a0cb4948638.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-2a861a0cb4948638.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

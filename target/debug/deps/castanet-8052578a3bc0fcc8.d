@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/castanet-8052578a3bc0fcc8.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/conformance.rs crates/core/src/convert.rs crates/core/src/coupling.rs crates/core/src/cyclecosim.rs crates/core/src/entity.rs crates/core/src/error.rs crates/core/src/hwloop.rs crates/core/src/interface.rs crates/core/src/ipc.rs crates/core/src/message.rs crates/core/src/remote.rs crates/core/src/sync/mod.rs crates/core/src/sync/conservative.rs crates/core/src/sync/lockstep.rs crates/core/src/sync/optimistic.rs crates/core/src/traceio.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libcastanet-8052578a3bc0fcc8.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/conformance.rs crates/core/src/convert.rs crates/core/src/coupling.rs crates/core/src/cyclecosim.rs crates/core/src/entity.rs crates/core/src/error.rs crates/core/src/hwloop.rs crates/core/src/interface.rs crates/core/src/ipc.rs crates/core/src/message.rs crates/core/src/remote.rs crates/core/src/sync/mod.rs crates/core/src/sync/conservative.rs crates/core/src/sync/lockstep.rs crates/core/src/sync/optimistic.rs crates/core/src/traceio.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/conformance.rs:
+crates/core/src/convert.rs:
+crates/core/src/coupling.rs:
+crates/core/src/cyclecosim.rs:
+crates/core/src/entity.rs:
+crates/core/src/error.rs:
+crates/core/src/hwloop.rs:
+crates/core/src/interface.rs:
+crates/core/src/ipc.rs:
+crates/core/src/message.rs:
+crates/core/src/remote.rs:
+crates/core/src/sync/mod.rs:
+crates/core/src/sync/conservative.rs:
+crates/core/src/sync/lockstep.rs:
+crates/core/src/sync/optimistic.rs:
+crates/core/src/traceio.rs:
+crates/core/src/verify.rs:

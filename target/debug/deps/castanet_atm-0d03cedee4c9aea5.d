@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/castanet_atm-0d03cedee4c9aea5.d: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/accounting.rs crates/atm/src/addr.rs crates/atm/src/cell.rs crates/atm/src/discard.rs crates/atm/src/error.rs crates/atm/src/gcra.rs crates/atm/src/hec.rs crates/atm/src/idle.rs crates/atm/src/line.rs crates/atm/src/oam.rs crates/atm/src/signaling.rs crates/atm/src/switch.rs crates/atm/src/traffic/mod.rs crates/atm/src/traffic/cbr.rs crates/atm/src/traffic/mmpp.rs crates/atm/src/traffic/mpeg.rs crates/atm/src/traffic/onoff.rs crates/atm/src/traffic/poisson.rs crates/atm/src/traffic/source.rs crates/atm/src/vpx.rs
+
+/root/repo/target/debug/deps/libcastanet_atm-0d03cedee4c9aea5.rmeta: crates/atm/src/lib.rs crates/atm/src/aal5.rs crates/atm/src/accounting.rs crates/atm/src/addr.rs crates/atm/src/cell.rs crates/atm/src/discard.rs crates/atm/src/error.rs crates/atm/src/gcra.rs crates/atm/src/hec.rs crates/atm/src/idle.rs crates/atm/src/line.rs crates/atm/src/oam.rs crates/atm/src/signaling.rs crates/atm/src/switch.rs crates/atm/src/traffic/mod.rs crates/atm/src/traffic/cbr.rs crates/atm/src/traffic/mmpp.rs crates/atm/src/traffic/mpeg.rs crates/atm/src/traffic/onoff.rs crates/atm/src/traffic/poisson.rs crates/atm/src/traffic/source.rs crates/atm/src/vpx.rs
+
+crates/atm/src/lib.rs:
+crates/atm/src/aal5.rs:
+crates/atm/src/accounting.rs:
+crates/atm/src/addr.rs:
+crates/atm/src/cell.rs:
+crates/atm/src/discard.rs:
+crates/atm/src/error.rs:
+crates/atm/src/gcra.rs:
+crates/atm/src/hec.rs:
+crates/atm/src/idle.rs:
+crates/atm/src/line.rs:
+crates/atm/src/oam.rs:
+crates/atm/src/signaling.rs:
+crates/atm/src/switch.rs:
+crates/atm/src/traffic/mod.rs:
+crates/atm/src/traffic/cbr.rs:
+crates/atm/src/traffic/mmpp.rs:
+crates/atm/src/traffic/mpeg.rs:
+crates/atm/src/traffic/onoff.rs:
+crates/atm/src/traffic/poisson.rs:
+crates/atm/src/traffic/source.rs:
+crates/atm/src/vpx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_bench-8855b7785b7b7cef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcastanet_bench-8855b7785b7b7cef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_bench-90cc078793745167.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcastanet_bench-90cc078793745167.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

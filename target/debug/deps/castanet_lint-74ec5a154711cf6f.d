@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/castanet_lint-74ec5a154711cf6f.d: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs
+
+/root/repo/target/debug/deps/libcastanet_lint-74ec5a154711cf6f.rmeta: crates/lint/src/lib.rs crates/lint/src/diagnostic.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/interface.rs crates/lint/src/passes/pinmap.rs crates/lint/src/passes/sync_liveness.rs crates/lint/src/passes/topology.rs crates/lint/src/report.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diagnostic.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/interface.rs:
+crates/lint/src/passes/pinmap.rs:
+crates/lint/src/passes/sync_liveness.rs:
+crates/lint/src/passes/topology.rs:
+crates/lint/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_lint-907f3d9b2654ac8b.d: src/bin/castanet-lint.rs
+
+/root/repo/target/debug/deps/libcastanet_lint-907f3d9b2654ac8b.rmeta: src/bin/castanet-lint.rs
+
+src/bin/castanet-lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/castanet_lint-c0ca379b4c75b84c.d: src/bin/castanet-lint.rs
+
+/root/repo/target/debug/deps/libcastanet_lint-c0ca379b4c75b84c.rmeta: src/bin/castanet-lint.rs
+
+src/bin/castanet-lint.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/castanet_netsim-1c441eb757639257.d: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libcastanet_netsim-1c441eb757639257.rmeta: crates/netsim/src/lib.rs crates/netsim/src/error.rs crates/netsim/src/event.rs crates/netsim/src/kernel.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/process.rs crates/netsim/src/queue.rs crates/netsim/src/random.rs crates/netsim/src/scheduler.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/error.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/kernel.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/process.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/random.rs:
+crates/netsim/src/scheduler.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:

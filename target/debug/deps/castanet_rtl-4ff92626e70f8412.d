@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/castanet_rtl-4ff92626e70f8412.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs
+
+/root/repo/target/debug/deps/libcastanet_rtl-4ff92626e70f8412.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/cycle.rs crates/rtl/src/dut/mod.rs crates/rtl/src/dut/accounting.rs crates/rtl/src/dut/cell_rx.rs crates/rtl/src/dut/cell_tx.rs crates/rtl/src/dut/switch.rs crates/rtl/src/error.rs crates/rtl/src/logic.rs crates/rtl/src/signal.rs crates/rtl/src/sim.rs crates/rtl/src/testbench.rs crates/rtl/src/timing.rs crates/rtl/src/vector.rs crates/rtl/src/wave.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/cycle.rs:
+crates/rtl/src/dut/mod.rs:
+crates/rtl/src/dut/accounting.rs:
+crates/rtl/src/dut/cell_rx.rs:
+crates/rtl/src/dut/cell_tx.rs:
+crates/rtl/src/dut/switch.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/logic.rs:
+crates/rtl/src/signal.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/timing.rs:
+crates/rtl/src/vector.rs:
+crates/rtl/src/wave.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/castanet_testboard-67c268921c3e9a6a.d: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs
+
+/root/repo/target/debug/deps/libcastanet_testboard-67c268921c3e9a6a.rmeta: crates/testboard/src/lib.rs crates/testboard/src/board.rs crates/testboard/src/cycle.rs crates/testboard/src/dut.rs crates/testboard/src/error.rs crates/testboard/src/lane.rs crates/testboard/src/memory.rs crates/testboard/src/pinmap.rs crates/testboard/src/scsi.rs
+
+crates/testboard/src/lib.rs:
+crates/testboard/src/board.rs:
+crates/testboard/src/cycle.rs:
+crates/testboard/src/dut.rs:
+crates/testboard/src/error.rs:
+crates/testboard/src/lane.rs:
+crates/testboard/src/memory.rs:
+crates/testboard/src/pinmap.rs:
+crates/testboard/src/scsi.rs:

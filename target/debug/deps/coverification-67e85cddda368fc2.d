@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverification-67e85cddda368fc2.d: tests/coverification.rs
+
+/root/repo/target/debug/deps/libcoverification-67e85cddda368fc2.rmeta: tests/coverification.rs
+
+tests/coverification.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/coverify-35c91e46c5eacd61.d: src/lib.rs src/scenarios.rs
+
+/root/repo/target/debug/deps/libcoverify-35c91e46c5eacd61.rmeta: src/lib.rs src/scenarios.rs
+
+src/lib.rs:
+src/scenarios.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/coverify-4b017b4f3077e61c.d: src/lib.rs src/scenarios.rs
+
+/root/repo/target/debug/deps/libcoverify-4b017b4f3077e61c.rmeta: src/lib.rs src/scenarios.rs
+
+src/lib.rs:
+src/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1886b515fbeb6c70.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1886b515fbeb6c70.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a5183c2db142fece.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a5183c2db142fece.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_throughput-4737e05dd6bcd896.d: crates/bench/benches/e1_throughput.rs
+
+/root/repo/target/debug/deps/libe1_throughput-4737e05dd6bcd896.rmeta: crates/bench/benches/e1_throughput.rs
+
+crates/bench/benches/e1_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_sync-6dd7880e2243ba6e.d: crates/bench/benches/e2_sync.rs
+
+/root/repo/target/debug/deps/libe2_sync-6dd7880e2243ba6e.rmeta: crates/bench/benches/e2_sync.rs
+
+crates/bench/benches/e2_sync.rs:

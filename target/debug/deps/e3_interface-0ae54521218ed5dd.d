@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_interface-0ae54521218ed5dd.d: crates/bench/benches/e3_interface.rs
+
+/root/repo/target/debug/deps/libe3_interface-0ae54521218ed5dd.rmeta: crates/bench/benches/e3_interface.rs
+
+crates/bench/benches/e3_interface.rs:

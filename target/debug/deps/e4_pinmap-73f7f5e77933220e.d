@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_pinmap-73f7f5e77933220e.d: crates/bench/benches/e4_pinmap.rs
+
+/root/repo/target/debug/deps/libe4_pinmap-73f7f5e77933220e.rmeta: crates/bench/benches/e4_pinmap.rs
+
+crates/bench/benches/e4_pinmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_board-99dfd6c2a4fdfc6c.d: crates/bench/benches/e5_board.rs
+
+/root/repo/target/debug/deps/libe5_board-99dfd6c2a4fdfc6c.rmeta: crates/bench/benches/e5_board.rs
+
+crates/bench/benches/e5_board.rs:

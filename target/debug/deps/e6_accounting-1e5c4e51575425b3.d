@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_accounting-1e5c4e51575425b3.d: crates/bench/benches/e6_accounting.rs
+
+/root/repo/target/debug/deps/libe6_accounting-1e5c4e51575425b3.rmeta: crates/bench/benches/e6_accounting.rs
+
+crates/bench/benches/e6_accounting.rs:

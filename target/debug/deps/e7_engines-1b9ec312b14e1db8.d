@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_engines-1b9ec312b14e1db8.d: crates/bench/benches/e7_engines.rs
+
+/root/repo/target/debug/deps/libe7_engines-1b9ec312b14e1db8.rmeta: crates/bench/benches/e7_engines.rs
+
+crates/bench/benches/e7_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint-3e91ae13c6c200c5.d: tests/lint.rs
+
+/root/repo/target/debug/deps/liblint-3e91ae13c6c200c5.rmeta: tests/lint.rs
+
+tests/lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f6940d8f1242655e.d: tests/props.rs
+
+/root/repo/target/debug/deps/libprops-f6940d8f1242655e.rmeta: tests/props.rs
+
+tests/props.rs:

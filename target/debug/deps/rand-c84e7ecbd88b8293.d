@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c84e7ecbd88b8293.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c84e7ecbd88b8293.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

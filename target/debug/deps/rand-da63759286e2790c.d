@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-da63759286e2790c.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-da63759286e2790c.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

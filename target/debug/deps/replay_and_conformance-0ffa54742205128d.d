@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_and_conformance-0ffa54742205128d.d: tests/replay_and_conformance.rs
+
+/root/repo/target/debug/deps/libreplay_and_conformance-0ffa54742205128d.rmeta: tests/replay_and_conformance.rs
+
+tests/replay_and_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-878ebac5e50ee0c3.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-878ebac5e50ee0c3.rmeta: src/bin/repro.rs
+
+src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-99018c4a9b0c9ab3.d: src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-99018c4a9b0c9ab3.rmeta: src/bin/repro.rs
+
+src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_and_transport-7bcb5c081b7bdbcf.d: tests/sync_and_transport.rs
+
+/root/repo/target/debug/deps/libsync_and_transport-7bcb5c081b7bdbcf.rmeta: tests/sync_and_transport.rs
+
+tests/sync_and_transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accounting_audit-3905dde61a6cc295.d: examples/accounting_audit.rs
+
+/root/repo/target/debug/examples/libaccounting_audit-3905dde61a6cc295.rmeta: examples/accounting_audit.rs
+
+examples/accounting_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_loop-753c3969d600f06e.d: examples/hardware_in_loop.rs
+
+/root/repo/target/debug/examples/libhardware_in_loop-753c3969d600f06e.rmeta: examples/hardware_in_loop.rs
+
+examples/hardware_in_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-abba14674b9f8fd9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-abba14674b9f8fd9.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/switch_coverify-70bcd5f798755b18.d: examples/switch_coverify.rs
+
+/root/repo/target/debug/examples/libswitch_coverify-70bcd5f798755b18.rmeta: examples/switch_coverify.rs
+
+examples/switch_coverify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_management-326bf6d23ff27d36.d: examples/traffic_management.rs
+
+/root/repo/target/debug/examples/libtraffic_management-326bf6d23ff27d36.rmeta: examples/traffic_management.rs
+
+examples/traffic_management.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_study-a1ab2be772058266.d: examples/traffic_study.rs
+
+/root/repo/target/debug/examples/libtraffic_study-a1ab2be772058266.rmeta: examples/traffic_study.rs
+
+examples/traffic_study.rs:
