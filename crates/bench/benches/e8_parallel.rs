@@ -1,0 +1,98 @@
+//! E8 — serial vs parallel coupled execution on the e1 throughput
+//! scenario.
+//!
+//! Four set-ups, identical workload (the all-CBR 4-port-switch traffic of
+//! E1):
+//!
+//! * `serial_event_driven` — the serial `Coupling::run` of E1's headline
+//!   row: one thread, one rendezvous per network event, event-driven RTL
+//!   follower;
+//! * `serial_cycle_based` — the serial coupling over the cycle engine with
+//!   idle skipping (E1's fastest serial row);
+//! * `parallel_cycle_based` — the `ParallelCoupling` executor: netsim
+//!   kernel and cycle simulator on separate threads, batched timing
+//!   windows over bounded channels;
+//! * `parallel_event_driven` — the same executor over the event-driven RTL
+//!   follower, isolating the thread-overlap + batching gain from the
+//!   engine change.
+//!
+//! The acceptance comparison ("parallel executor ≥ 1.3× faster than serial
+//! `Coupling::run` on the e1 throughput scenario") reads
+//! `parallel_cycle_based` against `serial_event_driven` — the two ends of
+//! the pipeline the tentpole builds. The like-for-like pairs
+//! (`serial_cycle_based` vs `parallel_cycle_based`, `serial_event_driven`
+//! vs `parallel_event_driven`) measure what the concurrency itself buys at
+//! each abstraction level.
+
+use castanet_bench::small_switch_config;
+use castanet_netsim::time::{SimDuration, SimTime};
+use coverify::scenarios::{switch_cosim, switch_cosim_cycle, switch_cosim_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_parallel");
+    group.sample_size(10);
+
+    for &cells_per_source in &[25u64, 100] {
+        let total = cells_per_source * 4;
+        group.bench_with_input(
+            BenchmarkId::new("serial_event_driven", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim(small_switch_config(n));
+                    let mut coupling = scenario.coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial_cycle_based", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim_cycle(small_switch_config(n));
+                    let mut coupling = scenario.coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_cycle_based", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim_parallel(small_switch_config(n));
+                    let mut coupling = scenario.coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_event_driven", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let scenario = switch_cosim(small_switch_config(n));
+                    // The event-driven follower pays wall-clock for every
+                    // simulated clock edge and for every pending drive event
+                    // in its heap, so windows are kept short; the cycle
+                    // follower idle-skips and keeps the wider default.
+                    let mut coupling = scenario
+                        .coupling
+                        .into_parallel()
+                        .with_batching(SimDuration::from_us(10), 4);
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -82,7 +82,7 @@ pub fn cell_to_byte_ops(
 /// assert_eq!(out, Some(cell));
 /// # Ok::<(), castanet::error::CastanetError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ByteStreamAssembler {
     format: HeaderFormat,
     buffer: [u8; CELL_OCTETS],

@@ -27,6 +27,8 @@ use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_rtl::sim::Simulator;
 
+pub use crate::parallel::ParallelCoupling;
+
 /// The follower side of a coupling: an HDL simulation, a hardware test
 /// board session, or anything else that can consume time-stamped stimulus
 /// and produce time-stamped responses.
@@ -45,6 +47,34 @@ pub trait CoupledSimulator {
     ///
     /// Implementation-specific simulation failures.
     fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError>;
+
+    /// Advances local time all the way to `horizon`, returning *every*
+    /// response produced along the way — unlike [`advance_until`], which
+    /// may stop at the first response so the serial coupling can
+    /// re-evaluate its horizon with zero overshoot.
+    ///
+    /// Batching executors ([`crate::parallel::ParallelCoupling`]) use this
+    /// entry point: under the feedforward assumption (responses only feed
+    /// monitors, never new stimulus) running past a response is safe, and
+    /// doing so amortizes the per-step bookkeeping across the whole grant
+    /// window. The default implementation loops [`advance_until`];
+    /// followers override it with a cheaper batched sweep.
+    ///
+    /// [`advance_until`]: CoupledSimulator::advance_until
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific simulation failures.
+    fn advance_batch(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        let mut out = Vec::new();
+        loop {
+            let responses = self.advance_until(horizon)?;
+            if responses.is_empty() {
+                return Ok(out);
+            }
+            out.extend(responses);
+        }
+    }
 
     /// The follower's current local time.
     fn now(&self) -> SimTime;
@@ -118,6 +148,16 @@ impl CoupledSimulator for RtlCosim {
         }
     }
 
+    fn advance_batch(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        // Batched sweep: run the whole window in one kernel call and drain
+        // the egress monitors once. The monitors stamp each cell at its
+        // completion edge, so collecting late loses no timing information —
+        // this skips the per-time-point `collect` (two mutex locks per
+        // step) that `advance_until`'s zero-overshoot loop pays.
+        self.sim.run_until(horizon)?;
+        Ok(self.entity.collect())
+    }
+
     fn now(&self) -> SimTime {
         self.sim.now()
     }
@@ -135,6 +175,11 @@ pub struct CouplingStats {
     /// Responses whose stamp was in the network's past (must stay 0 when
     /// the protocol is obeyed; counted instead of silently clamped).
     pub late_responses: u64,
+    /// Responses that arrived behind the network clock because the
+    /// originator pipelined ahead of the follower. Expected to be non-zero
+    /// under [`crate::parallel::ParallelCoupling`] (pipeline lag, not a
+    /// protocol violation); always 0 under the serial [`Coupling`].
+    pub deferred_responses: u64,
 }
 
 /// The coupling executive.
@@ -243,50 +288,7 @@ impl<S: CoupledSimulator> Coupling<S> {
     ///
     /// Returns [`CastanetError::Preflight`] listing every finding.
     pub fn preflight(&self) -> Result<(), CastanetError> {
-        let mut findings = Vec::new();
-        if self.sync.type_count() == 0 {
-            findings.push(
-                "CAST001: no message types registered with the synchronizer; \
-                 the follower can never be granted simulation time"
-                    .to_string(),
-            );
-        }
-        if self.sync.type_delta(self.cell_type).is_none() {
-            findings.push(format!(
-                "CAST003: coupling cell type {} is not registered with the synchronizer",
-                self.cell_type.0
-            ));
-        }
-        if !self.sync.grant_horizon_monotone() {
-            findings.push(
-                "CAST010: grant-horizon monotonicity predicate violated on the \
-                 assembled synchronizer"
-                    .to_string(),
-            );
-        }
-        if self.iface.index() >= self.net.module_count() {
-            findings.push(format!(
-                "CAST040: interface module id {} does not exist in the kernel \
-                 ({} modules registered)",
-                self.iface.index(),
-                self.net.module_count()
-            ));
-        } else {
-            for (_, _, dst, dst_port) in self.net.connection_edges() {
-                if dst == self.iface && dst_port.0 >= RESPONSE_PORT_BASE {
-                    findings.push(format!(
-                        "CAST021: interface input port {} collides with the response \
-                         injection namespace (RESPONSE_PORT_BASE = {RESPONSE_PORT_BASE})",
-                        dst_port.0
-                    ));
-                }
-            }
-        }
-        if findings.is_empty() {
-            Ok(())
-        } else {
-            Err(CastanetError::Preflight(findings))
-        }
+        preflight_checks(&self.net, &self.sync, self.cell_type, self.iface)
     }
 
     /// Tunes the final drain: once the network side has no events left, the
@@ -447,10 +449,94 @@ impl<S: CoupledSimulator> Coupling<S> {
         self.sync.stats()
     }
 
+    /// A clone of the interface outbox handle — lets callers (and the
+    /// parallel executor) observe stimulus crossing the abstraction
+    /// interface without dismantling the coupling.
+    #[must_use]
+    pub fn outbox(&self) -> OutboxHandle {
+        self.outbox.clone()
+    }
+
     /// Dismantles the coupling, returning the network kernel and follower.
     #[must_use]
     pub fn into_parts(self) -> (Kernel, S) {
         (self.net, self.follower)
+    }
+
+    /// Re-hosts this (not-yet-run) coupling on the parallel executor,
+    /// preserving the drain and strict-mode settings. Batching parameters
+    /// take the parallel defaults; tune with
+    /// [`ParallelCoupling::with_batching`].
+    #[must_use]
+    pub fn into_parallel(self) -> ParallelCoupling<S>
+    where
+        S: Send,
+    {
+        ParallelCoupling::new(
+            self.net,
+            self.follower,
+            self.sync,
+            self.cell_type,
+            self.iface,
+            self.outbox,
+        )
+        .with_drain(self.drain_quantum, self.drain_quiet_chunks)
+        .with_strict(self.strict)
+    }
+}
+
+/// The error-level static checks shared by [`Coupling::preflight`] and
+/// [`crate::parallel::ParallelCoupling::preflight`] — see the method docs
+/// for the finding catalogue.
+pub(crate) fn preflight_checks(
+    net: &Kernel,
+    sync: &ConservativeSync,
+    cell_type: MessageTypeId,
+    iface: ModuleId,
+) -> Result<(), CastanetError> {
+    let mut findings = Vec::new();
+    if sync.type_count() == 0 {
+        findings.push(
+            "CAST001: no message types registered with the synchronizer; \
+             the follower can never be granted simulation time"
+                .to_string(),
+        );
+    }
+    if sync.type_delta(cell_type).is_none() {
+        findings.push(format!(
+            "CAST003: coupling cell type {} is not registered with the synchronizer",
+            cell_type.0
+        ));
+    }
+    if !sync.grant_horizon_monotone() {
+        findings.push(
+            "CAST010: grant-horizon monotonicity predicate violated on the \
+             assembled synchronizer"
+                .to_string(),
+        );
+    }
+    if iface.index() >= net.module_count() {
+        findings.push(format!(
+            "CAST040: interface module id {} does not exist in the kernel \
+             ({} modules registered)",
+            iface.index(),
+            net.module_count()
+        ));
+    } else {
+        for (_, _, dst, dst_port) in net.connection_edges() {
+            if dst == iface && dst_port.0 >= RESPONSE_PORT_BASE {
+                findings.push(format!(
+                    "CAST021: interface input port {} collides with the response \
+                     injection namespace (RESPONSE_PORT_BASE = {RESPONSE_PORT_BASE})",
+                    dst_port.0
+                ));
+            }
+        }
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(CastanetError::Preflight(findings))
     }
 }
 

@@ -200,6 +200,52 @@ impl CycleCosim {
         }
         Ok(responses)
     }
+
+    fn advance_inner(
+        &mut self,
+        horizon: SimTime,
+        stop_at_first: bool,
+    ) -> Result<Vec<Message>, CastanetError> {
+        let period = self.clock_period.as_picos();
+        let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
+        let mut collected = Vec::new();
+        while self.clocks_done < target {
+            // Idle skip: no stimulus pending anywhere in the window and the
+            // DUT quiescent — jump straight to the next stimulus clock (or
+            // the horizon).
+            if self.sim.dut().is_idle() {
+                let next_stim = self
+                    .stimulus
+                    .iter()
+                    .position(Option::is_some)
+                    .map(|off| self.clocks_done + off as u64);
+                match next_stim {
+                    None => {
+                        self.skipped += target - self.clocks_done;
+                        self.stimulus.clear();
+                        self.clocks_done = target;
+                        break;
+                    }
+                    Some(c) if c > self.clocks_done => {
+                        let jump = (c - self.clocks_done).min(target - self.clocks_done);
+                        self.skipped += jump;
+                        self.stimulus.drain(..jump as usize);
+                        self.clocks_done += jump;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+            }
+            let responses = self.run_clock()?;
+            if !responses.is_empty() {
+                if stop_at_first {
+                    return Ok(responses);
+                }
+                collected.extend(responses);
+            }
+        }
+        Ok(collected)
+    }
 }
 
 impl CoupledSimulator for CycleCosim {
@@ -230,41 +276,14 @@ impl CoupledSimulator for CycleCosim {
     }
 
     fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
-        let period = self.clock_period.as_picos();
-        let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
-        while self.clocks_done < target {
-            // Idle skip: no stimulus pending anywhere in the window and the
-            // DUT quiescent — jump straight to the next stimulus clock (or
-            // the horizon).
-            if self.sim.dut().is_idle() {
-                let next_stim = self
-                    .stimulus
-                    .iter()
-                    .position(Option::is_some)
-                    .map(|off| self.clocks_done + off as u64);
-                match next_stim {
-                    None => {
-                        self.skipped += target - self.clocks_done;
-                        self.stimulus.clear();
-                        self.clocks_done = target;
-                        break;
-                    }
-                    Some(c) if c > self.clocks_done => {
-                        let jump = (c - self.clocks_done).min(target - self.clocks_done);
-                        self.skipped += jump;
-                        self.stimulus.drain(..jump as usize);
-                        self.clocks_done += jump;
-                        continue;
-                    }
-                    Some(_) => {}
-                }
-            }
-            let responses = self.run_clock()?;
-            if !responses.is_empty() {
-                return Ok(responses);
-            }
-        }
-        Ok(Vec::new())
+        self.advance_inner(horizon, true)
+    }
+
+    fn advance_batch(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        // One uninterrupted sweep to the horizon: egress cells are stamped
+        // at their capture clock inside `run_clock`, so collecting them at
+        // the end of the window loses no timing information.
+        self.advance_inner(horizon, false)
     }
 
     fn now(&self) -> SimTime {

@@ -307,6 +307,22 @@ impl CoupledSimulator for BoardCosim {
         Ok(out)
     }
 
+    fn advance_batch(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+        // Batched test-cycle scheduling: the whole grant window is played
+        // as back-to-back board cycles with a single response sweep per
+        // cycle. Every response is already stamped at its capture clock, so
+        // there is no need to stop early — this is what the parallel
+        // executor routes hwloop scheduling through.
+        let period = self.clock_period.as_picos();
+        let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
+        let mut out = Vec::new();
+        while self.clocks_done < target {
+            let clocks = (target - self.clocks_done).min(self.cycle_len);
+            out.extend(self.run_one_cycle(clocks)?);
+        }
+        Ok(out)
+    }
+
     fn now(&self) -> SimTime {
         SimTime::from_picos(self.clocks_done * self.clock_period.as_picos())
     }
@@ -474,5 +490,97 @@ mod tests {
             .unwrap();
         assert_eq!(responses.len(), 1);
         assert!(responses[0].stamp > stamp);
+    }
+
+    #[test]
+    fn advance_batch_matches_chunked_advance_until() {
+        // The batched test-cycle sweep used by the parallel executor must
+        // produce exactly the responses the serial early-return loop does.
+        let horizon = SimTime::from_picos(500 * 50_000);
+        let stimulus: Vec<Message> = (0..3)
+            .map(|k| {
+                Message::cell(
+                    SimTime::from_picos(k * 60 * 50_000),
+                    MessageTypeId(0),
+                    0,
+                    cell(40),
+                )
+            })
+            .collect();
+
+        let mut serial = board_fixture(128);
+        for m in &stimulus {
+            serial.deliver(m.clone()).unwrap();
+        }
+        let mut chunked = Vec::new();
+        loop {
+            let r = serial.advance_until(horizon).unwrap();
+            if r.is_empty() {
+                break;
+            }
+            chunked.extend(r);
+        }
+
+        let mut batched = board_fixture(128);
+        for m in &stimulus {
+            batched.deliver(m.clone()).unwrap();
+        }
+        let swept = batched.advance_batch(horizon).unwrap();
+
+        assert_eq!(chunked.len(), 3);
+        assert_eq!(swept, chunked, "identical responses and stamps");
+        assert_eq!(batched.clocks_done(), serial.clocks_done());
+    }
+
+    #[test]
+    fn board_couples_through_the_parallel_executor() {
+        // Hardware-in-the-loop test-cycle scheduling routed through
+        // ParallelCoupling: network model on the main thread, board session
+        // on the follower thread.
+        use crate::parallel::ParallelCoupling;
+        use crate::sync::conservative::ConservativeSync;
+        use castanet_atm::traffic::source::TrafficSourceProcess;
+        use castanet_atm::traffic::Cbr;
+        use castanet_netsim::event::PortId;
+        use castanet_netsim::kernel::Kernel;
+        use castanet_netsim::process::CollectorProcess;
+
+        let board_clk = SimDuration::from_ns(50);
+        let mut net = Kernel::new(5);
+        let node = net.add_node("hwloop");
+        let src = net.add_module(
+            node,
+            "src",
+            Box::new(
+                TrafficSourceProcess::new(
+                    VpiVci::uni(1, 40).unwrap(),
+                    Box::new(Cbr::new(SimDuration::from_us(10))),
+                )
+                .with_limit(4),
+            ),
+        );
+        let mut sync = ConservativeSync::new();
+        let cell_type = sync.register_type(board_clk * 53);
+        let (iface_proc, outbox) = crate::interface::CastanetInterfaceProcess::new(cell_type);
+        let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+        net.connect_stream(src, PortId(0), iface, PortId(0))
+            .unwrap();
+        let (collector, got) = CollectorProcess::new();
+        let sink = net.add_module(node, "sink", Box::new(collector));
+        net.connect_stream(iface, PortId(1), sink, PortId(0))
+            .unwrap();
+
+        let follower = board_fixture(128);
+        let mut coupling = ParallelCoupling::new(net, follower, sync, cell_type, iface, outbox);
+        let stats = coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(stats.messages_to_follower, 4);
+        assert_eq!(stats.responses, 4);
+        assert_eq!(got.len(), 4);
+        for (_, pkt) in got.take() {
+            let c = pkt.payload::<AtmCell>().expect("cell");
+            assert_eq!(c.id(), VpiVci::uni(7, 70).unwrap());
+        }
+        assert!(coupling.sync().lag_invariant_holds());
+        assert!(coupling.follower().session_stats().cycles > 0);
     }
 }

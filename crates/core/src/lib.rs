@@ -25,6 +25,9 @@
 //! * [`compare`] — Fig. 1's "=?": reference-vs-DUT stream comparison;
 //! * [`traceio`] — dump/replay of test vectors;
 //! * [`conformance`] — customized and standardized conformance vectors;
+//! * [`parallel`] — the parallel coupled-engine executor: originator and
+//!   follower on separate threads, coupled by bounded channels that carry
+//!   batched timing windows;
 //! * [`ipc`] — the UNIX-IPC message transport (in-process and Unix-socket);
 //! * [`remote`] — the two-process deployment: any follower served over a
 //!   transport, with a protocol client on the coupling side;
@@ -48,6 +51,7 @@ pub mod hwloop;
 pub mod interface;
 pub mod ipc;
 pub mod message;
+pub mod parallel;
 pub mod remote;
 pub mod sync;
 pub mod traceio;
@@ -61,5 +65,6 @@ pub use error::CastanetError;
 pub use hwloop::BoardCosim;
 pub use interface::CastanetInterfaceProcess;
 pub use message::{Message, MessagePayload, MessageTypeId};
+pub use parallel::ParallelCoupling;
 pub use remote::{FollowerServer, RemoteFollower};
 pub use sync::{ConservativeSync, LockstepSync, OptimisticSync};

@@ -1,0 +1,755 @@
+//! The parallel coupled-engine executor: originator and follower engines on
+//! separate threads, coupled by bounded channels.
+//!
+//! The serial [`Coupling`](crate::coupling::Coupling) interleaves both
+//! simulators on one thread, so §3.1's protocol — designed so the HDL side
+//! can run *while* the network side keeps going — is never exercised as
+//! actual parallelism. This module is the concurrent executive:
+//!
+//! * the **network kernel stays on the calling thread** (it owns the
+//!   interface outbox, which is deliberately thread-local);
+//! * the **follower and its [`ConservativeSync`] run on a spawned scoped
+//!   thread**; they receive *timing windows* — the per-message-type input
+//!   queue contents `I_j` plus a grant horizon — over a **bounded** command
+//!   channel, and return time-stamped responses over an unbounded reply
+//!   channel (so neither side can block the other into a deadlock: the
+//!   originator's sends are bounded by the channel depth, the follower's
+//!   sends never block);
+//! * **cell batching** amortizes the ~1:400 cell-to-clock time-scale gap:
+//!   instead of one rendezvous per network event, the originator executes a
+//!   whole window of events (default 100 µs of simulated time), drains the
+//!   abstraction interface once, and ships the batch together with one
+//!   grant. The follower plays the batch with a single
+//!   [`CoupledSimulator::advance_batch`] sweep.
+//!
+//! Protocol → thread/channel mapping (Fig. 3): every non-null message of the
+//! window raises the originator time on the follower's synchronizer; the
+//! window's grant is the time-stamped null message; the follower advances to
+//! the grant and never past it, so the lag invariant `t_local ≤ grant`
+//! holds exactly as in the serial executive. Responses produced while the
+//! originator has already raced ahead arrive "behind" the network clock —
+//! that pipeline lag is counted in
+//! [`CouplingStats::deferred_responses`] and injected at the network's
+//! current time, which is sound under the feedforward assumption (responses
+//! feed monitors, never new stimulus).
+
+use crate::coupling::{preflight_checks, CoupledSimulator, CouplingStats};
+use crate::error::CastanetError;
+use crate::interface::{response_packet, OutboxHandle, RESPONSE_PORT_BASE};
+use crate::message::{Message, MessagePayload, MessageTypeId};
+use crate::sync::conservative::{ConservativeSync, SyncStats};
+use castanet_netsim::event::{ModuleId, PortId};
+use castanet_netsim::kernel::Kernel;
+use castanet_netsim::time::{SimDuration, SimTime};
+use std::sync::mpsc;
+
+/// One command from the originator thread to the follower thread.
+enum Command {
+    /// A timing window: the stimulus batch (in stamp order) plus the grant
+    /// horizon promised by the originator ("no further stimulus before
+    /// `grant`").
+    Window {
+        /// Stimulus messages crossing the abstraction interface.
+        msgs: Vec<Message>,
+        /// The window's grant horizon (exclusive).
+        grant: SimTime,
+    },
+    /// The network side is out of events: let the follower's pipeline empty
+    /// out in `quantum`-sized chunks until it has been quiet for
+    /// `quiet_chunks` consecutive chunks (or reached `until`).
+    Drain {
+        quantum: SimDuration,
+        quiet_chunks: u32,
+        until: SimTime,
+    },
+}
+
+/// One reply from the follower thread to the originator thread.
+enum Reply {
+    /// All responses of one window (exactly one per [`Command::Window`]).
+    Window(Vec<Message>),
+    /// Responses produced during a drain chunk (zero or more per
+    /// [`Command::Drain`]).
+    Drained(Vec<Message>),
+    /// The drain completed quietly (exactly one per [`Command::Drain`]).
+    DrainDone,
+    /// The follower hit an unrecoverable error and exits its loop.
+    Fatal(CastanetError),
+}
+
+/// The parallel coupling executive — same API shape as
+/// [`Coupling`](crate::coupling::Coupling), but [`ParallelCoupling::run`]
+/// executes the two engines concurrently.
+///
+/// Construction recipe is identical to the serial coupling; an existing
+/// serial coupling converts with
+/// [`Coupling::into_parallel`](crate::coupling::Coupling::into_parallel).
+pub struct ParallelCoupling<S: CoupledSimulator + Send> {
+    net: Kernel,
+    follower: S,
+    sync: ConservativeSync,
+    cell_type: MessageTypeId,
+    outbox: OutboxHandle,
+    iface: ModuleId,
+    stats: CouplingStats,
+    /// Largest grant promised to the follower; promises are monotone (see
+    /// the serial coupling's field of the same name).
+    promised: SimTime,
+    drain_quantum: SimDuration,
+    drain_quiet_chunks: u32,
+    strict: bool,
+    /// Simulated-time length of one batched timing window.
+    batch_window: SimDuration,
+    /// Command-channel capacity: how many windows the originator may run
+    /// ahead of the follower before its sends block (bounded pipeline lag).
+    channel_depth: usize,
+}
+
+impl<S: CoupledSimulator + Send> std::fmt::Debug for ParallelCoupling<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelCoupling")
+            .field("net_now", &self.net.now())
+            .field("follower_now", &self.follower.now())
+            .field("batch_window", &self.batch_window)
+            .field("channel_depth", &self.channel_depth)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
+    /// Assembles a parallel coupling. Arguments are identical to
+    /// [`Coupling::new`](crate::coupling::Coupling::new).
+    #[must_use]
+    pub fn new(
+        net: Kernel,
+        follower: S,
+        sync: ConservativeSync,
+        cell_type: MessageTypeId,
+        iface: ModuleId,
+        outbox: OutboxHandle,
+    ) -> Self {
+        ParallelCoupling {
+            net,
+            follower,
+            sync,
+            cell_type,
+            outbox,
+            iface,
+            stats: CouplingStats::default(),
+            promised: SimTime::ZERO,
+            drain_quantum: SimDuration::from_us(50),
+            drain_quiet_chunks: 2,
+            strict: false,
+            batch_window: SimDuration::from_us(100),
+            channel_depth: 4,
+        }
+    }
+
+    /// Enables (or disables) strict mode — as
+    /// [`Coupling::with_strict`](crate::coupling::Coupling::with_strict).
+    #[must_use]
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Whether strict pre-flight mode is enabled.
+    #[must_use]
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Tunes the final drain — as
+    /// [`Coupling::with_drain`](crate::coupling::Coupling::with_drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero or `quiet_chunks` is zero.
+    #[must_use]
+    pub fn with_drain(mut self, quantum: SimDuration, quiet_chunks: u32) -> Self {
+        assert!(!quantum.is_zero(), "drain quantum must be non-zero");
+        assert!(quiet_chunks > 0, "need at least one quiet chunk");
+        self.drain_quantum = quantum;
+        self.drain_quiet_chunks = quiet_chunks;
+        self
+    }
+
+    /// Tunes the batching: `batch_window` of simulated time per timing
+    /// window (larger windows = fewer thread rendezvous but coarser
+    /// response pipelining), `channel_depth` windows of bounded run-ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_window` is zero or `channel_depth` is zero.
+    #[must_use]
+    pub fn with_batching(mut self, batch_window: SimDuration, channel_depth: usize) -> Self {
+        assert!(!batch_window.is_zero(), "batch window must be non-zero");
+        assert!(channel_depth > 0, "need at least one channel slot");
+        self.batch_window = batch_window;
+        self.channel_depth = channel_depth;
+        self
+    }
+
+    /// Static pre-flight verification — the same error-level checks as
+    /// [`Coupling::preflight`](crate::coupling::Coupling::preflight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CastanetError::Preflight`] listing every finding.
+    pub fn preflight(&self) -> Result<(), CastanetError> {
+        preflight_checks(&self.net, &self.sync, self.cell_type, self.iface)
+    }
+
+    /// Runs the coupled simulation until no activity remains before
+    /// `until` on either side, with the two engines on separate threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator, conversion and synchronization errors from
+    /// either thread.
+    pub fn run(&mut self, until: SimTime) -> Result<CouplingStats, CastanetError> {
+        if self.strict {
+            self.preflight()?;
+        }
+        let batch_window = self.batch_window;
+        let channel_depth = self.channel_depth;
+        let drain_quantum = self.drain_quantum;
+        let drain_quiet_chunks = self.drain_quiet_chunks;
+        let cell_type = self.cell_type;
+        let iface = self.iface;
+        let net = &mut self.net;
+        let stats = &mut self.stats;
+        let outbox = &self.outbox;
+        let follower = &mut self.follower;
+        let sync = &mut self.sync;
+        let promised = &mut self.promised;
+
+        std::thread::scope(|scope| -> Result<(), CastanetError> {
+            let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Command>(channel_depth);
+            let (rep_tx, rep_rx) = mpsc::channel::<Reply>();
+            scope.spawn(move || {
+                follower_loop(follower, sync, promised, cell_type, &cmd_rx, &rep_tx);
+            });
+
+            // Windows sent but not yet answered.
+            let mut in_flight = 0usize;
+            // Stimulus delivered as of the last completed drain: if no new
+            // message reached the follower since, its pipeline is untouched
+            // and provably still quiet — re-draining would only burn
+            // simulated (and wall-clock) time on an idle DUT.
+            let mut drained_at: Option<u64> = None;
+            // Originator-side mirror of the largest grant shipped this run;
+            // windows that carry neither stimulus nor a new grant are
+            // no-ops on the follower and need not rendezvous at all.
+            let mut sent_grant = SimTime::ZERO;
+            loop {
+                // ---- phase 1: stream timing windows -------------------
+                while let Some(t0) = net.next_event_time().filter(|t| *t < until) {
+                    let w = until.min(t0 + batch_window);
+                    stats.net_events += net.run_grant_window(w)?;
+                    let msgs = outbox.drain();
+                    stats.messages_to_follower += msgs.len() as u64;
+                    // Maximal-information grant: every event strictly before
+                    // `w` has run, and source processes schedule their
+                    // successors as they execute, so the next pending event
+                    // bounds all future stimulus from below (injected
+                    // response events are feedforward — they never produce
+                    // stimulus). With nothing pending, promise only up to
+                    // the executed front: granting the rest of the batch
+                    // window would make the follower simulate an idle tail
+                    // the drain phase handles far more cheaply.
+                    let grant = match net.next_event_time() {
+                        Some(t1) => w.max(t1.min(until)),
+                        None => net.now().min(w),
+                    };
+                    // Opportunistically absorb replies before a potentially
+                    // blocking send — keeps response injection overlapped
+                    // with window production.
+                    while let Ok(reply) = rep_rx.try_recv() {
+                        handle_reply(reply, net, stats, iface, &mut in_flight)?;
+                    }
+                    if msgs.is_empty() && grant <= sent_grant {
+                        continue;
+                    }
+                    sent_grant = sent_grant.max(grant);
+                    if cmd_tx.send(Command::Window { msgs, grant }).is_err() {
+                        return Err(fatal_from(&rep_rx));
+                    }
+                    in_flight += 1;
+                }
+                // ---- phase 2: barrier — answer every window ------------
+                while in_flight > 0 {
+                    match rep_rx.recv() {
+                        Ok(reply) => handle_reply(reply, net, stats, iface, &mut in_flight)?,
+                        Err(_) => return Err(fatal_from(&rep_rx)),
+                    }
+                }
+                if net.next_event_time().is_some_and(|t| t < until) {
+                    // Injected responses created fresh network work.
+                    continue;
+                }
+                // ---- phase 3: drain the follower's pipeline ------------
+                // The follower's state only changes when stimulus reaches
+                // it; a drain that found the pipeline quiet stays valid
+                // until the next delivery (responses injected after the
+                // drain only touch the network side).
+                if drained_at == Some(stats.messages_to_follower) {
+                    return Ok(());
+                }
+                let drain = Command::Drain {
+                    quantum: drain_quantum,
+                    quiet_chunks: drain_quiet_chunks,
+                    until,
+                };
+                if cmd_tx.send(drain).is_err() {
+                    return Err(fatal_from(&rep_rx));
+                }
+                loop {
+                    match rep_rx.recv() {
+                        Ok(Reply::DrainDone) => break,
+                        Ok(reply) => handle_reply(reply, net, stats, iface, &mut in_flight)?,
+                        Err(_) => return Err(fatal_from(&rep_rx)),
+                    }
+                }
+                drained_at = Some(stats.messages_to_follower);
+                if net.next_event_time().is_none_or(|t| t >= until) {
+                    return Ok(());
+                }
+            }
+        })?;
+        Ok(self.stats)
+    }
+
+    /// The network kernel (e.g. for statistics after the run).
+    #[must_use]
+    pub fn net(&self) -> &Kernel {
+        &self.net
+    }
+
+    /// The follower (e.g. for RTL counters after the run).
+    #[must_use]
+    pub fn follower(&self) -> &S {
+        &self.follower
+    }
+
+    /// Mutable follower access.
+    pub fn follower_mut(&mut self) -> &mut S {
+        &mut self.follower
+    }
+
+    /// The conservative synchronizer.
+    #[must_use]
+    pub fn sync(&self) -> &ConservativeSync {
+        &self.sync
+    }
+
+    /// The interface process's module id inside the network kernel.
+    #[must_use]
+    pub fn iface_module(&self) -> ModuleId {
+        self.iface
+    }
+
+    /// The message type stimulus cells are sent as.
+    #[must_use]
+    pub fn cell_type(&self) -> MessageTypeId {
+        self.cell_type
+    }
+
+    /// Coupling counters.
+    #[must_use]
+    pub fn stats(&self) -> CouplingStats {
+        self.stats
+    }
+
+    /// Synchronization-protocol statistics.
+    #[must_use]
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync.stats()
+    }
+
+    /// A clone of the interface outbox handle.
+    #[must_use]
+    pub fn outbox(&self) -> OutboxHandle {
+        self.outbox.clone()
+    }
+
+    /// Dismantles the coupling, returning the network kernel and follower.
+    #[must_use]
+    pub fn into_parts(self) -> (Kernel, S) {
+        (self.net, self.follower)
+    }
+}
+
+/// Originator-side reply handling: inject responses into the network model,
+/// settle window accounting.
+fn handle_reply(
+    reply: Reply,
+    net: &mut Kernel,
+    stats: &mut CouplingStats,
+    iface: ModuleId,
+    in_flight: &mut usize,
+) -> Result<(), CastanetError> {
+    match reply {
+        Reply::Window(msgs) => {
+            *in_flight -= 1;
+            inject(net, stats, iface, msgs)
+        }
+        Reply::Drained(msgs) => inject(net, stats, iface, msgs),
+        Reply::DrainDone => Ok(()),
+        Reply::Fatal(e) => Err(e),
+    }
+}
+
+/// Injects follower responses into the network model. Mirrors the serial
+/// coupling's injection, except that stamps behind the network clock are
+/// expected here (the originator pipelines ahead) and counted as
+/// `deferred_responses` rather than `late_responses`.
+fn inject(
+    net: &mut Kernel,
+    stats: &mut CouplingStats,
+    iface: ModuleId,
+    responses: Vec<Message>,
+) -> Result<(), CastanetError> {
+    for msg in responses {
+        let MessagePayload::Cell(cell) = msg.payload else {
+            // Undecodable DUT output: the comparison layer reports it.
+            continue;
+        };
+        let at = if msg.stamp < net.now() {
+            stats.deferred_responses += 1;
+            net.now()
+        } else {
+            msg.stamp
+        };
+        net.inject_packet(
+            iface,
+            PortId(RESPONSE_PORT_BASE + msg.port),
+            response_packet(cell),
+            at,
+        )?;
+        stats.responses += 1;
+    }
+    Ok(())
+}
+
+/// The follower thread: plays timing windows and drain commands in order
+/// until the command channel closes (normal termination) or a fatal error
+/// is reported.
+fn follower_loop<S: CoupledSimulator>(
+    follower: &mut S,
+    sync: &mut ConservativeSync,
+    promised: &mut SimTime,
+    cell_type: MessageTypeId,
+    cmd_rx: &mpsc::Receiver<Command>,
+    reply: &mpsc::Sender<Reply>,
+) {
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Command::Window { msgs, grant } => {
+                match window_step(follower, sync, promised, cell_type, msgs, grant) {
+                    Ok(responses) => {
+                        if reply.send(Reply::Window(responses)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Reply::Fatal(e));
+                        return;
+                    }
+                }
+            }
+            Command::Drain {
+                quantum,
+                quiet_chunks,
+                until,
+            } => match drain_step(
+                follower,
+                sync,
+                promised,
+                cell_type,
+                quantum,
+                quiet_chunks,
+                until,
+                reply,
+            ) {
+                Ok(true) => {
+                    if reply.send(Reply::DrainDone).is_err() {
+                        return;
+                    }
+                }
+                Ok(false) => return,
+                Err(e) => {
+                    let _ = reply.send(Reply::Fatal(e));
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// Plays one timing window on the follower: queue the stimulus (raising
+/// the originator clock per message), take the grant (the null message),
+/// sweep the whole window in one batched advance, then settle the local
+/// clock — never past the grant.
+fn window_step<S: CoupledSimulator>(
+    follower: &mut S,
+    sync: &mut ConservativeSync,
+    promised: &mut SimTime,
+    cell_type: MessageTypeId,
+    msgs: Vec<Message>,
+    grant: SimTime,
+) -> Result<Vec<Message>, CastanetError> {
+    for msg in msgs {
+        sync.receive(msg.type_id, msg.stamp, false)?;
+        follower.deliver(msg)?;
+    }
+    if grant > *promised {
+        sync.receive(cell_type, grant, true)?;
+        *promised = grant;
+    }
+    let granted = sync.grant();
+    let responses = follower.advance_batch(granted)?;
+    let local = follower.now().max(sync.local_time()).min(granted);
+    sync.advance_local(local)?;
+    Ok(responses)
+}
+
+/// Drains the follower's pipeline in `quantum`-sized chunks, forwarding
+/// responses as they surface. Returns `Ok(true)` when quiet, `Ok(false)`
+/// when the originator went away mid-drain.
+#[allow(clippy::too_many_arguments)]
+fn drain_step<S: CoupledSimulator>(
+    follower: &mut S,
+    sync: &mut ConservativeSync,
+    promised: &mut SimTime,
+    cell_type: MessageTypeId,
+    quantum: SimDuration,
+    quiet_chunks: u32,
+    until: SimTime,
+    reply: &mpsc::Sender<Reply>,
+) -> Result<bool, CastanetError> {
+    let mut quiet = 0u32;
+    loop {
+        let horizon = (follower.now().max(sync.local_time()) + quantum)
+            .min(until)
+            .max(*promised);
+        if horizon > *promised {
+            sync.receive(cell_type, horizon, true)?;
+            *promised = horizon;
+        }
+        let granted = sync.grant();
+        let responses = follower.advance_batch(granted)?;
+        let local = follower.now().max(sync.local_time()).min(granted);
+        sync.advance_local(local)?;
+        if responses.is_empty() {
+            quiet += 1;
+            if quiet >= quiet_chunks || follower.now() >= until {
+                return Ok(true);
+            }
+        } else {
+            quiet = 0;
+            if reply.send(Reply::Drained(responses)).is_err() {
+                return Ok(false);
+            }
+        }
+    }
+}
+
+/// Scans the reply channel for the fatal error that made the follower
+/// thread exit; falls back to a transport error if none surfaced.
+fn fatal_from(rep_rx: &mpsc::Receiver<Reply>) -> CastanetError {
+    while let Ok(reply) = rep_rx.recv() {
+        if let Reply::Fatal(e) = reply {
+            return e;
+        }
+    }
+    CastanetError::Transport("parallel follower thread terminated unexpectedly".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::Coupling;
+    use crate::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
+    use crate::interface::CastanetInterfaceProcess;
+    use castanet_atm::addr::{HeaderFormat, VpiVci};
+    use castanet_atm::cell::AtmCell;
+    use castanet_atm::traffic::source::{payload_seq, TrafficSourceProcess};
+    use castanet_atm::traffic::Cbr;
+    use castanet_netsim::process::{CollectorHandle, CollectorProcess};
+    use castanet_rtl::cycle::CycleSim;
+    use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+
+    const CLK: SimDuration = SimDuration::from_ns(20);
+
+    /// Full co-verification fixture (cycle-based follower): CBR source ->
+    /// interface -> 2-port RTL switch (route 1/40 -> line 1 as 7/70) ->
+    /// response -> collector. Same shape as the serial coupling's fixture.
+    fn build(cells: u64, gap: SimDuration) -> (Coupling<CycleCosim>, CollectorHandle) {
+        let mut net = Kernel::new(7);
+        let node = net.add_node("coverify");
+        let src = net.add_module(
+            node,
+            "src",
+            Box::new(
+                TrafficSourceProcess::new(VpiVci::uni(1, 40).unwrap(), Box::new(Cbr::new(gap)))
+                    .with_limit(cells),
+            ),
+        );
+        let mut sync = ConservativeSync::new();
+        let cell_type = sync.register_type(CLK * 53);
+        let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+        let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+        net.connect_stream(src, PortId(0), iface, PortId(0))
+            .unwrap();
+        let (collector, got) = CollectorProcess::new();
+        let sink = net.add_module(node, "sink", Box::new(collector));
+        net.connect_stream(iface, PortId(1), sink, PortId(0))
+            .unwrap();
+
+        let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+            ports: 2,
+            fifo_capacity: 64,
+            table_capacity: 16,
+        });
+        assert!(switch.install_route(1, 40, 1, 7, 70));
+        let sim = CycleSim::new(Box::new(switch));
+        let mut follower = CycleCosim::new(sim, CLK, cell_type, HeaderFormat::Uni);
+        follower.add_ingress(IngressIndices {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        follower.add_ingress(IngressIndices {
+            data: 3,
+            sync: 4,
+            enable: 5,
+        });
+        follower.add_egress(EgressIndices {
+            data: 0,
+            sync: 1,
+            valid: 2,
+        });
+        follower.add_egress(EgressIndices {
+            data: 3,
+            sync: 4,
+            valid: 5,
+        });
+        (
+            Coupling::new(net, follower, sync, cell_type, iface, outbox),
+            got,
+        )
+    }
+
+    fn collected_cells(got: &CollectorHandle) -> Vec<AtmCell> {
+        got.take()
+            .into_iter()
+            .map(|(_, pkt)| pkt.payload::<AtmCell>().expect("cell payload").clone())
+            .collect()
+    }
+
+    #[test]
+    fn cells_flow_through_the_parallel_executor() {
+        let (serial, got) = build(5, SimDuration::from_us(10));
+        let mut coupling = serial.into_parallel();
+        let stats = coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(stats.messages_to_follower, 5);
+        assert_eq!(stats.responses, 5);
+        assert_eq!(stats.late_responses, 0);
+        assert_eq!(got.len(), 5);
+        for (i, cell) in collected_cells(&got).iter().enumerate() {
+            assert_eq!(cell.id(), VpiVci::uni(7, 70).unwrap(), "switch retagged");
+            assert_eq!(payload_seq(&cell.payload), i as u64, "order preserved");
+        }
+        assert!(coupling.sync().lag_invariant_holds());
+    }
+
+    #[test]
+    fn parallel_matches_serial_end_to_end() {
+        let (mut serial, got_serial) = build(20, SimDuration::from_us(3));
+        let s_stats = serial.run(SimTime::from_ms(2)).unwrap();
+
+        let (parallel, got_parallel) = build(20, SimDuration::from_us(3));
+        let mut parallel = parallel.into_parallel();
+        let p_stats = parallel.run(SimTime::from_ms(2)).unwrap();
+
+        assert_eq!(p_stats.messages_to_follower, s_stats.messages_to_follower);
+        assert_eq!(p_stats.responses, s_stats.responses);
+        assert_eq!(
+            collected_cells(&got_serial),
+            collected_cells(&got_parallel),
+            "identical observable cell stream under both executors"
+        );
+    }
+
+    #[test]
+    fn batching_parameters_do_not_change_the_trace() {
+        let mut reference: Option<Vec<AtmCell>> = None;
+        for (window_us, depth) in [(10u64, 1usize), (50, 2), (100, 4), (500, 8)] {
+            let (serial, got) = build(12, SimDuration::from_us(7));
+            let mut coupling = serial
+                .into_parallel()
+                .with_batching(SimDuration::from_us(window_us), depth);
+            coupling.run(SimTime::from_ms(2)).unwrap();
+            let cells = collected_cells(&got);
+            assert_eq!(cells.len(), 12, "window {window_us} us / depth {depth}");
+            match &reference {
+                None => reference = Some(cells),
+                Some(r) => assert_eq!(&cells, r, "window {window_us} us / depth {depth}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_idempotent_after_completion() {
+        let (serial, got) = build(2, SimDuration::from_us(10));
+        let mut coupling = serial.into_parallel();
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        let before = coupling.stats();
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(coupling.stats(), before);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_network_terminates_without_deadlock() {
+        // No sources at all: the executor must drain and come back.
+        let mut net = Kernel::new(3);
+        let node = net.add_node("n");
+        let mut sync = ConservativeSync::new();
+        let cell_type = sync.register_type(CLK * 53);
+        let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+        let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+        let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+            ports: 2,
+            fifo_capacity: 8,
+            table_capacity: 8,
+        });
+        assert!(switch.install_route(1, 40, 1, 7, 70));
+        let mut follower = CycleCosim::new(
+            CycleSim::new(Box::new(switch)),
+            CLK,
+            cell_type,
+            HeaderFormat::Uni,
+        );
+        follower.add_ingress(IngressIndices {
+            data: 0,
+            sync: 1,
+            enable: 2,
+        });
+        let mut coupling = ParallelCoupling::new(net, follower, sync, cell_type, iface, outbox);
+        let stats = coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(stats.messages_to_follower, 0);
+        assert_eq!(stats.responses, 0);
+    }
+
+    #[test]
+    fn preflight_accepts_the_fixture_and_strict_mode_runs() {
+        let (serial, got) = build(3, SimDuration::from_us(10));
+        let mut coupling = serial.into_parallel().with_strict(true);
+        assert!(coupling.preflight().is_ok());
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+}

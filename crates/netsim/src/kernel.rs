@@ -487,6 +487,34 @@ impl Kernel {
         }
     }
 
+    /// Runs one grant window: executes all events **strictly before**
+    /// `horizon` and reports how many ran. This is the originator-side
+    /// entry point of the parallel coupled executor — after the call, the
+    /// originator may promise `horizon` to the follower as a timing-window
+    /// grant, because every event that could have produced stimulus before
+    /// it has been executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::run`].
+    pub fn run_grant_window(&mut self, horizon: SimTime) -> Result<u64, NetsimError> {
+        self.ensure_started();
+        let mut executed = 0u64;
+        loop {
+            if self.stop_requested {
+                return Ok(executed);
+            }
+            match self.events.next_time() {
+                None => return Ok(executed),
+                Some(t) if t >= horizon => return Ok(executed),
+                Some(_) => {
+                    self.step();
+                    executed += 1;
+                }
+            }
+        }
+    }
+
     /// Runs at most `budget` events.
     ///
     /// # Errors

@@ -82,7 +82,7 @@ impl Default for TxState {
 /// Output ports: for each line `i` `tx_data{i}` (8), `tx_sync{i}` (1),
 /// `tx_valid{i}` (1); then `unroutable` (16), `dropped` (16),
 /// `table_count` (16).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AtmSwitchRtl {
     cfg: SwitchRtlConfig,
     rx: Vec<RxState>,

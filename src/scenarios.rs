@@ -149,12 +149,18 @@ impl std::fmt::Debug for SwitchCosim {
     }
 }
 
-/// Builds the co-simulation of the paper's headline experiment: network
-/// traffic sources drive the RTL switch through the CASTANET coupling;
-/// egress cells return into the network model.
-#[must_use]
-pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
-    // Network side.
+/// The network half shared by every switch co-simulation variant: traffic
+/// sources into the interface process, one collector per egress line.
+struct SwitchNet {
+    net: Kernel,
+    sync: ConservativeSync,
+    cell_type: MessageTypeId,
+    iface: castanet_netsim::event::ModuleId,
+    outbox: castanet::interface::OutboxHandle,
+    collectors: Vec<CollectorHandle>,
+}
+
+fn switch_net(config: &SwitchScenarioConfig) -> SwitchNet {
     let mut net = Kernel::new(config.seed);
     let node = net.add_node("coverify");
     let mut sync = ConservativeSync::new();
@@ -181,6 +187,55 @@ pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
             .expect("fresh ports");
         collectors.push(h);
     }
+    SwitchNet {
+        net,
+        sync,
+        cell_type,
+        iface,
+        outbox,
+        collectors,
+    }
+}
+
+/// The cycle-engine follower shared by the cycle-based and parallel
+/// variants.
+fn switch_cycle_follower(
+    config: &SwitchScenarioConfig,
+    cell_type: MessageTypeId,
+) -> castanet::CycleCosim {
+    use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
+    let sim = castanet_rtl::cycle::CycleSim::new(Box::new(config.rtl_switch()));
+    let mut follower = CycleCosim::new(sim, config.clock_period, cell_type, HeaderFormat::Uni);
+    for i in 0..config.ports {
+        follower.add_ingress(IngressIndices {
+            data: 3 * i,
+            sync: 3 * i + 1,
+            enable: 3 * i + 2,
+        });
+    }
+    for i in 0..config.ports {
+        follower.add_egress(EgressIndices {
+            data: 3 * i,
+            sync: 3 * i + 1,
+            valid: 3 * i + 2,
+        });
+    }
+    follower
+}
+
+/// Builds the co-simulation of the paper's headline experiment: network
+/// traffic sources drive the RTL switch through the CASTANET coupling;
+/// egress cells return into the network model.
+#[must_use]
+pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
+    let SwitchNet {
+        net,
+        sync,
+        cell_type,
+        iface,
+        outbox,
+        collectors,
+    } = switch_net(&config);
 
     // RTL side.
     let mut sim = Simulator::new();
@@ -237,55 +292,57 @@ impl std::fmt::Debug for SwitchCosimCycle {
 /// Builds the cycle-based co-simulation (see [`SwitchCosimCycle`]).
 #[must_use]
 pub fn switch_cosim_cycle(config: SwitchScenarioConfig) -> SwitchCosimCycle {
-    use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
-    // Network side (identical to the event-driven variant).
-    let mut net = Kernel::new(config.seed);
-    let node = net.add_node("coverify");
-    let mut sync = ConservativeSync::new();
-    let cell_type = sync.register_type(config.clock_period * CELL_OCTETS as u64);
-    let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
-    let iface = net.add_module(node, "castanet", Box::new(iface_proc));
-    for i in 0..config.ports {
-        let src = net.add_module(
-            node,
-            format!("src{i}"),
-            Box::new(
-                TrafficSourceProcess::new(config.in_conn(i), config.traffic_model(i))
-                    .with_limit(config.cells_per_source),
-            ),
-        );
-        net.connect_stream(src, PortId(0), iface, PortId(i))
-            .expect("fresh ports");
-    }
-    let mut collectors = Vec::new();
-    for i in 0..config.ports {
-        let (c, h) = CollectorProcess::new();
-        let sink = net.add_module(node, format!("sink{i}"), Box::new(c));
-        net.connect_stream(iface, PortId(i), sink, PortId(0))
-            .expect("fresh ports");
-        collectors.push(h);
-    }
-
-    // Cycle-engine side.
-    let sim = castanet_rtl::cycle::CycleSim::new(Box::new(config.rtl_switch()));
-    let mut follower = CycleCosim::new(sim, config.clock_period, cell_type, HeaderFormat::Uni);
-    for i in 0..config.ports {
-        follower.add_ingress(IngressIndices {
-            data: 3 * i,
-            sync: 3 * i + 1,
-            enable: 3 * i + 2,
-        });
-    }
-    for i in 0..config.ports {
-        follower.add_egress(EgressIndices {
-            data: 3 * i,
-            sync: 3 * i + 1,
-            valid: 3 * i + 2,
-        });
-    }
-
+    let SwitchNet {
+        net,
+        sync,
+        cell_type,
+        iface,
+        outbox,
+        collectors,
+    } = switch_net(&config);
+    let follower = switch_cycle_follower(&config, cell_type);
     SwitchCosimCycle {
         coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox).with_strict(true),
+        collectors,
+        config,
+    }
+}
+
+/// The parallel-executor variant: the same network model, workload and
+/// cycle-engine follower as [`switch_cosim_cycle`], but hosted on
+/// [`ParallelCoupling`] so the two engines run on separate threads.
+pub struct SwitchCosimParallel {
+    /// The parallel coupled simulation, ready to run.
+    pub coupling: castanet::ParallelCoupling<castanet::CycleCosim>,
+    /// Cells returned on each egress line.
+    pub collectors: Vec<CollectorHandle>,
+    /// The configuration it was built from.
+    pub config: SwitchScenarioConfig,
+}
+
+impl std::fmt::Debug for SwitchCosimParallel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchCosimParallel")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Builds the parallel coupled co-simulation (see [`SwitchCosimParallel`]).
+#[must_use]
+pub fn switch_cosim_parallel(config: SwitchScenarioConfig) -> SwitchCosimParallel {
+    let SwitchNet {
+        net,
+        sync,
+        cell_type,
+        iface,
+        outbox,
+        collectors,
+    } = switch_net(&config);
+    let follower = switch_cycle_follower(&config, cell_type);
+    SwitchCosimParallel {
+        coupling: castanet::ParallelCoupling::new(net, follower, sync, cell_type, iface, outbox)
+            .with_strict(true),
         collectors,
         config,
     }
@@ -766,6 +823,18 @@ mod tests {
         assert_eq!(report.matched, 80);
         // Idle skipping actually fired.
         assert!(coupling.follower().clocks_skipped() > 0);
+    }
+
+    #[test]
+    fn parallel_cosim_matches_reference_too() {
+        let scenario = switch_cosim_parallel(small());
+        let mut coupling = scenario.coupling;
+        let stats = coupling.run(SimTime::from_ms(10)).unwrap();
+        let report = compare_switch_output(&scenario.config, &scenario.collectors);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.matched, 80);
+        assert_eq!(stats.late_responses, 0);
+        assert!(coupling.sync().lag_invariant_holds());
     }
 
     #[test]

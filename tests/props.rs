@@ -559,6 +559,139 @@ fn lint_rtl_width_mutation_yields_exactly_cast020() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Parallel coupled-engine executor
+// ---------------------------------------------------------------------
+
+/// A complete coupled fixture with `stim` cells pre-scheduled as arrivals
+/// and a per-type lookahead of `delta` — the δ_j under test.
+fn coupled_fixture(
+    stims: &[(SimTime, AtmCell)],
+    delta: SimDuration,
+) -> castanet::coupling::Coupling<castanet::cyclecosim::CycleCosim> {
+    use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
+    use castanet::interface::{response_packet, CastanetInterfaceProcess};
+    use castanet_netsim::event::PortId;
+    use castanet_netsim::kernel::Kernel;
+    use castanet_netsim::process::CollectorProcess;
+    use castanet_rtl::cycle::CycleSim;
+    use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+
+    let mut net = Kernel::new(42);
+    let node = net.add_node("prop");
+    let mut sync = ConservativeSync::new();
+    let cell_type = sync.register_type(delta);
+    let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+    let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+    let (collector, _got) = CollectorProcess::new();
+    let sink = net.add_module(node, "sink", Box::new(collector));
+    net.connect_stream(iface, PortId(1), sink, PortId(0))
+        .unwrap();
+    for (at, cell) in stims {
+        net.inject_packet(iface, PortId(0), response_packet(cell.clone()), *at)
+            .unwrap();
+    }
+
+    let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+        ports: 2,
+        fifo_capacity: 64,
+        table_capacity: 16,
+    });
+    assert!(switch.install_route(1, 40, 1, 7, 70));
+    let sim = CycleSim::new(Box::new(switch));
+    let mut follower = CycleCosim::new(sim, SimDuration::from_ns(20), cell_type, HeaderFormat::Uni);
+    follower.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    follower.add_ingress(IngressIndices {
+        data: 3,
+        sync: 4,
+        enable: 5,
+    });
+    follower.add_egress(EgressIndices {
+        data: 0,
+        sync: 1,
+        valid: 2,
+    });
+    follower.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
+    castanet::coupling::Coupling::new(net, follower, sync, cell_type, iface, outbox)
+}
+
+#[test]
+fn parallel_lag_invariant_holds_for_any_delta_config() {
+    use castanet::coupling::CoupledSimulator;
+    cases("parallel_lag_invariant_holds_for_any_delta_config", |g| {
+        // Any per-type lookahead δ_j — from far below to far above the
+        // true 53-clock cell transfer time — and any batching parameters:
+        // the HDL side's local time must never exceed the time the
+        // network side has vouched for.
+        let delta = SimDuration::from_ns(g.range_u64(100, 5_000_000));
+        let cells = g.range_usize(1, 6);
+        let mut at = SimTime::ZERO;
+        let stims: Vec<(SimTime, AtmCell)> = (0..cells)
+            .map(|_| {
+                at += SimDuration::from_us(g.range_u64(1, 10));
+                (
+                    at,
+                    AtmCell::user_data(VpiVci::uni(1, 40).unwrap(), g.payload()),
+                )
+            })
+            .collect();
+        let window = SimDuration::from_us(g.range_u64(1, 200));
+        let depth = g.range_usize(1, 8);
+        let mut coupling = coupled_fixture(&stims, delta)
+            .into_parallel()
+            .with_batching(window, depth);
+        let stats = coupling.run(SimTime::from_ms(1)).expect("run");
+        assert_eq!(stats.messages_to_follower, cells as u64);
+        assert_eq!(stats.responses, cells as u64, "every cell answered");
+        assert!(coupling.sync().lag_invariant_holds());
+        assert!(
+            coupling.sync().local_time() <= coupling.sync().originator_time(),
+            "HDL local time ran ahead of the netsim promise"
+        );
+        assert!(coupling.follower().now() <= SimTime::from_ms(1) + window);
+    });
+}
+
+#[test]
+fn parallel_executor_never_deadlocks_on_empty_queues() {
+    cases("parallel_executor_never_deadlocks_on_empty_queues", |g| {
+        // No stimulus ever crosses the interface — either the network is
+        // completely silent or every event lies beyond the horizon. The
+        // executor must terminate (the two-phase handshake may not wait
+        // on a message that cannot come) and deliver nothing.
+        let horizon = SimTime::from_us(g.range_u64(1, 500));
+        let beyond = g.range_usize(0, 4);
+        let stims: Vec<(SimTime, AtmCell)> = (0..beyond)
+            .map(|k| {
+                (
+                    horizon + SimDuration::from_us(g.range_u64(1, 100) + k as u64),
+                    AtmCell::user_data(VpiVci::uni(1, 40).unwrap(), g.payload()),
+                )
+            })
+            .collect();
+        let window = SimDuration::from_us(g.range_u64(1, 300));
+        let depth = g.range_usize(1, 8);
+        let quantum = SimDuration::from_us(g.range_u64(1, 100));
+        let quiet = g.range_u64(1, 4) as u32;
+        let mut coupling = coupled_fixture(&stims, SimDuration::from_us(1))
+            .into_parallel()
+            .with_batching(window, depth)
+            .with_drain(quantum, quiet);
+        let stats = coupling.run(horizon).expect("run");
+        assert_eq!(stats.messages_to_follower, 0);
+        assert_eq!(stats.responses, 0);
+        assert!(coupling.sync().lag_invariant_holds());
+    });
+}
+
 #[test]
 fn lint_findings_always_use_registered_codes() {
     cases("lint_findings_always_use_registered_codes", |g| {

@@ -1,0 +1,383 @@
+//! Differential sync-conformance harness: the same seeded cell traffic is
+//! pushed through four synchronization executors — the conservative serial
+//! coupling, the parallel coupled-engine executor, the fixed-quantum
+//! lockstep baseline, and the optimistic (Time-Warp) wrapper — and every
+//! executor must hand back a byte-identical observable cell trace.
+//!
+//! The protocols differ wildly in *when* work happens (timing windows,
+//! alternation quanta, speculative execution with rollback), but §3.1's
+//! correctness claim is exactly that the synchronization discipline must
+//! never change *what* the coupled DUT computes. The trace compared here is
+//! the wire encoding of every egress cell in arrival order; timestamps are
+//! deliberately excluded — schedules may differ, contents may not.
+
+use castanet::compare::StreamComparator;
+use castanet::convert::ByteStreamAssembler;
+use castanet::coupling::{CoupledSimulator, Coupling};
+use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
+use castanet::interface::{response_packet, CastanetInterfaceProcess};
+use castanet::message::{Message, MessageTypeId};
+use castanet::sync::lockstep::Side;
+use castanet::sync::optimistic::{TimedEvent, TimedOutput};
+use castanet::sync::{ConservativeSync, LockstepSync, OptimisticSync};
+use castanet_atm::addr::{HeaderFormat, VpiVci};
+use castanet_atm::cell::AtmCell;
+use castanet_netsim::event::PortId;
+use castanet_netsim::kernel::Kernel;
+use castanet_netsim::process::{CollectorHandle, CollectorProcess};
+use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_rtl::cycle::{CycleDut, CycleSim};
+use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+
+const SEED: u64 = 0xDA7E_1998;
+const CLK: SimDuration = SimDuration::from_ns(20);
+/// Cells in the seeded campaign.
+const CELLS: usize = 24;
+
+fn rng_next(state: &mut u64) -> u64 {
+    // xorshift64* — deterministic, dependency-free.
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The seeded traffic: `CELLS` cells on connections 1/40 and 1/41 with
+/// random payloads and inter-cell gaps of 2-9 us (always wider than the
+/// 53-clock cell transfer, so the trace order is the stimulus order).
+fn seeded_traffic(seed: u64) -> Vec<(SimTime, AtmCell)> {
+    let mut s = seed;
+    let mut at = SimTime::ZERO;
+    (0..CELLS)
+        .map(|_| {
+            at += SimDuration::from_us(2 + rng_next(&mut s) % 8);
+            let vci = 40 + (rng_next(&mut s) % 2) as u16;
+            let mut payload = [0u8; 48];
+            for b in &mut payload {
+                *b = (rng_next(&mut s) & 0xFF) as u8;
+            }
+            (
+                at,
+                AtmCell::user_data(VpiVci::uni(1, vci).unwrap(), payload),
+            )
+        })
+        .collect()
+}
+
+/// What the switch must emit: headers retagged 1/40 -> 7/70 and
+/// 1/41 -> 7/71, payloads untouched, per-stimulus order preserved.
+fn expected_cells(stims: &[(SimTime, AtmCell)]) -> Vec<AtmCell> {
+    stims
+        .iter()
+        .map(|(_, cell)| {
+            let vci = 70 + (cell.id().vci.value() - 40);
+            AtmCell::user_data(VpiVci::uni(7, vci).unwrap(), cell.payload)
+        })
+        .collect()
+}
+
+fn routed_switch() -> AtmSwitchRtl {
+    let mut switch = AtmSwitchRtl::new(SwitchRtlConfig {
+        ports: 2,
+        fifo_capacity: 64,
+        table_capacity: 16,
+    });
+    assert!(switch.install_route(1, 40, 1, 7, 70));
+    assert!(switch.install_route(1, 41, 1, 7, 71));
+    switch
+}
+
+fn fresh_follower(cell_type: MessageTypeId) -> CycleCosim {
+    let sim = CycleSim::new(Box::new(routed_switch()));
+    let mut follower = CycleCosim::new(sim, CLK, cell_type, HeaderFormat::Uni);
+    follower.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    follower.add_ingress(IngressIndices {
+        data: 3,
+        sync: 4,
+        enable: 5,
+    });
+    follower.add_egress(EgressIndices {
+        data: 0,
+        sync: 1,
+        valid: 2,
+    });
+    follower.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
+    follower
+}
+
+/// Kernel fixture for the coupled executors: the seeded stimulus is
+/// pre-scheduled as arrivals at the interface node, responses flow out to
+/// a collector sink.
+fn coupled(stims: &[(SimTime, AtmCell)]) -> (Coupling<CycleCosim>, CollectorHandle) {
+    let mut net = Kernel::new(SEED);
+    let node = net.add_node("conformance");
+    let mut sync = ConservativeSync::new();
+    let cell_type = sync.register_type(CLK * 53);
+    let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+    let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+    let (collector, got) = CollectorProcess::new();
+    let sink = net.add_module(node, "sink", Box::new(collector));
+    net.connect_stream(iface, PortId(1), sink, PortId(0))
+        .unwrap();
+    for (at, cell) in stims {
+        net.inject_packet(iface, PortId(0), response_packet(cell.clone()), *at)
+            .unwrap();
+    }
+    let follower = fresh_follower(cell_type);
+    (
+        Coupling::new(net, follower, sync, cell_type, iface, outbox),
+        got,
+    )
+}
+
+fn collected_cells(got: &CollectorHandle) -> Vec<AtmCell> {
+    got.take()
+        .into_iter()
+        .map(|(_, pkt)| pkt.payload::<AtmCell>().expect("cell payload").clone())
+        .collect()
+}
+
+/// Executor 1: the conservative serial coupling (`Coupling::run`).
+fn run_conservative(stims: &[(SimTime, AtmCell)]) -> Vec<AtmCell> {
+    let (mut coupling, got) = coupled(stims);
+    coupling.run(SimTime::from_ms(1)).expect("serial run");
+    assert!(coupling.sync().lag_invariant_holds());
+    collected_cells(&got)
+}
+
+/// Executor 2: the parallel coupled-engine executor.
+fn run_parallel(stims: &[(SimTime, AtmCell)], window: SimDuration, depth: usize) -> Vec<AtmCell> {
+    let (coupling, got) = coupled(stims);
+    let mut coupling = coupling.into_parallel().with_batching(window, depth);
+    coupling.run(SimTime::from_ms(1)).expect("parallel run");
+    assert!(coupling.sync().lag_invariant_holds());
+    assert_eq!(coupling.stats().late_responses, 0);
+    collected_cells(&got)
+}
+
+/// Executor 3: fixed-quantum lockstep alternation. The quantum must not
+/// exceed the true lookahead (the 53-clock cell transfer time).
+fn run_lockstep(stims: &[(SimTime, AtmCell)], quantum: SimDuration) -> Vec<AtmCell> {
+    let mut ls = LockstepSync::new(quantum);
+    assert!(
+        ls.is_safe_for(CLK * 53),
+        "quantum wider than the lookahead would not be a valid baseline"
+    );
+    let cell_type = MessageTypeId(0);
+    let mut follower = fresh_follower(cell_type);
+    let horizon = stims.last().unwrap().0 + SimDuration::from_us(50);
+    let mut trace = Vec::new();
+    let mut next = 0;
+    while ls.begin_window() <= horizon {
+        let window = ls.begin_window();
+        // Originator half-round: hand over everything up to the window.
+        while next < stims.len() && stims[next].0 < window {
+            let (at, cell) = &stims[next];
+            follower
+                .deliver(Message::cell(*at, cell_type, 0, cell.clone()))
+                .expect("deliver");
+            next += 1;
+        }
+        ls.complete(Side::Originator);
+        // Follower half-round: advance to the window edge, return responses.
+        for m in follower.advance_batch(window).expect("advance") {
+            if let Some(cell) = m.as_cell() {
+                trace.push(cell.clone());
+            }
+        }
+        assert!(
+            follower.now() <= window,
+            "lockstep follower overran its window"
+        );
+        ls.complete(Side::Follower);
+    }
+    assert_eq!(ls.rounds(), ls.rounds_to_reach(horizon));
+    trace
+}
+
+/// Clonable deterministic state machine for the Time-Warp wrapper: the RTL
+/// switch plus the receive-side assembler, stepped one whole cell per
+/// event (the seeded gaps guarantee the real executors never overlap cells
+/// either, so per-cell granularity is trace-equivalent).
+#[derive(Clone)]
+struct OptState {
+    switch: AtmSwitchRtl,
+    rx: ByteStreamAssembler,
+}
+
+fn opt_step(state: &mut OptState, cell: &AtmCell) -> Vec<AtmCell> {
+    let wire = cell.encode(HeaderFormat::Uni).expect("encode");
+    let mut out = Vec::new();
+    let mut clocks = 0u32;
+    let mut fed = 0usize;
+    // Feed 53 octets, then idle until the switch pipeline drains.
+    while fed < wire.len() || !state.switch.is_idle() {
+        let mut inputs = [0u64; 12];
+        if fed < wire.len() {
+            inputs[0] = u64::from(wire[fed]);
+            inputs[1] = u64::from(fed == 0);
+            inputs[2] = 1;
+            fed += 1;
+        }
+        let outputs = state.switch.clock_edge(&inputs);
+        if outputs[5] == 1 {
+            if let Some(cell) = state
+                .rx
+                .push((outputs[3] & 0xFF) as u8, outputs[4] == 1)
+                .expect("assemble")
+            {
+                out.push(cell);
+            }
+        }
+        clocks += 1;
+        assert!(clocks < 1000, "switch failed to drain");
+    }
+    out
+}
+
+/// Executor 4: the optimistic wrapper, fed events in the given order; the
+/// committed trace is the anti-message-corrected output set in virtual
+/// time order.
+fn run_optimistic(
+    stims: &[(SimTime, AtmCell)],
+    order: &[usize],
+) -> (Vec<AtmCell>, castanet::sync::optimistic::OptimisticStats) {
+    let state = OptState {
+        switch: routed_switch(),
+        rx: ByteStreamAssembler::new(HeaderFormat::Uni),
+    };
+    let mut tw = OptimisticSync::new(state, opt_step, 4096);
+    let mut committed: Vec<TimedOutput<AtmCell>> = Vec::new();
+    for &k in order {
+        let (at, cell) = &stims[k];
+        let outcome = tw
+            .execute(TimedEvent {
+                stamp: *at,
+                seq: k as u64,
+                event: cell.clone(),
+            })
+            .expect("execute");
+        for anti in outcome.anti_messages {
+            let pos = committed
+                .iter()
+                .position(|o| *o == anti)
+                .expect("anti-message must cancel a previously sent output");
+            committed.remove(pos);
+        }
+        committed.extend(outcome.outputs);
+    }
+    committed.sort_by_key(|o| o.stamp);
+    (
+        committed.into_iter().map(|o| o.output).collect(),
+        tw.stats(),
+    )
+}
+
+/// The literal byte sequences a monitor on the egress line would record.
+fn trace_bytes(cells: &[AtmCell]) -> Vec<Vec<u8>> {
+    cells
+        .iter()
+        .map(|c| c.encode(HeaderFormat::Uni).expect("encode").to_vec())
+        .collect()
+}
+
+fn assert_conforms(stims: &[(SimTime, AtmCell)], trace: &[AtmCell], label: &str) {
+    let mut cmp = StreamComparator::new(None);
+    for (i, cell) in expected_cells(stims).iter().enumerate() {
+        cmp.expect(cell, stims[i].0);
+    }
+    for cell in trace {
+        cmp.observe(cell, SimTime::ZERO);
+    }
+    let report = cmp.finish();
+    assert!(report.passed(), "{label} failed conformance:\n{report}");
+    assert_eq!(report.matched, CELLS as u64, "{label} matched count");
+}
+
+#[test]
+fn four_executors_produce_byte_identical_traces() {
+    let stims = seeded_traffic(SEED);
+    let in_order: Vec<usize> = (0..stims.len()).collect();
+
+    let conservative = run_conservative(&stims);
+    let parallel = run_parallel(&stims, SimDuration::from_us(100), 4);
+    let lockstep = run_lockstep(&stims, SimDuration::from_us(1));
+    let (optimistic, _) = run_optimistic(&stims, &in_order);
+
+    assert_eq!(conservative.len(), CELLS, "conservative trace length");
+    assert_conforms(&stims, &conservative, "conservative");
+    assert_conforms(&stims, &parallel, "parallel");
+    assert_conforms(&stims, &lockstep, "lockstep");
+    assert_conforms(&stims, &optimistic, "optimistic");
+
+    let reference = trace_bytes(&conservative);
+    assert_eq!(
+        trace_bytes(&parallel),
+        reference,
+        "parallel vs conservative"
+    );
+    assert_eq!(
+        trace_bytes(&lockstep),
+        reference,
+        "lockstep vs conservative"
+    );
+    assert_eq!(
+        trace_bytes(&optimistic),
+        reference,
+        "optimistic vs conservative"
+    );
+}
+
+#[test]
+fn parallel_batching_never_changes_the_trace() {
+    let stims = seeded_traffic(SEED ^ 0x5EED);
+    let reference = trace_bytes(&run_conservative(&stims));
+    for (window_us, depth) in [(5u64, 1usize), (20, 2), (100, 4), (500, 8)] {
+        let trace = run_parallel(&stims, SimDuration::from_us(window_us), depth);
+        assert_eq!(
+            trace_bytes(&trace),
+            reference,
+            "window {window_us} us / depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn lockstep_quantum_never_changes_the_trace() {
+    let stims = seeded_traffic(SEED ^ 0xA1A1);
+    let reference = trace_bytes(&run_conservative(&stims));
+    for quantum_ns in [250u64, 500, 1000] {
+        let trace = run_lockstep(&stims, SimDuration::from_ns(quantum_ns));
+        assert_eq!(trace_bytes(&trace), reference, "quantum {quantum_ns} ns");
+    }
+}
+
+#[test]
+fn optimistic_rollbacks_preserve_the_trace() {
+    // Swap adjacent events so every second submission is a straggler: the
+    // Time-Warp discipline must roll back, replay and anti-message its way
+    // to the exact trace the conservative executor produces.
+    let stims = seeded_traffic(SEED ^ 0x0515);
+    let mut shuffled: Vec<usize> = (0..stims.len()).collect();
+    for pair in shuffled.chunks_mut(2) {
+        pair.reverse();
+    }
+    let (trace, stats) = run_optimistic(&stims, &shuffled);
+    assert!(stats.rollbacks > 0, "shuffle must actually cause rollbacks");
+    assert!(
+        stats.anti_messages > 0,
+        "rollbacks must revoke sent outputs"
+    );
+    let reference = trace_bytes(&run_conservative(&stims));
+    assert_eq!(trace_bytes(&trace), reference, "trace survives rollbacks");
+}
