@@ -27,7 +27,7 @@
 use castanet_bench::small_switch_config;
 use castanet_netsim::time::{SimDuration, SimTime};
 use coverify::scenarios::{switch_cosim, switch_cosim_cycle, switch_cosim_parallel};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_e8(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_parallel");
@@ -35,6 +35,7 @@ fn bench_e8(c: &mut Criterion) {
 
     for &cells_per_source in &[25u64, 100] {
         let total = cells_per_source * 4;
+        group.throughput(Throughput::Elements(total));
         group.bench_with_input(
             BenchmarkId::new("serial_event_driven", total),
             &cells_per_source,

@@ -1,0 +1,86 @@
+//! E9 — telemetry overhead on the coupled executors.
+//!
+//! The `castanet-obs` handle claims to be zero-cost when disabled: the
+//! default `Telemetry` is a `None` every instrumented call site branches
+//! on, and the metric handles it hands out are inert. This harness puts a
+//! number on that claim, on both executors of the e1 workload:
+//!
+//! * `serial_telemetry_off` / `serial_telemetry_on` — `Coupling::run`
+//!   over the cycle engine, without and with an enabled handle;
+//! * `parallel_telemetry_off` / `parallel_telemetry_on` — the
+//!   `ParallelCoupling` executor (the e8 headline row), without and with
+//!   an enabled handle recording from both threads.
+//!
+//! The acceptance bound reads the `off` rows against the untouched e8
+//! timings (no-op handle < 3% overhead); the `on` rows price the full
+//! ring-buffer + metrics recording path.
+
+use castanet::Telemetry;
+use castanet_bench::small_switch_config;
+use castanet_netsim::time::SimTime;
+use coverify::scenarios::{switch_cosim_cycle, switch_cosim_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_telemetry");
+    group.sample_size(10);
+
+    for &cells_per_source in &[25u64, 100] {
+        let total = cells_per_source * 4;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::new("serial_telemetry_off", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let mut coupling = switch_cosim_cycle(small_switch_config(n)).coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial_telemetry_on", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let tel = Telemetry::enabled();
+                    let mut coupling = switch_cosim_cycle(small_switch_config(n))
+                        .with_telemetry(&tel)
+                        .coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    (coupling.stats().responses, tel.events().len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_telemetry_off", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let mut coupling = switch_cosim_parallel(small_switch_config(n)).coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    coupling.stats().responses
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_telemetry_on", total),
+            &cells_per_source,
+            |b, &n| {
+                b.iter(|| {
+                    let tel = Telemetry::enabled();
+                    let mut coupling = switch_cosim_parallel(small_switch_config(n))
+                        .with_telemetry(&tel)
+                        .coupling;
+                    coupling.run(SimTime::from_secs(1)).expect("run");
+                    (coupling.stats().responses, tel.events().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

@@ -9,6 +9,12 @@
 //! Measurement is deliberately simple — median of `sample_size` timed samples
 //! after an adaptive calibration pass — because these numbers are read as
 //! relative trends between experiments, not publication-grade statistics.
+//!
+//! When the `BENCH_JSON_DIR` environment variable names a directory, every
+//! group additionally writes a machine-readable `BENCH_<group>.json` there
+//! on `finish()`: per-benchmark median wall time, the declared throughput
+//! rate, and a `speedup_vs_serial` column computed against the group's
+//! matching `serial*` baselines.
 
 #![forbid(unsafe_code)]
 
@@ -91,11 +97,26 @@ impl Bencher {
     }
 }
 
+/// One finished measurement, retained for machine-readable reporting.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    median_ns_per_iter: f64,
+    /// Logical elements processed per second, when the group declared an
+    /// element throughput.
+    events_per_sec: Option<f64>,
+    /// Bytes processed per second, when the group declared a byte
+    /// throughput.
+    bytes_per_sec: Option<f64>,
+}
+
 /// A named collection of related benchmarks sharing configuration.
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+    json_written: bool,
 }
 
 impl BenchmarkGroup {
@@ -142,21 +163,102 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Ends the group. Present for API compatibility; reporting is immediate.
-    pub fn finish(&mut self) {}
+    /// Ends the group. Console reporting is immediate; this writes the
+    /// machine-readable `BENCH_<group>.json` when `BENCH_JSON_DIR` is set.
+    pub fn finish(&mut self) {
+        self.write_json();
+    }
 
-    fn report(&self, id: &str, bencher: &Bencher) {
+    fn report(&mut self, id: &str, bencher: &Bencher) {
         let ns = bencher.median_ns_per_iter();
+        let mut events_per_sec = None;
+        let mut bytes_per_sec = None;
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if ns > 0.0 => {
-                format!("  {:.3e} elem/s", n as f64 / (ns * 1e-9))
+                let per_sec = n as f64 / (ns * 1e-9);
+                events_per_sec = Some(per_sec);
+                format!("  {per_sec:.3e} elem/s")
             }
             Some(Throughput::Bytes(n)) if ns > 0.0 => {
-                format!("  {:.3e} B/s", n as f64 / (ns * 1e-9))
+                let per_sec = n as f64 / (ns * 1e-9);
+                bytes_per_sec = Some(per_sec);
+                format!("  {per_sec:.3e} B/s")
             }
             _ => String::new(),
         };
         println!("{}/{:<32} {:>14.1} ns/iter{}", self.name, id, ns, rate);
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            median_ns_per_iter: ns,
+            events_per_sec,
+            bytes_per_sec,
+        });
+    }
+
+    /// Baseline for `id`'s speedup column: the first result whose function
+    /// name starts with `serial` and which shares `id`'s `/parameter`
+    /// suffix (or has none when `id` has none).
+    fn serial_baseline_ns(&self, id: &str) -> Option<f64> {
+        let param = id.split_once('/').map(|(_, p)| p);
+        self.results
+            .iter()
+            .find(|r| {
+                r.id.starts_with("serial")
+                    && r.id.split_once('/').map(|(_, p)| p) == param
+                    && r.median_ns_per_iter > 0.0
+            })
+            .map(|r| r.median_ns_per_iter)
+    }
+
+    /// Writes `BENCH_<group>.json` into `$BENCH_JSON_DIR`, one object per
+    /// measured id, with a `speedup_vs_serial` column computed against the
+    /// group's matching `serial*` rows. No-op when the variable is unset.
+    fn write_json(&mut self) {
+        if self.json_written || self.results.is_empty() {
+            return;
+        }
+        let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+            return;
+        };
+        self.json_written = true;
+        let mut body = String::new();
+        body.push_str("{\n");
+        body.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        body.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let mut fields = vec![
+                format!("\"name\": \"{}\"", r.id),
+                format!("\"median_ns_per_iter\": {:.1}", r.median_ns_per_iter),
+            ];
+            if let Some(v) = r.events_per_sec {
+                fields.push(format!("\"events_per_sec\": {v:.1}"));
+            }
+            if let Some(v) = r.bytes_per_sec {
+                fields.push(format!("\"bytes_per_sec\": {v:.1}"));
+            }
+            if let Some(base) = self.serial_baseline_ns(&r.id) {
+                if r.median_ns_per_iter > 0.0 {
+                    fields.push(format!(
+                        "\"speedup_vs_serial\": {:.3}",
+                        base / r.median_ns_per_iter
+                    ));
+                }
+            }
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            body.push_str(&format!("    {{{}}}{sep}\n", fields.join(", ")));
+        }
+        body.push_str("  ]\n}\n");
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("criterion shim: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup {
+    /// Guarantees the JSON report even when a harness forgets `finish()`.
+    fn drop(&mut self) {
+        self.write_json();
     }
 }
 
@@ -171,6 +273,8 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
             throughput: None,
+            results: Vec::new(),
+            json_written: false,
         }
     }
 }
@@ -222,5 +326,68 @@ mod tests {
     #[test]
     fn benchmark_id_formats_as_name_slash_param() {
         assert_eq!(BenchmarkId::new("engine", 64).to_string(), "engine/64");
+    }
+
+    #[test]
+    fn serial_baseline_matches_on_parameter_suffix() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("probe");
+        group.results = vec![
+            BenchResult {
+                id: "serial_event_driven/100".into(),
+                median_ns_per_iter: 200.0,
+                events_per_sec: None,
+                bytes_per_sec: None,
+            },
+            BenchResult {
+                id: "serial_event_driven/400".into(),
+                median_ns_per_iter: 800.0,
+                events_per_sec: None,
+                bytes_per_sec: None,
+            },
+        ];
+        assert_eq!(
+            group.serial_baseline_ns("parallel_cycle_based/100"),
+            Some(200.0)
+        );
+        assert_eq!(
+            group.serial_baseline_ns("parallel_cycle_based/400"),
+            Some(800.0)
+        );
+        assert_eq!(group.serial_baseline_ns("parallel_cycle_based/999"), None);
+        assert_eq!(group.serial_baseline_ns("parallel_no_param"), None);
+        group.json_written = true; // suppress the Drop-time report
+    }
+
+    #[test]
+    fn finish_writes_bench_json_with_speedups() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shimtest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("serial_sum/8", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.bench_function("parallel_sum/8", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+
+        let body = std::fs::read_to_string(dir.join("BENCH_shimtest.json")).unwrap();
+        assert!(body.contains("\"group\": \"shimtest\""), "{body}");
+        assert!(body.contains("\"name\": \"serial_sum/8\""), "{body}");
+        assert!(body.contains("\"events_per_sec\""), "{body}");
+        assert!(
+            body.lines()
+                .any(|l| l.contains("parallel_sum/8") && l.contains("speedup_vs_serial")),
+            "{body}"
+        );
+        std::env::remove_var("BENCH_JSON_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -25,6 +25,7 @@ use crate::sync::conservative::{ConservativeSync, SyncStats};
 use castanet_netsim::event::{ModuleId, PortId};
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_obs::{EventKind, Telemetry, Track};
 use castanet_rtl::sim::Simulator;
 
 pub use crate::parallel::ParallelCoupling;
@@ -47,6 +48,13 @@ pub trait CoupledSimulator {
     ///
     /// Implementation-specific simulation failures.
     fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError>;
+
+    /// Attaches a telemetry handle so the follower can publish its own
+    /// metrics (clock counts, skipped idle stretches, …). The default is a
+    /// no-op: followers without internal counters need not care.
+    fn set_telemetry(&mut self, tel: &Telemetry) {
+        let _ = tel;
+    }
 
     /// Advances local time all the way to `horizon`, returning *every*
     /// response produced along the way — unlike [`advance_until`], which
@@ -172,14 +180,86 @@ pub struct CouplingStats {
     pub messages_to_follower: u64,
     /// Responses injected back into the network model.
     pub responses: u64,
-    /// Responses whose stamp was in the network's past (must stay 0 when
-    /// the protocol is obeyed; counted instead of silently clamped).
+    /// Responses whose stamp was in the network's past even though the
+    /// executor was *not* pipelining — a feedforward-assumption violation.
+    /// Must stay 0 when the protocol is obeyed; counted instead of silently
+    /// clamped. Always 0 under [`crate::parallel::ParallelCoupling`], whose
+    /// behind-the-clock arrivals are expected pipeline lag and land in
+    /// [`deferred_responses`](Self::deferred_responses) instead.
     pub late_responses: u64,
-    /// Responses that arrived behind the network clock because the
-    /// originator pipelined ahead of the follower. Expected to be non-zero
-    /// under [`crate::parallel::ParallelCoupling`] (pipeline lag, not a
-    /// protocol violation); always 0 under the serial [`Coupling`].
+    /// Responses injected behind the network clock, whatever the executor:
+    /// every late response counts here too, and under
+    /// [`crate::parallel::ParallelCoupling`] the originator running ahead
+    /// of the follower makes a non-zero value the *normal* case (pipeline
+    /// lag, not a protocol violation). Serial and parallel runs of the same
+    /// scenario can therefore be compared on this counter directly.
     pub deferred_responses: u64,
+}
+
+/// Injects follower responses into the network model — the single
+/// bookkeeping path shared by the serial [`Coupling`] and the parallel
+/// executor, so the two keep identical counter semantics.
+///
+/// A response stamped behind the network clock is re-stamped to "now" and
+/// counted in `deferred_responses`; when the executor is not `pipelined`
+/// (serial coupling: the follower never runs concurrently with the
+/// network), the same arrival additionally counts as a `late_response`,
+/// because only a feedforward violation can produce it there.
+pub(crate) fn inject_responses(
+    net: &mut Kernel,
+    stats: &mut CouplingStats,
+    iface: ModuleId,
+    responses: Vec<Message>,
+    pipelined: bool,
+    tel: &Telemetry,
+) -> Result<usize, CastanetError> {
+    let mut injected = 0;
+    for msg in responses {
+        let MessagePayload::Cell(cell) = msg.payload else {
+            // Undecodable DUT output (raw payload): the network model
+            // cannot route it; the comparison layer is where such
+            // corruption is detected and reported.
+            continue;
+        };
+        let now = net.now();
+        let at = if msg.stamp < now {
+            stats.deferred_responses += 1;
+            let kind = if pipelined {
+                EventKind::DeferredResponse {
+                    stamp_ps: msg.stamp.as_picos(),
+                    net_ps: now.as_picos(),
+                }
+            } else {
+                stats.late_responses += 1;
+                EventKind::LateResponse {
+                    stamp_ps: msg.stamp.as_picos(),
+                    net_ps: now.as_picos(),
+                }
+            };
+            tel.record(Track::Originator, now.as_picos(), kind);
+            now
+        } else {
+            msg.stamp
+        };
+        tel.record(
+            Track::Originator,
+            at.as_picos(),
+            EventKind::ResponseInjected {
+                stamp_ps: msg.stamp.as_picos(),
+                at_ps: at.as_picos(),
+                port: msg.port as u32,
+            },
+        );
+        net.inject_packet(
+            iface,
+            PortId(RESPONSE_PORT_BASE + msg.port),
+            response_packet(cell),
+            at,
+        )?;
+        stats.responses += 1;
+        injected += 1;
+    }
+    Ok(injected)
 }
 
 /// The coupling executive.
@@ -211,6 +291,8 @@ pub struct Coupling<S: CoupledSimulator> {
     /// configuration passes the static pre-flight checks (see
     /// [`Coupling::preflight`]).
     strict: bool,
+    /// Telemetry handle; disabled (all recording a no-op) by default.
+    tel: Telemetry,
 }
 
 impl<S: CoupledSimulator> std::fmt::Debug for Coupling<S> {
@@ -248,7 +330,29 @@ impl<S: CoupledSimulator> Coupling<S> {
             drain_quantum: SimDuration::from_us(50),
             drain_quiet_chunks: 2,
             strict: false,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle to every layer of the coupling: the
+    /// network kernel, the conservative synchronizer and the follower all
+    /// publish into its metrics registry, and [`Coupling::run`] records
+    /// structured protocol events into its trace sink. Pass
+    /// [`Telemetry::disabled`] (the default) for zero-overhead operation.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.net.set_telemetry(tel);
+        self.sync.set_telemetry(tel);
+        self.follower.set_telemetry(tel);
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Coupling::with_telemetry`] was called).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Enables (or disables) strict mode: [`Coupling::run`] then executes
@@ -338,8 +442,26 @@ impl<S: CoupledSimulator> Coupling<S> {
             if horizon > self.promised {
                 self.sync.receive(self.cell_type, horizon, true)?;
                 self.promised = horizon;
+                self.tel.record(
+                    Track::Originator,
+                    self.net.now().as_picos(),
+                    EventKind::WindowGranted {
+                        grant_ps: horizon.as_picos(),
+                        msgs: 0,
+                    },
+                );
             }
+            let advance_start = self.tel.now_ns();
             let responses = self.follower.advance_until(horizon)?;
+            self.tel.record_span(
+                Track::Follower,
+                horizon.as_picos(),
+                advance_start,
+                EventKind::FollowerAdvance {
+                    granted_ps: horizon.as_picos(),
+                    responses: responses.len() as u64,
+                },
+            );
             let local = self.follower.now().max(self.sync.local_time());
             if local <= self.sync.grant() {
                 self.sync.advance_local(local)?;
@@ -363,6 +485,15 @@ impl<S: CoupledSimulator> Coupling<S> {
                 self.stats.net_events += 1;
                 for msg in self.outbox.drain() {
                     self.sync.receive(msg.type_id, msg.stamp, false)?;
+                    self.tel.record(
+                        Track::Originator,
+                        msg.stamp.as_picos(),
+                        EventKind::StimulusEnqueued {
+                            type_id: msg.type_id.0,
+                            port: msg.port as u32,
+                            stamp_ps: msg.stamp.as_picos(),
+                        },
+                    );
                     // The follower consumes the message immediately (it
                     // is covered by the next grant); mirror that in the
                     // protocol bookkeeping.
@@ -375,30 +506,14 @@ impl<S: CoupledSimulator> Coupling<S> {
     }
 
     fn inject(&mut self, responses: Vec<Message>) -> Result<usize, CastanetError> {
-        let mut injected = 0;
-        for msg in responses {
-            let MessagePayload::Cell(cell) = msg.payload else {
-                // Undecodable DUT output (raw payload): the network model
-                // cannot route it; the comparison layer is where such
-                // corruption is detected and reported.
-                continue;
-            };
-            let at = if msg.stamp < self.net.now() {
-                self.stats.late_responses += 1;
-                self.net.now()
-            } else {
-                msg.stamp
-            };
-            self.net.inject_packet(
-                self.iface,
-                PortId(RESPONSE_PORT_BASE + msg.port),
-                response_packet(cell),
-                at,
-            )?;
-            self.stats.responses += 1;
-            injected += 1;
-        }
-        Ok(injected)
+        inject_responses(
+            &mut self.net,
+            &mut self.stats,
+            self.iface,
+            responses,
+            false,
+            &self.tel,
+        )
     }
 
     /// The network kernel (e.g. for statistics after the run).
@@ -482,6 +597,7 @@ impl<S: CoupledSimulator> Coupling<S> {
         )
         .with_drain(self.drain_quantum, self.drain_quiet_chunks)
         .with_strict(self.strict)
+        .with_telemetry(&self.tel)
     }
 }
 
@@ -695,6 +811,44 @@ mod tests {
         // Their responses may or may not be complete within the window; no
         // cell after 35 us was sent.
         assert!(got.len() <= 3);
+    }
+
+    #[test]
+    fn telemetry_records_protocol_events() {
+        let (coupling, got) = build_coupling(3, SimDuration::from_us(10));
+        let tel = Telemetry::enabled();
+        let mut coupling = coupling.with_telemetry(&tel);
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(got.len(), 3);
+        let names: std::collections::BTreeSet<&str> =
+            tel.events().iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "window_granted",
+            "stimulus_enqueued",
+            "follower_advance",
+            "response_injected",
+        ] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        // A serial run obeying the protocol produces no late/deferred events.
+        assert!(!names.contains("late_response"));
+        assert!(!names.contains("deferred_response"));
+        let snap = tel.metrics_snapshot();
+        assert_eq!(
+            snap.counter("originator.net_events"),
+            Some(coupling.stats().net_events)
+        );
+        assert!(snap.histogram("sync.lag_ps").unwrap().count > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_observes_nothing() {
+        let (coupling, _got) = build_coupling(2, SimDuration::from_us(10));
+        let tel = Telemetry::disabled();
+        let mut coupling = coupling.with_telemetry(&tel);
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert!(tel.events().is_empty());
+        assert!(tel.metrics_snapshot().counters.is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::HeaderFormat;
 use castanet_atm::cell::CELL_OCTETS;
 use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_obs::{Gauge, Telemetry};
 use castanet_rtl::cycle::CycleSim;
 use std::collections::VecDeque;
 
@@ -68,6 +69,10 @@ pub struct CycleCosim {
     /// Clocks skipped thanks to idle detection.
     skipped: u64,
     undecodable: u64,
+    /// Clocks-evaluated gauge (a no-op until telemetry is attached).
+    obs_evaluated: Gauge,
+    /// Clocks-skipped gauge (a no-op until telemetry is attached).
+    obs_skipped: Gauge,
 }
 
 impl std::fmt::Debug for CycleCosim {
@@ -101,6 +106,8 @@ impl CycleCosim {
             format,
             skipped: 0,
             undecodable: 0,
+            obs_evaluated: Gauge::default(),
+            obs_skipped: Gauge::default(),
         }
     }
 
@@ -239,12 +246,19 @@ impl CycleCosim {
             let responses = self.run_clock()?;
             if !responses.is_empty() {
                 if stop_at_first {
+                    self.publish_clock_gauges();
                     return Ok(responses);
                 }
                 collected.extend(responses);
             }
         }
+        self.publish_clock_gauges();
         Ok(collected)
+    }
+
+    fn publish_clock_gauges(&self) {
+        self.obs_evaluated.set(self.sim.cycles());
+        self.obs_skipped.set(self.skipped);
     }
 }
 
@@ -288,6 +302,11 @@ impl CoupledSimulator for CycleCosim {
 
     fn now(&self) -> SimTime {
         SimTime::from_picos(self.clocks_done * self.clock_period.as_picos())
+    }
+
+    fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.obs_evaluated = tel.gauge("follower.clocks_evaluated");
+        self.obs_skipped = tel.gauge("follower.clocks_skipped");
     }
 }
 

@@ -21,6 +21,7 @@ use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::HeaderFormat;
 use castanet_atm::cell::CELL_OCTETS;
 use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_obs::{Counter, Gauge, Telemetry};
 use castanet_testboard::board::TestBoard;
 use castanet_testboard::cycle::SessionStats;
 use castanet_testboard::dut::HardwareDut;
@@ -82,6 +83,10 @@ pub struct BoardCosim {
     response_type: MessageTypeId,
     format: HeaderFormat,
     undecodable: u64,
+    /// Hardware-test-cycle counter (a no-op until telemetry is attached).
+    obs_cycles: Counter,
+    /// Board-clock gauge (a no-op until telemetry is attached).
+    obs_clocks: Gauge,
 }
 
 impl std::fmt::Debug for BoardCosim {
@@ -135,6 +140,8 @@ impl BoardCosim {
             response_type,
             format,
             undecodable: 0,
+            obs_cycles: Counter::default(),
+            obs_clocks: Gauge::default(),
         }
     }
 
@@ -254,6 +261,8 @@ impl BoardCosim {
             }
         }
         self.clocks_done += clocks;
+        self.obs_cycles.inc();
+        self.obs_clocks.set(self.clocks_done);
         Ok(out)
     }
 }
@@ -325,6 +334,11 @@ impl CoupledSimulator for BoardCosim {
 
     fn now(&self) -> SimTime {
         SimTime::from_picos(self.clocks_done * self.clock_period.as_picos())
+    }
+
+    fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.obs_cycles = tel.counter("board.test_cycles");
+        self.obs_clocks = tel.gauge("board.clocks_done");
     }
 }
 

@@ -33,6 +33,10 @@
 //!   transport, with a protocol client on the coupling side;
 //! * [`verify`] — co-verification session summaries.
 //!
+//! Observability (structured protocol tracing, metrics, exporters) lives in
+//! the `castanet-obs` crate; every layer here accepts its [`Telemetry`]
+//! handle (re-exported below) and is zero-cost when it is disabled.
+//!
 //! The substrates (network simulator, ATM model suite, RTL simulator, test
 //! board) live in their own crates: `castanet-netsim`, `castanet-atm`,
 //! `castanet-rtl`, `castanet-testboard`.
@@ -57,6 +61,7 @@ pub mod sync;
 pub mod traceio;
 pub mod verify;
 
+pub use castanet_obs::Telemetry;
 pub use compare::{ComparisonReport, StreamComparator};
 pub use coupling::{CoupledSimulator, Coupling, CouplingStats, RtlCosim};
 pub use cyclecosim::CycleCosim;

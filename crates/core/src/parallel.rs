@@ -33,14 +33,16 @@
 //! current time, which is sound under the feedforward assumption (responses
 //! feed monitors, never new stimulus).
 
-use crate::coupling::{preflight_checks, CoupledSimulator, CouplingStats};
+use crate::coupling::{inject_responses, preflight_checks, CoupledSimulator, CouplingStats};
 use crate::error::CastanetError;
-use crate::interface::{response_packet, OutboxHandle, RESPONSE_PORT_BASE};
-use crate::message::{Message, MessagePayload, MessageTypeId};
+use crate::interface::OutboxHandle;
+use crate::message::{Message, MessageTypeId};
 use crate::sync::conservative::{ConservativeSync, SyncStats};
-use castanet_netsim::event::{ModuleId, PortId};
+use castanet_netsim::event::ModuleId;
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_obs::{Counter, EventKind, Gauge, Histogram, Telemetry, Track};
+use std::collections::VecDeque;
 use std::sync::mpsc;
 
 /// One command from the originator thread to the follower thread.
@@ -103,6 +105,8 @@ pub struct ParallelCoupling<S: CoupledSimulator + Send> {
     /// Command-channel capacity: how many windows the originator may run
     /// ahead of the follower before its sends block (bounded pipeline lag).
     channel_depth: usize,
+    /// Telemetry handle; disabled (all recording a no-op) by default.
+    tel: Telemetry,
 }
 
 impl<S: CoupledSimulator + Send> std::fmt::Debug for ParallelCoupling<S> {
@@ -143,7 +147,30 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
             strict: false,
             batch_window: SimDuration::from_us(100),
             channel_depth: 4,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle to every layer — as
+    /// [`Coupling::with_telemetry`](crate::coupling::Coupling::with_telemetry),
+    /// plus the executor's own channel metrics (`channel.in_flight`
+    /// occupancy, `channel.grant_latency_ns`, `channel.window_msgs`,
+    /// `channel.backpressure_stalls`). Both threads record into the shared
+    /// trace sink, each on its own track.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.net.set_telemetry(tel);
+        self.sync.set_telemetry(tel);
+        self.follower.set_telemetry(tel);
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`ParallelCoupling::with_telemetry`] was called).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Enables (or disables) strict mode — as
@@ -224,12 +251,22 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
         let follower = &mut self.follower;
         let sync = &mut self.sync;
         let promised = &mut self.promised;
+        let follower_tel = self.tel.clone();
+        let mut obs = OriginatorObs::new(&self.tel);
 
         std::thread::scope(|scope| -> Result<(), CastanetError> {
             let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Command>(channel_depth);
             let (rep_tx, rep_rx) = mpsc::channel::<Reply>();
             scope.spawn(move || {
-                follower_loop(follower, sync, promised, cell_type, &cmd_rx, &rep_tx);
+                follower_loop(
+                    follower,
+                    sync,
+                    promised,
+                    cell_type,
+                    &cmd_rx,
+                    &rep_tx,
+                    &follower_tel,
+                );
             });
 
             // Windows sent but not yet answered.
@@ -247,7 +284,15 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                 // ---- phase 1: stream timing windows -------------------
                 while let Some(t0) = net.next_event_time().filter(|t| *t < until) {
                     let w = until.min(t0 + batch_window);
-                    stats.net_events += net.run_grant_window(w)?;
+                    let window_start = obs.tel.now_ns();
+                    let executed = net.run_grant_window(w)?;
+                    stats.net_events += executed;
+                    obs.tel.record_span(
+                        Track::Originator,
+                        w.as_picos(),
+                        window_start,
+                        EventKind::NetWindow { events: executed },
+                    );
                     let msgs = outbox.drain();
                     stats.messages_to_follower += msgs.len() as u64;
                     // Maximal-information grant: every event strictly before
@@ -267,21 +312,57 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                     // blocking send — keeps response injection overlapped
                     // with window production.
                     while let Ok(reply) = rep_rx.try_recv() {
-                        handle_reply(reply, net, stats, iface, &mut in_flight)?;
+                        handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
                     }
                     if msgs.is_empty() && grant <= sent_grant {
                         continue;
                     }
                     sent_grant = sent_grant.max(grant);
-                    if cmd_tx.send(Command::Window { msgs, grant }).is_err() {
-                        return Err(fatal_from(&rep_rx));
+                    obs.window_msgs.record(msgs.len() as u64);
+                    obs.tel.record(
+                        Track::Originator,
+                        net.now().as_picos(),
+                        EventKind::WindowGranted {
+                            grant_ps: grant.as_picos(),
+                            msgs: msgs.len() as u64,
+                        },
+                    );
+                    match cmd_tx.try_send(Command::Window { msgs, grant }) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(cmd)) => {
+                            // The follower is the bottleneck: every pipeline
+                            // slot is taken. Record the blocked send as a
+                            // stall span on the originator's track.
+                            let stall_start = obs.tel.now_ns();
+                            obs.stalls.inc();
+                            if cmd_tx.send(cmd).is_err() {
+                                return Err(fatal_from(&rep_rx));
+                            }
+                            obs.tel.record_span(
+                                Track::Originator,
+                                net.now().as_picos(),
+                                stall_start,
+                                EventKind::BackpressureStall {
+                                    in_flight: in_flight as u64,
+                                },
+                            );
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            return Err(fatal_from(&rep_rx));
+                        }
                     }
                     in_flight += 1;
+                    obs.occupancy.set(in_flight as u64);
+                    if obs.tel.is_enabled() {
+                        obs.pending.push_back(obs.tel.now_ns());
+                    }
                 }
                 // ---- phase 2: barrier — answer every window ------------
                 while in_flight > 0 {
                     match rep_rx.recv() {
-                        Ok(reply) => handle_reply(reply, net, stats, iface, &mut in_flight)?,
+                        Ok(reply) => {
+                            handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                        }
                         Err(_) => return Err(fatal_from(&rep_rx)),
                     }
                 }
@@ -308,7 +389,9 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                 loop {
                     match rep_rx.recv() {
                         Ok(Reply::DrainDone) => break,
-                        Ok(reply) => handle_reply(reply, net, stats, iface, &mut in_flight)?,
+                        Ok(reply) => {
+                            handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                        }
                         Err(_) => return Err(fatal_from(&rep_rx)),
                     }
                 }
@@ -381,56 +464,59 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
     }
 }
 
-/// Originator-side reply handling: inject responses into the network model,
-/// settle window accounting.
+/// Originator-side observation state: cached metric handles plus the send
+/// wall-times of windows still in flight (for the grant-latency histogram).
+/// All handles are no-ops when the telemetry is disabled, and `pending`
+/// stays empty then, so the disabled path costs one branch per use.
+struct OriginatorObs {
+    tel: Telemetry,
+    occupancy: Gauge,
+    grant_latency: Histogram,
+    window_msgs: Histogram,
+    stalls: Counter,
+    pending: VecDeque<u64>,
+}
+
+impl OriginatorObs {
+    fn new(tel: &Telemetry) -> Self {
+        OriginatorObs {
+            tel: tel.clone(),
+            occupancy: tel.gauge("channel.in_flight"),
+            grant_latency: tel.histogram("channel.grant_latency_ns"),
+            window_msgs: tel.histogram("channel.window_msgs"),
+            stalls: tel.counter("channel.backpressure_stalls"),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Originator-side reply handling: inject responses into the network model
+/// (through the executor-shared [`inject_responses`] path, in pipelined
+/// mode), settle window accounting.
 fn handle_reply(
     reply: Reply,
     net: &mut Kernel,
     stats: &mut CouplingStats,
     iface: ModuleId,
     in_flight: &mut usize,
+    obs: &mut OriginatorObs,
 ) -> Result<(), CastanetError> {
     match reply {
         Reply::Window(msgs) => {
             *in_flight -= 1;
-            inject(net, stats, iface, msgs)
+            obs.occupancy.set(*in_flight as u64);
+            if let Some(sent_ns) = obs.pending.pop_front() {
+                obs.grant_latency
+                    .record(obs.tel.now_ns().saturating_sub(sent_ns));
+            }
+            inject_responses(net, stats, iface, msgs, true, &obs.tel).map(|_| ())
         }
-        Reply::Drained(msgs) => inject(net, stats, iface, msgs),
+        Reply::Drained(msgs) => {
+            inject_responses(net, stats, iface, msgs, true, &obs.tel).map(|_| ())
+        }
         Reply::DrainDone => Ok(()),
         Reply::Fatal(e) => Err(e),
     }
-}
-
-/// Injects follower responses into the network model. Mirrors the serial
-/// coupling's injection, except that stamps behind the network clock are
-/// expected here (the originator pipelines ahead) and counted as
-/// `deferred_responses` rather than `late_responses`.
-fn inject(
-    net: &mut Kernel,
-    stats: &mut CouplingStats,
-    iface: ModuleId,
-    responses: Vec<Message>,
-) -> Result<(), CastanetError> {
-    for msg in responses {
-        let MessagePayload::Cell(cell) = msg.payload else {
-            // Undecodable DUT output: the comparison layer reports it.
-            continue;
-        };
-        let at = if msg.stamp < net.now() {
-            stats.deferred_responses += 1;
-            net.now()
-        } else {
-            msg.stamp
-        };
-        net.inject_packet(
-            iface,
-            PortId(RESPONSE_PORT_BASE + msg.port),
-            response_packet(cell),
-            at,
-        )?;
-        stats.responses += 1;
-    }
-    Ok(())
 }
 
 /// The follower thread: plays timing windows and drain commands in order
@@ -443,11 +529,12 @@ fn follower_loop<S: CoupledSimulator>(
     cell_type: MessageTypeId,
     cmd_rx: &mpsc::Receiver<Command>,
     reply: &mpsc::Sender<Reply>,
+    tel: &Telemetry,
 ) {
     while let Ok(cmd) = cmd_rx.recv() {
         match cmd {
             Command::Window { msgs, grant } => {
-                match window_step(follower, sync, promised, cell_type, msgs, grant) {
+                match window_step(follower, sync, promised, cell_type, msgs, grant, tel) {
                     Ok(responses) => {
                         if reply.send(Reply::Window(responses)).is_err() {
                             return;
@@ -472,6 +559,7 @@ fn follower_loop<S: CoupledSimulator>(
                 quiet_chunks,
                 until,
                 reply,
+                tel,
             ) {
                 Ok(true) => {
                     if reply.send(Reply::DrainDone).is_err() {
@@ -499,9 +587,19 @@ fn window_step<S: CoupledSimulator>(
     cell_type: MessageTypeId,
     msgs: Vec<Message>,
     grant: SimTime,
+    tel: &Telemetry,
 ) -> Result<Vec<Message>, CastanetError> {
     for msg in msgs {
         sync.receive(msg.type_id, msg.stamp, false)?;
+        tel.record(
+            Track::Follower,
+            msg.stamp.as_picos(),
+            EventKind::StimulusEnqueued {
+                type_id: msg.type_id.0,
+                port: msg.port as u32,
+                stamp_ps: msg.stamp.as_picos(),
+            },
+        );
         follower.deliver(msg)?;
     }
     if grant > *promised {
@@ -509,7 +607,17 @@ fn window_step<S: CoupledSimulator>(
         *promised = grant;
     }
     let granted = sync.grant();
+    let advance_start = tel.now_ns();
     let responses = follower.advance_batch(granted)?;
+    tel.record_span(
+        Track::Follower,
+        granted.as_picos(),
+        advance_start,
+        EventKind::FollowerAdvance {
+            granted_ps: granted.as_picos(),
+            responses: responses.len() as u64,
+        },
+    );
     let local = follower.now().max(sync.local_time()).min(granted);
     sync.advance_local(local)?;
     Ok(responses)
@@ -528,6 +636,7 @@ fn drain_step<S: CoupledSimulator>(
     quiet_chunks: u32,
     until: SimTime,
     reply: &mpsc::Sender<Reply>,
+    tel: &Telemetry,
 ) -> Result<bool, CastanetError> {
     let mut quiet = 0u32;
     loop {
@@ -539,7 +648,17 @@ fn drain_step<S: CoupledSimulator>(
             *promised = horizon;
         }
         let granted = sync.grant();
+        let chunk_start = tel.now_ns();
         let responses = follower.advance_batch(granted)?;
+        tel.record_span(
+            Track::Follower,
+            granted.as_picos(),
+            chunk_start,
+            EventKind::DrainChunk {
+                horizon_ps: granted.as_picos(),
+                responses: responses.len() as u64,
+            },
+        );
         let local = follower.now().max(sync.local_time()).min(granted);
         sync.advance_local(local)?;
         if responses.is_empty() {
@@ -577,6 +696,7 @@ mod tests {
     use castanet_atm::cell::AtmCell;
     use castanet_atm::traffic::source::{payload_seq, TrafficSourceProcess};
     use castanet_atm::traffic::Cbr;
+    use castanet_netsim::event::PortId;
     use castanet_netsim::process::{CollectorHandle, CollectorProcess};
     use castanet_rtl::cycle::CycleSim;
     use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
@@ -742,6 +862,52 @@ mod tests {
         let stats = coupling.run(SimTime::from_ms(1)).unwrap();
         assert_eq!(stats.messages_to_follower, 0);
         assert_eq!(stats.responses, 0);
+    }
+
+    #[test]
+    fn telemetry_captures_both_tracks_and_channel_metrics() {
+        let (serial, got) = build(20, SimDuration::from_us(3));
+        let tel = Telemetry::enabled();
+        let mut coupling = serial.with_telemetry(&tel).into_parallel();
+        coupling.run(SimTime::from_ms(2)).unwrap();
+        assert_eq!(got.len(), 20);
+        let events = tel.events();
+        assert!(events.iter().any(|e| e.track == Track::Originator));
+        assert!(events.iter().any(|e| e.track == Track::Follower));
+        let names: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "net_window",
+            "window_granted",
+            "stimulus_enqueued",
+            "follower_advance",
+            "drain_chunk",
+            "response_injected",
+        ] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        // Pipelined lag is deferred, never late.
+        assert!(!names.contains("late_response"));
+        let snap = tel.metrics_snapshot();
+        assert!(snap.histogram("channel.window_msgs").unwrap().count > 0);
+        assert!(snap.histogram("channel.grant_latency_ns").unwrap().count > 0);
+        assert_eq!(
+            snap.gauge("channel.in_flight"),
+            Some(0),
+            "every window answered by the end of the run"
+        );
+        assert_eq!(
+            snap.counter("originator.net_events"),
+            Some(coupling.stats().net_events)
+        );
+    }
+
+    #[test]
+    fn deferred_lag_is_not_counted_late() {
+        let (serial, _got) = build(20, SimDuration::from_us(3));
+        let mut coupling = serial.into_parallel();
+        let stats = coupling.run(SimTime::from_ms(2)).unwrap();
+        assert_eq!(stats.late_responses, 0, "pipeline lag is never 'late'");
     }
 
     #[test]

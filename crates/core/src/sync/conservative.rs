@@ -30,6 +30,7 @@
 use crate::error::CastanetError;
 use crate::message::MessageTypeId;
 use castanet_netsim::time::{SimDuration, SimTime};
+use castanet_obs::{Gauge, Histogram, Telemetry};
 use std::collections::VecDeque;
 
 #[derive(Debug)]
@@ -40,6 +41,8 @@ struct TypeQueue {
     /// Stamp of the most recently received message of this type.
     last_stamp: Option<SimTime>,
     received: u64,
+    /// Queue-depth gauge `|I_j|` (a no-op until telemetry is attached).
+    depth_gauge: Gauge,
 }
 
 /// Statistics of a synchronizer's run, for the E2 comparison.
@@ -83,6 +86,11 @@ pub struct ConservativeSync {
     /// Extra lookahead granted by consumed batch windows.
     batch_grant: SimTime,
     stats: SyncStats,
+    /// Telemetry handle lagging gauges/histograms hang off (disabled by
+    /// default — see [`ConservativeSync::set_telemetry`]).
+    telemetry: Telemetry,
+    /// Follower-lag distribution in picoseconds (no-op until attached).
+    lag_hist: Histogram,
 }
 
 impl ConservativeSync {
@@ -103,8 +111,23 @@ impl ConservativeSync {
             queue: VecDeque::new(),
             last_stamp: None,
             received: 0,
+            depth_gauge: self
+                .telemetry
+                .gauge(&format!("sync.queue_depth.type{}", id.0)),
         });
         id
+    }
+
+    /// Attaches a telemetry handle: the synchronizer then maintains the
+    /// `sync.lag_ps` histogram (follower lag behind the originator, sampled
+    /// at every local advance) and one `sync.queue_depth.type<j>` gauge per
+    /// registered message type `|I_j|`.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.telemetry = tel.clone();
+        self.lag_hist = tel.histogram("sync.lag_ps");
+        for (j, tq) in self.types.iter_mut().enumerate() {
+            tq.depth_gauge = tel.gauge(&format!("sync.queue_depth.type{j}"));
+        }
     }
 
     /// Number of registered types.
@@ -187,6 +210,7 @@ impl ConservativeSync {
         tq.received += 1;
         if !is_null {
             tq.queue.push_back(stamp);
+            tq.depth_gauge.set(tq.queue.len() as u64);
         }
         self.stats.messages += 1;
         if is_null {
@@ -225,6 +249,7 @@ impl ConservativeSync {
             .expect("at least one type");
         for tq in &mut self.types {
             tq.queue.pop_front();
+            tq.depth_gauge.set(tq.queue.len() as u64);
         }
         let new_grant = head + min_delta;
         self.batch_grant = self.batch_grant.max(new_grant);
@@ -239,7 +264,11 @@ impl ConservativeSync {
         let grant = self.grant();
         let tq = self.types.get_mut(type_id.0 as usize)?;
         match tq.queue.front() {
-            Some(&s) if s < grant => tq.queue.pop_front(),
+            Some(&s) if s < grant => {
+                let popped = tq.queue.pop_front();
+                tq.depth_gauge.set(tq.queue.len() as u64);
+                popped
+            }
             _ => None,
         }
     }
@@ -260,6 +289,7 @@ impl ConservativeSync {
         self.local = t;
         if let Some(lag) = self.originator.checked_duration_since(t) {
             self.stats.max_lag = self.stats.max_lag.max(lag);
+            self.lag_hist.record(lag.as_picos());
         }
         Ok(())
     }
@@ -431,6 +461,28 @@ mod tests {
         s.advance_local(us(95)).unwrap();
         assert_eq!(s.stats().max_lag, SimDuration::from_us(60), "max is sticky");
         assert_eq!(s.stats().messages, 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_lag_and_queue_depth() {
+        let tel = Telemetry::enabled();
+        let mut s = ConservativeSync::new();
+        let a = s.register_type(SimDuration::ZERO);
+        s.set_telemetry(&tel);
+        s.receive(a, us(100), false).unwrap();
+        s.advance_local(us(40)).unwrap();
+        let snap = tel.metrics_snapshot();
+        assert_eq!(snap.gauge("sync.queue_depth.type0"), Some(1));
+        let lag = snap.histogram("sync.lag_ps").unwrap();
+        assert_eq!(lag.count, 1);
+        assert_eq!(lag.max, SimDuration::from_us(60).as_picos());
+        // Types registered *after* attach get live gauges too.
+        let b = s.register_type(SimDuration::ZERO);
+        s.receive(b, us(100), false).unwrap();
+        assert_eq!(
+            tel.metrics_snapshot().gauge("sync.queue_depth.type1"),
+            Some(1)
+        );
     }
 
     /// A randomized schedule can never produce a causality error or break

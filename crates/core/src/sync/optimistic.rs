@@ -18,6 +18,7 @@
 
 use crate::error::CastanetError;
 use castanet_netsim::time::SimTime;
+use castanet_obs::{EventKind, Telemetry, Track};
 
 /// One timed input event to the wrapped state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +119,8 @@ where
     max_checkpoints: usize,
     state_bytes: usize,
     stats: OptimisticStats,
+    /// Telemetry handle; disabled (recording a no-op) by default.
+    tel: Telemetry,
 }
 
 impl<S, E, O, F> std::fmt::Debug for OptimisticSync<S, E, O, F>
@@ -157,7 +160,14 @@ where
             max_checkpoints,
             state_bytes,
             stats: OptimisticStats::default(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every rollback is then recorded as a
+    /// structured [`EventKind::Rollback`] trace event on the follower track.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
     }
 
     /// Processes `event`, rolling back first if it is a straggler.
@@ -208,6 +218,14 @@ where
             // the whole tail replays.
             let tail: Vec<TimedEvent<E>> = self.history.drain(pos..).collect();
             let replay_count = tail.len();
+            self.tel.record(
+                Track::Follower,
+                self.lvt.as_picos(),
+                EventKind::Rollback {
+                    to_ps: self.lvt.as_picos(),
+                    replayed: replay_count as u64 + 1,
+                },
+            );
             outcome.outputs.extend(self.process(event)?);
             for ev in tail {
                 outcome.outputs.extend(self.process(ev)?);

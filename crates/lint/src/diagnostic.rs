@@ -180,6 +180,11 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "module is unreachable from the interface process in the connection graph",
     ),
+    (
+        "CAST050",
+        Severity::Warning,
+        "telemetry exporter output path is unwritable or collides with the trace-replay input",
+    ),
 ];
 
 /// Looks up the registered severity and summary of `code`.

@@ -9,7 +9,8 @@
 //! with a stable `CAST0xx` code, a severity, a dotted location path and,
 //! where possible, a machine-applicable hint.
 //!
-//! Four pass categories cover the paper's three configuration layers:
+//! The pass categories cover the paper's configuration layers plus the
+//! telemetry layer this reproduction adds:
 //!
 //! | pass | paper layer | codes |
 //! |------|-------------|-------|
@@ -17,6 +18,7 @@
 //! | [`passes::interface`] | §3.2 abstraction interface | `CAST020`–`CAST023` |
 //! | [`passes::pinmap`] | §3.3 pin mapping | `CAST030`–`CAST036` |
 //! | [`passes::topology`] | network model graph | `CAST040`–`CAST042` |
+//! | [`passes::telemetry`] | telemetry exporter paths | `CAST050` |
 //!
 //! [`check_coupling`] runs everything applicable to an assembled
 //! [`Coupling`]; the `castanet-lint` binary wraps it (and the pin-map pass)
@@ -82,7 +84,7 @@ mod tests {
         for code in [
             "CAST001", "CAST002", "CAST003", "CAST010", "CAST020", "CAST021", "CAST022", "CAST023",
             "CAST030", "CAST031", "CAST032", "CAST033", "CAST034", "CAST035", "CAST036", "CAST040",
-            "CAST041", "CAST042",
+            "CAST041", "CAST042", "CAST050",
         ] {
             assert!(code_info(code).is_some(), "unregistered code {code}");
         }

@@ -1,6 +1,7 @@
-//! The four analysis passes, one module per pass category.
+//! The analysis passes, one module per pass category.
 
 pub mod interface;
 pub mod pinmap;
 pub mod sync_liveness;
+pub mod telemetry;
 pub mod topology;

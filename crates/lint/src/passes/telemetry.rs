@@ -1,0 +1,223 @@
+//! Telemetry exporter path analysis (`CAST050`).
+//!
+//! The telemetry exporters (`castanet-obs`) and the `castanet-trace` binary
+//! write JSONL / Chrome-trace files at user-supplied paths. Two mistakes
+//! surface only *after* a potentially long run has completed: the output
+//! path is not writable (missing or read-only parent directory, or the
+//! path names a directory), so the trace is lost when the exporter finally
+//! opens it; or the output path collides with the trace-replay *input*, so
+//! exporting would clobber the very vectors being replayed. This pass
+//! checks both up front, before the run starts.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use std::path::{Path, PathBuf};
+
+/// Lints a telemetry exporter's output path against the filesystem and,
+/// when replaying, against the replay input path.
+///
+/// `output` of `None` means "write to stdout" — nothing to check. Findings
+/// are warnings (`CAST050`): the run itself is unaffected, only the export
+/// at the end is at risk.
+#[must_use]
+pub fn check_export_paths(output: Option<&Path>, replay_input: Option<&Path>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(output) = output else {
+        return diags;
+    };
+    if let Some(input) = replay_input {
+        if same_path(output, input) {
+            diags.push(
+                Diagnostic::new(
+                    "CAST050",
+                    Severity::Warning,
+                    "telemetry.export.out",
+                    format!(
+                        "exporter output path {} collides with the trace-replay input; \
+                         exporting would overwrite the vectors being replayed",
+                        output.display()
+                    ),
+                )
+                .with_hint("export to a different path (or stdout)"),
+            );
+        }
+    }
+    if let Some(reason) = unwritable_reason(output) {
+        diags.push(
+            Diagnostic::new(
+                "CAST050",
+                Severity::Warning,
+                "telemetry.export.out",
+                format!(
+                    "exporter output path {} is not writable: {reason}; \
+                     the trace would be lost after the run",
+                    output.display()
+                ),
+            )
+            .with_hint("create the parent directory or pick a writable path"),
+        );
+    }
+    diags
+}
+
+/// Two paths name the same file. Canonicalization resolves `.`/`..`/links
+/// when both paths exist; otherwise fall back to lexical comparison.
+fn same_path(a: &Path, b: &Path) -> bool {
+    match (a.canonicalize(), b.canonicalize()) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => a == b,
+    }
+}
+
+/// Why `path` cannot be created or truncated for writing, if it cannot.
+fn unwritable_reason(path: &Path) -> Option<String> {
+    if let Ok(meta) = std::fs::metadata(path) {
+        if meta.is_dir() {
+            return Some("it is a directory".to_string());
+        }
+        if meta.permissions().readonly() {
+            return Some("the file exists and is read-only".to_string());
+        }
+        return None;
+    }
+    // The file does not exist yet: its parent must be a writable directory.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    match std::fs::metadata(&parent) {
+        Err(_) => Some(format!(
+            "parent directory {} does not exist",
+            parent.display()
+        )),
+        Ok(meta) if !meta.is_dir() => {
+            Some(format!("parent {} is not a directory", parent.display()))
+        }
+        Ok(meta) if meta.permissions().readonly() => Some(format!(
+            "parent directory {} is read-only",
+            parent.display()
+        )),
+        Ok(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory per test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "castanet-lint-telemetry-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn stdout_and_clean_paths_are_silent() {
+        let scratch = Scratch::new("clean");
+        assert!(check_export_paths(None, None).is_empty());
+        let out = scratch.0.join("trace.json");
+        let replay = scratch.0.join("vectors.trace");
+        assert!(check_export_paths(Some(&out), Some(&replay)).is_empty());
+    }
+
+    #[test]
+    fn collision_with_replay_input_warns() {
+        let scratch = Scratch::new("collide");
+        let path = scratch.0.join("run.trace");
+        let diags = check_export_paths(Some(&path), Some(&path));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST050");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(
+            diags[0].message.contains("collides"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn collision_is_detected_through_path_aliases() {
+        let scratch = Scratch::new("alias");
+        let path = scratch.0.join("run.trace");
+        std::fs::write(&path, "# castanet-trace v1\n").unwrap();
+        let aliased = scratch.0.join(".").join("run.trace");
+        let diags = check_export_paths(Some(&aliased), Some(&path));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("collides"));
+    }
+
+    #[test]
+    fn missing_parent_directory_warns() {
+        let scratch = Scratch::new("noparent");
+        let out = scratch.0.join("no").join("such").join("dir").join("t.json");
+        let diags = check_export_paths(Some(&out), None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "CAST050");
+        assert!(
+            diags[0].message.contains("does not exist"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn output_naming_a_directory_warns() {
+        let scratch = Scratch::new("isdir");
+        let diags = check_export_paths(Some(&scratch.0), None);
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("is a directory"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn readonly_existing_file_warns() {
+        let scratch = Scratch::new("readonly");
+        let out = scratch.0.join("frozen.json");
+        std::fs::write(&out, "{}").unwrap();
+        let mut perms = std::fs::metadata(&out).unwrap().permissions();
+        perms.set_readonly(true);
+        std::fs::set_permissions(&out, perms.clone()).unwrap();
+        let diags = check_export_paths(Some(&out), None);
+        // Restore before asserting so cleanup succeeds even on failure.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            perms.set_mode(0o644);
+        }
+        #[cfg(not(unix))]
+        #[allow(clippy::permissions_set_readonly_false)]
+        perms.set_readonly(false);
+        std::fs::set_permissions(&out, perms).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("read-only"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn collision_and_unwritable_can_both_fire() {
+        let scratch = Scratch::new("both");
+        let diags = check_export_paths(Some(&scratch.0), Some(&scratch.0));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "CAST050"));
+    }
+}

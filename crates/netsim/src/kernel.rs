@@ -14,6 +14,7 @@ use crate::process::Process;
 use crate::scheduler::EventList;
 use crate::stats::{ProbeId, StatsRegistry};
 use crate::time::{SimDuration, SimTime};
+use castanet_obs::{Counter, Gauge, Telemetry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -98,6 +99,9 @@ pub struct Kernel {
     rng: SmallRng,
     started: bool,
     stop_requested: bool,
+    /// Telemetry handles (no-ops by default — see [`Kernel::set_telemetry`]).
+    obs_events: Counter,
+    obs_pending: Gauge,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -124,7 +128,18 @@ impl Kernel {
             rng: SmallRng::seed_from_u64(seed),
             started: false,
             stop_requested: false,
+            obs_events: Counter::default(),
+            obs_pending: Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: the kernel then maintains the
+    /// `originator.net_events` counter and the `originator.pending_events`
+    /// gauge in `tel`'s metrics registry. The default (detached) state costs
+    /// one predictable branch per event.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.obs_events = tel.counter("originator.net_events");
+        self.obs_pending = tel.gauge("originator.pending_events");
     }
 
     // ------------------------------------------------------------------
@@ -424,6 +439,8 @@ impl Kernel {
         let Some(ev) = self.events.pop() else {
             return false;
         };
+        self.obs_events.inc();
+        self.obs_pending.set(self.events.len() as u64);
         match ev.kind {
             EventKind::Arrival {
                 module,
@@ -884,6 +901,20 @@ mod tests {
         k.run().unwrap();
         assert_eq!(k.stats().summary(probe).count, 1);
         assert_eq!(k.module_event_count(m), 3); // init + packet + interrupt
+    }
+
+    #[test]
+    fn telemetry_counts_executed_events() {
+        let (mut k, _probe) = three_module_pipeline(None);
+        let tel = Telemetry::enabled();
+        k.set_telemetry(&tel);
+        k.run().unwrap();
+        let snap = tel.metrics_snapshot();
+        assert_eq!(
+            snap.counter("originator.net_events"),
+            Some(k.events_executed())
+        );
+        assert_eq!(snap.gauge("originator.pending_events"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! The typed protocol-event taxonomy.
+//!
+//! Every event carries the *simulated* time it refers to (`t_ps`,
+//! picoseconds — the unit every simulator in the workspace shares), the
+//! *wall-clock* time it was recorded at (`wall_ns`, nanoseconds since the
+//! telemetry handle was created) and, for span-like events, the wall-clock
+//! duration the operation took. The split matters: simulated time orders
+//! the protocol, wall time shows where the run actually spent its life —
+//! the Chrome exporter lays events out on the wall-time axis so the
+//! parallel executor's thread overlap and stalls are visually inspectable.
+
+/// Which logical engine an event belongs to. The Chrome exporter renders
+/// one track per value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The network simulator — the engine whose clock runs ahead.
+    Originator,
+    /// The HDL simulator / test board — the engine whose clock lags.
+    Follower,
+}
+
+impl Track {
+    /// Stable lower-case label used by every exporter.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Originator => "originator",
+            Track::Follower => "follower",
+        }
+    }
+
+    /// Chrome `trace_event` thread id of this track.
+    #[must_use]
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Originator => 1,
+            Track::Follower => 2,
+        }
+    }
+}
+
+/// What happened. Field units: `*_ps` are simulated picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The originator executed a batch of network events (span).
+    NetWindow {
+        /// Network events executed inside the window.
+        events: u64,
+    },
+    /// A timing-window grant (the time-stamped null message of §3.1) was
+    /// issued to the follower.
+    WindowGranted {
+        /// The grant horizon (exclusive).
+        grant_ps: u64,
+        /// Stimulus messages shipped with the grant.
+        msgs: u64,
+    },
+    /// A stimulus message was enqueued into per-type input queue `I_j`.
+    StimulusEnqueued {
+        /// The message type `j` of the queue.
+        type_id: u32,
+        /// The co-simulation port addressed.
+        port: u32,
+        /// The originator stamp carried by the message.
+        stamp_ps: u64,
+    },
+    /// A δ_j-delayed follower response was injected into the network model.
+    ResponseInjected {
+        /// The follower's stamp on the response.
+        stamp_ps: u64,
+        /// The network time it was injected at.
+        at_ps: u64,
+        /// The co-simulation port it returned on.
+        port: u32,
+    },
+    /// A response arrived behind the network clock under the *serial*
+    /// executor — a feedforward-assumption violation (see
+    /// `CouplingStats::late_responses`).
+    LateResponse {
+        /// The follower's stamp on the response.
+        stamp_ps: u64,
+        /// The network clock when it surfaced.
+        net_ps: u64,
+    },
+    /// A response arrived behind the network clock because the originator
+    /// pipelined ahead (expected under the parallel executor; see
+    /// `CouplingStats::deferred_responses`).
+    DeferredResponse {
+        /// The follower's stamp on the response.
+        stamp_ps: u64,
+        /// The network clock when it surfaced.
+        net_ps: u64,
+    },
+    /// The follower swept one granted window (span).
+    FollowerAdvance {
+        /// The grant horizon swept to.
+        granted_ps: u64,
+        /// Responses the sweep produced.
+        responses: u64,
+    },
+    /// One chunk of the end-of-run drain phase (span).
+    DrainChunk {
+        /// The horizon the chunk advanced to.
+        horizon_ps: u64,
+        /// Responses the chunk surfaced.
+        responses: u64,
+    },
+    /// The originator blocked on the bounded command channel — the
+    /// follower is the bottleneck (span over the blocked send).
+    BackpressureStall {
+        /// Windows in flight when the stall began.
+        in_flight: u64,
+    },
+    /// The optimistic synchronizer rolled back to an earlier state.
+    Rollback {
+        /// The restored simulated time.
+        to_ps: u64,
+        /// Events replayed because of the rollback.
+        replayed: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case event name used by every exporter and the JSONL
+    /// schema. Names are append-only: renaming one breaks recorded traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::NetWindow { .. } => "net_window",
+            EventKind::WindowGranted { .. } => "window_granted",
+            EventKind::StimulusEnqueued { .. } => "stimulus_enqueued",
+            EventKind::ResponseInjected { .. } => "response_injected",
+            EventKind::LateResponse { .. } => "late_response",
+            EventKind::DeferredResponse { .. } => "deferred_response",
+            EventKind::FollowerAdvance { .. } => "follower_advance",
+            EventKind::DrainChunk { .. } => "drain_chunk",
+            EventKind::BackpressureStall { .. } => "backpressure_stall",
+            EventKind::Rollback { .. } => "rollback",
+        }
+    }
+
+    /// Every event name the taxonomy defines, for schema validation.
+    pub const NAMES: &'static [&'static str] = &[
+        "net_window",
+        "window_granted",
+        "stimulus_enqueued",
+        "response_injected",
+        "late_response",
+        "deferred_response",
+        "follower_advance",
+        "drain_chunk",
+        "backpressure_stall",
+        "rollback",
+    ];
+
+    /// The kind-specific payload as `(key, value)` pairs, in a stable
+    /// order. Exporters render these as the event's `args`.
+    #[must_use]
+    pub fn args(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::NetWindow { events } => vec![("events", events)],
+            EventKind::WindowGranted { grant_ps, msgs } => {
+                vec![("grant_ps", grant_ps), ("msgs", msgs)]
+            }
+            EventKind::StimulusEnqueued {
+                type_id,
+                port,
+                stamp_ps,
+            } => vec![
+                ("type_id", u64::from(type_id)),
+                ("port", u64::from(port)),
+                ("stamp_ps", stamp_ps),
+            ],
+            EventKind::ResponseInjected {
+                stamp_ps,
+                at_ps,
+                port,
+            } => vec![
+                ("stamp_ps", stamp_ps),
+                ("at_ps", at_ps),
+                ("port", u64::from(port)),
+            ],
+            EventKind::LateResponse { stamp_ps, net_ps }
+            | EventKind::DeferredResponse { stamp_ps, net_ps } => {
+                vec![("stamp_ps", stamp_ps), ("net_ps", net_ps)]
+            }
+            EventKind::FollowerAdvance {
+                granted_ps,
+                responses,
+            } => vec![("granted_ps", granted_ps), ("responses", responses)],
+            EventKind::DrainChunk {
+                horizon_ps,
+                responses,
+            } => vec![("horizon_ps", horizon_ps), ("responses", responses)],
+            EventKind::BackpressureStall { in_flight } => vec![("in_flight", in_flight)],
+            EventKind::Rollback { to_ps, replayed } => {
+                vec![("to_ps", to_ps), ("replayed", replayed)]
+            }
+        }
+    }
+
+    /// `true` for events that describe an operation with a wall-clock
+    /// extent (rendered as Chrome "complete" events), `false` for
+    /// instantaneous protocol points.
+    #[must_use]
+    pub fn is_span(&self) -> bool {
+        matches!(
+            self,
+            EventKind::NetWindow { .. }
+                | EventKind::FollowerAdvance { .. }
+                | EventKind::DrainChunk { .. }
+                | EventKind::BackpressureStall { .. }
+        )
+    }
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time the event refers to, in picoseconds.
+    pub t_ps: u64,
+    /// Wall-clock nanoseconds since the telemetry handle was created,
+    /// taken when the event (or, for spans, the operation) *ended*.
+    pub wall_ns: u64,
+    /// Wall-clock duration of the operation for span events; 0 for
+    /// instantaneous events.
+    pub dur_ns: u64,
+    /// The engine the event belongs to.
+    pub track: Track,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Wall-clock nanoseconds the event (or the operation it spans)
+    /// started at.
+    #[must_use]
+    pub fn start_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.dur_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<EventKind> {
+        vec![
+            EventKind::NetWindow { events: 3 },
+            EventKind::WindowGranted {
+                grant_ps: 10,
+                msgs: 2,
+            },
+            EventKind::StimulusEnqueued {
+                type_id: 0,
+                port: 1,
+                stamp_ps: 5,
+            },
+            EventKind::ResponseInjected {
+                stamp_ps: 7,
+                at_ps: 8,
+                port: 1,
+            },
+            EventKind::LateResponse {
+                stamp_ps: 1,
+                net_ps: 2,
+            },
+            EventKind::DeferredResponse {
+                stamp_ps: 1,
+                net_ps: 2,
+            },
+            EventKind::FollowerAdvance {
+                granted_ps: 9,
+                responses: 1,
+            },
+            EventKind::DrainChunk {
+                horizon_ps: 11,
+                responses: 0,
+            },
+            EventKind::BackpressureStall { in_flight: 4 },
+            EventKind::Rollback {
+                to_ps: 3,
+                replayed: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_has_a_registered_name() {
+        for kind in one_of_each() {
+            assert!(
+                EventKind::NAMES.contains(&kind.name()),
+                "{} missing from NAMES",
+                kind.name()
+            );
+        }
+        assert_eq!(
+            EventKind::NAMES.len(),
+            one_of_each().len(),
+            "NAMES and the enum drifted apart"
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = EventKind::NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::NAMES.len());
+    }
+
+    #[test]
+    fn args_are_nonempty_and_stable() {
+        for kind in one_of_each() {
+            assert!(!kind.args().is_empty(), "{}", kind.name());
+        }
+        let k = EventKind::WindowGranted {
+            grant_ps: 42,
+            msgs: 7,
+        };
+        assert_eq!(k.args(), vec![("grant_ps", 42), ("msgs", 7)]);
+    }
+
+    #[test]
+    fn span_classification() {
+        assert!(EventKind::NetWindow { events: 0 }.is_span());
+        assert!(!EventKind::WindowGranted {
+            grant_ps: 0,
+            msgs: 0
+        }
+        .is_span());
+    }
+
+    #[test]
+    fn start_ns_saturates() {
+        let ev = TraceEvent {
+            t_ps: 0,
+            wall_ns: 5,
+            dur_ns: 9,
+            track: Track::Originator,
+            kind: EventKind::NetWindow { events: 0 },
+        };
+        assert_eq!(ev.start_ns(), 0);
+    }
+}

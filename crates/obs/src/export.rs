@@ -1,0 +1,305 @@
+//! Exporters: JSONL event dump, Chrome `trace_event` JSON, and a human
+//! console summary.
+//!
+//! All JSON is hand-rolled — the workspace is dependency-free — and every
+//! value emitted here is either an escaped string or a `u64`, so the
+//! output is valid JSON by construction.
+//!
+//! The Chrome format targets Perfetto / `chrome://tracing`: one process,
+//! two named threads (tid 1 = originator, tid 2 = follower), span events
+//! as `ph:"X"` complete events and protocol points as `ph:"i"` instants.
+//! Timestamps are wall-clock microseconds since the telemetry epoch, so
+//! the rendered timeline shows the *real* overlap of the two engines.
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one event as a single JSONL line (no trailing newline).
+///
+/// The line shape is the schema [`crate::schema`] validates:
+/// `{"ev":"<name>","track":"<label>","t_ps":N,"wall_ns":N,"dur_ns":N,`
+/// `"args":{...}}` with every `args` value a `u64`.
+#[must_use]
+pub fn event_to_jsonl(event: &TraceEvent) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"ev\":");
+    push_json_string(&mut line, event.kind.name());
+    line.push_str(",\"track\":");
+    push_json_string(&mut line, event.track.label());
+    let _ = write!(
+        line,
+        ",\"t_ps\":{},\"wall_ns\":{},\"dur_ns\":{},\"args\":{{",
+        event.t_ps, event.wall_ns, event.dur_ns
+    );
+    for (i, (key, value)) in event.kind.args().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_json_string(&mut line, key);
+        let _ = write!(line, ":{value}");
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Writes the events as JSON Lines: one event object per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl<W: Write>(out: &mut W, events: &[TraceEvent]) -> io::Result<()> {
+    for event in events {
+        out.write_all(event_to_jsonl(event).as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders the events as a Chrome `trace_event` JSON document.
+#[must_use]
+pub fn chrome_trace_to_string(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 512);
+    out.push_str("{\"traceEvents\":[\n");
+    // Thread-name metadata first, so the viewer labels the tracks even
+    // when one side recorded nothing.
+    for (tid, label) in [(1u32, "originator"), (2u32, "follower")] {
+        let _ = writeln!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{label}\"}}}},"
+        );
+    }
+    for (i, event) in events.iter().enumerate() {
+        let ts_us = event.start_ns() / 1_000;
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, event.kind.name());
+        let _ = write!(
+            out,
+            ",\"cat\":\"castanet\",\"pid\":1,\"tid\":{},\"ts\":{ts_us}",
+            event.track.tid()
+        );
+        if event.kind.is_span() {
+            // Chrome drops zero-duration complete events; clamp to 1µs.
+            let dur_us = (event.dur_ns / 1_000).max(1);
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{dur_us}");
+        } else {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        let _ = write!(out, "\"t_ps\":{}", event.t_ps);
+        for (key, value) in event.kind.args() {
+            out.push(',');
+            push_json_string(&mut out, key);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("}}");
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes the events as Chrome `trace_event` JSON.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_chrome_trace<W: Write>(out: &mut W, events: &[TraceEvent]) -> io::Result<()> {
+    out.write_all(chrome_trace_to_string(events).as_bytes())
+}
+
+/// Renders a human-readable run summary: event counts by kind, then every
+/// metric grouped by its dotted-name prefix (the entity).
+#[must_use]
+pub fn render_summary(events: &[TraceEvent], metrics: &MetricsSnapshot, dropped: u64) -> String {
+    let mut out = String::new();
+    out.push_str("== castanet telemetry summary ==\n");
+    let _ = writeln!(
+        out,
+        "events retained: {} (dropped: {dropped})",
+        events.len()
+    );
+
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    for event in events {
+        let name = event.kind.name();
+        match counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (name, count) in counts {
+        let _ = writeln!(out, "  {name:<24} {count}");
+    }
+
+    if !metrics.counters.is_empty() {
+        out.push_str("-- counters --\n");
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "  {name:<40} {value}");
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("-- gauges --\n");
+        for (name, value) in &metrics.gauges {
+            let _ = writeln!(out, "  {name:<40} {value}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str("-- histograms --\n");
+        for (name, h) in &metrics.histograms {
+            if h.count == 0 {
+                let _ = writeln!(out, "  {name:<40} (empty)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={} min={} p50~{} p99~{} max={} mean={:.1}",
+                    h.count,
+                    h.min,
+                    h.percentile(0.5),
+                    h.percentile(0.99),
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Track};
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t_ps: 1_000,
+                wall_ns: 5_000,
+                dur_ns: 4_000,
+                track: Track::Originator,
+                kind: EventKind::NetWindow { events: 3 },
+            },
+            TraceEvent {
+                t_ps: 2_000,
+                wall_ns: 6_000,
+                dur_ns: 0,
+                track: Track::Originator,
+                kind: EventKind::WindowGranted {
+                    grant_ps: 2_000,
+                    msgs: 2,
+                },
+            },
+            TraceEvent {
+                t_ps: 2_000,
+                wall_ns: 9_000,
+                dur_ns: 2_500,
+                track: Track::Follower,
+                kind: EventKind::FollowerAdvance {
+                    granted_ps: 2_000,
+                    responses: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_have_the_schema_shape() {
+        let line = event_to_jsonl(&sample_events()[1]);
+        assert_eq!(
+            line,
+            "{\"ev\":\"window_granted\",\"track\":\"originator\",\"t_ps\":2000,\
+             \"wall_ns\":6000,\"dur_ns\":0,\"args\":{\"grant_ps\":2000,\"msgs\":2}}"
+        );
+    }
+
+    #[test]
+    fn write_jsonl_emits_one_line_per_event() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn chrome_trace_renders_both_tracks_and_phases() {
+        let trace = chrome_trace_to_string(&sample_events());
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"args\":{\"name\":\"originator\"}"));
+        assert!(trace.contains("\"args\":{\"name\":\"follower\"}"));
+        // Span on tid 1: started at 5000-4000=1000ns => ts 1µs, dur 4µs.
+        assert!(trace.contains("\"tid\":1,\"ts\":1,\"ph\":\"X\",\"dur\":4"));
+        // Instant on tid 1 at 6µs.
+        assert!(trace.contains("\"ts\":6,\"ph\":\"i\",\"s\":\"t\""));
+        // Follower span on tid 2.
+        assert!(trace.contains("\"tid\":2,\"ts\":6,\"ph\":\"X\",\"dur\":2"));
+        assert!(trace.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_spans_never_render_zero_duration() {
+        let events = vec![TraceEvent {
+            t_ps: 0,
+            wall_ns: 10,
+            dur_ns: 10,
+            track: Track::Follower,
+            kind: EventKind::DrainChunk {
+                horizon_ps: 0,
+                responses: 0,
+            },
+        }];
+        let trace = chrome_trace_to_string(&events);
+        assert!(trace.contains("\"dur\":1"), "sub-µs span clamped to 1µs");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn summary_mentions_counts_and_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("originator.net_events").add(42);
+        reg.gauge("channel.occupancy").set(3);
+        let h = reg.histogram("follower.lag_ps");
+        h.record(100);
+        h.record(900);
+        let summary = render_summary(&sample_events(), &reg.snapshot(), 7);
+        assert!(summary.contains("events retained: 3 (dropped: 7)"));
+        assert!(summary.contains("net_window"));
+        assert!(summary.contains("originator.net_events"));
+        assert!(summary.contains("channel.occupancy"));
+        assert!(summary.contains("follower.lag_ps"));
+        assert!(summary.contains("n=2"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The ring-buffered event sink.
+//!
+//! Recording must never grow without bound (runs push millions of cells)
+//! and must never reallocate on the hot path: the sink is a fixed-capacity
+//! ring — when full, the oldest event is overwritten and counted in
+//! [`TraceSink::dropped`]. Pushes take one short mutex section; the sink is
+//! shared between the parallel executor's two threads, and contention is
+//! bounded because both sides batch (one window of events per rendezvous,
+//! not one lock per cell).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default event capacity: enough for every window/drain/injection event
+/// of a full E1 workload while bounding memory to a few MiB.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceSink {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace sink needs a non-zero capacity");
+        TraceSink {
+            capacity,
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().expect("trace sink poisoned");
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(event);
+    }
+
+    /// Copies the retained events out, oldest first. Safe mid-run.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace sink poisoned");
+        ring.buf.iter().copied().collect()
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace sink poisoned").buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything was evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace sink poisoned").dropped
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Track};
+
+    fn ev(t_ps: u64) -> TraceEvent {
+        TraceEvent {
+            t_ps,
+            wall_ns: t_ps,
+            dur_ns: 0,
+            track: Track::Originator,
+            kind: EventKind::NetWindow { events: t_ps },
+        }
+    }
+
+    #[test]
+    fn keeps_events_in_order() {
+        let sink = TraceSink::with_capacity(8);
+        for i in 0..5 {
+            sink.push(ev(i));
+        }
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].t_ps < w[1].t_ps));
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let sink = TraceSink::with_capacity(4);
+        for i in 0..10 {
+            sink.push(ev(i));
+        }
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].t_ps, 6, "oldest surviving event");
+        assert_eq!(got[3].t_ps, 9);
+        assert_eq!(sink.dropped(), 6);
+    }
+
+    #[test]
+    fn concurrent_pushes_do_not_lose_capacity() {
+        let sink = std::sync::Arc::new(TraceSink::with_capacity(1024));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sink = std::sync::Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        sink.push(ev(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 1024);
+        assert_eq!(sink.dropped(), 4000 - 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceSink::with_capacity(0);
+    }
+}

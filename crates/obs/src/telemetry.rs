@@ -1,0 +1,230 @@
+//! The [`Telemetry`] handle instrumented code holds.
+//!
+//! The handle is a newtype over `Option<Arc<Inner>>`: the disabled default
+//! is a `None` the branch predictor learns immediately, so instrumenting a
+//! hot loop costs one predictable branch per call site. Enabled handles
+//! share one [`TraceSink`] and one [`MetricsRegistry`] across clones —
+//! `Coupling`, both `ParallelCoupling` threads, the kernel and the sync
+//! engine all record into the same place, and any thread can snapshot
+//! mid-run.
+
+use crate::event::{EventKind, TraceEvent, Track};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::sink::TraceSink;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    sink: TraceSink,
+    metrics: MetricsRegistry,
+}
+
+/// A cloneable telemetry handle. The default is disabled: every recording
+/// method is a no-op and every metric handle it hands out is inert.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl Telemetry {
+    /// The disabled handle — what uninstrumented runs pay for telemetry.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// An enabled handle with the default event-ring capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Telemetry::with_capacity(crate::sink::DEFAULT_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            sink: TraceSink::with_capacity(capacity),
+            metrics: MetricsRegistry::new(),
+        })))
+    }
+
+    /// `true` when this handle actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Wall-clock nanoseconds since the handle was created (0 when
+    /// disabled — callers use this to stamp spans and must not pay for a
+    /// clock read on the no-op path).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.0.as_ref().map_or(0, |inner| {
+            u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+    }
+
+    /// Records an instantaneous event at simulated time `t_ps`.
+    pub fn record(&self, track: Track, t_ps: u64, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            inner.sink.push(TraceEvent {
+                t_ps,
+                wall_ns: u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                dur_ns: 0,
+                track,
+                kind,
+            });
+        }
+    }
+
+    /// Records a span event whose operation started at `start_ns` (a value
+    /// previously obtained from [`Telemetry::now_ns`]) and ends now.
+    pub fn record_span(&self, track: Track, t_ps: u64, start_ns: u64, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            let wall_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.sink.push(TraceEvent {
+                t_ps,
+                wall_ns,
+                dur_ns: wall_ns.saturating_sub(start_ns),
+                track,
+                kind,
+            });
+        }
+    }
+
+    /// A counter handle for `name` — inert when disabled, shared with
+    /// every other holder of the same name when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.0
+            .as_ref()
+            .map_or_else(Counter::default, |inner| inner.metrics.counter(name))
+    }
+
+    /// A gauge handle for `name` — inert when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.0
+            .as_ref()
+            .map_or_else(Gauge::default, |inner| inner.metrics.gauge(name))
+    }
+
+    /// A histogram handle for `name` — inert when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.0
+            .as_ref()
+            .map_or_else(Histogram::default, |inner| inner.metrics.histogram(name))
+    }
+
+    /// The retained events, oldest first (empty when disabled).
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |i| i.sink.snapshot())
+    }
+
+    /// Events evicted from the ring because it was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.sink.dropped())
+    }
+
+    /// A point-in-time copy of every metric (empty when disabled). Safe to
+    /// call from any thread while a run is in flight.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(MetricsSnapshot::default, |i| i.metrics.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.now_ns(), 0);
+        tel.record(Track::Originator, 5, EventKind::NetWindow { events: 1 });
+        assert!(tel.events().is_empty());
+        let c = tel.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        assert_eq!(tel.metrics_snapshot(), MetricsSnapshot::default());
+        assert!(Telemetry::default().0.is_none(), "default is disabled");
+    }
+
+    #[test]
+    fn clones_share_the_sink_and_registry() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        tel.record(Track::Originator, 1, EventKind::NetWindow { events: 1 });
+        other.record(
+            Track::Follower,
+            2,
+            EventKind::FollowerAdvance {
+                granted_ps: 2,
+                responses: 0,
+            },
+        );
+        let events = tel.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, Track::Originator);
+        assert_eq!(events[1].track, Track::Follower);
+
+        let c = tel.counter("shared");
+        other.counter("shared").add(3);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn span_durations_are_measured() {
+        let tel = Telemetry::enabled();
+        let start = tel.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tel.record_span(
+            Track::Follower,
+            100,
+            start,
+            EventKind::DrainChunk {
+                horizon_ps: 100,
+                responses: 0,
+            },
+        );
+        let events = tel.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].dur_ns >= 1_000_000, "slept 2ms, span too short");
+        assert!(events[0].wall_ns >= events[0].dur_ns);
+        assert_eq!(events[0].start_ns(), start);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_across_events() {
+        let tel = Telemetry::enabled();
+        for i in 0..100u64 {
+            tel.record(Track::Originator, i, EventKind::NetWindow { events: i });
+        }
+        let events = tel.events();
+        assert!(events.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns));
+    }
+}

@@ -1,0 +1,64 @@
+//! `castanet-obs-check` — validate telemetry JSONL against the exporter
+//! schema.
+//!
+//! Reads a JSONL event dump (as produced by `castanet-trace --format
+//! jsonl`) from a file or stdin and checks every line against the schema
+//! in `castanet_obs::schema`: valid JSON, known event name, known track,
+//! `u64` time stamps, `u64` args. Exit status is 1 on the first bad line
+//! (reported with its 1-based line number), 0 when the whole document
+//! validates — wire it into CI after a telemetry smoke run.
+
+use std::io::Read;
+
+const USAGE: &str = "usage: castanet-obs-check [FILE]\n\
+                     validates a telemetry JSONL dump (FILE, or stdin when omitted or '-')";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with('-') && flag != "-" => usage(),
+            file => {
+                if path.is_some() {
+                    usage();
+                }
+                path = Some(file.to_string());
+            }
+        }
+    }
+
+    let (source, text) = match path.as_deref() {
+        None | Some("-") => {
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("castanet-obs-check: reading stdin: {e}");
+                std::process::exit(1);
+            }
+            ("<stdin>".to_string(), text)
+        }
+        Some(file) => match std::fs::read_to_string(file) {
+            Ok(text) => (file.to_string(), text),
+            Err(e) => {
+                eprintln!("castanet-obs-check: {file}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    match castanet_obs::schema::validate_jsonl(&text) {
+        Ok(count) => println!("{source}: {count} events valid"),
+        Err((line, message)) => {
+            eprintln!("{source}:{line}: {message}");
+            std::process::exit(1);
+        }
+    }
+}

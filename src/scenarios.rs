@@ -149,6 +149,15 @@ impl std::fmt::Debug for SwitchCosim {
     }
 }
 
+impl SwitchCosim {
+    /// Attaches a telemetry handle to every layer of the coupling.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &castanet::Telemetry) -> Self {
+        self.coupling = self.coupling.with_telemetry(tel);
+        self
+    }
+}
+
 /// The network half shared by every switch co-simulation variant: traffic
 /// sources into the interface process, one collector per egress line.
 struct SwitchNet {
@@ -289,6 +298,15 @@ impl std::fmt::Debug for SwitchCosimCycle {
     }
 }
 
+impl SwitchCosimCycle {
+    /// Attaches a telemetry handle to every layer of the coupling.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &castanet::Telemetry) -> Self {
+        self.coupling = self.coupling.with_telemetry(tel);
+        self
+    }
+}
+
 /// Builds the cycle-based co-simulation (see [`SwitchCosimCycle`]).
 #[must_use]
 pub fn switch_cosim_cycle(config: SwitchScenarioConfig) -> SwitchCosimCycle {
@@ -325,6 +343,16 @@ impl std::fmt::Debug for SwitchCosimParallel {
         f.debug_struct("SwitchCosimParallel")
             .field("config", &self.config)
             .finish()
+    }
+}
+
+impl SwitchCosimParallel {
+    /// Attaches a telemetry handle to every layer of the parallel coupling
+    /// (both engine threads record into the same sink and registry).
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &castanet::Telemetry) -> Self {
+        self.coupling = self.coupling.with_telemetry(tel);
+        self
     }
 }
 

@@ -1,0 +1,242 @@
+//! Telemetry integration tests: observation must not perturb the
+//! co-verification result, every exporter must emit what its consumers
+//! expect, and the recorded protocol events must reflect the run.
+
+use castanet::Telemetry;
+use castanet_atm::cell::AtmCell;
+use castanet_netsim::time::SimTime;
+use castanet_obs::export::{chrome_trace_to_string, event_to_jsonl, render_summary};
+use castanet_obs::schema::validate_jsonl;
+use castanet_obs::{EventKind, TraceEvent, Track};
+use coverify::scenarios::{
+    compare_switch_output, switch_cosim_cycle, switch_cosim_parallel, SwitchScenarioConfig,
+};
+
+fn small_config() -> SwitchScenarioConfig {
+    SwitchScenarioConfig {
+        cells_per_source: 50,
+        mixed_traffic: true,
+        ..SwitchScenarioConfig::default()
+    }
+}
+
+/// Runs the cycle-based coupling and returns the per-line egress streams.
+fn run_cycle(tel: Option<&Telemetry>) -> Vec<Vec<(u64, AtmCell)>> {
+    let mut scenario = switch_cosim_cycle(small_config());
+    if let Some(tel) = tel {
+        scenario = scenario.with_telemetry(tel);
+    }
+    let mut coupling = scenario.coupling;
+    coupling.run(SimTime::from_ms(100)).expect("run");
+    scenario
+        .collectors
+        .iter()
+        .map(|h| {
+            h.take()
+                .into_iter()
+                .map(|(t, p)| (t.as_picos(), p.payload::<AtmCell>().expect("cell").clone()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn telemetry_does_not_perturb_egress() {
+    // The whole point of a zero-cost observation layer: the co-verified
+    // byte streams — stamps included — are identical with telemetry on
+    // and off.
+    let tel = Telemetry::enabled();
+    let with_tel = run_cycle(Some(&tel));
+    let without = run_cycle(None);
+    assert_eq!(with_tel, without, "telemetry changed the egress streams");
+    assert!(
+        !tel.events().is_empty(),
+        "the observed run must actually have recorded something"
+    );
+}
+
+#[test]
+fn parallel_chrome_trace_has_both_tracks_and_rich_event_mix() {
+    // The acceptance criterion of the telemetry subsystem: a Chrome trace
+    // of the parallel scenario renders originator and follower as separate
+    // tracks and shows the protocol's moving parts (≥ 5 event types).
+    let tel = Telemetry::enabled();
+    let scenario = switch_cosim_parallel(small_config()).with_telemetry(&tel);
+    let mut coupling = scenario.coupling;
+    coupling.run(SimTime::from_secs(1)).expect("run");
+    let report = compare_switch_output(&scenario.config, &scenario.collectors);
+    assert!(report.passed(), "{report}");
+
+    let trace = chrome_trace_to_string(&tel.events());
+    assert!(trace.contains("\"tid\":1"), "originator track missing");
+    assert!(trace.contains("\"tid\":2"), "follower track missing");
+    assert!(trace.contains("\"name\":\"originator\""));
+    assert!(trace.contains("\"name\":\"follower\""));
+    let kinds = [
+        "net_window",
+        "window_granted",
+        "stimulus_enqueued",
+        "follower_advance",
+        "response_injected",
+        "drain_chunk",
+    ];
+    let present = kinds
+        .iter()
+        .filter(|k| trace.contains(&format!("\"name\":\"{k}\"")))
+        .count();
+    assert!(present >= 5, "only {present} of {kinds:?} in the trace");
+}
+
+#[test]
+fn jsonl_export_of_a_real_run_validates_against_the_schema() {
+    let tel = Telemetry::enabled();
+    let mut coupling = switch_cosim_parallel(small_config())
+        .with_telemetry(&tel)
+        .coupling;
+    coupling.run(SimTime::from_secs(1)).expect("run");
+    let mut doc = String::new();
+    for event in tel.events() {
+        doc.push_str(&event_to_jsonl(&event));
+        doc.push('\n');
+    }
+    let validated = validate_jsonl(&doc).expect("exporter output must validate");
+    assert_eq!(validated, tel.events().len());
+    assert!(validated > 0);
+}
+
+#[test]
+fn summary_reports_metrics_from_every_layer() {
+    let tel = Telemetry::enabled();
+    let mut coupling = switch_cosim_parallel(small_config())
+        .with_telemetry(&tel)
+        .coupling;
+    coupling.run(SimTime::from_secs(1)).expect("run");
+    let summary = render_summary(&tel.events(), &tel.metrics_snapshot(), tel.dropped_events());
+    for needle in [
+        "originator.net_events",
+        "follower.clocks_evaluated",
+        "sync.lag_ps",
+        "channel.grant_latency_ns",
+    ] {
+        assert!(
+            summary.contains(needle),
+            "{needle} missing from:\n{summary}"
+        );
+    }
+}
+
+/// A fixed event sequence covering every exporter branch: both tracks,
+/// spans and instants, each arg shape. Wall times are hand-picked so the
+/// rendered output is bit-stable.
+fn golden_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent {
+            t_ps: 1_000_000,
+            wall_ns: 2_000,
+            dur_ns: 1_500,
+            track: Track::Originator,
+            kind: EventKind::NetWindow { events: 12 },
+        },
+        TraceEvent {
+            t_ps: 1_000_000,
+            wall_ns: 2_500,
+            dur_ns: 0,
+            track: Track::Originator,
+            kind: EventKind::WindowGranted {
+                grant_ps: 2_060_000,
+                msgs: 2,
+            },
+        },
+        TraceEvent {
+            t_ps: 1_200_000,
+            wall_ns: 3_000,
+            dur_ns: 0,
+            track: Track::Follower,
+            kind: EventKind::StimulusEnqueued {
+                type_id: 0,
+                port: 1,
+                stamp_ps: 1_200_000,
+            },
+        },
+        TraceEvent {
+            t_ps: 2_060_000,
+            wall_ns: 9_000,
+            dur_ns: 5_500,
+            track: Track::Follower,
+            kind: EventKind::FollowerAdvance {
+                granted_ps: 2_060_000,
+                responses: 1,
+            },
+        },
+        TraceEvent {
+            t_ps: 2_100_000,
+            wall_ns: 9_200,
+            dur_ns: 0,
+            track: Track::Originator,
+            kind: EventKind::ResponseInjected {
+                stamp_ps: 2_050_000,
+                at_ps: 2_100_000,
+                port: 1,
+            },
+        },
+        TraceEvent {
+            t_ps: 2_100_000,
+            wall_ns: 9_250,
+            dur_ns: 0,
+            track: Track::Originator,
+            kind: EventKind::DeferredResponse {
+                stamp_ps: 2_050_000,
+                net_ps: 2_100_000,
+            },
+        },
+        TraceEvent {
+            t_ps: 2_500_000,
+            wall_ns: 11_000,
+            dur_ns: 800,
+            track: Track::Originator,
+            kind: EventKind::BackpressureStall { in_flight: 4 },
+        },
+        TraceEvent {
+            t_ps: 3_000_000,
+            wall_ns: 14_000,
+            dur_ns: 2_000,
+            track: Track::Follower,
+            kind: EventKind::DrainChunk {
+                horizon_ps: 3_000_000,
+                responses: 0,
+            },
+        },
+    ]
+}
+
+#[test]
+fn chrome_exporter_matches_the_golden_file() {
+    // The Chrome `trace_event` output is consumed by external tools
+    // (Perfetto, chrome://tracing); this pins the exact rendering. To
+    // regenerate after an intentional format change:
+    //     UPDATE_GOLDEN=1 cargo test --test telemetry chrome_exporter
+    let rendered = chrome_trace_to_string(&golden_events());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("update golden");
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file (set UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        rendered, golden,
+        "Chrome exporter output drifted from tests/golden/chrome_trace.json"
+    );
+}
+
+#[test]
+fn golden_events_also_validate_as_jsonl() {
+    let mut doc = String::new();
+    for event in golden_events() {
+        doc.push_str(&event_to_jsonl(&event));
+        doc.push('\n');
+    }
+    assert_eq!(validate_jsonl(&doc), Ok(golden_events().len()));
+}
