@@ -1,0 +1,147 @@
+//! E10 — microbenchmarks of the event-driven RTL kernel's hot paths.
+//!
+//! E8 measures the kernel end-to-end through the coupling; this experiment
+//! isolates the three structures the fast kernel is built from, so a
+//! regression in any one of them is attributable directly:
+//!
+//! * `wheel_churn` — the hierarchical timing wheel under a mixed
+//!   near/far-future schedule: push plus pop cost per event, including
+//!   cascading entries down from the coarse levels;
+//! * `vector_resolve` — word-wise multi-driver resolution of nibble-packed
+//!   logic vectors (the per-delta cost of every multiply-driven bus);
+//! * `vector_u64_roundtrip` — the `from_u64`/`to_u64` conversion pair the
+//!   co-simulation entity pays for every byte lane it drives or samples;
+//! * `delta_chain_settle` — a live `Simulator` running an inverter chain:
+//!   every poke ripples down the chain through zero-delay delta cycles, so
+//!   the row prices the full schedule → wake → resolve loop per event.
+
+use castanet_netsim::time::SimTime;
+use castanet_rtl::logic::Logic;
+use castanet_rtl::signal::SignalId;
+use castanet_rtl::sim::{RtlCtx, RtlProcess, Simulator};
+use castanet_rtl::vector::LogicVector;
+use castanet_rtl::wheel::TimingWheel;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One link of the settle chain: output follows the inverted input.
+struct Inverter {
+    a: SignalId,
+    y: SignalId,
+}
+
+impl RtlProcess for Inverter {
+    fn run(&mut self, ctx: &mut RtlCtx) {
+        let v = ctx.read_bit(self.a).not();
+        ctx.assign_bit(self.y, v);
+    }
+}
+
+/// Builds an inverter chain of `len` stages and returns the head signal.
+fn inverter_chain(sim: &mut Simulator, len: usize) -> SignalId {
+    let head = sim.add_signal("s0", 1);
+    let mut prev = head;
+    for i in 1..=len {
+        let next = sim.add_signal(format!("s{i}"), 1);
+        sim.add_process(Box::new(Inverter { a: prev, y: next }), &[prev]);
+        prev = next;
+    }
+    head
+}
+
+fn bench_e10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_rtl_kernel");
+    group.sample_size(20);
+
+    // A fixed mixed-horizon schedule: same-time bursts, near (level-0),
+    // mid and far-future stamps, so cascades are part of the price.
+    const WHEEL_EVENTS: u64 = 10_000;
+    let mut rng = SmallRng::seed_from_u64(0xE10);
+    let offsets: Vec<u64> = (0..WHEEL_EVENTS)
+        .map(|_| match rng.random_range(0u64..4) {
+            0 => 0,
+            1 => rng.random_range(0u64..64),
+            2 => rng.random_range(0u64..1 << 18),
+            _ => rng.random_range(0u64..1 << 40),
+        })
+        .collect();
+    group.throughput(Throughput::Elements(WHEEL_EVENTS));
+    group.bench_function("wheel_churn", |b| {
+        b.iter(|| {
+            let mut wheel = TimingWheel::new();
+            let mut out: Vec<u64> = Vec::new();
+            let mut it = offsets.iter();
+            let mut now = 0u64;
+            let mut popped = 0u64;
+            loop {
+                // Push in bursts of 8, then drain one time step — the
+                // interleaving a live simulation produces.
+                for _ in 0..8 {
+                    if let Some(&off) = it.next() {
+                        wheel.push(now + off, now);
+                    }
+                }
+                out.clear();
+                match wheel.pop_into(&mut out) {
+                    Some(t) => {
+                        now = t;
+                        popped += out.len() as u64;
+                    }
+                    None => break,
+                }
+            }
+            popped
+        });
+    });
+
+    // 512-bit buses: two heap-stored vectors with conflicting drivers.
+    const RESOLVE_BITS: usize = 512;
+    let mut a = LogicVector::filled(Logic::Z, RESOLVE_BITS);
+    let mut bvec = LogicVector::filled(Logic::Z, RESOLVE_BITS);
+    for i in 0..RESOLVE_BITS {
+        a.set_bit(i, Logic::ALL[i % 9]);
+        bvec.set_bit(i, Logic::ALL[(i / 9) % 9]);
+    }
+    group.throughput(Throughput::Elements(RESOLVE_BITS as u64));
+    group.bench_function("vector_resolve", |b| {
+        b.iter(|| a.resolve(&bvec).is_fully_defined());
+    });
+
+    const ROUNDTRIPS: u64 = 1_000;
+    group.throughput(Throughput::Elements(ROUNDTRIPS));
+    group.bench_function("vector_u64_roundtrip", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ROUNDTRIPS {
+                let v = LogicVector::from_u64(i.wrapping_mul(0x9E37_79B9), 64);
+                acc ^= v.to_u64().expect("defined");
+            }
+            acc
+        });
+    });
+
+    // 64 stages, 200 pokes: each poke triggers 64 delta cycles of
+    // process wakes and zero-delay assignments before time advances.
+    const CHAIN: usize = 64;
+    const POKES: u64 = 200;
+    group.throughput(Throughput::Elements(POKES * CHAIN as u64));
+    group.bench_function("delta_chain_settle", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let head = inverter_chain(&mut sim, CHAIN);
+            for k in 0..POKES {
+                let level = if k % 2 == 0 { Logic::One } else { Logic::Zero };
+                sim.poke_bit(head, level, SimTime::from_ns(10 * (k + 1)))
+                    .expect("poke");
+            }
+            sim.run_until(SimTime::from_ns(10 * (POKES + 2)))
+                .expect("run");
+            sim.counters().delta_cycles
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

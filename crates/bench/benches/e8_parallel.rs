@@ -78,14 +78,14 @@ fn bench_e8(c: &mut Criterion) {
             |b, &n| {
                 b.iter(|| {
                     let scenario = switch_cosim(small_switch_config(n));
-                    // The event-driven follower pays wall-clock for every
-                    // simulated clock edge and for every pending drive event
-                    // in its heap, so windows are kept short; the cycle
-                    // follower idle-skips and keeps the wider default.
+                    // Short windows matched to the ~2 µs busy burst per
+                    // cell keep the response pipeline fine-grained; the
+                    // deep channel gives the leader run-ahead to hide the
+                    // per-window rendezvous.
                     let mut coupling = scenario
                         .coupling
                         .into_parallel()
-                        .with_batching(SimDuration::from_us(10), 4);
+                        .with_batching(SimDuration::from_us(5), 16);
                     coupling.run(SimTime::from_secs(1)).expect("run");
                     coupling.stats().responses
                 });

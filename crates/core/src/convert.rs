@@ -47,16 +47,32 @@ pub fn cell_to_byte_ops(
     cell: &AtmCell,
     format: HeaderFormat,
 ) -> Result<Vec<ByteOp>, CastanetError> {
+    let mut ops = Vec::with_capacity(53);
+    cell_to_byte_ops_into(cell, format, &mut ops)?;
+    Ok(ops)
+}
+
+/// Allocation-free form of [`cell_to_byte_ops`]: clears `out` and fills
+/// it with the 53 bus operations, reusing its capacity. The co-simulation
+/// entity calls this once per delivered cell on the hot path.
+///
+/// # Errors
+///
+/// Propagates header-encoding errors from the cell; `out` is left empty
+/// in that case.
+pub fn cell_to_byte_ops_into(
+    cell: &AtmCell,
+    format: HeaderFormat,
+    out: &mut Vec<ByteOp>,
+) -> Result<(), CastanetError> {
+    out.clear();
     let wire = cell.encode(format)?;
-    Ok(wire
-        .iter()
-        .enumerate()
-        .map(|(i, &data)| ByteOp {
-            cycle: i as u64,
-            data,
-            sync: i == 0,
-        })
-        .collect())
+    out.extend(wire.iter().enumerate().map(|(i, &data)| ByteOp {
+        cycle: i as u64,
+        data,
+        sync: i == 0,
+    }));
+    Ok(())
 }
 
 /// Re-assembles cells from a byte-serial stream with `cellsync` markers —

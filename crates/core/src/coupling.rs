@@ -169,6 +169,10 @@ impl CoupledSimulator for RtlCosim {
     fn now(&self) -> SimTime {
         self.sim.now()
     }
+
+    fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.sim.set_telemetry(tel);
+    }
 }
 
 /// Counters of one coupling run.
@@ -291,6 +295,9 @@ pub struct Coupling<S: CoupledSimulator> {
     /// configuration passes the static pre-flight checks (see
     /// [`Coupling::preflight`]).
     strict: bool,
+    /// Reused drain buffer for the per-event outbox pump: once warm, the
+    /// stimulus path runs without allocating.
+    outbox_scratch: Vec<Message>,
     /// Telemetry handle; disabled (all recording a no-op) by default.
     tel: Telemetry,
 }
@@ -330,6 +337,7 @@ impl<S: CoupledSimulator> Coupling<S> {
             drain_quantum: SimDuration::from_us(50),
             drain_quiet_chunks: 2,
             strict: false,
+            outbox_scratch: Vec::new(),
             tel: Telemetry::disabled(),
         }
     }
@@ -483,7 +491,9 @@ impl<S: CoupledSimulator> Coupling<S> {
             } else {
                 self.net.step();
                 self.stats.net_events += 1;
-                for msg in self.outbox.drain() {
+                let mut pump = std::mem::take(&mut self.outbox_scratch);
+                self.outbox.drain_into(&mut pump);
+                for msg in pump.drain(..) {
                     self.sync.receive(msg.type_id, msg.stamp, false)?;
                     self.tel.record(
                         Track::Originator,
@@ -500,6 +510,7 @@ impl<S: CoupledSimulator> Coupling<S> {
                     self.follower.deliver(msg)?;
                     self.stats.messages_to_follower += 1;
                 }
+                self.outbox_scratch = pump;
             }
         }
         Ok(self.stats)

@@ -13,11 +13,11 @@
 //! are watched by stream monitors whose completed cells become response
 //! messages.
 
-use crate::convert::cell_to_byte_ops;
+use crate::convert::{cell_to_byte_ops_into, ByteOp};
 use crate::error::CastanetError;
 use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::HeaderFormat;
-use castanet_atm::cell::AtmCell;
+use castanet_atm::cell::{AtmCell, CELL_OCTETS};
 use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_rtl::logic::Logic;
 use castanet_rtl::signal::SignalId;
@@ -71,6 +71,10 @@ pub struct CosimEntity {
     /// monitor itself owns the live tap). Indexed like `egress`.
     egress_signals: Vec<EgressSignals>,
     responses_sent: u64,
+    /// Reused per-cell bus-operation buffer (53 entries after warm-up).
+    ops_scratch: Vec<ByteOp>,
+    /// Reused monitor-drain buffer for [`CosimEntity::collect_into`].
+    captured_scratch: Vec<(SimTime, [u8; CELL_OCTETS])>,
 }
 
 impl std::fmt::Debug for CosimEntity {
@@ -112,6 +116,8 @@ impl CosimEntity {
             egress: Vec::new(),
             egress_signals: Vec::new(),
             responses_sent: 0,
+            ops_scratch: Vec::new(),
+            captured_scratch: Vec::new(),
         }
     }
 
@@ -136,7 +142,9 @@ impl CosimEntity {
     ) -> usize {
         let (monitor, handle) =
             CellStreamMonitor::new(clk, signals.data, signals.sync, signals.valid);
-        sim.add_process(Box::new(monitor), &[clk]);
+        // The monitor samples on rising edges only; a rising-filtered
+        // subscription halves its clock wake-ups.
+        sim.add_process_rising(Box::new(monitor), &[clk], &[]);
         self.egress.push(handle);
         self.egress_signals.push(signals);
         self.egress.len() - 1
@@ -202,21 +210,24 @@ impl CosimEntity {
                 msg.payload.kind()
             )));
         };
-        let port = self
-            .ingress
-            .get_mut(msg.port)
-            .ok_or(CastanetError::UnknownPort { port: msg.port })?;
+        let (signals, next_free) = {
+            let port = self
+                .ingress
+                .get(msg.port)
+                .ok_or(CastanetError::UnknownPort { port: msg.port })?;
+            (port.signals, port.next_free)
+        };
         // First byte goes onto the first clock edge at or after the message
         // stamp once the line is free.
-        let start = msg.stamp.max(port.next_free);
-        let ops = cell_to_byte_ops(cell, self.format)?;
+        let start = msg.stamp.max(next_free);
+        cell_to_byte_ops_into(cell, self.format, &mut self.ops_scratch)?;
         let first_edge = edge_at_or_after_(self.first_edge, self.clock_period, start);
         let mut last_edge = first_edge;
-        for op in &ops {
+        for op in &self.ops_scratch {
             let edge = first_edge + self.clock_period * op.cycle;
             let poke_at = edge - self.setup;
             sim.poke(
-                port.signals.data,
+                signals.data,
                 LogicVector::from_u64(u64::from(op.data), 8),
                 poke_at,
             )?;
@@ -226,18 +237,19 @@ impl CosimEntity {
         // one per byte): sync pulses for the first octet, enable covers the
         // whole transfer.
         let first_poke = first_edge - self.setup;
-        sim.poke_bit(port.signals.sync, Logic::One, first_poke)?;
+        sim.poke_bit(signals.sync, Logic::One, first_poke)?;
         sim.poke_bit(
-            port.signals.sync,
+            signals.sync,
             Logic::Zero,
             first_edge + self.clock_period - self.setup,
         )?;
-        sim.poke_bit(port.signals.enable, Logic::One, first_poke)?;
+        sim.poke_bit(signals.enable, Logic::One, first_poke)?;
         sim.poke_bit(
-            port.signals.enable,
+            signals.enable,
             Logic::Zero,
             last_edge + self.clock_period - self.setup,
         )?;
+        let port = &mut self.ingress[msg.port];
         port.next_free = last_edge + self.clock_period;
         port.cells_driven += 1;
         Ok(last_edge)
@@ -247,12 +259,23 @@ impl CosimEntity {
     /// response messages (stamped with their completion time).
     pub fn collect(&mut self) -> Vec<Message> {
         let mut out = Vec::new();
+        self.collect_into(&mut out);
+        out
+    }
+
+    /// Allocation-conscious form of [`CosimEntity::collect`]: appends the
+    /// response messages to `out` and reuses the internal monitor-drain
+    /// buffer, so polling with no pending cells touches no allocator.
+    pub fn collect_into(&mut self, out: &mut Vec<Message>) {
+        let mut captured = std::mem::take(&mut self.captured_scratch);
         for (port, handle) in self.egress.iter().enumerate() {
-            for (t, bytes) in handle.take() {
+            captured.clear();
+            handle.drain_into(&mut captured);
+            for &(t, ref bytes) in &captured {
                 // A cell that fails decoding is still reported — as a raw
                 // payload — so the comparison stage can flag it instead of
                 // silently losing it.
-                let payload = match AtmCell::decode(&bytes, self.format) {
+                let payload = match AtmCell::decode(bytes, self.format) {
                     Ok(cell) => MessagePayload::Cell(cell),
                     Err(_) => MessagePayload::Raw(bytes.to_vec()),
                 };
@@ -265,7 +288,8 @@ impl CosimEntity {
                 self.responses_sent += 1;
             }
         }
-        out
+        captured.clear();
+        self.captured_scratch = captured;
     }
 
     /// Cells conditioned onto ingress line `port` so far.

@@ -44,6 +44,18 @@ impl OutboxHandle {
         std::mem::take(&mut *self.inner.lock().expect("outbox lock poisoned"))
     }
 
+    /// Drains all pending outgoing messages into `out`, in emission
+    /// order. Unlike [`OutboxHandle::drain`] this keeps the internal
+    /// buffer's capacity, so the per-event pump of the coupling loop
+    /// stops allocating once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn drain_into(&self, out: &mut Vec<Message>) {
+        out.extend(self.inner.lock().expect("outbox lock poisoned").drain(..));
+    }
+
     /// Number of messages waiting.
     ///
     /// # Panics

@@ -293,6 +293,10 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                         window_start,
                         EventKind::NetWindow { events: executed },
                     );
+                    // Ownership of the batch moves into `Command::Window`
+                    // and across the thread boundary, so the take-style
+                    // `drain` (no copy) is the right call here — a reused
+                    // scratch buffer would force a clone per window.
                     let msgs = outbox.drain();
                     stats.messages_to_follower += msgs.len() as u64;
                     // Maximal-information grant: every event strictly before

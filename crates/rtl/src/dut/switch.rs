@@ -226,6 +226,26 @@ impl CycleDut for AtmSwitchRtl {
             && self.fifos.iter().all(std::collections::VecDeque::is_empty)
     }
 
+    fn inputs_inert(&self, inputs: &[u64]) -> bool {
+        let n = self.cfg.ports;
+        if inputs.len() != 3 * n + 6 {
+            return inputs.iter().all(|&w| w == 0);
+        }
+        // rx_data and the cfg_* payload words are don't-care while
+        // rx_sync/rx_en/cfg_valid are all low: nothing is sampled.
+        (0..n).all(|i| inputs[3 * i + 1] == 0 && inputs[3 * i + 2] == 0) && inputs[3 * n] == 0
+    }
+
+    fn outputs_inert(&self, outputs: &[u64]) -> bool {
+        let n = self.cfg.ports;
+        if outputs.len() != 3 * n + 3 {
+            return outputs.iter().all(|&w| w == 0);
+        }
+        // tx_data and the status counters are level signals nobody samples
+        // per cycle; a monitor only latches while tx_sync/tx_valid is high.
+        (0..n).all(|i| outputs[3 * i + 1] == 0 && outputs[3 * i + 2] == 0)
+    }
+
     fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {
         let n = self.cfg.ports;
         debug_assert_eq!(inputs.len(), 3 * n + 6);

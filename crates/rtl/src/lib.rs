@@ -56,6 +56,7 @@ pub mod testbench;
 pub mod timing;
 pub mod vector;
 pub mod wave;
+pub mod wheel;
 
 pub use cycle::{CycleDut, CycleSim, PortDecl};
 pub use error::RtlError;

@@ -34,8 +34,9 @@ pub enum Logic {
 }
 
 /// The IEEE 1164 resolution table: `RESOLUTION[a][b]` is the value of a
-/// signal driven simultaneously with `a` and `b`.
-const RESOLUTION: [[Logic; 9]; 9] = {
+/// signal driven simultaneously with `a` and `b`. Crate-visible so the
+/// packed `LogicVector` can pre-expand it into a byte-pair lookup table.
+pub(crate) const RESOLUTION: [[Logic; 9]; 9] = {
     use Logic::{One as I, Zero as O, H, L, U, W, X, Z};
     [
         // U  X  0  1  Z  W  L  H  -
@@ -69,6 +70,24 @@ impl Logic {
     #[must_use]
     pub fn resolve(self, other: Logic) -> Logic {
         RESOLUTION[self as usize][other as usize]
+    }
+
+    /// Decodes the 4-bit packed encoding used by `LogicVector` (the
+    /// discriminant itself). Out-of-range nibbles decode to `DontCare`;
+    /// the packed representation never produces them.
+    #[must_use]
+    pub(crate) const fn from_nibble(nibble: u8) -> Logic {
+        match nibble {
+            0 => Logic::U,
+            1 => Logic::X,
+            2 => Logic::Zero,
+            3 => Logic::One,
+            4 => Logic::Z,
+            5 => Logic::W,
+            6 => Logic::L,
+            7 => Logic::H,
+            _ => Logic::DontCare,
+        }
     }
 
     /// Resolves any number of drivers; no drivers yields `Z`.

@@ -10,7 +10,6 @@
 use crate::logic::Logic;
 use crate::vector::LogicVector;
 use castanet_netsim::time::SimTime;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies a signal within a [`crate::sim::Simulator`].
@@ -46,8 +45,11 @@ impl ProcId {
 pub(crate) struct SignalState {
     pub(crate) name: String,
     pub(crate) width: usize,
-    /// Driver contributions, keyed by driving process.
-    drivers: HashMap<ProcId, LogicVector>,
+    /// Driver contributions, one slot per driving process. Signals have a
+    /// handful of drivers at most (usually one), so a linear-scan vector
+    /// beats a `HashMap` on both lookup and iteration, and keeps the
+    /// resolution order deterministic.
+    drivers: Vec<(ProcId, LogicVector)>,
     /// Current resolved value.
     pub(crate) value: LogicVector,
     /// Value before the most recent event (for edge detection).
@@ -63,7 +65,7 @@ impl SignalState {
         SignalState {
             name,
             width,
-            drivers: HashMap::new(),
+            drivers: Vec::new(),
             value: LogicVector::uninitialized(width),
             previous: LogicVector::uninitialized(width),
             last_event: None,
@@ -75,8 +77,29 @@ impl SignalState {
     /// value. Returns `true` when the resolved value changed (an event).
     pub(crate) fn drive(&mut self, driver: ProcId, contribution: LogicVector, at: SimTime) -> bool {
         debug_assert_eq!(contribution.width(), self.width);
-        self.drivers.insert(driver, contribution);
-        let resolved = self.resolve();
+        if let Some(pos) = self.drivers.iter().position(|(d, _)| *d == driver) {
+            if self.drivers[pos].1 == contribution {
+                // Unchanged contribution resolves to the unchanged value;
+                // skip the recompute entirely. This is the common case on
+                // a clock edge: most outputs are re-driven with the value
+                // they already carry.
+                return false;
+            }
+            self.drivers[pos].1 = contribution;
+        } else {
+            self.drivers.push((driver, contribution));
+        }
+        let resolved = if self.drivers.len() == 1 {
+            // Single driver (the overwhelmingly common topology): the
+            // contribution is the resolved value, no table walks.
+            self.drivers[0].1.clone()
+        } else {
+            let mut acc = self.drivers[0].1.clone();
+            for (_, d) in &self.drivers[1..] {
+                acc.resolve_assign(d);
+            }
+            acc
+        };
         if resolved == self.value {
             false
         } else {
@@ -85,18 +108,6 @@ impl SignalState {
             self.event_count += 1;
             true
         }
-    }
-
-    fn resolve(&self) -> LogicVector {
-        let mut it = self.drivers.values();
-        let Some(first) = it.next() else {
-            return LogicVector::uninitialized(self.width);
-        };
-        let mut acc = first.clone();
-        for d in it {
-            acc = acc.resolve(d);
-        }
-        acc
     }
 
     /// `true` when the signal had an event at exactly `t`.

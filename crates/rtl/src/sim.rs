@@ -16,13 +16,16 @@ use crate::error::RtlError;
 use crate::logic::Logic;
 use crate::signal::{ProcId, SignalId, SignalInfo, SignalState};
 use crate::vector::LogicVector;
+use crate::wheel::TimingWheel;
 use castanet_netsim::time::{SimDuration, SimTime};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use castanet_obs::{Counter, Gauge, Telemetry};
+use std::collections::HashMap;
 
-/// A pending signal assignment or process wake-up.
+/// A pending signal assignment or process wake-up. Time lives in the
+/// scheduling structure (wheel slot or delta queue), not the entry;
+/// `seq` is the global scheduling order that breaks same-time ties.
 #[derive(Debug)]
-struct Txn {
-    time: SimTime,
+struct Pending {
     seq: u64,
     action: Action,
 }
@@ -37,23 +40,8 @@ enum Action {
     Wake(ProcId),
 }
 
-impl PartialEq for Txn {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Txn {}
-impl PartialOrd for Txn {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Txn {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for the max-heap -> min-queue.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// Sentinel for "signal is not traced" in the dense trace-index table.
+const NOT_TRACED: u32 = u32::MAX;
 
 /// A hardware process: the unit of behaviour, equivalent to a VHDL
 /// `process` statement with a static sensitivity list.
@@ -117,15 +105,42 @@ pub struct Simulator {
     signals: Vec<SignalState>,
     names: HashMap<String, SignalId>,
     processes: Vec<Option<Box<dyn RtlProcess>>>,
-    watchers: HashMap<SignalId, Vec<ProcId>>,
-    queue: BinaryHeap<Txn>,
+    /// Dense watcher table, indexed by signal: processes sensitive to it.
+    /// Deduplicated at [`Simulator::add_process`] time.
+    watchers: Vec<Vec<ProcId>>,
+    /// Rising-edge-only watchers, indexed by signal: woken only when the
+    /// event drives bit 0 to `One`. Clocked processes that ignore falling
+    /// edges register here and skip half of all clock wake-ups.
+    watchers_rising: Vec<Vec<ProcId>>,
+    /// Future transactions, keyed by absolute picosecond.
+    queue: TimingWheel<Pending>,
+    /// Zero-delay transactions staged for the next delta cycle at `now`.
+    /// Keeping these out of the wheel makes delta churn a plain
+    /// `Vec` push/drain.
+    delta: Vec<Pending>,
+    /// Scratch: the transaction batch of the delta cycle being applied.
+    batch: Vec<Pending>,
+    /// Scratch: processes to wake this delta cycle, in first-wake order.
+    wake: Vec<ProcId>,
+    /// Dense per-process "already in `wake`" flags (reusable bitset).
+    woken: Vec<bool>,
+    /// Scratch for `RtlCtx::staged`, reused across process activations.
+    staged_scratch: Vec<(SignalId, LogicVector, SimDuration)>,
+    /// Scratch for `RtlCtx::wakes`, reused across process activations.
+    wakes_scratch: Vec<SimDuration>,
     next_seq: u64,
     now: SimTime,
     counters: SimCounters,
     elaborated: bool,
     max_deltas: u32,
     traced: Vec<SignalId>,
+    /// Dense signal → index-in-`traced` table ([`NOT_TRACED`] otherwise).
+    trace_pos: Vec<u32>,
     trace_log: Vec<(SimTime, usize, LogicVector)>,
+    /// Pending-queue depth after each time step (`rtl.queue_depth`).
+    obs_queue_depth: Gauge,
+    /// Wheel cascade relocations (`rtl.wheel_cascade`).
+    obs_wheel_cascade: Counter,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -134,7 +149,7 @@ impl std::fmt::Debug for Simulator {
             .field("now", &self.now)
             .field("signals", &self.signals.len())
             .field("processes", &self.processes.len())
-            .field("pending", &self.queue.len())
+            .field("pending", &(self.queue.len() + self.delta.len()))
             .finish()
     }
 }
@@ -153,22 +168,41 @@ impl Simulator {
             signals: Vec::new(),
             names: HashMap::new(),
             processes: Vec::new(),
-            watchers: HashMap::new(),
-            queue: BinaryHeap::new(),
+            watchers: Vec::new(),
+            watchers_rising: Vec::new(),
+            queue: TimingWheel::new(),
+            delta: Vec::new(),
+            batch: Vec::new(),
+            wake: Vec::new(),
+            woken: Vec::new(),
+            staged_scratch: Vec::new(),
+            wakes_scratch: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             counters: SimCounters::default(),
             elaborated: false,
             max_deltas: 10_000,
             traced: Vec::new(),
+            trace_pos: Vec::new(),
             trace_log: Vec::new(),
+            obs_queue_depth: Gauge::default(),
+            obs_wheel_cascade: Counter::default(),
         }
+    }
+
+    /// Binds the kernel's telemetry instruments (`rtl.queue_depth`,
+    /// `rtl.wheel_cascade`) to `tel`'s registry. With the default
+    /// disabled telemetry the instruments are no-ops.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.obs_queue_depth = tel.gauge("rtl.queue_depth");
+        self.obs_wheel_cascade = tel.counter("rtl.wheel_cascade");
     }
 
     /// Marks a signal for waveform tracing; its events will appear in the
     /// VCD written by [`Simulator::write_vcd`].
     pub fn trace(&mut self, signal: SignalId) {
-        if !self.traced.contains(&signal) {
+        if self.trace_pos[signal.0] == NOT_TRACED {
+            self.trace_pos[signal.0] = u32::try_from(self.traced.len()).expect("trace count");
             self.traced.push(signal);
         }
     }
@@ -210,11 +244,17 @@ impl Simulator {
         );
         let id = SignalId(self.signals.len());
         self.signals.push(SignalState::new(name.clone(), width));
+        self.watchers.push(Vec::new());
+        self.watchers_rising.push(Vec::new());
+        self.trace_pos.push(NOT_TRACED);
         self.names.insert(name, id);
         id
     }
 
-    /// Adds a process with a static sensitivity list.
+    /// Adds a process with a static sensitivity list. A signal appearing
+    /// more than once in the list (or the process being registered on it
+    /// twice) still wakes the process only once per event, matching VHDL
+    /// sensitivity semantics.
     pub fn add_process(
         &mut self,
         process: Box<dyn RtlProcess>,
@@ -222,8 +262,35 @@ impl Simulator {
     ) -> ProcId {
         let id = ProcId(self.processes.len());
         self.processes.push(Some(process));
+        self.woken.push(false);
         for &s in sensitivity {
-            self.watchers.entry(s).or_default().push(id);
+            let watchers = &mut self.watchers[s.0];
+            if !watchers.contains(&id) {
+                watchers.push(id);
+            }
+        }
+        id
+    }
+
+    /// Adds a process with an edge-filtered sensitivity list: signals in
+    /// `rising` wake it only on rising edges (bit 0 driven to `One`),
+    /// signals in `any` on every event. A clocked process that ignores
+    /// falling edges registered this way skips half of all clock wake-ups
+    /// — the same dedup rules as [`Simulator::add_process`] apply, and a
+    /// signal listed in both `any` and `rising` keeps the stronger `any`
+    /// subscription.
+    pub fn add_process_rising(
+        &mut self,
+        process: Box<dyn RtlProcess>,
+        rising: &[SignalId],
+        any: &[SignalId],
+    ) -> ProcId {
+        let id = self.add_process(process, any);
+        for &s in rising {
+            let watchers = &mut self.watchers_rising[s.0];
+            if !self.watchers[s.0].contains(&id) && !watchers.contains(&id) {
+                watchers.push(id);
+            }
         }
         id
     }
@@ -261,6 +328,120 @@ impl Simulator {
                 half,
                 level: false,
             }),
+            &[],
+        );
+        clk
+    }
+
+    /// Adds a *gated* clock: same grid as [`Simulator::add_clock`] (low at
+    /// time zero, rising edges at odd multiples of `period / 2`), but the
+    /// generator parks — holding the line low and scheduling nothing —
+    /// whenever the 1-bit `busy` signal is low at a would-be rising edge,
+    /// and resumes on the next `busy` event. Resumed rising edges always
+    /// land back on the original grid, so any process that samples on
+    /// rising edges observes *exactly* the free-running behaviour; only
+    /// the idle toggling between de-assert and re-assert disappears. This
+    /// is the event-driven kernel's idle-time optimization: with a DUT
+    /// that reports quiescence (see [`crate::cycle::CycleDut::is_idle`]),
+    /// long stimulus gaps cost zero simulation events instead of two per
+    /// clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is shorter than 2 ps.
+    pub fn add_gated_clock(
+        &mut self,
+        name: impl Into<String>,
+        period: SimDuration,
+        busy: SignalId,
+    ) -> SignalId {
+        let half = period / 2;
+        assert!(!half.is_zero(), "clock period too short");
+        let clk = self.add_signal(name, 1);
+        struct GatedClockGen {
+            clk: SignalId,
+            busy: SignalId,
+            half: SimDuration,
+            half_ps: u64,
+            level: bool,
+            /// A grid wake is pending at `next_edge`.
+            scheduled: bool,
+            next_edge: u64,
+        }
+        impl GatedClockGen {
+            fn arm(&mut self, ctx: &mut RtlCtx, now: u64) {
+                self.next_edge = now + self.half_ps;
+                self.scheduled = true;
+                ctx.wake_after(self.half);
+            }
+        }
+        impl RtlProcess for GatedClockGen {
+            fn init(&mut self, ctx: &mut RtlCtx) {
+                ctx.assign_bit(self.clk, Logic::Zero);
+                self.arm(ctx, ctx.now().as_picos());
+            }
+            fn run(&mut self, ctx: &mut RtlCtx) {
+                let now = ctx.now().as_picos();
+                if self.scheduled {
+                    if now < self.next_edge {
+                        // A busy event while the grid wake is pending:
+                        // nothing to do, the wake will see the new level.
+                        return;
+                    }
+                    self.scheduled = false;
+                    if self.level {
+                        // Falling edges always complete so the parked
+                        // level is low; the park decision is taken at the
+                        // following rising edge.
+                        self.level = false;
+                        ctx.assign_bit(self.clk, Logic::Zero);
+                        self.arm(ctx, now);
+                    } else if ctx.read_bit(self.busy) == Logic::One {
+                        self.level = true;
+                        ctx.assign_bit(self.clk, Logic::One);
+                        self.arm(ctx, now);
+                    }
+                    // else: rising edge due but idle — park.
+                    return;
+                }
+                if ctx.read_bit(self.busy) != Logic::One {
+                    return;
+                }
+                // Restart from parked: resume at the next instant where
+                // the free-running clock would have a *rising* edge (odd
+                // half-multiples), keeping every sampling edge on grid.
+                debug_assert!(!self.level, "parked clock must be low");
+                let idx = now / self.half_ps;
+                let mut rise = idx + u64::from(!now.is_multiple_of(self.half_ps));
+                if rise.is_multiple_of(2) {
+                    rise += 1;
+                }
+                let rise_at = rise * self.half_ps;
+                if rise_at == now {
+                    self.level = true;
+                    ctx.assign_bit(self.clk, Logic::One);
+                    self.arm(ctx, now);
+                } else {
+                    self.next_edge = rise_at;
+                    self.scheduled = true;
+                    ctx.wake_after(SimDuration::from_picos(rise_at - now));
+                }
+            }
+        }
+        // Rising-only: the generator restarts when `busy` goes high; a
+        // falling `busy` needs no action (the pending edge completes and
+        // the next rising-due wake parks by reading `busy` low).
+        self.add_process_rising(
+            Box::new(GatedClockGen {
+                clk,
+                busy,
+                half,
+                half_ps: half.as_picos(),
+                level: false,
+                scheduled: false,
+                next_edge: 0,
+            }),
+            &[busy],
             &[],
         );
         clk
@@ -324,15 +505,17 @@ impl Simulator {
             });
         }
         let seq = self.bump_seq();
-        self.queue.push(Txn {
-            time: at,
-            seq,
-            action: Action::Assign {
-                driver: ProcId::EXTERNAL,
-                signal,
-                value,
+        self.queue.push(
+            at.as_picos(),
+            Pending {
+                seq,
+                action: Action::Assign {
+                    driver: ProcId::EXTERNAL,
+                    signal,
+                    value,
+                },
             },
-        });
+        );
         Ok(())
     }
 
@@ -392,7 +575,11 @@ impl Simulator {
     #[must_use]
     pub fn next_time(&mut self) -> Option<SimTime> {
         self.elaborate();
-        self.queue.peek().map(|t| t.time)
+        if !self.delta.is_empty() {
+            // Elaboration-staged zero-delay activity sits at `now`.
+            return Some(self.now);
+        }
+        self.queue.peek().map(SimTime::from_picos)
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -423,25 +610,44 @@ impl Simulator {
     /// the delta limit.
     pub fn step_time(&mut self) -> Result<bool, RtlError> {
         self.elaborate();
-        let Some(t) = self.queue.peek().map(|txn| txn.time) else {
-            return Ok(false);
+        let t = if self.delta.is_empty() {
+            let Some(t_ps) = self.queue.peek() else {
+                return Ok(false);
+            };
+            SimTime::from_picos(t_ps)
+        } else {
+            // Zero-delay activity staged at `now` (elaboration).
+            self.now
         };
         debug_assert!(t >= self.now);
         self.now = t;
         self.counters.time_steps += 1;
 
+        // The scratch vectors move out of `self` for the duration of the
+        // step so process callbacks can borrow `self` mutably; they move
+        // back (retaining capacity) on every exit path below.
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut wake = std::mem::take(&mut self.wake);
         let mut deltas_here: u32 = 0;
+        let mut outcome = Ok(true);
         loop {
             // Collect every transaction scheduled for exactly `t` *now*;
-            // assignments scheduled during this delta land in the queue with
-            // higher seq and are picked up on the next spin.
-            let mut batch = Vec::new();
-            while let Some(txn) = self.queue.peek() {
-                if txn.time == t {
-                    batch.push(self.queue.pop().expect("peeked"));
-                } else {
-                    break;
-                }
+            // assignments scheduled during this delta land in `delta` (or
+            // the wheel) with higher seq and are picked up next spin.
+            batch.clear();
+            if self.queue.peek() == Some(t.as_picos()) {
+                self.queue.pop_into(&mut batch);
+            }
+            if batch.is_empty() {
+                // Common delta spin: everything comes from the delta
+                // queue, already in seq order.
+                std::mem::swap(&mut batch, &mut self.delta);
+            } else if !self.delta.is_empty() {
+                // Both sources only meet on a step's first spin (later
+                // spins can't add wheel entries at `t`), and each side is
+                // seq-sorted; restore the global order.
+                batch.append(&mut self.delta);
+                batch.sort_by_key(|p| p.seq);
             }
             if batch.is_empty() {
                 break;
@@ -449,16 +655,16 @@ impl Simulator {
             deltas_here += 1;
             self.counters.delta_cycles += 1;
             if deltas_here > self.max_deltas {
-                return Err(RtlError::DeltaRunaway {
+                outcome = Err(RtlError::DeltaRunaway {
                     at: t,
                     deltas: deltas_here,
                 });
+                break;
             }
 
             // Apply assignments, collect events, then wake processes.
-            let mut wake: Vec<ProcId> = Vec::new();
-            let mut woken: HashSet<usize> = HashSet::new();
-            for txn in batch {
+            wake.clear();
+            for txn in batch.drain(..) {
                 match txn.action {
                     Action::Assign {
                         driver,
@@ -469,13 +675,25 @@ impl Simulator {
                         let had_event = self.signals[signal.0].drive(driver, value, t);
                         if had_event {
                             self.counters.events += 1;
-                            if let Some(pos) = self.traced.iter().position(|&s| s == signal) {
-                                self.trace_log
-                                    .push((t, pos, self.signals[signal.0].value.clone()));
+                            let pos = self.trace_pos[signal.0];
+                            if pos != NOT_TRACED {
+                                self.trace_log.push((
+                                    t,
+                                    pos as usize,
+                                    self.signals[signal.0].value.clone(),
+                                ));
                             }
-                            if let Some(ws) = self.watchers.get(&signal) {
-                                for &p in ws {
-                                    if woken.insert(p.0) {
+                            for &p in &self.watchers[signal.0] {
+                                if !self.woken[p.0] {
+                                    self.woken[p.0] = true;
+                                    wake.push(p);
+                                }
+                            }
+                            let rising = &self.watchers_rising[signal.0];
+                            if !rising.is_empty() && self.signals[signal.0].rising_at(t) {
+                                for &p in rising {
+                                    if !self.woken[p.0] {
+                                        self.woken[p.0] = true;
                                         wake.push(p);
                                     }
                                 }
@@ -483,17 +701,31 @@ impl Simulator {
                         }
                     }
                     Action::Wake(p) => {
-                        if woken.insert(p.0) {
+                        if !self.woken[p.0] {
+                            self.woken[p.0] = true;
                             wake.push(p);
                         }
                     }
                 }
             }
-            for p in wake {
+            for &p in &wake {
                 self.run_process(p, false);
             }
+            // Reset only the flags we set; the table stays zeroed between
+            // deltas without a full clear.
+            for &p in &wake {
+                self.woken[p.0] = false;
+            }
         }
-        Ok(true)
+        self.batch = batch;
+        self.wake = wake;
+        self.obs_queue_depth
+            .set((self.queue.len() + self.delta.len()) as u64);
+        let cascaded = self.queue.take_cascaded();
+        if cascaded > 0 {
+            self.obs_wheel_cascade.add(cascaded);
+        }
+        outcome
     }
 
     /// Runs until no transaction earlier than `horizon` remains. Activity at
@@ -505,8 +737,7 @@ impl Simulator {
     ///
     /// See [`Simulator::step_time`].
     pub fn run_until(&mut self, horizon: SimTime) -> Result<(), RtlError> {
-        self.elaborate();
-        while let Some(t) = self.queue.peek().map(|txn| txn.time) {
+        while let Some(t) = self.next_time() {
             if t >= horizon {
                 break;
             }
@@ -536,8 +767,11 @@ impl Simulator {
             return; // re-entrancy guard
         };
         self.counters.process_runs += 1;
-        let mut staged: Vec<(SignalId, LogicVector, SimDuration)> = Vec::new();
-        let mut wakes: Vec<SimDuration> = Vec::new();
+        // Reuse the staging buffers across activations; they move out of
+        // `self` so the context can borrow the signal table.
+        let mut staged = std::mem::take(&mut self.staged_scratch);
+        let mut wakes = std::mem::take(&mut self.wakes_scratch);
+        debug_assert!(staged.is_empty() && wakes.is_empty());
         {
             let mut ctx = RtlCtx {
                 id,
@@ -553,26 +787,32 @@ impl Simulator {
             }
         }
         self.processes[id.0] = Some(proc_);
-        for (signal, value, delay) in staged {
+        for (signal, value, delay) in staged.drain(..) {
             let seq = self.bump_seq();
-            self.queue.push(Txn {
-                time: self.now + delay,
-                seq,
-                action: Action::Assign {
-                    driver: id,
-                    signal,
-                    value,
-                },
-            });
+            let action = Action::Assign {
+                driver: id,
+                signal,
+                value,
+            };
+            if delay.is_zero() {
+                self.delta.push(Pending { seq, action });
+            } else {
+                self.queue
+                    .push((self.now + delay).as_picos(), Pending { seq, action });
+            }
         }
-        for delay in wakes {
+        for delay in wakes.drain(..) {
             let seq = self.bump_seq();
-            self.queue.push(Txn {
-                time: self.now + delay,
-                seq,
-                action: Action::Wake(id),
-            });
+            let action = Action::Wake(id);
+            if delay.is_zero() {
+                self.delta.push(Pending { seq, action });
+            } else {
+                self.queue
+                    .push((self.now + delay).as_picos(), Pending { seq, action });
+            }
         }
+        self.staged_scratch = staged;
+        self.wakes_scratch = wakes;
     }
 }
 
@@ -930,5 +1170,181 @@ mod tests {
             .unwrap();
         sim.step_time().unwrap();
         assert_eq!(sim.read_u64(bus), Some(0x22));
+    }
+
+    #[test]
+    fn duplicate_sensitivity_entries_wake_once() {
+        // Regression: a signal listed twice in a sensitivity list must not
+        // double-run the process per event.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = sim.add_signal("y", 1);
+        sim.add_process(Box::new(Inverter { a, y }), &[a, a, a]);
+        sim.poke_bit(a, Logic::Zero, SimTime::ZERO).unwrap();
+        sim.step_time().unwrap();
+        // One elaboration init + exactly one activation for the event.
+        assert_eq!(sim.counters().process_runs, 2);
+        assert_eq!(sim.read_bit(y), Logic::One);
+    }
+
+    #[test]
+    fn far_future_and_near_events_interleave_correctly() {
+        // Exercises wheel cascading: events parked in coarse levels must
+        // pop in time order as the base sweeps forward.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 8);
+        let times: [u64; 6] = [1, 63, 64, 4_100, 300_000, 70_000_000];
+        for (i, &t) in times.iter().enumerate() {
+            sim.poke(
+                a,
+                LogicVector::from_u64(i as u64, 8),
+                SimTime::from_picos(t),
+            )
+            .unwrap();
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert!(sim.step_time().unwrap());
+            assert_eq!(sim.now(), SimTime::from_picos(t));
+            assert_eq!(sim.read_u64(a), Some(i as u64));
+        }
+        assert!(!sim.step_time().unwrap());
+    }
+
+    /// Records the time of every rising edge it observes on `clk`.
+    struct EdgeRecorder {
+        clk: SignalId,
+        times: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+    impl RtlProcess for EdgeRecorder {
+        fn run(&mut self, ctx: &mut RtlCtx) {
+            if ctx.rising(self.clk) {
+                self.times.lock().unwrap().push(ctx.now().as_picos());
+            }
+        }
+    }
+
+    fn gated_fixture() -> (
+        Simulator,
+        SignalId,
+        std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    ) {
+        let mut sim = Simulator::new();
+        let busy = sim.add_signal("busy", 1);
+        let clk = sim.add_gated_clock("clk", SimDuration::from_ns(20), busy);
+        let times = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        sim.add_process(
+            Box::new(EdgeRecorder {
+                clk,
+                times: times.clone(),
+            }),
+            &[clk],
+        );
+        (sim, busy, times)
+    }
+
+    #[test]
+    fn gated_clock_tracks_free_running_grid_while_busy() {
+        // Held busy, the gated clock is indistinguishable from `add_clock`:
+        // rising edges at odd multiples of the half period.
+        let (mut sim, busy, times) = gated_fixture();
+        sim.poke_bit(busy, Logic::One, SimTime::ZERO).unwrap();
+        sim.run_until(SimTime::from_ns(100)).unwrap();
+        let ns: Vec<u64> = times.lock().unwrap().iter().map(|t| t / 1000).collect();
+        assert_eq!(ns, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn gated_clock_parks_when_idle_and_restarts_on_grid() {
+        // Drop busy after the first rising edge: the due edge at 30 ns is
+        // skipped and nothing further happens until busy rises again —
+        // whereupon the clock resumes on the *original* edge grid (90 ns),
+        // not at a phase-shifted point.
+        let (mut sim, busy, times) = gated_fixture();
+        sim.poke_bit(busy, Logic::One, SimTime::ZERO).unwrap();
+        sim.poke_bit(busy, Logic::Zero, SimTime::from_ns(12))
+            .unwrap();
+        sim.poke_bit(busy, Logic::One, SimTime::from_ns(75))
+            .unwrap();
+        sim.run_until(SimTime::from_ns(120)).unwrap();
+        let ns: Vec<u64> = times.lock().unwrap().iter().map(|t| t / 1000).collect();
+        assert_eq!(ns, vec![10, 90, 110]);
+    }
+
+    #[test]
+    fn gated_clock_restarting_on_an_edge_instant_rises_immediately() {
+        // Busy rises at exactly a grid rising instant: the edge must land
+        // in that very time step (via a zero-delay assign), not one period
+        // later.
+        let (mut sim, busy, times) = gated_fixture();
+        sim.poke_bit(busy, Logic::One, SimTime::ZERO).unwrap();
+        sim.poke_bit(busy, Logic::Zero, SimTime::from_ns(12))
+            .unwrap();
+        sim.poke_bit(busy, Logic::One, SimTime::from_ns(90))
+            .unwrap();
+        sim.run_until(SimTime::from_ns(115)).unwrap();
+        let ns: Vec<u64> = times.lock().unwrap().iter().map(|t| t / 1000).collect();
+        assert_eq!(ns, vec![10, 90, 110]);
+    }
+
+    #[test]
+    fn rising_only_watchers_skip_falling_edges() {
+        // A rising-subscribed process runs for 0->1 transitions only; an
+        // any-subscribed process sees both.
+        struct RunCounter {
+            runs: std::sync::Arc<std::sync::Mutex<u64>>,
+        }
+        impl RtlProcess for RunCounter {
+            fn run(&mut self, _ctx: &mut RtlCtx) {
+                *self.runs.lock().unwrap() += 1;
+            }
+        }
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        let rising_runs = std::sync::Arc::new(std::sync::Mutex::new(0));
+        let any_runs = std::sync::Arc::new(std::sync::Mutex::new(0));
+        sim.add_process_rising(
+            Box::new(RunCounter {
+                runs: rising_runs.clone(),
+            }),
+            &[s],
+            &[],
+        );
+        sim.add_process(
+            Box::new(RunCounter {
+                runs: any_runs.clone(),
+            }),
+            &[s],
+        );
+        for (i, level) in [Logic::One, Logic::Zero, Logic::One, Logic::Zero]
+            .into_iter()
+            .enumerate()
+        {
+            sim.poke_bit(s, level, SimTime::from_ns(10 * (i as u64 + 1)))
+                .unwrap();
+        }
+        sim.run_until(SimTime::from_ns(100)).unwrap();
+        assert_eq!(*rising_runs.lock().unwrap(), 2, "two rising edges");
+        assert_eq!(*any_runs.lock().unwrap(), 4, "four events in total");
+    }
+
+    #[test]
+    fn rising_subscription_is_subsumed_by_an_any_subscription() {
+        // A signal in both lists must not wake the process twice per
+        // rising edge.
+        struct RunCounter {
+            runs: std::sync::Arc<std::sync::Mutex<u64>>,
+        }
+        impl RtlProcess for RunCounter {
+            fn run(&mut self, _ctx: &mut RtlCtx) {
+                *self.runs.lock().unwrap() += 1;
+            }
+        }
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        let runs = std::sync::Arc::new(std::sync::Mutex::new(0));
+        sim.add_process_rising(Box::new(RunCounter { runs: runs.clone() }), &[s], &[s]);
+        sim.poke_bit(s, Logic::One, SimTime::from_ns(10)).unwrap();
+        sim.run_until(SimTime::from_ns(20)).unwrap();
+        assert_eq!(*runs.lock().unwrap(), 1);
     }
 }

@@ -170,6 +170,18 @@ impl MonitorHandle {
     pub fn take(&self) -> Vec<(SimTime, [u8; CELL_OCTETS])> {
         std::mem::take(&mut *self.cells.lock().expect("monitor lock poisoned"))
     }
+
+    /// Drains the captured `(completion time, cell)` pairs into `out`,
+    /// preserving order. Unlike [`MonitorHandle::take`] this keeps the
+    /// internal buffer's capacity, so a polling collector allocates
+    /// nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn drain_into(&self, out: &mut Vec<(SimTime, [u8; CELL_OCTETS])>) {
+        out.extend(self.cells.lock().expect("monitor lock poisoned").drain(..));
+    }
 }
 
 impl CellStreamMonitor {

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fresh BENCH_*.json against a baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.20] [--rows serial_event_driven]
+
+Both files are the shape the criterion harness emits with BENCH_JSON_DIR
+set: {"group": ..., "results": [{"name": ..., "events_per_sec": ...}]}.
+
+For every result row whose name starts with one of the --rows prefixes
+(comma-separated), the current events/sec must be at least
+(1 - threshold) x the baseline's. Rows present in only one file are
+reported but do not fail the check (bench matrices may grow).
+
+Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        rate = row.get("events_per_sec")
+        if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
+            rows[name] = float(rate)
+    if not rows:
+        print(f"error: no usable result rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--rows",
+        default="serial_event_driven",
+        help="comma-separated row-name prefixes to guard",
+    )
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        print("error: --threshold must be in (0, 1)", file=sys.stderr)
+        sys.exit(2)
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    prefixes = [p.strip() for p in args.rows.split(",") if p.strip()]
+
+    guarded = 0
+    failed = []
+    for name in sorted(baseline):
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        if name not in current:
+            print(f"note: {name} missing from current run, skipped")
+            continue
+        guarded += 1
+        base, cur = baseline[name], current[name]
+        floor = base * (1.0 - args.threshold)
+        ratio = cur / base
+        verdict = "OK" if cur >= floor else "REGRESSION"
+        print(
+            f"{verdict:<10} {name}: {cur:,.1f} ev/s vs baseline "
+            f"{base:,.1f} ({ratio:.2%}, floor {floor:,.1f})"
+        )
+        if cur < floor:
+            failed.append(name)
+
+    if guarded == 0:
+        print(
+            f"error: no baseline rows matched prefixes {prefixes}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if failed:
+        print(
+            f"\n{len(failed)} row(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"\nall {guarded} guarded row(s) within {args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

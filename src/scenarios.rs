@@ -23,7 +23,7 @@ use castanet_netsim::event::PortId;
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::process::{CollectorHandle, CollectorProcess};
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_rtl::cycle::attach_cycle_dut;
+use castanet_rtl::cycle::{attach_cycle_dut, attach_cycle_dut_gated};
 use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
 use castanet_rtl::sim::Simulator;
 use castanet_rtl::testbench::{RegressionTestbench, ScheduledCell};
@@ -248,8 +248,16 @@ pub fn switch_cosim(config: SwitchScenarioConfig) -> SwitchCosim {
 
     // RTL side.
     let mut sim = Simulator::new();
-    let clk = sim.add_clock("clk", config.clock_period);
-    let dut = attach_cycle_dut(&mut sim, "switch", Box::new(config.rtl_switch()), clk);
+    // Gated attachment: the switch reports idle between cells, so the long
+    // inter-cell gaps cost zero clock events — the restarted edges land on
+    // the same grid (period/2, then every period) the entity pokes against.
+    let dut = attach_cycle_dut_gated(
+        &mut sim,
+        "switch",
+        Box::new(config.rtl_switch()),
+        config.clock_period,
+    );
+    let clk = dut.clk;
     let mut entity = CosimEntity::new(config.clock_period, HeaderFormat::Uni, cell_type);
     for i in 0..config.ports {
         entity.add_ingress(IngressSignals {

@@ -692,6 +692,146 @@ fn parallel_executor_never_deadlocks_on_empty_queues() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Event-driven RTL kernel: timing wheel and packed logic vectors
+// ---------------------------------------------------------------------
+
+/// Reference scheduler for the timing wheel: a plain binary heap over
+/// `(time, seq)`, which is exactly the ordering contract the wheel must
+/// reproduce — earliest time first, push order within a time.
+#[test]
+fn timing_wheel_matches_binary_heap_reference() {
+    use castanet_rtl::wheel::TimingWheel;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    cases("timing_wheel_matches_binary_heap_reference", |g| {
+        let mut wheel = TimingWheel::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut out: Vec<u64> = Vec::new();
+        let pop_step = |wheel: &mut TimingWheel<u64>,
+                        reference: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                        out: &mut Vec<u64>| {
+            assert_eq!(
+                wheel.peek(),
+                reference.peek().map(|Reverse((t, _))| *t),
+                "peek disagrees"
+            );
+            out.clear();
+            let t = wheel.pop_into(out).expect("wheel non-empty");
+            // The reference delivers the same time step: every entry
+            // stamped `t`, in seq (push) order.
+            let mut expect = Vec::new();
+            while reference.peek().is_some_and(|Reverse((rt, _))| *rt == t) {
+                expect.push(reference.pop().expect("peeked").0 .1);
+            }
+            assert_eq!(*out, expect, "entries at time {t}");
+            t
+        };
+        for _ in 0..g.range_usize(1, 120) {
+            if g.bool() || wheel.is_empty() {
+                // Burst of pushes at or after the wheel's current base,
+                // mixing same-time, near and far-future stamps so every
+                // hierarchy level gets exercised.
+                for _ in 0..g.range_usize(1, 8) {
+                    let t = now
+                        + match g.range_usize(0, 4) {
+                            0 => 0,
+                            1 => g.range_u64(0, 64),
+                            2 => g.range_u64(0, 1 << 18),
+                            _ => g.range_u64(0, 1 << 40),
+                        };
+                    wheel.push(t, seq);
+                    reference.push(Reverse((t, seq)));
+                    seq += 1;
+                }
+            } else {
+                now = pop_step(&mut wheel, &mut reference, &mut out);
+            }
+        }
+        assert_eq!(wheel.len(), reference.len());
+        while !reference.is_empty() {
+            pop_step(&mut wheel, &mut reference, &mut out);
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.peek(), None);
+    });
+}
+
+fn gen_logic(g: &mut Gen) -> Logic {
+    Logic::ALL[g.range_usize(0, 9)]
+}
+
+fn is_binary(l: Logic) -> bool {
+    matches!(l, Logic::Zero | Logic::One | Logic::L | Logic::H)
+}
+
+/// The packed (nibble-per-bit) vector against the naive `Vec<Logic>`
+/// model: construction, indexing, integer reading, slicing, concatenation
+/// and display must all agree for every one of the nine values at any
+/// width — including widths that cross the inline/heap storage boundary.
+#[test]
+fn packed_vector_matches_naive_model() {
+    cases("packed_vector_matches_naive_model", |g| {
+        let width = g.range_usize(1, 513);
+        let model = g.vec_of(width, width + 1, gen_logic);
+        let mut v = LogicVector::uninitialized(width);
+        for (i, &l) in model.iter().enumerate() {
+            v.set_bit(i, l);
+        }
+        assert_eq!(v, LogicVector::from_bits(&model));
+        assert_eq!(v.width(), width);
+        assert_eq!(v.to_bits(), model);
+        for (i, &l) in model.iter().enumerate() {
+            assert_eq!(v.bit(i), l, "bit {i} of width {width}");
+        }
+        let defined = model.iter().copied().all(is_binary);
+        assert_eq!(v.is_fully_defined(), defined);
+        let naive_u64 = (width <= 64 && defined).then(|| {
+            model.iter().enumerate().fold(0u64, |acc, (i, &l)| {
+                acc | (u64::from(matches!(l, Logic::One | Logic::H)) << i)
+            })
+        });
+        assert_eq!(v.to_u64(), naive_u64);
+        // Display is MSB first, one character per bit.
+        let shown: String = model.iter().rev().map(|l| l.to_char()).collect();
+        assert_eq!(format!("{v}"), shown);
+        // Any in-range slice agrees with the model slice.
+        let lo = g.range_usize(0, width);
+        let w = g.range_usize(1, width - lo + 1);
+        assert_eq!(v.slice(lo, w).to_bits(), &model[lo..lo + w]);
+        // Concatenation across arbitrary (non-word-aligned) boundaries.
+        let hi_model = g.vec_of(1, 130, gen_logic);
+        let cat = v.concat_high(&LogicVector::from_bits(&hi_model));
+        let mut cat_model = model.clone();
+        cat_model.extend_from_slice(&hi_model);
+        assert_eq!(cat.to_bits(), cat_model);
+    });
+}
+
+/// Word-wise resolution against the element-wise reference, plus the
+/// algebra the IEEE 1164 table promises (commutativity, and agreement of
+/// the in-place form with the pure form).
+#[test]
+fn packed_resolution_matches_elementwise_model() {
+    cases("packed_resolution_matches_elementwise_model", |g| {
+        let width = g.range_usize(1, 513);
+        let a = g.vec_of(width, width + 1, gen_logic);
+        let b = g.vec_of(width, width + 1, gen_logic);
+        let va = LogicVector::from_bits(&a);
+        let vb = LogicVector::from_bits(&b);
+        let resolved = va.resolve(&vb);
+        let model: Vec<Logic> = a.iter().zip(&b).map(|(x, y)| x.resolve(*y)).collect();
+        assert_eq!(resolved.to_bits(), model);
+        assert_eq!(vb.resolve(&va), resolved, "resolution must commute");
+        let mut vc = va.clone();
+        vc.resolve_assign(&vb);
+        assert_eq!(vc, resolved, "in-place form must agree");
+    });
+}
+
 #[test]
 fn lint_findings_always_use_registered_codes() {
     cases("lint_findings_always_use_registered_codes", |g| {
