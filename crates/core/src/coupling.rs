@@ -86,6 +86,17 @@ pub trait CoupledSimulator {
 
     /// The follower's current local time.
     fn now(&self) -> SimTime;
+
+    /// Error-level structural findings about the follower itself, each
+    /// rendered as a `location: message` string prefixed with its stable
+    /// diagnostic code. Strict-mode [`Coupling::run`] refuses to start
+    /// while this is non-empty. The default reports nothing — followers
+    /// without an introspectable structure (hardware boards, opaque
+    /// simulators) are not penalized; [`RtlCosim`] overrides it with the
+    /// error-level `CAST1xx` netlist analyses.
+    fn structural_preflight(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// An event-driven RTL simulation with its co-simulation entity, as one
@@ -172,6 +183,10 @@ impl CoupledSimulator for RtlCosim {
 
     fn set_telemetry(&mut self, tel: &Telemetry) {
         self.sim.set_telemetry(tel);
+    }
+
+    fn structural_preflight(&self) -> Vec<String> {
+        self.sim.netlist().error_findings()
     }
 }
 
@@ -391,7 +406,13 @@ impl<S: CoupledSimulator> Coupling<S> {
     ///   on the assembled synchronizer;
     /// * `CAST021` — a declared interface input port collides with the
     ///   `RESPONSE_PORT_BASE..` namespace reserved for response injection;
-    /// * `CAST040` — the interface module id does not exist in the kernel.
+    /// * `CAST040` — the interface module id does not exist in the kernel;
+    ///
+    /// plus the follower's own
+    /// [`structural_preflight`](CoupledSimulator::structural_preflight) —
+    /// for [`RtlCosim`] the error-level `CAST1xx` netlist analyses
+    /// (combinational loops, multi-driver conflicts, broken sensitivity
+    /// lists, unsafe gated clocks).
     ///
     /// The full analysis (warnings, pin maps, RTL widths) lives in the
     /// `castanet-lint` crate, which layers on top of this one.
@@ -400,7 +421,13 @@ impl<S: CoupledSimulator> Coupling<S> {
     ///
     /// Returns [`CastanetError::Preflight`] listing every finding.
     pub fn preflight(&self) -> Result<(), CastanetError> {
-        preflight_checks(&self.net, &self.sync, self.cell_type, self.iface)
+        let mut findings = preflight_checks(&self.net, &self.sync, self.cell_type, self.iface);
+        findings.extend(self.follower.structural_preflight());
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(CastanetError::Preflight(findings))
+        }
     }
 
     /// Tunes the final drain: once the network side has no events left, the
@@ -614,13 +641,15 @@ impl<S: CoupledSimulator> Coupling<S> {
 
 /// The error-level static checks shared by [`Coupling::preflight`] and
 /// [`crate::parallel::ParallelCoupling::preflight`] — see the method docs
-/// for the finding catalogue.
+/// for the finding catalogue. Returns the findings (empty = pass) so the
+/// callers can append follower-specific checks before deciding the
+/// verdict.
 pub(crate) fn preflight_checks(
     net: &Kernel,
     sync: &ConservativeSync,
     cell_type: MessageTypeId,
     iface: ModuleId,
-) -> Result<(), CastanetError> {
+) -> Vec<String> {
     let mut findings = Vec::new();
     if sync.type_count() == 0 {
         findings.push(
@@ -660,11 +689,7 @@ pub(crate) fn preflight_checks(
             }
         }
     }
-    if findings.is_empty() {
-        Ok(())
-    } else {
-        Err(CastanetError::Preflight(findings))
-    }
+    findings
 }
 
 #[cfg(test)]
@@ -868,5 +893,50 @@ mod tests {
         let (net, follower) = coupling.into_parts();
         assert_eq!(net.now(), SimTime::ZERO);
         assert_eq!(follower.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn strict_mode_accepts_the_clean_fixture() {
+        let (coupling, got) = build_coupling(2, SimDuration::from_us(10));
+        let mut coupling = coupling.with_strict(true);
+        assert!(coupling.preflight().is_ok());
+        coupling.run(SimTime::from_ms(1)).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn strict_mode_rejects_structural_defects() {
+        use castanet_rtl::netlist::ProcessIo;
+        use castanet_rtl::sim::{RtlCtx, RtlProcess};
+
+        /// A declared-but-inert process whose dataflow sets form a
+        /// combinational self-loop.
+        struct SelfLoop {
+            io: ProcessIo,
+        }
+        impl RtlProcess for SelfLoop {
+            fn run(&mut self, _ctx: &mut RtlCtx) {}
+            fn io(&self) -> Option<ProcessIo> {
+                Some(self.io.clone())
+            }
+        }
+
+        let (coupling, _got) = build_coupling(1, SimDuration::from_us(10));
+        let mut coupling = coupling.with_strict(true);
+        let sim = coupling.follower_mut().sim_mut();
+        let osc = sim.add_signal("osc", 1);
+        let io = ProcessIo::combinational("osc_loop")
+            .reads([osc])
+            .writes([osc]);
+        sim.add_process(Box::new(SelfLoop { io }), &[osc]);
+
+        let err = coupling.run(SimTime::from_ms(1)).unwrap_err();
+        let CastanetError::Preflight(findings) = err else {
+            panic!("expected a preflight rejection, got {err}");
+        };
+        assert!(
+            findings.iter().any(|f| f.contains("combinational loop")),
+            "{findings:?}"
+        );
     }
 }

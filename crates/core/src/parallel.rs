@@ -219,13 +219,21 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
     }
 
     /// Static pre-flight verification — the same error-level checks as
-    /// [`Coupling::preflight`](crate::coupling::Coupling::preflight).
+    /// [`Coupling::preflight`](crate::coupling::Coupling::preflight),
+    /// including the follower's own
+    /// [`structural_preflight`](CoupledSimulator::structural_preflight).
     ///
     /// # Errors
     ///
     /// Returns [`CastanetError::Preflight`] listing every finding.
     pub fn preflight(&self) -> Result<(), CastanetError> {
-        preflight_checks(&self.net, &self.sync, self.cell_type, self.iface)
+        let mut findings = preflight_checks(&self.net, &self.sync, self.cell_type, self.iface);
+        findings.extend(self.follower.structural_preflight());
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(CastanetError::Preflight(findings))
+        }
     }
 
     /// Runs the coupled simulation until no activity remains before

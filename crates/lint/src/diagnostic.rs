@@ -185,6 +185,56 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "telemetry exporter output path is unwritable or collides with the trace-replay input",
     ),
+    (
+        "CAST100",
+        Severity::Error,
+        "combinational loop: a zero-delay cycle through the netlist never settles (full path reported)",
+    ),
+    (
+        "CAST110",
+        Severity::Error,
+        "signal driven by two or more combinational processes — continuous resolution fight",
+    ),
+    (
+        "CAST111",
+        Severity::Warning,
+        "write-after-write race: two clocked processes on the same clock write one signal in one delta cycle",
+    ),
+    (
+        "CAST120",
+        Severity::Error,
+        "combinational process reads a signal absent from its sensitivity list (sim/synth mismatch)",
+    ),
+    (
+        "CAST121",
+        Severity::Error,
+        "clocked process is not sensitive to its own clock — it can never run",
+    ),
+    (
+        "CAST122",
+        Severity::Info,
+        "sensitivity entry the process never reads (spurious wake-ups only)",
+    ),
+    (
+        "CAST130",
+        Severity::Warning,
+        "dead logic: signal is written but never read, sensed, traced or exported",
+    ),
+    (
+        "CAST131",
+        Severity::Warning,
+        "signal is read but has no driver and is not an external input (stays U/X forever)",
+    ),
+    (
+        "CAST140",
+        Severity::Error,
+        "gated-clock busy is combinationally derived from the gated domain itself (restart deadlock)",
+    ),
+    (
+        "CAST141",
+        Severity::Error,
+        "gated-clock busy line has no driver — the clock parks at elaboration and never starts",
+    ),
 ];
 
 /// Looks up the registered severity and summary of `code`.

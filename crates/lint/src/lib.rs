@@ -19,6 +19,7 @@
 //! | [`passes::pinmap`] | §3.3 pin mapping | `CAST030`–`CAST036` |
 //! | [`passes::topology`] | network model graph | `CAST040`–`CAST042` |
 //! | [`passes::telemetry`] | telemetry exporter paths | `CAST050` |
+//! | [`passes::rtl_structure`] | RTL netlist structure | `CAST100`–`CAST141` |
 //!
 //! [`check_coupling`] runs everything applicable to an assembled
 //! [`Coupling`]; the `castanet-lint` binary wraps it (and the pin-map pass)
@@ -69,6 +70,9 @@ pub fn check_coupling(coupling: &Coupling<RtlCosim>) -> Vec<Diagnostic> {
         coupling.follower().sim(),
         coupling.follower().entity(),
     ));
+    diags.extend(passes::rtl_structure::check_rtl_structure(
+        coupling.follower().sim(),
+    ));
     sort_diagnostics(&mut diags);
     diags
 }
@@ -84,7 +88,8 @@ mod tests {
         for code in [
             "CAST001", "CAST002", "CAST003", "CAST010", "CAST020", "CAST021", "CAST022", "CAST023",
             "CAST030", "CAST031", "CAST032", "CAST033", "CAST034", "CAST035", "CAST036", "CAST040",
-            "CAST041", "CAST042", "CAST050",
+            "CAST041", "CAST042", "CAST050", "CAST100", "CAST110", "CAST111", "CAST120", "CAST121",
+            "CAST122", "CAST130", "CAST131", "CAST140", "CAST141",
         ] {
             assert!(code_info(code).is_some(), "unregistered code {code}");
         }

@@ -2,6 +2,7 @@
 
 pub mod interface;
 pub mod pinmap;
+pub mod rtl_structure;
 pub mod sync_liveness;
 pub mod telemetry;
 pub mod topology;

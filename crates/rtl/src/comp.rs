@@ -6,6 +6,7 @@
 //! RTL does and to compose test benches and DUT scaffolding.
 
 use crate::logic::Logic;
+use crate::netlist::ProcessIo;
 use crate::signal::SignalId;
 use crate::sim::{RtlCtx, RtlProcess};
 use crate::vector::LogicVector;
@@ -36,6 +37,15 @@ impl RtlProcess for DFlipFlop {
                 ctx.assign(self.q, v);
             }
         }
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("dff", self.clk)
+                .with_reset(self.rst)
+                .reads([self.clk, self.rst, self.d])
+                .writes([self.q]),
+        )
     }
 }
 
@@ -95,6 +105,15 @@ impl RtlProcess for Counter {
             ctx.assign(self.q, LogicVector::from_u64(self.value, self.width));
         }
     }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("counter", self.clk)
+                .with_reset(self.rst)
+                .reads([self.clk, self.rst, self.en])
+                .writes([self.q]),
+        )
+    }
 }
 
 /// A serial-in, parallel-out shift register (LSB-first: the incoming bit
@@ -142,6 +161,14 @@ impl RtlProcess for ShiftRegister {
             self.state = next.clone();
             ctx.assign(self.q, next);
         }
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("shift_register", self.clk)
+                .reads([self.clk, self.din, self.en])
+                .writes([self.q]),
+        )
     }
 }
 
@@ -258,6 +285,15 @@ impl RtlProcess for SyncFifo {
         }
         self.publish(ctx);
     }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("sync_fifo", self.clk)
+                .with_reset(self.rst)
+                .reads([self.clk, self.rst, self.wr_en, self.wr_data, self.rd_en])
+                .writes([self.rd_data, self.full, self.empty]),
+        )
+    }
 }
 
 /// A Fibonacci LFSR pseudo-random pattern generator — the classic RTL
@@ -348,6 +384,14 @@ impl RtlProcess for Lfsr {
             ctx.assign(self.q, LogicVector::from_u64(self.state, self.width));
         }
     }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("lfsr", self.clk)
+                .reads([self.clk, self.en])
+                .writes([self.q]),
+        )
+    }
 }
 
 /// A Gray-code up-counter: successive outputs differ in exactly one bit —
@@ -413,6 +457,15 @@ impl RtlProcess for GrayCounter {
             ctx.assign(self.q, LogicVector::from_u64(self.gray(), self.width));
         }
     }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("gray_counter", self.clk)
+                .with_reset(self.rst)
+                .reads([self.clk, self.rst, self.en])
+                .writes([self.q]),
+        )
+    }
 }
 
 /// A two-stage synchronizer chain: the canonical clock-domain-crossing
@@ -451,6 +504,14 @@ impl RtlProcess for Synchronizer {
             self.stage1 = ctx.read_bit(self.d);
             ctx.assign_bit(self.q, self.stage2);
         }
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("synchronizer", self.clk)
+                .reads([self.clk, self.d])
+                .writes([self.q]),
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::error::RtlError;
 use crate::logic::Logic;
+use crate::netlist::ProcessIo;
 use crate::signal::SignalId;
 use crate::sim::{RtlCtx, RtlProcess, Simulator};
 use castanet_netsim::time::SimDuration;
@@ -248,6 +249,7 @@ pub struct AttachedDut {
 
 struct CycleDutProcess {
     dut: Box<dyn CycleDut>,
+    label: String,
     clk: SignalId,
     inputs: Vec<SignalId>,
     outputs: Vec<SignalId>,
@@ -329,6 +331,20 @@ impl RtlProcess for CycleDutProcess {
             }
         }
     }
+
+    fn io(&self) -> Option<ProcessIo> {
+        // The wrapper samples every input on the clock edge and drives
+        // every output (plus `busy` in the gated attachment); the DUT's
+        // internal structure stays behind the pin interface.
+        let mut io = ProcessIo::clocked(self.label.clone(), self.clk)
+            .reads(self.inputs.iter().copied())
+            .reads([self.clk])
+            .writes(self.outputs.iter().copied());
+        if let Some(busy) = self.busy {
+            io = io.writes([busy]);
+        }
+        Some(io)
+    }
 }
 
 fn mask(width: usize) -> u64 {
@@ -367,6 +383,7 @@ pub fn attach_cycle_dut(
         .collect();
     let process = CycleDutProcess {
         dut,
+        label: prefix.to_string(),
         clk,
         inputs: inputs.clone(),
         outputs: outputs.clone(),
@@ -377,6 +394,14 @@ pub fn attach_cycle_dut(
         armed: true,
     };
     sim.add_process(Box::new(process), &[clk]);
+    // The DUT's pins are the design's boundary: inputs arrive as external
+    // pokes, outputs are observed by the test bench / co-simulation entity.
+    for &s in &inputs {
+        sim.mark_external_input(s);
+    }
+    for &s in &outputs {
+        sim.mark_external_output(s);
+    }
     AttachedDut {
         inputs,
         outputs,
@@ -418,6 +443,7 @@ pub fn attach_cycle_dut_gated(
     let clk = sim.add_gated_clock(format!("{prefix}.clk"), period, busy);
     let process = CycleDutProcess {
         dut,
+        label: prefix.to_string(),
         clk,
         inputs: inputs.clone(),
         outputs: outputs.clone(),
@@ -430,6 +456,12 @@ pub fn attach_cycle_dut_gated(
     // Rising-only on the clock (falling edges are no-ops for the wrapper),
     // any-edge on the inputs so activity can re-arm a parked clock.
     sim.add_process_rising(Box::new(process), &[clk], &inputs);
+    for &s in &inputs {
+        sim.mark_external_input(s);
+    }
+    for &s in &outputs {
+        sim.mark_external_output(s);
+    }
     AttachedDut {
         inputs,
         outputs,

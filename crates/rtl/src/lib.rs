@@ -12,6 +12,10 @@
 //!   [`cycle::attach_cycle_dut`];
 //! * [`comp`] — a library of RTL building blocks (flip-flops, counters,
 //!   FIFOs) written as event-driven processes;
+//! * [`netlist`] — netlist introspection: the signal→process→signal
+//!   dataflow graph, structural checks (combinational loops, multi-driver
+//!   conflicts, sensitivity completeness, gated-clock safety) and the
+//!   levelization schedule for a compiled backend;
 //! * [`dut`] — the paper's ATM hardware: byte-serial cell receiver and
 //!   transmitter (Fig. 4), the 4-port switch with global control unit (the
 //!   headline workload) and the accounting unit of the §4 case study;
@@ -50,6 +54,7 @@ pub mod cycle;
 pub mod dut;
 pub mod error;
 pub mod logic;
+pub mod netlist;
 pub mod signal;
 pub mod sim;
 pub mod testbench;
@@ -61,6 +66,7 @@ pub mod wheel;
 pub use cycle::{CycleDut, CycleSim, PortDecl};
 pub use error::RtlError;
 pub use logic::Logic;
+pub use netlist::{NetlistGraph, ProcessIo, ProcessKind, StructuralFinding};
 pub use signal::SignalId;
 pub use sim::{RtlCtx, RtlProcess, SimCounters, Simulator};
 pub use vector::LogicVector;

@@ -40,6 +40,12 @@ impl ProcId {
     /// The external-stimulus pseudo-process (test bench / co-simulation
     /// entity).
     pub const EXTERNAL: ProcId = ProcId(usize::MAX);
+
+    /// Raw index in the simulator's process table.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
 }
 
 pub(crate) struct SignalState {

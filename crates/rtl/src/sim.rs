@@ -14,6 +14,7 @@
 
 use crate::error::RtlError;
 use crate::logic::Logic;
+use crate::netlist::{GatedClockLink, NetProcess, NetSignal, NetlistGraph, ProcessIo};
 use crate::signal::{ProcId, SignalId, SignalInfo, SignalState};
 use crate::vector::LogicVector;
 use crate::wheel::TimingWheel;
@@ -54,6 +55,23 @@ pub trait RtlProcess: Send {
     /// Called whenever a signal in the process's sensitivity list has an
     /// event, or a scheduled wake-up fires.
     fn run(&mut self, ctx: &mut RtlCtx);
+
+    /// The process's structural self-description — read set, write set and
+    /// kind — captured by the simulator at registration time and exposed
+    /// through [`Simulator::netlist`]. The default `None` declares the
+    /// process *opaque*: structural analyses skip it rather than guess.
+    fn io(&self) -> Option<ProcessIo> {
+        None
+    }
+}
+
+/// Per-process registration record: the sensitivity lists as declared
+/// (deduplicated) plus the structural self-description.
+#[derive(Debug)]
+struct ProcMeta {
+    any: Vec<SignalId>,
+    rising: Vec<SignalId>,
+    io: Option<ProcessIo>,
 }
 
 /// Counter block for engine-comparison experiments.
@@ -112,6 +130,18 @@ pub struct Simulator {
     /// event drives bit 0 to `One`. Clocked processes that ignore falling
     /// edges register here and skip half of all clock wake-ups.
     watchers_rising: Vec<Vec<ProcId>>,
+    /// Per-process registration metadata for netlist introspection.
+    proc_meta: Vec<ProcMeta>,
+    /// Per-signal external-input pin marks (see
+    /// [`Simulator::mark_external_input`]).
+    external_in: Vec<bool>,
+    /// Per-signal external-output pin marks.
+    external_out: Vec<bool>,
+    /// Per-signal clock-root marks (outputs of `add_clock` /
+    /// `add_gated_clock`).
+    clock_roots: Vec<bool>,
+    /// Gated clock → busy control links, one per `add_gated_clock`.
+    gated_links: Vec<GatedClockLink>,
     /// Future transactions, keyed by absolute picosecond.
     queue: TimingWheel<Pending>,
     /// Zero-delay transactions staged for the next delta cycle at `now`.
@@ -170,6 +200,11 @@ impl Simulator {
             processes: Vec::new(),
             watchers: Vec::new(),
             watchers_rising: Vec::new(),
+            proc_meta: Vec::new(),
+            external_in: Vec::new(),
+            external_out: Vec::new(),
+            clock_roots: Vec::new(),
+            gated_links: Vec::new(),
             queue: TimingWheel::new(),
             delta: Vec::new(),
             batch: Vec::new(),
@@ -246,9 +281,26 @@ impl Simulator {
         self.signals.push(SignalState::new(name.clone(), width));
         self.watchers.push(Vec::new());
         self.watchers_rising.push(Vec::new());
+        self.external_in.push(false);
+        self.external_out.push(false);
+        self.clock_roots.push(false);
         self.trace_pos.push(NOT_TRACED);
         self.names.insert(name, id);
         id
+    }
+
+    /// Declares `signal` an external input pin: the test bench or
+    /// co-simulation entity drives it via [`Simulator::poke`], so the
+    /// structural analyses must not flag it as undriven.
+    pub fn mark_external_input(&mut self, signal: SignalId) {
+        self.external_in[signal.0] = true;
+    }
+
+    /// Declares `signal` an external output pin: observed from outside the
+    /// kernel via [`Simulator::read`], so the structural analyses must not
+    /// flag it as dead.
+    pub fn mark_external_output(&mut self, signal: SignalId) {
+        self.external_out[signal.0] = true;
     }
 
     /// Adds a process with a static sensitivity list. A signal appearing
@@ -261,14 +313,22 @@ impl Simulator {
         sensitivity: &[SignalId],
     ) -> ProcId {
         let id = ProcId(self.processes.len());
+        let io = process.io();
         self.processes.push(Some(process));
         self.woken.push(false);
+        let mut any = Vec::new();
         for &s in sensitivity {
             let watchers = &mut self.watchers[s.0];
             if !watchers.contains(&id) {
                 watchers.push(id);
+                any.push(s);
             }
         }
+        self.proc_meta.push(ProcMeta {
+            any,
+            rising: Vec::new(),
+            io,
+        });
         id
     }
 
@@ -290,6 +350,7 @@ impl Simulator {
             let watchers = &mut self.watchers_rising[s.0];
             if !self.watchers[s.0].contains(&id) && !watchers.contains(&id) {
                 watchers.push(id);
+                self.proc_meta[id.0].rising.push(s);
             }
         }
         id
@@ -321,6 +382,9 @@ impl Simulator {
                 ctx.assign_bit(self.clk, Logic::from_bool(self.level));
                 ctx.wake_after(self.half);
             }
+            fn io(&self) -> Option<ProcessIo> {
+                Some(ProcessIo::generator("clock_gen").writes([self.clk]))
+            }
         }
         self.add_process(
             Box::new(ClockGen {
@@ -330,6 +394,7 @@ impl Simulator {
             }),
             &[],
         );
+        self.clock_roots[clk.0] = true;
         clk
     }
 
@@ -427,6 +492,13 @@ impl Simulator {
                     ctx.wake_after(SimDuration::from_picos(rise_at - now));
                 }
             }
+            fn io(&self) -> Option<ProcessIo> {
+                Some(
+                    ProcessIo::generator("gated_clock_gen")
+                        .reads([self.busy])
+                        .writes([self.clk]),
+                )
+            }
         }
         // Rising-only: the generator restarts when `busy` goes high; a
         // falling `busy` needs no action (the pending edge completes and
@@ -444,6 +516,8 @@ impl Simulator {
             &[busy],
             &[],
         );
+        self.clock_roots[clk.0] = true;
+        self.gated_links.push(GatedClockLink { clk, busy });
         clk
     }
 
@@ -472,6 +546,39 @@ impl Simulator {
     /// Ids of all declared signals, in declaration order.
     pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
         (0..self.signals.len()).map(SignalId)
+    }
+
+    /// Builds the introspectable dataflow graph of the elaborated design:
+    /// every registered process with its sensitivity lists and (when
+    /// declared via [`RtlProcess::io`]) read/write sets, every signal with
+    /// its external-pin / trace / clock-root marks, and the gated-clock
+    /// busy links. Input to [`NetlistGraph::analyze`] (the `CAST1xx`
+    /// structural checks) and [`NetlistGraph::levelize`].
+    #[must_use]
+    pub fn netlist(&self) -> NetlistGraph {
+        let signals = self
+            .signals
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| NetSignal {
+                name: s.name.clone(),
+                width: s.width,
+                external_input: self.external_in[idx],
+                external_output: self.external_out[idx],
+                traced: self.trace_pos[idx] != NOT_TRACED,
+                clock_root: self.clock_roots[idx],
+            })
+            .collect();
+        let processes = self
+            .proc_meta
+            .iter()
+            .map(|m| NetProcess {
+                sensitivity_any: m.any.clone(),
+                sensitivity_rising: m.rising.clone(),
+                io: m.io.clone(),
+            })
+            .collect();
+        NetlistGraph::new(signals, processes, self.gated_links.clone())
     }
 
     // ------------------------------------------------------------------

@@ -13,6 +13,7 @@
 
 use crate::cycle::{attach_cycle_dut, AttachedDut, CycleDut};
 use crate::logic::Logic;
+use crate::netlist::ProcessIo;
 use crate::signal::SignalId;
 use crate::sim::{RtlCtx, RtlProcess, Simulator};
 use castanet_atm::cell::CELL_OCTETS;
@@ -110,6 +111,14 @@ impl RtlProcess for CellStreamDriver {
         ctx.assign_bit(self.sync, Logic::from_bool(offset == 0));
         ctx.assign_bit(self.enable, Logic::One);
         self.clock_index += 1;
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("cell_stream_driver", self.clk)
+                .reads([self.clk])
+                .writes([self.data, self.sync, self.enable]),
+        )
     }
 }
 
@@ -232,6 +241,13 @@ impl RtlProcess for CellStreamMonitor {
                     .push((ctx.now(), self.shift));
             }
         }
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("cell_stream_monitor", self.clk)
+                .reads([self.clk, self.data, self.sync, self.valid]),
+        )
     }
 }
 
@@ -380,6 +396,13 @@ impl RtlProcess for CellStreamScoreboard {
                 self.finish_cell();
             }
         }
+    }
+
+    fn io(&self) -> Option<ProcessIo> {
+        Some(
+            ProcessIo::clocked("cell_stream_scoreboard", self.clk)
+                .reads([self.clk, self.data, self.sync, self.valid]),
+        )
     }
 }
 

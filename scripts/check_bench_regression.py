@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
-"""Bench regression guard: compare a fresh BENCH_*.json against a baseline.
+"""Bench regression guard: compare fresh BENCH_*.json files against baselines.
 
 Usage:
-    check_bench_regression.py BASELINE.json CURRENT.json \
-        [--threshold 0.20] [--rows serial_event_driven]
+    check_bench_regression.py BASELINE CURRENT [--threshold 0.20] [--rows PREFIX,...]
 
-Both files are the shape the criterion harness emits with BENCH_JSON_DIR
+BASELINE and CURRENT are either two JSON files or two directories. In
+directory mode every committed `BENCH_*.json` under BASELINE is paired
+with the same filename under CURRENT and all pairs are checked; a
+baseline group missing from CURRENT is an error (the CI matrix lost
+coverage, which is exactly what this guard exists to catch).
+
+Each file is the shape the criterion harness emits with BENCH_JSON_DIR
 set: {"group": ..., "results": [{"name": ..., "events_per_sec": ...}]}.
 
-For every result row whose name starts with one of the --rows prefixes
-(comma-separated), the current events/sec must be at least
-(1 - threshold) x the baseline's. Rows present in only one file are
-reported but do not fail the check (bench matrices may grow).
+Every result row whose name starts with one of the --rows prefixes
+(comma-separated; the default guards every row) must reach at least
+(1 - threshold) x the baseline's events/sec. Rows present only in the
+current run are ignored (bench matrices may grow); rows present only in
+the baseline are reported but do not fail by themselves.
 
 Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -40,10 +47,62 @@ def load_rows(path):
     return rows
 
 
+def check_pair(baseline_path, current_path, threshold, prefixes):
+    """Compares one baseline/current file pair; returns (guarded, failed)."""
+    baseline = load_rows(baseline_path)
+    current = load_rows(current_path)
+    label = os.path.basename(baseline_path)
+
+    guarded = 0
+    failed = []
+    for name in sorted(baseline):
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        if name not in current:
+            print(f"note: [{label}] {name} missing from current run, skipped")
+            continue
+        guarded += 1
+        base, cur = baseline[name], current[name]
+        floor = base * (1.0 - threshold)
+        ratio = cur / base
+        verdict = "OK" if cur >= floor else "REGRESSION"
+        print(
+            f"{verdict:<10} [{label}] {name}: {cur:,.1f} ev/s vs baseline "
+            f"{base:,.1f} ({ratio:.2%}, floor {floor:,.1f})"
+        )
+        if cur < floor:
+            failed.append(f"{label}:{name}")
+    return guarded, failed
+
+
+def pair_directories(baseline_dir, current_dir):
+    """Pairs every committed BENCH_*.json with its fresh counterpart."""
+    names = sorted(
+        n
+        for n in os.listdir(baseline_dir)
+        if n.startswith("BENCH_") and n.endswith(".json")
+    )
+    if not names:
+        print(f"error: no BENCH_*.json files in {baseline_dir}", file=sys.stderr)
+        sys.exit(2)
+    pairs = []
+    for name in names:
+        current = os.path.join(current_dir, name)
+        if not os.path.isfile(current):
+            print(
+                f"error: baseline group {name} has no current run in "
+                f"{current_dir} — was its bench dropped from the matrix?",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        pairs.append((os.path.join(baseline_dir, name), current))
+    return pairs
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", help="baseline JSON file or directory")
+    parser.add_argument("current", help="current JSON file or directory")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -52,37 +111,33 @@ def main():
     )
     parser.add_argument(
         "--rows",
-        default="serial_event_driven",
-        help="comma-separated row-name prefixes to guard",
+        default="",
+        help="comma-separated row-name prefixes to guard (default: every row)",
     )
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         print("error: --threshold must be in (0, 1)", file=sys.stderr)
         sys.exit(2)
 
-    baseline = load_rows(args.baseline)
-    current = load_rows(args.current)
-    prefixes = [p.strip() for p in args.rows.split(",") if p.strip()]
+    prefixes = [p.strip() for p in args.rows.split(",") if p.strip()] or [""]
+
+    if os.path.isdir(args.baseline) != os.path.isdir(args.current):
+        print(
+            "error: baseline and current must both be files or both be directories",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if os.path.isdir(args.baseline):
+        pairs = pair_directories(args.baseline, args.current)
+    else:
+        pairs = [(args.baseline, args.current)]
 
     guarded = 0
     failed = []
-    for name in sorted(baseline):
-        if not any(name.startswith(p) for p in prefixes):
-            continue
-        if name not in current:
-            print(f"note: {name} missing from current run, skipped")
-            continue
-        guarded += 1
-        base, cur = baseline[name], current[name]
-        floor = base * (1.0 - args.threshold)
-        ratio = cur / base
-        verdict = "OK" if cur >= floor else "REGRESSION"
-        print(
-            f"{verdict:<10} {name}: {cur:,.1f} ev/s vs baseline "
-            f"{base:,.1f} ({ratio:.2%}, floor {floor:,.1f})"
-        )
-        if cur < floor:
-            failed.append(name)
+    for baseline_path, current_path in pairs:
+        g, f = check_pair(baseline_path, current_path, args.threshold, prefixes)
+        guarded += g
+        failed.extend(f)
 
     if guarded == 0:
         print(

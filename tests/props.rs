@@ -858,3 +858,252 @@ fn lint_findings_always_use_registered_codes() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// RTL netlist structural analysis & levelization
+// ---------------------------------------------------------------------
+
+mod netgen {
+    //! Random loop-free netlist generator: executable XOR gates that also
+    //! declare their dataflow, so the same fixture drives both the event
+    //! kernel and the static analyses.
+
+    use super::harness::Gen;
+    use castanet_rtl::logic::Logic;
+    use castanet_rtl::netlist::ProcessIo;
+    use castanet_rtl::signal::SignalId;
+    use castanet_rtl::sim::{RtlCtx, RtlProcess, Simulator};
+    use std::collections::HashSet;
+
+    /// XOR-reduce over the read set; `One` counts as 1, everything else
+    /// (including `U`/`X`) as 0, so the fixpoint is defined from reset.
+    pub struct XorGate {
+        pub name: String,
+        pub reads: Vec<SignalId>,
+        pub out: SignalId,
+    }
+
+    impl RtlProcess for XorGate {
+        fn run(&mut self, ctx: &mut RtlCtx) {
+            let acc = self
+                .reads
+                .iter()
+                .fold(false, |acc, &s| acc ^ (ctx.read_bit(s) == Logic::One));
+            ctx.assign_bit(self.out, if acc { Logic::One } else { Logic::Zero });
+        }
+
+        fn io(&self) -> Option<ProcessIo> {
+            Some(
+                ProcessIo::combinational(self.name.clone())
+                    .reads(self.reads.iter().copied())
+                    .writes([self.out]),
+            )
+        }
+    }
+
+    pub struct Fixture {
+        pub sim: Simulator,
+        pub inputs: Vec<SignalId>,
+        /// One entry per gate: (reads, out), in creation order.
+        pub gates: Vec<(Vec<SignalId>, SignalId)>,
+    }
+
+    /// A random layered DAG: every gate reads only previously created
+    /// signals and writes a fresh one, so loops are impossible by
+    /// construction. Terminal signals are marked external outputs (they
+    /// are the observation points, and unobserved sinks would trip the
+    /// dead-signal check by design).
+    pub fn loop_free(g: &mut Gen) -> Fixture {
+        let mut sim = Simulator::new();
+        let mut pool = Vec::new();
+        let mut inputs = Vec::new();
+        for i in 0..g.range_usize(2, 6) {
+            let s = sim.add_signal(format!("in{i}"), 1);
+            sim.mark_external_input(s);
+            pool.push(s);
+            inputs.push(s);
+        }
+        let mut gates = Vec::new();
+        for k in 0..g.range_usize(1, 24) {
+            let fanin = g.range_usize(1, 4.min(pool.len() + 1));
+            let mut reads: Vec<SignalId> = Vec::new();
+            while reads.len() < fanin {
+                let s = pool[g.range_usize(0, pool.len())];
+                if !reads.contains(&s) {
+                    reads.push(s);
+                }
+            }
+            let out = sim.add_signal(format!("n{k}"), 1);
+            let gate = XorGate {
+                name: format!("g{k}"),
+                reads: reads.clone(),
+                out,
+            };
+            sim.add_process(Box::new(gate), &reads);
+            pool.push(out);
+            gates.push((reads, out));
+        }
+        let observed: HashSet<SignalId> = gates
+            .iter()
+            .flat_map(|(reads, _)| reads.iter().copied())
+            .collect();
+        for &(_, out) in &gates {
+            if !observed.contains(&out) {
+                sim.mark_external_output(out);
+            }
+        }
+        Fixture { sim, inputs, gates }
+    }
+}
+
+#[test]
+fn random_loop_free_netlists_are_clean_and_levelize_fully() {
+    cases(
+        "random_loop_free_netlists_are_clean_and_levelize_fully",
+        |g| {
+            let fx = netgen::loop_free(g);
+            let net = fx.sim.netlist();
+            let diags = castanet_lint::passes::rtl_structure::check_netlist(&net);
+            assert!(diags.is_empty(), "loop-free DAG flagged: {diags:?}");
+            let lev = net.levelize().expect("loop-free netlists must levelize");
+            assert_eq!(
+                lev.combinational_count(),
+                fx.gates.len(),
+                "every gate placed in the schedule"
+            );
+            assert!(lev.opaque.is_empty());
+            let report = castanet_lint::passes::rtl_structure::levelization_report(&net)
+                .expect("report on a DAG");
+            assert!((report.coverage() - 1.0).abs() < f64::EPSILON);
+        },
+    );
+}
+
+#[test]
+fn level_order_evaluation_matches_event_kernel_fixpoint() {
+    use castanet_rtl::logic::Logic;
+    use std::collections::HashMap;
+    cases(
+        "level_order_evaluation_matches_event_kernel_fixpoint",
+        |g| {
+            let mut fx = netgen::loop_free(g);
+            let net = fx.sim.netlist();
+            let lev = net.levelize().expect("loop-free");
+
+            // Drive every external input with a random bit and let the event
+            // kernel settle through its delta cycles.
+            let mut model: HashMap<castanet_rtl::signal::SignalId, bool> = HashMap::new();
+            for &input in &fx.inputs {
+                let v = g.bool();
+                model.insert(input, v);
+                fx.sim
+                    .poke_bit(
+                        input,
+                        if v { Logic::One } else { Logic::Zero },
+                        SimTime::ZERO,
+                    )
+                    .expect("poke");
+            }
+            fx.sim.run_to_quiescence().expect("settle");
+
+            // Reference: one single pass in level order — no iteration, no
+            // events. On a correctly levelized DAG this reaches the same
+            // fixpoint the kernel converges to.
+            for level in &lev.levels {
+                for &p in level {
+                    let io = net.processes[p.index()].io.clone().expect("declared gate");
+                    let value = io.reads.iter().fold(false, |acc, s| acc ^ model[s]);
+                    model.insert(io.writes[0], value);
+                }
+            }
+            for &(_, out) in &fx.gates {
+                assert_eq!(
+                    fx.sim.read_bit(out) == Logic::One,
+                    model[&out],
+                    "event kernel and levelized schedule disagree on {out}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn seeded_back_edge_trips_cast100_and_breaks_levelization() {
+    use netgen::XorGate;
+    cases(
+        "seeded_back_edge_trips_cast100_and_breaks_levelization",
+        |g| {
+            let mut fx = netgen::loop_free(g);
+            // Close a cycle: a new gate feeds some gate's output back into one
+            // of the signals that gate reads.
+            let (reads, out) = fx.gates[g.range_usize(0, fx.gates.len())].clone();
+            let back_into = reads[g.range_usize(0, reads.len())];
+            fx.sim.add_process(
+                Box::new(XorGate {
+                    name: "back_edge".into(),
+                    reads: vec![out],
+                    out: back_into,
+                }),
+                &[out],
+            );
+            let net = fx.sim.netlist();
+            let diags = castanet_lint::passes::rtl_structure::check_netlist(&net);
+            assert!(
+                diags.iter().any(|d| d.code == "CAST100"),
+                "back edge not reported: {diags:?}"
+            );
+            let loops = castanet_lint::passes::rtl_structure::levelization_report(&net)
+                .expect_err("a cyclic netlist must not levelize");
+            assert!(loops.iter().all(|d| d.code == "CAST100"));
+        },
+    );
+}
+
+#[test]
+fn seeded_second_driver_trips_cast110() {
+    use netgen::XorGate;
+    cases("seeded_second_driver_trips_cast110", |g| {
+        let mut fx = netgen::loop_free(g);
+        let (_, victim) = fx.gates[g.range_usize(0, fx.gates.len())];
+        let input = fx.inputs[g.range_usize(0, fx.inputs.len())];
+        fx.sim.add_process(
+            Box::new(XorGate {
+                name: "rogue_driver".into(),
+                reads: vec![input],
+                out: victim,
+            }),
+            &[input],
+        );
+        let diags = castanet_lint::passes::rtl_structure::check_rtl_structure(&fx.sim);
+        assert!(
+            diags.iter().any(|d| d.code == "CAST110"),
+            "double driver not reported: {diags:?}"
+        );
+    });
+}
+
+#[test]
+fn seeded_pruned_sensitivity_trips_exactly_cast120() {
+    use netgen::XorGate;
+    cases("seeded_pruned_sensitivity_trips_exactly_cast120", |g| {
+        let mut fx = netgen::loop_free(g);
+        // A gate that reads two signals but only registered one of them in
+        // its sensitivity list — the classic stale-output bug.
+        let a = fx.inputs[0];
+        let b = fx.inputs[1];
+        let out = fx.sim.add_signal("pruned_out", 1);
+        fx.sim.mark_external_output(out);
+        fx.sim.add_process(
+            Box::new(XorGate {
+                name: "pruned".into(),
+                reads: vec![a, b],
+                out,
+            }),
+            &[a], // b missing
+        );
+        let diags = castanet_lint::passes::rtl_structure::check_rtl_structure(&fx.sim);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "CAST120");
+        assert!(diags[0].message.contains("in1"), "{}", diags[0].message);
+    });
+}
