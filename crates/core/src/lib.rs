@@ -21,6 +21,8 @@
 //!   the follower's clock always lagging;
 //! * [`cyclecosim`] — the cycle-based follower with idle skipping (the
 //!   paper's §5 conclusion);
+//! * [`compiledcosim`] — the compiled bit-parallel follower: 64 scenario
+//!   lanes behind one bit-sliced pin interface, idle skipping preserved;
 //! * [`hwloop`] — §3.3: hardware in the simulation loop via the test board;
 //! * [`compare`] — Fig. 1's "=?": reference-vs-DUT stream comparison;
 //! * [`traceio`] — dump/replay of test vectors;
@@ -45,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compare;
+pub mod compiledcosim;
 pub mod conformance;
 pub mod convert;
 pub mod coupling;
@@ -63,6 +66,7 @@ pub mod verify;
 
 pub use castanet_obs::Telemetry;
 pub use compare::{ComparisonReport, StreamComparator};
+pub use compiledcosim::CompiledCosim;
 pub use coupling::{CoupledSimulator, Coupling, CouplingStats, RtlCosim};
 pub use cyclecosim::CycleCosim;
 pub use entity::CosimEntity;

@@ -235,6 +235,16 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Error,
         "gated-clock busy line has no driver — the clock parks at elaboration and never starts",
     ),
+    (
+        "CAST150",
+        Severity::Error,
+        "compiled-follower ingress/egress pin index out of range for the lane bank's port list",
+    ),
+    (
+        "CAST151",
+        Severity::Error,
+        "compiled-follower pin is narrower than its line role requires (8-bit data, 1-bit strobes)",
+    ),
 ];
 
 /// Looks up the registered severity and summary of `code`.

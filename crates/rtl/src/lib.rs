@@ -10,6 +10,10 @@
 //! * [`cycle`] — the cycle-based engine the paper's conclusion calls for,
 //!   sharing DUTs with the event-driven kernel via
 //!   [`cycle::attach_cycle_dut`];
+//! * [`compiled`] — the compiled bit-parallel backend: the levelized
+//!   netlist lowered to word-level ops over bit-sliced state, 64 scenario
+//!   lanes per instruction, plus the [`compiled::LaneBank`] batching
+//!   fallback for behavioral DUTs;
 //! * [`comp`] — a library of RTL building blocks (flip-flops, counters,
 //!   FIFOs) written as event-driven processes;
 //! * [`netlist`] — netlist introspection: the signal→process→signal
@@ -50,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod comp;
+pub mod compiled;
 pub mod cycle;
 pub mod dut;
 pub mod error;
@@ -63,6 +68,7 @@ pub mod vector;
 pub mod wave;
 pub mod wheel;
 
+pub use compiled::{CompileError, CompiledSchedule, CompiledSim, LaneBank, PackedBit, LANES};
 pub use cycle::{CycleDut, CycleSim, PortDecl};
 pub use error::RtlError;
 pub use logic::Logic;

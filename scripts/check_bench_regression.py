@@ -2,16 +2,26 @@
 """Bench regression guard: compare fresh BENCH_*.json files against baselines.
 
 Usage:
-    check_bench_regression.py BASELINE CURRENT [--threshold 0.20] [--rows PREFIX,...]
+    check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
+                              [--rows PREFIX,...] [--require GROUP,...]
 
 BASELINE and CURRENT are either two JSON files or two directories. In
 directory mode every committed `BENCH_*.json` under BASELINE is paired
 with the same filename under CURRENT and all pairs are checked; a
 baseline group missing from CURRENT is an error (the CI matrix lost
-coverage, which is exactly what this guard exists to catch).
+coverage, which is exactly what this guard exists to catch). --require
+lists group names that must be present in BOTH trees regardless of mode,
+so deleting a committed baseline cannot silently retire its guard.
 
 Each file is the shape the criterion harness emits with BENCH_JSON_DIR
-set: {"group": ..., "results": [{"name": ..., "events_per_sec": ...}]}.
+set: {"group": ..., "results": [{"name": ..., "events_per_sec": ...,
+"speedup_vs_serial": ...}]}. The `speedup_vs_serial` column only exists
+for rows in groups that carry a `serial*`-prefixed baseline row, and
+older captures predate the column entirely — so it is normalized here:
+when absent it is recomputed from `median_ns_per_iter` against the
+group's matching `serial*` row (the same rule the harness uses), and
+both modes print it the same way. Regression verdicts are based on
+events/sec only; speedup is reported for context.
 
 Every result row whose name starts with one of the --rows prefixes
 (comma-separated; the default guards every row) must reach at least
@@ -28,29 +38,62 @@ import os
 import sys
 
 
-def load_rows(path):
+def serial_baseline_ns(rows, name):
+    """The group's serial reference for `name`: the first `serial*` row
+    sharing `name`'s `/param` suffix — the rule the criterion harness
+    uses when it emits the column at capture time."""
+    param = name.split("/", 1)[1] if "/" in name else None
+    for other, row in rows:
+        other_param = other.split("/", 1)[1] if "/" in other else None
+        if other.startswith("serial") and other_param == param:
+            median = row.get("median_ns_per_iter")
+            if isinstance(median, (int, float)) and median > 0:
+                return float(median)
+    return None
+
+
+def load_doc(path):
+    """Parses one BENCH_*.json into (group, {name: (rate, speedup)}).
+
+    `speedup` is normalized: the emitted `speedup_vs_serial` when the
+    capture has it, recomputed from the medians when it predates the
+    column, None when the group has no serial reference at all.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
+    group = doc.get("group")
+    raw = [
+        (row.get("name"), row)
+        for row in doc.get("results", [])
+        if isinstance(row.get("name"), str)
+    ]
     rows = {}
-    for row in doc.get("results", []):
-        name = row.get("name")
+    for name, row in raw:
         rate = row.get("events_per_sec")
-        if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
-            rows[name] = float(rate)
+        if not (isinstance(rate, (int, float)) and rate > 0):
+            continue
+        speedup = row.get("speedup_vs_serial")
+        if not isinstance(speedup, (int, float)):
+            speedup = None
+            base = serial_baseline_ns(raw, name)
+            median = row.get("median_ns_per_iter")
+            if base and isinstance(median, (int, float)) and median > 0:
+                speedup = base / float(median)
+        rows[name] = (float(rate), speedup)
     if not rows:
         print(f"error: no usable result rows in {path}", file=sys.stderr)
         sys.exit(2)
-    return rows
+    return group, rows
 
 
 def check_pair(baseline_path, current_path, threshold, prefixes):
-    """Compares one baseline/current file pair; returns (guarded, failed)."""
-    baseline = load_rows(baseline_path)
-    current = load_rows(current_path)
+    """Compares one baseline/current file pair; returns (groups, guarded, failed)."""
+    base_group, baseline = load_doc(baseline_path)
+    cur_group, current = load_doc(current_path)
     label = os.path.basename(baseline_path)
 
     guarded = 0
@@ -62,17 +105,22 @@ def check_pair(baseline_path, current_path, threshold, prefixes):
             print(f"note: [{label}] {name} missing from current run, skipped")
             continue
         guarded += 1
-        base, cur = baseline[name], current[name]
+        (base, base_speedup) = baseline[name]
+        (cur, cur_speedup) = current[name]
         floor = base * (1.0 - threshold)
         ratio = cur / base
         verdict = "OK" if cur >= floor else "REGRESSION"
+        speedup = ""
+        if base_speedup is not None and cur_speedup is not None:
+            speedup = f", speedup x{cur_speedup:.2f} vs x{base_speedup:.2f}"
         print(
             f"{verdict:<10} [{label}] {name}: {cur:,.1f} ev/s vs baseline "
-            f"{base:,.1f} ({ratio:.2%}, floor {floor:,.1f})"
+            f"{base:,.1f} ({ratio:.2%}, floor {floor:,.1f}{speedup})"
         )
         if cur < floor:
             failed.append(f"{label}:{name}")
-    return guarded, failed
+    groups = {g for g in (base_group, cur_group) if isinstance(g, str)}
+    return groups, guarded, failed
 
 
 def pair_directories(baseline_dir, current_dir):
@@ -114,12 +162,19 @@ def main():
         default="",
         help="comma-separated row-name prefixes to guard (default: every row)",
     )
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated group names that must be present in both "
+        "trees (a dropped group fails even if its baseline was deleted)",
+    )
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         print("error: --threshold must be in (0, 1)", file=sys.stderr)
         sys.exit(2)
 
     prefixes = [p.strip() for p in args.rows.split(",") if p.strip()] or [""]
+    required = {g.strip() for g in args.require.split(",") if g.strip()}
 
     if os.path.isdir(args.baseline) != os.path.isdir(args.current):
         print(
@@ -128,17 +183,37 @@ def main():
         )
         sys.exit(2)
     if os.path.isdir(args.baseline):
+        for group in sorted(required):
+            for tree in (args.baseline, args.current):
+                path = os.path.join(tree, f"BENCH_{group}.json")
+                if not os.path.isfile(path):
+                    print(
+                        f"error: required group {group} missing from {tree} "
+                        f"(expected {path})",
+                        file=sys.stderr,
+                    )
+                    sys.exit(2)
         pairs = pair_directories(args.baseline, args.current)
     else:
         pairs = [(args.baseline, args.current)]
 
+    seen_groups = set()
     guarded = 0
     failed = []
     for baseline_path, current_path in pairs:
-        g, f = check_pair(baseline_path, current_path, args.threshold, prefixes)
+        groups, g, f = check_pair(baseline_path, current_path, args.threshold, prefixes)
+        seen_groups |= groups
         guarded += g
         failed.extend(f)
 
+    missing = required - seen_groups
+    if missing:
+        print(
+            f"error: required group(s) not covered by any checked file: "
+            f"{', '.join(sorted(missing))}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
     if guarded == 0:
         print(
             f"error: no baseline rows matched prefixes {prefixes}",

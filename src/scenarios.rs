@@ -384,6 +384,163 @@ pub fn switch_cosim_parallel(config: SwitchScenarioConfig) -> SwitchCosimParalle
     }
 }
 
+/// The compiled bit-parallel follower shared by the compiled co-simulation
+/// variant and the multi-lane scenario sweep: `lanes` replicated switch
+/// instances behind one bit-sliced pin interface (see
+/// [`castanet_rtl::compiled::LaneBank`]), with the same per-line pin layout
+/// as [`switch_cycle_follower`] replicated into every lane.
+fn switch_compiled_follower(
+    config: &SwitchScenarioConfig,
+    cell_type: MessageTypeId,
+    lanes: usize,
+) -> castanet::CompiledCosim {
+    use castanet::cyclecosim::{EgressIndices, IngressIndices};
+    use castanet_rtl::compiled::LaneBank;
+    use castanet_rtl::cycle::CycleDut;
+    let duts: Vec<Box<dyn CycleDut>> = (0..lanes)
+        .map(|_| Box::new(config.rtl_switch()) as Box<dyn CycleDut>)
+        .collect();
+    let mut follower = castanet::CompiledCosim::new(
+        LaneBank::new(duts),
+        config.clock_period,
+        cell_type,
+        HeaderFormat::Uni,
+    );
+    for i in 0..config.ports {
+        follower.add_ingress(IngressIndices {
+            data: 3 * i,
+            sync: 3 * i + 1,
+            enable: 3 * i + 2,
+        });
+    }
+    for i in 0..config.ports {
+        follower.add_egress(EgressIndices {
+            data: 3 * i,
+            sync: 3 * i + 1,
+            valid: 3 * i + 2,
+        });
+    }
+    follower
+}
+
+/// The compiled-backend variant of [`switch_cosim`]: the same network model
+/// and workload, with the compiled bit-parallel follower carrying the
+/// coupled traffic on lane 0.
+pub struct SwitchCosimCompiled {
+    /// The coupled simulation, ready to run.
+    pub coupling: Coupling<castanet::CompiledCosim>,
+    /// Cells returned on each egress line.
+    pub collectors: Vec<CollectorHandle>,
+    /// The configuration it was built from.
+    pub config: SwitchScenarioConfig,
+}
+
+impl std::fmt::Debug for SwitchCosimCompiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchCosimCompiled")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl SwitchCosimCompiled {
+    /// Attaches a telemetry handle to every layer of the coupling.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &castanet::Telemetry) -> Self {
+        self.coupling = self.coupling.with_telemetry(tel);
+        self
+    }
+}
+
+/// Builds the compiled-backend co-simulation (see [`SwitchCosimCompiled`]).
+/// `lanes` instances run per sweep; network traffic drives lane 0 only —
+/// seed the others through
+/// [`castanet::CompiledCosim::seed_cell`] (or use
+/// [`switch_compiled_sweep`]).
+#[must_use]
+pub fn switch_cosim_compiled(config: SwitchScenarioConfig, lanes: usize) -> SwitchCosimCompiled {
+    let SwitchNet {
+        net,
+        sync,
+        cell_type,
+        iface,
+        outbox,
+        collectors,
+    } = switch_net(&config);
+    let follower = switch_compiled_follower(&config, cell_type, lanes);
+    SwitchCosimCompiled {
+        coupling: Coupling::new(net, follower, sync, cell_type, iface, outbox).with_strict(true),
+        collectors,
+        config,
+    }
+}
+
+/// xorshift64* — the deterministic per-seed stream generator of the sweep
+/// (and of the conformance suite's seeded traffic).
+fn sweep_rng(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Runs an N-seed scenario sweep on the compiled backend: seed `i`'s
+/// deterministic traffic lands in lane `i`, one batched advance evaluates
+/// every lane together, and each lane's egress trace comes back
+/// (egress-port-major, emission order within a port).
+///
+/// Traffic per lane: `cells_per_source` cells on every ingress line, cell
+/// `k` of line `p` at `k·cell_gap` plus a seed-derived jitter, payload
+/// drawn from the same seed stream — so equal seeds produce byte-identical
+/// traces and distinct seeds genuinely distinct ones.
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty or exceeds
+/// [`castanet_rtl::compiled::LANES`], and on cell-encode failures (static
+/// headers cannot fail).
+#[must_use]
+pub fn switch_compiled_sweep(config: &SwitchScenarioConfig, seeds: &[u64]) -> Vec<Vec<AtmCell>> {
+    use castanet::coupling::CoupledSimulator;
+    assert!(
+        !seeds.is_empty() && seeds.len() <= castanet_rtl::compiled::LANES,
+        "1..={} seeds per sweep",
+        castanet_rtl::compiled::LANES
+    );
+    let mut follower = switch_compiled_follower(config, MessageTypeId(0), seeds.len());
+    let gap = config.cell_gap.as_picos();
+    for (lane, &seed) in seeds.iter().enumerate() {
+        let mut state = seed | 1;
+        for port in 0..config.ports {
+            for k in 0..config.cells_per_source {
+                let jitter = sweep_rng(&mut state) % (gap / 2).max(1);
+                let mut payload = [0u8; 48];
+                for b in &mut payload {
+                    *b = (sweep_rng(&mut state) & 0xFF) as u8;
+                }
+                let cell = AtmCell::user_data(config.in_conn(port), payload);
+                let stamp = SimTime::from_picos(k * gap + jitter);
+                follower
+                    .seed_cell(lane, port, stamp, &cell)
+                    .expect("static sweep cell");
+            }
+        }
+    }
+    let horizon = SimTime::from_picos((config.cells_per_source + 4) * gap);
+    follower
+        .advance_batch(horizon)
+        .expect("compiled sweep advance");
+    (0..seeds.len())
+        .map(|lane| {
+            (0..config.ports)
+                .flat_map(|port| follower.lane_cells(port, lane).iter().cloned())
+                .collect()
+        })
+        .collect()
+}
+
 /// Builds the pure-RTL baseline of E1: the same switch, but with stimulus
 /// generation and response capture done *inside* the event-driven HDL
 /// simulation (the hand-written regression bench of §1), driving every
@@ -859,6 +1016,48 @@ mod tests {
         assert_eq!(report.matched, 80);
         // Idle skipping actually fired.
         assert!(coupling.follower().clocks_skipped() > 0);
+    }
+
+    #[test]
+    fn compiled_cosim_matches_reference_too() {
+        let scenario = switch_cosim_compiled(small(), 4);
+        let mut coupling = scenario.coupling;
+        coupling.run(SimTime::from_ms(10)).unwrap();
+        let report = compare_switch_output(&scenario.config, &scenario.collectors);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.matched, 80);
+        // Bank-wide idle skipping actually fired, and only lane 0 carried
+        // the coupled traffic.
+        let follower = coupling.follower();
+        assert!(follower.clocks_skipped() > 0);
+        for port in 0..scenario.config.ports {
+            assert!(follower.lane_cells(port, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn compiled_sweep_is_seed_deterministic_and_lane_independent() {
+        let config = SwitchScenarioConfig {
+            cells_per_source: 6,
+            mixed_traffic: false,
+            ..SwitchScenarioConfig::default()
+        };
+        let traces = switch_compiled_sweep(&config, &[11, 22, 11, 33]);
+        assert_eq!(traces.len(), 4);
+        for (lane, trace) in traces.iter().enumerate() {
+            assert_eq!(
+                trace.len() as u64,
+                config.total_cells(),
+                "lane {lane} delivered everything"
+            );
+        }
+        assert_eq!(traces[0], traces[2], "equal seeds, equal traces");
+        assert_ne!(traces[0], traces[1], "distinct seeds diverge");
+        // Permuting the seed list permutes the traces (no cross-lane bleed).
+        let permuted = switch_compiled_sweep(&config, &[33, 11, 22, 11]);
+        assert_eq!(permuted[0], traces[3]);
+        assert_eq!(permuted[1], traces[0]);
+        assert_eq!(permuted[2], traces[1]);
     }
 
     #[test]

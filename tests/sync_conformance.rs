@@ -10,24 +10,36 @@
 //! never change *what* the coupled DUT computes. The trace compared here is
 //! the wire encoding of every egress cell in arrival order; timestamps are
 //! deliberately excluded — schedules may differ, contents may not.
+//!
+//! The same discipline applies across *backends*: the event-driven kernel,
+//! the cycle engine and the compiled bit-parallel backend are three
+//! from-scratch evaluators of one DUT semantics, so the stock-switch
+//! scenario must produce byte-identical egress from identical traffic on
+//! all three — including through the gated-clock idle-skip fast path,
+//! whose evaluated/skipped telemetry counters must agree between the
+//! cycle-based and compiled followers exactly.
 
 use castanet::compare::StreamComparator;
 use castanet::convert::ByteStreamAssembler;
-use castanet::coupling::{CoupledSimulator, Coupling};
+use castanet::coupling::{CoupledSimulator, Coupling, RtlCosim};
 use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
+use castanet::entity::{CosimEntity, EgressSignals, IngressSignals};
 use castanet::interface::{response_packet, CastanetInterfaceProcess};
 use castanet::message::{Message, MessageTypeId};
 use castanet::sync::lockstep::Side;
 use castanet::sync::optimistic::{TimedEvent, TimedOutput};
 use castanet::sync::{ConservativeSync, LockstepSync, OptimisticSync};
+use castanet::{CompiledCosim, Telemetry};
 use castanet_atm::addr::{HeaderFormat, VpiVci};
 use castanet_atm::cell::AtmCell;
 use castanet_netsim::event::PortId;
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::process::{CollectorHandle, CollectorProcess};
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_rtl::cycle::{CycleDut, CycleSim};
+use castanet_rtl::compiled::LaneBank;
+use castanet_rtl::cycle::{attach_cycle_dut_gated, CycleDut, CycleSim};
 use castanet_rtl::dut::{AtmSwitchRtl, SwitchRtlConfig};
+use castanet_rtl::sim::Simulator;
 
 const SEED: u64 = 0xDA7E_1998;
 const CLK: SimDuration = SimDuration::from_ns(20);
@@ -115,10 +127,73 @@ fn fresh_follower(cell_type: MessageTypeId) -> CycleCosim {
     follower
 }
 
+/// The event-driven follower on the identical DUT: the switch behind the
+/// gated-clock cycle bridge inside the event kernel, coupled through the
+/// co-simulation entity — the third backend of the conformance matrix.
+fn fresh_event_follower(cell_type: MessageTypeId) -> RtlCosim {
+    let mut sim = Simulator::new();
+    let dut = attach_cycle_dut_gated(&mut sim, "switch", Box::new(routed_switch()), CLK);
+    let clk = dut.clk;
+    let mut entity = CosimEntity::new(CLK, HeaderFormat::Uni, cell_type);
+    for i in 0..2 {
+        entity.add_ingress(IngressSignals {
+            data: dut.inputs[3 * i],
+            sync: dut.inputs[3 * i + 1],
+            enable: dut.inputs[3 * i + 2],
+        });
+    }
+    for i in 0..2 {
+        entity.add_egress(
+            &mut sim,
+            clk,
+            EgressSignals {
+                data: dut.outputs[3 * i],
+                sync: dut.outputs[3 * i + 1],
+                valid: dut.outputs[3 * i + 2],
+            },
+        );
+    }
+    RtlCosim::new(sim, entity)
+}
+
+/// The compiled bit-parallel follower on the identical DUT: `lanes`
+/// replicated switches behind one bit-sliced pin interface; lane 0 carries
+/// the coupled traffic.
+fn fresh_compiled_follower(cell_type: MessageTypeId, lanes: usize) -> CompiledCosim {
+    let duts: Vec<Box<dyn CycleDut>> = (0..lanes)
+        .map(|_| Box::new(routed_switch()) as Box<dyn CycleDut>)
+        .collect();
+    let mut follower = CompiledCosim::new(LaneBank::new(duts), CLK, cell_type, HeaderFormat::Uni);
+    follower.add_ingress(IngressIndices {
+        data: 0,
+        sync: 1,
+        enable: 2,
+    });
+    follower.add_ingress(IngressIndices {
+        data: 3,
+        sync: 4,
+        enable: 5,
+    });
+    follower.add_egress(EgressIndices {
+        data: 0,
+        sync: 1,
+        valid: 2,
+    });
+    follower.add_egress(EgressIndices {
+        data: 3,
+        sync: 4,
+        valid: 5,
+    });
+    follower
+}
+
 /// Kernel fixture for the coupled executors: the seeded stimulus is
 /// pre-scheduled as arrivals at the interface node, responses flow out to
-/// a collector sink.
-fn coupled(stims: &[(SimTime, AtmCell)]) -> (Coupling<CycleCosim>, CollectorHandle) {
+/// a collector sink. Generic over the follower backend.
+fn coupled_with<F: CoupledSimulator>(
+    stims: &[(SimTime, AtmCell)],
+    make_follower: impl FnOnce(MessageTypeId) -> F,
+) -> (Coupling<F>, CollectorHandle) {
     let mut net = Kernel::new(SEED);
     let node = net.add_node("conformance");
     let mut sync = ConservativeSync::new();
@@ -133,11 +208,36 @@ fn coupled(stims: &[(SimTime, AtmCell)]) -> (Coupling<CycleCosim>, CollectorHand
         net.inject_packet(iface, PortId(0), response_packet(cell.clone()), *at)
             .unwrap();
     }
-    let follower = fresh_follower(cell_type);
+    let follower = make_follower(cell_type);
     (
         Coupling::new(net, follower, sync, cell_type, iface, outbox),
         got,
     )
+}
+
+fn coupled(stims: &[(SimTime, AtmCell)]) -> (Coupling<CycleCosim>, CollectorHandle) {
+    coupled_with(stims, fresh_follower)
+}
+
+/// Runs one backend under the conservative coupling with telemetry
+/// attached and returns its trace plus the follower's
+/// evaluated/skipped clock gauges (absent for backends that do not
+/// publish them).
+fn run_backend<F: CoupledSimulator>(
+    stims: &[(SimTime, AtmCell)],
+    horizon: SimTime,
+    make_follower: impl FnOnce(MessageTypeId) -> F,
+) -> (Vec<AtmCell>, Option<(u64, u64)>) {
+    let tel = Telemetry::enabled();
+    let (coupling, got) = coupled_with(stims, make_follower);
+    let mut coupling = coupling.with_telemetry(&tel);
+    coupling.run(horizon).expect("backend run");
+    assert!(coupling.sync().lag_invariant_holds());
+    let snapshot = tel.metrics_snapshot();
+    let counters = snapshot
+        .gauge("follower.clocks_evaluated")
+        .zip(snapshot.gauge("follower.clocks_skipped"));
+    (collected_cells(&got), counters)
 }
 
 fn collected_cells(got: &CollectorHandle) -> Vec<AtmCell> {
@@ -335,6 +435,73 @@ fn four_executors_produce_byte_identical_traces() {
         trace_bytes(&optimistic),
         reference,
         "optimistic vs conservative"
+    );
+}
+
+#[test]
+fn three_backends_produce_byte_identical_traces() {
+    let stims = seeded_traffic(SEED);
+    let horizon = SimTime::from_ms(1);
+
+    let (cycle, cycle_counters) = run_backend(&stims, horizon, fresh_follower);
+    let (compiled, compiled_counters) =
+        run_backend(&stims, horizon, |t| fresh_compiled_follower(t, 64));
+    let (event, _) = run_backend(&stims, horizon, fresh_event_follower);
+
+    assert_eq!(cycle.len(), CELLS, "cycle trace length");
+    assert_conforms(&stims, &cycle, "cycle-based");
+    assert_conforms(&stims, &compiled, "compiled");
+    assert_conforms(&stims, &event, "event-driven");
+
+    let reference = trace_bytes(&cycle);
+    assert_eq!(trace_bytes(&compiled), reference, "compiled vs cycle");
+    assert_eq!(trace_bytes(&event), reference, "event-driven vs cycle");
+
+    // The compiled backend replays the cycle engine's clock discipline
+    // exactly: same clocks evaluated, same clocks skipped by the idle
+    // fast path — even with 63 extra (quiet) lanes in the bank.
+    let cycle_counters = cycle_counters.expect("cycle follower publishes clock gauges");
+    let compiled_counters = compiled_counters.expect("compiled follower publishes clock gauges");
+    assert_eq!(compiled_counters, cycle_counters, "evaluated/skipped drift");
+    assert!(cycle_counters.1 > 0, "idle skipping never fired");
+}
+
+#[test]
+fn gated_idle_skip_path_is_conformant_across_backends() {
+    // Two bursts separated by a long quiet stretch: the cycle and
+    // compiled followers must *skip* the gap (not evaluate it), the
+    // event-driven follower parks its gated clock across it, and all
+    // three still produce the same bytes.
+    let mut stims = seeded_traffic(SEED ^ 0xD1E5);
+    let gap = SimDuration::from_us(700);
+    let n = stims.len();
+    for (at, _) in &mut stims[n / 2..] {
+        *at += gap;
+    }
+    let horizon = SimTime::from_ms(2);
+
+    let (cycle, cycle_counters) = run_backend(&stims, horizon, fresh_follower);
+    let (compiled, compiled_counters) =
+        run_backend(&stims, horizon, |t| fresh_compiled_follower(t, 8));
+    let (event, _) = run_backend(&stims, horizon, fresh_event_follower);
+
+    assert_conforms(&stims, &cycle, "cycle-based (gated)");
+    let reference = trace_bytes(&cycle);
+    assert_eq!(trace_bytes(&compiled), reference, "compiled vs cycle");
+    assert_eq!(trace_bytes(&event), reference, "event-driven vs cycle");
+
+    let (cycle_eval, cycle_skip) = cycle_counters.expect("cycle clock gauges");
+    assert_eq!(
+        compiled_counters.expect("compiled clock gauges"),
+        (cycle_eval, cycle_skip),
+        "gated-skip counter drift"
+    );
+    // The 700 us hole alone is 35 000 clocks — the fast path must have
+    // swallowed it rather than ticking through it.
+    assert!(cycle_skip > 30_000, "skipped only {cycle_skip} clocks");
+    assert!(
+        cycle_eval < cycle_skip / 4,
+        "evaluated {cycle_eval} vs skipped {cycle_skip}: idle skip barely fired"
     );
 }
 
