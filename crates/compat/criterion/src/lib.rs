@@ -4,7 +4,9 @@
 //! vendors the slice of the criterion 0.8 API the `castanet-bench` harnesses
 //! use: `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
 //! group configuration (`sample_size`, `throughput`), `bench_function` /
-//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and [`Throughput`].
+//! `bench_with_input`, [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`Bencher::iter_custom`], [`BenchmarkId`], [`BatchSize`], and
+//! [`Throughput`].
 //!
 //! Measurement is deliberately simple — median of `sample_size` timed samples
 //! after an adaptive calibration pass — because these numbers are read as
@@ -12,9 +14,9 @@
 //!
 //! When the `BENCH_JSON_DIR` environment variable names a directory, every
 //! group additionally writes a machine-readable `BENCH_<group>.json` there
-//! on `finish()`: per-benchmark median wall time, the declared throughput
-//! rate, and a `speedup_vs_serial` column computed against the group's
-//! matching `serial*` baselines.
+//! on `finish()`: per-benchmark median and minimum wall time, the declared
+//! throughput rate, and a `speedup_vs_serial` column computed against the
+//! group's matching `serial*` baselines.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +31,20 @@ pub enum Throughput {
     Elements(u64),
     /// The iteration processes this many bytes.
     Bytes(u64),
+}
+
+/// How much setup state [`Bencher::iter_batched`] may build per batch.
+///
+/// The shim always runs one setup per timed iteration, so the variants are
+/// accepted for API compatibility but do not change measurement.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is small; batching freely is fine.
+    SmallInput,
+    /// Setup output is large; batch conservatively.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
 }
 
 /// Identifier combining a function name with a parameter value.
@@ -87,6 +103,46 @@ impl Bencher {
         }
     }
 
+    /// Times `routine` while excluding per-iteration `setup` and teardown.
+    ///
+    /// Each iteration runs `setup` and drops the routine's output *outside*
+    /// the timed window, so one-time costs (building a scenario, allocating
+    /// telemetry arenas, freeing them) do not pollute a measurement that is
+    /// meant to price the steady-state work — the semantics of criterion's
+    /// `iter_batched`. The `size` hint is accepted for API compatibility.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = size;
+        let mut timed_pass = |iters: u64| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                let output = routine(input);
+                total += start.elapsed();
+                drop(black_box(output));
+            }
+            total
+        };
+        // Calibrate on the timed portion alone, mirroring `iter`.
+        let mut iters: u64 = 1;
+        loop {
+            let took = timed_pass(iters);
+            if took >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.elapsed.clear();
+        for _ in 0..self.samples {
+            self.elapsed.push(timed_pass(iters));
+        }
+    }
+
     fn median_ns_per_iter(&self) -> f64 {
         if self.elapsed.is_empty() || self.iters_per_sample == 0 {
             return 0.0;
@@ -95,6 +151,35 @@ impl Bencher {
         ns.sort_unstable();
         ns[ns.len() / 2] as f64 / self.iters_per_sample as f64
     }
+
+    /// Collects samples timed by the routine itself: each call receives an
+    /// iteration count and returns the wall time those iterations took —
+    /// criterion's `iter_custom`. The shim requests one iteration per
+    /// sample. This is the escape hatch for benchmarks whose timing
+    /// discipline the harness cannot express, e.g. comparing variants on
+    /// samples interleaved within the same machine-state window instead of
+    /// row-by-row.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.iters_per_sample = 1;
+        self.elapsed.clear();
+        for _ in 0..self.samples {
+            self.elapsed.push(routine(1));
+        }
+    }
+
+    /// The fastest sample — the distribution's floor, immune to slow
+    /// outliers. Emitted alongside the median as a secondary statistic
+    /// for readers judging how noisy a capture was.
+    fn min_ns_per_iter(&self) -> f64 {
+        if self.iters_per_sample == 0 {
+            return 0.0;
+        }
+        self.elapsed
+            .iter()
+            .map(Duration::as_nanos)
+            .min()
+            .map_or(0.0, |ns| ns as f64 / self.iters_per_sample as f64)
+    }
 }
 
 /// One finished measurement, retained for machine-readable reporting.
@@ -102,6 +187,7 @@ impl Bencher {
 struct BenchResult {
     id: String,
     median_ns_per_iter: f64,
+    min_ns_per_iter: f64,
     /// Logical elements processed per second, when the group declared an
     /// element throughput.
     events_per_sec: Option<f64>,
@@ -138,7 +224,7 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            samples: self.sample_size.min(20),
+            samples: self.sample_size.min(60),
             elapsed: Vec::new(),
             iters_per_sample: 0,
         };
@@ -154,7 +240,7 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher, &I),
     {
         let mut bencher = Bencher {
-            samples: self.sample_size.min(20),
+            samples: self.sample_size.min(60),
             elapsed: Vec::new(),
             iters_per_sample: 0,
         };
@@ -190,6 +276,7 @@ impl BenchmarkGroup {
         self.results.push(BenchResult {
             id: id.to_string(),
             median_ns_per_iter: ns,
+            min_ns_per_iter: bencher.min_ns_per_iter(),
             events_per_sec,
             bytes_per_sec,
         });
@@ -229,6 +316,7 @@ impl BenchmarkGroup {
             let mut fields = vec![
                 format!("\"name\": \"{}\"", r.id),
                 format!("\"median_ns_per_iter\": {:.1}", r.median_ns_per_iter),
+                format!("\"min_ns_per_iter\": {:.1}", r.min_ns_per_iter),
             ];
             if let Some(v) = r.events_per_sec {
                 fields.push(format!("\"events_per_sec\": {v:.1}"));
@@ -324,6 +412,31 @@ mod tests {
     }
 
     #[test]
+    fn iter_batched_runs_setup_per_iteration_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(3);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_function("paired", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 16]
+                },
+                |input| {
+                    runs += 1;
+                    input.iter().sum::<u64>()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.json_written = true; // suppress the Drop-time report
+        assert!(runs > 0, "batched routine should have executed");
+        assert_eq!(setups, runs, "exactly one setup per timed iteration");
+    }
+
+    #[test]
     fn benchmark_id_formats_as_name_slash_param() {
         assert_eq!(BenchmarkId::new("engine", 64).to_string(), "engine/64");
     }
@@ -336,12 +449,14 @@ mod tests {
             BenchResult {
                 id: "serial_event_driven/100".into(),
                 median_ns_per_iter: 200.0,
+                min_ns_per_iter: 190.0,
                 events_per_sec: None,
                 bytes_per_sec: None,
             },
             BenchResult {
                 id: "serial_event_driven/400".into(),
                 median_ns_per_iter: 800.0,
+                min_ns_per_iter: 780.0,
                 events_per_sec: None,
                 bytes_per_sec: None,
             },

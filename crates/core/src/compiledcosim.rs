@@ -27,7 +27,7 @@ use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::HeaderFormat;
 use castanet_atm::cell::{AtmCell, CELL_OCTETS};
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_obs::{Gauge, Telemetry};
+use castanet_obs::{Counter, Gauge, Phase, Telemetry, Track};
 use castanet_rtl::compiled::LaneBank;
 use std::collections::VecDeque;
 
@@ -64,6 +64,19 @@ pub struct CompiledCosim {
     undecodable: u64,
     obs_evaluated: Gauge,
     obs_skipped: Gauge,
+    /// `compiled.fallback_evals` — behavioral `LaneBank` clock edges.
+    obs_fallback_evals: Counter,
+    /// `compiled.lanes_active` — lanes with stimulus pending at the last
+    /// sweep (the coupled lane counts while the run is live).
+    obs_lanes_active: Gauge,
+    /// `compiled.queue_depth` — deepest per-lane stimulus queue at the
+    /// last sweep (the compiled analogue of `rtl.queue_depth`).
+    obs_queue_depth: Gauge,
+    /// `compiled.idle_skips` — bank-wide idle jumps taken (the compiled
+    /// analogue of `rtl.wheel_cascade`: both count O(1) time leaps).
+    obs_idle_skips: Counter,
+    /// Telemetry handle for the sampled pack/eval/unpack micro-phases.
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for CompiledCosim {
@@ -101,6 +114,11 @@ impl CompiledCosim {
             undecodable: 0,
             obs_evaluated: Gauge::default(),
             obs_skipped: Gauge::default(),
+            obs_fallback_evals: Counter::default(),
+            obs_lanes_active: Gauge::default(),
+            obs_queue_depth: Gauge::default(),
+            obs_idle_skips: Counter::default(),
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -228,6 +246,13 @@ impl CompiledCosim {
     }
 
     fn run_clock(&mut self) -> Vec<Message> {
+        // One sampling decision covers the clock's three micro-phases —
+        // pack (scatter stimulus into lane words), the behavioral fallback
+        // evaluation, and unpack (gather egress words) — so a sampled
+        // clock yields one complete pack/eval/unpack triple.
+        let sampled = self.tel.micro_gate();
+        let t_ps = (self.clocks_done + 1) * self.clock_period.as_picos();
+        let mut mark = if sampled { self.tel.now_ns() } else { 0 };
         for lane in 0..self.bank.lanes() {
             match self.stimulus[lane].pop_front().flatten() {
                 Some(v) => self.bank.set_inputs(lane, &v),
@@ -237,7 +262,18 @@ impl CompiledCosim {
                 }
             }
         }
+        if sampled {
+            mark = self
+                .tel
+                .record_phase(Track::Follower, t_ps, Phase::CompiledPack, mark);
+        }
         self.bank.clock_edge();
+        self.obs_fallback_evals.inc();
+        if sampled {
+            mark = self
+                .tel
+                .record_phase(Track::Follower, t_ps, Phase::CompiledFallbackEval, mark);
+        }
         self.clocks_done += 1;
         let stamp = SimTime::from_picos(self.clocks_done * self.clock_period.as_picos());
         let mut responses = Vec::new();
@@ -275,6 +311,14 @@ impl CompiledCosim {
                 }
             }
         }
+        if sampled {
+            self.tel.record_phase(
+                Track::Follower,
+                stamp.as_picos(),
+                Phase::CompiledUnpack,
+                mark,
+            );
+        }
         responses
     }
 
@@ -282,6 +326,16 @@ impl CompiledCosim {
         let period = self.clock_period.as_picos();
         let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
         let mut collected = Vec::new();
+        if self.tel.is_enabled() {
+            self.obs_lanes_active.set(
+                self.stimulus
+                    .iter()
+                    .filter(|q| q.iter().any(Option::is_some))
+                    .count() as u64,
+            );
+            self.obs_queue_depth
+                .set(self.stimulus.iter().map(VecDeque::len).max().unwrap_or(0) as u64);
+        }
         while self.clocks_done < target {
             // Idle skip: every lane's DUT quiescent and no stimulus
             // pending in any lane's window — a clock edge would change
@@ -291,6 +345,7 @@ impl CompiledCosim {
                 match self.next_stimulus_clock() {
                     None => {
                         self.skipped += target - self.clocks_done;
+                        self.obs_idle_skips.inc();
                         for q in &mut self.stimulus {
                             q.clear();
                         }
@@ -300,6 +355,7 @@ impl CompiledCosim {
                     Some(c) if c > self.clocks_done => {
                         let jump = (c - self.clocks_done).min(target - self.clocks_done);
                         self.skipped += jump;
+                        self.obs_idle_skips.inc();
                         for q in &mut self.stimulus {
                             let n = (jump as usize).min(q.len());
                             q.drain(..n);
@@ -354,8 +410,13 @@ impl CoupledSimulator for CompiledCosim {
     }
 
     fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
         self.obs_evaluated = tel.gauge("follower.clocks_evaluated");
         self.obs_skipped = tel.gauge("follower.clocks_skipped");
+        self.obs_fallback_evals = tel.counter("compiled.fallback_evals");
+        self.obs_lanes_active = tel.gauge("compiled.lanes_active");
+        self.obs_queue_depth = tel.gauge("compiled.queue_depth");
+        self.obs_idle_skips = tel.counter("compiled.idle_skips");
     }
 
     fn structural_preflight(&self) -> Vec<String> {

@@ -25,7 +25,7 @@ use crate::sync::conservative::{ConservativeSync, SyncStats};
 use castanet_netsim::event::{ModuleId, PortId};
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_obs::{EventKind, Telemetry, Track};
+use castanet_obs::{Counter, EventKind, Phase, Telemetry, Track};
 use castanet_rtl::sim::Simulator;
 
 pub use crate::parallel::ParallelCoupling;
@@ -156,13 +156,17 @@ impl CoupledSimulator for RtlCosim {
         loop {
             let responses = self.entity.collect();
             if !responses.is_empty() {
+                self.sim.publish_queue_telemetry();
                 return Ok(responses);
             }
             match self.sim.next_time() {
                 Some(t) if t < horizon => {
                     self.sim.step_time()?;
                 }
-                _ => return Ok(self.entity.collect()),
+                _ => {
+                    self.sim.publish_queue_telemetry();
+                    return Ok(self.entity.collect());
+                }
             }
         }
     }
@@ -215,6 +219,28 @@ pub struct CouplingStats {
     pub deferred_responses: u64,
 }
 
+/// Live counter mirrors of the [`CouplingStats`] deferral fields, under
+/// the executor-independent `sync.*` names — serial, parallel and
+/// compiled runs of the same scenario expose the same metric namespace,
+/// so dashboards and the console exporter need no per-executor casing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SyncCounters {
+    /// `sync.deferred_responses` — responses injected behind the network
+    /// clock (pipeline lag under the parallel executor).
+    deferred: Counter,
+    /// `sync.late_responses` — feedforward violations (must stay 0).
+    late: Counter,
+}
+
+impl SyncCounters {
+    pub(crate) fn new(tel: &Telemetry) -> Self {
+        SyncCounters {
+            deferred: tel.counter("sync.deferred_responses"),
+            late: tel.counter("sync.late_responses"),
+        }
+    }
+}
+
 /// Injects follower responses into the network model — the single
 /// bookkeeping path shared by the serial [`Coupling`] and the parallel
 /// executor, so the two keep identical counter semantics.
@@ -223,7 +249,9 @@ pub struct CouplingStats {
 /// counted in `deferred_responses`; when the executor is not `pipelined`
 /// (serial coupling: the follower never runs concurrently with the
 /// network), the same arrival additionally counts as a `late_response`,
-/// because only a feedforward violation can produce it there.
+/// because only a feedforward violation can produce it there. A call that
+/// deferred anything records one `sync.deferred_window` phase span
+/// covering the injection pass.
 pub(crate) fn inject_responses(
     net: &mut Kernel,
     stats: &mut CouplingStats,
@@ -231,8 +259,11 @@ pub(crate) fn inject_responses(
     responses: Vec<Message>,
     pipelined: bool,
     tel: &Telemetry,
+    counters: &SyncCounters,
 ) -> Result<usize, CastanetError> {
     let mut injected = 0;
+    let mut deferred_here = 0u64;
+    let pass_start = tel.now_ns();
     for msg in responses {
         let MessagePayload::Cell(cell) = msg.payload else {
             // Undecodable DUT output (raw payload): the network model
@@ -243,6 +274,8 @@ pub(crate) fn inject_responses(
         let now = net.now();
         let at = if msg.stamp < now {
             stats.deferred_responses += 1;
+            deferred_here += 1;
+            counters.deferred.inc();
             let kind = if pipelined {
                 EventKind::DeferredResponse {
                     stamp_ps: msg.stamp.as_picos(),
@@ -250,6 +283,7 @@ pub(crate) fn inject_responses(
                 }
             } else {
                 stats.late_responses += 1;
+                counters.late.inc();
                 EventKind::LateResponse {
                     stamp_ps: msg.stamp.as_picos(),
                     net_ps: now.as_picos(),
@@ -277,6 +311,14 @@ pub(crate) fn inject_responses(
         )?;
         stats.responses += 1;
         injected += 1;
+    }
+    if deferred_here > 0 && tel.micro_gate() {
+        tel.record_phase(
+            Track::Originator,
+            net.now().as_picos(),
+            Phase::SyncDeferredWindow,
+            pass_start,
+        );
     }
     Ok(injected)
 }
@@ -315,6 +357,8 @@ pub struct Coupling<S: CoupledSimulator> {
     outbox_scratch: Vec<Message>,
     /// Telemetry handle; disabled (all recording a no-op) by default.
     tel: Telemetry,
+    /// Cached `sync.*` counter handles (inert until telemetry attaches).
+    sync_counters: SyncCounters,
 }
 
 impl<S: CoupledSimulator> std::fmt::Debug for Coupling<S> {
@@ -354,6 +398,7 @@ impl<S: CoupledSimulator> Coupling<S> {
             strict: false,
             outbox_scratch: Vec::new(),
             tel: Telemetry::disabled(),
+            sync_counters: SyncCounters::default(),
         }
     }
 
@@ -365,6 +410,7 @@ impl<S: CoupledSimulator> Coupling<S> {
     #[must_use]
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.tel = tel.clone();
+        self.sync_counters = SyncCounters::new(tel);
         self.net.set_telemetry(tel);
         self.sync.set_telemetry(tel);
         self.follower.set_telemetry(tel);
@@ -486,17 +532,28 @@ impl<S: CoupledSimulator> Coupling<S> {
                     },
                 );
             }
-            let advance_start = self.tel.now_ns();
+            let advance_start = if self.tel.trace_active() {
+                self.tel.now_ns()
+            } else {
+                0
+            };
             let responses = self.follower.advance_until(horizon)?;
-            self.tel.record_span(
-                Track::Follower,
-                horizon.as_picos(),
-                advance_start,
-                EventKind::FollowerAdvance {
-                    granted_ps: horizon.as_picos(),
-                    responses: responses.len() as u64,
-                },
-            );
+            // Response-bearing advances always record; empty ones are
+            // per-iteration plumbing (most loop turns return nothing) and
+            // are thinned to the micro-sample stride — two clock reads per
+            // otherwise-idle turn is what used to dominate the full-trace
+            // overhead budget.
+            if !responses.is_empty() || self.tel.micro_gate() {
+                self.tel.record_span(
+                    Track::Follower,
+                    horizon.as_picos(),
+                    advance_start,
+                    EventKind::FollowerAdvance {
+                        granted_ps: horizon.as_picos(),
+                        responses: responses.len() as u64,
+                    },
+                );
+            }
             let local = self.follower.now().max(self.sync.local_time());
             if local <= self.sync.grant() {
                 self.sync.advance_local(local)?;
@@ -551,6 +608,7 @@ impl<S: CoupledSimulator> Coupling<S> {
             responses,
             false,
             &self.tel,
+            &self.sync_counters,
         )
     }
 

@@ -17,7 +17,7 @@ use crate::message::{Message, MessagePayload, MessageTypeId};
 use castanet_atm::addr::HeaderFormat;
 use castanet_atm::cell::CELL_OCTETS;
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_obs::{Gauge, Telemetry};
+use castanet_obs::{Gauge, Phase, Telemetry, Track};
 use castanet_rtl::cycle::CycleSim;
 use std::collections::VecDeque;
 
@@ -73,6 +73,8 @@ pub struct CycleCosim {
     obs_evaluated: Gauge,
     /// Clocks-skipped gauge (a no-op until telemetry is attached).
     obs_skipped: Gauge,
+    /// Telemetry handle for the sampled `cycle.eval` micro-phase.
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for CycleCosim {
@@ -108,6 +110,7 @@ impl CycleCosim {
             undecodable: 0,
             obs_evaluated: Gauge::default(),
             obs_skipped: Gauge::default(),
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -176,9 +179,21 @@ impl CycleCosim {
             Some(v) => v,
             None => self.zero_inputs.clone(),
         };
+        // `cycle.eval` is a per-clock micro-phase: sampled 1-in-N, so the
+        // two clock reads are paid once per stride, not per clock.
+        let sampled = self.tel.micro_gate();
+        let eval_start = if sampled { self.tel.now_ns() } else { 0 };
         let outs = self.sim.step(&inputs)?;
         self.clocks_done += 1;
         let stamp = SimTime::from_picos(self.clocks_done * self.clock_period.as_picos());
+        if sampled {
+            self.tel.record_phase(
+                Track::Follower,
+                stamp.as_picos(),
+                Phase::CycleEval,
+                eval_start,
+            );
+        }
         let mut responses = Vec::new();
         for (port, line) in self.egress.iter_mut().enumerate() {
             if outs[line.idx.valid] != 1 {
@@ -305,6 +320,7 @@ impl CoupledSimulator for CycleCosim {
     }
 
     fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
         self.obs_evaluated = tel.gauge("follower.clocks_evaluated");
         self.obs_skipped = tel.gauge("follower.clocks_skipped");
     }

@@ -33,7 +33,9 @@
 //! current time, which is sound under the feedforward assumption (responses
 //! feed monitors, never new stimulus).
 
-use crate::coupling::{inject_responses, preflight_checks, CoupledSimulator, CouplingStats};
+use crate::coupling::{
+    inject_responses, preflight_checks, CoupledSimulator, CouplingStats, SyncCounters,
+};
 use crate::error::CastanetError;
 use crate::interface::OutboxHandle;
 use crate::message::{Message, MessageTypeId};
@@ -41,7 +43,7 @@ use crate::sync::conservative::{ConservativeSync, SyncStats};
 use castanet_netsim::event::ModuleId;
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_obs::{Counter, EventKind, Gauge, Histogram, Telemetry, Track};
+use castanet_obs::{Counter, EventKind, Gauge, Histogram, Phase, Telemetry, Track};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
@@ -260,6 +262,10 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
         let sync = &mut self.sync;
         let promised = &mut self.promised;
         let follower_tel = self.tel.clone();
+        // Separate handle for the originator's phase spans: `SpanGuard`
+        // borrows its `Telemetry`, and borrowing it out of `obs` would
+        // freeze the `&mut obs` every reply needs.
+        let phase_tel = self.tel.clone();
         let mut obs = OriginatorObs::new(&self.tel);
 
         std::thread::scope(|scope| -> Result<(), CastanetError> {
@@ -290,6 +296,11 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
             let mut sent_grant = SimTime::ZERO;
             loop {
                 // ---- phase 1: stream timing windows -------------------
+                let mut grant_span = phase_tel.span(
+                    Track::Originator,
+                    net.now().as_picos(),
+                    Phase::ParallelGrant,
+                );
                 while let Some(t0) = net.next_event_time().filter(|t| *t < until) {
                     let w = until.min(t0 + batch_window);
                     let window_start = obs.tel.now_ns();
@@ -370,12 +381,21 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                     }
                 }
                 // ---- phase 2: barrier — answer every window ------------
-                while in_flight > 0 {
-                    match rep_rx.recv() {
-                        Ok(reply) => {
-                            handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                grant_span.set_t_ps(net.now().as_picos());
+                drop(grant_span);
+                {
+                    let _wait_span = phase_tel.span(
+                        Track::Originator,
+                        net.now().as_picos(),
+                        Phase::ParallelWait,
+                    );
+                    while in_flight > 0 {
+                        match rep_rx.recv() {
+                            Ok(reply) => {
+                                handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                            }
+                            Err(_) => return Err(fatal_from(&rep_rx)),
                         }
-                        Err(_) => return Err(fatal_from(&rep_rx)),
                     }
                 }
                 if net.next_event_time().is_some_and(|t| t < until) {
@@ -395,16 +415,23 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
                     quiet_chunks: drain_quiet_chunks,
                     until,
                 };
-                if cmd_tx.send(drain).is_err() {
-                    return Err(fatal_from(&rep_rx));
-                }
-                loop {
-                    match rep_rx.recv() {
-                        Ok(Reply::DrainDone) => break,
-                        Ok(reply) => {
-                            handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                {
+                    let _drain_span = phase_tel.span(
+                        Track::Originator,
+                        net.now().as_picos(),
+                        Phase::ParallelDrain,
+                    );
+                    if cmd_tx.send(drain).is_err() {
+                        return Err(fatal_from(&rep_rx));
+                    }
+                    loop {
+                        match rep_rx.recv() {
+                            Ok(Reply::DrainDone) => break,
+                            Ok(reply) => {
+                                handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+                            }
+                            Err(_) => return Err(fatal_from(&rep_rx)),
                         }
-                        Err(_) => return Err(fatal_from(&rep_rx)),
                     }
                 }
                 drained_at = Some(stats.messages_to_follower);
@@ -486,6 +513,7 @@ struct OriginatorObs {
     grant_latency: Histogram,
     window_msgs: Histogram,
     stalls: Counter,
+    sync_counters: SyncCounters,
     pending: VecDeque<u64>,
 }
 
@@ -497,6 +525,7 @@ impl OriginatorObs {
             grant_latency: tel.histogram("channel.grant_latency_ns"),
             window_msgs: tel.histogram("channel.window_msgs"),
             stalls: tel.counter("channel.backpressure_stalls"),
+            sync_counters: SyncCounters::new(tel),
             pending: VecDeque::new(),
         }
     }
@@ -521,10 +550,12 @@ fn handle_reply(
                 obs.grant_latency
                     .record(obs.tel.now_ns().saturating_sub(sent_ns));
             }
-            inject_responses(net, stats, iface, msgs, true, &obs.tel).map(|_| ())
+            inject_responses(net, stats, iface, msgs, true, &obs.tel, &obs.sync_counters)
+                .map(|_| ())
         }
         Reply::Drained(msgs) => {
-            inject_responses(net, stats, iface, msgs, true, &obs.tel).map(|_| ())
+            inject_responses(net, stats, iface, msgs, true, &obs.tel, &obs.sync_counters)
+                .map(|_| ())
         }
         Reply::DrainDone => Ok(()),
         Reply::Fatal(e) => Err(e),

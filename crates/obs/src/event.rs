@@ -39,6 +39,105 @@ impl Track {
     }
 }
 
+/// A named execution phase measured by a timing span (`Telemetry::span`
+/// or the sampled micro-phase hooks). Phases are a closed taxonomy so the
+/// JSONL schema stays strict: every phase name is a first-class event name
+/// in [`EventKind::NAMES`], and the self-profiling report aggregates rows
+/// per phase. Names are append-only, like event names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Event kernel: draining the timing wheel for one time point.
+    KernelPop,
+    /// Event kernel: applying assignments and waking processes.
+    KernelEval,
+    /// Event kernel: delta-cycle spins after the first.
+    KernelDelta,
+    /// Event kernel: one granted-window sweep (`run_until`).
+    KernelAdvance,
+    /// Cycle engine: one behavioral clock edge.
+    CycleEval,
+    /// Compiled backend: one word-op schedule evaluation (lowered DUTs).
+    CompiledScheduleEval,
+    /// Compiled backend: one behavioral `LaneBank` clock edge (fallback).
+    CompiledFallbackEval,
+    /// Compiled backend: scattering stimulus integers into lane words.
+    CompiledPack,
+    /// Compiled backend: gathering egress lane words back to integers.
+    CompiledUnpack,
+    /// Parallel executor: streaming grant windows to the follower.
+    ParallelGrant,
+    /// Parallel executor: barrier wait for in-flight window replies.
+    ParallelWait,
+    /// Parallel executor: end-of-run drain rendezvous.
+    ParallelDrain,
+    /// Sync protocol: re-stamping and injecting a deferred-response window.
+    SyncDeferredWindow,
+}
+
+impl Phase {
+    /// Every phase, in tag order (the order [`Phase::index`] counts in).
+    pub const ALL: &'static [Phase] = &[
+        Phase::KernelPop,
+        Phase::KernelEval,
+        Phase::KernelDelta,
+        Phase::KernelAdvance,
+        Phase::CycleEval,
+        Phase::CompiledScheduleEval,
+        Phase::CompiledFallbackEval,
+        Phase::CompiledPack,
+        Phase::CompiledUnpack,
+        Phase::ParallelGrant,
+        Phase::ParallelWait,
+        Phase::ParallelDrain,
+        Phase::SyncDeferredWindow,
+    ];
+
+    /// Stable dotted phase name — doubles as the span event's name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::KernelPop => "kernel.pop",
+            Phase::KernelEval => "kernel.eval",
+            Phase::KernelDelta => "kernel.delta",
+            Phase::KernelAdvance => "kernel.advance",
+            Phase::CycleEval => "cycle.eval",
+            Phase::CompiledScheduleEval => "compiled.schedule_eval",
+            Phase::CompiledFallbackEval => "compiled.fallback_eval",
+            Phase::CompiledPack => "compiled.pack",
+            Phase::CompiledUnpack => "compiled.unpack",
+            Phase::ParallelGrant => "parallel.grant",
+            Phase::ParallelWait => "parallel.wait",
+            Phase::ParallelDrain => "parallel.drain",
+            Phase::SyncDeferredWindow => "sync.deferred_window",
+        }
+    }
+
+    /// `true` for per-step micro-phases too hot to trace unconditionally:
+    /// they are recorded once per [`crate::telemetry::MICRO_SAMPLE_STRIDE`]
+    /// occurrences and the profile report extrapolates their totals.
+    #[must_use]
+    pub fn is_micro(self) -> bool {
+        matches!(
+            self,
+            Phase::KernelPop
+                | Phase::KernelEval
+                | Phase::KernelDelta
+                | Phase::CycleEval
+                | Phase::CompiledScheduleEval
+                | Phase::CompiledFallbackEval
+                | Phase::CompiledPack
+                | Phase::CompiledUnpack
+                | Phase::SyncDeferredWindow
+        )
+    }
+
+    /// Position of this phase inside [`Phase::ALL`] (the codec tag).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Phase::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+}
+
 /// What happened. Field units: `*_ps` are simulated picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -118,6 +217,14 @@ pub enum EventKind {
         /// Events replayed because of the rollback.
         replayed: u64,
     },
+    /// A timing span over a named execution [`Phase`] — the raw material
+    /// of the self-profiling report. The event name *is* the phase name.
+    PhaseSpan {
+        /// The phase measured.
+        phase: Phase,
+        /// Nesting depth at which the span was opened (0 = outermost).
+        depth: u32,
+    },
 }
 
 impl EventKind {
@@ -136,10 +243,12 @@ impl EventKind {
             EventKind::DrainChunk { .. } => "drain_chunk",
             EventKind::BackpressureStall { .. } => "backpressure_stall",
             EventKind::Rollback { .. } => "rollback",
+            EventKind::PhaseSpan { phase, .. } => phase.name(),
         }
     }
 
-    /// Every event name the taxonomy defines, for schema validation.
+    /// Every event name the taxonomy defines, for schema validation: the
+    /// ten protocol kinds plus one name per [`Phase`].
     pub const NAMES: &'static [&'static str] = &[
         "net_window",
         "window_granted",
@@ -151,6 +260,19 @@ impl EventKind {
         "drain_chunk",
         "backpressure_stall",
         "rollback",
+        "kernel.pop",
+        "kernel.eval",
+        "kernel.delta",
+        "kernel.advance",
+        "cycle.eval",
+        "compiled.schedule_eval",
+        "compiled.fallback_eval",
+        "compiled.pack",
+        "compiled.unpack",
+        "parallel.grant",
+        "parallel.wait",
+        "parallel.drain",
+        "sync.deferred_window",
     ];
 
     /// The kind-specific payload as `(key, value)` pairs, in a stable
@@ -196,6 +318,7 @@ impl EventKind {
             EventKind::Rollback { to_ps, replayed } => {
                 vec![("to_ps", to_ps), ("replayed", replayed)]
             }
+            EventKind::PhaseSpan { depth, .. } => vec![("depth", u64::from(depth))],
         }
     }
 
@@ -210,6 +333,7 @@ impl EventKind {
                 | EventKind::FollowerAdvance { .. }
                 | EventKind::DrainChunk { .. }
                 | EventKind::BackpressureStall { .. }
+                | EventKind::PhaseSpan { .. }
         )
     }
 }
@@ -240,12 +364,130 @@ impl TraceEvent {
     }
 }
 
+/// Fixed-width payload of the word codec: one meta word (kind tag, track,
+/// phase, depth) + `t_ps` + `wall_ns` + `dur_ns` + three argument words.
+pub(crate) const PAYLOAD_WORDS: usize = 7;
+
+/// Bit layout of the meta word.
+const TAG_SHIFT: u64 = 0;
+const TRACK_SHIFT: u64 = 8;
+const PHASE_SHIFT: u64 = 16;
+const DEPTH_SHIFT: u64 = 32;
+const BYTE: u64 = 0xff;
+
+/// Codec tag of the `PhaseSpan` kind (protocol kinds use `0..=9`).
+const TAG_PHASE_SPAN: u64 = 10;
+
+impl TraceEvent {
+    /// Encodes the event into the fixed word layout the sharded ring
+    /// stores. Every kind fits: no kind carries more than three argument
+    /// values, and `PhaseSpan`'s phase/depth pack into the meta word.
+    pub(crate) fn to_words(self) -> [u64; PAYLOAD_WORDS] {
+        let (tag, a): (u64, [u64; 3]) = match self.kind {
+            EventKind::NetWindow { events } => (0, [events, 0, 0]),
+            EventKind::WindowGranted { grant_ps, msgs } => (1, [grant_ps, msgs, 0]),
+            EventKind::StimulusEnqueued {
+                type_id,
+                port,
+                stamp_ps,
+            } => (2, [u64::from(type_id), u64::from(port), stamp_ps]),
+            EventKind::ResponseInjected {
+                stamp_ps,
+                at_ps,
+                port,
+            } => (3, [stamp_ps, at_ps, u64::from(port)]),
+            EventKind::LateResponse { stamp_ps, net_ps } => (4, [stamp_ps, net_ps, 0]),
+            EventKind::DeferredResponse { stamp_ps, net_ps } => (5, [stamp_ps, net_ps, 0]),
+            EventKind::FollowerAdvance {
+                granted_ps,
+                responses,
+            } => (6, [granted_ps, responses, 0]),
+            EventKind::DrainChunk {
+                horizon_ps,
+                responses,
+            } => (7, [horizon_ps, responses, 0]),
+            EventKind::BackpressureStall { in_flight } => (8, [in_flight, 0, 0]),
+            EventKind::Rollback { to_ps, replayed } => (9, [to_ps, replayed, 0]),
+            EventKind::PhaseSpan { .. } => (TAG_PHASE_SPAN, [0, 0, 0]),
+        };
+        let mut meta = tag << TAG_SHIFT;
+        meta |= u64::from(matches!(self.track, Track::Follower)) << TRACK_SHIFT;
+        if let EventKind::PhaseSpan { phase, depth } = self.kind {
+            meta |= (phase.index() as u64) << PHASE_SHIFT;
+            meta |= u64::from(depth) << DEPTH_SHIFT;
+        }
+        [meta, self.t_ps, self.wall_ns, self.dur_ns, a[0], a[1], a[2]]
+    }
+
+    /// Decodes a word-layout payload; `None` on an unknown tag (a torn or
+    /// never-written slot the ring reader skips).
+    pub(crate) fn from_words(w: &[u64; PAYLOAD_WORDS]) -> Option<TraceEvent> {
+        let [meta, t_ps, wall_ns, dur_ns, a0, a1, a2] = *w;
+        let track = if meta >> TRACK_SHIFT & 1 == 1 {
+            Track::Follower
+        } else {
+            Track::Originator
+        };
+        let narrow = |v: u64| u32::try_from(v).ok();
+        let kind = match meta >> TAG_SHIFT & BYTE {
+            0 => EventKind::NetWindow { events: a0 },
+            1 => EventKind::WindowGranted {
+                grant_ps: a0,
+                msgs: a1,
+            },
+            2 => EventKind::StimulusEnqueued {
+                type_id: narrow(a0)?,
+                port: narrow(a1)?,
+                stamp_ps: a2,
+            },
+            3 => EventKind::ResponseInjected {
+                stamp_ps: a0,
+                at_ps: a1,
+                port: narrow(a2)?,
+            },
+            4 => EventKind::LateResponse {
+                stamp_ps: a0,
+                net_ps: a1,
+            },
+            5 => EventKind::DeferredResponse {
+                stamp_ps: a0,
+                net_ps: a1,
+            },
+            6 => EventKind::FollowerAdvance {
+                granted_ps: a0,
+                responses: a1,
+            },
+            7 => EventKind::DrainChunk {
+                horizon_ps: a0,
+                responses: a1,
+            },
+            8 => EventKind::BackpressureStall { in_flight: a0 },
+            9 => EventKind::Rollback {
+                to_ps: a0,
+                replayed: a1,
+            },
+            TAG_PHASE_SPAN => EventKind::PhaseSpan {
+                phase: *Phase::ALL.get((meta >> PHASE_SHIFT & BYTE) as usize)?,
+                depth: narrow(meta >> DEPTH_SHIFT)?,
+            },
+            _ => return None,
+        };
+        Some(TraceEvent {
+            t_ps,
+            wall_ns,
+            dur_ns,
+            track,
+            kind,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn one_of_each() -> Vec<EventKind> {
-        vec![
+        let mut kinds = vec![
             EventKind::NetWindow { events: 3 },
             EventKind::WindowGranted {
                 grant_ps: 10,
@@ -282,7 +524,13 @@ mod tests {
                 to_ps: 3,
                 replayed: 6,
             },
-        ]
+        ];
+        kinds.extend(
+            Phase::ALL
+                .iter()
+                .map(|&phase| EventKind::PhaseSpan { phase, depth: 1 }),
+        );
+        kinds
     }
 
     #[test]
@@ -329,6 +577,51 @@ mod tests {
             msgs: 0
         }
         .is_span());
+    }
+
+    #[test]
+    fn phase_names_are_registered_and_micro_flagged() {
+        for &phase in Phase::ALL {
+            assert!(
+                EventKind::NAMES.contains(&phase.name()),
+                "{} missing from NAMES",
+                phase.name()
+            );
+            assert_eq!(Phase::ALL[phase.index()], phase);
+        }
+        assert!(Phase::KernelPop.is_micro());
+        assert!(!Phase::ParallelGrant.is_micro());
+        assert!(EventKind::PhaseSpan {
+            phase: Phase::KernelAdvance,
+            depth: 0
+        }
+        .is_span());
+        assert_eq!(
+            EventKind::PhaseSpan {
+                phase: Phase::KernelAdvance,
+                depth: 0
+            }
+            .name(),
+            "kernel.advance"
+        );
+    }
+
+    #[test]
+    fn word_codec_round_trips_every_kind() {
+        for (i, kind) in one_of_each().into_iter().enumerate() {
+            for track in [Track::Originator, Track::Follower] {
+                let ev = TraceEvent {
+                    t_ps: 1000 + i as u64,
+                    wall_ns: 2000 + i as u64,
+                    dur_ns: i as u64,
+                    track,
+                    kind,
+                };
+                let back = TraceEvent::from_words(&ev.to_words()).expect("decodable");
+                assert_eq!(back, ev, "{} did not round-trip", kind.name());
+            }
+        }
+        assert_eq!(TraceEvent::from_words(&[0xff, 0, 0, 0, 0, 0, 0]), None);
     }
 
     #[test]

@@ -10,19 +10,28 @@
 //!
 //! * [`event`] — the typed protocol-event taxonomy (window granted,
 //!   stimulus enqueued, response injected/deferred/late, drain chunks,
-//!   rollbacks, backpressure stalls) with sim-time and wall-time stamps;
-//! * [`sink`] — a bounded ring-buffered [`sink::TraceSink`] the events
-//!   stream into (old events are overwritten, never reallocated);
+//!   rollbacks, backpressure stalls) plus the closed [`Phase`] taxonomy
+//!   of timed execution phases, with sim-time and wall-time stamps;
+//! * [`sink`] — the sharded [`sink::TraceSink`]: one lock-free seqlock
+//!   ring per producer thread (claimed on first push, recycled on thread
+//!   exit), merged on snapshot by epoch-relative wall stamps — the
+//!   hot-path `record` is a handful of uncontended atomic stores;
 //! * [`metrics`] — a registry of named counters, gauges and log2-bucketed
 //!   histograms, snapshotable mid-run from any thread;
 //! * [`telemetry`] — the [`Telemetry`] handle the instrumented code holds:
 //!   a cheap `Option<Arc<..>>` that is a branch-predictable no-op when
-//!   telemetry is disabled (the default);
+//!   telemetry is disabled (the default), with RAII timing spans
+//!   ([`Telemetry::span`]) and sampling policies ([`TraceMode`]:
+//!   full / 1-in-N / counters-only);
+//! * [`report`] — the self-profiling [`ProfileReport`]: per-phase
+//!   wall-time breakdown rendered as a human table or JSON;
 //! * [`export`] — exporters: JSONL event dump, human console summary, and
 //!   Chrome `trace_event` JSON viewable in Perfetto / `chrome://tracing`,
-//!   rendering originator and follower as separate tracks;
-//! * [`schema`] — a dependency-free validator for the JSONL event format,
-//!   used by the `castanet-obs-check` binary and the CI smoke job.
+//!   rendering originator and follower as separate tracks (phase spans
+//!   appear as nested slices);
+//! * [`schema`] — a dependency-free validator for the JSONL event format
+//!   and the profile document, used by the `castanet-obs-check` binary
+//!   and the CI smoke job.
 //!
 //! The crate deliberately depends on nothing (not even the workspace's
 //! simulators): times are plain `u64` picoseconds, so every layer of the
@@ -34,11 +43,13 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod report;
 pub mod schema;
 pub mod sink;
 pub mod telemetry;
 
-pub use event::{EventKind, TraceEvent, Track};
+pub use event::{EventKind, Phase, TraceEvent, Track};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use report::{PhaseRow, ProfileReport};
 pub use sink::TraceSink;
-pub use telemetry::Telemetry;
+pub use telemetry::{SpanGuard, Telemetry, TraceMode, MICRO_SAMPLE_STRIDE};

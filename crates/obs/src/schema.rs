@@ -1,15 +1,24 @@
-//! A dependency-free validator for the JSONL event format.
+//! A dependency-free validator for the recorded-telemetry formats.
 //!
 //! The `castanet-obs-check` binary and the CI smoke job feed recorded
-//! JSONL through [`validate_jsonl`] to catch exporter regressions: a line
-//! that is not syntactically JSON, is missing a required key, names an
-//! event outside the taxonomy, or stamps a field with the wrong type. The
+//! JSONL through [`validate_jsonl`] (and profile documents through
+//! [`validate_profile`]) to catch exporter regressions: a line that is
+//! not syntactically JSON, is missing a required key, names an event
+//! outside the taxonomy, or stamps a field with the wrong type. The
 //! parser below is a minimal recursive-descent JSON reader — just enough
 //! to check the shapes this workspace emits, written here because the
 //! workspace deliberately carries no serde.
 
 use crate::event::EventKind;
 use std::collections::BTreeMap;
+
+/// Telemetry schema version. Version 1 was the ten protocol event kinds;
+/// version 2 (telemetry v2) added the dotted phase-span names with their
+/// `depth` argument and the `castanet-profile` report document. Event
+/// lines are unversioned on the wire — names are append-only, so a v1
+/// reader still accepts every v1 name — but the profile document embeds
+/// this number and validation pins it.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A parsed JSON value (numbers are kept as the raw token).
 #[derive(Debug, Clone, PartialEq)]
@@ -352,10 +361,119 @@ pub fn validate_jsonl(text: &str) -> Result<usize, (usize, String)> {
     Ok(validated)
 }
 
+fn require_track(obj: &BTreeMap<String, Value>, key: &str) -> Result<(), String> {
+    let track = require_str(obj, key)?;
+    if track != "originator" && track != "follower" {
+        return Err(format!("unknown track '{track}'"));
+    }
+    Ok(())
+}
+
+fn require_exact_keys(
+    obj: &BTreeMap<String, Value>,
+    allowed: &[&str],
+    context: &str,
+) -> Result<(), String> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unexpected key '{key}' in {context}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `castanet-profile` JSON document (the output of
+/// `ProfileReport::to_json` / `castanet-trace --format profile-json`).
+/// Returns the number of phase rows validated.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_profile(text: &str) -> Result<usize, String> {
+    let value = parse_json(text)?;
+    let Value::Object(obj) = value else {
+        return Err(format!(
+            "profile must be an object, got {}",
+            value.type_name()
+        ));
+    };
+    let schema = require_str(&obj, "schema")?;
+    if schema != "castanet-profile" {
+        return Err(format!("unknown schema '{schema}'"));
+    }
+    let version = require_u64(&obj, "version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported profile version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    require_u64(&obj, "events")?;
+    require_u64(&obj, "dropped")?;
+    require_exact_keys(
+        &obj,
+        &["schema", "version", "events", "dropped", "tracks", "rows"],
+        "profile",
+    )?;
+    let Some(Value::Array(tracks)) = obj.get("tracks") else {
+        return Err("'tracks' must be an array".to_string());
+    };
+    for entry in tracks {
+        let Value::Object(track) = entry else {
+            return Err("each track entry must be an object".to_string());
+        };
+        require_track(track, "track")?;
+        require_u64(track, "wall_ns")?;
+        require_exact_keys(track, &["track", "wall_ns"], "track entry")?;
+    }
+    let Some(Value::Array(rows)) = obj.get("rows") else {
+        return Err("'rows' must be an array".to_string());
+    };
+    for (i, entry) in rows.iter().enumerate() {
+        let Value::Object(row) = entry else {
+            return Err(format!("row {i} must be an object"));
+        };
+        (|| {
+            require_track(row, "track")?;
+            let phase = require_str(row, "phase")?;
+            if !EventKind::NAMES.contains(&phase) {
+                return Err(format!("unknown phase '{phase}'"));
+            }
+            for key in [
+                "count",
+                "sample_stride",
+                "total_ns",
+                "min_ns",
+                "max_ns",
+                "est_total_ns",
+                "share_bp",
+            ] {
+                require_u64(row, key)?;
+            }
+            require_exact_keys(
+                row,
+                &[
+                    "track",
+                    "phase",
+                    "count",
+                    "sample_stride",
+                    "total_ns",
+                    "min_ns",
+                    "max_ns",
+                    "est_total_ns",
+                    "share_bp",
+                ],
+                "row",
+            )
+        })()
+        .map_err(|e| format!("row {i}: {e}"))?;
+    }
+    Ok(rows.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{EventKind, TraceEvent, Track};
+    use crate::event::{EventKind, Phase, TraceEvent, Track};
     use crate::export::event_to_jsonl;
 
     #[test]
@@ -435,6 +553,59 @@ mod tests {
         let extra = "{\"ev\":\"net_window\",\"track\":\"originator\",\"t_ps\":0,\
                      \"wall_ns\":0,\"dur_ns\":0,\"args\":{},\"extra\":1}";
         assert!(validate_event_line(extra).unwrap_err().contains("extra"));
+    }
+
+    #[test]
+    fn phase_span_lines_round_trip() {
+        let ev = TraceEvent {
+            t_ps: 5,
+            wall_ns: 900,
+            dur_ns: 250,
+            track: Track::Follower,
+            kind: EventKind::PhaseSpan {
+                phase: Phase::KernelPop,
+                depth: 2,
+            },
+        };
+        let line = event_to_jsonl(&ev);
+        assert!(line.contains("\"ev\":\"kernel.pop\""));
+        assert!(line.contains("\"depth\":2"));
+        assert_eq!(validate_event_line(&line), Ok(()));
+    }
+
+    #[test]
+    fn profile_documents_round_trip() {
+        use crate::telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        drop(tel.span(Track::Originator, 1, Phase::ParallelGrant));
+        let start = tel.now_ns();
+        tel.record_phase(Track::Follower, 2, Phase::CycleEval, start);
+        let json = tel.profile().to_json();
+        assert_eq!(validate_profile(&json), Ok(2));
+    }
+
+    #[test]
+    fn profile_validation_rejects_drift() {
+        assert!(validate_profile("[]").unwrap_err().contains("object"));
+        let wrong_schema = "{\"schema\":\"other\",\"version\":2,\"events\":0,\
+             \"dropped\":0,\"tracks\":[],\"rows\":[]}";
+        assert!(validate_profile(wrong_schema)
+            .unwrap_err()
+            .contains("unknown schema"));
+        let wrong_version = "{\"schema\":\"castanet-profile\",\"version\":1,\
+             \"events\":0,\"dropped\":0,\"tracks\":[],\"rows\":[]}";
+        assert!(validate_profile(wrong_version)
+            .unwrap_err()
+            .contains("version 1"));
+        let bad_phase = "{\"schema\":\"castanet-profile\",\"version\":2,\
+             \"events\":0,\"dropped\":0,\"tracks\":[],\"rows\":[{\
+             \"track\":\"follower\",\"phase\":\"bogus\",\"count\":0,\
+             \"sample_stride\":1,\"total_ns\":0,\"min_ns\":0,\"max_ns\":0,\
+             \"est_total_ns\":0,\"share_bp\":0}]}";
+        assert!(validate_profile(bad_phase).unwrap_err().contains("bogus"));
+        let extra_key = "{\"schema\":\"castanet-profile\",\"version\":2,\
+             \"events\":0,\"dropped\":0,\"tracks\":[],\"rows\":[],\"x\":1}";
+        assert!(validate_profile(extra_key).unwrap_err().contains("'x'"));
     }
 
     #[test]

@@ -1,32 +1,229 @@
-//! The ring-buffered event sink.
+//! The sharded, per-producer-thread event sink.
 //!
 //! Recording must never grow without bound (runs push millions of cells)
-//! and must never reallocate on the hot path: the sink is a fixed-capacity
-//! ring — when full, the oldest event is overwritten and counted in
-//! [`TraceSink::dropped`]. Pushes take one short mutex section; the sink is
-//! shared between the parallel executor's two threads, and contention is
-//! bounded because both sides batch (one window of events per rendezvous,
-//! not one lock per cell).
+//! and — since telemetry v2 — must never contend either: the hot-path
+//! `push` is a handful of uncontended atomic stores. Each producer thread
+//! claims a private ring shard on its first push (and releases it back to
+//! a free pool when the thread exits, so repeated scoped threads reuse one
+//! ring instead of leaking); `snapshot` merges every shard's events by
+//! their epoch-relative `wall_ns` stamp, which is what makes the merged
+//! stream monotone for the exporters.
+//!
+//! Each shard is a fixed-capacity overwrite ring of 64-byte slots (one
+//! cache line: a per-slot sequence word plus the
+//! [`crate::event::TraceEvent`] word codec). Writers run the classic
+//! seqlock protocol — mark the slot odd, store the payload, mark it even
+//! `(2·tail + 2)`, publish the tail — and because every word is an
+//! `AtomicU64`, the whole scheme needs no `unsafe`. A mid-run snapshot
+//! simply skips slots whose sequence word changed under it. Slot storage
+//! is allocated lazily in 2048-slot segments, so a short run with a large
+//! configured capacity only touches the pages it actually fills.
 
-use crate::event::TraceEvent;
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use crate::event::{TraceEvent, PAYLOAD_WORDS};
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-/// Default event capacity: enough for every window/drain/injection event
-/// of a full E1 workload while bounding memory to a few MiB.
+/// Default per-producer event capacity: enough for every window/drain/
+/// injection event of a full E1 workload while bounding memory per thread.
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-#[derive(Debug)]
-struct Ring {
-    buf: VecDeque<TraceEvent>,
-    dropped: u64,
+/// Words per ring slot: the per-slot sequence word + the event payload.
+const SLOT_WORDS: usize = 1 + PAYLOAD_WORDS;
+
+/// Slots per lazily-allocated segment (2048 × 64 B = 128 KiB).
+const SEG_SLOTS: usize = 2048;
+
+fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
 }
 
-/// A bounded, thread-safe ring buffer of [`TraceEvent`]s.
-#[derive(Debug)]
-pub struct TraceSink {
+/// One producer thread's private overwrite ring.
+struct Shard {
+    cap: usize,
+    segs: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    /// Monotone count of events ever pushed; slot = `tail % cap`.
+    tail: AtomicU64,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Shard {
+            cap,
+            segs: (0..cap.div_ceil(SEG_SLOTS))
+                .map(|_| OnceLock::new())
+                .collect(),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots segment `seg` holds (the last one may be short).
+    fn seg_len(&self, seg: usize) -> usize {
+        (self.cap - seg * SEG_SLOTS).min(SEG_SLOTS)
+    }
+
+    /// Single-producer push (ownership is enforced by the claim protocol).
+    fn push(&self, event: &TraceEvent) {
+        let t = self.tail.load(Ordering::Relaxed);
+        let slot = usize::try_from(t % self.cap as u64).expect("slot index");
+        let seg = slot / SEG_SLOTS;
+        let words = self.segs[seg].get_or_init(|| zeroed_words(self.seg_len(seg) * SLOT_WORDS));
+        let base = (slot % SEG_SLOTS) * SLOT_WORDS;
+        // Seqlock write: odd marks the slot in progress; the release fence
+        // orders the mark before the payload, the release store orders the
+        // payload before the even mark readers validate against.
+        words[base].store(2 * t + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (k, w) in event.to_words().into_iter().enumerate() {
+            words[base + 1 + k].store(w, Ordering::Relaxed);
+        }
+        words[base].store(2 * t + 2, Ordering::Release);
+        self.tail.store(t + 1, Ordering::Release);
+    }
+
+    /// Copies the retained events out, oldest first. Slots a concurrent
+    /// producer is overwriting fail sequence validation and are skipped.
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let end = self.tail.load(Ordering::Acquire);
+        let start = end.saturating_sub(self.cap as u64);
+        for t in start..end {
+            let slot = usize::try_from(t % self.cap as u64).expect("slot index");
+            let Some(words) = self.segs[slot / SEG_SLOTS].get() else {
+                continue;
+            };
+            let base = (slot % SEG_SLOTS) * SLOT_WORDS;
+            if words[base].load(Ordering::Acquire) != 2 * t + 2 {
+                continue;
+            }
+            let mut payload = [0u64; PAYLOAD_WORDS];
+            for (k, w) in payload.iter_mut().enumerate() {
+                *w = words[base + 1 + k].load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if words[base].load(Ordering::Relaxed) != 2 * t + 2 {
+                continue;
+            }
+            if let Some(ev) = TraceEvent::from_words(&payload) {
+                out.push(ev);
+            }
+        }
+    }
+
+    /// Events evicted by ring overwrite.
+    fn evicted(&self) -> u64 {
+        self.tail
+            .load(Ordering::Acquire)
+            .saturating_sub(self.cap as u64)
+    }
+
+    /// Events currently retained.
+    fn retained(&self) -> usize {
+        usize::try_from(self.tail.load(Ordering::Acquire).min(self.cap as u64))
+            .expect("retained count")
+    }
+}
+
+/// Shard bookkeeping: every ring ever created (snapshots must see events
+/// from threads that already exited) plus the subset free for reclaiming.
+#[derive(Default)]
+struct ShardTable {
+    all: Vec<Arc<Shard>>,
+    free: Vec<Arc<Shard>>,
+}
+
+struct SinkState {
+    /// Globally unique id keying the thread-local claim cache.
+    id: u64,
     capacity: usize,
-    ring: Mutex<Ring>,
+    shards: Mutex<ShardTable>,
+}
+
+impl SinkState {
+    /// Reuses a released shard or creates a fresh one.
+    fn claim(&self) -> Arc<Shard> {
+        let mut table = self.shards.lock().expect("trace sink poisoned");
+        if let Some(shard) = table.free.pop() {
+            return shard;
+        }
+        let shard = Arc::new(Shard::new(self.capacity));
+        table.all.push(Arc::clone(&shard));
+        shard
+    }
+
+    fn release(&self, shard: Arc<Shard>) {
+        self.shards
+            .lock()
+            .expect("trace sink poisoned")
+            .free
+            .push(shard);
+    }
+}
+
+/// One thread's claim on one sink's shard.
+struct Claim {
+    sink: u64,
+    state: Weak<SinkState>,
+    shard: Arc<Shard>,
+}
+
+/// The thread-local claim cache. Its `Drop` runs with the thread's TLS
+/// destructors and returns every claimed shard to its sink's free pool.
+#[derive(Default)]
+struct ClaimSet {
+    claims: Vec<Claim>,
+}
+
+impl ClaimSet {
+    fn shard_for(&mut self, state: &Arc<SinkState>) -> &Shard {
+        if let Some(pos) = self.claims.iter().position(|c| c.sink == state.id) {
+            return &self.claims[pos].shard;
+        }
+        // Claim miss (once per thread per sink): prune claims whose sink
+        // is gone, then claim a ring from this sink.
+        self.claims.retain(|c| c.state.strong_count() > 0);
+        let shard = state.claim();
+        self.claims.push(Claim {
+            sink: state.id,
+            state: Arc::downgrade(state),
+            shard,
+        });
+        &self.claims.last().expect("claim just pushed").shard
+    }
+}
+
+impl Drop for ClaimSet {
+    fn drop(&mut self) {
+        for claim in self.claims.drain(..) {
+            if let Some(state) = claim.state.upgrade() {
+                state.release(claim.shard);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CLAIMS: RefCell<ClaimSet> = RefCell::new(ClaimSet::default());
+}
+
+fn next_sink_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A bounded, thread-sharded event sink: each producer thread records into
+/// a private seqlock ring of `capacity` events, and snapshots merge the
+/// shards on their wall-clock stamps.
+pub struct TraceSink {
+    state: Arc<SinkState>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.state.capacity)
+            .field("producers", &self.producers())
+            .finish()
+    }
 }
 
 impl Default for TraceSink {
@@ -36,7 +233,8 @@ impl Default for TraceSink {
 }
 
 impl TraceSink {
-    /// Creates a sink holding at most `capacity` events.
+    /// Creates a sink whose per-producer rings hold at most `capacity`
+    /// events each.
     ///
     /// # Panics
     ///
@@ -45,35 +243,51 @@ impl TraceSink {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "trace sink needs a non-zero capacity");
         TraceSink {
-            capacity,
-            ring: Mutex::new(Ring {
-                buf: VecDeque::with_capacity(capacity),
-                dropped: 0,
+            state: Arc::new(SinkState {
+                id: next_sink_id(),
+                capacity,
+                shards: Mutex::new(ShardTable::default()),
             }),
         }
     }
 
-    /// Appends one event, evicting the oldest when full.
+    /// Appends one event to the calling thread's shard, evicting that
+    /// shard's oldest event when it is full.
     pub fn push(&self, event: TraceEvent) {
-        let mut ring = self.ring.lock().expect("trace sink poisoned");
-        if ring.buf.len() == self.capacity {
-            ring.buf.pop_front();
-            ring.dropped += 1;
+        let pushed = CLAIMS
+            .try_with(|cell| cell.borrow_mut().shard_for(&self.state).push(&event))
+            .is_ok();
+        if !pushed {
+            // TLS is already torn down (a push during thread exit): claim
+            // a shard transiently — the registry lock serializes ownership.
+            let shard = self.state.claim();
+            shard.push(&event);
+            self.state.release(shard);
         }
-        ring.buf.push_back(event);
     }
 
-    /// Copies the retained events out, oldest first. Safe mid-run.
+    /// Copies the retained events out of every shard and merges them,
+    /// oldest wall-clock stamp first. Safe mid-run: slots being
+    /// overwritten under the snapshot are skipped, not torn.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let ring = self.ring.lock().expect("trace sink poisoned");
-        ring.buf.iter().copied().collect()
+        let table = self.state.shards.lock().expect("trace sink poisoned");
+        let mut events = Vec::with_capacity(table.all.iter().map(|s| s.retained()).sum());
+        for shard in &table.all {
+            shard.drain_into(&mut events);
+        }
+        drop(table);
+        // Stable on the per-shard (already monotone) runs, so same-stamp
+        // events keep their producer's order.
+        events.sort_by_key(|ev| ev.wall_ns);
+        events
     }
 
-    /// Events currently retained.
+    /// Events currently retained across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.ring.lock().expect("trace sink poisoned").buf.len()
+        let table = self.state.shards.lock().expect("trace sink poisoned");
+        table.all.iter().map(|s| s.retained()).sum()
     }
 
     /// `true` when nothing has been recorded (or everything was evicted).
@@ -82,16 +296,29 @@ impl TraceSink {
         self.len() == 0
     }
 
-    /// Events evicted because the ring was full.
+    /// Events evicted because a producer's ring was full.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.ring.lock().expect("trace sink poisoned").dropped
+        let table = self.state.shards.lock().expect("trace sink poisoned");
+        table.all.iter().map(|s| s.evicted()).sum()
     }
 
-    /// The fixed capacity.
+    /// The per-producer ring capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.state.capacity
+    }
+
+    /// Producer rings created so far (threads that recorded at least one
+    /// event; exited threads' rings are reused, not recreated).
+    #[must_use]
+    pub fn producers(&self) -> usize {
+        self.state
+            .shards
+            .lock()
+            .expect("trace sink poisoned")
+            .all
+            .len()
     }
 }
 
@@ -120,6 +347,7 @@ mod tests {
         assert_eq!(got.len(), 5);
         assert!(got.windows(2).all(|w| w[0].t_ps < w[1].t_ps));
         assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.producers(), 1);
     }
 
     #[test]
@@ -136,20 +364,84 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_pushes_do_not_lose_capacity() {
-        let sink = std::sync::Arc::new(TraceSink::with_capacity(1024));
+    fn concurrent_producers_lose_and_duplicate_nothing() {
+        // The satellite-3 stress test: N threads × M events, each shard
+        // sized to hold its thread's full load, so the merged snapshot
+        // must contain every record exactly once.
+        const THREADS: u64 = 8;
+        const EVENTS: u64 = 5000;
+        let sink = std::sync::Arc::new(TraceSink::with_capacity(EVENTS as usize));
+        // Each producer claims its shard (first push) before the barrier so
+        // no thread exits — and recycles its shard — while another is still
+        // spinning up; recycling would legitimately evict the dead
+        // producer's records once the ring wraps.
+        let barrier = std::sync::Barrier::new(THREADS as usize);
         std::thread::scope(|scope| {
-            for _ in 0..4 {
+            for thread in 0..THREADS {
                 let sink = std::sync::Arc::clone(&sink);
+                let barrier = &barrier;
                 scope.spawn(move || {
-                    for i in 0..1000 {
-                        sink.push(ev(i));
+                    sink.push(ev(thread * EVENTS));
+                    barrier.wait();
+                    for i in 1..EVENTS {
+                        sink.push(ev(thread * EVENTS + i));
                     }
                 });
             }
         });
-        assert_eq!(sink.len(), 1024);
-        assert_eq!(sink.dropped(), 4000 - 1024);
+        let got = sink.snapshot();
+        assert_eq!(got.len() as u64, THREADS * EVENTS);
+        assert_eq!(sink.dropped(), 0);
+        let mut tags: Vec<u64> = got.iter().map(|e| e.t_ps).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(
+            tags.len() as u64,
+            THREADS * EVENTS,
+            "a record was lost or duplicated"
+        );
+        assert!(sink.producers() <= THREADS as usize);
+    }
+
+    #[test]
+    fn exited_threads_keep_their_events_and_free_their_shard() {
+        let sink = std::sync::Arc::new(TraceSink::with_capacity(64));
+        for round in 0..4u64 {
+            let sink = std::sync::Arc::clone(&sink);
+            std::thread::spawn(move || sink.push(ev(round)))
+                .join()
+                .expect("producer thread");
+        }
+        assert_eq!(sink.len(), 4, "dead producers' events must survive");
+        assert_eq!(
+            sink.producers(),
+            1,
+            "sequential short-lived threads must reuse one shard"
+        );
+    }
+
+    #[test]
+    fn snapshot_merges_shards_by_wall_clock() {
+        let sink = std::sync::Arc::new(TraceSink::with_capacity(64));
+        sink.push(TraceEvent {
+            wall_ns: 10,
+            ..ev(0)
+        });
+        sink.push(TraceEvent {
+            wall_ns: 30,
+            ..ev(1)
+        });
+        let other = std::sync::Arc::clone(&sink);
+        std::thread::spawn(move || {
+            other.push(TraceEvent {
+                wall_ns: 20,
+                ..ev(2)
+            });
+        })
+        .join()
+        .expect("producer thread");
+        let stamps: Vec<u64> = sink.snapshot().iter().map(|e| e.wall_ns).collect();
+        assert_eq!(stamps, vec![10, 20, 30]);
     }
 
     #[test]

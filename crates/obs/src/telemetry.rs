@@ -7,18 +7,87 @@
 //! `Coupling`, both `ParallelCoupling` threads, the kernel and the sync
 //! engine all record into the same place, and any thread can snapshot
 //! mid-run.
+//!
+//! Telemetry v2 adds three things on top:
+//!
+//! * **sampling policies** ([`TraceMode`]) — full tracing, 1-in-N event
+//!   sampling, or counters-only. Metrics are *always* live on an enabled
+//!   handle; only trace-event recording is thinned.
+//! * **RAII timing spans** — [`Telemetry::span`] opens a nested
+//!   [`SpanGuard`] that records a [`Phase`] span when dropped.
+//! * **sampled micro-phases** — per-step kernel phases are far too hot to
+//!   trace unconditionally, so call sites gate them on
+//!   [`Telemetry::micro_gate`] (true once per [`MICRO_SAMPLE_STRIDE`]
+//!   steps) and record via [`Telemetry::record_phase`]; the profile
+//!   report extrapolates their totals by the stride.
 
-use crate::event::{EventKind, TraceEvent, Track};
+use crate::event::{EventKind, Phase, TraceEvent, Track};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::report::ProfileReport;
 use crate::sink::TraceSink;
+use std::cell::Cell;
+use std::num::NonZeroU32;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Stride of the micro-phase sampler: per-step phases (`kernel.pop`,
+/// `cycle.eval`, …) are recorded once per this many occurrences per
+/// thread, bounding tracing overhead on million-step runs.
+pub const MICRO_SAMPLE_STRIDE: u64 = 64;
+
+/// What an enabled handle records into its trace ring. Metric instruments
+/// (counters, gauges, histograms) are unaffected — they are always live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record every protocol event (micro-phases still sample).
+    Full,
+    /// Record one in `n` protocol events (per recording thread).
+    Sampled(NonZeroU32),
+    /// Record no trace events at all — metrics only.
+    CountersOnly,
+}
+
+thread_local! {
+    /// Per-thread 1-in-N decimation counter for [`TraceMode::Sampled`].
+    static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread decimation counter for micro-phase sampling.
+    static MICRO_TICK: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread open-span nesting depth.
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
 
 #[derive(Debug)]
 struct Inner {
     epoch: Instant,
     sink: TraceSink,
     metrics: MetricsRegistry,
+    mode: TraceMode,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        // u64 arithmetic, not `as_nanos()`: the u128 widening costs a
+        // measurable fraction of a ~40 ns clock read on the hot path, and
+        // a u64 of nanoseconds spans 584 years of process uptime.
+        let elapsed = self.epoch.elapsed();
+        elapsed
+            .as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(elapsed.subsec_nanos()))
+    }
+
+    /// Should this trace event be recorded under the handle's mode?
+    fn trace_gate(&self) -> bool {
+        match self.mode {
+            TraceMode::Full => true,
+            TraceMode::CountersOnly => false,
+            TraceMode::Sampled(n) => SAMPLE_TICK.with(|tick| {
+                let t = tick.get();
+                tick.set(t.wrapping_add(1));
+                t % u64::from(n.get()) == 0
+            }),
+        }
+    }
 }
 
 /// A cloneable telemetry handle. The default is disabled: every recording
@@ -33,23 +102,54 @@ impl Telemetry {
         Telemetry(None)
     }
 
-    /// An enabled handle with the default event-ring capacity.
+    /// An enabled full-trace handle with the default per-producer ring
+    /// capacity.
     #[must_use]
     pub fn enabled() -> Self {
         Telemetry::with_capacity(crate::sink::DEFAULT_CAPACITY)
     }
 
-    /// An enabled handle retaining at most `capacity` events.
+    /// An enabled full-trace handle retaining at most `capacity` events
+    /// per producer thread.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry::with_mode(capacity, TraceMode::Full)
+    }
+
+    /// An enabled handle recording no trace events — counters, gauges and
+    /// histograms only. The cheapest always-on production policy.
+    #[must_use]
+    pub fn counters_only() -> Self {
+        Telemetry::with_mode(1, TraceMode::CountersOnly)
+    }
+
+    /// An enabled handle recording one in `one_in_n` protocol events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_in_n` is zero.
+    #[must_use]
+    pub fn sampled(one_in_n: u32) -> Self {
+        let n = NonZeroU32::new(one_in_n).expect("sampling stride must be non-zero");
+        Telemetry::with_mode(crate::sink::DEFAULT_CAPACITY, TraceMode::Sampled(n))
+    }
+
+    /// An enabled handle with an explicit capacity and [`TraceMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_mode(capacity: usize, mode: TraceMode) -> Self {
         Telemetry(Some(Arc::new(Inner {
             epoch: Instant::now(),
             sink: TraceSink::with_capacity(capacity),
             metrics: MetricsRegistry::new(),
+            mode,
         })))
     }
 
@@ -59,26 +159,32 @@ impl Telemetry {
         self.0.is_some()
     }
 
+    /// The handle's trace mode (`None` when disabled).
+    #[must_use]
+    pub fn mode(&self) -> Option<TraceMode> {
+        self.0.as_ref().map(|inner| inner.mode)
+    }
+
     /// Wall-clock nanoseconds since the handle was created (0 when
     /// disabled — callers use this to stamp spans and must not pay for a
     /// clock read on the no-op path).
     #[must_use]
     pub fn now_ns(&self) -> u64 {
-        self.0.as_ref().map_or(0, |inner| {
-            u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
-        })
+        self.0.as_ref().map_or(0, |inner| inner.now_ns())
     }
 
     /// Records an instantaneous event at simulated time `t_ps`.
     pub fn record(&self, track: Track, t_ps: u64, kind: EventKind) {
         if let Some(inner) = &self.0 {
-            inner.sink.push(TraceEvent {
-                t_ps,
-                wall_ns: u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                dur_ns: 0,
-                track,
-                kind,
-            });
+            if inner.trace_gate() {
+                inner.sink.push(TraceEvent {
+                    t_ps,
+                    wall_ns: inner.now_ns(),
+                    dur_ns: 0,
+                    track,
+                    kind,
+                });
+            }
         }
     }
 
@@ -86,15 +192,94 @@ impl Telemetry {
     /// previously obtained from [`Telemetry::now_ns`]) and ends now.
     pub fn record_span(&self, track: Track, t_ps: u64, start_ns: u64, kind: EventKind) {
         if let Some(inner) = &self.0 {
-            let wall_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            inner.sink.push(TraceEvent {
-                t_ps,
-                wall_ns,
-                dur_ns: wall_ns.saturating_sub(start_ns),
-                track,
-                kind,
-            });
+            if inner.trace_gate() {
+                let wall_ns = inner.now_ns();
+                inner.sink.push(TraceEvent {
+                    t_ps,
+                    wall_ns,
+                    dur_ns: wall_ns.saturating_sub(start_ns),
+                    track,
+                    kind,
+                });
+            }
         }
+    }
+
+    /// Opens a RAII timing span over `phase`: the returned guard records a
+    /// [`EventKind::PhaseSpan`] when dropped, carrying the wall-clock
+    /// duration and the nesting depth it was opened at. Nesting is
+    /// per-thread: spans opened while another guard is live record one
+    /// level deeper. Inert when disabled, in counters-only mode, or when
+    /// the 1-in-N sampler skips this occurrence.
+    pub fn span(&self, track: Track, t_ps: u64, phase: Phase) -> SpanGuard<'_> {
+        let armed = self.0.as_ref().is_some_and(|inner| inner.trace_gate());
+        let start_ns = if armed {
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_add(1)));
+            self.now_ns()
+        } else {
+            0
+        };
+        SpanGuard {
+            tel: self,
+            track,
+            t_ps,
+            phase,
+            start_ns,
+            armed,
+        }
+    }
+
+    /// `true` when trace events can record at all under this handle's
+    /// mode. The cheap pre-check call sites use to avoid capturing a
+    /// start stamp (a clock read) that `record_span` would then discard —
+    /// disabled and counters-only handles never record trace events.
+    #[must_use]
+    pub fn trace_active(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|inner| inner.mode != TraceMode::CountersOnly)
+    }
+
+    /// The micro-phase sampling gate: `true` once per
+    /// [`MICRO_SAMPLE_STRIDE`] calls per thread while trace recording is
+    /// active. Call sites capture `now_ns` and record via
+    /// [`Telemetry::record_phase`] only when this returns `true`.
+    #[must_use]
+    pub fn micro_gate(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) if inner.mode == TraceMode::CountersOnly => false,
+            Some(_) => MICRO_TICK.with(|tick| {
+                let t = tick.get();
+                tick.set(t.wrapping_add(1));
+                t % MICRO_SAMPLE_STRIDE == 0
+            }),
+        }
+    }
+
+    /// Records a phase span that started at `start_ns`, bypassing the
+    /// 1-in-N sampler — the caller already made the sampling decision
+    /// (via [`Telemetry::micro_gate`] or a [`SpanGuard`]).
+    ///
+    /// Returns the span's end stamp (0 when disabled) so back-to-back
+    /// segments can reuse it as the next segment's start instead of paying
+    /// a second clock read per boundary.
+    pub fn record_phase(&self, track: Track, t_ps: u64, phase: Phase, start_ns: u64) -> u64 {
+        let Some(inner) = &self.0 else {
+            return 0;
+        };
+        let wall_ns = inner.now_ns();
+        inner.sink.push(TraceEvent {
+            t_ps,
+            wall_ns,
+            dur_ns: wall_ns.saturating_sub(start_ns),
+            track,
+            kind: EventKind::PhaseSpan {
+                phase,
+                depth: SPAN_DEPTH.with(Cell::get),
+            },
+        });
+        wall_ns
     }
 
     /// A counter handle for `name` — inert when disabled, shared with
@@ -134,13 +319,14 @@ impl Telemetry {
             .map_or_else(Histogram::default, |inner| inner.metrics.histogram(name))
     }
 
-    /// The retained events, oldest first (empty when disabled).
+    /// The retained events merged across every producer thread, oldest
+    /// wall-clock stamp first (empty when disabled).
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
         self.0.as_ref().map_or_else(Vec::new, |i| i.sink.snapshot())
     }
 
-    /// Events evicted from the ring because it was full.
+    /// Events evicted from a producer's ring because it was full.
     #[must_use]
     pub fn dropped_events(&self) -> u64 {
         self.0.as_ref().map_or(0, |i| i.sink.dropped())
@@ -154,6 +340,63 @@ impl Telemetry {
             .as_ref()
             .map_or_else(MetricsSnapshot::default, |i| i.metrics.snapshot())
     }
+
+    /// Builds the self-profiling report: per-phase wall-time rows
+    /// aggregated from the recorded span events, with sampled micro-phase
+    /// totals extrapolated by their stride.
+    #[must_use]
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport::build(self)
+    }
+}
+
+/// RAII guard of one open [`Telemetry::span`]. Records its phase span —
+/// duration, track, nesting depth — when dropped. Leaking the guard
+/// (`mem::forget`) loses that one record and leaves the thread's nesting
+/// level raised, but never corrupts later spans: depth bookkeeping
+/// saturates instead of underflowing.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tel: &'a Telemetry,
+    track: Track,
+    t_ps: u64,
+    phase: Phase,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Updates the simulated time the span will be stamped with (useful
+    /// when the span opens before the horizon it covers is known).
+    pub fn set_t_ps(&mut self, t_ps: u64) {
+        self.t_ps = t_ps;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let depth = SPAN_DEPTH.with(|d| {
+                let v = d.get().saturating_sub(1);
+                d.set(v);
+                v
+            });
+            if let Some(inner) = &self.tel.0 {
+                let wall_ns = inner.now_ns();
+                inner.sink.push(TraceEvent {
+                    t_ps: self.t_ps,
+                    wall_ns,
+                    dur_ns: wall_ns.saturating_sub(self.start_ns),
+                    track: self.track,
+                    kind: EventKind::PhaseSpan {
+                        phase: self.phase,
+                        depth,
+                    },
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +408,10 @@ mod tests {
         let tel = Telemetry::disabled();
         assert!(!tel.is_enabled());
         assert_eq!(tel.now_ns(), 0);
+        assert_eq!(tel.mode(), None);
         tel.record(Track::Originator, 5, EventKind::NetWindow { events: 1 });
+        drop(tel.span(Track::Originator, 5, Phase::ParallelGrant));
+        assert!(!tel.micro_gate());
         assert!(tel.events().is_empty());
         let c = tel.counter("x");
         c.inc();
@@ -226,5 +472,83 @@ mod tests {
         }
         let events = tel.events();
         assert!(events.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns));
+    }
+
+    #[test]
+    fn raii_spans_nest_and_record_depth() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span(Track::Follower, 10, Phase::KernelAdvance);
+            let _inner = tel.span(Track::Follower, 10, Phase::SyncDeferredWindow);
+        }
+        let events = tel.events();
+        assert_eq!(events.len(), 2);
+        // Inner guard drops first.
+        assert_eq!(
+            events[0].kind,
+            EventKind::PhaseSpan {
+                phase: Phase::SyncDeferredWindow,
+                depth: 1
+            }
+        );
+        assert_eq!(
+            events[1].kind,
+            EventKind::PhaseSpan {
+                phase: Phase::KernelAdvance,
+                depth: 0
+            }
+        );
+        assert!(events[1].dur_ns >= events[0].dur_ns);
+    }
+
+    #[test]
+    fn counters_only_mode_traces_nothing_but_counts() {
+        let tel = Telemetry::counters_only();
+        assert_eq!(tel.mode(), Some(TraceMode::CountersOnly));
+        tel.record(Track::Originator, 1, EventKind::NetWindow { events: 1 });
+        drop(tel.span(Track::Originator, 1, Phase::ParallelGrant));
+        assert!(!tel.micro_gate());
+        assert!(tel.events().is_empty());
+        let c = tel.counter("still.counting");
+        c.add(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn sampled_mode_records_one_in_n() {
+        let tel = Telemetry::sampled(10);
+        for i in 0..100u64 {
+            tel.record(Track::Originator, i, EventKind::NetWindow { events: i });
+        }
+        assert_eq!(tel.events().len(), 10);
+    }
+
+    #[test]
+    fn micro_gate_fires_once_per_stride() {
+        let tel = Telemetry::enabled();
+        let fired = (0..MICRO_SAMPLE_STRIDE * 3)
+            .filter(|_| tel.micro_gate())
+            .count();
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn forgotten_span_does_not_corrupt_later_spans() {
+        let tel = Telemetry::enabled();
+        std::mem::forget(tel.span(Track::Follower, 1, Phase::KernelAdvance));
+        {
+            let _balanced = tel.span(Track::Follower, 2, Phase::KernelAdvance);
+        }
+        // The leaked guard never recorded; the balanced one did, one level
+        // deep because the leaked depth increment is still outstanding.
+        let events = tel.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::PhaseSpan {
+                phase: Phase::KernelAdvance,
+                depth: 1
+            }
+        );
     }
 }

@@ -34,6 +34,7 @@ use crate::logic::Logic;
 use crate::signal::SignalId;
 use crate::sim::Simulator;
 use crate::vector::LogicVector;
+use castanet_obs::{Counter, Phase, Telemetry, Track};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -662,6 +663,9 @@ pub struct CompiledSim {
     state: Vec<PackedBit>,
     lanes: usize,
     cycles: u64,
+    /// Full schedule sweeps (`compiled.schedule_evals`).
+    obs_schedule_evals: Counter,
+    tel: Telemetry,
 }
 
 impl CompiledSim {
@@ -685,7 +689,17 @@ impl CompiledSim {
             state: vec![PackedBit::ALL_X; words],
             lanes,
             cycles: 0,
+            obs_schedule_evals: Counter::default(),
+            tel: Telemetry::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: registers `compiled.schedule_evals`
+    /// and enables the sampled `compiled.schedule_eval` micro-phase around
+    /// each clock edge.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.obs_schedule_evals = tel.counter("compiled.schedule_evals");
+        self.tel = tel.clone();
     }
 
     /// Active lane count.
@@ -792,6 +806,8 @@ impl CompiledSim {
     /// sequential ops against pre-edge state (writes land in shadow
     /// words), latch the shadows, settle again.
     pub fn clock(&mut self) {
+        let sampled = self.tel.micro_gate();
+        let mark = if sampled { self.tel.now_ns() } else { 0 };
         self.settle();
         eval(&self.schedule.seq_ops, &mut self.state);
         for &(state_word, shadow_word) in &self.schedule.latches {
@@ -799,6 +815,15 @@ impl CompiledSim {
         }
         self.settle();
         self.cycles += 1;
+        self.obs_schedule_evals.inc();
+        if sampled {
+            self.tel.record_phase(
+                Track::Follower,
+                self.cycles,
+                Phase::CompiledScheduleEval,
+                mark,
+            );
+        }
     }
 }
 
@@ -1340,6 +1365,43 @@ mod tests {
         assert_eq!(csim.read_bit(q2, 0), Logic::One);
         assert_eq!(csim.read_bit(q2, 1), Logic::Zero);
         assert_eq!(csim.cycles(), 2);
+    }
+
+    /// Telemetry on the schedule engine: every clock edge counts one
+    /// `compiled.schedule_evals`, and with enough edges the 1-in-N micro
+    /// sampler records at least one `compiled.schedule_eval` phase span.
+    #[test]
+    fn schedule_evals_are_counted_and_phase_sampled() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        sim.mark_external_input(clk);
+        let d = sim.add_signal("d", 1);
+        sim.mark_external_input(d);
+        let q = sim.add_signal("q", 1);
+        sim.add_process_rising(Box::new(InvReg::new("r", clk, d, q)), &[clk], &[]);
+        let schedule = CompiledSchedule::compile(&sim).expect("compiles");
+        let mut csim = CompiledSim::new(schedule, 2);
+
+        let tel = Telemetry::enabled();
+        csim.set_telemetry(&tel);
+        let edges = 4 * castanet_obs::MICRO_SAMPLE_STRIDE;
+        for _ in 0..edges {
+            csim.clock();
+        }
+        assert_eq!(
+            tel.metrics_snapshot().counter("compiled.schedule_evals"),
+            Some(edges)
+        );
+        let sampled = tel
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == Phase::CompiledScheduleEval.name())
+            .count() as u64;
+        assert!(
+            sampled > 0 && sampled <= edges.div_ceil(castanet_obs::MICRO_SAMPLE_STRIDE),
+            "expected ~1-in-{} sampling of {edges} edges, saw {sampled}",
+            castanet_obs::MICRO_SAMPLE_STRIDE
+        );
     }
 
     #[test]

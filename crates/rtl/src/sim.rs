@@ -19,7 +19,7 @@ use crate::signal::{ProcId, SignalId, SignalInfo, SignalState};
 use crate::vector::LogicVector;
 use crate::wheel::TimingWheel;
 use castanet_netsim::time::{SimDuration, SimTime};
-use castanet_obs::{Counter, Gauge, Telemetry};
+use castanet_obs::{Counter, Gauge, Phase, Telemetry, Track};
 use std::collections::HashMap;
 
 /// A pending signal assignment or process wake-up. Time lives in the
@@ -178,10 +178,18 @@ pub struct Simulator {
     /// Dense signal → index-in-`traced` table ([`NOT_TRACED`] otherwise).
     trace_pos: Vec<u32>,
     trace_log: Vec<(SimTime, usize, LogicVector)>,
-    /// Pending-queue depth after each time step (`rtl.queue_depth`).
+    /// Pending-queue depth at each advance-window boundary
+    /// (`rtl.queue_depth`).
     obs_queue_depth: Gauge,
     /// Wheel cascade relocations (`rtl.wheel_cascade`).
     obs_wheel_cascade: Counter,
+    /// Occupied wheel slots at each advance-window boundary
+    /// (`rtl.wheel_occupancy`).
+    obs_wheel_occupancy: Gauge,
+    /// Telemetry handle for the sampled kernel micro-phases
+    /// (`kernel.pop`/`kernel.eval`/`kernel.delta`) and the
+    /// `kernel.advance` span.
+    tel: Telemetry,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -233,15 +241,20 @@ impl Simulator {
             trace_log: Vec::new(),
             obs_queue_depth: Gauge::default(),
             obs_wheel_cascade: Counter::default(),
+            obs_wheel_occupancy: Gauge::default(),
+            tel: Telemetry::disabled(),
         }
     }
 
     /// Binds the kernel's telemetry instruments (`rtl.queue_depth`,
-    /// `rtl.wheel_cascade`) to `tel`'s registry. With the default
-    /// disabled telemetry the instruments are no-ops.
+    /// `rtl.wheel_cascade`, `rtl.wheel_occupancy`) to `tel`'s registry and
+    /// arms the sampled kernel micro-phases. With the default disabled
+    /// telemetry the instruments are no-ops.
     pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
         self.obs_queue_depth = tel.gauge("rtl.queue_depth");
         self.obs_wheel_cascade = tel.counter("rtl.wheel_cascade");
+        self.obs_wheel_occupancy = tel.gauge("rtl.wheel_occupancy");
     }
 
     /// Marks a signal for waveform tracing; its events will appear in the
@@ -756,6 +769,11 @@ impl Simulator {
         let mut wake = std::mem::take(&mut self.wake);
         let mut deltas_here: u32 = 0;
         let mut outcome = Ok(true);
+        // Sampled micro-phase breakdown of this step: `kernel.pop` is the
+        // first spin's transaction collection, `kernel.eval` the first
+        // spin's apply/wake/run, `kernel.delta` every follow-up delta spin.
+        let sampled = self.tel.micro_gate();
+        let mut mark = if sampled { self.tel.now_ns() } else { 0 };
         loop {
             // Collect every transaction scheduled for exactly `t` *now*;
             // assignments scheduled during this delta land in `delta` (or
@@ -777,6 +795,11 @@ impl Simulator {
             }
             if batch.is_empty() {
                 break;
+            }
+            if sampled && deltas_here == 0 {
+                mark = self
+                    .tel
+                    .record_phase(Track::Follower, t.as_picos(), Phase::KernelPop, mark);
             }
             deltas_here += 1;
             self.counters.delta_cycles += 1;
@@ -842,16 +865,37 @@ impl Simulator {
             for &p in &wake {
                 self.woken[p.0] = false;
             }
+            if sampled && deltas_here == 1 {
+                mark =
+                    self.tel
+                        .record_phase(Track::Follower, t.as_picos(), Phase::KernelEval, mark);
+            }
+        }
+        if sampled && deltas_here > 1 {
+            self.tel
+                .record_phase(Track::Follower, t.as_picos(), Phase::KernelDelta, mark);
         }
         self.batch = batch;
         self.wake = wake;
+        outcome
+    }
+
+    /// Publishes the kernel's queue-shape telemetry: the
+    /// `rtl.queue_depth` and `rtl.wheel_occupancy` gauges and the wheel's
+    /// accumulated cascade tally into `rtl.wheel_cascade`. Called once per
+    /// advance window, not per step — the gauges are point-in-time
+    /// snapshots either way, the cascade *sum* is preserved exactly, and
+    /// keeping these off the per-step path is what holds the
+    /// counters-only policy near zero overhead.
+    pub fn publish_queue_telemetry(&mut self) {
         self.obs_queue_depth
             .set((self.queue.len() + self.delta.len()) as u64);
+        self.obs_wheel_occupancy
+            .set(u64::from(self.queue.occupied_slots()));
         let cascaded = self.queue.take_cascaded();
         if cascaded > 0 {
             self.obs_wheel_cascade.add(cascaded);
         }
-        outcome
     }
 
     /// Runs until no transaction earlier than `horizon` remains. Activity at
@@ -863,12 +907,17 @@ impl Simulator {
     ///
     /// See [`Simulator::step_time`].
     pub fn run_until(&mut self, horizon: SimTime) -> Result<(), RtlError> {
+        // The span guard borrows its `Telemetry`; clone the cheap handle so
+        // `self.step_time()` can still borrow `self` mutably underneath.
+        let tel = self.tel.clone();
+        let _span = tel.span(Track::Follower, horizon.as_picos(), Phase::KernelAdvance);
         while let Some(t) = self.next_time() {
             if t >= horizon {
                 break;
             }
             self.step_time()?;
         }
+        self.publish_queue_telemetry();
         // Time still advances to just before the horizon conceptually; we
         // leave `now` at the last executed step.
         Ok(())
@@ -882,6 +931,7 @@ impl Simulator {
     /// See [`Simulator::step_time`].
     pub fn run_to_quiescence(&mut self) -> Result<(), RtlError> {
         while self.step_time()? {}
+        self.publish_queue_telemetry();
         Ok(())
     }
 

@@ -98,6 +98,13 @@ impl<T> TimingWheel<T> {
         std::mem::take(&mut self.cascaded)
     }
 
+    /// Occupied slots across every level — how spread-out the pending
+    /// transactions are. Feeds the `rtl.wheel_occupancy` telemetry gauge.
+    #[must_use]
+    pub fn occupied_slots(&self) -> u32 {
+        self.occupied.iter().map(|bits| bits.count_ones()).sum()
+    }
+
     /// Level whose digit distinguishes `time` from the current base.
     #[inline]
     fn level_of(&self, time: u64) -> usize {

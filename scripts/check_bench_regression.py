@@ -4,6 +4,7 @@
 Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
                               [--rows PREFIX,...] [--require GROUP,...]
+                              [--overhead GROUP:BASE_ROW:SUBJECT_ROW:MAX_PCT ...]
 
 BASELINE and CURRENT are either two JSON files or two directories. In
 directory mode every committed `BENCH_*.json` under BASELINE is paired
@@ -28,6 +29,20 @@ Every result row whose name starts with one of the --rows prefixes
 (1 - threshold) x the baseline's events/sec. Rows present only in the
 current run are ignored (bench matrices may grow); rows present only in
 the baseline are reported but do not fail by themselves.
+
+--overhead guards a *relative* bound inside the CURRENT run, independent
+of machine speed: in group GROUP, SUBJECT_ROW's per-iteration time must
+not exceed BASE_ROW's by more than MAX_PCT percent. The comparison uses
+`median_ns_per_iter` — for a bench that gathers its rows' samples
+interleaved (e.g. e12_obs_overhead), machine drift hits every row's
+median equally and cancels out of the ratio, which makes it the most
+repeatable statistic; the emitted `min_ns_per_iter` is an extreme order
+statistic (one lucky baseline sample skews it) and serves as context,
+not the verdict. Row names match by prefix, so `event_full_trace`
+covers `event_full_trace/100`. Repeatable; each bound is checked
+against every matching row pair. A missing group or row fails — an
+overhead budget that silently stops being measured is itself a
+regression.
 
 Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 """
@@ -88,6 +103,123 @@ def load_doc(path):
         print(f"error: no usable result rows in {path}", file=sys.stderr)
         sys.exit(2)
     return group, rows
+
+
+def parse_overhead_spec(spec):
+    """Parses one GROUP:BASE_ROW:SUBJECT_ROW:MAX_PCT bound."""
+    parts = spec.split(":")
+    if len(parts) != 4:
+        print(
+            f"error: --overhead expects GROUP:BASE_ROW:SUBJECT_ROW:MAX_PCT, "
+            f"got {spec!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    group, base_row, subject_row, max_pct = parts
+    try:
+        max_pct = float(max_pct)
+    except ValueError:
+        print(f"error: --overhead MAX_PCT must be a number, got {parts[3]!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not (group and base_row and subject_row) or max_pct <= 0:
+        print(f"error: malformed --overhead spec {spec!r}", file=sys.stderr)
+        sys.exit(2)
+    return group, base_row, subject_row, max_pct
+
+
+def load_iter_times(path):
+    """Parses one BENCH_*.json into {name: {statistic: ns_per_iter}} with
+    one entry per per-iteration statistic the capture carries
+    (`min_ns_per_iter`, `median_ns_per_iter`)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        if not isinstance(name, str):
+            continue
+        stats = {}
+        for stat in ("median_ns_per_iter", "min_ns_per_iter"):
+            value = row.get(stat)
+            if isinstance(value, (int, float)) and value > 0:
+                stats[stat] = float(value)
+        if stats:
+            times[name] = stats
+    return times
+
+
+def matching_rows(times, prefix):
+    """Rows named `prefix` exactly or `prefix/<param>`, keyed by param."""
+    out = {}
+    for name, stats in times.items():
+        if name == prefix:
+            out[None] = (name, stats)
+        elif name.startswith(prefix + "/"):
+            out[name.split("/", 1)[1]] = (name, stats)
+    return out
+
+
+def check_overhead(current, is_dir, specs):
+    """Enforces every --overhead bound against the CURRENT tree; returns
+    the list of failed bound descriptions."""
+    failed = []
+    for group, base_row, subject_row, max_pct in specs:
+        path = os.path.join(current, f"BENCH_{group}.json") if is_dir else current
+        if not os.path.isfile(path):
+            print(
+                f"error: --overhead group {group} has no current run "
+                f"(expected {path})",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        times = load_iter_times(path)
+        bases = matching_rows(times, base_row)
+        subjects = matching_rows(times, subject_row)
+        pairs = [
+            (bases[param], subjects[param])
+            for param in sorted(bases, key=str)
+            if param in subjects
+        ]
+        if not pairs:
+            print(
+                f"error: --overhead {group}: no row pair matches "
+                f"{base_row!r} vs {subject_row!r} in {path}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        for (base_name, base_stats), (subj_name, subj_stats) in pairs:
+            # The median of interleaved samples is the verdict statistic
+            # (see the module docstring); never mix statistics across the
+            # two rows.
+            shared = [
+                s
+                for s in ("median_ns_per_iter", "min_ns_per_iter")
+                if s in base_stats and s in subj_stats
+            ]
+            if not shared:
+                print(
+                    f"error: --overhead {group}: {base_name} and {subj_name} "
+                    f"share no per-iteration statistic in {path}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            stat = shared[0]
+            base_ns, subj_ns = base_stats[stat], subj_stats[stat]
+            pct = (subj_ns / base_ns - 1.0) * 100.0
+            verdict = "OK" if pct <= max_pct else "OVERHEAD"
+            print(
+                f"{verdict:<10} [{group}] {subj_name}: {subj_ns:,.0f} ns/iter "
+                f"vs {base_name} {base_ns:,.0f} ({stat}, {pct:+.2f}%, budget "
+                f"{max_pct:.2f}%)"
+            )
+            if pct > max_pct:
+                failed.append(f"{group}:{subj_name} {pct:+.2f}% > {max_pct:.2f}%")
+    return failed
 
 
 def check_pair(baseline_path, current_path, threshold, prefixes):
@@ -168,7 +300,17 @@ def main():
         help="comma-separated group names that must be present in both "
         "trees (a dropped group fails even if its baseline was deleted)",
     )
+    parser.add_argument(
+        "--overhead",
+        action="append",
+        default=[],
+        metavar="GROUP:BASE_ROW:SUBJECT_ROW:MAX_PCT",
+        help="relative per-iteration bound enforced inside the CURRENT "
+        "run (repeatable); e.g. "
+        "e12_obs_overhead:event_telemetry_off:event_full_trace:5",
+    )
     args = parser.parse_args()
+    overhead_specs = [parse_overhead_spec(s) for s in args.overhead]
     if not 0.0 < args.threshold < 1.0:
         print("error: --threshold must be in (0, 1)", file=sys.stderr)
         sys.exit(2)
@@ -206,6 +348,10 @@ def main():
         guarded += g
         failed.extend(f)
 
+    overhead_failed = check_overhead(
+        args.current, os.path.isdir(args.current), overhead_specs
+    )
+
     missing = required - seen_groups
     if missing:
         print(
@@ -226,8 +372,18 @@ def main():
             f"{args.threshold:.0%}: {', '.join(failed)}",
             file=sys.stderr,
         )
+    if overhead_failed:
+        print(
+            f"\n{len(overhead_failed)} overhead budget(s) exceeded: "
+            f"{'; '.join(overhead_failed)}",
+            file=sys.stderr,
+        )
+    if failed or overhead_failed:
         sys.exit(1)
-    print(f"\nall {guarded} guarded row(s) within {args.threshold:.0%} of baseline")
+    message = f"\nall {guarded} guarded row(s) within {args.threshold:.0%} of baseline"
+    if overhead_specs:
+        message += f"; all {len(overhead_specs)} overhead budget(s) met"
+    print(message)
 
 
 if __name__ == "__main__":

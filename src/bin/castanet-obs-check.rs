@@ -1,17 +1,26 @@
-//! `castanet-obs-check` — validate telemetry JSONL against the exporter
-//! schema.
+//! `castanet-obs-check` — validate telemetry exports against the exporter
+//! schemas.
 //!
-//! Reads a JSONL event dump (as produced by `castanet-trace --format
-//! jsonl`) from a file or stdin and checks every line against the schema
-//! in `castanet_obs::schema`: valid JSON, known event name, known track,
-//! `u64` time stamps, `u64` args. Exit status is 1 on the first bad line
-//! (reported with its 1-based line number), 0 when the whole document
-//! validates — wire it into CI after a telemetry smoke run.
+//! Two modes:
+//!
+//! * default: reads a JSONL event dump (as produced by `castanet-trace
+//!   --format jsonl`) from a file or stdin and checks every line against
+//!   the schema in `castanet_obs::schema`: valid JSON, known event name,
+//!   known track, `u64` time stamps, `u64` args;
+//! * `--profile`: reads a self-profiling report (as produced by
+//!   `castanet-trace --format profile-json`) and checks the whole document
+//!   against the profile schema — versioned header, per-track wall
+//!   extents, well-formed phase rows.
+//!
+//! Exit status is 1 on the first bad line (reported with its 1-based line
+//! number) or malformed profile, 0 when the document validates — wire it
+//! into CI after a telemetry smoke run.
 
 use std::io::Read;
 
-const USAGE: &str = "usage: castanet-obs-check [FILE]\n\
-                     validates a telemetry JSONL dump (FILE, or stdin when omitted or '-')";
+const USAGE: &str = "usage: castanet-obs-check [--profile] [FILE]\n\
+                     validates a telemetry JSONL dump (FILE, or stdin when omitted or '-');\n\
+                     --profile validates a profile-json report instead";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -20,12 +29,14 @@ fn usage() -> ! {
 
 fn main() {
     let mut path: Option<String> = None;
+    let mut profile = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
             }
+            "--profile" => profile = true,
             flag if flag.starts_with('-') && flag != "-" => usage(),
             file => {
                 if path.is_some() {
@@ -54,11 +65,21 @@ fn main() {
         },
     };
 
-    match castanet_obs::schema::validate_jsonl(&text) {
-        Ok(count) => println!("{source}: {count} events valid"),
-        Err((line, message)) => {
-            eprintln!("{source}:{line}: {message}");
-            std::process::exit(1);
+    if profile {
+        match castanet_obs::schema::validate_profile(&text) {
+            Ok(rows) => println!("{source}: profile valid ({rows} phase rows)"),
+            Err(message) => {
+                eprintln!("{source}: {message}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match castanet_obs::schema::validate_jsonl(&text) {
+            Ok(count) => println!("{source}: {count} events valid"),
+            Err((line, message)) => {
+                eprintln!("{source}:{line}: {message}");
+                std::process::exit(1);
+            }
         }
     }
 }

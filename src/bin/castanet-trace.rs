@@ -33,15 +33,20 @@ use castanet_netsim::time::SimTime;
 use castanet_obs::export::{render_summary, write_chrome_trace, write_jsonl};
 use castanet_obs::{EventKind, Track};
 use coverify::scenarios::{
-    switch_cosim, switch_cosim_cycle, switch_cosim_parallel, SwitchScenarioConfig,
+    switch_cosim, switch_cosim_compiled, switch_cosim_cycle, switch_cosim_parallel,
+    SwitchScenarioConfig,
 };
 use std::io::Write;
 use std::path::Path;
 
 const USAGE: &str = "usage: castanet-trace (--scenario NAME | --replay FILE) \
-                     [--cells N] [--format jsonl|chrome|summary] [--out PATH]\n\
-                     scenarios: switch_cosim | switch_cosim_cycle | switch_cosim_parallel\n\
+                     [--cells N] [--lanes N] [--profile] \
+                     [--format jsonl|chrome|summary|profile|profile-json] [--out PATH]\n\
+                     scenarios: switch_cosim | switch_cosim_cycle | \
+                     switch_cosim_parallel | switch_cosim_compiled\n\
                      --cells N   cells per traffic source in scenario mode (default 100)\n\
+                     --lanes N   replicated instances for switch_cosim_compiled (default 4)\n\
+                     --profile   print the per-phase timing breakdown after the run\n\
                      --format    export format (default summary)\n\
                      --out PATH  write the export to PATH instead of stdout";
 
@@ -55,6 +60,8 @@ enum Format {
     Jsonl,
     Chrome,
     Summary,
+    Profile,
+    ProfileJson,
 }
 
 /// Telemetry ring capacity: large enough to retain every event of the
@@ -62,7 +69,12 @@ enum Format {
 const RING_CAPACITY: usize = 1 << 20;
 
 /// Runs one named scenario with telemetry attached to every layer.
-fn run_scenario(name: &str, cells: u64, tel: &Telemetry) -> Result<String, CastanetError> {
+fn run_scenario(
+    name: &str,
+    cells: u64,
+    lanes: usize,
+    tel: &Telemetry,
+) -> Result<String, CastanetError> {
     let config = SwitchScenarioConfig {
         cells_per_source: cells,
         ..Default::default()
@@ -81,6 +93,13 @@ fn run_scenario(name: &str, cells: u64, tel: &Telemetry) -> Result<String, Casta
         }
         "switch_cosim_parallel" => {
             let mut coupling = switch_cosim_parallel(config).with_telemetry(tel).coupling;
+            coupling.run(until)?;
+            coupling.stats()
+        }
+        "switch_cosim_compiled" => {
+            let mut coupling = switch_cosim_compiled(config, lanes)
+                .with_telemetry(tel)
+                .coupling;
             coupling.run(until)?;
             coupling.stats()
         }
@@ -217,6 +236,11 @@ fn export(tel: &Telemetry, format: Format, out: Option<&str>) -> std::io::Result
             let summary = render_summary(&events, &tel.metrics_snapshot(), tel.dropped_events());
             writer.write_all(summary.as_bytes())?;
         }
+        Format::Profile => writer.write_all(tel.profile().render().as_bytes())?,
+        Format::ProfileJson => {
+            writer.write_all(tel.profile().to_json().as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
     }
     writer.flush()
 }
@@ -225,6 +249,8 @@ fn main() {
     let mut scenario: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut cells = 100u64;
+    let mut lanes = 4usize;
+    let mut profile = false;
     let mut format = Format::Summary;
     let mut out: Option<String> = None;
 
@@ -243,10 +269,17 @@ fn main() {
                 Some(n) if n > 0 => cells = n,
                 _ => usage(),
             },
+            "--lanes" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if (1..=castanet_rtl::compiled::LANES).contains(&n) => lanes = n,
+                _ => usage(),
+            },
+            "--profile" => profile = true,
             "--format" => match args.next().as_deref() {
                 Some("jsonl") => format = Format::Jsonl,
                 Some("chrome") => format = Format::Chrome,
                 Some("summary") => format = Format::Summary,
+                Some("profile") => format = Format::Profile,
+                Some("profile-json") => format = Format::ProfileJson,
                 other => {
                     eprintln!(
                         "unknown format: {}",
@@ -282,7 +315,7 @@ fn main() {
 
     let tel = Telemetry::with_capacity(RING_CAPACITY);
     let report = match (&scenario, &replay) {
-        (Some(name), None) => run_scenario(name, cells, &tel),
+        (Some(name), None) => run_scenario(name, cells, lanes, &tel),
         (None, Some(path)) => run_replay(path, &tel),
         _ => unreachable!("validated above"),
     };
@@ -302,5 +335,10 @@ fn main() {
     if let Err(e) = export(&tel, format, out.as_deref()) {
         eprintln!("castanet-trace: export failed: {e}");
         std::process::exit(1);
+    }
+    // `--profile` prints the breakdown to stderr so it composes with any
+    // `--format`/`--out` export going to stdout.
+    if profile && format != Format::Profile {
+        eprint!("{}", tel.profile().render());
     }
 }

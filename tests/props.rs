@@ -1303,3 +1303,71 @@ fn seeded_pruned_sensitivity_trips_exactly_cast120() {
         assert!(diags[0].message.contains("in1"), "{}", diags[0].message);
     });
 }
+
+#[test]
+fn span_guards_survive_any_interleaving_of_drops_and_leaks() {
+    use castanet_obs::{EventKind as ObsEventKind, Phase, SpanGuard, Telemetry, Track};
+    use std::cell::Cell;
+
+    // The span-depth bookkeeping is thread-local and a forgotten guard
+    // leaves it raised for good; the model mirrors the counter across
+    // cases so every recorded depth — under arbitrary interleavings of
+    // out-of-order drops and leaks — is predicted exactly.
+    let depth_now = Cell::new(0u32);
+    cases(
+        "span_guards_survive_any_interleaving_of_drops_and_leaks",
+        |g| {
+            let tel = Telemetry::enabled();
+            let phases = [
+                Phase::KernelAdvance,
+                Phase::ParallelGrant,
+                Phase::ParallelWait,
+                Phase::ParallelDrain,
+            ];
+            let mut open: Vec<SpanGuard<'_>> = Vec::new();
+            let mut open_phases: Vec<Phase> = Vec::new();
+            let mut expected: Vec<(Phase, u32)> = Vec::new();
+            for _ in 0..g.range_usize(1, 24) {
+                match g.range_usize(0, 4) {
+                    0 | 1 => {
+                        let phase = phases[g.range_usize(0, phases.len())];
+                        open.push(tel.span(Track::Follower, 1, phase));
+                        open_phases.push(phase);
+                        depth_now.set(depth_now.get().saturating_add(1));
+                    }
+                    // Unbalanced close: drop a guard at an arbitrary position;
+                    // it records the *post-decrement* drop-time depth.
+                    2 if !open.is_empty() => {
+                        let i = g.range_usize(0, open.len());
+                        drop(open.swap_remove(i));
+                        let phase = open_phases.swap_remove(i);
+                        depth_now.set(depth_now.get().saturating_sub(1));
+                        expected.push((phase, depth_now.get()));
+                    }
+                    // Leak: records nothing, depth stays raised.
+                    3 if !open.is_empty() => {
+                        let i = g.range_usize(0, open.len());
+                        std::mem::forget(open.swap_remove(i));
+                        open_phases.swap_remove(i);
+                    }
+                    _ => {}
+                }
+            }
+            while let Some(guard) = open.pop() {
+                drop(guard);
+                let phase = open_phases.pop().expect("one phase per guard");
+                depth_now.set(depth_now.get().saturating_sub(1));
+                expected.push((phase, depth_now.get()));
+            }
+            let got: Vec<(Phase, u32)> = tel
+                .events()
+                .iter()
+                .map(|e| match e.kind {
+                    ObsEventKind::PhaseSpan { phase, depth } => (phase, depth),
+                    ref other => panic!("unexpected event {other:?}"),
+                })
+                .collect();
+            assert_eq!(got, expected);
+        },
+    );
+}
