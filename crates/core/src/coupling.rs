@@ -97,6 +97,27 @@ pub trait CoupledSimulator {
     fn structural_preflight(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Checkpoints the follower: returns an independent copy of the full
+    /// follower state, suitable for restoring later by plain assignment.
+    /// This is the primitive behind
+    /// [`ExecMode::TimeWarp`](crate::parallel::ExecMode::TimeWarp):
+    /// the executor forks before speculating past the granted horizon and
+    /// rolls back to the fork if stimulus invalidates the speculation.
+    ///
+    /// The default returns `None` — "this follower cannot be
+    /// checkpointed" — which is the honest answer for followers wrapping
+    /// external state (hardware boards, remote processes, boxed
+    /// event-driven simulators). Deterministic in-process followers
+    /// ([`crate::cyclecosim::CycleCosim`],
+    /// [`crate::compiledcosim::CompiledCosim`]) override it with a deep
+    /// copy.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// An event-driven RTL simulation with its co-simulation entity, as one

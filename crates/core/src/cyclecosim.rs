@@ -43,11 +43,13 @@ pub struct EgressIndices {
     pub valid: usize,
 }
 
+#[derive(Clone)]
 struct IngressLine {
     idx: IngressIndices,
     next_free_clock: u64,
 }
 
+#[derive(Clone)]
 struct EgressLine {
     idx: EgressIndices,
     assembler: ByteStreamAssembler,
@@ -75,6 +77,12 @@ pub struct CycleCosim {
     obs_skipped: Gauge,
     /// Telemetry handle for the sampled `cycle.eval` micro-phase.
     tel: Telemetry,
+    /// End stamp of the last `cycle.eval` span, reused as the next span's
+    /// start when the very next clock is also sampled — halving the clock
+    /// reads on back-to-back sampled clocks. `0` means "stale": anything
+    /// that breaks clock adjacency (an unsampled clock, an idle skip, a
+    /// delivery, a new advance sweep) resets it.
+    phase_stamp: u64,
 }
 
 impl std::fmt::Debug for CycleCosim {
@@ -111,6 +119,7 @@ impl CycleCosim {
             obs_evaluated: Gauge::default(),
             obs_skipped: Gauge::default(),
             tel: Telemetry::disabled(),
+            phase_stamp: 0,
         }
     }
 
@@ -180,14 +189,25 @@ impl CycleCosim {
             None => self.zero_inputs.clone(),
         };
         // `cycle.eval` is a per-clock micro-phase: sampled 1-in-N, so the
-        // two clock reads are paid once per stride, not per clock.
+        // two clock reads are paid once per stride, not per clock. Across
+        // back-to-back sampled clocks the previous span's end stamp doubles
+        // as this span's start, halving even that residual cost.
         let sampled = self.tel.micro_gate();
-        let eval_start = if sampled { self.tel.now_ns() } else { 0 };
+        let eval_start = if sampled {
+            if self.phase_stamp != 0 {
+                self.phase_stamp
+            } else {
+                self.tel.now_ns()
+            }
+        } else {
+            self.phase_stamp = 0;
+            0
+        };
         let outs = self.sim.step(&inputs)?;
         self.clocks_done += 1;
         let stamp = SimTime::from_picos(self.clocks_done * self.clock_period.as_picos());
         if sampled {
-            self.tel.record_phase(
+            self.phase_stamp = self.tel.record_phase(
                 Track::Follower,
                 stamp.as_picos(),
                 Phase::CycleEval,
@@ -230,6 +250,9 @@ impl CycleCosim {
     ) -> Result<Vec<Message>, CastanetError> {
         let period = self.clock_period.as_picos();
         let target = horizon.as_picos().div_ceil(period).saturating_sub(1);
+        // A new sweep starts from non-clock work (sync, delivery), so the
+        // cached span stamp no longer abuts the next evaluation.
+        self.phase_stamp = 0;
         let mut collected = Vec::new();
         while self.clocks_done < target {
             // Idle skip: no stimulus pending anywhere in the window and the
@@ -253,6 +276,7 @@ impl CycleCosim {
                         self.skipped += jump;
                         self.stimulus.drain(..jump as usize);
                         self.clocks_done += jump;
+                        self.phase_stamp = 0;
                         continue;
                     }
                     Some(_) => {}
@@ -301,6 +325,7 @@ impl CoupledSimulator for CycleCosim {
             slot[idx.enable] = 1;
         }
         self.ingress[msg.port].next_free_clock = start + CELL_OCTETS as u64;
+        self.phase_stamp = 0;
         Ok(())
     }
 
@@ -323,6 +348,26 @@ impl CoupledSimulator for CycleCosim {
         self.tel = tel.clone();
         self.obs_evaluated = tel.gauge("follower.clocks_evaluated");
         self.obs_skipped = tel.gauge("follower.clocks_skipped");
+    }
+
+    fn fork(&self) -> Option<Self> {
+        Some(CycleCosim {
+            sim: self.sim.fork()?,
+            clock_period: self.clock_period,
+            clocks_done: self.clocks_done,
+            stimulus: self.stimulus.clone(),
+            zero_inputs: self.zero_inputs.clone(),
+            ingress: self.ingress.clone(),
+            egress: self.egress.clone(),
+            response_type: self.response_type,
+            format: self.format,
+            skipped: self.skipped,
+            undecodable: self.undecodable,
+            obs_evaluated: self.obs_evaluated.clone(),
+            obs_skipped: self.obs_skipped.clone(),
+            tel: self.tel.clone(),
+            phase_stamp: 0,
+        })
     }
 }
 

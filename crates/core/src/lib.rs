@@ -28,8 +28,10 @@
 //! * [`traceio`] — dump/replay of test vectors;
 //! * [`conformance`] — customized and standardized conformance vectors;
 //! * [`parallel`] — the parallel coupled-engine executor: originator and
-//!   follower on separate threads, coupled by bounded channels that carry
-//!   batched timing windows;
+//!   follower on separate threads, coupled by lock-free SPSC rings that
+//!   carry batched timing windows;
+//! * [`ring`] — the preallocated cache-line-padded SPSC ring transport
+//!   the parallel executor runs on;
 //! * [`ipc`] — the UNIX-IPC message transport (in-process and Unix-socket);
 //! * [`remote`] — the two-process deployment: any follower served over a
 //!   transport, with a protocol client on the coupling side;
@@ -60,6 +62,7 @@ pub mod ipc;
 pub mod message;
 pub mod parallel;
 pub mod remote;
+pub mod ring;
 pub mod sync;
 pub mod traceio;
 pub mod verify;
@@ -74,6 +77,7 @@ pub use error::CastanetError;
 pub use hwloop::BoardCosim;
 pub use interface::CastanetInterfaceProcess;
 pub use message::{Message, MessagePayload, MessageTypeId};
-pub use parallel::ParallelCoupling;
+pub use parallel::{AdaptiveWindow, ExecMode, ParallelCoupling};
 pub use remote::{FollowerServer, RemoteFollower};
+pub use ring::SpscRing;
 pub use sync::{ConservativeSync, LockstepSync, OptimisticSync};

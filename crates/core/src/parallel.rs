@@ -1,5 +1,5 @@
 //! The parallel coupled-engine executor: originator and follower engines on
-//! separate threads, coupled by bounded channels.
+//! separate threads, coupled by lock-free SPSC rings.
 //!
 //! The serial [`Coupling`](crate::coupling::Coupling) interleaves both
 //! simulators on one thread, so §3.1's protocol — designed so the HDL side
@@ -10,28 +10,52 @@
 //!   interface outbox, which is deliberately thread-local);
 //! * the **follower and its [`ConservativeSync`] run on a spawned scoped
 //!   thread**; they receive *timing windows* — the per-message-type input
-//!   queue contents `I_j` plus a grant horizon — over a **bounded** command
-//!   channel, and return time-stamped responses over an unbounded reply
-//!   channel (so neither side can block the other into a deadlock: the
-//!   originator's sends are bounded by the channel depth, the follower's
-//!   sends never block);
+//!   queue contents `I_j` plus a grant horizon — through a preallocated
+//!   [`SpscRing`] of command slots and answer through a second ring of
+//!   reply slots. Slot payloads are `mem::swap`ped in and out, so the
+//!   steady state moves **no allocations across the thread boundary**,
+//!   and a side that cannot make progress spins briefly and then parks
+//!   (see the [`ring`](crate::ring) module docs for the slot protocol);
 //! * **cell batching** amortizes the ~1:400 cell-to-clock time-scale gap:
 //!   instead of one rendezvous per network event, the originator executes a
-//!   whole window of events (default 100 µs of simulated time), drains the
-//!   abstraction interface once, and ships the batch together with one
-//!   grant. The follower plays the batch with a single
-//!   [`CoupledSimulator::advance_batch`] sweep.
+//!   whole window of events, drains the abstraction interface once, and
+//!   ships the batch together with one grant. The follower plays the batch
+//!   with a single [`CoupledSimulator::advance_batch`] sweep;
+//! * **adaptive grant windows** ([`AdaptiveWindow`]) tune the batch length
+//!   at run time: when the window pipeline runs deep (the follower is the
+//!   bottleneck) the window widens toward the per-type δ_j headroom the
+//!   synchronizer already knows, so each rendezvous carries more work;
+//!   when the pipeline idles the window shrinks so responses pipeline back
+//!   sooner. The controller observes the in-flight window count, not the
+//!   raw ring occupancy — a deterministic input, so widths (and the
+//!   network kernel's whole time trajectory) are reproducible run to run;
+//! * **time-warp** ([`ExecMode::TimeWarp`]) speculates through stimulus
+//!   silence: after a stimulus-free window the follower checkpoints itself
+//!   ([`CoupledSimulator::fork`]), runs ahead of the granted horizon, and
+//!   buffers the speculative responses. If the grant later catches up
+//!   before new stimulus arrives, the buffered work commits for free; if
+//!   stimulus invalidates it, the follower rolls back to the checkpoint
+//!   and replays conservatively — so the observable trace is identical to
+//!   conservative execution by construction.
 //!
-//! Protocol → thread/channel mapping (Fig. 3): every non-null message of the
+//! Protocol → thread/ring mapping (Fig. 3): every non-null message of the
 //! window raises the originator time on the follower's synchronizer; the
 //! window's grant is the time-stamped null message; the follower advances to
-//! the grant and never past it, so the lag invariant `t_local ≤ grant`
-//! holds exactly as in the serial executive. Responses produced while the
-//! originator has already raced ahead arrive "behind" the network clock —
-//! that pipeline lag is counted in
+//! the grant and never past it (speculation runs past it only on forked
+//! state that is discarded unless the grant catches up), so the lag
+//! invariant `t_local ≤ grant` holds exactly as in the serial executive.
+//! Responses produced while the originator has already raced ahead arrive
+//! "behind" the network clock — that pipeline lag is counted in
 //! [`CouplingStats::deferred_responses`] and injected at the network's
-//! current time, which is sound under the feedforward assumption (responses
-//! feed monitors, never new stimulus).
+//! current time through the same [`inject_responses`] path the serial
+//! executive uses, which is sound under the feedforward assumption
+//! (responses feed monitors, never new stimulus). Because "the network's
+//! current time" depends on *where* in the stream a reply is absorbed,
+//! the originator absorbs replies only at deterministic pipeline
+//! positions (pipeline-full, and the end-of-stream barrier): injected
+//! timestamps, window widths, and `deferred_responses` counts are all
+//! pure functions of the scenario and configuration, never of how the OS
+//! happened to interleave the two threads.
 
 use crate::coupling::{
     inject_responses, preflight_checks, CoupledSimulator, CouplingStats, SyncCounters,
@@ -39,46 +63,148 @@ use crate::coupling::{
 use crate::error::CastanetError;
 use crate::interface::OutboxHandle;
 use crate::message::{Message, MessageTypeId};
+use crate::ring::{spin_round, spin_rounds, RingConsumer, RingProducer, SpscRing};
 use crate::sync::conservative::{ConservativeSync, SyncStats};
 use castanet_netsim::event::ModuleId;
 use castanet_netsim::kernel::Kernel;
 use castanet_netsim::time::{SimDuration, SimTime};
 use castanet_obs::{Counter, EventKind, Gauge, Histogram, Phase, Telemetry, Track};
 use std::collections::VecDeque;
-use std::sync::mpsc;
 
-/// One command from the originator thread to the follower thread.
-enum Command {
-    /// A timing window: the stimulus batch (in stamp order) plus the grant
-    /// horizon promised by the originator ("no further stimulus before
-    /// `grant`").
-    Window {
-        /// Stimulus messages crossing the abstraction interface.
-        msgs: Vec<Message>,
-        /// The window's grant horizon (exclusive).
-        grant: SimTime,
-    },
-    /// The network side is out of events: let the follower's pipeline empty
-    /// out in `quantum`-sized chunks until it has been quiet for
-    /// `quiet_chunks` consecutive chunks (or reached `until`).
-    Drain {
-        quantum: SimDuration,
-        quiet_chunks: u32,
-        until: SimTime,
-    },
+/// How the executor schedules the follower relative to the grant horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// §3.1's conservative protocol: the follower never runs past the
+    /// granted horizon. Always safe, no checkpointing required.
+    #[default]
+    Conservative,
+    /// Optimistic execution with rollback: after stimulus-free windows the
+    /// follower forks a checkpoint and speculates past the grant; buffered
+    /// speculative responses commit when the grant catches up and roll
+    /// back when stimulus invalidates them. Requires a follower whose
+    /// [`CoupledSimulator::fork`] returns `Some`; the observable trace is
+    /// identical to [`ExecMode::Conservative`] by construction.
+    TimeWarp,
 }
 
-/// One reply from the follower thread to the originator thread.
-enum Reply {
-    /// All responses of one window (exactly one per [`Command::Window`]).
-    Window(Vec<Message>),
-    /// Responses produced during a drain chunk (zero or more per
-    /// [`Command::Drain`]).
-    Drained(Vec<Message>),
-    /// The drain completed quietly (exactly one per [`Command::Drain`]).
+/// Run-time controller for the batch-window length, bounded below by an
+/// eighth of the configured base window and above by the base window plus
+/// the per-type processing-delay headroom δ_j (so a widened window never
+/// promises further ahead than the synchronizer's own lookahead allows).
+///
+/// The policy is multiplicative-increase/multiplicative-decrease on the
+/// pipeline occupancy (windows in flight over pipeline capacity): a
+/// pipeline at least half full means the follower is the bottleneck and
+/// each rendezvous should carry more simulated time; an empty pipeline
+/// means the follower is starved and narrower windows pipeline responses
+/// back sooner. The executor feeds it the in-flight window count — a pure
+/// function of the scenario, never of wall-clock thread scheduling — so
+/// the width sequence, and with it the whole simulated-time trajectory,
+/// is reproducible run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveWindow {
+    base: SimDuration,
+    headroom: SimDuration,
+    floor: SimDuration,
+    current: SimDuration,
+}
+
+impl AdaptiveWindow {
+    /// A controller starting at `base` with widening headroom `headroom`
+    /// (typically the δ_j of the stimulus message type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    #[must_use]
+    pub fn new(base: SimDuration, headroom: SimDuration) -> Self {
+        assert!(!base.is_zero(), "adaptive window base must be non-zero");
+        let floor = (base / 8).max(SimDuration::from_picos(1));
+        AdaptiveWindow {
+            base,
+            headroom,
+            floor,
+            current: base,
+        }
+    }
+
+    /// Feeds one pipeline-occupancy observation to the controller and
+    /// returns the window length to use for the next batch. The result
+    /// always satisfies `floor() ≤ width ≤ bound()`.
+    pub fn observe(&mut self, occupancy: usize, capacity: usize) -> SimDuration {
+        if occupancy * 2 >= capacity {
+            self.current = (self.current * 2).min(self.bound());
+        } else if occupancy == 0 {
+            self.current = (self.current / 2).max(self.floor);
+        }
+        self.current
+    }
+
+    /// The width the next window will use.
+    #[must_use]
+    pub fn current(&self) -> SimDuration {
+        self.current
+    }
+
+    /// The upper bound: base window plus the δ_j headroom.
+    #[must_use]
+    pub fn bound(&self) -> SimDuration {
+        self.base + self.headroom
+    }
+
+    /// The lower bound: an eighth of the base window (at least 1 ps).
+    #[must_use]
+    pub fn floor(&self) -> SimDuration {
+        self.floor
+    }
+}
+
+/// What a command slot currently holds. Slots are preallocated, so an
+/// explicit `Empty` state marks recycled entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum CmdKind {
+    #[default]
+    Empty,
+    Window,
+    Drain,
+}
+
+/// One preallocated command-ring slot: a timing window (stimulus batch in
+/// stamp order plus the grant horizon) or a drain request. The `msgs`
+/// buffer is `mem::swap`ped with the producer's scratch on push and the
+/// follower's scratch on pop, so its capacity circulates instead of being
+/// reallocated per window.
+#[derive(Debug, Default)]
+struct CmdEntry {
+    kind: CmdKind,
+    msgs: Vec<Message>,
+    grant: SimTime,
+    quantum: SimDuration,
+    quiet_chunks: u32,
+    until: SimTime,
+}
+
+/// What a reply slot currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum RepKind {
+    #[default]
+    Empty,
+    /// All responses of one window (exactly one per `CmdKind::Window`).
+    Window,
+    /// Responses produced during a drain chunk (zero or more per drain).
+    Drained,
+    /// The drain completed quietly (exactly one per `CmdKind::Drain`).
     DrainDone,
     /// The follower hit an unrecoverable error and exits its loop.
-    Fatal(CastanetError),
+    Fatal,
+}
+
+/// One preallocated reply-ring slot.
+#[derive(Debug, Default)]
+struct RepEntry {
+    kind: RepKind,
+    msgs: Vec<Message>,
+    error: Option<CastanetError>,
 }
 
 /// The parallel coupling executive — same API shape as
@@ -102,11 +228,19 @@ pub struct ParallelCoupling<S: CoupledSimulator + Send> {
     drain_quantum: SimDuration,
     drain_quiet_chunks: u32,
     strict: bool,
-    /// Simulated-time length of one batched timing window.
+    /// Simulated-time length of one batched timing window (the adaptive
+    /// controller's base when [`ParallelCoupling::with_adaptive_window`]
+    /// is on).
     batch_window: SimDuration,
-    /// Command-channel capacity: how many windows the originator may run
-    /// ahead of the follower before its sends block (bounded pipeline lag).
+    /// Command-ring capacity: how many windows the originator may run
+    /// ahead of the follower before its pushes block (bounded pipeline
+    /// lag).
     channel_depth: usize,
+    exec_mode: ExecMode,
+    adaptive: bool,
+    /// Speculation lookahead for [`ExecMode::TimeWarp`]; defaults to the
+    /// batch window when unset.
+    spec_window: Option<SimDuration>,
     /// Telemetry handle; disabled (all recording a no-op) by default.
     tel: Telemetry,
 }
@@ -118,6 +252,8 @@ impl<S: CoupledSimulator + Send> std::fmt::Debug for ParallelCoupling<S> {
             .field("follower_now", &self.follower.now())
             .field("batch_window", &self.batch_window)
             .field("channel_depth", &self.channel_depth)
+            .field("exec_mode", &self.exec_mode)
+            .field("adaptive", &self.adaptive)
             .field("stats", &self.stats)
             .finish()
     }
@@ -149,16 +285,23 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
             strict: false,
             batch_window: SimDuration::from_us(100),
             channel_depth: 4,
+            exec_mode: ExecMode::Conservative,
+            adaptive: true,
+            spec_window: None,
             tel: Telemetry::disabled(),
         }
     }
 
     /// Attaches a telemetry handle to every layer — as
     /// [`Coupling::with_telemetry`](crate::coupling::Coupling::with_telemetry),
-    /// plus the executor's own channel metrics (`channel.in_flight`
+    /// plus the executor's own transport metrics: `channel.in_flight`
     /// occupancy, `channel.grant_latency_ns`, `channel.window_msgs`,
-    /// `channel.backpressure_stalls`). Both threads record into the shared
-    /// trace sink, each on its own track.
+    /// `channel.backpressure_stalls`, the ring gauges
+    /// `ring.grant_width_ps` / `ring.cmd_occupancy` and the park counters
+    /// `ring.originator_parks` / `ring.follower_parks` (plus
+    /// `timewarp.commits` / `timewarp.rollbacks` under
+    /// [`ExecMode::TimeWarp`]). Both threads record into the shared trace
+    /// sink, each on its own track.
     #[must_use]
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.tel = tel.clone();
@@ -189,6 +332,54 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
         self.strict
     }
 
+    /// Selects the execution mode (conservative by default).
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    #[must_use]
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Enables (default) or disables the [`AdaptiveWindow`] controller.
+    /// When disabled every window uses the fixed batch window from
+    /// [`ParallelCoupling::with_batching`].
+    #[must_use]
+    pub fn with_adaptive_window(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Whether the adaptive grant-window controller is enabled.
+    #[must_use]
+    pub fn adaptive_window(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Sets the [`ExecMode::TimeWarp`] speculation lookahead (how far past
+    /// the granted horizon the follower runs ahead on forked state). The
+    /// default is the batch window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_speculation(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "speculation window must be non-zero");
+        self.spec_window = Some(window);
+        self
+    }
+
+    /// The configured speculation lookahead, if any.
+    #[must_use]
+    pub fn speculation_window(&self) -> Option<SimDuration> {
+        self.spec_window
+    }
+
     /// Tunes the final drain — as
     /// [`Coupling::with_drain`](crate::coupling::Coupling::with_drain).
     ///
@@ -206,7 +397,8 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
 
     /// Tunes the batching: `batch_window` of simulated time per timing
     /// window (larger windows = fewer thread rendezvous but coarser
-    /// response pipelining), `channel_depth` windows of bounded run-ahead.
+    /// response pipelining), `channel_depth` windows of bounded run-ahead
+    /// (the command-ring capacity).
     ///
     /// # Panics
     ///
@@ -214,7 +406,7 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
     #[must_use]
     pub fn with_batching(mut self, batch_window: SimDuration, channel_depth: usize) -> Self {
         assert!(!batch_window.is_zero(), "batch window must be non-zero");
-        assert!(channel_depth > 0, "need at least one channel slot");
+        assert!(channel_depth > 0, "need at least one ring slot");
         self.batch_window = batch_window;
         self.channel_depth = channel_depth;
         self
@@ -244,10 +436,19 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
     /// # Errors
     ///
     /// Propagates simulator, conversion and synchronization errors from
-    /// either thread.
+    /// either thread; [`CastanetError::Transport`] when
+    /// [`ExecMode::TimeWarp`] is selected but the follower's
+    /// [`CoupledSimulator::fork`] returns `None`.
     pub fn run(&mut self, until: SimTime) -> Result<CouplingStats, CastanetError> {
         if self.strict {
             self.preflight()?;
+        }
+        if self.exec_mode == ExecMode::TimeWarp && self.follower.fork().is_none() {
+            return Err(CastanetError::Transport(
+                "ExecMode::TimeWarp needs a checkpointable follower \
+                 (CoupledSimulator::fork returned None)"
+                    .into(),
+            ));
         }
         let batch_window = self.batch_window;
         let channel_depth = self.channel_depth;
@@ -255,6 +456,14 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
         let drain_quiet_chunks = self.drain_quiet_chunks;
         let cell_type = self.cell_type;
         let iface = self.iface;
+        let exec_mode = self.exec_mode;
+        let spec_window = self.spec_window.unwrap_or(batch_window);
+        // δ_j headroom for the adaptive controller, read before the &mut
+        // borrows below freeze `self`.
+        let headroom = self.sync.type_delta(cell_type).unwrap_or(SimDuration::ZERO);
+        let mut window_ctl = self
+            .adaptive
+            .then(|| AdaptiveWindow::new(batch_window, headroom));
         let net = &mut self.net;
         let stats = &mut self.stats;
         let outbox = &self.outbox;
@@ -268,178 +477,77 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
         let phase_tel = self.tel.clone();
         let mut obs = OriginatorObs::new(&self.tel);
 
-        std::thread::scope(|scope| -> Result<(), CastanetError> {
-            let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Command>(channel_depth);
-            let (rep_tx, rep_rx) = mpsc::channel::<Reply>();
-            scope.spawn(move || {
-                follower_loop(
-                    follower,
-                    sync,
-                    promised,
-                    cell_type,
-                    &cmd_rx,
-                    &rep_tx,
-                    &follower_tel,
-                );
-            });
-
-            // Windows sent but not yet answered.
-            let mut in_flight = 0usize;
-            // Stimulus delivered as of the last completed drain: if no new
-            // message reached the follower since, its pipeline is untouched
-            // and provably still quiet — re-draining would only burn
-            // simulated (and wall-clock) time on an idle DUT.
-            let mut drained_at: Option<u64> = None;
-            // Originator-side mirror of the largest grant shipped this run;
-            // windows that carry neither stimulus nor a new grant are
-            // no-ops on the follower and need not rendezvous at all.
-            let mut sent_grant = SimTime::ZERO;
-            loop {
-                // ---- phase 1: stream timing windows -------------------
-                let mut grant_span = phase_tel.span(
-                    Track::Originator,
-                    net.now().as_picos(),
-                    Phase::ParallelGrant,
-                );
-                while let Some(t0) = net.next_event_time().filter(|t| *t < until) {
-                    let w = until.min(t0 + batch_window);
-                    let window_start = obs.tel.now_ns();
-                    let executed = net.run_grant_window(w)?;
-                    stats.net_events += executed;
-                    obs.tel.record_span(
-                        Track::Originator,
-                        w.as_picos(),
-                        window_start,
-                        EventKind::NetWindow { events: executed },
-                    );
-                    // Ownership of the batch moves into `Command::Window`
-                    // and across the thread boundary, so the take-style
-                    // `drain` (no copy) is the right call here — a reused
-                    // scratch buffer would force a clone per window.
-                    let msgs = outbox.drain();
-                    stats.messages_to_follower += msgs.len() as u64;
-                    // Maximal-information grant: every event strictly before
-                    // `w` has run, and source processes schedule their
-                    // successors as they execute, so the next pending event
-                    // bounds all future stimulus from below (injected
-                    // response events are feedforward — they never produce
-                    // stimulus). With nothing pending, promise only up to
-                    // the executed front: granting the rest of the batch
-                    // window would make the follower simulate an idle tail
-                    // the drain phase handles far more cheaply.
-                    let grant = match net.next_event_time() {
-                        Some(t1) => w.max(t1.min(until)),
-                        None => net.now().min(w),
-                    };
-                    // Opportunistically absorb replies before a potentially
-                    // blocking send — keeps response injection overlapped
-                    // with window production.
-                    while let Ok(reply) = rep_rx.try_recv() {
-                        handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
+        let mut cmd_ring = SpscRing::<CmdEntry>::new(channel_depth);
+        // One reply per in-flight window plus headroom, so the follower
+        // can always post a DrainDone or Fatal without waiting on the
+        // originator.
+        let mut rep_ring = SpscRing::<RepEntry>::new(channel_depth + 2);
+        let run_result = {
+            let (mut cmd_tx, cmd_rx) = cmd_ring.split();
+            let (rep_tx, mut rep_rx) = rep_ring.split();
+            std::thread::scope(|scope| -> Result<(), CastanetError> {
+                scope.spawn(move || {
+                    let mut cmd_rx = cmd_rx;
+                    let mut rep_tx = rep_tx;
+                    // Close the rings even if the worker panics (debug
+                    // asserts), or the originator blocks forever on a
+                    // reply that will never come.
+                    let worker = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        follower_worker(
+                            follower,
+                            sync,
+                            promised,
+                            cell_type,
+                            exec_mode,
+                            spec_window,
+                            &mut cmd_rx,
+                            &mut rep_tx,
+                            &follower_tel,
+                        );
+                    }));
+                    rep_tx.close();
+                    cmd_rx.close();
+                    if let Err(panic) = worker {
+                        std::panic::resume_unwind(panic);
                     }
-                    if msgs.is_empty() && grant <= sent_grant {
-                        continue;
-                    }
-                    sent_grant = sent_grant.max(grant);
-                    obs.window_msgs.record(msgs.len() as u64);
-                    obs.tel.record(
-                        Track::Originator,
-                        net.now().as_picos(),
-                        EventKind::WindowGranted {
-                            grant_ps: grant.as_picos(),
-                            msgs: msgs.len() as u64,
-                        },
-                    );
-                    match cmd_tx.try_send(Command::Window { msgs, grant }) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(cmd)) => {
-                            // The follower is the bottleneck: every pipeline
-                            // slot is taken. Record the blocked send as a
-                            // stall span on the originator's track.
-                            let stall_start = obs.tel.now_ns();
-                            obs.stalls.inc();
-                            if cmd_tx.send(cmd).is_err() {
-                                return Err(fatal_from(&rep_rx));
-                            }
-                            obs.tel.record_span(
-                                Track::Originator,
-                                net.now().as_picos(),
-                                stall_start,
-                                EventKind::BackpressureStall {
-                                    in_flight: in_flight as u64,
-                                },
-                            );
-                        }
-                        Err(mpsc::TrySendError::Disconnected(_)) => {
-                            return Err(fatal_from(&rep_rx));
-                        }
-                    }
-                    in_flight += 1;
-                    obs.occupancy.set(in_flight as u64);
-                    if obs.tel.is_enabled() {
-                        obs.pending.push_back(obs.tel.now_ns());
-                    }
+                });
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    originator_loop(
+                        &mut cmd_tx,
+                        &mut rep_rx,
+                        net,
+                        stats,
+                        outbox,
+                        iface,
+                        until,
+                        batch_window,
+                        &mut window_ctl,
+                        drain_quantum,
+                        drain_quiet_chunks,
+                        &phase_tel,
+                        &mut obs,
+                    )
+                }));
+                // Closing both rings (on success, error, *and* unwind)
+                // wakes a parked follower so the scope's implicit join
+                // returns.
+                cmd_tx.close();
+                rep_rx.close();
+                match result {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
                 }
-                // ---- phase 2: barrier — answer every window ------------
-                grant_span.set_t_ps(net.now().as_picos());
-                drop(grant_span);
-                {
-                    let _wait_span = phase_tel.span(
-                        Track::Originator,
-                        net.now().as_picos(),
-                        Phase::ParallelWait,
-                    );
-                    while in_flight > 0 {
-                        match rep_rx.recv() {
-                            Ok(reply) => {
-                                handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
-                            }
-                            Err(_) => return Err(fatal_from(&rep_rx)),
-                        }
-                    }
-                }
-                if net.next_event_time().is_some_and(|t| t < until) {
-                    // Injected responses created fresh network work.
-                    continue;
-                }
-                // ---- phase 3: drain the follower's pipeline ------------
-                // The follower's state only changes when stimulus reaches
-                // it; a drain that found the pipeline quiet stays valid
-                // until the next delivery (responses injected after the
-                // drain only touch the network side).
-                if drained_at == Some(stats.messages_to_follower) {
-                    return Ok(());
-                }
-                let drain = Command::Drain {
-                    quantum: drain_quantum,
-                    quiet_chunks: drain_quiet_chunks,
-                    until,
-                };
-                {
-                    let _drain_span = phase_tel.span(
-                        Track::Originator,
-                        net.now().as_picos(),
-                        Phase::ParallelDrain,
-                    );
-                    if cmd_tx.send(drain).is_err() {
-                        return Err(fatal_from(&rep_rx));
-                    }
-                    loop {
-                        match rep_rx.recv() {
-                            Ok(Reply::DrainDone) => break,
-                            Ok(reply) => {
-                                handle_reply(reply, net, stats, iface, &mut in_flight, &mut obs)?;
-                            }
-                            Err(_) => return Err(fatal_from(&rep_rx)),
-                        }
-                    }
-                }
-                drained_at = Some(stats.messages_to_follower);
-                if net.next_event_time().is_none_or(|t| t >= until) {
-                    return Ok(());
-                }
-            }
-        })?;
+            })
+        };
+        let cmd_waits = cmd_ring.wait_stats();
+        let rep_waits = rep_ring.wait_stats();
+        self.tel
+            .counter("ring.originator_parks")
+            .add(cmd_waits.producer_parks + rep_waits.consumer_parks);
+        self.tel
+            .counter("ring.follower_parks")
+            .add(cmd_waits.consumer_parks + rep_waits.producer_parks);
+        run_result?;
         Ok(self.stats)
     }
 
@@ -503,6 +611,247 @@ impl<S: CoupledSimulator + Send> ParallelCoupling<S> {
     }
 }
 
+/// The originator's three-phase loop: stream timing windows, barrier on
+/// outstanding replies, drain the follower's pipeline. Factored out of
+/// [`ParallelCoupling::run`] so every early return funnels through the
+/// ring-closing epilogue there.
+///
+/// Replies are absorbed only at deterministic points — one blocking pop
+/// when the pipeline is full, the rest at the barrier — because the
+/// absorption point fixes the network time deferred responses are
+/// injected at (see the module docs on reproducibility).
+#[allow(clippy::too_many_arguments)]
+fn originator_loop(
+    cmd_tx: &mut RingProducer<'_, CmdEntry>,
+    rep_rx: &mut RingConsumer<'_, RepEntry>,
+    net: &mut Kernel,
+    stats: &mut CouplingStats,
+    outbox: &OutboxHandle,
+    iface: ModuleId,
+    until: SimTime,
+    batch_window: SimDuration,
+    window_ctl: &mut Option<AdaptiveWindow>,
+    drain_quantum: SimDuration,
+    drain_quiet_chunks: u32,
+    phase_tel: &Telemetry,
+    obs: &mut OriginatorObs,
+) -> Result<(), CastanetError> {
+    // Producer-side stimulus scratch: swapped into command slots, slot
+    // leftovers swap back out, so capacities circulate across the ring.
+    let mut scratch: Vec<Message> = Vec::new();
+    // Consumer-side reply scratch, same circulation on the reply ring.
+    let mut reply_buf: Vec<Message> = Vec::new();
+    // Windows sent but not yet answered.
+    let mut in_flight = 0usize;
+    // Stimulus delivered as of the last completed drain: if no new
+    // message reached the follower since, its pipeline is untouched
+    // and provably still quiet — re-draining would only burn
+    // simulated (and wall-clock) time on an idle DUT.
+    let mut drained_at: Option<u64> = None;
+    // Originator-side mirror of the largest grant shipped this run;
+    // windows that carry neither stimulus nor a new grant are
+    // no-ops on the follower and need not rendezvous at all.
+    let mut sent_grant = SimTime::ZERO;
+    loop {
+        // ---- phase 1: stream timing windows -------------------
+        let mut grant_span = phase_tel.span(
+            Track::Originator,
+            net.now().as_picos(),
+            Phase::ParallelGrant,
+        );
+        while let Some(t0) = net.next_event_time().filter(|t| *t < until) {
+            let width = match window_ctl.as_mut() {
+                Some(ctl) => {
+                    let w = ctl.observe(in_flight, cmd_tx.capacity());
+                    obs.grant_width.set(w.as_picos());
+                    w
+                }
+                None => batch_window,
+            };
+            let w = until.min(t0 + width);
+            let window_start = obs.tel.now_ns();
+            let executed = net.run_grant_window(w)?;
+            stats.net_events += executed;
+            obs.tel.record_span(
+                Track::Originator,
+                w.as_picos(),
+                window_start,
+                EventKind::NetWindow { events: executed },
+            );
+            debug_assert!(
+                scratch.is_empty(),
+                "originator stimulus scratch held {} leftover message(s) (first stamp {:?})",
+                scratch.len(),
+                scratch.first().map(|m| m.stamp)
+            );
+            outbox.drain_into(&mut scratch);
+            stats.messages_to_follower += scratch.len() as u64;
+            // Maximal-information grant: every event strictly before
+            // `w` has run, and source processes schedule their
+            // successors as they execute, so the next pending event
+            // bounds all future stimulus from below (injected
+            // response events are feedforward — they never produce
+            // stimulus). With nothing pending, promise only up to
+            // the executed front: granting the rest of the batch
+            // window would make the follower simulate an idle tail
+            // the drain phase handles far more cheaply.
+            let grant = match net.next_event_time() {
+                Some(t1) => w.max(t1.min(until)),
+                None => net.now().min(w),
+            };
+            if scratch.is_empty() && grant <= sent_grant {
+                continue;
+            }
+            sent_grant = sent_grant.max(grant);
+            // Deterministic absorption: replies are taken only at fixed
+            // pipeline positions — exactly one here when the pipeline is
+            // full, the rest at the phase-2 barrier — never
+            // opportunistically. Which window boundary a reply lands on
+            // decides the network time its deferred responses are
+            // injected at, so absorbing whenever a reply happens to be
+            // available would let wall-clock thread scheduling leak into
+            // simulated timestamps and break run-to-run reproducibility
+            // (replay traces assert bit- *and* cycle-exact responses).
+            if in_flight == cmd_tx.capacity() {
+                let stall_start = obs.tel.now_ns();
+                obs.stalls.inc();
+                let mut error = None;
+                match pop_reply_blocking(rep_rx, &mut reply_buf, &mut error) {
+                    Some(kind) => handle_reply(
+                        kind,
+                        &mut reply_buf,
+                        error,
+                        net,
+                        stats,
+                        iface,
+                        &mut in_flight,
+                        obs,
+                    )?,
+                    None => return Err(fatal_from(rep_rx, &mut reply_buf)),
+                }
+                obs.tel.record_span(
+                    Track::Originator,
+                    net.now().as_picos(),
+                    stall_start,
+                    EventKind::BackpressureStall {
+                        in_flight: in_flight as u64,
+                    },
+                );
+            }
+            obs.window_msgs.record(scratch.len() as u64);
+            obs.tel.record(
+                Track::Originator,
+                net.now().as_picos(),
+                EventKind::WindowGranted {
+                    grant_ps: grant.as_picos(),
+                    msgs: scratch.len() as u64,
+                },
+            );
+            push_cmd(
+                cmd_tx,
+                rep_rx,
+                &mut reply_buf,
+                net,
+                stats,
+                iface,
+                &mut in_flight,
+                obs,
+                |entry| {
+                    entry.kind = CmdKind::Window;
+                    entry.grant = grant;
+                    std::mem::swap(&mut entry.msgs, &mut scratch);
+                },
+            )?;
+            in_flight += 1;
+            obs.occupancy.set(in_flight as u64);
+            obs.cmd_occupancy.set(cmd_tx.occupancy() as u64);
+            if obs.tel.is_enabled() {
+                obs.pending.push_back(obs.tel.now_ns());
+            }
+        }
+        // ---- phase 2: barrier — answer every window ------------
+        grant_span.set_t_ps(net.now().as_picos());
+        drop(grant_span);
+        {
+            let _wait_span =
+                phase_tel.span(Track::Originator, net.now().as_picos(), Phase::ParallelWait);
+            while in_flight > 0 {
+                let mut error = None;
+                match pop_reply_blocking(rep_rx, &mut reply_buf, &mut error) {
+                    Some(kind) => handle_reply(
+                        kind,
+                        &mut reply_buf,
+                        error,
+                        net,
+                        stats,
+                        iface,
+                        &mut in_flight,
+                        obs,
+                    )?,
+                    None => return Err(fatal_from(rep_rx, &mut reply_buf)),
+                }
+            }
+        }
+        if net.next_event_time().is_some_and(|t| t < until) {
+            // Injected responses created fresh network work.
+            continue;
+        }
+        // ---- phase 3: drain the follower's pipeline ------------
+        // The follower's state only changes when stimulus reaches
+        // it; a drain that found the pipeline quiet stays valid
+        // until the next delivery (responses injected after the
+        // drain only touch the network side).
+        if drained_at == Some(stats.messages_to_follower) {
+            return Ok(());
+        }
+        {
+            let _drain_span = phase_tel.span(
+                Track::Originator,
+                net.now().as_picos(),
+                Phase::ParallelDrain,
+            );
+            push_cmd(
+                cmd_tx,
+                rep_rx,
+                &mut reply_buf,
+                net,
+                stats,
+                iface,
+                &mut in_flight,
+                obs,
+                |entry| {
+                    entry.kind = CmdKind::Drain;
+                    entry.quantum = drain_quantum;
+                    entry.quiet_chunks = drain_quiet_chunks;
+                    entry.until = until;
+                    entry.msgs.clear();
+                },
+            )?;
+            loop {
+                let mut error = None;
+                match pop_reply_blocking(rep_rx, &mut reply_buf, &mut error) {
+                    Some(RepKind::DrainDone) => break,
+                    Some(kind) => handle_reply(
+                        kind,
+                        &mut reply_buf,
+                        error,
+                        net,
+                        stats,
+                        iface,
+                        &mut in_flight,
+                        obs,
+                    )?,
+                    None => return Err(fatal_from(rep_rx, &mut reply_buf)),
+                }
+            }
+        }
+        drained_at = Some(stats.messages_to_follower);
+        if net.next_event_time().is_none_or(|t| t >= until) {
+            return Ok(());
+        }
+    }
+}
+
 /// Originator-side observation state: cached metric handles plus the send
 /// wall-times of windows still in flight (for the grant-latency histogram).
 /// All handles are no-ops when the telemetry is disabled, and `pending`
@@ -513,6 +862,8 @@ struct OriginatorObs {
     grant_latency: Histogram,
     window_msgs: Histogram,
     stalls: Counter,
+    grant_width: Gauge,
+    cmd_occupancy: Gauge,
     sync_counters: SyncCounters,
     pending: VecDeque<u64>,
 }
@@ -525,8 +876,53 @@ impl OriginatorObs {
             grant_latency: tel.histogram("channel.grant_latency_ns"),
             window_msgs: tel.histogram("channel.window_msgs"),
             stalls: tel.counter("channel.backpressure_stalls"),
+            grant_width: tel.gauge("ring.grant_width_ps"),
+            cmd_occupancy: tel.gauge("ring.cmd_occupancy"),
             sync_counters: SyncCounters::new(tel),
             pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Pops one reply into the caller's scratch buffers (swapping the slot's
+/// message buffer out, leaving the scratch's old — cleared — buffer in).
+/// Returns the reply kind, or `None` when the ring is currently empty.
+fn take_reply(
+    rep_rx: &mut RingConsumer<'_, RepEntry>,
+    msgs: &mut Vec<Message>,
+    error: &mut Option<CastanetError>,
+) -> Option<RepKind> {
+    let mut kind = RepKind::Empty;
+    msgs.clear();
+    *error = None;
+    let popped = rep_rx.try_pop_with(|entry| {
+        kind = entry.kind;
+        entry.kind = RepKind::Empty;
+        std::mem::swap(msgs, &mut entry.msgs);
+        *error = entry.error.take();
+    });
+    popped.then_some(kind)
+}
+
+/// Blocking reply pop: spin, then park, until a reply arrives or the ring
+/// closes empty (`None` — the follower is gone).
+fn pop_reply_blocking(
+    rep_rx: &mut RingConsumer<'_, RepEntry>,
+    msgs: &mut Vec<Message>,
+    error: &mut Option<CastanetError>,
+) -> Option<RepKind> {
+    let mut rounds = 0u32;
+    loop {
+        if let Some(kind) = take_reply(rep_rx, msgs, error) {
+            return Some(kind);
+        }
+        if rep_rx.is_closed() && !rep_rx.can_pop() {
+            return None;
+        }
+        spin_round();
+        rounds += 1;
+        if rounds >= spin_rounds() && !rep_rx.can_pop() {
+            rep_rx.park_while_empty();
         }
     }
 }
@@ -534,105 +930,465 @@ impl OriginatorObs {
 /// Originator-side reply handling: inject responses into the network model
 /// (through the executor-shared [`inject_responses`] path, in pipelined
 /// mode), settle window accounting.
+#[allow(clippy::too_many_arguments)]
 fn handle_reply(
-    reply: Reply,
+    kind: RepKind,
+    msgs: &mut Vec<Message>,
+    error: Option<CastanetError>,
     net: &mut Kernel,
     stats: &mut CouplingStats,
     iface: ModuleId,
     in_flight: &mut usize,
     obs: &mut OriginatorObs,
 ) -> Result<(), CastanetError> {
-    match reply {
-        Reply::Window(msgs) => {
-            *in_flight -= 1;
+    match kind {
+        RepKind::Window => {
+            *in_flight = in_flight.saturating_sub(1);
             obs.occupancy.set(*in_flight as u64);
             if let Some(sent_ns) = obs.pending.pop_front() {
                 obs.grant_latency
                     .record(obs.tel.now_ns().saturating_sub(sent_ns));
             }
-            inject_responses(net, stats, iface, msgs, true, &obs.tel, &obs.sync_counters)
-                .map(|_| ())
+            inject_responses(
+                net,
+                stats,
+                iface,
+                std::mem::take(msgs),
+                true,
+                &obs.tel,
+                &obs.sync_counters,
+            )
+            .map(|_| ())
         }
-        Reply::Drained(msgs) => {
-            inject_responses(net, stats, iface, msgs, true, &obs.tel, &obs.sync_counters)
-                .map(|_| ())
-        }
-        Reply::DrainDone => Ok(()),
-        Reply::Fatal(e) => Err(e),
+        RepKind::Drained => inject_responses(
+            net,
+            stats,
+            iface,
+            std::mem::take(msgs),
+            true,
+            &obs.tel,
+            &obs.sync_counters,
+        )
+        .map(|_| ()),
+        RepKind::Fatal => Err(error.unwrap_or_else(|| {
+            CastanetError::Transport("parallel follower reported an unspecified fatal error".into())
+        })),
+        RepKind::DrainDone | RepKind::Empty => Ok(()),
     }
 }
 
-/// The follower thread: plays timing windows and drain commands in order
-/// until the command channel closes (normal termination) or a fatal error
-/// is reported.
-fn follower_loop<S: CoupledSimulator>(
+/// Blocking command push. On a full ring the originator first absorbs any
+/// queued replies (freeing the follower to make progress — this is what
+/// makes the two blocking pushes deadlock-free), then spins, then parks.
+/// `fill` is invoked exactly once, on the successful push.
+///
+/// Under the originator loop's pipeline discipline (`in_flight` is held
+/// strictly below the command-ring capacity before every push, and ring
+/// occupancy never exceeds `in_flight`) the full-ring path cannot engage;
+/// it remains as the deadlock-free backstop for any other call pattern.
+#[allow(clippy::too_many_arguments)]
+fn push_cmd(
+    cmd_tx: &mut RingProducer<'_, CmdEntry>,
+    rep_rx: &mut RingConsumer<'_, RepEntry>,
+    reply_buf: &mut Vec<Message>,
+    net: &mut Kernel,
+    stats: &mut CouplingStats,
+    iface: ModuleId,
+    in_flight: &mut usize,
+    obs: &mut OriginatorObs,
+    mut fill: impl FnMut(&mut CmdEntry),
+) -> Result<(), CastanetError> {
+    if cmd_tx.try_push_with(&mut fill) {
+        return Ok(());
+    }
+    // The follower is the bottleneck: every pipeline slot is taken.
+    // Record the blocked push as a stall span on the originator's track.
+    let stall_start = obs.tel.now_ns();
+    obs.stalls.inc();
+    let mut rounds = 0u32;
+    loop {
+        if cmd_tx.is_closed() {
+            return Err(fatal_from(rep_rx, reply_buf));
+        }
+        let mut progressed = false;
+        loop {
+            let mut error = None;
+            let Some(kind) = take_reply(rep_rx, reply_buf, &mut error) else {
+                break;
+            };
+            handle_reply(kind, reply_buf, error, net, stats, iface, in_flight, obs)?;
+            progressed = true;
+        }
+        if cmd_tx.try_push_with(&mut fill) {
+            break;
+        }
+        if progressed {
+            rounds = 0;
+            continue;
+        }
+        spin_round();
+        rounds += 1;
+        if rounds >= spin_rounds() && !cmd_tx.can_push() {
+            cmd_tx.park_while_full();
+        }
+    }
+    obs.tel.record_span(
+        Track::Originator,
+        net.now().as_picos(),
+        stall_start,
+        EventKind::BackpressureStall {
+            in_flight: *in_flight as u64,
+        },
+    );
+    Ok(())
+}
+
+/// Scans the reply ring for the fatal error that made the follower thread
+/// exit; falls back to a transport error if none surfaced.
+fn fatal_from(rep_rx: &mut RingConsumer<'_, RepEntry>, msgs: &mut Vec<Message>) -> CastanetError {
+    let mut error = None;
+    while let Some(kind) = pop_reply_blocking(rep_rx, msgs, &mut error) {
+        if kind == RepKind::Fatal {
+            return error.unwrap_or_else(|| {
+                CastanetError::Transport(
+                    "parallel follower reported an unspecified fatal error".into(),
+                )
+            });
+        }
+    }
+    CastanetError::Transport("parallel follower thread terminated unexpectedly".into())
+}
+
+/// Per-run time-warp state, owned by the follower thread. Speculation is
+/// *commit-at-grant*: the follower only runs ahead on forked state after a
+/// stimulus-free window, and the buffered responses are revealed to the
+/// originator only once a later grant covers the whole speculated stretch
+/// — so every reply the originator sees is identical (stamps, order,
+/// multiset) to what conservative execution would have produced.
+struct WarpState<S> {
+    /// How far past the current horizon a speculation runs.
+    spec_window: SimDuration,
+    /// The forked pre-speculation state; `Some` while a speculation is
+    /// outstanding.
+    checkpoint: Option<S>,
+    /// Responses produced speculatively, withheld until commit.
+    spec_buf: Vec<Message>,
+    /// Local time the active speculation started from (rollback target).
+    spec_from: SimTime,
+    /// Local time the active speculation ran to (commit threshold).
+    spec_to: SimTime,
+    commits: Counter,
+    rollbacks: Counter,
+}
+
+impl<S> WarpState<S> {
+    fn new(spec_window: SimDuration, tel: &Telemetry) -> Self {
+        WarpState {
+            spec_window,
+            checkpoint: None,
+            spec_buf: Vec::new(),
+            spec_from: SimTime::ZERO,
+            spec_to: SimTime::ZERO,
+            commits: tel.counter("timewarp.commits"),
+            rollbacks: tel.counter("timewarp.rollbacks"),
+        }
+    }
+}
+
+/// Forks a checkpoint and speculatively advances `spec_window` past the
+/// follower's current time, buffering the responses. A follower that
+/// cannot fork (or errors while speculating) simply stays conservative —
+/// speculation is an optimization, never a correctness requirement.
+fn speculate<S: CoupledSimulator>(follower: &mut S, warp: &mut WarpState<S>) {
+    debug_assert!(warp.checkpoint.is_none(), "speculation already active");
+    let Some(checkpoint) = follower.fork() else {
+        return;
+    };
+    let from = follower.now();
+    let to = from + warp.spec_window;
+    match follower.advance_batch(to) {
+        Ok(buf) => {
+            warp.checkpoint = Some(checkpoint);
+            warp.spec_buf = buf;
+            warp.spec_from = from;
+            warp.spec_to = to;
+        }
+        Err(_) => {
+            // A speculative failure is not a real failure: restore the
+            // checkpoint and let conservative execution (re)discover any
+            // genuine error inside the granted horizon.
+            *follower = checkpoint;
+        }
+    }
+}
+
+/// Abandons the active speculation (if any): restores the checkpointed
+/// follower state and discards the buffered responses, recording the
+/// rollback on the follower's trace track.
+fn rollback<S: CoupledSimulator>(follower: &mut S, warp: &mut WarpState<S>, tel: &Telemetry) {
+    let Some(checkpoint) = warp.checkpoint.take() else {
+        return;
+    };
+    warp.rollbacks.inc();
+    tel.record(
+        Track::Follower,
+        warp.spec_from.as_picos(),
+        EventKind::Rollback {
+            to_ps: warp.spec_from.as_picos(),
+            replayed: warp.spec_buf.len() as u64,
+        },
+    );
+    warp.spec_buf.clear();
+    *follower = checkpoint;
+}
+
+/// Resolves an active speculation against a freshly computed grant:
+/// commits (returning the buffered responses) when the grant covers the
+/// whole speculated stretch, rolls back otherwise. Returns an empty vec
+/// when there was nothing to resolve.
+fn settle_speculation<S: CoupledSimulator>(
+    follower: &mut S,
+    warp: &mut WarpState<S>,
+    granted: SimTime,
+    tel: &Telemetry,
+) -> Vec<Message> {
+    if warp.checkpoint.is_none() {
+        return Vec::new();
+    }
+    if granted >= warp.spec_to {
+        warp.commits.inc();
+        warp.checkpoint = None;
+        std::mem::take(&mut warp.spec_buf)
+    } else {
+        rollback(follower, warp, tel);
+        Vec::new()
+    }
+}
+
+/// The follower thread: pops commands off the ring (spin-then-park when
+/// empty), plays timing windows and drain requests in order, and pushes
+/// replies back. The spawn wrapper in [`ParallelCoupling::run`] closes
+/// both rings after this returns — or unwinds — so a blocked peer wakes
+/// and observes termination.
+#[allow(clippy::too_many_arguments)]
+fn follower_worker<S: CoupledSimulator>(
     follower: &mut S,
     sync: &mut ConservativeSync,
     promised: &mut SimTime,
     cell_type: MessageTypeId,
-    cmd_rx: &mpsc::Receiver<Command>,
-    reply: &mpsc::Sender<Reply>,
+    exec_mode: ExecMode,
+    spec_window: SimDuration,
+    cmd_rx: &mut RingConsumer<'_, CmdEntry>,
+    rep_tx: &mut RingProducer<'_, RepEntry>,
     tel: &Telemetry,
 ) {
-    while let Ok(cmd) = cmd_rx.recv() {
-        match cmd {
-            Command::Window { msgs, grant } => {
-                match window_step(follower, sync, promised, cell_type, msgs, grant, tel) {
+    let mut warp = match exec_mode {
+        ExecMode::TimeWarp => Some(WarpState::new(spec_window, tel)),
+        ExecMode::Conservative => None,
+    };
+    // Consumer-side stimulus scratch: swapped with command slots, drained
+    // by `window_step`, so one buffer serves the whole run.
+    let mut msgs: Vec<Message> = Vec::new();
+    let mut idle_rounds = 0u32;
+    loop {
+        let mut kind = CmdKind::Empty;
+        let mut grant = SimTime::ZERO;
+        let mut quantum = SimDuration::ZERO;
+        let mut quiet_chunks = 0u32;
+        let mut until = SimTime::ZERO;
+        debug_assert!(
+            msgs.is_empty(),
+            "follower stimulus scratch leaked {} message(s)",
+            msgs.len()
+        );
+        let popped = cmd_rx.try_pop_with(|entry| {
+            kind = entry.kind;
+            entry.kind = CmdKind::Empty;
+            grant = entry.grant;
+            quantum = entry.quantum;
+            quiet_chunks = entry.quiet_chunks;
+            until = entry.until;
+            std::mem::swap(&mut msgs, &mut entry.msgs);
+        });
+        if !popped {
+            if cmd_rx.is_closed() && !cmd_rx.can_pop() {
+                break;
+            }
+            // An empty command ring is the time-warp opening: run ahead
+            // speculatively instead of spinning while the originator
+            // assembles the next window. The checkpoint guard makes this
+            // one speculation per idle period, not one per poll.
+            if let Some(w) = warp.as_mut() {
+                if w.checkpoint.is_none() {
+                    speculate(follower, w);
+                    continue;
+                }
+            }
+            spin_round();
+            idle_rounds += 1;
+            if idle_rounds >= spin_rounds() && !cmd_rx.can_pop() {
+                cmd_rx.park_while_empty();
+            }
+            continue;
+        }
+        idle_rounds = 0;
+        match kind {
+            CmdKind::Empty => {}
+            CmdKind::Window => {
+                match window_step(
+                    follower,
+                    sync,
+                    promised,
+                    cell_type,
+                    &mut msgs,
+                    grant,
+                    warp.as_mut(),
+                    tel,
+                ) {
                     Ok(responses) => {
-                        if reply.send(Reply::Window(responses)).is_err() {
-                            return;
+                        if !push_reply(rep_tx, RepKind::Window, responses, None) {
+                            break;
                         }
                     }
                     Err(e) => {
-                        let _ = reply.send(Reply::Fatal(e));
-                        return;
+                        let _ = push_reply(rep_tx, RepKind::Fatal, Vec::new(), Some(e));
+                        break;
                     }
                 }
             }
-            Command::Drain {
-                quantum,
-                quiet_chunks,
-                until,
-            } => match drain_step(
-                follower,
-                sync,
-                promised,
-                cell_type,
-                quantum,
-                quiet_chunks,
-                until,
-                reply,
-                tel,
-            ) {
-                Ok(true) => {
-                    if reply.send(Reply::DrainDone).is_err() {
-                        return;
+            CmdKind::Drain => {
+                match drain_step(
+                    follower,
+                    sync,
+                    promised,
+                    cell_type,
+                    quantum,
+                    quiet_chunks,
+                    until,
+                    warp.as_mut(),
+                    rep_tx,
+                    tel,
+                ) {
+                    Ok(true) => {
+                        if !push_reply(rep_tx, RepKind::DrainDone, Vec::new(), None) {
+                            break;
+                        }
+                    }
+                    Ok(false) => break,
+                    Err(e) => {
+                        let _ = push_reply(rep_tx, RepKind::Fatal, Vec::new(), Some(e));
+                        break;
                     }
                 }
-                Ok(false) => return,
-                Err(e) => {
-                    let _ = reply.send(Reply::Fatal(e));
-                    return;
-                }
-            },
+            }
         }
     }
 }
 
-/// Plays one timing window on the follower: queue the stimulus (raising
-/// the originator clock per message), take the grant (the null message),
-/// sweep the whole window in one batched advance, then settle the local
-/// clock — never past the grant.
+/// Blocking reply push: spin, then park, until a slot frees up or the
+/// ring closes (`false` — the originator is gone). The payload is moved
+/// into the slot exactly once, on the successful push.
+fn push_reply(
+    rep_tx: &mut RingProducer<'_, RepEntry>,
+    kind: RepKind,
+    msgs: Vec<Message>,
+    error: Option<CastanetError>,
+) -> bool {
+    let mut payload = Some((msgs, error));
+    let mut rounds = 0u32;
+    loop {
+        let pushed = rep_tx.try_push_with(|entry| {
+            let (m, e) = payload.take().expect("reply filled exactly once");
+            entry.kind = kind;
+            entry.msgs = m;
+            entry.error = e;
+        });
+        if pushed {
+            return true;
+        }
+        if rep_tx.is_closed() {
+            return false;
+        }
+        spin_round();
+        rounds += 1;
+        if rounds >= spin_rounds() && !rep_tx.can_push() {
+            rep_tx.park_while_full();
+        }
+    }
+}
+
+/// Plays one timing window on the follower. Conservative mode: queue the
+/// stimulus (raising the originator clock per message), take the grant
+/// (the null message), sweep the whole window in one batched advance, then
+/// settle the local clock — never past the grant. Time-warp mode wraps
+/// the same step with speculation bookkeeping: stimulus rolls an active
+/// speculation back, a grant covering the speculated stretch commits it,
+/// and stimulus-free windows start the next speculation.
+#[allow(clippy::too_many_arguments)]
 fn window_step<S: CoupledSimulator>(
     follower: &mut S,
     sync: &mut ConservativeSync,
     promised: &mut SimTime,
     cell_type: MessageTypeId,
-    msgs: Vec<Message>,
+    msgs: &mut Vec<Message>,
+    grant: SimTime,
+    warp: Option<&mut WarpState<S>>,
+    tel: &Telemetry,
+) -> Result<Vec<Message>, CastanetError> {
+    let Some(warp) = warp else {
+        return conservative_step(follower, sync, promised, cell_type, msgs, grant, tel);
+    };
+    if warp.checkpoint.is_some() && !msgs.is_empty() {
+        // Stimulus invalidates the speculation: it must be delivered to
+        // the pre-speculation state.
+        rollback(follower, warp, tel);
+    }
+    if warp.checkpoint.is_some() {
+        // Stimulus-free window over an active speculation: raise the
+        // grant, then either commit the buffered stretch or (if the
+        // grant still falls short of it) roll back and replay.
+        if grant > *promised {
+            sync.receive(cell_type, grant, true)?;
+            *promised = grant;
+        }
+        let granted = sync.grant();
+        let mut responses = settle_speculation(follower, warp, granted, tel);
+        let advance_start = tel.now_ns();
+        responses.extend(follower.advance_batch(granted)?);
+        tel.record_span(
+            Track::Follower,
+            granted.as_picos(),
+            advance_start,
+            EventKind::FollowerAdvance {
+                granted_ps: granted.as_picos(),
+                responses: responses.len() as u64,
+            },
+        );
+        let local = follower.now().max(sync.local_time()).min(granted);
+        sync.advance_local(local)?;
+        speculate(follower, warp);
+        return Ok(responses);
+    }
+    let stimulus_free = msgs.is_empty();
+    let responses = conservative_step(follower, sync, promised, cell_type, msgs, grant, tel)?;
+    if stimulus_free {
+        speculate(follower, warp);
+    }
+    Ok(responses)
+}
+
+/// The conservative window step shared by both execution modes; drains
+/// the stimulus scratch so its capacity returns to the ring.
+fn conservative_step<S: CoupledSimulator>(
+    follower: &mut S,
+    sync: &mut ConservativeSync,
+    promised: &mut SimTime,
+    cell_type: MessageTypeId,
+    msgs: &mut Vec<Message>,
     grant: SimTime,
     tel: &Telemetry,
 ) -> Result<Vec<Message>, CastanetError> {
-    for msg in msgs {
+    for msg in msgs.iter() {
         sync.receive(msg.type_id, msg.stamp, false)?;
         tel.record(
             Track::Follower,
@@ -643,7 +1399,6 @@ fn window_step<S: CoupledSimulator>(
                 stamp_ps: msg.stamp.as_picos(),
             },
         );
-        follower.deliver(msg)?;
     }
     if grant > *promised {
         sync.receive(cell_type, grant, true)?;
@@ -651,7 +1406,28 @@ fn window_step<S: CoupledSimulator>(
     }
     let granted = sync.grant();
     let advance_start = tel.now_ns();
-    let responses = follower.advance_batch(granted)?;
+    let mut responses = Vec::new();
+    // Play the batch lazily: advance to just before each stamp, then
+    // deliver. Handing the whole window to the follower up front would
+    // keep its pending-event set large for the window's entire span,
+    // which prices every queue operation of an event-driven follower up
+    // (and defeats idle skipping between cells); delivered one cell
+    // ahead of the sweep, the follower's queue stays as small as under
+    // the serial per-event rendezvous.
+    for msg in msgs.drain(..) {
+        let target = msg.stamp.min(granted);
+        if target > follower.now() {
+            // `target > now() ≥ 0`, so the 1 ps step back cannot
+            // underflow; it keeps the clock edge at the stamp itself
+            // ahead of the delivery.
+            let play_from = target - SimDuration::from_picos(1);
+            if play_from > follower.now() {
+                responses.extend(follower.advance_batch(play_from)?);
+            }
+        }
+        follower.deliver(msg)?;
+    }
+    responses.extend(follower.advance_batch(granted)?);
     tel.record_span(
         Track::Follower,
         granted.as_picos(),
@@ -667,8 +1443,10 @@ fn window_step<S: CoupledSimulator>(
 }
 
 /// Drains the follower's pipeline in `quantum`-sized chunks, forwarding
-/// responses as they surface. Returns `Ok(true)` when quiet, `Ok(false)`
-/// when the originator went away mid-drain.
+/// responses as they surface. An active speculation is resolved against
+/// the first chunk's grant (committed when covered, rolled back and
+/// replayed otherwise). Returns `Ok(true)` when quiet, `Ok(false)` when
+/// the originator went away mid-drain.
 #[allow(clippy::too_many_arguments)]
 fn drain_step<S: CoupledSimulator>(
     follower: &mut S,
@@ -678,10 +1456,21 @@ fn drain_step<S: CoupledSimulator>(
     quantum: SimDuration,
     quiet_chunks: u32,
     until: SimTime,
-    reply: &mpsc::Sender<Reply>,
+    mut warp: Option<&mut WarpState<S>>,
+    rep_tx: &mut RingProducer<'_, RepEntry>,
     tel: &Telemetry,
 ) -> Result<bool, CastanetError> {
     let mut quiet = 0u32;
+    // In time-warp mode the drain itself opens with a speculation when
+    // none survived the window stream (a saturated command ring never
+    // lets the follower speculate between windows), so the first chunk
+    // below resolves it — usually as a commit, the drain horizon being
+    // far wider than the speculation window.
+    if let Some(w) = warp.as_mut() {
+        if w.checkpoint.is_none() {
+            speculate(follower, w);
+        }
+    }
     loop {
         let horizon = (follower.now().max(sync.local_time()) + quantum)
             .min(until)
@@ -692,7 +1481,11 @@ fn drain_step<S: CoupledSimulator>(
         }
         let granted = sync.grant();
         let chunk_start = tel.now_ns();
-        let responses = follower.advance_batch(granted)?;
+        let mut responses = match warp.as_mut() {
+            Some(w) => settle_speculation(follower, w, granted, tel),
+            None => Vec::new(),
+        };
+        responses.extend(follower.advance_batch(granted)?);
         tel.record_span(
             Track::Follower,
             granted.as_picos(),
@@ -711,22 +1504,11 @@ fn drain_step<S: CoupledSimulator>(
             }
         } else {
             quiet = 0;
-            if reply.send(Reply::Drained(responses)).is_err() {
+            if !push_reply(rep_tx, RepKind::Drained, responses, None) {
                 return Ok(false);
             }
         }
     }
-}
-
-/// Scans the reply channel for the fatal error that made the follower
-/// thread exit; falls back to a transport error if none surfaced.
-fn fatal_from(rep_rx: &mpsc::Receiver<Reply>) -> CastanetError {
-    while let Ok(reply) = rep_rx.recv() {
-        if let Reply::Fatal(e) = reply {
-            return e;
-        }
-    }
-    CastanetError::Transport("parallel follower thread terminated unexpectedly".into())
 }
 
 #[cfg(test)]
@@ -865,6 +1647,46 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_and_fixed_windows_produce_the_same_trace() {
+        let (serial, got_fixed) = build(16, SimDuration::from_us(5));
+        let mut fixed = serial.into_parallel().with_adaptive_window(false);
+        fixed.run(SimTime::from_ms(2)).unwrap();
+
+        let (serial, got_adaptive) = build(16, SimDuration::from_us(5));
+        let mut adaptive = serial.into_parallel().with_adaptive_window(true);
+        adaptive.run(SimTime::from_ms(2)).unwrap();
+
+        assert_eq!(
+            collected_cells(&got_fixed),
+            collected_cells(&got_adaptive),
+            "window sizing is a throughput knob, never a semantics knob"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_respects_floor_and_delta_bound() {
+        let base = SimDuration::from_us(100);
+        let headroom = SimDuration::from_us(60);
+        let mut ctl = AdaptiveWindow::new(base, headroom);
+        assert_eq!(ctl.current(), base);
+        // Deep ring: widen, capped at base + δ_j.
+        for _ in 0..10 {
+            let w = ctl.observe(4, 4);
+            assert!(w <= ctl.bound());
+        }
+        assert_eq!(ctl.current(), ctl.bound());
+        // Idle ring: shrink, floored at base / 8.
+        for _ in 0..20 {
+            let w = ctl.observe(0, 4);
+            assert!(w >= ctl.floor());
+        }
+        assert_eq!(ctl.current(), ctl.floor());
+        // Moderate occupancy holds steady.
+        let w = ctl.observe(1, 4);
+        assert_eq!(w, ctl.floor());
+    }
+
+    #[test]
     fn run_is_idempotent_after_completion() {
         let (serial, got) = build(2, SimDuration::from_us(10));
         let mut coupling = serial.into_parallel();
@@ -943,6 +1765,11 @@ mod tests {
             snap.counter("originator.net_events"),
             Some(coupling.stats().net_events)
         );
+        // Ring instrumentation: the adaptive controller publishes its
+        // width, and the park counters exist (zero on fast runs).
+        assert!(snap.gauge("ring.grant_width_ps").is_some());
+        assert!(snap.counter("ring.originator_parks").is_some());
+        assert!(snap.counter("ring.follower_parks").is_some());
     }
 
     #[test]
@@ -960,5 +1787,69 @@ mod tests {
         assert!(coupling.preflight().is_ok());
         coupling.run(SimTime::from_ms(1)).unwrap();
         assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn time_warp_matches_conservative_and_speculates() {
+        let (serial, got_c) = build(12, SimDuration::from_us(50));
+        let mut conservative = serial
+            .into_parallel()
+            .with_batching(SimDuration::from_us(5), 4)
+            .with_adaptive_window(false);
+        let c_stats = conservative.run(SimTime::from_ms(2)).unwrap();
+        let c_cells = collected_cells(&got_c);
+
+        let (serial, got_w) = build(12, SimDuration::from_us(50));
+        let tel = Telemetry::enabled();
+        let mut warp = serial
+            .into_parallel()
+            .with_batching(SimDuration::from_us(5), 4)
+            .with_adaptive_window(false)
+            .with_exec_mode(ExecMode::TimeWarp)
+            .with_telemetry(&tel);
+        let w_stats = warp.run(SimTime::from_ms(2)).unwrap();
+
+        assert_eq!(collected_cells(&got_w), c_cells, "trace-identical");
+        assert_eq!(w_stats.responses, c_stats.responses);
+        assert_eq!(w_stats.messages_to_follower, c_stats.messages_to_follower);
+        assert_eq!(w_stats.late_responses, 0);
+        let snap = tel.metrics_snapshot();
+        let commits = snap.counter("timewarp.commits").unwrap_or(0);
+        let rollbacks = snap.counter("timewarp.rollbacks").unwrap_or(0);
+        assert!(
+            commits + rollbacks > 0,
+            "speculation never ran: commits={commits} rollbacks={rollbacks}"
+        );
+    }
+
+    #[test]
+    fn time_warp_refuses_an_uncheckpointable_follower() {
+        /// A follower with the default `fork` (`None`): time-warp must be
+        /// rejected up front rather than silently degrade.
+        struct NoFork(SimTime);
+        impl CoupledSimulator for NoFork {
+            fn deliver(&mut self, _msg: Message) -> Result<(), CastanetError> {
+                Ok(())
+            }
+            fn advance_until(&mut self, horizon: SimTime) -> Result<Vec<Message>, CastanetError> {
+                self.0 = horizon;
+                Ok(Vec::new())
+            }
+            fn now(&self) -> SimTime {
+                self.0
+            }
+        }
+
+        let mut net = Kernel::new(1);
+        let node = net.add_node("n");
+        let mut sync = ConservativeSync::new();
+        let cell_type = sync.register_type(CLK * 53);
+        let (iface_proc, outbox) = CastanetInterfaceProcess::new(cell_type);
+        let iface = net.add_module(node, "castanet", Box::new(iface_proc));
+        let mut coupling =
+            ParallelCoupling::new(net, NoFork(SimTime::ZERO), sync, cell_type, iface, outbox)
+                .with_exec_mode(ExecMode::TimeWarp);
+        let err = coupling.run(SimTime::from_ms(1)).unwrap_err();
+        assert!(matches!(err, CastanetError::Transport(_)), "{err:?}");
     }
 }

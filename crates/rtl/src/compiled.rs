@@ -925,6 +925,28 @@ impl LaneBank {
         self.cycles
     }
 
+    /// Forks the bank: every lane's DUT is duplicated via
+    /// [`CycleDut::fork_dut`] and the packed pin state and cycle count are
+    /// copied, so the fork replays identically from this point. Returns
+    /// `None` when any lane's DUT does not support forking.
+    #[must_use]
+    pub fn fork(&self) -> Option<Self> {
+        let mut duts = Vec::with_capacity(self.duts.len());
+        for d in &self.duts {
+            duts.push(d.fork_dut()?);
+        }
+        Some(LaneBank {
+            duts,
+            in_ports: self.in_ports.clone(),
+            out_ports: self.out_ports.clone(),
+            in_base: self.in_base.clone(),
+            out_base: self.out_base.clone(),
+            in_words: self.in_words.clone(),
+            out_words: self.out_words.clone(),
+            cycles: self.cycles,
+        })
+    }
+
     /// Lane `lane`'s DUT instance.
     #[must_use]
     pub fn dut(&self, lane: usize) -> &dyn CycleDut {

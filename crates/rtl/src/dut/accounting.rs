@@ -38,7 +38,7 @@ struct Account {
 /// 2. `unmatched` (32) — cells on unregistered connections;
 /// 3. `table_count` (8) — registered connections;
 /// 4. `cfg_full` (1) — last registration was refused (table full).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AccountingUnitRtl {
     capacity: usize,
     shift: [u8; CELL_OCTETS],
@@ -177,6 +177,10 @@ impl CycleDut for AccountingUnitRtl {
         // Charging state persists, but absent input bytes nothing changes:
         // clocks may be skipped whenever no cell is mid-reception.
         !self.in_cell
+    }
+
+    fn fork_dut(&self) -> Option<Box<dyn CycleDut>> {
+        Some(Box::new(self.clone()))
     }
 
     fn clock_edge(&mut self, inputs: &[u64]) -> Vec<u64> {

@@ -5,6 +5,7 @@ Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
                               [--rows PREFIX,...] [--require GROUP,...]
                               [--overhead GROUP:BASE_ROW:SUBJECT_ROW:MAX_PCT ...]
+                              [--require-faster GROUP:SUBJECT_ROW:BASELINE_ROW ...]
 
 BASELINE and CURRENT are either two JSON files or two directories. In
 directory mode every committed `BENCH_*.json` under BASELINE is paired
@@ -43,6 +44,13 @@ covers `event_full_trace/100`. Repeatable; each bound is checked
 against every matching row pair. A missing group or row fails — an
 overhead budget that silently stops being measured is itself a
 regression.
+
+--require-faster is the inverse guard, also inside the CURRENT run:
+in group GROUP, SUBJECT_ROW's per-iteration time must be strictly
+*below* BASELINE_ROW's (speedup > 1.0). It exists for benches whose
+whole point is a win — e.g. e13_parallel_v2, where the parallel rows
+must beat their serial counterparts on the same machine, same run.
+Matching, statistics, and missing-row handling follow --overhead.
 
 Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 """
@@ -126,6 +134,19 @@ def parse_overhead_spec(spec):
         print(f"error: malformed --overhead spec {spec!r}", file=sys.stderr)
         sys.exit(2)
     return group, base_row, subject_row, max_pct
+
+
+def parse_faster_spec(spec):
+    """Parses one GROUP:SUBJECT_ROW:BASELINE_ROW requirement."""
+    parts = spec.split(":")
+    if len(parts) != 3 or not all(parts):
+        print(
+            f"error: --require-faster expects GROUP:SUBJECT_ROW:BASELINE_ROW, "
+            f"got {spec!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return tuple(parts)
 
 
 def load_iter_times(path):
@@ -222,6 +243,61 @@ def check_overhead(current, is_dir, specs):
     return failed
 
 
+def check_faster(current, is_dir, specs):
+    """Enforces every --require-faster win against the CURRENT tree;
+    returns the list of failed requirement descriptions."""
+    failed = []
+    for group, subject_row, baseline_row in specs:
+        path = os.path.join(current, f"BENCH_{group}.json") if is_dir else current
+        if not os.path.isfile(path):
+            print(
+                f"error: --require-faster group {group} has no current run "
+                f"(expected {path})",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        times = load_iter_times(path)
+        bases = matching_rows(times, baseline_row)
+        subjects = matching_rows(times, subject_row)
+        pairs = [
+            (bases[param], subjects[param])
+            for param in sorted(bases, key=str)
+            if param in subjects
+        ]
+        if not pairs:
+            print(
+                f"error: --require-faster {group}: no row pair matches "
+                f"{subject_row!r} vs {baseline_row!r} in {path}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        for (base_name, base_stats), (subj_name, subj_stats) in pairs:
+            shared = [
+                s
+                for s in ("median_ns_per_iter", "min_ns_per_iter")
+                if s in base_stats and s in subj_stats
+            ]
+            if not shared:
+                print(
+                    f"error: --require-faster {group}: {base_name} and "
+                    f"{subj_name} share no per-iteration statistic in {path}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            stat = shared[0]
+            base_ns, subj_ns = base_stats[stat], subj_stats[stat]
+            speedup = base_ns / subj_ns
+            verdict = "OK" if subj_ns < base_ns else "TOO-SLOW"
+            print(
+                f"{verdict:<10} [{group}] {subj_name}: {subj_ns:,.0f} ns/iter "
+                f"vs {base_name} {base_ns:,.0f} ({stat}, speedup x{speedup:.2f}, "
+                f"must be > x1.00)"
+            )
+            if subj_ns >= base_ns:
+                failed.append(f"{group}:{subj_name} x{speedup:.2f} <= x1.00")
+    return failed
+
+
 def check_pair(baseline_path, current_path, threshold, prefixes):
     """Compares one baseline/current file pair; returns (groups, guarded, failed)."""
     base_group, baseline = load_doc(baseline_path)
@@ -309,8 +385,18 @@ def main():
         "run (repeatable); e.g. "
         "e12_obs_overhead:event_telemetry_off:event_full_trace:5",
     )
+    parser.add_argument(
+        "--require-faster",
+        action="append",
+        default=[],
+        metavar="GROUP:SUBJECT_ROW:BASELINE_ROW",
+        help="require SUBJECT_ROW to be strictly faster than BASELINE_ROW "
+        "inside the CURRENT run (repeatable); e.g. "
+        "e13_parallel_v2:parallel_event_driven:serial_event_driven",
+    )
     args = parser.parse_args()
     overhead_specs = [parse_overhead_spec(s) for s in args.overhead]
+    faster_specs = [parse_faster_spec(s) for s in args.require_faster]
     if not 0.0 < args.threshold < 1.0:
         print("error: --threshold must be in (0, 1)", file=sys.stderr)
         sys.exit(2)
@@ -351,6 +437,9 @@ def main():
     overhead_failed = check_overhead(
         args.current, os.path.isdir(args.current), overhead_specs
     )
+    faster_failed = check_faster(
+        args.current, os.path.isdir(args.current), faster_specs
+    )
 
     missing = required - seen_groups
     if missing:
@@ -378,11 +467,19 @@ def main():
             f"{'; '.join(overhead_failed)}",
             file=sys.stderr,
         )
-    if failed or overhead_failed:
+    if faster_failed:
+        print(
+            f"\n{len(faster_failed)} required speedup(s) not met: "
+            f"{'; '.join(faster_failed)}",
+            file=sys.stderr,
+        )
+    if failed or overhead_failed or faster_failed:
         sys.exit(1)
     message = f"\nall {guarded} guarded row(s) within {args.threshold:.0%} of baseline"
     if overhead_specs:
         message += f"; all {len(overhead_specs)} overhead budget(s) met"
+    if faster_specs:
+        message += f"; all {len(faster_specs)} required speedup(s) met"
     print(message)
 
 

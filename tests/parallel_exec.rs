@@ -4,11 +4,12 @@
 //! window/grant channel handshake is verified two ways instead:
 //!
 //! 1. an *exhaustive interleaving model check*: the handshake is restated
-//!    as a small explicit-state transition system (bounded command channel,
-//!    unbounded reply channel, originator barrier, drain round) and a DFS
-//!    enumerates every reachable interleaving, asserting the protocol
-//!    invariants in each state — deadlock freedom, channel bounds, and the
-//!    follower never running past its granted horizon;
+//!    as a small explicit-state transition system (bounded command ring,
+//!    bounded reply ring with the executor's `depth + 2` headroom,
+//!    originator barrier, drain round) and a DFS enumerates every
+//!    reachable interleaving, asserting the protocol invariants in each
+//!    state — deadlock freedom, both ring bounds, and the follower never
+//!    running past its granted horizon;
 //! 2. a *stress + determinism* pass over the real executor: maximum
 //!    backpressure (depth 1, tiny windows) and repeated runs that must
 //!    produce bit-identical traces.
@@ -16,6 +17,7 @@
 use castanet::coupling::Coupling;
 use castanet::cyclecosim::{CycleCosim, EgressIndices, IngressIndices};
 use castanet::interface::{response_packet, CastanetInterfaceProcess};
+use castanet::parallel::ExecMode;
 use castanet::sync::ConservativeSync;
 use castanet_atm::addr::{HeaderFormat, VpiVci};
 use castanet_atm::cell::AtmCell;
@@ -43,7 +45,7 @@ struct ModelState {
     to_send: u8,
     /// Commands in the bounded channel (grant values; `DRAIN` sentinel).
     cmd: VecDeque<u8>,
-    /// Replies in the unbounded channel (`REPLY` or `DRAIN_DONE`).
+    /// Replies in the bounded reply ring (`REPLY` or `DRAIN_DONE`).
     rep: VecDeque<u8>,
     /// Originator bookkeeping: windows sent but not yet answered.
     in_flight: u8,
@@ -80,7 +82,7 @@ impl ModelState {
     }
 
     /// All states reachable in one atomic step, each tagged with the actor.
-    fn successors(&self, cap: usize, windows: u8) -> Vec<ModelState> {
+    fn successors(&self, cap: usize, rep_cap: usize, windows: u8) -> Vec<ModelState> {
         let mut next = Vec::new();
         // Originator: send the next window — enabled only while the
         // channel has room (sync_channel backpressure).
@@ -114,23 +116,30 @@ impl ModelState {
             s.cmd.push_back(DRAIN);
             next.push(s);
         }
-        // Follower: process one command.
-        if let Some(&c) = self.cmd.front() {
-            let mut s = self.clone();
-            s.cmd.pop_front();
-            if c == DRAIN {
-                s.rep.push_back(DRAIN_DONE);
-            } else {
-                s.local = s.local.max(c);
-                s.rep.push_back(REPLY);
+        // Follower: process one command — enabled only while the reply
+        // ring has a free slot (the executor's follower spins on
+        // `try_push_with` when it is full).
+        if self.rep.len() < rep_cap {
+            if let Some(&c) = self.cmd.front() {
+                let mut s = self.clone();
+                s.cmd.pop_front();
+                if c == DRAIN {
+                    s.rep.push_back(DRAIN_DONE);
+                } else {
+                    s.local = s.local.max(c);
+                    s.rep.push_back(REPLY);
+                }
+                next.push(s);
             }
-            next.push(s);
         }
         next
     }
 }
 
 fn model_check(windows: u8, cap: usize) {
+    // The executor sizes the reply ring at `depth + 2`: one reply per
+    // in-flight window plus headroom for DrainDone/Fatal.
+    let rep_cap = cap + 2;
     let mut visited: HashSet<ModelState> = HashSet::new();
     let mut stack = vec![ModelState::initial(windows)];
     let mut terminals = 0u64;
@@ -138,10 +147,14 @@ fn model_check(windows: u8, cap: usize) {
         if !visited.insert(state.clone()) {
             continue;
         }
-        // Invariant 1: the bounded channel never overflows its capacity.
+        // Invariant 1: neither ring ever overflows its capacity.
         assert!(
             state.cmd.len() <= cap,
-            "command channel overflow ({windows} windows, cap {cap})"
+            "command ring overflow ({windows} windows, cap {cap})"
+        );
+        assert!(
+            state.rep.len() <= rep_cap,
+            "reply ring overflow ({windows} windows, rep cap {rep_cap})"
         );
         // Invariant 2: the follower never runs past what was promised.
         assert!(
@@ -150,7 +163,7 @@ fn model_check(windows: u8, cap: usize) {
             state.local,
             state.promised
         );
-        let succ = state.successors(cap, windows);
+        let succ = state.successors(cap, rep_cap, windows);
         if succ.is_empty() {
             // Invariant 3: the only state with no enabled transition is
             // the fully completed run — anything else is a deadlock.
@@ -252,8 +265,15 @@ fn coupled(cells: u64, gap: SimDuration) -> (Coupling<CycleCosim>, CollectorHand
 }
 
 fn run_once(cells: u64, window: SimDuration, depth: usize) -> Vec<AtmCell> {
+    run_mode(cells, window, depth, ExecMode::Conservative)
+}
+
+fn run_mode(cells: u64, window: SimDuration, depth: usize, mode: ExecMode) -> Vec<AtmCell> {
     let (serial, got) = coupled(cells, SimDuration::from_us(2));
-    let mut coupling = serial.into_parallel().with_batching(window, depth);
+    let mut coupling = serial
+        .into_parallel()
+        .with_batching(window, depth)
+        .with_exec_mode(mode);
     let stats = coupling.run(SimTime::from_ms(2)).expect("run");
     assert_eq!(stats.responses, cells);
     assert_eq!(stats.late_responses, 0);
@@ -281,4 +301,16 @@ fn wide_window_deep_channel_stress_matches_the_tight_configuration() {
     let tight = run_once(60, SimDuration::from_us(1), 1);
     let wide = run_once(60, SimDuration::from_ms(1), 8);
     assert_eq!(tight, wide);
+}
+
+#[test]
+fn time_warp_stress_matches_conservative_mode() {
+    // The checkpoint/rollback machinery under the same harsh depth-1
+    // schedule, plus a relaxed configuration: every run must observe
+    // exactly the conservative trace, bit for bit.
+    let reference = run_once(120, SimDuration::from_us(1), 1);
+    let warped = run_mode(120, SimDuration::from_us(1), 1, ExecMode::TimeWarp);
+    assert_eq!(reference, warped, "time-warp depth-1 stress diverged");
+    let relaxed = run_mode(120, SimDuration::from_us(50), 4, ExecMode::TimeWarp);
+    assert_eq!(reference, relaxed, "time-warp relaxed schedule diverged");
 }

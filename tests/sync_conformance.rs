@@ -1,8 +1,9 @@
 //! Differential sync-conformance harness: the same seeded cell traffic is
-//! pushed through four synchronization executors — the conservative serial
-//! coupling, the parallel coupled-engine executor, the fixed-quantum
-//! lockstep baseline, and the optimistic (Time-Warp) wrapper — and every
-//! executor must hand back a byte-identical observable cell trace.
+//! pushed through five synchronization executors — the conservative serial
+//! coupling, the ring-parallel coupled-engine executor, the same executor
+//! in first-class time-warp mode, the fixed-quantum lockstep baseline, and
+//! the optimistic (Time-Warp) wrapper — and every executor must hand back
+//! a byte-identical observable cell trace.
 //!
 //! The protocols differ wildly in *when* work happens (timing windows,
 //! alternation quanta, speculative execution with rollback), but §3.1's
@@ -29,7 +30,7 @@ use castanet::message::{Message, MessageTypeId};
 use castanet::sync::lockstep::Side;
 use castanet::sync::optimistic::{TimedEvent, TimedOutput};
 use castanet::sync::{ConservativeSync, LockstepSync, OptimisticSync};
-use castanet::{CompiledCosim, Telemetry};
+use castanet::{AdaptiveWindow, CompiledCosim, ExecMode, Telemetry};
 use castanet_atm::addr::{HeaderFormat, VpiVci};
 use castanet_atm::cell::AtmCell;
 use castanet_netsim::event::PortId;
@@ -265,6 +266,22 @@ fn run_parallel(stims: &[(SimTime, AtmCell)], window: SimDuration, depth: usize)
     collected_cells(&got)
 }
 
+/// Executor 5: the ring-parallel executor in first-class time-warp mode.
+/// The follower forks checkpoints and speculates past the grant horizon;
+/// the conservative safety net must keep the committed trace byte-identical
+/// to every other executor.
+fn run_timewarp(stims: &[(SimTime, AtmCell)], window: SimDuration, depth: usize) -> Vec<AtmCell> {
+    let (coupling, got) = coupled(stims);
+    let mut coupling = coupling
+        .into_parallel()
+        .with_batching(window, depth)
+        .with_exec_mode(ExecMode::TimeWarp);
+    coupling.run(SimTime::from_ms(1)).expect("time-warp run");
+    assert!(coupling.sync().lag_invariant_holds());
+    assert_eq!(coupling.stats().late_responses, 0);
+    collected_cells(&got)
+}
+
 /// Executor 3: fixed-quantum lockstep alternation. The quantum must not
 /// exceed the true lookahead (the 53-clock cell transfer time).
 fn run_lockstep(stims: &[(SimTime, AtmCell)], quantum: SimDuration) -> Vec<AtmCell> {
@@ -405,18 +422,20 @@ fn assert_conforms(stims: &[(SimTime, AtmCell)], trace: &[AtmCell], label: &str)
 }
 
 #[test]
-fn four_executors_produce_byte_identical_traces() {
+fn five_executors_produce_byte_identical_traces() {
     let stims = seeded_traffic(SEED);
     let in_order: Vec<usize> = (0..stims.len()).collect();
 
     let conservative = run_conservative(&stims);
     let parallel = run_parallel(&stims, SimDuration::from_us(100), 4);
+    let timewarp = run_timewarp(&stims, SimDuration::from_us(100), 4);
     let lockstep = run_lockstep(&stims, SimDuration::from_us(1));
     let (optimistic, _) = run_optimistic(&stims, &in_order);
 
     assert_eq!(conservative.len(), CELLS, "conservative trace length");
     assert_conforms(&stims, &conservative, "conservative");
     assert_conforms(&stims, &parallel, "parallel");
+    assert_conforms(&stims, &timewarp, "time-warp");
     assert_conforms(&stims, &lockstep, "lockstep");
     assert_conforms(&stims, &optimistic, "optimistic");
 
@@ -425,6 +444,11 @@ fn four_executors_produce_byte_identical_traces() {
         trace_bytes(&parallel),
         reference,
         "parallel vs conservative"
+    );
+    assert_eq!(
+        trace_bytes(&timewarp),
+        reference,
+        "time-warp vs conservative"
     );
     assert_eq!(
         trace_bytes(&lockstep),
@@ -526,6 +550,57 @@ fn lockstep_quantum_never_changes_the_trace() {
     for quantum_ns in [250u64, 500, 1000] {
         let trace = run_lockstep(&stims, SimDuration::from_ns(quantum_ns));
         assert_eq!(trace_bytes(&trace), reference, "quantum {quantum_ns} ns");
+    }
+}
+
+#[test]
+fn time_warp_mode_never_changes_the_trace() {
+    // The speculation/checkpoint machinery must be invisible on the wire
+    // across the same batching sweep the conservative mode is pinned on,
+    // including the depth-1 ring that maximizes rendezvous pressure.
+    let stims = seeded_traffic(SEED ^ 0x7A4B);
+    let reference = trace_bytes(&run_conservative(&stims));
+    for (window_us, depth) in [(5u64, 1usize), (20, 2), (100, 4), (500, 8)] {
+        let trace = run_timewarp(&stims, SimDuration::from_us(window_us), depth);
+        assert_eq!(
+            trace_bytes(&trace),
+            reference,
+            "time-warp window {window_us} us / depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_grant_widths_never_exceed_the_delta_bound() {
+    // Property: for ANY observation sequence the adaptive controller's
+    // window stays inside [floor, base + δ_j]. A width above the bound
+    // would let the originator promise a grant horizon further ahead than
+    // the synchronizer's lookahead covers — a protocol violation, not just
+    // a tuning mistake — so this is checked over seeded random walks of
+    // ring occupancies rather than a handful of fixed cases.
+    let mut rng = SEED ^ 0xADA9;
+    for _ in 0..64 {
+        let base = SimDuration::from_picos(1 + rng_next(&mut rng) % 1_000_000);
+        let headroom = SimDuration::from_picos(rng_next(&mut rng) % 1_000_000);
+        let capacity = 2 + (rng_next(&mut rng) % 14) as usize;
+        let mut win = AdaptiveWindow::new(base, headroom);
+        assert_eq!(win.bound(), base + headroom);
+        for step in 0..512 {
+            let occupancy = (rng_next(&mut rng) % (capacity as u64 + 1)) as usize;
+            let width = win.observe(occupancy, capacity);
+            assert_eq!(width, win.current());
+            assert!(
+                width <= win.bound(),
+                "step {step}: width {width:?} exceeded δ_j bound {:?} \
+                 (base {base:?}, headroom {headroom:?})",
+                win.bound()
+            );
+            assert!(
+                width >= win.floor(),
+                "step {step}: width {width:?} fell below floor {:?}",
+                win.floor()
+            );
+        }
     }
 }
 
